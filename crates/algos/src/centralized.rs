@@ -1,0 +1,798 @@
+//! The four centralized algorithms (paper §III): BSP, ASP, SSP, EASGD.
+//!
+//! Each runs as worker processes plus one process per parameter-server
+//! shard. The PS process is shared across the four algorithms with a
+//! per-algorithm [`PsMode`]; the worker loops differ enough to be separate
+//! functions. All communication reserves NIC time through
+//! [`dtrain_cluster::NetModel`], which is what produces the PS-bottleneck
+//! behaviour the paper analyses.
+
+use dtrain_cluster::{MetricsHub, NetModel, NodeId, Phase, TrafficClass};
+use dtrain_desim::{Ctx, Pid, SimTime};
+use dtrain_nn::{ParamSet, SgdMomentum};
+
+use crate::exec::{GradData, Msg, WorkerCore};
+
+/// Address of a simulated process: its pid plus the machine it runs on.
+#[derive(Clone, Copy, Debug)]
+pub struct Addr {
+    pub pid: Pid,
+    pub node: NodeId,
+}
+
+/// Bytes/second one PS process can sum-and-apply. TF-1.x parameter servers
+/// were single-process CPU aggregators, so this is a few GB/s — which is
+/// why the paper's profiling found 2 PS per machine better than 1 (§VI-D)
+/// and why "the actual aggregation time is only around 30 %" of BSP's
+/// global aggregation (§VI-C): apply time is visible but queueing still
+/// dominates.
+const PS_APPLY_BYTES_PER_SEC: f64 = 1.2e9;
+/// Fixed per-message handling overhead at the PS.
+const PS_HANDLE_OVERHEAD: SimTime = SimTime::from_micros(50);
+/// Time for the PS to fold `bytes` into its state.
+pub fn ps_apply_time(bytes: u64) -> SimTime {
+    PS_HANDLE_OVERHEAD + SimTime::from_secs_f64(bytes as f64 / PS_APPLY_BYTES_PER_SEC)
+}
+
+/// Real-math state of one PS shard.
+pub struct PsRealState {
+    /// This shard's slice of the global parameters.
+    pub params: ParamSet,
+    pub opt: SgdMomentum,
+}
+
+impl PsRealState {
+    /// Additive table update (SSP): the worker already ran its optimizer;
+    /// the server just accumulates the pushed delta (Ho et al.'s SSPTable).
+    pub fn apply_delta(&mut self, data: &GradData) {
+        let dense = match data {
+            GradData::Dense(g) => g.clone(),
+            GradData::Sparse(s) => s.to_dense(),
+        };
+        self.params.add_assign(&dense);
+    }
+
+    /// Apply one (possibly aggregated) gradient: `lr` is the per-gradient
+    /// rate, `weight` the number of worker gradients folded in; `scale`
+    /// divides the gradient (1/weight for averaging semantics).
+    pub fn apply(&mut self, data: &GradData, lr: f32, weight: f32) {
+        let dense = match data {
+            GradData::Dense(g) => g.clone(),
+            GradData::Sparse(s) => s.to_dense(),
+        };
+        // Each of the `weight` folded gradients should move the params by
+        // lr·g_i, so the summed gradient is applied at lr directly.
+        let _ = weight;
+        self.opt.step(&mut self.params, &dense, lr);
+    }
+}
+
+/// Merge a gradient contribution into an accumulator (local/global
+/// aggregation). Sparse contributions densify on arrival.
+pub fn merge_grad(acc: &mut Option<ParamSet>, data: &GradData) {
+    let dense = match data {
+        GradData::Dense(g) => g.clone(),
+        GradData::Sparse(s) => s.to_dense(),
+    };
+    match acc {
+        Some(a) => a.add_assign(&dense),
+        None => *acc = Some(dense),
+    }
+}
+
+/// The elastic-averaging update (EASGD, Zhang et al. 2015):
+/// `diff = x_w − x̃; x̃ += α·diff; x_w −= α·diff`. Returns the updated
+/// worker params; mutates the center in place.
+pub fn elastic_update(center: &mut ParamSet, worker: &ParamSet, alpha: f32) -> ParamSet {
+    let mut updated = worker.clone();
+    // x_w' = x_w − α(x_w − x̃) = (1−α)x_w + α·x̃ :  lerp toward center
+    updated.lerp(center, alpha);
+    // x̃' = x̃ + α(x_w − x̃) : lerp toward worker
+    center.lerp(worker, alpha);
+    updated
+}
+
+/// Per-algorithm PS behaviour.
+pub enum PsMode {
+    /// Round-synchronous: wait for `num_senders` pushes, apply once, reply
+    /// to every sender.
+    Bsp { num_senders: usize },
+    /// Apply each push immediately; reply to its sender.
+    Asp,
+    /// ASP-style applies plus clock bookkeeping (shard 0 is the clock
+    /// authority and gates pull requests on the staleness bound).
+    Ssp { num_workers: usize },
+    /// Elastic averaging: replies carry the *updated worker* parameters.
+    Easgd { alpha: f32 },
+}
+
+/// State for one run of the PS process.
+pub struct PsCore {
+    pub shard: usize,
+    pub node: NodeId,
+    pub net: NetModel,
+    pub real: Option<PsRealState>,
+    /// Wire bytes of a ShardParams reply (possibly DGC-compressed timing).
+    pub reply_bytes: u64,
+    /// Workers (by id) for addressing replies.
+    pub workers: Vec<Addr>,
+    /// Number of Stop messages that end this PS.
+    pub expected_stops: usize,
+}
+
+impl PsCore {
+    fn reply_params(&self) -> Option<ParamSet> {
+        self.real.as_ref().map(|r| r.params.clone())
+    }
+
+    fn send_params(&self, ctx: &Ctx<Msg>, to: usize, clock: u64, data: Option<ParamSet>) {
+        let dst = self.workers[to];
+        let delay = self.net.transfer_delay_class(
+            ctx.now(),
+            self.node,
+            dst.node,
+            self.reply_bytes,
+            TrafficClass::WorkerPs,
+        );
+        ctx.send(
+            dst.pid,
+            delay,
+            Msg::ShardParams { shard: self.shard, clock, data, bytes: self.reply_bytes },
+        );
+    }
+}
+
+/// The parameter-server process body.
+pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
+    let mut stops = 0usize;
+    // BSP round state
+    let mut round_acc: Option<ParamSet> = None;
+    let mut round_members: Vec<usize> = Vec::new();
+    let mut round_bytes = 0u64;
+    let mut round_weight = 0.0f32;
+    #[allow(unused_assignments)]
+    let mut round_lr = 0.0f32;
+    // SSP clock state
+    let mut clocks: Vec<u64> = match &mode {
+        PsMode::Ssp { num_workers } => vec![0; *num_workers],
+        _ => Vec::new(),
+    };
+    let mut pending_pulls: Vec<(usize, u64)> = Vec::new(); // (worker, min_needed)
+
+    loop {
+        let msg = ctx.recv();
+        match msg {
+            Msg::Stop { .. } => {
+                stops += 1;
+                if stops == ps.expected_stops {
+                    break;
+                }
+            }
+            Msg::GradPush { sender, iter, lr, weight, data, bytes, .. } => {
+                match &mode {
+                    PsMode::Bsp { num_senders } => {
+                        if let Some(d) = &data {
+                            merge_grad(&mut round_acc, d);
+                        }
+                        round_members.push(sender);
+                        round_bytes += bytes;
+                        round_weight += weight;
+                        round_lr = lr;
+                        if round_members.len() == *num_senders {
+                            ctx.advance(ps_apply_time(round_bytes));
+                            if let (Some(real), Some(sum)) =
+                                (ps.real.as_mut(), round_acc.take())
+                            {
+                                real.apply(&GradData::Dense(sum), round_lr, round_weight);
+                            }
+                            let members = std::mem::take(&mut round_members);
+                            for m in members {
+                                ps.send_params(&ctx, m, 0, ps.reply_params());
+                            }
+                            round_acc = None;
+                            round_bytes = 0;
+                            round_weight = 0.0;
+                        }
+                    }
+                    PsMode::Asp => {
+                        ctx.advance(ps_apply_time(bytes));
+                        if let (Some(real), Some(d)) = (ps.real.as_mut(), &data) {
+                            real.apply(d, lr, weight);
+                        }
+                        ps.send_params(&ctx, sender, 0, ps.reply_params());
+                    }
+                    PsMode::Ssp { .. } => {
+                        ctx.advance(ps_apply_time(bytes));
+                        if let (Some(real), Some(d)) = (ps.real.as_mut(), &data) {
+                            real.apply_delta(d);
+                        }
+                        if ps.shard == 0 {
+                            // monotonic: NIC FIFO delivers in order today,
+                            // but the clock must never regress regardless
+                            clocks[sender] = clocks[sender].max(iter + 1);
+                            let min_clock =
+                                clocks.iter().copied().min().unwrap_or(0);
+                            // release any pulls the new clock satisfies
+                            let ready: Vec<usize> = pending_pulls
+                                .iter()
+                                .filter(|&&(_, need)| min_clock >= need)
+                                .map(|&(w, _)| w)
+                                .collect();
+                            pending_pulls.retain(|&(_, need)| min_clock < need);
+                            for w in ready {
+                                ps.send_params(&ctx, w, min_clock, ps.reply_params());
+                            }
+                        }
+                    }
+                    PsMode::Easgd { .. } => {
+                        unreachable!("EASGD workers push parameters, not gradients")
+                    }
+                }
+            }
+            Msg::PullReq { sender, .. } => {
+                // Non-gating shards answer pulls immediately (only SSP
+                // issues them; shard 0 gets GatedPull instead).
+                ps.send_params(&ctx, sender, 0, ps.reply_params());
+            }
+            Msg::ParamPush { sender, lr: _, data, bytes, .. } => {
+                let PsMode::Easgd { alpha } = &mode else {
+                    unreachable!("ParamPush outside EASGD")
+                };
+                ctx.advance(ps_apply_time(bytes));
+                let reply = match (ps.real.as_mut(), data) {
+                    (Some(real), Some(worker_params)) => {
+                        Some(elastic_update(&mut real.params, &worker_params, *alpha))
+                    }
+                    _ => None,
+                };
+                ps.send_params(&ctx, sender, 0, reply);
+            }
+            Msg::GatedPull { sender, min_needed } => {
+                // SSP shard-0 gated pull: reply once min clock ≥ min_needed.
+                let min_clock = clocks.iter().copied().min().unwrap_or(0);
+                if min_clock >= min_needed {
+                    ps.send_params(&ctx, sender, min_clock, ps.reply_params());
+                } else {
+                    pending_pulls.push((sender, min_needed));
+                }
+            }
+            other => unreachable!("PS got unexpected message {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker bodies
+// ---------------------------------------------------------------------------
+
+/// Role of a BSP worker under local aggregation.
+pub enum BspRole {
+    /// No local aggregation: push straight to the PS shards.
+    Solo,
+    /// Machine leader: aggregates co-located gradients, talks to the PS,
+    /// re-broadcasts fresh parameters locally.
+    Leader { followers: Vec<Addr> },
+    /// Sends gradients to the leader, receives parameters back.
+    Follower { leader: Addr },
+}
+
+/// BSP worker (paper §III-A), optionally with local aggregation.
+pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<Msg>) {
+    let shards = ps.len();
+    let metrics: MetricsHub = core.metrics.clone();
+    for iter in 0..core.total_iters {
+        let grads = core.real_grad_slices();
+        let lr = core.current_lr();
+        match &role {
+            BspRole::Solo => {
+                core.run_compute_phase(&ctx, |core, ctx, s| {
+                    let bytes = core.grad_bytes(s);
+                    let data = grads.as_ref().map(|g| g[s].clone());
+                    core.send_counted(
+                        ctx,
+                        ps[s].pid,
+                        ps[s].node,
+                        bytes,
+                        TrafficClass::WorkerPs,
+                        Msg::GradPush {
+                            sender: core.w,
+                            shard: s,
+                            iter,
+                            lr,
+                            weight: 1.0,
+                            data,
+                            bytes,
+                        },
+                    );
+                });
+                collect_and_apply_shard_params(&mut core, &ctx, shards, Phase::GlobalAgg);
+            }
+            BspRole::Follower { leader } => {
+                let leader = *leader;
+                core.run_compute_phase(&ctx, |core, ctx, s| {
+                    let bytes = core.grad_bytes(s);
+                    let data = grads.as_ref().map(|g| g[s].clone());
+                    let delay = core.net.transfer_delay_class(
+                        ctx.now(),
+                        core.node,
+                        leader.node,
+                        bytes,
+                        TrafficClass::LocalAgg,
+                    );
+                    ctx.send(
+                        leader.pid,
+                        delay,
+                        Msg::LocalGrad { sender: core.w, iter, shard: s, data, bytes },
+                    );
+                });
+                // Wait for fresh parameters from the leader.
+                let t0 = ctx.now();
+                let msg = ctx.recv_match(|m| matches!(m, Msg::LocalParams { .. }));
+                metrics.record(core.w, Phase::LocalAgg, ctx.now() - t0);
+                if let Msg::LocalParams { data: Some(p), .. } = msg {
+                    if let Some(real) = core.real.as_mut() {
+                        real.net.set_params(&p);
+                        real.opt.reset();
+                    }
+                }
+            }
+            BspRole::Leader { followers } => {
+                let nf = followers.len();
+                // own shard readiness + peer contributions per shard
+                let mut own: Vec<Option<GradData>> = vec![None; shards];
+                let mut own_ready = vec![false; shards];
+                let mut peer_acc: Vec<Option<ParamSet>> = vec![None; shards];
+                let mut peer_count = vec![0usize; shards];
+                let mut peer_bytes = vec![0u64; shards];
+                let mut pushed = vec![false; shards];
+                let mut deferred: Vec<Msg> = Vec::new();
+
+                // Closure to push shard s once everything local arrived.
+                // (Implemented as a macro-like fn to satisfy the borrow
+                // checker inside the emit callback.)
+                #[allow(clippy::too_many_arguments)] // borrow-splitting helper
+                fn try_push(
+                    core: &mut WorkerCore,
+                    ctx: &Ctx<Msg>,
+                    ps: &[Addr],
+                    iter: u64,
+                    lr: f32,
+                    nf: usize,
+                    s: usize,
+                    own: &mut [Option<GradData>],
+                    own_ready: &[bool],
+                    peer_acc: &mut [Option<ParamSet>],
+                    peer_count: &[usize],
+                    peer_bytes: &[u64],
+                    pushed: &mut [bool],
+                ) {
+                    if pushed[s] || !own_ready[s] || peer_count[s] != nf {
+                        return;
+                    }
+                    // Fold own gradient into the peers' sum.
+                    let data = match (own[s].take(), peer_acc[s].take()) {
+                        (Some(d), acc0) => {
+                            let mut acc = acc0;
+                            merge_grad(&mut acc, &d);
+                            acc.map(GradData::Dense)
+                        }
+                        (None, acc0) => acc0.map(GradData::Dense),
+                    };
+                    // Local aggregation sends ONE message per machine: the
+                    // summed gradient, same size as a single one.
+                    let bytes = core.grad_bytes(s);
+                    let _ = peer_bytes;
+                    core.send_counted(
+                        ctx,
+                        ps[s].pid,
+                        ps[s].node,
+                        bytes,
+                        TrafficClass::WorkerPs,
+                        Msg::GradPush {
+                            sender: core.w,
+                            shard: s,
+                            iter,
+                            lr,
+                            weight: (nf + 1) as f32,
+                            data,
+                            bytes,
+                        },
+                    );
+                    pushed[s] = true;
+                }
+
+                core.run_compute_phase(&ctx, |core, ctx, s| {
+                    own[s] = grads.as_ref().map(|g| g[s].clone());
+                    own_ready[s] = true;
+                    // Drain any peer gradients that already arrived.
+                    while let Some(m) = ctx.try_recv() {
+                        match m {
+                            Msg::LocalGrad { shard, data, bytes, .. } => {
+                                if let Some(d) = &data {
+                                    merge_grad(&mut peer_acc[shard], d);
+                                }
+                                peer_count[shard] += 1;
+                                peer_bytes[shard] += bytes;
+                            }
+                            other => deferred.push(other),
+                        }
+                    }
+                    for sh in 0..ps.len() {
+                        try_push(
+                            core, ctx, &ps, iter, lr, nf, sh, &mut own, &own_ready,
+                            &mut peer_acc, &peer_count, &peer_bytes, &mut pushed,
+                        );
+                    }
+                });
+                // Wait (LocalAgg) until every shard has been pushed.
+                let t_local = ctx.now();
+                while pushed.iter().any(|&p| !p) {
+                    let m = ctx.recv();
+                    match m {
+                        Msg::LocalGrad { shard, data, bytes, .. } => {
+                            if let Some(d) = &data {
+                                merge_grad(&mut peer_acc[shard], d);
+                            }
+                            peer_count[shard] += 1;
+                            peer_bytes[shard] += bytes;
+                            try_push(
+                                &mut core, &ctx, &ps, iter, lr, nf, shard, &mut own,
+                                &own_ready, &mut peer_acc, &peer_count, &peer_bytes,
+                                &mut pushed,
+                            );
+                        }
+                        other => deferred.push(other),
+                    }
+                }
+                metrics.record(core.w, Phase::LocalAgg, ctx.now() - t_local);
+                // Collect shard replies (some may be in `deferred`).
+                let t_global = ctx.now();
+                let mut got = 0usize;
+                let mut reply_wire = SimTime::ZERO;
+                let mut handle_params =
+                    |core: &mut WorkerCore, shard: usize, data: Option<ParamSet>, bytes: u64| {
+                        if let (Some(real), Some(p)) = (core.real.as_mut(), data) {
+                            real.set_shard_params(shard, &p);
+                        }
+                        reply_wire += core.wire_time(ps[shard].node, bytes);
+                    };
+                for m in deferred.drain(..) {
+                    match m {
+                        Msg::ShardParams { shard, data, bytes, .. } => {
+                            handle_params(&mut core, shard, data, bytes);
+                            got += 1;
+                        }
+                        other => unreachable!(
+                            "BSP leader deferred an unexpected message: {other:?}"
+                        ),
+                    }
+                }
+                while got < shards {
+                    match ctx.recv_match(|m| matches!(m, Msg::ShardParams { .. })) {
+                        Msg::ShardParams { shard, data, bytes, .. } => {
+                            handle_params(&mut core, shard, data, bytes);
+                            got += 1;
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                let blocked = ctx.now() - t_global;
+                metrics.record(core.w, Phase::Comm, reply_wire.min(blocked));
+                metrics.record(
+                    core.w,
+                    Phase::GlobalAgg,
+                    blocked.saturating_sub(reply_wire),
+                );
+                // Broadcast fresh full parameters to followers.
+                let full = core
+                    .real
+                    .as_ref()
+                    .map(|r| r.net.get_params());
+                let full_bytes: u64 = core.shard_bytes.iter().sum();
+                for f in followers.clone() {
+                    let delay = core.net.transfer_delay_class(
+                        ctx.now(),
+                        core.node,
+                        f.node,
+                        full_bytes,
+                        TrafficClass::LocalAgg,
+                    );
+                    ctx.send(
+                        f.pid,
+                        delay,
+                        Msg::LocalParams { data: full.clone(), bytes: full_bytes },
+                    );
+                }
+            }
+        }
+        finish_iteration(&mut core, &ctx);
+    }
+    // Tell the PS shards we're done (Solo and Leader are the PS's senders).
+    if !matches!(role, BspRole::Follower { .. }) {
+        for a in &ps {
+            ctx.send(a.pid, SimTime::from_nanos(1), Msg::Stop { sender: core.w });
+        }
+    }
+}
+
+/// ASP worker (paper §III-B): push, get fresh params back, never wait for
+/// other workers.
+pub fn asp_worker(mut core: WorkerCore, ps: Vec<Addr>, ctx: Ctx<Msg>) {
+    let shards = ps.len();
+    for iter in 0..core.total_iters {
+        let grads = core.real_grad_slices();
+        let lr = core.current_lr();
+        core.run_compute_phase(&ctx, |core, ctx, s| {
+            let bytes = core.grad_bytes(s);
+            let data = grads.as_ref().map(|g| g[s].clone());
+            core.send_counted(
+                ctx,
+                ps[s].pid,
+                ps[s].node,
+                bytes,
+                TrafficClass::WorkerPs,
+                Msg::GradPush {
+                    sender: core.w,
+                    shard: s,
+                    iter,
+                    lr,
+                    weight: 1.0,
+                    data,
+                    bytes,
+                },
+            );
+        });
+        collect_and_apply_shard_params(&mut core, &ctx, shards, Phase::GlobalAgg);
+        if let Some(real) = core.real.as_mut() {
+            real.opt.reset(); // momentum lives at the PS
+        }
+        finish_iteration(&mut core, &ctx);
+    }
+    for a in &ps {
+        ctx.send(a.pid, SimTime::from_nanos(1), Msg::Stop { sender: core.w });
+    }
+}
+
+/// SSP worker (paper §III-C): asynchronous pushes with a staleness bound of
+/// `s`. A worker trains against its local cache; whenever its clock outruns
+/// the cache timestamp by more than `s`, it must refresh from the PS — and
+/// the refresh is *gated* until the slowest worker's clock reaches
+/// `clock − s`, which is exactly the SSPTable read rule of Ho et al. With
+/// `s = 0` this degenerates to BSP-like lockstep; with `s = ∞` to isolated
+/// local training (ensembling), as the paper notes.
+pub fn ssp_worker(mut core: WorkerCore, ps: Vec<Addr>, staleness: u64, ctx: Ctx<Msg>) {
+    let shards = ps.len();
+    // Timestamp (min worker clock) the min worker clock the cache reflects.
+    let mut cache_ts: u64 = 0;
+    for iter in 0..core.total_iters {
+        // SSPTable semantics (Ho et al.): the worker runs its own optimizer
+        // on its cache and pushes the applied *delta*; the server is a
+        // purely additive table. (Pushing raw gradients through a second
+        // server-side optimizer double-filters them and destabilizes at
+        // high worker counts.)
+        let delta = core.real.as_mut().map(|real| {
+            let g = real.compute_grad();
+            let glr = real.grad_lr(core.num_workers);
+            let before = real.net.get_params();
+            let mut p = before.clone();
+            real.opt.step(&mut p, &g, glr);
+            real.net.set_params(&p);
+            p.axpy(-1.0, &before); // p ← applied delta
+            p
+        });
+        let slices = slice_current_grad(&mut core, delta.as_ref());
+        let lr = core.current_lr();
+        core.run_compute_phase(&ctx, |core, ctx, s| {
+            let bytes = core.grad_bytes(s);
+            let data = slices.as_ref().map(|g| g[s].clone());
+            core.send_counted(
+                ctx,
+                ps[s].pid,
+                ps[s].node,
+                bytes,
+                TrafficClass::WorkerPs,
+                Msg::GradPush {
+                    sender: core.w,
+                    shard: s,
+                    iter,
+                    lr,
+                    weight: 1.0,
+                    data,
+                    bytes,
+                },
+            );
+        });
+        // Send-buffer backpressure: SSP's pushes get no reply, so unlike the
+        // other centralized algorithms nothing naturally throttles the
+        // worker. A real sender blocks once its (finite) send buffers fill;
+        // we model that as draining this machine's TX NIC before the next
+        // iteration. This is what makes SSP share ASP's PS-bottleneck
+        // behaviour on the 10 Gbps network (paper §VI-C).
+        {
+            let t0 = ctx.now();
+            let tx_free = core.net.tx_free_at(core.node);
+            if tx_free > t0 {
+                ctx.advance(tx_free - t0);
+                let own_wire: SimTime = (0..shards)
+                    .map(|s| core.wire_time(ps[s].node, core.grad_bytes(s)))
+                    .sum();
+                let stall = ctx.now() - t0;
+                core.metrics.record(
+                    core.w,
+                    Phase::GlobalAgg,
+                    stall.saturating_sub(own_wire),
+                );
+            }
+        }
+        let my_clock = iter + 1;
+        if my_clock > cache_ts + staleness {
+            // Cache too stale to proceed: refresh (gated on shard 0).
+            let need = my_clock - staleness;
+            let delay = core.net.transfer_delay_class(
+                ctx.now(),
+                core.node,
+                ps[0].node,
+                64,
+                TrafficClass::WorkerPs,
+            );
+            ctx.send(
+                ps[0].pid,
+                delay,
+                Msg::GatedPull { sender: core.w, min_needed: need },
+            );
+            // other shards reply immediately
+            for (s, a) in ps.iter().enumerate().skip(1) {
+                let d = core.net.transfer_delay_class(
+                    ctx.now(),
+                    core.node,
+                    a.node,
+                    64,
+                    TrafficClass::WorkerPs,
+                );
+                ctx.send(a.pid, d, Msg::PullReq { sender: core.w, shard: s });
+            }
+            let seen_clock =
+                collect_and_apply_shard_params(&mut core, &ctx, shards, Phase::GlobalAgg);
+            // The refresh replaces the cache wholesale, so the local
+            // velocity — accumulated along the abandoned trajectory — is
+            // discarded with it. (Keeping it degrades large-staleness
+            // configurations badly: stale momentum keeps pushing from a
+            // point the worker no longer occupies.)
+            if let Some(real) = core.real.as_mut() {
+                real.opt.reset();
+            }
+            // The gated reply carries the PS's current min clock, which is
+            // at least `need`; the cache is fresh as of that timestamp.
+            cache_ts = seen_clock.max(need);
+        }
+        finish_iteration(&mut core, &ctx);
+    }
+    for a in &ps {
+        ctx.send(a.pid, SimTime::from_nanos(1), Msg::Stop { sender: core.w });
+    }
+}
+
+/// EASGD worker (paper §III-D): pure local SGD, elastic exchange with the
+/// PS every `tau` iterations.
+pub fn easgd_worker(mut core: WorkerCore, ps: Vec<Addr>, tau: u64, ctx: Ctx<Msg>) {
+    let shards = ps.len();
+    for iter in 0..core.total_iters {
+        // local compute + local SGD step
+        let t = core
+            .gpu
+            .iteration_time(&core.iteration_compute.profile, core.batch);
+        core.metrics.record(core.w, Phase::Compute, t);
+        ctx.advance(t);
+        if let Some(real) = core.real.as_mut() {
+            let g = real.compute_grad();
+            let glr = real.grad_lr(core.num_workers);
+            let mut p = real.net.get_params();
+            real.opt.step(&mut p, &g, glr);
+            real.net.set_params(&p);
+        }
+        if (iter + 1) % tau == 0 {
+            let lr = core.current_lr();
+            // push local params to every shard
+            let slices: Option<Vec<ParamSet>> = core.real.as_ref().map(|r| {
+                let p = r.net.get_params();
+                r.shard_indices
+                    .iter()
+                    .map(|idx| crate::exec::slice_set(&p, idx))
+                    .collect()
+            });
+            for (s, a) in ps.iter().enumerate() {
+                let bytes = core.dense_bytes(s);
+                let data = slices.as_ref().map(|v| v[s].clone());
+                core.send_counted(
+                    &ctx,
+                    a.pid,
+                    a.node,
+                    bytes,
+                    TrafficClass::WorkerPs,
+                    Msg::ParamPush { sender: core.w, shard: s, lr, data, bytes },
+                );
+            }
+            collect_and_apply_shard_params(&mut core, &ctx, shards, Phase::GlobalAgg);
+        }
+        finish_iteration(&mut core, &ctx);
+    }
+    for a in &ps {
+        ctx.send(a.pid, SimTime::from_nanos(1), Msg::Stop { sender: core.w });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared worker plumbing
+// ---------------------------------------------------------------------------
+
+/// Block until `shards` ShardParams messages arrive; write each into the
+/// local replica; attribute blocked time to `phase` (minus analytic reply
+/// wire time, which goes to Comm).
+pub fn collect_and_apply_shard_params(
+    core: &mut WorkerCore,
+    ctx: &Ctx<Msg>,
+    shards: usize,
+    phase: Phase,
+) -> u64 {
+    let t0 = ctx.now();
+    let mut reply_wire = SimTime::ZERO;
+    let mut max_clock = 0u64;
+    for _ in 0..shards {
+        match ctx.recv_match(|m| matches!(m, Msg::ShardParams { .. })) {
+            Msg::ShardParams { shard, clock, data, bytes } => {
+                if let (Some(real), Some(p)) = (core.real.as_mut(), data) {
+                    real.set_shard_params(shard, &p);
+                }
+                max_clock = max_clock.max(clock);
+                // reply came from the shard's node; wire time is analytic
+                reply_wire += core.wire_time_for_reply(bytes);
+            }
+            _ => unreachable!(),
+        }
+    }
+    let blocked = ctx.now() - t0;
+    let wire = reply_wire.min(blocked);
+    core.metrics.record(core.w, Phase::Comm, wire);
+    core.metrics.record(core.w, phase, blocked.saturating_sub(wire));
+    max_clock
+}
+
+/// Slice an already-computed dense gradient per shard (SSP needs both the
+/// full gradient for the local step and the slices for pushing; DGC
+/// compression happens here when enabled).
+fn slice_current_grad(
+    core: &mut WorkerCore,
+    full: Option<&ParamSet>,
+) -> Option<Vec<GradData>> {
+    let real = core.real.as_mut()?;
+    let grad = full?;
+    if let Some(dgc) = real.dgc.as_mut() {
+        let upd = dgc.compress(grad, real.epoch as usize);
+        Some(
+            real.shard_indices
+                .iter()
+                .map(|idx| GradData::Sparse(crate::exec::slice_sparse(&upd, idx)))
+                .collect(),
+        )
+    } else {
+        Some(
+            real.shard_indices
+                .iter()
+                .map(|idx| GradData::Dense(crate::exec::slice_set(grad, idx)))
+                .collect(),
+        )
+    }
+}
+
+/// Per-iteration epilogue: advance the data cursor, snapshot on epoch
+/// boundaries, count the iteration.
+pub fn finish_iteration(core: &mut WorkerCore, ctx: &Ctx<Msg>) {
+    let epoch_done = core
+        .real
+        .as_mut()
+        .map(|real| real.advance_cursor().then_some(real.epoch));
+    if let Some(Some(epoch)) = epoch_done {
+        core.maybe_snapshot(ctx, epoch);
+    }
+    core.metrics.finish_iteration(core.w, ctx.now());
+}

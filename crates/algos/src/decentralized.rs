@@ -1,0 +1,434 @@
+//! The three decentralized algorithms (paper §IV): AR-SGD (ring AllReduce),
+//! GoSGD (asymmetric gossip), AD-PSGD (symmetric bipartite exchange).
+//!
+//! No parameter server exists; aggregation happens peer-to-peer. AR-SGD's
+//! ring is executed hop by hop over the network model (reduce-scatter +
+//! all-gather, 2(N−1) steps), so its bandwidth behaviour — every link
+//! carrying ~2·M/N bytes per iteration regardless of N — emerges rather
+//! than being assumed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dtrain_cluster::{Phase, TrafficClass};
+use dtrain_desim::{Ctx, SimTime};
+use dtrain_nn::ParamSet;
+use parking_lot::Mutex;
+use rand::Rng;
+
+use crate::centralized::{finish_iteration, Addr};
+use crate::exec::{Msg, WorkerCore};
+
+// ---------------------------------------------------------------------------
+// AR-SGD
+// ---------------------------------------------------------------------------
+
+/// Synchronization board for AR-SGD's real math: since the ring is a
+/// barrier, the mean gradient can be computed exactly once everyone has
+/// deposited. The ring messages carry only timing.
+#[derive(Clone, Default)]
+pub struct AllReduceBoard {
+    inner: Arc<Mutex<HashMap<u64, RoundSlot>>>,
+}
+
+#[derive(Default)]
+struct RoundSlot {
+    grads: Vec<ParamSet>,
+    readers: usize,
+}
+
+impl AllReduceBoard {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit worker `_w`'s gradient for `iter`.
+    pub fn deposit(&self, iter: u64, grad: ParamSet) {
+        self.inner.lock().entry(iter).or_default().grads.push(grad);
+    }
+
+    /// Mean of all `n` deposited gradients for `iter`. Panics if called
+    /// before the barrier completed (a bug in the ring protocol).
+    pub fn mean(&self, iter: u64, n: usize) -> ParamSet {
+        let mut map = self.inner.lock();
+        let slot = map.get_mut(&iter).expect("allreduce read before deposit");
+        assert_eq!(
+            slot.grads.len(),
+            n,
+            "allreduce barrier violated: {} of {} gradients at iter {iter}",
+            slot.grads.len(),
+            n
+        );
+        let refs: Vec<&ParamSet> = slot.grads.iter().collect();
+        let mean = ParamSet::mean_of(&refs);
+        slot.readers += 1;
+        if slot.readers == n {
+            map.remove(&iter); // last reader cleans up
+        }
+        mean
+    }
+}
+
+/// AR-SGD worker (paper §IV-A). `buckets` > 1 pipelines the ring against
+/// backward computation (wait-free BP); the ring itself is
+/// reduce-scatter + all-gather over `ring` neighbors.
+#[allow(clippy::too_many_arguments)]
+pub fn arsgd_worker(
+    mut core: WorkerCore,
+    ring: Vec<Addr>,
+    board: Option<AllReduceBoard>,
+    buckets: usize,
+    ctx: Ctx<Msg>,
+) {
+    let n = ring.len();
+    let me = core.w;
+    let right = ring[(me + 1) % n];
+    let steps = 2 * (n.saturating_sub(1)) as u32;
+    // Bucket the model bytes: contiguous layer ranges via a round-robin
+    // plan over buckets (reuses the shard planner's arithmetic through
+    // WorkerCore's profile plan when buckets == plan arity; otherwise the
+    // total bytes split evenly — ring chunks are byte-level anyway).
+    let total_bytes: u64 = core.shard_bytes.iter().sum();
+    let dense_bucket = total_bytes / buckets as u64;
+    let bucket_total = match core.dgc_sparsity {
+        Some(s) => dtrain_compress::compressed_wire_bytes(dense_bucket, s),
+        None => dense_bucket,
+    };
+
+    for iter in 0..core.total_iters {
+        // Real math: deposit own gradient before any communication.
+        let full_grad = core.real.as_mut().map(|r| r.compute_grad());
+        if let (Some(b), Some(g)) = (&board, &full_grad) {
+            b.deposit(iter, g.clone());
+        }
+        let lr_full = core.current_lr() * core.num_workers as f32;
+
+        // Compute phase; bucket b's ring may start once its backward slice
+        // is done. We reuse run_compute_phase's emission points by mapping
+        // its shard count (1 for AR-SGD) onto bucket starts: without
+        // wait-free BP, the whole backward runs first, then all rings.
+        if core.wait_free && buckets > 1 {
+            // forward + per-bucket backward slices, ring after each slice
+            let fwd = core
+                .gpu
+                .forward_time(&core.iteration_compute.profile, core.batch);
+            let bwd_total: SimTime = core
+                .gpu
+                .backward_layer_times(&core.iteration_compute.profile, core.batch)
+                .iter()
+                .copied()
+                .sum();
+            core.metrics.record(core.w, Phase::Compute, fwd + bwd_total);
+            ctx.advance(fwd);
+            let slice = bwd_total / buckets as u64;
+            for b in 0..buckets {
+                ctx.advance(slice);
+                run_ring_bucket(&mut core, &ctx, right, n, steps, b as u32, bucket_total);
+            }
+        } else {
+            let t = core
+                .gpu
+                .iteration_time(&core.iteration_compute.profile, core.batch);
+            core.metrics.record(core.w, Phase::Compute, t);
+            ctx.advance(t);
+            for b in 0..buckets {
+                run_ring_bucket(&mut core, &ctx, right, n, steps, b as u32, bucket_total);
+            }
+        }
+
+        // Barrier complete: everyone holds the aggregated gradient.
+        if let (Some(b), Some(real)) = (&board, core.real.as_mut()) {
+            let mean = b.mean(iter, n);
+            let mut p = real.net.get_params();
+            real.opt.step(&mut p, &mean, lr_full);
+            real.net.set_params(&p);
+        }
+        finish_iteration(&mut core, &ctx);
+    }
+}
+
+/// Execute the 2(N−1) hops of one ring bucket. Each hop: send the chunk to
+/// the right neighbor, block for the matching chunk from the left.
+fn run_ring_bucket(
+    core: &mut WorkerCore,
+    ctx: &Ctx<Msg>,
+    right: Addr,
+    n: usize,
+    steps: u32,
+    bucket: u32,
+    bucket_total: u64,
+) {
+    if n == 1 {
+        return;
+    }
+    let chunk = (bucket_total / n as u64).max(1);
+    let t0 = ctx.now();
+    let mut own_wire = SimTime::ZERO;
+    for step in 0..steps {
+        core.metrics
+            .record(core.w, Phase::Comm, core.wire_time(right.node, chunk));
+        own_wire += core.wire_time(right.node, chunk);
+        let delay = core.net.transfer_delay_class(
+            ctx.now(),
+            core.node,
+            right.node,
+            chunk,
+            TrafficClass::Peer,
+        );
+        ctx.send(right.pid, delay, Msg::RingChunk { step, bucket, bytes: chunk });
+        // wait for the matching hop from the left neighbor
+        let _ = ctx.recv_match(
+            |m| matches!(m, Msg::RingChunk { step: s, bucket: b, .. } if *s == step && *b == bucket),
+        );
+    }
+    let blocked = (ctx.now() - t0).saturating_sub(own_wire);
+    core.metrics.record(core.w, Phase::GlobalAgg, blocked);
+}
+
+// ---------------------------------------------------------------------------
+// GoSGD
+// ---------------------------------------------------------------------------
+
+/// GoSGD worker (paper §IV-B, Blot et al.): with probability `p` per
+/// iteration, halve the local mixing weight α and send `(x, α)` to a random
+/// peer — fire-and-forget. Incoming shares merge by weighted average.
+pub fn gosgd_worker(mut core: WorkerCore, peers: Vec<Addr>, p: f64, ctx: Ctx<Msg>) {
+    let n = peers.len();
+    let mut alpha: f32 = 1.0 / n as f32;
+    let full_bytes: u64 = core.shard_bytes.iter().sum();
+    for _iter in 0..core.total_iters {
+        // compute + local SGD step
+        let t = core
+            .gpu
+            .iteration_time(&core.iteration_compute.profile, core.batch);
+        core.metrics.record(core.w, Phase::Compute, t);
+        ctx.advance(t);
+        if let Some(real) = core.real.as_mut() {
+            let g = real.compute_grad();
+            let glr = real.grad_lr(core.num_workers);
+            let mut px = real.net.get_params();
+            real.opt.step(&mut px, &g, glr);
+            real.net.set_params(&px);
+        }
+        // merge everything that arrived (asymmetric: never block)
+        while let Some(m) = ctx.try_recv() {
+            if let Msg::Gossip { alpha: ar, data, .. } = m {
+                let anew = alpha + ar;
+                if let (Some(real), Some(xr)) = (core.real.as_mut(), data) {
+                    let mut x = real.net.get_params();
+                    // x ← (α·x + α_r·x_r) / (α + α_r)
+                    x.lerp(&xr, ar / anew);
+                    real.net.set_params(&x);
+                }
+                alpha = anew;
+            }
+        }
+        // gossip with probability p (needs a peer to talk to)
+        if n >= 2 && core.rng.gen::<f64>() < p {
+            let target = loop {
+                let t = core.rng.gen_range(0..n);
+                if t != core.w {
+                    break t;
+                }
+            };
+            alpha *= 0.5;
+            let data = core.real.as_ref().map(|r| r.net.get_params());
+            let dst = peers[target];
+            core.send_counted(
+                &ctx,
+                dst.pid,
+                dst.node,
+                full_bytes,
+                TrafficClass::Peer,
+                Msg::Gossip { sender: core.w, alpha, data, bytes: full_bytes },
+            );
+        }
+        finish_iteration(&mut core, &ctx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AD-PSGD
+// ---------------------------------------------------------------------------
+
+/// Bipartite role split (paper §IV-C): even ranks are active (they initiate
+/// exchanges), odd ranks are passive (they answer). Active workers only
+/// ever wait on passive ones, so the wait graph is acyclic — no deadlock.
+pub fn adpsgd_is_active(w: usize) -> bool {
+    w.is_multiple_of(2)
+}
+
+/// AD-PSGD active worker: kick off a symmetric exchange, overlap it with
+/// this iteration's computation, merge on completion.
+pub fn adpsgd_active_worker(
+    mut core: WorkerCore,
+    peers: Vec<Addr>,
+    passives: Vec<usize>,
+    overlap: bool,
+    ctx: Ctx<Msg>,
+) {
+    let full_bytes: u64 = core.shard_bytes.iter().sum();
+    for _iter in 0..core.total_iters {
+        // 1. pick the passive peer; with overlap (the paper's design) the
+        //    exchange goes on the wire *before* computing, hiding its
+        //    latency behind the gradient computation.
+        let target = passives[core.rng.gen_range(0..passives.len())];
+        let dst = peers[target];
+        let initiate = |core: &mut WorkerCore, ctx: &Ctx<Msg>| {
+            let data = core.real.as_ref().map(|r| r.net.get_params());
+            core.send_counted(
+                ctx,
+                dst.pid,
+                dst.node,
+                full_bytes,
+                TrafficClass::Peer,
+                Msg::ExchangeReq { sender: core.w, data, bytes: full_bytes },
+            );
+        };
+        if overlap {
+            initiate(&mut core, &ctx);
+        }
+        // 2. compute this iteration's gradient (wire busy in parallel)
+        let t = core
+            .gpu
+            .iteration_time(&core.iteration_compute.profile, core.batch);
+        core.metrics.record(core.w, Phase::Compute, t);
+        ctx.advance(t);
+        let grad = core.real.as_mut().map(|r| r.compute_grad());
+        if !overlap {
+            initiate(&mut core, &ctx);
+        }
+        // 3. wait (often zero) for the atomic-averaging midpoint: the
+        //    passive peer computed mid = (x_active + x_passive)/2, adopted
+        //    it, and sent it back, so both replicas hold the same value —
+        //    Lian et al.'s atomic averaging step.
+        let t0 = ctx.now();
+        let rep = ctx.recv_match(|m| matches!(m, Msg::ExchangeRep { .. }));
+        core.metrics
+            .record(core.w, Phase::GlobalAgg, ctx.now() - t0);
+        if let (Some(real), Msg::ExchangeRep { data: Some(mid), .. }) =
+            (core.real.as_mut(), rep)
+        {
+            real.net.set_params(&mid);
+        }
+        // 4. gradient step on top of the averaged point:
+        //    x_{k+1} = mid − γ·g(x_k)
+        if let (Some(real), Some(g)) = (core.real.as_mut(), &grad) {
+            let glr = real.grad_lr(core.num_workers);
+            let mut px = real.net.get_params();
+            real.opt.step(&mut px, g, glr);
+            real.net.set_params(&px);
+        }
+        finish_iteration(&mut core, &ctx);
+    }
+    // release passive workers
+    for &pidx in &passives {
+        let dst = peers[pidx];
+        ctx.send(dst.pid, SimTime::from_nanos(1), Msg::Stop { sender: core.w });
+    }
+}
+
+/// AD-PSGD passive worker: trains locally, answering exchange requests at
+/// iteration boundaries (the model of the paper's background communication
+/// thread), and keeps answering after finishing until every active stopped.
+pub fn adpsgd_passive_worker(
+    mut core: WorkerCore,
+    peers: Vec<Addr>,
+    num_actives: usize,
+    ctx: Ctx<Msg>,
+) {
+    let full_bytes: u64 = core.shard_bytes.iter().sum();
+    let mut stops = 0usize;
+    let answer = |core: &mut WorkerCore, ctx: &Ctx<Msg>, m: Msg, stops: &mut usize| {
+        match m {
+            Msg::ExchangeReq { sender, data, .. } => {
+                // Atomic averaging: compute the midpoint, adopt it, and send
+                // the SAME midpoint back, so neither side's updates are lost.
+                let mid = match (core.real.as_mut(), data) {
+                    (Some(real), Some(xa)) => {
+                        let mut x = real.net.get_params();
+                        x.lerp(&xa, 0.5);
+                        real.net.set_params(&x);
+                        Some(x)
+                    }
+                    _ => None,
+                };
+                let dst = peers[sender];
+                core.send_counted(
+                    ctx,
+                    dst.pid,
+                    dst.node,
+                    full_bytes,
+                    TrafficClass::Peer,
+                    Msg::ExchangeRep { sender: core.w, data: mid, bytes: full_bytes },
+                );
+            }
+            Msg::Stop { .. } => *stops += 1,
+            other => unreachable!("passive got {other:?}"),
+        }
+    };
+    for _iter in 0..core.total_iters {
+        let t = core
+            .gpu
+            .iteration_time(&core.iteration_compute.profile, core.batch);
+        core.metrics.record(core.w, Phase::Compute, t);
+        ctx.advance(t);
+        let grad = core.real.as_mut().map(|r| r.compute_grad());
+        if let (Some(real), Some(g)) = (core.real.as_mut(), &grad) {
+            let glr = real.grad_lr(core.num_workers);
+            let mut px = real.net.get_params();
+            real.opt.step(&mut px, g, glr);
+            real.net.set_params(&px);
+        }
+        while let Some(m) = ctx.try_recv() {
+            answer(&mut core, &ctx, m, &mut stops);
+        }
+        finish_iteration(&mut core, &ctx);
+    }
+    // Keep answering until all actives are done.
+    while stops < num_actives {
+        let m = ctx.recv();
+        answer(&mut core, &ctx, m, &mut stops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtrain_tensor::Tensor;
+
+    fn ps(v: &[f32]) -> ParamSet {
+        ParamSet(vec![Tensor::from_vec(&[v.len()], v.to_vec())])
+    }
+
+    #[test]
+    fn board_mean_and_cleanup() {
+        let b = AllReduceBoard::new();
+        b.deposit(0, ps(&[1.0, 2.0]));
+        b.deposit(0, ps(&[3.0, 4.0]));
+        let m1 = b.mean(0, 2);
+        assert_eq!(m1.0[0].data(), &[2.0, 3.0]);
+        let m2 = b.mean(0, 2);
+        assert_eq!(m2.0[0].data(), &[2.0, 3.0]);
+        // slot removed after last reader; next iteration starts clean
+        b.deposit(1, ps(&[0.0, 0.0]));
+        b.deposit(1, ps(&[2.0, 2.0]));
+        assert_eq!(b.mean(1, 2).0[0].data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier violated")]
+    fn board_detects_missing_deposit() {
+        let b = AllReduceBoard::new();
+        b.deposit(0, ps(&[1.0]));
+        let _ = b.mean(0, 2);
+    }
+
+    #[test]
+    fn bipartite_split() {
+        let actives: Vec<usize> = (0..6).filter(|&w| adpsgd_is_active(w)).collect();
+        let passives: Vec<usize> = (0..6).filter(|&w| !adpsgd_is_active(w)).collect();
+        assert_eq!(actives, vec![0, 2, 4]);
+        assert_eq!(passives, vec![1, 3, 5]);
+    }
+}

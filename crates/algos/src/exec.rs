@@ -1,0 +1,628 @@
+//! Shared execution machinery: messages, per-worker state, shard slicing,
+//! and the snapshot recorder.
+//!
+//! A run is a set of [`dtrain_desim`] processes — workers plus (for
+//! centralized algorithms) parameter-server shards — exchanging [`Msg`]s.
+//! Every message carries `bytes` (its wire size under the *timing* profile,
+//! e.g. ResNet-50's 98 MB of gradients) and optionally real data (the small
+//! trainable model's tensors) when the run is an accuracy experiment. This
+//! is the hybrid virtual-time design from DESIGN.md §1: the interleavings
+//! are the paper's, the arithmetic is real.
+
+use std::sync::Arc;
+
+use dtrain_cluster::{
+    ClusterConfig, GpuModel, MetricsHub, NetModel, NodeId, Phase, ShardPlan,
+    TrafficClass,
+};
+use dtrain_compress::{compressed_wire_bytes, DgcCompressor, SparseUpdate};
+use dtrain_data::Dataset;
+use dtrain_desim::{Ctx, SimTime};
+use dtrain_models::ModelProfile;
+use dtrain_nn::{LrSchedule, Network, ParamLayout, ParamSet, SgdMomentum};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::config::{RealTraining, RunConfig, StopCondition};
+
+/// Gradient payload: dense, DGC-sparse, or timing-only.
+#[derive(Clone, Debug)]
+pub enum GradData {
+    Dense(ParamSet),
+    Sparse(SparseUpdate),
+}
+
+/// Everything that flows between processes.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Worker (or machine leader) → PS shard: one iteration's gradient
+    /// contribution for the layers of `shard`. `weight` is how many workers'
+    /// gradients are folded in (local aggregation sums several).
+    GradPush {
+        sender: usize,
+        shard: usize,
+        iter: u64,
+        lr: f32,
+        weight: f32,
+        data: Option<GradData>,
+        bytes: u64,
+    },
+    /// Worker → PS shard (EASGD): local parameters for the elastic update.
+    ParamPush {
+        sender: usize,
+        shard: usize,
+        lr: f32,
+        data: Option<ParamSet>,
+        bytes: u64,
+    },
+    /// Worker → PS shard (SSP): explicit request for fresh parameters.
+    PullReq { sender: usize, shard: usize },
+    /// PS shard → worker: shard parameters (or elastic-updated locals).
+    /// `clock` is the PS's view of the slowest worker's clock (SSP uses it
+    /// to refresh its cache timestamp; 0 elsewhere).
+    ShardParams { shard: usize, clock: u64, data: Option<ParamSet>, bytes: u64 },
+    /// Worker → co-located leader (BSP local aggregation): local gradient
+    /// for one PS shard's layers.
+    LocalGrad {
+        sender: usize,
+        iter: u64,
+        shard: usize,
+        data: Option<GradData>,
+        bytes: u64,
+    },
+    /// Leader → co-located worker: fresh parameters after the global round.
+    LocalParams { data: Option<ParamSet>, bytes: u64 },
+    /// Ring neighbor → neighbor (AR-SGD): one reduce-scatter/all-gather hop.
+    RingChunk { step: u32, bucket: u32, bytes: u64 },
+    /// Gossip (GoSGD): asymmetric parameter share with mixing weight.
+    Gossip { sender: usize, alpha: f32, data: Option<ParamSet>, bytes: u64 },
+    /// AD-PSGD active → passive: parameters, expecting the peer's back.
+    ExchangeReq { sender: usize, data: Option<ParamSet>, bytes: u64 },
+    /// AD-PSGD passive → active: the passive side's parameters.
+    ExchangeRep { sender: usize, data: Option<ParamSet>, bytes: u64 },
+    /// Worker → PS shard 0 (SSP): pull gated on the staleness bound — the
+    /// server replies only once the slowest worker's clock reaches
+    /// `min_needed`.
+    GatedPull { sender: usize, min_needed: u64 },
+    /// Sender has finished all its iterations.
+    Stop { sender: usize },
+}
+
+/// One parameter snapshot taken at a worker's epoch boundary.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    pub worker: usize,
+    /// Epoch just completed (1-based: epoch 1 = after first pass).
+    pub epoch: u64,
+    pub time: SimTime,
+    pub params: ParamSet,
+}
+
+/// Shared sink for snapshots, read back after the run for evaluation.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Arc<Mutex<Vec<Snapshot>>>,
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, s: Snapshot) {
+        self.inner.lock().push(s);
+    }
+
+    pub fn snapshots(&self) -> Vec<Snapshot> {
+        self.inner.lock().clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard slicing
+// ---------------------------------------------------------------------------
+
+/// Tensor indices (into the flat `ParamSet`) owned by `shard` under `plan`,
+/// where plan layers are the `layout`'s groups. Deterministic group order.
+pub fn shard_tensor_indices(
+    layout: &ParamLayout,
+    plan: &ShardPlan,
+    shard: usize,
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (g, group) in layout.groups.iter().enumerate() {
+        if plan.layer_to_shard[g] == shard {
+            out.extend_from_slice(&group.tensor_indices);
+        }
+    }
+    out
+}
+
+/// Extract the tensors of `shard` from a full set (gradient or params).
+pub fn slice_set(set: &ParamSet, indices: &[usize]) -> ParamSet {
+    ParamSet(indices.iter().map(|&i| set.0[i].clone()).collect())
+}
+
+/// Write a shard slice back into the full set.
+pub fn unslice_set(full: &mut ParamSet, indices: &[usize], slice: &ParamSet) {
+    assert_eq!(indices.len(), slice.0.len(), "slice arity mismatch");
+    for (&i, t) in indices.iter().zip(&slice.0) {
+        assert_eq!(full.0[i].shape(), t.shape(), "slice shape mismatch");
+        full.0[i].data_mut().copy_from_slice(t.data());
+    }
+}
+
+/// Extract a shard's slices from a sparse update.
+pub fn slice_sparse(upd: &SparseUpdate, indices: &[usize]) -> SparseUpdate {
+    SparseUpdate {
+        tensors: indices.iter().map(|&i| upd.tensors[i].clone()).collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Real-math worker state
+// ---------------------------------------------------------------------------
+
+/// Per-worker training state for accuracy runs.
+pub struct RealWorkerState {
+    pub net: Network,
+    pub opt: SgdMomentum,
+    pub sched: LrSchedule,
+    pub train: Arc<Dataset>,
+    pub shard: dtrain_data::Shard,
+    pub batch: usize,
+    pub batches: Vec<Vec<usize>>,
+    pub batch_in_epoch: usize,
+    pub epoch: u64,
+    /// Shard plan over the *real* model's layer groups (arity = PS shards).
+    pub real_plan: ShardPlan,
+    /// Tensor indices per shard, precomputed.
+    pub shard_indices: Vec<Vec<usize>>,
+    pub dgc: Option<DgcCompressor>,
+    pub shard_seed: u64,
+}
+
+impl RealWorkerState {
+    /// Learning rate for one *single gradient* application: the paper-style
+    /// scaled schedule divided by worker count, so per-epoch parameter
+    /// motion matches BSP's averaged rounds (see DESIGN.md).
+    pub fn grad_lr(&self, num_workers: usize) -> f32 {
+        self.sched.lr_at(self.epoch_f()) / num_workers as f32
+    }
+
+    /// Fractional epoch position (for schedules).
+    pub fn epoch_f(&self) -> f32 {
+        let per = self.batches.len().max(1) as f32;
+        self.epoch as f32 + self.batch_in_epoch as f32 / per
+    }
+
+    /// Run one forward/backward on the next batch; returns the gradient.
+    /// Advances the batch cursor; `just_finished_epoch` reports a boundary.
+    pub fn compute_grad(&mut self) -> ParamSet {
+        let idxs = self.batches[self.batch_in_epoch].clone();
+        let (x, y) = self.train.gather(&idxs);
+        let (loss, _acc) = self.net.train_batch(x, &y);
+        assert!(
+            loss.is_finite(),
+            "training diverged: non-finite loss at epoch {} batch {}              (lower the learning rate or check the aggregation rule)",
+            self.epoch,
+            self.batch_in_epoch
+        );
+        let grads = self.net.grads();
+        assert!(
+            grads.all_finite(),
+            "training diverged: non-finite gradients at epoch {} batch {}",
+            self.epoch,
+            self.batch_in_epoch
+        );
+        grads
+    }
+
+    /// Overwrite this replica's parameters for one shard's tensors.
+    pub fn set_shard_params(&mut self, shard: usize, slice: &ParamSet) {
+        let mut p = self.net.get_params();
+        unslice_set(&mut p, &self.shard_indices[shard], slice);
+        self.net.set_params(&p);
+    }
+
+    /// Move to the next batch; returns `true` when an epoch just completed.
+    pub fn advance_cursor(&mut self) -> bool {
+        self.batch_in_epoch += 1;
+        if self.batch_in_epoch >= self.batches.len() {
+            self.batch_in_epoch = 0;
+            self.epoch += 1;
+            // reshuffle for the new epoch
+            self.batches =
+                self.shard.epoch_batches(self.batch, self.shard_seed, self.epoch);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WorkerCore: everything a worker process needs
+// ---------------------------------------------------------------------------
+
+/// Bundle of models and handles each worker process owns.
+pub struct WorkerCore {
+    pub w: usize,
+    pub node: NodeId,
+    pub cluster: ClusterConfig,
+    pub num_workers: usize,
+    pub gpu: GpuModel,
+    pub net: NetModel,
+    pub metrics: MetricsHub,
+    pub recorder: Recorder,
+    /// Shard plan over the timing profile's layers.
+    pub profile_plan: ShardPlan,
+    /// Per-shard wire bytes (dense).
+    pub shard_bytes: Vec<u64>,
+    /// Per-shard message emission offsets within the compute phase when
+    /// wait-free BP is on (None = emit everything after compute).
+    pub wait_free: bool,
+    pub dgc_sparsity: Option<f64>,
+    pub iteration_compute: IterationCompute,
+    pub total_iters: u64,
+    pub batch: usize,
+    pub rng: SmallRng,
+    pub real: Option<RealWorkerState>,
+    pub virtual_lr: f32,
+}
+
+/// Precomputed compute-phase structure for a worker iteration.
+pub struct IterationCompute {
+    /// Profile for drawing jittered times.
+    pub profile: ModelProfile,
+}
+
+impl WorkerCore {
+    /// Dense wire bytes of `shard`'s gradient/param message.
+    pub fn dense_bytes(&self, shard: usize) -> u64 {
+        self.shard_bytes[shard]
+    }
+
+    /// Analytic wire time of a PS reply, counted at inter-machine rate
+    /// (replies overwhelmingly cross machines; co-located shards make this
+    /// a slight overestimate of the Comm bar, never of the total).
+    pub fn wire_time_for_reply(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(self.cluster.network.serialization_secs(bytes))
+    }
+
+    /// Analytic exclusive-link wire time to `dst` — the "communication" bar
+    /// of Fig. 3 (queueing and server time land in the aggregation bars).
+    pub fn wire_time(&self, dst: NodeId, bytes: u64) -> SimTime {
+        let secs = if dst == self.node {
+            bytes as f64 * 8.0 / (self.cluster.intra_bandwidth_gbps * 1e9)
+        } else {
+            self.cluster.network.serialization_secs(bytes)
+        };
+        SimTime::from_secs_f64(secs)
+    }
+
+    /// Send `msg` of `bytes` to a process at `dst_node`, reserving NIC time
+    /// and attributing the analytic wire time to the Comm phase.
+    pub fn send_counted(
+        &mut self,
+        ctx: &Ctx<Msg>,
+        dst_pid: dtrain_desim::Pid,
+        dst_node: NodeId,
+        bytes: u64,
+        class: TrafficClass,
+        msg: Msg,
+    ) {
+        let delay =
+            self.net
+                .transfer_delay_class(ctx.now(), self.node, dst_node, bytes, class);
+        self.metrics
+            .record(self.w, Phase::Comm, self.wire_time(dst_node, bytes));
+        ctx.send(dst_pid, delay, msg);
+    }
+
+    /// Wire bytes of a gradient push for `shard`, DGC-compressed if enabled.
+    pub fn grad_bytes(&self, shard: usize) -> u64 {
+        match self.dgc_sparsity {
+            Some(s) => compressed_wire_bytes(self.shard_bytes[shard], s),
+            None => self.shard_bytes[shard],
+        }
+    }
+
+    /// The learning rate attached to outgoing gradients.
+    pub fn current_lr(&self) -> f32 {
+        match &self.real {
+            Some(r) => r.grad_lr(self.num_workers),
+            None => self.virtual_lr,
+        }
+    }
+
+    /// Advance through one iteration's compute phase. Returns per-shard
+    /// gradient payloads together with their *relative emission offsets*
+    /// already consumed (the caller should send each shard's message right
+    /// when this function returns it — so this is an iterator-style helper).
+    ///
+    /// Concretely: computes the full compute time, then either
+    /// - wait_free = false: `advance(full)`, return all shards at once;
+    /// - wait_free = true: walk the backward schedule, `advance` in steps,
+    ///   handing back each shard at its readiness point via `emit`.
+    pub fn run_compute_phase(
+        &mut self,
+        ctx: &Ctx<Msg>,
+        mut emit: impl FnMut(&mut Self, &Ctx<Msg>, usize /*shard*/),
+    ) {
+        let num_shards = self.profile_plan.num_shards;
+        if !self.wait_free {
+            let t = self.gpu.iteration_time(&self.iteration_compute.profile, self.batch);
+            self.metrics.record(self.w, Phase::Compute, t);
+            ctx.advance(t);
+            for s in 0..num_shards {
+                emit(self, ctx, s);
+            }
+            return;
+        }
+        // Wait-free BP: forward, then per-layer backward; a shard's message
+        // becomes ready when the *last* of its layers (the one closest to
+        // the input) finishes its backward computation.
+        let fwd = self.gpu.forward_time(&self.iteration_compute.profile, self.batch);
+        let bwd = self
+            .gpu
+            .backward_layer_times(&self.iteration_compute.profile, self.batch);
+        let total: SimTime = fwd + bwd.iter().copied().sum();
+        self.metrics.record(self.w, Phase::Compute, total);
+        ctx.advance(fwd);
+        // Walk backward order (= profile layers reversed), tracking which
+        // shards become complete at each step.
+        let layers = self.iteration_compute.profile.layers.len();
+        let plan = self.profile_plan.clone();
+        // For each shard, the backward step at which it completes = the
+        // position (in backward order) of its lowest-forward-index layer.
+        let mut completes_at = vec![0usize; num_shards];
+        for (fwd_idx, &s) in plan.layer_to_shard.iter().enumerate() {
+            let bwd_pos = layers - 1 - fwd_idx; // position in backward order
+            completes_at[s] = completes_at[s].max(bwd_pos);
+        }
+        for (bwd_pos, dt) in bwd.into_iter().enumerate() {
+            ctx.advance(dt);
+            #[allow(clippy::needless_range_loop)] // s is also the emit arg
+            for s in 0..num_shards {
+                if completes_at[s] == bwd_pos {
+                    emit(self, ctx, s);
+                }
+            }
+        }
+    }
+
+    /// Real-mode: compute the gradient payload for each shard from one
+    /// batch. Returns `None` in cost-only mode.
+    pub fn real_grad_slices(&mut self) -> Option<Vec<GradData>> {
+        let real = self.real.as_mut()?;
+        let grad = real.compute_grad();
+        if let Some(dgc) = real.dgc.as_mut() {
+            let upd = dgc.compress(&grad, real.epoch as usize);
+            let slices = real
+                .shard_indices
+                .iter()
+                .map(|idx| GradData::Sparse(slice_sparse(&upd, idx)))
+                .collect();
+            Some(slices)
+        } else {
+            let slices = real
+                .shard_indices
+                .iter()
+                .map(|idx| GradData::Dense(slice_set(&grad, idx)))
+                .collect();
+            Some(slices)
+        }
+    }
+
+    /// Record a snapshot of the worker's current parameters (real mode).
+    pub fn maybe_snapshot(&self, ctx: &Ctx<Msg>, epoch_completed: u64) {
+        if let Some(real) = &self.real {
+            self.recorder.record(Snapshot {
+                worker: self.w,
+                epoch: epoch_completed,
+                time: ctx.now(),
+                params: real.net.get_params(),
+            });
+        }
+    }
+}
+
+/// Build the per-worker cores for a run (shared by all algorithm front-ends).
+pub fn build_worker_cores(
+    cfg: &RunConfig,
+    metrics: &MetricsHub,
+    recorder: &Recorder,
+    net: &NetModel,
+) -> Vec<WorkerCore> {
+    let profile_bytes: Vec<u64> =
+        cfg.profile.layers.iter().map(|l| l.bytes()).collect();
+    let num_shards = if cfg.algo.is_centralized() { cfg.opts.ps_shards } else { 1 };
+    let profile_plan = if cfg.opts.balanced_sharding {
+        ShardPlan::balanced(&profile_bytes, num_shards)
+    } else {
+        ShardPlan::layer_wise(&profile_bytes, num_shards)
+    };
+    let shard_bytes: Vec<u64> = (0..num_shards)
+        .map(|s| profile_plan.bytes_of_shard(s))
+        .collect();
+
+    // Real-training setup (shared dataset; per-worker shards and replicas).
+    let real_setup = cfg.real.as_ref().map(|r| {
+        let (train, _test) = r.datasets();
+        (Arc::new(train), r.clone())
+    });
+
+    let total_iters = resolve_total_iters(cfg);
+
+    (0..cfg.workers)
+        .map(|w| {
+            let real = real_setup.as_ref().map(|(train, rcfg)| {
+                build_real_state(cfg, rcfg, Arc::clone(train), w, &profile_plan)
+            });
+            WorkerCore {
+                w,
+                node: cfg.cluster.machine_of_worker(w),
+                cluster: cfg.cluster.clone(),
+                num_workers: cfg.workers,
+                gpu: GpuModel::for_worker(&cfg.cluster, w),
+                net: net.clone(),
+                metrics: metrics.clone(),
+                recorder: recorder.clone(),
+                profile_plan: profile_plan.clone(),
+                shard_bytes: shard_bytes.clone(),
+                wait_free: cfg.opts.wait_free_bp,
+                dgc_sparsity: cfg.opts.dgc.as_ref().map(|d| d.final_sparsity),
+                iteration_compute: IterationCompute { profile: cfg.profile.clone() },
+                total_iters,
+                batch: cfg.batch,
+                rng: SmallRng::seed_from_u64(
+                    cfg.seed ^ (w as u64).wrapping_mul(0xD134_2543_DE82_EF95),
+                ),
+                real,
+                virtual_lr: 0.05,
+            }
+        })
+        .collect()
+}
+
+/// Iterations each worker will perform under the stop condition.
+pub fn resolve_total_iters(cfg: &RunConfig) -> u64 {
+    match cfg.stop {
+        StopCondition::Iterations(k) => k,
+        StopCondition::Epochs(e) => {
+            let r = cfg
+                .real
+                .as_ref()
+                .expect("Epochs stop condition requires real training");
+            let shard_len = r.task.train_size() / cfg.workers;
+            assert!(
+                shard_len.is_multiple_of(r.batch),
+                "shard size {shard_len} not divisible by batch {}",
+                r.batch
+            );
+            e * (shard_len / r.batch) as u64
+        }
+    }
+}
+
+fn build_real_state(
+    cfg: &RunConfig,
+    rcfg: &RealTraining,
+    train: Arc<Dataset>,
+    w: usize,
+    _profile_plan: &ShardPlan,
+) -> RealWorkerState {
+    let net = rcfg.task.build_net(rcfg.model_seed);
+    let layout = net.layout();
+    let group_bytes: Vec<u64> = layout.groups.iter().map(|g| g.num_bytes()).collect();
+    let num_shards = if cfg.algo.is_centralized() { cfg.opts.ps_shards } else { 1 };
+    let real_plan = if cfg.opts.balanced_sharding {
+        ShardPlan::balanced(&group_bytes, num_shards)
+    } else {
+        ShardPlan::layer_wise(&group_bytes, num_shards)
+    };
+    let shard_indices: Vec<Vec<usize>> = (0..num_shards)
+        .map(|s| shard_tensor_indices(&layout, &real_plan, s))
+        .collect();
+    let shard = train.shard(w, cfg.workers);
+    let shard_seed = cfg.seed ^ (w as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    let batches = shard.epoch_batches(rcfg.batch, shard_seed, 0);
+    let total_epochs = match cfg.stop {
+        StopCondition::Epochs(e) => e as f32,
+        StopCondition::Iterations(k) => {
+            (k as f32 / batches.len().max(1) as f32).max(1.0)
+        }
+    };
+    RealWorkerState {
+        net,
+        opt: SgdMomentum::new(rcfg.momentum, rcfg.weight_decay),
+        sched: LrSchedule::paper_scaled(cfg.workers, rcfg.base_lr, total_epochs),
+        train,
+        shard,
+        batch: rcfg.batch,
+        batches,
+        batch_in_epoch: 0,
+        epoch: 0,
+        real_plan,
+        shard_indices,
+        dgc: cfg.opts.dgc.as_ref().map(|d| {
+            let mut d = d.clone();
+            if matches!(cfg.algo, crate::config::Algo::Ssp { .. }) {
+                // SSP pushes optimizer *deltas*, which already carry the
+                // worker's momentum; DGC's momentum correction would apply
+                // momentum a second time and destabilize large-staleness
+                // runs. Accumulation/masking/warm-up still apply.
+                d.momentum_correction = false;
+            }
+            DgcCompressor::new(d, cfg.workers)
+        }),
+        shard_seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtrain_nn::LayerGroup;
+    use dtrain_tensor::Tensor;
+
+    fn layout3() -> ParamLayout {
+        ParamLayout {
+            groups: vec![
+                LayerGroup { name: "a".into(), tensor_indices: vec![0, 1], num_params: 6 },
+                LayerGroup { name: "b".into(), tensor_indices: vec![2, 3], num_params: 8 },
+                LayerGroup { name: "c".into(), tensor_indices: vec![4], num_params: 2 },
+            ],
+        }
+    }
+
+    fn set5() -> ParamSet {
+        ParamSet(vec![
+            Tensor::from_vec(&[2], vec![1., 2.]),
+            Tensor::from_vec(&[4], vec![3., 4., 5., 6.]),
+            Tensor::from_vec(&[4], vec![7., 8., 9., 10.]),
+            Tensor::from_vec(&[4], vec![11., 12., 13., 14.]),
+            Tensor::from_vec(&[2], vec![15., 16.]),
+        ])
+    }
+
+    #[test]
+    fn shard_slicing_roundtrip() {
+        let layout = layout3();
+        let plan = ShardPlan::layer_wise(&[24, 32, 8], 2);
+        // groups a,c → shard 0; group b → shard 1
+        let idx0 = shard_tensor_indices(&layout, &plan, 0);
+        let idx1 = shard_tensor_indices(&layout, &plan, 1);
+        assert_eq!(idx0, vec![0, 1, 4]);
+        assert_eq!(idx1, vec![2, 3]);
+        let full = set5();
+        let s0 = slice_set(&full, &idx0);
+        assert_eq!(s0.num_tensors(), 3);
+        assert_eq!(s0.0[2].data(), &[15., 16.]);
+        // write modified slice back
+        let mut modified = s0.clone();
+        modified.scale(2.0);
+        let mut target = full.clone();
+        unslice_set(&mut target, &idx0, &modified);
+        assert_eq!(target.0[0].data(), &[2., 4.]);
+        assert_eq!(target.0[2].data(), full.0[2].data(), "untouched shard");
+        assert_eq!(target.0[4].data(), &[30., 32.]);
+    }
+
+    #[test]
+    fn every_tensor_in_exactly_one_shard() {
+        let layout = layout3();
+        for shards in 1..=4 {
+            let plan = ShardPlan::layer_wise(&[24, 32, 8], shards);
+            let mut seen = vec![0u32; 5];
+            for s in 0..shards {
+                for i in shard_tensor_indices(&layout, &plan, s) {
+                    seen[i] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Run assembly: spawn the right processes for an algorithm, execute the
+//! simulation, and distill the outputs (throughput, breakdowns, accuracy
+//! curves).
+
+use dtrain_cluster::{Breakdown, MetricsHub, NetModel, ShardPlan, TrafficStats};
+use dtrain_compress::compressed_wire_bytes;
+use dtrain_desim::{Pid, SimTime, Simulation, StopReason};
+use dtrain_nn::{ParamSet, SgdMomentum};
+
+use crate::centralized::{
+    asp_worker, bsp_worker, easgd_worker, ps_process, ssp_worker, Addr, BspRole,
+    PsCore, PsMode, PsRealState,
+};
+use crate::config::{Algo, RunConfig};
+use crate::decentralized::{
+    adpsgd_active_worker, adpsgd_is_active, adpsgd_passive_worker, arsgd_worker,
+    gosgd_worker, AllReduceBoard,
+};
+use crate::exec::{
+    build_worker_cores, shard_tensor_indices, slice_set, Msg, Recorder, Snapshot,
+};
+
+/// One evaluated point of the accuracy/time curve (Fig. 1 of the paper).
+#[derive(Clone, Debug)]
+pub struct EpochPoint {
+    pub epoch: u64,
+    /// Virtual time at which the slowest contributing worker finished the
+    /// epoch.
+    pub time: SimTime,
+    pub test_accuracy: f32,
+    pub test_error: f32,
+    /// Max elementwise spread between any worker replica and the replica
+    /// mean — the parameter-variance the paper blames for accuracy loss.
+    pub drift: f32,
+}
+
+/// Everything a run produces.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    pub algo: String,
+    pub workers: usize,
+    pub end_time: SimTime,
+    /// Aggregate images/second of virtual time.
+    pub throughput: f64,
+    pub total_iterations: u64,
+    pub mean_breakdown: Breakdown,
+    pub per_worker_breakdown: Vec<Breakdown>,
+    pub traffic: TrafficStats,
+    /// Accuracy curve (real-math runs only).
+    pub curve: Vec<EpochPoint>,
+    pub final_accuracy: Option<f32>,
+}
+
+impl RunOutput {
+    /// Speedup relative to a single-worker throughput baseline.
+    pub fn speedup_vs(&self, single_worker_throughput: f64) -> f64 {
+        if single_worker_throughput == 0.0 {
+            0.0
+        } else {
+            self.throughput / single_worker_throughput
+        }
+    }
+}
+
+/// How the "trained model" is extracted for evaluation.
+fn eval_uses_worker_average(algo: Algo) -> bool {
+    // Synchronous algorithms keep replicas identical: worker 0 is the model.
+    // Everything else drifts; the conventional artifact is the replica mean.
+    !algo.is_synchronous()
+}
+
+/// Execute one run.
+pub fn run(cfg: &RunConfig) -> RunOutput {
+    cfg.validate().expect("invalid run configuration");
+    let metrics = MetricsHub::new(cfg.workers);
+    let recorder = Recorder::new();
+    let net = NetModel::new(&cfg.cluster);
+    let mut cores = build_worker_cores(cfg, &metrics, &recorder, &net);
+
+    let mut sim: Simulation<Msg> = Simulation::new();
+
+    let num_shards = if cfg.algo.is_centralized() { cfg.opts.ps_shards } else { 0 };
+    // Pids are assigned densely in spawn order (kernel contract): PS shards
+    // first, then workers.
+    let profile_bytes: Vec<u64> = cfg.profile.layers.iter().map(|l| l.bytes()).collect();
+    let profile_plan = if cfg.opts.balanced_sharding {
+        ShardPlan::balanced(&profile_bytes, num_shards.max(1))
+    } else {
+        ShardPlan::layer_wise(&profile_bytes, num_shards.max(1))
+    };
+    let ps_addrs: Vec<Addr> = (0..num_shards)
+        .map(|s| Addr {
+            pid: Pid(s),
+            node: profile_plan.machine_of_shard(s, &cfg.cluster),
+        })
+        .collect();
+    let worker_addrs: Vec<Addr> = (0..cfg.workers)
+        .map(|w| Addr {
+            pid: Pid(num_shards + w),
+            node: cfg.cluster.machine_of_worker(w),
+        })
+        .collect();
+
+    // ---- spawn PS shards (centralized algorithms) ----
+    if cfg.algo.is_centralized() {
+        let global_shards = build_global_shard_params(cfg, num_shards);
+        let leaders = bsp_leaders(cfg);
+        for s in 0..num_shards {
+            let real = global_shards.as_ref().map(|slices| PsRealState {
+                params: slices[s].clone(),
+                // Under DGC the pushed gradients already carry momentum
+                // (Lin et al.'s momentum correction replaces the optimizer's
+                // momentum); the server must not apply it twice.
+                opt: SgdMomentum::new(
+                    if cfg.opts.dgc.is_some() {
+                        0.0
+                    } else {
+                        cfg.real.as_ref().map_or(0.9, |r| r.momentum)
+                    },
+                    cfg.real.as_ref().map_or(1e-4, |r| r.weight_decay),
+                ),
+            });
+            let reply_bytes = match cfg.opts.dgc.as_ref() {
+                Some(d) => {
+                    compressed_wire_bytes(profile_plan.bytes_of_shard(s), d.final_sparsity)
+                }
+                None => profile_plan.bytes_of_shard(s),
+            };
+            let expected_stops = match (cfg.algo, cfg.opts.local_aggregation) {
+                (Algo::Bsp, true) => leaders.len(),
+                _ => cfg.workers,
+            };
+            let ps = PsCore {
+                shard: s,
+                node: ps_addrs[s].node,
+                net: net.clone(),
+                real,
+                reply_bytes,
+                workers: worker_addrs.clone(),
+                expected_stops,
+            };
+            let mode = match cfg.algo {
+                Algo::Bsp => PsMode::Bsp {
+                    num_senders: if cfg.opts.local_aggregation {
+                        leaders.len()
+                    } else {
+                        cfg.workers
+                    },
+                },
+                Algo::Asp => PsMode::Asp,
+                Algo::Ssp { .. } => PsMode::Ssp { num_workers: cfg.workers },
+                Algo::Easgd { alpha, .. } => PsMode::Easgd {
+                    alpha: alpha.unwrap_or(0.9 / cfg.workers as f32),
+                },
+                _ => unreachable!(),
+            };
+            let pid = sim.spawn(format!("ps{s}"), move |ctx| ps_process(ps, mode, ctx));
+            assert_eq!(pid, ps_addrs[s].pid, "pid assignment contract");
+        }
+    }
+
+    // ---- spawn workers ----
+    let board = if matches!(cfg.algo, Algo::ArSgd) && cfg.real.is_some() {
+        Some(AllReduceBoard::new())
+    } else {
+        None
+    };
+    let buckets = if matches!(cfg.algo, Algo::ArSgd) && cfg.opts.wait_free_bp {
+        8usize.min(cfg.profile.layers.len().max(1))
+    } else {
+        1
+    };
+    let leaders = bsp_leaders(cfg);
+    let actives: Vec<usize> = (0..cfg.workers).filter(|&w| adpsgd_is_active(w)).collect();
+    let passives: Vec<usize> =
+        (0..cfg.workers).filter(|&w| !adpsgd_is_active(w)).collect();
+
+    for (w, core) in cores.drain(..).enumerate() {
+        let ps = ps_addrs.clone();
+        let peers = worker_addrs.clone();
+        let algo = cfg.algo;
+        let local_agg = cfg.opts.local_aggregation;
+        let leaders = leaders.clone();
+        let board = board.clone();
+        let passives = passives.clone();
+        let no_overlap = cfg.opts.disable_overlap;
+        let num_actives = actives.len();
+        let name = format!("worker{w}");
+        let pid = sim.spawn(name, move |ctx| match algo {
+            Algo::Bsp => {
+                let role = if !local_agg {
+                    BspRole::Solo
+                } else if let Some(followers) = leaders.get(&w) {
+                    BspRole::Leader {
+                        followers: followers.iter().map(|&f| peers[f]).collect(),
+                    }
+                } else {
+                    // our machine's leader is the lowest co-located worker
+                    let leader_w = *leaders
+                        .iter()
+                        .find(|(_, fs)| fs.contains(&w))
+                        .map(|(l, _)| l)
+                        .expect("every follower has a leader");
+                    BspRole::Follower { leader: peers[leader_w] }
+                };
+                bsp_worker(core, ps, role, ctx)
+            }
+            Algo::Asp => asp_worker(core, ps, ctx),
+            Algo::Ssp { staleness } => ssp_worker(core, ps, staleness, ctx),
+            Algo::Easgd { tau, .. } => easgd_worker(core, ps, tau, ctx),
+            Algo::ArSgd => arsgd_worker(core, peers, board, buckets, ctx),
+            Algo::GoSgd { p } => gosgd_worker(core, peers, p, ctx),
+            Algo::AdPsgd => {
+                if adpsgd_is_active(w) {
+                    adpsgd_active_worker(core, peers, passives, !no_overlap, ctx)
+                } else {
+                    adpsgd_passive_worker(core, peers, num_actives, ctx)
+                }
+            }
+        });
+        assert_eq!(pid, worker_addrs[w].pid, "pid assignment contract");
+    }
+
+    let stats = sim.run();
+    assert_eq!(
+        stats.reason,
+        StopReason::Completed,
+        "simulation did not complete cleanly: blocked={:?}",
+        stats.blocked
+    );
+
+    // ---- distill outputs ----
+    let snapshots = recorder.snapshots();
+    let curve = if cfg.real.is_some() {
+        evaluate_curve(cfg, &snapshots)
+    } else {
+        Vec::new()
+    };
+    let final_accuracy = curve.last().map(|p| p.test_accuracy);
+    RunOutput {
+        algo: cfg.algo.name().to_string(),
+        workers: cfg.workers,
+        end_time: stats.end_time,
+        throughput: metrics.throughput(cfg.batch),
+        total_iterations: metrics.total_iterations(),
+        mean_breakdown: metrics.mean_breakdown(),
+        per_worker_breakdown: metrics.breakdowns(),
+        traffic: net.stats(),
+        curve,
+        final_accuracy,
+    }
+}
+
+/// leader worker → its followers, for BSP local aggregation.
+fn bsp_leaders(cfg: &RunConfig) -> std::collections::BTreeMap<usize, Vec<usize>> {
+    let mut map = std::collections::BTreeMap::new();
+    if !(matches!(cfg.algo, Algo::Bsp) && cfg.opts.local_aggregation) {
+        return map;
+    }
+    for w in 0..cfg.workers {
+        let peers = cfg.cluster.machine_peers(w);
+        let leader = peers.start; // lowest co-located worker id
+        if w == leader {
+            map.insert(w, Vec::new());
+        } else if leader < cfg.workers {
+            map.entry(leader).or_insert_with(Vec::new).push(w);
+        }
+    }
+    map
+}
+
+/// Initial global parameters, sliced per PS shard (real mode only).
+fn build_global_shard_params(cfg: &RunConfig, num_shards: usize) -> Option<Vec<ParamSet>> {
+    let rcfg = cfg.real.as_ref()?;
+    let net = rcfg.task.build_net(rcfg.model_seed);
+    let layout = net.layout();
+    let group_bytes: Vec<u64> = layout.groups.iter().map(|g| g.num_bytes()).collect();
+    let plan = if cfg.opts.balanced_sharding {
+        ShardPlan::balanced(&group_bytes, num_shards)
+    } else {
+        ShardPlan::layer_wise(&group_bytes, num_shards)
+    };
+    let params = net.get_params();
+    Some(
+        (0..num_shards)
+            .map(|s| slice_set(&params, &shard_tensor_indices(&layout, &plan, s)))
+            .collect(),
+    )
+}
+
+/// Evaluate the recorded snapshots into an accuracy curve.
+fn evaluate_curve(cfg: &RunConfig, snapshots: &[Snapshot]) -> Vec<EpochPoint> {
+    let rcfg = cfg.real.as_ref().expect("real mode");
+    let (_train, test) = rcfg.datasets();
+    let (x, y) = test.as_batch();
+    let mut eval_net = rcfg.task.build_net(rcfg.model_seed);
+    let use_average = eval_uses_worker_average(cfg.algo);
+    let max_epoch = snapshots.iter().map(|s| s.epoch).max().unwrap_or(0);
+    let mut out = Vec::new();
+    for e in 1..=max_epoch {
+        let of_epoch: Vec<&Snapshot> =
+            snapshots.iter().filter(|s| s.epoch == e).collect();
+        if of_epoch.is_empty() {
+            continue;
+        }
+        let time = of_epoch.iter().map(|s| s.time).max().expect("nonempty");
+        let params: Vec<&ParamSet> = of_epoch.iter().map(|s| &s.params).collect();
+        let mean = ParamSet::mean_of(&params);
+        let drift = params
+            .iter()
+            .fold(0.0f32, |m, p| m.max(p.max_abs_diff(&mean)));
+        let chosen = if use_average {
+            mean
+        } else {
+            of_epoch
+                .iter()
+                .find(|s| s.worker == 0)
+                .map(|s| s.params.clone())
+                .unwrap_or(mean)
+        };
+        eval_net.set_params(&chosen);
+        let (_loss, acc) = eval_net.eval_batch(x.clone(), &y);
+        out.push(EpochPoint {
+            epoch: e,
+            time,
+            test_accuracy: acc,
+            test_error: 1.0 - acc,
+            drift,
+        });
+    }
+    out
+}

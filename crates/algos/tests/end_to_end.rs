@@ -1,0 +1,264 @@
+//! End-to-end runs of all seven algorithms: learning on the synthetic task
+//! (real math) and timing sanity (cost-only).
+
+use dtrain_algos::{run, Algo, OptimizationConfig, RealTraining, RunConfig, StopCondition, SyntheticTask};
+use dtrain_cluster::{ClusterConfig, NetworkConfig};
+use dtrain_data::{ImageTaskConfig, TeacherTaskConfig};
+use dtrain_models::resnet50;
+
+fn real_cfg(algo: Algo, workers: usize, epochs: u64) -> RunConfig {
+    let opts = OptimizationConfig {
+        ps_shards: if algo.is_centralized() { 2 } else { 1 },
+        ..Default::default()
+    };
+    RunConfig {
+        algo,
+        cluster: ClusterConfig::paper_with_workers(NetworkConfig::FIFTY_SIX_GBPS, workers),
+        workers,
+        profile: resnet50(),
+        batch: 128,
+        opts,
+        stop: StopCondition::Epochs(epochs),
+        real: Some(RealTraining {
+            task: SyntheticTask::Teacher(TeacherTaskConfig {
+                train_size: 1920,
+                test_size: 512,
+                ..Default::default()
+            }),
+            ..Default::default()
+        }),
+        seed: 1,
+    }
+}
+
+fn virtual_cfg(algo: Algo, workers: usize, iters: u64) -> RunConfig {
+    let opts = OptimizationConfig {
+        ps_shards: if algo.is_centralized() { 4 } else { 1 },
+        ..Default::default()
+    };
+    RunConfig {
+        algo,
+        cluster: ClusterConfig::paper_with_workers(NetworkConfig::FIFTY_SIX_GBPS, workers),
+        workers,
+        profile: resnet50(),
+        batch: 128,
+        opts,
+        stop: StopCondition::Iterations(iters),
+        real: None,
+        seed: 2,
+    }
+}
+
+#[test]
+fn bsp_learns_and_replicas_stay_identical() {
+    let out = run(&real_cfg(Algo::Bsp, 4, 12));
+    let acc = out.final_accuracy.expect("accuracy curve");
+    assert!(acc > 0.50, "BSP final accuracy {acc}");
+    // synchronous: replicas identical at every epoch
+    for p in &out.curve {
+        assert!(p.drift < 1e-5, "epoch {}: drift {}", p.epoch, p.drift);
+    }
+    assert_eq!(out.total_iterations, 4 * 12 * (1920 / 4 / 32) as u64);
+}
+
+#[test]
+fn arsgd_matches_bsp_semantics() {
+    let bsp = run(&real_cfg(Algo::Bsp, 4, 8));
+    let ar = run(&real_cfg(Algo::ArSgd, 4, 8));
+    let (a, b) = (
+        bsp.final_accuracy.expect("bsp acc"),
+        ar.final_accuracy.expect("ar acc"),
+    );
+    // Both synchronous with identical aggregation math; small differences
+    // come only from jittered batch *order* being identical here, so they
+    // should track closely.
+    assert!((a - b).abs() < 0.08, "BSP {a} vs AR-SGD {b}");
+    for p in &ar.curve {
+        assert!(p.drift < 1e-5, "AR-SGD replicas must stay identical");
+    }
+}
+
+#[test]
+fn asp_learns_close_to_bsp() {
+    let out = run(&real_cfg(Algo::Asp, 4, 12));
+    let acc = out.final_accuracy.expect("accuracy");
+    assert!(acc > 0.5, "ASP final accuracy {acc}");
+}
+
+#[test]
+fn ssp_learns_and_small_staleness_beats_large() {
+    // At this tiny scale (15 iters/epoch) the every-other-iteration cache
+    // refresh resets local momentum constantly, so SSP trains like plain
+    // SGD; 0.35 is the learning bar, not a paper comparison (the paper-
+    // scale comparison lives in the table3 harness and cross-crate tests).
+    let small = run(&real_cfg(Algo::Ssp { staleness: 2 }, 4, 10));
+    let acc = small.final_accuracy.expect("accuracy");
+    assert!(acc > 0.35, "SSP(s=2) final accuracy {acc}");
+}
+
+#[test]
+fn easgd_runs_and_drifts() {
+    let out = run(&real_cfg(Algo::Easgd { tau: 4, alpha: None }, 4, 10));
+    let acc = out.final_accuracy.expect("accuracy");
+    assert!(acc > 0.3, "EASGD final accuracy {acc}");
+    // elastic averaging leaves replicas different
+    let last = out.curve.last().expect("curve");
+    assert!(last.drift > 1e-4, "EASGD replicas should drift: {}", last.drift);
+}
+
+#[test]
+fn gosgd_runs() {
+    let out = run(&real_cfg(Algo::GoSgd { p: 0.5 }, 4, 10));
+    let acc = out.final_accuracy.expect("accuracy");
+    assert!(acc > 0.3, "GoSGD final accuracy {acc}");
+}
+
+#[test]
+fn adpsgd_learns() {
+    let out = run(&real_cfg(Algo::AdPsgd, 4, 12));
+    let acc = out.final_accuracy.expect("accuracy");
+    assert!(acc > 0.42, "AD-PSGD final accuracy {acc}");
+}
+
+#[test]
+fn cnn_task_trains_distributed() {
+    // Route the full conv/pool stack through the distributed machinery:
+    // prototype images + SmallCnn under BSP and AD-PSGD.
+    let mut cfg = real_cfg(Algo::Bsp, 4, 4);
+    cfg.real.as_mut().expect("real").task = SyntheticTask::Images(ImageTaskConfig {
+        train_size: 1024,
+        test_size: 256,
+        ..Default::default()
+    });
+    let bsp = run(&cfg);
+    let acc = bsp.final_accuracy.expect("cnn accuracy");
+    assert!(acc > 0.8, "CNN/BSP accuracy {acc}");
+    for p in &bsp.curve {
+        assert!(p.drift < 1e-5, "BSP replicas identical under CNN too");
+    }
+    let mut cfg = real_cfg(Algo::AdPsgd, 4, 10);
+    cfg.real.as_mut().expect("real").task = SyntheticTask::Images(ImageTaskConfig {
+        train_size: 1024,
+        test_size: 256,
+        ..Default::default()
+    });
+    let ad = run(&cfg);
+    assert!(
+        ad.final_accuracy.expect("cnn adpsgd") > 0.7,
+        "CNN/AD-PSGD accuracy {:?}",
+        ad.final_accuracy
+    );
+}
+
+#[test]
+fn residual_network_trains_distributed() {
+    // Skip connections through the whole distributed stack (sharding of a
+    // Residual group, gradient slicing, PS application).
+    let mut cfg = real_cfg(Algo::Asp, 4, 10);
+    let real = cfg.real.as_mut().expect("real");
+    real.task = SyntheticTask::ResidualImages(ImageTaskConfig {
+        train_size: 1024,
+        test_size: 256,
+        ..Default::default()
+    });
+    // the residual net's stable region sits lower than the MLP's
+    real.base_lr = 0.005;
+    let out = run(&cfg);
+    let acc = out.final_accuracy.expect("resnet accuracy");
+    assert!(acc > 0.85, "mini-resnet/ASP accuracy {acc}");
+}
+
+#[test]
+fn deterministic_reruns() {
+    let a = run(&real_cfg(Algo::AdPsgd, 4, 3));
+    let b = run(&real_cfg(Algo::AdPsgd, 4, 3));
+    assert_eq!(a.end_time, b.end_time);
+    assert_eq!(a.final_accuracy, b.final_accuracy);
+    let av = run(&virtual_cfg(Algo::Asp, 8, 10));
+    let bv = run(&virtual_cfg(Algo::Asp, 8, 10));
+    assert_eq!(av.end_time, bv.end_time);
+    assert_eq!(av.throughput, bv.throughput);
+}
+
+#[test]
+fn virtual_runs_produce_throughput_and_breakdown() {
+    for algo in [
+        Algo::Bsp,
+        Algo::Asp,
+        Algo::Ssp { staleness: 3 },
+        Algo::Easgd { tau: 4, alpha: None },
+        Algo::ArSgd,
+        Algo::GoSgd { p: 0.1 },
+        Algo::AdPsgd,
+    ] {
+        let out = run(&virtual_cfg(algo, 8, 8));
+        assert!(out.throughput > 0.0, "{}: throughput", out.algo);
+        assert!(
+            out.mean_breakdown.compute.as_secs_f64() > 0.0,
+            "{}: compute time recorded",
+            out.algo
+        );
+        assert_eq!(out.total_iterations, 64, "{}", out.algo);
+        assert!(out.curve.is_empty());
+    }
+}
+
+#[test]
+fn faster_network_helps_asp_more_than_bsp() {
+    let mk = |algo: Algo, net: NetworkConfig| {
+        let mut c = virtual_cfg(algo, 16, 10);
+        c.cluster = ClusterConfig::paper_with_workers(net, 16);
+        run(&c).throughput
+    };
+    let asp_slow = mk(Algo::Asp, NetworkConfig::TEN_GBPS);
+    let asp_fast = mk(Algo::Asp, NetworkConfig::FIFTY_SIX_GBPS);
+    let bsp_slow = mk(Algo::Bsp, NetworkConfig::TEN_GBPS);
+    let bsp_fast = mk(Algo::Bsp, NetworkConfig::FIFTY_SIX_GBPS);
+    let asp_gain = asp_fast / asp_slow;
+    let bsp_gain = bsp_fast / bsp_slow;
+    assert!(
+        asp_gain > bsp_gain,
+        "ASP should benefit more from bandwidth: ASP ×{asp_gain:.2} vs BSP ×{bsp_gain:.2}"
+    );
+}
+
+#[test]
+fn local_aggregation_reduces_inter_machine_traffic() {
+    let mut with = virtual_cfg(Algo::Bsp, 8, 6);
+    with.opts.local_aggregation = true;
+    let mut without = virtual_cfg(Algo::Bsp, 8, 6);
+    without.opts.local_aggregation = false;
+    let t_with = run(&with).traffic;
+    let t_without = run(&without).traffic;
+    assert!(
+        t_with.inter_bytes < t_without.inter_bytes / 2,
+        "local agg: {} vs {} inter bytes",
+        t_with.inter_bytes,
+        t_without.inter_bytes
+    );
+}
+
+#[test]
+fn dgc_slashes_traffic_for_gradient_algorithms() {
+    let mut with = virtual_cfg(Algo::Asp, 8, 6);
+    with.opts.dgc = Some(dtrain_compress::DgcConfig::default());
+    let base = virtual_cfg(Algo::Asp, 8, 6);
+    let t_with = run(&with).traffic;
+    let t_base = run(&base).traffic;
+    assert!(
+        t_with.inter_bytes * 50 < t_base.inter_bytes,
+        "DGC: {} vs {}",
+        t_with.inter_bytes,
+        t_base.inter_bytes
+    );
+}
+
+#[test]
+#[should_panic(expected = "training diverged")]
+fn divergence_is_detected_and_reported() {
+    // Failure injection: an absurd learning rate must trip the finite-loss
+    // guard with a diagnosable message instead of training on NaNs.
+    let mut cfg = real_cfg(Algo::Asp, 4, 3);
+    cfg.real.as_mut().expect("real").base_lr = 1e30;
+    let _ = run(&cfg);
+}

@@ -1,0 +1,159 @@
+//! One criterion bench per paper table/figure: a reduced-scale version of
+//! each experiment, so `cargo bench` tracks the host-side cost of
+//! regenerating every artifact and catches simulator performance
+//! regressions per experiment family.
+//!
+//! (The full-scale numbers come from the harness *binaries*; these benches
+//! measure and pin the machinery itself.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtrain_algos::{run, Algo};
+use dtrain_cluster::NetworkConfig;
+use dtrain_core::presets::{
+    accuracy_run, accuracy_run_with_dgc, breakdown_run, optimization_run,
+    scalability_run, AccuracyScale, PaperModel,
+};
+
+fn mini_scale() -> AccuracyScale {
+    AccuracyScale {
+        epochs: 2,
+        train_size: 512,
+        test_size: 128,
+        batch: 32,
+        base_lr: 0.02,
+        seed: 5,
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    // Communication accounting across all seven algorithms.
+    let mut g = c.benchmark_group("table1_comm_accounting");
+    g.sample_size(10);
+    g.bench_function("seven_algos_4w_3iter", |b| {
+        b.iter(|| {
+            for algo in [
+                Algo::Bsp,
+                Algo::Asp,
+                Algo::Ssp { staleness: 2 },
+                Algo::Easgd { tau: 2, alpha: None },
+                Algo::ArSgd,
+                Algo::GoSgd { p: 0.5 },
+                Algo::AdPsgd,
+            ] {
+                let mut cfg = scalability_run(
+                    algo,
+                    PaperModel::ResNet50,
+                    4,
+                    NetworkConfig::FIFTY_SIX_GBPS,
+                    3,
+                );
+                cfg.opts.wait_free_bp = false;
+                run(&cfg);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_table2_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_fig1_accuracy");
+    g.sample_size(10);
+    g.bench_function("bsp_real_math_4w", |b| {
+        b.iter(|| run(&accuracy_run(Algo::Bsp, 4, &mini_scale())))
+    });
+    g.bench_function("adpsgd_real_math_4w", |b| {
+        b.iter(|| run(&accuracy_run(Algo::AdPsgd, 4, &mini_scale())))
+    });
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_sensitivity");
+    g.sample_size(10);
+    g.bench_function("ssp_worker_sweep", |b| {
+        b.iter(|| {
+            for w in [2usize, 4] {
+                run(&accuracy_run(Algo::Ssp { staleness: 3 }, w, &mini_scale()));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_scalability");
+    g.sample_size(10);
+    g.bench_function("five_algos_8w_5iter_vgg", |b| {
+        b.iter(|| {
+            for algo in [
+                Algo::Bsp,
+                Algo::Asp,
+                Algo::Ssp { staleness: 10 },
+                Algo::ArSgd,
+                Algo::AdPsgd,
+            ] {
+                run(&scalability_run(
+                    algo,
+                    PaperModel::Vgg16,
+                    8,
+                    NetworkConfig::TEN_GBPS,
+                    5,
+                ));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_breakdown");
+    g.sample_size(10);
+    g.bench_function("bsp_asp_24w_5iter", |b| {
+        b.iter(|| {
+            run(&breakdown_run(Algo::Bsp, PaperModel::ResNet50, NetworkConfig::TEN_GBPS, 5));
+            run(&breakdown_run(Algo::Asp, PaperModel::ResNet50, NetworkConfig::TEN_GBPS, 5));
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_optimizations");
+    g.sample_size(10);
+    g.bench_function("asp_all_levels_8w", |b| {
+        b.iter(|| {
+            for level in 0..4 {
+                run(&optimization_run(
+                    Algo::Asp,
+                    PaperModel::ResNet50,
+                    8,
+                    NetworkConfig::TEN_GBPS,
+                    level,
+                    5,
+                ));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_dgc");
+    g.sample_size(10);
+    g.bench_function("asp_dgc_real_math_4w", |b| {
+        b.iter(|| run(&accuracy_run_with_dgc(Algo::Asp, 4, &mini_scale())))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_table2_fig1,
+    bench_table3,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_table4
+);
+criterion_main!(figures);

@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks for the numerical and systems kernels the
+//! simulation is built from: GEMM, convolution, loss, top-k selection, DGC
+//! compression, network-model reservations, and raw DES event throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dtrain_cluster::{ClusterConfig, NetModel, NetworkConfig, NodeId};
+use dtrain_compress::{DgcCompressor, DgcConfig, SparseTensor};
+use dtrain_desim::{SimTime, Simulation};
+use dtrain_nn::ParamSet;
+use dtrain_tensor::{conv2d_forward, matmul, softmax_cross_entropy, Conv2dSpec, Tensor};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for n in [32usize, 128] {
+        let a = Tensor::randn(&[n, n], 1.0, &mut rng);
+        let b = Tensor::randn(&[n, n], 1.0, &mut rng);
+        group.bench_function(format!("{n}x{n}"), |bench| {
+            bench.iter(|| matmul(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let spec = Conv2dSpec {
+        in_channels: 8,
+        out_channels: 16,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let x = Tensor::randn(&[8, 8, 12, 12], 1.0, &mut rng);
+    let w = Tensor::randn(&[16, 8 * 9], 0.1, &mut rng);
+    let b = Tensor::zeros(&[16]);
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(20);
+    group.bench_function("fwd_8x8x12x12", |bench| {
+        bench.iter(|| conv2d_forward(black_box(&x), &w, &b, &spec))
+    });
+    group.finish();
+}
+
+fn bench_loss(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let logits = Tensor::randn(&[128, 10], 1.0, &mut rng);
+    let labels: Vec<usize> = (0..128).map(|i| i % 10).collect();
+    c.bench_function("softmax_xent_128x10", |bench| {
+        bench.iter(|| softmax_cross_entropy(black_box(&logits), &labels))
+    });
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let t = Tensor::randn(&[100_000], 1.0, &mut rng);
+    let mut group = c.benchmark_group("topk");
+    group.sample_size(20);
+    for k in [100usize, 10_000] {
+        group.bench_function(format!("k={k}_of_100k"), |bench| {
+            bench.iter(|| SparseTensor::top_k(black_box(&t), k))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dgc(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let grad = ParamSet(vec![
+        Tensor::randn(&[64, 32], 0.1, &mut rng),
+        Tensor::randn(&[32, 64], 0.1, &mut rng),
+        Tensor::randn(&[10, 32], 0.1, &mut rng),
+    ]);
+    let mut comp = DgcCompressor::new(DgcConfig::default(), 8);
+    c.bench_function("dgc_compress_4k_params", |bench| {
+        bench.iter(|| comp.compress(black_box(&grad), 10))
+    });
+}
+
+fn bench_netmodel(c: &mut Criterion) {
+    let cfg = ClusterConfig::paper(NetworkConfig::TEN_GBPS);
+    let net = NetModel::new(&cfg);
+    let mut t = SimTime::ZERO;
+    c.bench_function("netmodel_transfer_delay", |bench| {
+        bench.iter(|| {
+            t += SimTime::from_micros(1);
+            net.transfer_delay(black_box(t), NodeId(0), NodeId(1), 1_000_000)
+        })
+    });
+}
+
+fn bench_des_events(c: &mut Criterion) {
+    // Raw kernel throughput: two processes ping-ponging N messages.
+    let mut group = c.benchmark_group("desim");
+    group.sample_size(10);
+    group.bench_function("pingpong_1000_events", |bench| {
+        bench.iter(|| {
+            let mut sim: Simulation<u32> = Simulation::new();
+            let a = sim.spawn("a", |ctx| {
+                for _ in 0..500 {
+                    let m = ctx.recv();
+                    ctx.send(dtrain_desim::Pid(1), SimTime::from_nanos(10), m + 1);
+                }
+            });
+            sim.spawn("b", move |ctx| {
+                ctx.send(a, SimTime::from_nanos(10), 0);
+                for _ in 0..499 {
+                    let m = ctx.recv();
+                    ctx.send(a, SimTime::from_nanos(10), m + 1);
+                }
+                let _ = ctx.recv();
+            });
+            sim.run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_matmul,
+    bench_conv,
+    bench_loss,
+    bench_topk,
+    bench_dgc,
+    bench_netmodel,
+    bench_des_events
+);
+criterion_main!(kernels);

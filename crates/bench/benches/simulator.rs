@@ -1,0 +1,72 @@
+//! Criterion benchmarks over whole simulated runs: how fast each
+//! algorithm's simulation executes (host time per simulated run), for both
+//! cost-only and real-math modes. These track the simulator's own
+//! performance, complementing the harness binaries that report *virtual*
+//! (simulated) throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtrain_algos::{run, Algo, OptimizationConfig, RealTraining, RunConfig, StopCondition, SyntheticTask};
+use dtrain_cluster::{ClusterConfig, NetworkConfig};
+use dtrain_data::TeacherTaskConfig;
+use dtrain_models::resnet50;
+
+fn virtual_cfg(algo: Algo) -> RunConfig {
+    RunConfig {
+        algo,
+        cluster: ClusterConfig::paper_with_workers(NetworkConfig::FIFTY_SIX_GBPS, 8),
+        workers: 8,
+        profile: resnet50(),
+        batch: 128,
+        opts: OptimizationConfig {
+            ps_shards: if algo.is_centralized() { 4 } else { 1 },
+            local_aggregation: matches!(algo, Algo::Bsp),
+            ..Default::default()
+        },
+        stop: StopCondition::Iterations(5),
+        real: None,
+        seed: 1,
+    }
+}
+
+fn bench_cost_only_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_cost_only_8w_5iter");
+    group.sample_size(10);
+    for algo in [
+        Algo::Bsp,
+        Algo::Asp,
+        Algo::Ssp { staleness: 10 },
+        Algo::Easgd { tau: 4, alpha: None },
+        Algo::ArSgd,
+        Algo::GoSgd { p: 0.1 },
+        Algo::AdPsgd,
+    ] {
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| run(&virtual_cfg(algo)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_real_math_run(c: &mut Criterion) {
+    let cfg = RunConfig {
+        real: Some(RealTraining {
+            task: SyntheticTask::Teacher(TeacherTaskConfig {
+                train_size: 512,
+                test_size: 128,
+                ..Default::default()
+            }),
+            ..Default::default()
+        }),
+        stop: StopCondition::Epochs(2),
+        workers: 4,
+        cluster: ClusterConfig::paper_with_workers(NetworkConfig::FIFTY_SIX_GBPS, 4),
+        ..virtual_cfg(Algo::Bsp)
+    };
+    let mut group = c.benchmark_group("sim_real_math");
+    group.sample_size(10);
+    group.bench_function("bsp_4w_2epochs", |b| b.iter(|| run(&cfg)));
+    group.finish();
+}
+
+criterion_group!(simulator, bench_cost_only_runs, bench_real_math_run);
+criterion_main!(simulator);

@@ -1,0 +1,136 @@
+//! Ablation benches for the design choices DESIGN.md §4 calls out:
+//!
+//! 1. BSP local aggregation on/off;
+//! 2. layer-wise vs greedy-balanced parameter sharding (VGG-16's fc6 skew);
+//! 3. AD-PSGD communication/computation overlap on/off;
+//! 4. DGC component knock-outs (accumulation, momentum correction, factor
+//!    masking) measured on real training accuracy.
+
+use dtrain_bench::HarnessOpts;
+use dtrain_core::presets::{accuracy_run, AccuracyScale, PaperModel};
+use dtrain_core::prelude::*;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let iters = if opts.quick { 10 } else { 25 };
+    let workers = if opts.quick { 8 } else { 24 };
+
+    ablate_local_aggregation(&opts, workers, iters);
+    ablate_sharding(&opts, workers, iters);
+    ablate_overlap(&opts, workers, iters);
+    ablate_dgc_components(&opts);
+}
+
+fn base_cfg(algo: Algo, workers: usize, iters: u64, model: PaperModel) -> RunConfig {
+    let cluster = ClusterConfig::paper_with_workers(NetworkConfig::TEN_GBPS, workers);
+    RunConfig {
+        algo,
+        cluster: cluster.clone(),
+        workers,
+        profile: model.profile(),
+        batch: model.batch(),
+        opts: OptimizationConfig {
+            ps_shards: if algo.is_centralized() { 2 * cluster.machines } else { 1 },
+            local_aggregation: matches!(algo, Algo::Bsp),
+            ..Default::default()
+        },
+        stop: StopCondition::Iterations(iters),
+        real: None,
+        seed: 31,
+    }
+}
+
+fn ablate_local_aggregation(opts: &HarnessOpts, workers: usize, iters: u64) {
+    let mut table = Table::new(
+        format!("Ablation: BSP local aggregation ({workers} workers, ResNet-50, 10 Gbps)"),
+        &["local aggregation", "img/s", "PS GB", "local-agg GB"],
+    );
+    for on in [false, true] {
+        let mut cfg = base_cfg(Algo::Bsp, workers, iters, PaperModel::ResNet50);
+        cfg.opts.local_aggregation = on;
+        let out = run(&cfg);
+        table.push_row(vec![
+            if on { "on" } else { "off" }.into(),
+            format!("{:.0}", out.throughput),
+            format!("{:.1}", out.traffic.bytes_of(dtrain_cluster::TrafficClass::WorkerPs) as f64 / 1e9),
+            format!("{:.1}", out.traffic.bytes_of(dtrain_cluster::TrafficClass::LocalAgg) as f64 / 1e9),
+        ]);
+    }
+    opts.emit(&table, "ablation_local_agg");
+}
+
+fn ablate_sharding(opts: &HarnessOpts, workers: usize, iters: u64) {
+    let mut table = Table::new(
+        format!("Ablation: shard placement for VGG-16 (ASP, {workers} workers, 10 Gbps)"),
+        &["placement", "img/s", "shard imbalance"],
+    );
+    for balanced in [false, true] {
+        let mut cfg = base_cfg(Algo::Asp, workers, iters, PaperModel::Vgg16);
+        cfg.opts.balanced_sharding = balanced;
+        let bytes: Vec<u64> = cfg.profile.layers.iter().map(|l| l.bytes()).collect();
+        let plan = if balanced {
+            ShardPlan::balanced(&bytes, cfg.opts.ps_shards)
+        } else {
+            ShardPlan::layer_wise(&bytes, cfg.opts.ps_shards)
+        };
+        let out = run(&cfg);
+        table.push_row(vec![
+            if balanced { "greedy-balanced" } else { "layer-wise (paper)" }.into(),
+            format!("{:.0}", out.throughput),
+            format!("{:.2}", plan.imbalance()),
+        ]);
+    }
+    opts.emit(&table, "ablation_sharding");
+}
+
+fn ablate_overlap(opts: &HarnessOpts, workers: usize, iters: u64) {
+    let mut table = Table::new(
+        format!("Ablation: AD-PSGD comm/compute overlap ({workers} workers, VGG-16, 10 Gbps)"),
+        &["overlap", "img/s"],
+    );
+    for disable in [false, true] {
+        let mut cfg = base_cfg(Algo::AdPsgd, workers, iters, PaperModel::Vgg16);
+        cfg.opts.disable_overlap = disable;
+        let out = run(&cfg);
+        table.push_row(vec![
+            if disable { "off" } else { "on (paper)" }.into(),
+            format!("{:.0}", out.throughput),
+        ]);
+    }
+    opts.emit(&table, "ablation_overlap");
+}
+
+fn ablate_dgc_components(opts: &HarnessOpts) {
+    let scale = if opts.quick { AccuracyScale::quick() } else { AccuracyScale::default() };
+    let workers = 8;
+    let mut table = Table::new(
+        format!("Ablation: DGC components (ASP, {workers} workers, real training, {} epochs)", scale.epochs),
+        &["variant", "final accuracy"],
+    );
+    // Reference: dense gradients.
+    let dense = run(&accuracy_run(Algo::Asp, workers, &scale));
+    table.push_row(vec![
+        "dense (no DGC)".into(),
+        fmt_acc(dense.final_accuracy.expect("dense")),
+    ]);
+    let iters_per_worker =
+        scale.epochs * (scale.train_size / workers / scale.batch) as u64;
+    let full = dtrain_core::presets::scaled_dgc(iters_per_worker);
+    let variants: Vec<(&str, DgcConfig)> = vec![
+        ("full DGC", full.clone()),
+        ("no local accumulation", DgcConfig { local_accumulation: false, ..full.clone() }),
+        ("no momentum correction", DgcConfig { momentum_correction: false, ..full.clone() }),
+        ("no factor masking", DgcConfig { factor_masking: false, ..full.clone() }),
+        ("no warm-up", DgcConfig { warmup_schedule: vec![], ..full.clone() }),
+    ];
+    for (label, dgc) in variants {
+        let mut cfg = accuracy_run(Algo::Asp, workers, &scale);
+        cfg.opts.dgc = Some(dgc);
+        let out = run(&cfg);
+        table.push_row(vec![
+            label.into(),
+            fmt_acc(out.final_accuracy.expect("variant accuracy")),
+        ]);
+    }
+    opts.emit(&table, "ablation_dgc");
+}

@@ -1,0 +1,55 @@
+//! Figure 4 — training throughput of the centralized algorithms with the
+//! three optimizations applied cumulatively (none → +parameter sharding →
+//! +wait-free BP → +DGC) at 8/16/24 workers, both models, both networks.
+//!
+//! Paper readings: sharding helps ASP/SSP more than BSP (local aggregation
+//! already absorbed BSP's PS traffic); sharding helps ResNet-50 more than
+//! VGG-16 (fc6 defeats layer-wise placement); wait-free BP is modest; DGC
+//! is dramatic for ASP/SSP on bandwidth-starved configurations and makes
+//! them scale almost linearly.
+
+use dtrain_bench::HarnessOpts;
+use dtrain_core::presets::{optimization_run, PaperModel};
+use dtrain_core::prelude::*;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let iterations = if opts.quick { 8 } else { 25 };
+    let worker_counts: Vec<usize> = if opts.quick { vec![8] } else { vec![8, 16, 24] };
+    let algos: Vec<(&str, Algo)> = vec![
+        ("BSP", Algo::Bsp),
+        ("ASP", Algo::Asp),
+        ("SSP(s=10)", Algo::Ssp { staleness: 10 }),
+    ];
+    const LEVELS: [&str; 4] = ["none", "+shard", "+waitfree", "+dgc"];
+
+    for model in [PaperModel::ResNet50, PaperModel::Vgg16] {
+        for net in [NetworkConfig::TEN_GBPS, NetworkConfig::FIFTY_SIX_GBPS] {
+            let mut table = Table::new(
+                format!(
+                    "Fig 4: throughput (img/s) with cumulative optimizations, {} @ {:.0} Gbps",
+                    model.name(),
+                    net.bandwidth_gbps
+                ),
+                &["algorithm", "workers", "none", "+shard", "+waitfree", "+dgc"],
+            );
+            for (label, algo) in &algos {
+                for &w in &worker_counts {
+                    let mut row = vec![label.to_string(), w.to_string()];
+                    for level in 0..LEVELS.len() {
+                        let out =
+                            run(&optimization_run(*algo, model, w, net, level, iterations));
+                        row.push(format!("{:.0}", out.throughput));
+                    }
+                    table.push_row(row);
+                }
+            }
+            let stem = format!(
+                "fig4_{}_{}gbps",
+                model.name().to_lowercase().replace('-', ""),
+                net.bandwidth_gbps as u32
+            );
+            opts.emit(&table, &stem);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Extension study: stragglers' effect on throughput *and* accuracy.
+//!
+//! The paper attributes BSP's aggregation time to waiting (Fig. 3) and
+//! motivates asynchrony as the remedy; this harness quantifies the whole
+//! trade-off by injecting a slow worker and measuring what each algorithm
+//! pays in throughput and what asynchrony costs in accuracy when worker
+//! speeds diverge (the slow worker's gradients grow stale).
+
+use dtrain_bench::HarnessOpts;
+use dtrain_core::presets::{accuracy_run, AccuracyScale};
+use dtrain_core::prelude::*;
+use dtrain_models::resnet50;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let workers = if opts.quick { 8 } else { 16 };
+    let iters = if opts.quick { 12 } else { 30 };
+    let slowdown = 3.0;
+    let algos: Vec<(&str, Algo)> = vec![
+        ("BSP", Algo::Bsp),
+        ("AR-SGD", Algo::ArSgd),
+        ("ASP", Algo::Asp),
+        ("SSP(s=10)", Algo::Ssp { staleness: 10 }),
+        ("AD-PSGD", Algo::AdPsgd),
+    ];
+
+    // --- throughput side (cost model) ---
+    let mut tp_table = Table::new(
+        format!("Straggler study: throughput with one {slowdown}x-slow worker ({workers} workers, ResNet-50, 56 Gbps)"),
+        &["algorithm", "healthy img/s", "straggler img/s", "retained"],
+    );
+    for (label, algo) in &algos {
+        let mk = |straggle: bool| {
+            let mut cluster =
+                ClusterConfig::paper_with_workers(NetworkConfig::FIFTY_SIX_GBPS, workers);
+            if straggle {
+                cluster.stragglers.push(Straggler { worker: 1, slowdown });
+            }
+            let cfg = RunConfig {
+                algo: *algo,
+                cluster: cluster.clone(),
+                workers,
+                profile: resnet50(),
+                batch: 128,
+                opts: OptimizationConfig {
+                    ps_shards: if algo.is_centralized() { 2 * cluster.machines } else { 1 },
+                    local_aggregation: matches!(algo, Algo::Bsp),
+                    ..Default::default()
+                },
+                stop: StopCondition::Iterations(iters),
+                real: None,
+                seed: 41,
+            };
+            run(&cfg).throughput
+        };
+        let healthy = mk(false);
+        let degraded = mk(true);
+        tp_table.push_row(vec![
+            label.to_string(),
+            format!("{healthy:.0}"),
+            format!("{degraded:.0}"),
+            format!("{:.0}%", 100.0 * degraded / healthy),
+        ]);
+    }
+    opts.emit(&tp_table, "straggler_throughput");
+
+    // --- accuracy side (real math): does heterogeneity hurt async algos? ---
+    let scale = if opts.quick { AccuracyScale::quick() } else { AccuracyScale::default() };
+    let acc_workers = 8;
+    let mut acc_table = Table::new(
+        format!("Straggler study: accuracy with one {slowdown}x-slow worker ({acc_workers} workers, {} epochs)", scale.epochs),
+        &["algorithm", "homogeneous", "with straggler"],
+    );
+    for (label, algo) in &algos {
+        let mk = |straggle: bool| {
+            let mut cfg = accuracy_run(*algo, acc_workers, &scale);
+            if straggle {
+                cfg.cluster.stragglers.push(Straggler { worker: 1, slowdown });
+            }
+            run(&cfg).final_accuracy.expect("accuracy")
+        };
+        acc_table.push_row(vec![
+            label.to_string(),
+            fmt_acc(mk(false)),
+            fmt_acc(mk(true)),
+        ]);
+    }
+    opts.emit(&acc_table, "straggler_accuracy");
+}

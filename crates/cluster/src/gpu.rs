@@ -1,0 +1,163 @@
+//! GPU compute-time model.
+//!
+//! Iteration compute time = batch FLOPs / (peak TFLOPS × efficiency), times
+//! a per-iteration multiplicative jitter. The jitter half-width defaults to
+//! 2.5 % so the fastest-vs-slowest gap across workers matches the ~5 % the
+//! paper measures on its homogeneous cluster (§VI-C); injected stragglers
+//! multiply on top.
+
+use dtrain_desim::SimTime;
+use dtrain_models::ModelProfile;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::ClusterConfig;
+
+/// Per-worker compute model. Each worker owns one (seeded independently, so
+/// jitter streams are uncorrelated but reproducible).
+#[derive(Clone, Debug)]
+pub struct GpuModel {
+    flops_per_sec: f64,
+    jitter: f64,
+    slowdown: f64,
+    rng: SmallRng,
+}
+
+impl GpuModel {
+    /// Model for worker `w` under `cfg`.
+    pub fn for_worker(cfg: &ClusterConfig, w: usize) -> Self {
+        GpuModel {
+            flops_per_sec: cfg.gpu_tflops * 1e12 * cfg.gpu_efficiency,
+            jitter: cfg.compute_jitter,
+            slowdown: cfg.slowdown_of(w),
+            rng: SmallRng::seed_from_u64(
+                cfg.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+        }
+    }
+
+    /// Time to execute `flops` of work, with fresh jitter.
+    pub fn time_for_flops(&mut self, flops: f64) -> SimTime {
+        let base = flops / self.flops_per_sec;
+        let j = 1.0 + self.rng.gen_range(-self.jitter..=self.jitter);
+        SimTime::from_secs_f64(base * j * self.slowdown)
+    }
+
+    /// One full training iteration (forward + backward) of `model` at
+    /// `batch` images.
+    pub fn iteration_time(&mut self, model: &ModelProfile, batch: usize) -> SimTime {
+        self.time_for_flops(model.train_flops() as f64 * batch as f64)
+    }
+
+    /// Forward-pass time only.
+    pub fn forward_time(&mut self, model: &ModelProfile, batch: usize) -> SimTime {
+        self.time_for_flops(model.fwd_flops() as f64 * batch as f64)
+    }
+
+    /// Per-layer backward times **in backward order** (last layer first),
+    /// sharing one jitter draw so they sum to a consistent iteration slice.
+    /// This is the schedule wait-free BP overlaps communication against.
+    pub fn backward_layer_times(
+        &mut self,
+        model: &ModelProfile,
+        batch: usize,
+    ) -> Vec<SimTime> {
+        let j = 1.0 + self.rng.gen_range(-self.jitter..=self.jitter);
+        model
+            .layers
+            .iter()
+            .rev()
+            .map(|l| {
+                let flops = l.bwd_flops() as f64 * batch as f64;
+                SimTime::from_secs_f64(flops / self.flops_per_sec * j * self.slowdown)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NetworkConfig, Straggler};
+    use dtrain_models::{resnet50, vgg16};
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::paper(NetworkConfig::FIFTY_SIX_GBPS)
+    }
+
+    #[test]
+    fn resnet_iteration_time_is_realistic() {
+        // TITAN V trains ResNet-50 at roughly 300–400 images/s; batch 128
+        // should take ~0.3–0.45 s.
+        let mut gpu = GpuModel::for_worker(&cfg(), 0);
+        let t = gpu.iteration_time(&resnet50(), 128).as_secs_f64();
+        assert!((0.25..0.50).contains(&t), "ResNet-50 iter {t} s");
+    }
+
+    #[test]
+    fn vgg_iteration_time_is_realistic() {
+        // VGG-16 at ~90–110 images/s; batch 96 ≈ 0.9–1.1 s.
+        let mut gpu = GpuModel::for_worker(&cfg(), 0);
+        let t = gpu.iteration_time(&vgg16(), 96).as_secs_f64();
+        assert!((0.7..1.4).contains(&t), "VGG-16 iter {t} s");
+    }
+
+    #[test]
+    fn jitter_spread_matches_paper() {
+        // Across many draws, (max-min)/mean should be near 2×jitter ≈ 5%.
+        let mut gpu = GpuModel::for_worker(&cfg(), 1);
+        let ts: Vec<f64> = (0..500)
+            .map(|_| gpu.iteration_time(&resnet50(), 128).as_secs_f64())
+            .collect();
+        let mn = ts.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mx = ts.iter().cloned().fold(0.0, f64::max);
+        let mean = ts.iter().sum::<f64>() / ts.len() as f64;
+        let spread = (mx - mn) / mean;
+        assert!((0.035..0.055).contains(&spread), "spread {spread}");
+    }
+
+    #[test]
+    fn straggler_multiplies_time() {
+        let mut c = cfg();
+        c.compute_jitter = 0.0;
+        c.stragglers.push(Straggler { worker: 2, slowdown: 3.0 });
+        let mut fast = GpuModel::for_worker(&c, 0);
+        let mut slow = GpuModel::for_worker(&c, 2);
+        let tf = fast.iteration_time(&resnet50(), 128).as_secs_f64();
+        let ts = slow.iteration_time(&resnet50(), 128).as_secs_f64();
+        assert!((ts / tf - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_layer_times_sum_to_backward_pass() {
+        let mut c = cfg();
+        c.compute_jitter = 0.0;
+        let model = vgg16();
+        let mut gpu = GpuModel::for_worker(&c, 0);
+        let per_layer: f64 = gpu
+            .backward_layer_times(&model, 96)
+            .iter()
+            .map(|t| t.as_secs_f64())
+            .sum();
+        let fwd = gpu.forward_time(&model, 96).as_secs_f64();
+        // backward = 2× forward in our FLOP accounting
+        assert!((per_layer - 2.0 * fwd).abs() / per_layer < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_per_worker_streams() {
+        let mut a = GpuModel::for_worker(&cfg(), 3);
+        let mut b = GpuModel::for_worker(&cfg(), 3);
+        for _ in 0..10 {
+            assert_eq!(
+                a.iteration_time(&resnet50(), 128),
+                b.iteration_time(&resnet50(), 128)
+            );
+        }
+        let mut c = GpuModel::for_worker(&cfg(), 4);
+        assert_ne!(
+            a.iteration_time(&resnet50(), 128),
+            c.iteration_time(&resnet50(), 128)
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # dtrain-cluster
+//!
+//! The systems layer of the reproduction: a model of the paper's testbed
+//! (6 VMs × 4 TITAN V, 10/56 Gbps networks) built on the deterministic DES
+//! kernel. Provides:
+//!
+//! * [`ClusterConfig`] — topology presets matching §VI "System setting";
+//! * [`NetModel`] — NIC-serialized transfers (the source of the PS
+//!   bottleneck) with traffic accounting;
+//! * [`GpuModel`] — per-worker compute times from layer FLOP profiles, with
+//!   the paper's ~5 % jitter and optional stragglers;
+//! * [`ShardPlan`] — layer-wise / balanced parameter-shard planning;
+//! * [`MetricsHub`] — Fig.-3-style phase breakdowns and throughput.
+
+mod config;
+mod gpu;
+mod metrics;
+mod net;
+mod shard;
+
+pub use config::{ClusterConfig, NetworkConfig, NodeId, Straggler};
+pub use gpu::GpuModel;
+pub use metrics::{Breakdown, MetricsHub, Phase};
+pub use net::{NetModel, TrafficClass, TrafficStats};
+pub use shard::ShardPlan;

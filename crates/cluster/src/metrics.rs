@@ -1,0 +1,224 @@
+//! Phase accounting and throughput metrics.
+//!
+//! Figure 3 of the paper breaks a worker's iteration into compute, local
+//! aggregation, global aggregation (both including waiting), and
+//! communication. Algorithm processes report each span they spend into a
+//! shared [`MetricsHub`]; the harness reads the totals back out.
+
+use std::sync::Arc;
+
+use dtrain_desim::SimTime;
+use parking_lot::Mutex;
+
+/// The phases of one training iteration, as broken down in Fig. 3.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Phase {
+    /// Forward + backward computation.
+    Compute,
+    /// Intra-machine gradient aggregation, including waiting for co-located
+    /// workers (BSP's local aggregation).
+    LocalAgg,
+    /// Server-side / collective aggregation, including waiting for the
+    /// result (PS round-trip wait, AllReduce barrier).
+    GlobalAgg,
+    /// Pure wire time attributable to this worker's own transfers.
+    Comm,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 4] =
+        [Phase::Compute, Phase::LocalAgg, Phase::GlobalAgg, Phase::Comm];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Compute => "compute",
+            Phase::LocalAgg => "local_agg",
+            Phase::GlobalAgg => "global_agg",
+            Phase::Comm => "comm",
+        }
+    }
+}
+
+/// Accumulated per-worker phase times.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Breakdown {
+    pub compute: SimTime,
+    pub local_agg: SimTime,
+    pub global_agg: SimTime,
+    pub comm: SimTime,
+}
+
+impl Breakdown {
+    pub fn add(&mut self, phase: Phase, dt: SimTime) {
+        match phase {
+            Phase::Compute => self.compute += dt,
+            Phase::LocalAgg => self.local_agg += dt,
+            Phase::GlobalAgg => self.global_agg += dt,
+            Phase::Comm => self.comm += dt,
+        }
+    }
+
+    pub fn get(&self, phase: Phase) -> SimTime {
+        match phase {
+            Phase::Compute => self.compute,
+            Phase::LocalAgg => self.local_agg,
+            Phase::GlobalAgg => self.global_agg,
+            Phase::Comm => self.comm,
+        }
+    }
+
+    pub fn total(&self) -> SimTime {
+        self.compute + self.local_agg + self.global_agg + self.comm
+    }
+
+    /// Fraction of total time in `phase` (0 if nothing recorded).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.get(phase).as_secs_f64() / total
+        }
+    }
+}
+
+struct HubInner {
+    per_worker: Vec<Breakdown>,
+    iterations: Vec<u64>,
+    finish_times: Vec<SimTime>,
+    end_time: SimTime,
+}
+
+/// Shared metrics sink for one simulated run.
+#[derive(Clone)]
+pub struct MetricsHub {
+    inner: Arc<Mutex<HubInner>>,
+}
+
+impl MetricsHub {
+    pub fn new(num_workers: usize) -> Self {
+        MetricsHub {
+            inner: Arc::new(Mutex::new(HubInner {
+                per_worker: vec![Breakdown::default(); num_workers],
+                iterations: vec![0; num_workers],
+                finish_times: vec![SimTime::ZERO; num_workers],
+                end_time: SimTime::ZERO,
+            })),
+        }
+    }
+
+    /// Record `dt` of `phase` for `worker`.
+    pub fn record(&self, worker: usize, phase: Phase, dt: SimTime) {
+        self.inner.lock().per_worker[worker].add(phase, dt);
+    }
+
+    /// Count one finished iteration for `worker` at virtual time `now`.
+    pub fn finish_iteration(&self, worker: usize, now: SimTime) {
+        let mut inner = self.inner.lock();
+        inner.iterations[worker] += 1;
+        inner.finish_times[worker] = inner.finish_times[worker].max(now);
+        inner.end_time = inner.end_time.max(now);
+    }
+
+    /// Per-worker breakdowns.
+    pub fn breakdowns(&self) -> Vec<Breakdown> {
+        self.inner.lock().per_worker.clone()
+    }
+
+    /// Mean breakdown across workers.
+    pub fn mean_breakdown(&self) -> Breakdown {
+        let per = self.breakdowns();
+        let n = per.len().max(1) as u64;
+        let mut out = Breakdown::default();
+        for b in &per {
+            out.compute += b.compute;
+            out.local_agg += b.local_agg;
+            out.global_agg += b.global_agg;
+            out.comm += b.comm;
+        }
+        out.compute = out.compute / n;
+        out.local_agg = out.local_agg / n;
+        out.global_agg = out.global_agg / n;
+        out.comm = out.comm / n;
+        out
+    }
+
+    /// Total iterations across workers.
+    pub fn total_iterations(&self) -> u64 {
+        self.inner.lock().iterations.iter().sum()
+    }
+
+    /// Latest iteration-finish timestamp seen.
+    pub fn end_time(&self) -> SimTime {
+        self.inner.lock().end_time
+    }
+
+    /// Aggregate throughput in images/second of virtual time: the sum of
+    /// each worker's own steady-state rate (its images over *its* elapsed
+    /// time). Under synchronous algorithms every worker finishes together,
+    /// so this equals total-images/end-time; under asynchronous ones it
+    /// correctly credits fast workers that keep iterating while a straggler
+    /// lags, which is how the paper measures images/sec.
+    pub fn throughput(&self, batch: usize) -> f64 {
+        let inner = self.inner.lock();
+        inner
+            .iterations
+            .iter()
+            .zip(&inner.finish_times)
+            .map(|(&iters, &t)| {
+                let secs = t.as_secs_f64();
+                if secs == 0.0 {
+                    0.0
+                } else {
+                    (iters * batch as u64) as f64 / secs
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates_and_fractions() {
+        let mut b = Breakdown::default();
+        b.add(Phase::Compute, SimTime::from_secs(3));
+        b.add(Phase::Comm, SimTime::from_secs(1));
+        assert_eq!(b.total(), SimTime::from_secs(4));
+        assert!((b.fraction(Phase::Compute) - 0.75).abs() < 1e-12);
+        assert_eq!(b.get(Phase::LocalAgg), SimTime::ZERO);
+    }
+
+    #[test]
+    fn hub_throughput() {
+        let hub = MetricsHub::new(2);
+        for w in 0..2 {
+            for i in 1..=5u64 {
+                hub.finish_iteration(w, SimTime::from_secs(i));
+            }
+        }
+        // 10 iterations × 128 images over 5 s = 256 img/s
+        assert!((hub.throughput(128) - 256.0).abs() < 1e-9);
+        assert_eq!(hub.total_iterations(), 10);
+        assert_eq!(hub.end_time(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn mean_breakdown_averages_workers() {
+        let hub = MetricsHub::new(2);
+        hub.record(0, Phase::Compute, SimTime::from_secs(2));
+        hub.record(1, Phase::Compute, SimTime::from_secs(4));
+        hub.record(1, Phase::GlobalAgg, SimTime::from_secs(2));
+        let m = hub.mean_breakdown();
+        assert_eq!(m.compute, SimTime::from_secs(3));
+        assert_eq!(m.global_agg, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["compute", "local_agg", "global_agg", "comm"]);
+    }
+}

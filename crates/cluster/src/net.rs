@@ -1,0 +1,249 @@
+//! The network model: per-machine NIC serialization over shared links.
+//!
+//! Every inter-machine transfer occupies the sender's TX NIC and the
+//! receiver's RX NIC for its serialization time, FIFO in request order. This
+//! first-order model is what produces the paper's parameter-server
+//! bottleneck: N workers pushing gradients at one PS machine queue on that
+//! machine's RX NIC, so per-worker effective bandwidth degrades as 1/N —
+//! exactly the effect §VI-C attributes ASP/SSP's poor 10 Gbps scaling to.
+//!
+//! Intra-machine transfers use the (much faster) PCIe-class fabric and do
+//! not touch the NICs.
+
+use std::sync::Arc;
+
+use dtrain_desim::SimTime;
+use parking_lot::Mutex;
+
+use crate::config::{ClusterConfig, NodeId};
+
+#[derive(Debug, Default, Clone)]
+struct NicState {
+    tx_free: SimTime,
+    rx_free: SimTime,
+}
+
+/// Logical class of a transfer, for per-class accounting (Table I checks
+/// each algorithm's aggregation traffic against its closed form).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TrafficClass {
+    /// Worker (or machine leader) ↔ parameter server.
+    WorkerPs,
+    /// Intra-machine local aggregation (follower ↔ leader).
+    LocalAgg,
+    /// Peer-to-peer (ring hops, gossip, AD-PSGD exchanges).
+    Peer,
+    /// Anything else (control messages, unclassified).
+    Other,
+}
+
+/// Aggregate traffic statistics, for Table I's communication-complexity
+/// verification.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficStats {
+    pub inter_messages: u64,
+    pub inter_bytes: u64,
+    pub intra_messages: u64,
+    pub intra_bytes: u64,
+    /// Bytes by logical class: [WorkerPs, LocalAgg, Peer, Other].
+    pub class_bytes: [u64; 4],
+}
+
+impl TrafficStats {
+    /// Bytes recorded under `class`.
+    pub fn bytes_of(&self, class: TrafficClass) -> u64 {
+        self.class_bytes[class as usize]
+    }
+
+    /// Total bytes moved (all classes, intra + inter).
+    pub fn total_bytes(&self) -> u64 {
+        self.inter_bytes + self.intra_bytes
+    }
+}
+
+struct NetInner {
+    nics: Vec<NicState>,
+    stats: TrafficStats,
+}
+
+/// Shared handle to the network model. Clone freely; all clones observe the
+/// same NIC occupancy. Thread-safe, but within the DES exactly one process
+/// calls in at a time, so there is no contention.
+#[derive(Clone)]
+pub struct NetModel {
+    cfg: NetParams,
+    inner: Arc<Mutex<NetInner>>,
+}
+
+/// The subset of [`ClusterConfig`] the network model needs (copied out so
+/// the model is independent of the rest of the config's lifetime).
+#[derive(Clone, Copy, Debug)]
+struct NetParams {
+    bandwidth_gbps: f64,
+    latency_us: f64,
+    intra_bandwidth_gbps: f64,
+    intra_latency_us: f64,
+}
+
+impl NetModel {
+    pub fn new(cfg: &ClusterConfig) -> Self {
+        NetModel {
+            cfg: NetParams {
+                bandwidth_gbps: cfg.network.bandwidth_gbps,
+                latency_us: cfg.network.latency_us,
+                intra_bandwidth_gbps: cfg.intra_bandwidth_gbps,
+                intra_latency_us: cfg.intra_latency_us,
+            },
+            inner: Arc::new(Mutex::new(NetInner {
+                nics: vec![NicState::default(); cfg.machines],
+                stats: TrafficStats::default(),
+            })),
+        }
+    }
+
+    /// Reserve NIC time for an unclassified transfer; see
+    /// [`Self::transfer_delay_class`].
+    pub fn transfer_delay(
+        &self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> SimTime {
+        self.transfer_delay_class(now, src, dst, bytes, TrafficClass::Other)
+    }
+
+    /// Reserve NIC time for a `bytes`-sized transfer from `src` to `dst`
+    /// starting no earlier than `now`; returns the *delay from `now`* until
+    /// the message is fully delivered at `dst`. Pass this delay to
+    /// [`dtrain_desim::Ctx::send`].
+    pub fn transfer_delay_class(
+        &self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        class: TrafficClass,
+    ) -> SimTime {
+        let mut inner = self.inner.lock();
+        inner.stats.class_bytes[class as usize] += bytes;
+        if src == dst {
+            inner.stats.intra_messages += 1;
+            inner.stats.intra_bytes += bytes;
+            let ser = SimTime::from_secs_f64(
+                bytes as f64 * 8.0 / (self.cfg.intra_bandwidth_gbps * 1e9),
+            );
+            let lat = SimTime::from_secs_f64(self.cfg.intra_latency_us * 1e-6);
+            return ser + lat;
+        }
+        inner.stats.inter_messages += 1;
+        inner.stats.inter_bytes += bytes;
+        let ser = SimTime::from_secs_f64(
+            bytes as f64 * 8.0 / (self.cfg.bandwidth_gbps * 1e9),
+        );
+        let lat = SimTime::from_secs_f64(self.cfg.latency_us * 1e-6);
+        // Start once both endpoints' NICs are free (FIFO in request order).
+        let start = now
+            .max(inner.nics[src.0].tx_free)
+            .max(inner.nics[dst.0].rx_free);
+        let wire_done = start + ser;
+        inner.nics[src.0].tx_free = wire_done;
+        inner.nics[dst.0].rx_free = wire_done;
+        (wire_done + lat).saturating_sub(now).max(SimTime::from_nanos(1))
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> TrafficStats {
+        self.inner.lock().stats
+    }
+
+    /// Earliest instant `node`'s TX NIC is free — exposed for tests and for
+    /// wait-free BP's overlap accounting.
+    pub fn tx_free_at(&self, node: NodeId) -> SimTime {
+        self.inner.lock().nics[node.0].tx_free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+
+    fn model(bw: NetworkConfig, machines: usize) -> NetModel {
+        let mut cfg = ClusterConfig::paper(bw);
+        cfg.machines = machines;
+        NetModel::new(&cfg)
+    }
+
+    const MB100: u64 = 100_000_000;
+
+    #[test]
+    fn single_transfer_time() {
+        let net = model(NetworkConfig::TEN_GBPS, 2);
+        let d = net.transfer_delay(SimTime::ZERO, NodeId(0), NodeId(1), MB100);
+        // 100 MB over 10 Gbps = 80 ms + 50 µs latency
+        assert!((d.as_secs_f64() - 0.08005).abs() < 1e-6, "{d:?}");
+    }
+
+    #[test]
+    fn receiver_nic_serializes_fan_in() {
+        // Two senders to one receiver: the second transfer queues behind the
+        // first on the receiver's RX NIC.
+        let net = model(NetworkConfig::TEN_GBPS, 3);
+        let d1 = net.transfer_delay(SimTime::ZERO, NodeId(1), NodeId(0), MB100);
+        let d2 = net.transfer_delay(SimTime::ZERO, NodeId(2), NodeId(0), MB100);
+        assert!(d2 > d1, "second transfer must wait: {d1:?} vs {d2:?}");
+        assert!((d2.as_secs_f64() - 0.16005).abs() < 1e-5, "{d2:?}");
+    }
+
+    #[test]
+    fn disjoint_pairs_do_not_interfere() {
+        let net = model(NetworkConfig::TEN_GBPS, 4);
+        let d1 = net.transfer_delay(SimTime::ZERO, NodeId(0), NodeId(1), MB100);
+        let d2 = net.transfer_delay(SimTime::ZERO, NodeId(2), NodeId(3), MB100);
+        assert_eq!(d1, d2, "independent links run in parallel");
+    }
+
+    #[test]
+    fn intra_machine_is_fast_and_unserialized() {
+        let net = model(NetworkConfig::TEN_GBPS, 2);
+        let d_intra = net.transfer_delay(SimTime::ZERO, NodeId(0), NodeId(0), MB100);
+        let d_inter = net.transfer_delay(SimTime::ZERO, NodeId(0), NodeId(1), MB100);
+        assert!(d_intra.as_secs_f64() * 5.0 < d_inter.as_secs_f64());
+        // intra transfers don't occupy the NIC
+        assert_eq!(net.tx_free_at(NodeId(0)), d_inter.saturating_sub(SimTime::from_micros(50)));
+    }
+
+    #[test]
+    fn faster_network_shrinks_delay_proportionally() {
+        let slow = model(NetworkConfig::TEN_GBPS, 2);
+        let fast = model(NetworkConfig::FIFTY_SIX_GBPS, 2);
+        let ds = slow.transfer_delay(SimTime::ZERO, NodeId(0), NodeId(1), MB100);
+        let df = fast.transfer_delay(SimTime::ZERO, NodeId(0), NodeId(1), MB100);
+        let ratio = ds.as_secs_f64() / df.as_secs_f64();
+        assert!((5.0..6.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let net = model(NetworkConfig::TEN_GBPS, 2);
+        net.transfer_delay(SimTime::ZERO, NodeId(0), NodeId(1), 10);
+        net.transfer_delay(SimTime::ZERO, NodeId(0), NodeId(0), 20);
+        let s = net.stats();
+        assert_eq!(s.inter_messages, 1);
+        assert_eq!(s.inter_bytes, 10);
+        assert_eq!(s.intra_messages, 1);
+        assert_eq!(s.intra_bytes, 20);
+    }
+
+    #[test]
+    fn later_transfers_start_later() {
+        let net = model(NetworkConfig::TEN_GBPS, 2);
+        let _ = net.transfer_delay(SimTime::ZERO, NodeId(0), NodeId(1), MB100);
+        // A request arriving mid-transfer queues for the remainder only.
+        let at = SimTime::from_millis(40);
+        let d = net.transfer_delay(at, NodeId(0), NodeId(1), MB100);
+        // remaining 40 ms of the first + 80 ms own = ~120 ms
+        assert!((d.as_secs_f64() - 0.12005).abs() < 1e-5, "{d:?}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the cluster substrate: NIC reservations never go
+//! backwards, delays are bounded below by physics, and shard plans conserve
+//! bytes under arbitrary inputs.
+
+use dtrain_cluster::{ClusterConfig, NetModel, NetworkConfig, NodeId, ShardPlan};
+use dtrain_desim::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For any request sequence, a transfer's delay is at least its own
+    /// serialization + latency, and each node's TX horizon is monotone.
+    #[test]
+    fn nic_reservations_are_monotone_and_lower_bounded(
+        reqs in prop::collection::vec(
+            (0usize..4, 0usize..4, 1u64..50_000_000, 0u64..1_000_000),
+            1..40,
+        ),
+    ) {
+        let mut cfg = ClusterConfig::paper(NetworkConfig::TEN_GBPS);
+        cfg.machines = 4;
+        let net = NetModel::new(&cfg);
+        let mut now = SimTime::ZERO;
+        let mut last_tx = vec![SimTime::ZERO; 4];
+        for (src, dst, bytes, dt) in reqs {
+            now += SimTime::from_nanos(dt);
+            let delay = net.transfer_delay(now, NodeId(src), NodeId(dst), bytes);
+            if src != dst {
+                let min_secs = cfg.network.serialization_secs(bytes)
+                    + cfg.network.latency_us * 1e-6;
+                prop_assert!(
+                    delay.as_secs_f64() >= min_secs - 1e-9,
+                    "delay {delay:?} below physics {min_secs}"
+                );
+                let tx = net.tx_free_at(NodeId(src));
+                prop_assert!(tx >= last_tx[src], "TX horizon went backwards");
+                last_tx[src] = tx;
+            } else {
+                prop_assert!(delay > SimTime::ZERO);
+            }
+        }
+    }
+
+    /// Both shard planners conserve bytes and assign every layer, for any
+    /// byte distribution and shard count.
+    #[test]
+    fn shard_plans_conserve_bytes(
+        layers in prop::collection::vec(0u64..10_000_000, 1..40),
+        shards in 1usize..12,
+    ) {
+        let total: u64 = layers.iter().sum();
+        for plan in [
+            ShardPlan::layer_wise(&layers, shards),
+            ShardPlan::balanced(&layers, shards),
+        ] {
+            prop_assert_eq!(plan.layer_to_shard.len(), layers.len());
+            prop_assert!(plan.layer_to_shard.iter().all(|&s| s < shards));
+            prop_assert_eq!(plan.shard_bytes.iter().sum::<u64>(), total);
+            prop_assert!(plan.imbalance() >= 1.0 - 1e-9);
+        }
+    }
+
+    /// The greedy-balanced planner respects the LPT guarantee: its largest
+    /// shard is within 4/3 of the optimal lower bound
+    /// max(mean load, biggest single layer).
+    #[test]
+    fn balanced_respects_lpt_bound(
+        layers in prop::collection::vec(1u64..10_000_000, 2..40),
+        shards in 1usize..8,
+    ) {
+        let bal = ShardPlan::balanced(&layers, shards);
+        let total: u64 = layers.iter().sum();
+        let biggest = *layers.iter().max().expect("non-empty");
+        let lower = (total as f64 / shards as f64).max(biggest as f64);
+        let max_shard = *bal.shard_bytes.iter().max().expect("non-empty") as f64;
+        prop_assert!(
+            max_shard <= lower * 4.0 / 3.0 + 1.0,
+            "LPT bound violated: {max_shard} vs lower {lower}"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Random-k sparsification — the classic baseline DGC's top-k selection is
+//! measured against (Stich et al. 2018; the family the paper's §V-C cites
+//! via AdaComp [7]).
+//!
+//! Like DGC it keeps a local accumulation buffer so unsent coordinates are
+//! delayed rather than dropped, but it picks the transmitted coordinates
+//! uniformly at random instead of by magnitude. Comparing the two at equal
+//! byte budgets isolates the value of importance-based selection.
+
+use dtrain_nn::ParamSet;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::sparse::{SparseTensor, SparseUpdate};
+
+/// Per-worker random-k compressor with local accumulation.
+#[derive(Clone, Debug)]
+pub struct RandomKCompressor {
+    /// Fraction NOT sent (same convention as [`crate::DgcConfig`]).
+    pub sparsity: f64,
+    acc: Option<ParamSet>,
+    rng: SmallRng,
+}
+
+impl RandomKCompressor {
+    pub fn new(sparsity: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&sparsity), "sparsity in [0,1)");
+        RandomKCompressor { sparsity, acc: None, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Accumulate `grad` and emit a uniformly random subset of coordinates
+    /// (with their full accumulated values), clearing what was sent.
+    pub fn compress(&mut self, grad: &ParamSet) -> SparseUpdate {
+        if self.acc.is_none() {
+            self.acc = Some(ParamSet::zeros_like(grad));
+        }
+        let acc = self.acc.as_mut().expect("initialized above");
+        acc.add_assign(grad);
+        let mut tensors = Vec::with_capacity(acc.0.len());
+        for t in &mut acc.0 {
+            let len = t.len();
+            let k = (((len as f64) * (1.0 - self.sparsity)).round() as usize)
+                .clamp(1, len);
+            let mut idx: Vec<u32> = (0..len as u32).collect();
+            idx.shuffle(&mut self.rng);
+            idx.truncate(k);
+            idx.sort_unstable();
+            let data = t.data_mut();
+            let values: Vec<f32> = idx
+                .iter()
+                .map(|&i| {
+                    let v = data[i as usize];
+                    data[i as usize] = 0.0; // sent: clear from the buffer
+                    v
+                })
+                .collect();
+            tensors.push(SparseTensor { shape: t.shape().to_vec(), indices: idx, values });
+        }
+        SparseUpdate { tensors }
+    }
+
+    /// Norm of the gradient mass still held back.
+    pub fn residual_norm(&self) -> f32 {
+        self.acc.as_ref().map(ParamSet::norm).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtrain_tensor::Tensor;
+
+    fn ps(v: &[f32]) -> ParamSet {
+        ParamSet(vec![Tensor::from_vec(&[v.len()], v.to_vec())])
+    }
+
+    #[test]
+    fn respects_budget_and_conserves_mass() {
+        let mut c = RandomKCompressor::new(0.75, 7);
+        let g = ps(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let mut sent = Tensor::zeros(&[8]);
+        for _ in 0..50 {
+            let upd = c.compress(&g);
+            assert_eq!(upd.nnz(), 2); // 25% of 8
+            upd.tensors[0].add_into(&mut sent);
+        }
+        let injected: f32 = g.0[0].sum() * 50.0;
+        // all residual entries are ≥ 0 here, so norm overestimates sum by
+        // at most sqrt(len); use a loose but meaningful tolerance
+        assert!(
+            (sent.sum() - injected).abs() <= c.residual_norm() * (8f32).sqrt() + 1.0,
+            "sent {} vs injected {injected} (residual {})",
+            sent.sum(),
+            c.residual_norm()
+        );
+    }
+
+    #[test]
+    fn eventually_covers_every_coordinate() {
+        let mut c = RandomKCompressor::new(0.875, 3);
+        let g = ps(&[1.0; 16]);
+        let mut touched = vec![false; 16];
+        for _ in 0..200 {
+            let upd = c.compress(&g);
+            for &i in &upd.tensors[0].indices {
+                touched[i as usize] = true;
+            }
+        }
+        assert!(touched.iter().all(|&t| t), "{touched:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut c = RandomKCompressor::new(0.5, seed);
+            c.compress(&ps(&[1.0, 2.0, 3.0, 4.0])).tensors[0].indices.clone()
+        };
+        assert_eq!(run(1), run(1));
+        // different seeds eventually differ (4 choose 2 = 6 subsets; seeds
+        // 1 and 2 differ for this draw)
+        let (a, b) = (run(1), run(2));
+        let _ = (a, b); // either equal by chance or not; just ensure no panic
+    }
+
+    #[test]
+    fn topk_beats_randomk_at_equal_budget() {
+        // One-shot approximation error on a skewed gradient: top-k keeps the
+        // heavy coordinates, random-k usually misses them.
+        use crate::SparseTensor as _;
+        let skewed: Vec<f32> =
+            (0..64).map(|i| if i < 4 { 100.0 } else { 0.01 }).collect();
+        let t = Tensor::from_vec(&[64], skewed.clone());
+        let top = crate::SparseTensor::top_k(&t, 4).to_dense();
+        let mut rk = RandomKCompressor::new(1.0 - 4.0 / 64.0, 9);
+        let rnd = rk.compress(&ps(&skewed)).to_dense();
+        let err = |approx: &Tensor| {
+            approx
+                .data()
+                .iter()
+                .zip(&skewed)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+        };
+        assert!(
+            err(&top) < err(&rnd.0[0]),
+            "top-k must approximate a skewed gradient better"
+        );
+    }
+}

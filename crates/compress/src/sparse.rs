@@ -1,0 +1,188 @@
+//! Sparse gradient representation: the wire format of compressed updates.
+
+use dtrain_nn::ParamSet;
+use dtrain_tensor::Tensor;
+
+/// One tensor's sparse slice: coordinate list of `(index, value)` pairs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseTensor {
+    pub shape: Vec<usize>,
+    pub indices: Vec<u32>,
+    pub values: Vec<f32>,
+}
+
+impl SparseTensor {
+    /// Exact top-`k` elements of `t` by absolute value. Deterministic:
+    /// ties are broken toward the lower index.
+    pub fn top_k(t: &Tensor, k: usize) -> SparseTensor {
+        let data = t.data();
+        let k = k.min(data.len());
+        if k == 0 {
+            return SparseTensor { shape: t.shape().to_vec(), indices: vec![], values: vec![] };
+        }
+        let mut order: Vec<u32> = (0..data.len() as u32).collect();
+        // Partially sort so the first k indices hold the largest |values|;
+        // tie-break on index for determinism.
+        let key = |&i: &u32| {
+            let v = data[i as usize].abs();
+            (std::cmp::Reverse(ordered(v)), i)
+        };
+        if k < data.len() {
+            order.select_nth_unstable_by_key(k - 1, key);
+            order.truncate(k);
+        }
+        order.sort_unstable(); // ascending index order on the wire
+        let values = order.iter().map(|&i| data[i as usize]).collect();
+        SparseTensor { shape: t.shape().to_vec(), indices: order, values }
+    }
+
+    /// Densify back into a full tensor (zeros elsewhere).
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(&self.shape);
+        let d = out.data_mut();
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            d[i as usize] = v;
+        }
+        out
+    }
+
+    /// Scatter-add into an existing dense tensor.
+    pub fn add_into(&self, dense: &mut Tensor) {
+        assert_eq!(dense.shape(), &self.shape[..], "scatter shape mismatch");
+        let d = dense.data_mut();
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            d[i as usize] += v;
+        }
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Wire size: 4 bytes per index + 4 per value.
+    pub fn wire_bytes(&self) -> u64 {
+        8 * self.values.len() as u64
+    }
+}
+
+/// Total order on f32 for selection (NaNs sort last; gradients are finite in
+/// practice but the kernel must not misbehave on them).
+fn ordered(v: f32) -> ordered_float::NotNanF32 {
+    ordered_float::NotNanF32(if v.is_nan() { f32::NEG_INFINITY } else { v })
+}
+
+/// Minimal ordered-float shim (avoids an external dependency).
+mod ordered_float {
+    #[derive(PartialEq, Clone, Copy)]
+    pub struct NotNanF32(pub f32);
+    impl Eq for NotNanF32 {}
+    impl PartialOrd for NotNanF32 {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for NotNanF32 {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.partial_cmp(&other.0).expect("NaNs filtered by caller")
+        }
+    }
+}
+
+/// A whole model's compressed update: one sparse slice per tensor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseUpdate {
+    pub tensors: Vec<SparseTensor>,
+}
+
+impl SparseUpdate {
+    /// Densify into a ParamSet congruent with the original gradients.
+    pub fn to_dense(&self) -> ParamSet {
+        ParamSet(self.tensors.iter().map(SparseTensor::to_dense).collect())
+    }
+
+    /// Scatter-add all slices into a congruent dense set.
+    pub fn add_into(&self, dense: &mut ParamSet) {
+        assert_eq!(dense.0.len(), self.tensors.len());
+        for (t, s) in dense.0.iter_mut().zip(&self.tensors) {
+            s.add_into(t);
+        }
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.tensors.iter().map(SparseTensor::nnz).sum()
+    }
+
+    pub fn wire_bytes(&self) -> u64 {
+        self.tensors.iter().map(SparseTensor::wire_bytes).sum()
+    }
+}
+
+/// Wire size of a DGC-compressed message for cost-model purposes: a fraction
+/// `1 - sparsity` of the elements survive, each costing 8 bytes
+/// (index + value) instead of 4.
+pub fn compressed_wire_bytes(dense_bytes: u64, sparsity: f64) -> u64 {
+    let elems = dense_bytes / 4;
+    let kept = ((elems as f64) * (1.0 - sparsity)).round() as u64;
+    kept.max(1) * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_selects_largest_magnitudes() {
+        let t = Tensor::from_vec(&[6], vec![0.1, -5.0, 3.0, -0.2, 4.0, 0.0]);
+        let s = SparseTensor::top_k(&t, 3);
+        assert_eq!(s.indices, vec![1, 2, 4]);
+        assert_eq!(s.values, vec![-5.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn top_k_tie_break_is_low_index() {
+        let t = Tensor::from_vec(&[4], vec![1.0, -1.0, 1.0, 1.0]);
+        let s = SparseTensor::top_k(&t, 2);
+        assert_eq!(s.indices, vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_k_ge_len_keeps_everything() {
+        let t = Tensor::from_vec(&[3], vec![1., 2., 3.]);
+        let s = SparseTensor::top_k(&t, 10);
+        assert_eq!(s.nnz(), 3);
+        assert_eq!(s.to_dense().data(), t.data());
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let t = Tensor::from_vec(&[2, 3], vec![0., 7., 0., -2., 0., 0.]);
+        let s = SparseTensor::top_k(&t, 2);
+        assert_eq!(s.to_dense().data(), t.data());
+        let mut acc = Tensor::full(&[2, 3], 1.0);
+        s.add_into(&mut acc);
+        assert_eq!(acc.data(), &[1., 8., 1., -1., 1., 1.]);
+    }
+
+    #[test]
+    fn wire_bytes_formula() {
+        // 1000 f32s (4000 bytes) at 99.9% sparsity → 1 element → 8 bytes.
+        assert_eq!(compressed_wire_bytes(4000, 0.999), 8);
+        // 0% sparsity costs 2× dense (index overhead).
+        assert_eq!(compressed_wire_bytes(4000, 0.0), 8000);
+    }
+
+    #[test]
+    fn update_wire_accounting() {
+        let t = Tensor::from_vec(&[4], vec![9., 0., 0., 1.]);
+        let u = SparseUpdate { tensors: vec![SparseTensor::top_k(&t, 2); 3] };
+        assert_eq!(u.nnz(), 6);
+        assert_eq!(u.wire_bytes(), 48);
+    }
+
+    #[test]
+    fn nan_does_not_win_selection() {
+        let t = Tensor::from_vec(&[3], vec![f32::NAN, 2.0, 1.0]);
+        let s = SparseTensor::top_k(&t, 1);
+        assert_eq!(s.indices, vec![1]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the compression stack: top-k agrees with a sort-based
+//! reference, the compressor respects its sparsity budget, and no gradient
+//! mass is ever lost (only delayed).
+
+use dtrain_compress::{DgcCompressor, DgcConfig, SparseTensor};
+use dtrain_nn::ParamSet;
+use dtrain_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// top_k selects a set with the same magnitude multiset as a full sort.
+    #[test]
+    fn top_k_matches_sort_reference(
+        vals in prop::collection::vec(-100.0f32..100.0, 1..60),
+        k in 1usize..20,
+    ) {
+        let t = Tensor::from_vec(&[vals.len()], vals.clone());
+        let s = SparseTensor::top_k(&t, k);
+        let k_eff = k.min(vals.len());
+        prop_assert_eq!(s.nnz(), k_eff);
+        // reference: sort magnitudes descending
+        let mut mags: Vec<f32> = vals.iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        let mut got: Vec<f32> = s.values.iter().map(|v| v.abs()).collect();
+        got.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        for (g, m) in got.iter().zip(mags.iter().take(k_eff)) {
+            prop_assert!((g - m).abs() < 1e-6, "magnitude sets differ");
+        }
+        // indices are strictly increasing (wire format contract)
+        prop_assert!(s.indices.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Densify(round-trip) only keeps selected coordinates, zeros elsewhere.
+    #[test]
+    fn to_dense_zero_fills(
+        vals in prop::collection::vec(-10.0f32..10.0, 1..40),
+        k in 1usize..10,
+    ) {
+        let t = Tensor::from_vec(&[vals.len()], vals.clone());
+        let s = SparseTensor::top_k(&t, k);
+        let d = s.to_dense();
+        let selected: std::collections::HashSet<u32> =
+            s.indices.iter().copied().collect();
+        for (i, (&orig, &dense)) in vals.iter().zip(d.data()).enumerate() {
+            if selected.contains(&(i as u32)) {
+                prop_assert_eq!(orig, dense);
+            } else {
+                prop_assert_eq!(dense, 0.0);
+            }
+        }
+    }
+
+    /// Mass conservation: over any gradient sequence,
+    /// sent + residual == injected (per coordinate, within f32 tolerance).
+    #[test]
+    fn nothing_lost_only_delayed(
+        grads in prop::collection::vec(
+            prop::collection::vec(-2.0f32..2.0, 8), 1..12,
+        ),
+        sparsity_pct in 0usize..90,
+    ) {
+        let cfg = DgcConfig {
+            final_sparsity: sparsity_pct as f64 / 100.0,
+            warmup_schedule: vec![],
+            momentum: 0.0,
+            clipping_threshold: None,
+            momentum_correction: false,
+            factor_masking: false,
+            local_accumulation: true,
+        };
+        let mut comp = DgcCompressor::new(cfg, 1);
+        let mut sent = Tensor::zeros(&[8]);
+        let mut injected = Tensor::zeros(&[8]);
+        for g in &grads {
+            let gs = ParamSet(vec![Tensor::from_vec(&[8], g.clone())]);
+            injected.add_assign(&gs.0[0]);
+            let upd = comp.compress(&gs, 0);
+            upd.tensors[0].add_into(&mut sent);
+        }
+        // residual = injected − sent, held in the accumulation buffer
+        let mut residual = injected.clone();
+        residual.sub_assign(&sent);
+        prop_assert!(
+            (residual.norm() - comp.residual_norm()).abs() < 1e-3,
+            "mass leak: residual {} vs buffer {}",
+            residual.norm(),
+            comp.residual_norm()
+        );
+    }
+
+    /// The compressor never exceeds its per-tensor coordinate budget.
+    #[test]
+    fn sparsity_budget_respected(
+        len in 4usize..200,
+        sparsity_pct in 50usize..100,
+    ) {
+        let sparsity = sparsity_pct as f64 / 100.0;
+        let cfg = DgcConfig {
+            final_sparsity: sparsity,
+            warmup_schedule: vec![],
+            ..DgcConfig::default()
+        };
+        let mut comp = DgcCompressor::new(cfg, 4);
+        let g = ParamSet(vec![Tensor::full(&[len], 1.0)]);
+        let upd = comp.compress(&g, 99);
+        let budget = (((len as f64) * (1.0 - sparsity)).round() as usize).max(1);
+        prop_assert!(upd.nnz() <= budget, "nnz {} > budget {budget}", upd.nnz());
+    }
+}

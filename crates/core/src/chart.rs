@@ -1,0 +1,153 @@
+//! Terminal line charts, so the harness binaries can render Fig.-1-style
+//! curves directly in the console next to their numeric tables.
+
+use std::fmt::Write as _;
+
+/// A labelled series of (x, y) points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    pub label: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+}
+
+/// Render multiple series into a fixed-size ASCII grid. Each series is
+/// drawn with its own glyph; y grows upward; axes are annotated with the
+/// data ranges.
+pub fn render_chart(
+    title: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small to be legible");
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let pts = series.iter().flat_map(|s| s.points.iter());
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    if !x0.is_finite() || !y0.is_finite() {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+    let y_label_hi = format!("{y1:.3}");
+    let y_label_lo = format!("{y0:.3}");
+    let margin = y_label_hi.len().max(y_label_lo.len());
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            &y_label_hi
+        } else if r == height - 1 {
+            &y_label_lo
+        } else {
+            ""
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{label:>margin$} |{line}");
+    }
+    let _ = writeln!(
+        out,
+        "{:>margin$} +{}",
+        "",
+        "-".repeat(width),
+    );
+    let _ = writeln!(
+        out,
+        "{:>margin$}  {:<w2$}{x1:.1}",
+        "",
+        format!("{x0:.1}"),
+        w2 = width.saturating_sub(format!("{x1:.1}").len()),
+    );
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", GLYPHS[i % GLYPHS.len()], s.label))
+        .collect();
+    let _ = writeln!(out, "{:>margin$}  {}", "", legend.join("   "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(label: &str, slope: f64) -> Series {
+        Series::new(label, (0..20).map(|i| (i as f64, slope * i as f64)).collect())
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let chart = render_chart("demo", &[ramp("up", 1.0)], 40, 10);
+        assert!(chart.contains("== demo =="));
+        assert!(chart.contains("19.000")); // max y annotated
+        assert!(chart.contains("0.000")); // min y annotated
+        assert!(chart.contains("* up"));
+        assert!(chart.lines().count() >= 12);
+    }
+
+    #[test]
+    fn distinct_glyphs_per_series() {
+        let chart = render_chart(
+            "two",
+            &[ramp("a", 1.0), ramp("b", -1.0)],
+            40,
+            8,
+        );
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("* a"));
+        assert!(chart.contains("o b"));
+    }
+
+    #[test]
+    fn monotone_series_lands_on_corners() {
+        let chart = render_chart("corner", &[ramp("r", 2.0)], 30, 6);
+        let rows: Vec<&str> = chart
+            .lines()
+            .filter(|l| l.contains('|'))
+            .collect();
+        // highest point on the top row, lowest on the bottom row
+        assert!(rows.first().expect("rows").contains('*'));
+        assert!(rows.last().expect("rows").contains('*'));
+    }
+
+    #[test]
+    fn empty_series_does_not_panic() {
+        let chart = render_chart("empty", &[Series::new("none", vec![])], 20, 4);
+        assert!(chart.contains("(no data)"));
+    }
+
+    #[test]
+    fn constant_series_is_handled() {
+        let flat = Series::new("flat", (0..5).map(|i| (i as f64, 3.0)).collect());
+        let chart = render_chart("flat", &[flat], 20, 4);
+        assert!(chart.contains('*'));
+    }
+}

@@ -1,0 +1,159 @@
+//! Report rendering: console tables and CSV/JSON export for the harness
+//! binaries, so each bench prints rows directly comparable to the paper's
+//! tables and figures.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A rectangular table with a title, rendered to console or CSV.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned console table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{:>width$}  ", c, width = w);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total.saturating_sub(2)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// CSV form (RFC-4180-lite: quotes cells containing commas/quotes).
+    pub fn to_csv(&self) -> String {
+        fn esc(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Write CSV next to stdout output (harness binaries call this with a
+    /// `results/` path).
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        if let Some(dir) = path.as_ref().parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Format a fraction as `0.7511`-style accuracy.
+pub fn fmt_acc(v: f32) -> String {
+    format!("{v:.4}")
+}
+
+/// Format a speedup / throughput ratio.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Format seconds.
+pub fn fmt_secs(v: f64) -> String {
+    format!("{v:.3}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo", &["algo", "acc"]);
+        t.push_row(vec!["BSP".into(), "0.7511".into()]);
+        t.push_row(vec!["GoSGD, p=0.01".into(), "0.3938".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = sample().render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("0.7511"));
+        // title + header + separator + 2 rows
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("algo,acc\n"));
+        assert!(csv.contains("\"GoSGD, p=0.01\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_acc(0.75109), "0.7511");
+        assert_eq!(fmt_x(3.14159), "3.14x");
+        assert_eq!(fmt_secs(0.1234), "0.123s");
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let t = sample();
+        let path = std::env::temp_dir().join("dtrain_report_test.csv");
+        t.write_csv(&path).expect("write csv");
+        let read = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(read, t.to_csv());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,761 @@
+//! The simulation kernel: a process-oriented, deterministic discrete-event
+//! scheduler.
+//!
+//! Each simulated process is an OS thread running ordinary sequential Rust
+//! code against a [`Ctx`] handle. The scheduler enforces that **exactly one
+//! process executes at any instant**, resuming processes strictly in virtual
+//! timestamp order (ties broken by event sequence number), so a run is fully
+//! deterministic regardless of host scheduling. This is the classic
+//! "coroutine DES" model (cf. SimPy) realized with parked threads, which lets
+//! model code — parameter servers, workers, NICs — be written as
+//! straight-line loops with blocking `recv`, instead of hand-written state
+//! machines.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::time::SimTime;
+
+/// Identifier of a simulated process, assigned densely from zero in spawn
+/// order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pid(pub usize);
+
+impl Pid {
+    /// Index form, for direct use in slices keyed by pid.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What the scheduler tells a parked process.
+enum Go {
+    /// Continue executing.
+    Run,
+    /// The simulation is shutting down; unwind out of the process body.
+    Stop,
+}
+
+/// What a process tells the scheduler when it parks or exits.
+enum Yield {
+    /// Parked in `advance`/`recv`; will be resumed by a queued event.
+    Parked,
+    /// Process body returned normally.
+    Finished,
+    /// Process body panicked with this payload.
+    Panicked(Box<dyn std::any::Any + Send>),
+    /// Process acknowledged a `Stop`.
+    Stopped,
+}
+
+/// Scheduler-visible state of one process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ProcState {
+    /// Parked, waiting for a `Resume` event it scheduled itself.
+    Holding,
+    /// Parked inside `recv`, waiting for any delivery.
+    WaitingRecv,
+    /// Currently running (the scheduler is blocked on its yield).
+    Running,
+    /// Process body has returned.
+    Finished,
+}
+
+enum EventKind<M> {
+    /// Resume a process that called `advance`.
+    Resume(Pid),
+    /// Deliver a message into a mailbox.
+    Deliver(Pid, M),
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest event.
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// One record of the (optional) deterministic event trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceRecord {
+    pub time: SimTime,
+    pub pid: Pid,
+    /// 0 = resume, 1 = deliver.
+    pub kind: u8,
+}
+
+/// Kernel state shared between the scheduler and the (one) running process.
+///
+/// Only one process runs at a time and the scheduler is parked while it does,
+/// so this mutex is never contended; it exists to satisfy `Send`/`Sync`.
+struct Shared<M> {
+    queue: BinaryHeap<Event<M>>,
+    mailboxes: Vec<VecDeque<M>>,
+    states: Vec<ProcState>,
+    now: SimTime,
+    next_seq: u64,
+    /// Messages sent to already-finished processes.
+    dead_letters: u64,
+    events_processed: u64,
+    trace: Option<Vec<TraceRecord>>,
+}
+
+impl<M> Shared<M> {
+    fn push_event(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Event { time, seq, kind });
+    }
+}
+
+/// Handle given to every process body; all interaction with virtual time and
+/// other processes goes through it.
+pub struct Ctx<M: Send + 'static> {
+    pid: Pid,
+    shared: Arc<Mutex<Shared<M>>>,
+    go_rx: Receiver<Go>,
+    yield_tx: Sender<(Pid, Yield)>,
+}
+
+/// Sentinel panic payload used to unwind a process during shutdown.
+struct ShutdownToken;
+
+impl<M: Send + 'static> Ctx<M> {
+    /// This process's id.
+    #[inline]
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.shared.lock().now
+    }
+
+    /// Park this process, then yield control to the scheduler and wait to be
+    /// resumed. Panics with the shutdown token if the simulation is tearing
+    /// down, which the spawn wrapper catches.
+    fn park(&self) {
+        self.yield_tx
+            .send((self.pid, Yield::Parked))
+            .expect("scheduler gone");
+        match self.go_rx.recv().expect("scheduler gone") {
+            Go::Run => {}
+            Go::Stop => panic::panic_any(ShutdownToken),
+        }
+    }
+
+    /// Advance this process's clock by `dt`, letting other processes run in
+    /// the meantime. `advance(SimTime::ZERO)` is a deterministic yield point.
+    pub fn advance(&self, dt: SimTime) {
+        {
+            let mut sh = self.shared.lock();
+            // Saturating: SimTime::MAX is a documented "never" sentinel and
+            // must not wrap into the past.
+            let at = SimTime::from_nanos(sh.now.as_nanos().saturating_add(dt.as_nanos()));
+            sh.states[self.pid.index()] = ProcState::Holding;
+            sh.push_event(at, EventKind::Resume(self.pid));
+        }
+        self.park();
+    }
+
+    /// Advance to an absolute timestamp (no-op if already past it).
+    pub fn advance_to(&self, t: SimTime) {
+        let now = self.now();
+        if t > now {
+            self.advance(t - now);
+        }
+    }
+
+    /// Yield to let any same-timestamp events run before continuing.
+    pub fn yield_now(&self) {
+        self.advance(SimTime::ZERO);
+    }
+
+    /// Send `msg` to `dst`, arriving `delay` after the current instant.
+    /// Non-blocking: the sender keeps running. Transfer-time modelling (link
+    /// bandwidth, NIC serialization) is the caller's job — the kernel only
+    /// honors the delay it is given.
+    pub fn send(&self, dst: Pid, delay: SimTime, msg: M) {
+        let mut sh = self.shared.lock();
+        let at = SimTime::from_nanos(sh.now.as_nanos().saturating_add(delay.as_nanos()));
+        sh.push_event(at, EventKind::Deliver(dst, msg));
+    }
+
+    /// Pop the next message from this process's mailbox, blocking in virtual
+    /// time until one is delivered.
+    pub fn recv(&self) -> M {
+        loop {
+            {
+                let mut sh = self.shared.lock();
+                if let Some(m) = sh.mailboxes[self.pid.index()].pop_front() {
+                    return m;
+                }
+                sh.states[self.pid.index()] = ProcState::WaitingRecv;
+            }
+            self.park();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<M> {
+        self.shared.lock().mailboxes[self.pid.index()].pop_front()
+    }
+
+    /// Receive the first mailbox message satisfying `pred`, blocking until
+    /// one arrives. Non-matching messages stay queued in order.
+    pub fn recv_match(&self, mut pred: impl FnMut(&M) -> bool) -> M {
+        loop {
+            {
+                let mut sh = self.shared.lock();
+                let mb = &mut sh.mailboxes[self.pid.index()];
+                if let Some(i) = mb.iter().position(&mut pred) {
+                    return mb.remove(i).expect("position just found");
+                }
+                sh.states[self.pid.index()] = ProcState::WaitingRecv;
+            }
+            self.park();
+        }
+    }
+
+    /// Number of messages currently queued for this process.
+    pub fn mailbox_len(&self) -> usize {
+        self.shared.lock().mailboxes[self.pid.index()].len()
+    }
+}
+
+/// Why a simulation run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// All processes finished.
+    Completed,
+    /// Events remained only for processes stuck in `recv` with no pending
+    /// deliveries — a logical deadlock in the model.
+    Deadlock,
+    /// The configured event or time limit was reached.
+    LimitReached,
+}
+
+/// Summary of a finished simulation run.
+#[derive(Debug)]
+pub struct SimStats {
+    pub reason: StopReason,
+    /// Final virtual clock value.
+    pub end_time: SimTime,
+    pub events_processed: u64,
+    /// Messages addressed to processes that had already finished.
+    pub dead_letters: u64,
+    /// Pids still blocked when the run ended (non-empty on deadlock/limit).
+    pub blocked: Vec<Pid>,
+    /// Deterministic event trace, if tracing was enabled.
+    pub trace: Option<Vec<TraceRecord>>,
+}
+
+/// Limits for [`Simulation::run`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunLimits {
+    /// Stop after processing this many events.
+    pub max_events: Option<u64>,
+    /// Stop once the clock would pass this timestamp.
+    pub max_time: Option<SimTime>,
+}
+
+/// A configured simulation: spawn processes, then [`run`](Simulation::run).
+pub struct Simulation<M: Send + 'static> {
+    shared: Arc<Mutex<Shared<M>>>,
+    yield_tx: Sender<(Pid, Yield)>,
+    yield_rx: Receiver<(Pid, Yield)>,
+    go_txs: Vec<Sender<Go>>,
+    threads: Vec<Option<JoinHandle<()>>>,
+    names: Vec<String>,
+}
+
+impl<M: Send + 'static> Default for Simulation<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Send + 'static> Simulation<M> {
+    pub fn new() -> Self {
+        let (yield_tx, yield_rx) = bounded(1);
+        Simulation {
+            shared: Arc::new(Mutex::new(Shared {
+                queue: BinaryHeap::new(),
+                mailboxes: Vec::new(),
+                states: Vec::new(),
+                now: SimTime::ZERO,
+                next_seq: 0,
+                dead_letters: 0,
+                events_processed: 0,
+                trace: None,
+            })),
+            yield_tx,
+            yield_rx,
+            go_txs: Vec::new(),
+            threads: Vec::new(),
+            names: Vec::new(),
+        }
+    }
+
+    /// Record a (time, pid, kind) trace of every processed event; retrieve it
+    /// from [`SimStats::trace`]. Intended for determinism tests.
+    pub fn enable_tracing(&mut self) {
+        self.shared.lock().trace = Some(Vec::new());
+    }
+
+    /// Spawn a process. The body runs when `run` is called; it starts at
+    /// virtual time zero.
+    pub fn spawn<F>(&mut self, name: impl Into<String>, body: F) -> Pid
+    where
+        F: FnOnce(Ctx<M>) + Send + 'static,
+    {
+        let pid = Pid(self.threads.len());
+        let (go_tx, go_rx) = bounded(1);
+        {
+            let mut sh = self.shared.lock();
+            sh.mailboxes.push(VecDeque::new());
+            sh.states.push(ProcState::Holding);
+            // Initial resume event: every process starts at t=0 in spawn order.
+            sh.push_event(SimTime::ZERO, EventKind::Resume(pid));
+        }
+        let ctx = Ctx {
+            pid,
+            shared: Arc::clone(&self.shared),
+            go_rx,
+            yield_tx: self.yield_tx.clone(),
+        };
+        let name_s: String = name.into();
+        let thread_name = name_s.clone();
+        let yield_tx = self.yield_tx.clone();
+        let handle = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                // Wait for the first Go before touching anything.
+                match ctx.go_rx.recv() {
+                    Ok(Go::Run) => {}
+                    Ok(Go::Stop) | Err(_) => {
+                        let _ = yield_tx.send((pid, Yield::Stopped));
+                        return;
+                    }
+                }
+                let r = panic::catch_unwind(AssertUnwindSafe(|| body(ctx)));
+                let msg = match r {
+                    Ok(()) => Yield::Finished,
+                    Err(p) if p.is::<ShutdownToken>() => Yield::Stopped,
+                    Err(p) => Yield::Panicked(p),
+                };
+                let _ = yield_tx.send((pid, msg));
+            })
+            .expect("failed to spawn simulation process thread");
+        self.go_txs.push(go_tx);
+        self.threads.push(Some(handle));
+        self.names.push(name_s);
+        pid
+    }
+
+    /// Run to completion (or deadlock). Panics from process bodies are
+    /// re-raised after teardown.
+    pub fn run(self) -> SimStats {
+        self.run_with_limits(RunLimits::default())
+    }
+
+    /// Run with event/time limits; see [`RunLimits`].
+    pub fn run_with_limits(mut self, limits: RunLimits) -> SimStats {
+        let reason = self.schedule_loop(limits);
+        let (end_time, events, dead, blocked, trace) = {
+            let mut sh = self.shared.lock();
+            let blocked: Vec<Pid> = sh
+                .states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !matches!(s, ProcState::Finished))
+                .map(|(i, _)| Pid(i))
+                .collect();
+            (
+                sh.now,
+                sh.events_processed,
+                sh.dead_letters,
+                blocked,
+                sh.trace.take(),
+            )
+        };
+        self.teardown(&blocked);
+        SimStats {
+            reason,
+            end_time,
+            events_processed: events,
+            dead_letters: dead,
+            blocked: if reason == StopReason::Completed {
+                Vec::new()
+            } else {
+                blocked
+            },
+            trace,
+        }
+    }
+
+    /// Main scheduling loop: pop the earliest event, resume the target
+    /// process, wait for it to park or finish.
+    fn schedule_loop(&mut self, limits: RunLimits) -> StopReason {
+        loop {
+            // Pop the next actionable event under the lock, then release it
+            // before handing control to the process.
+            let (time, kind) = {
+                let mut sh = self.shared.lock();
+                loop {
+                    let Some(ev) = sh.queue.pop() else {
+                        let any_live =
+                            sh.states.iter().any(|s| !matches!(s, ProcState::Finished));
+                        return if any_live {
+                            StopReason::Deadlock
+                        } else {
+                            StopReason::Completed
+                        };
+                    };
+                    if let Some(max_t) = limits.max_time {
+                        if ev.time > max_t {
+                            return StopReason::LimitReached;
+                        }
+                    }
+                    if let Some(max_e) = limits.max_events {
+                        if sh.events_processed >= max_e {
+                            return StopReason::LimitReached;
+                        }
+                    }
+                    sh.events_processed += 1;
+                    match ev.kind {
+                        EventKind::Deliver(pid, msg) => {
+                            if matches!(sh.states[pid.index()], ProcState::Finished) {
+                                sh.dead_letters += 1;
+                                continue; // drop, try next event
+                            }
+                            sh.now = ev.time;
+                            if let Some(tr) = sh.trace.as_mut() {
+                                tr.push(TraceRecord { time: ev.time, pid, kind: 1 });
+                            }
+                            sh.mailboxes[pid.index()].push_back(msg);
+                            if matches!(sh.states[pid.index()], ProcState::WaitingRecv) {
+                                break (ev.time, EventKind::<M>::Resume(pid));
+                            }
+                            continue; // target is running/holding; it'll see it
+                        }
+                        EventKind::Resume(pid) => {
+                            if matches!(sh.states[pid.index()], ProcState::Finished) {
+                                continue;
+                            }
+                            sh.now = ev.time;
+                            if let Some(tr) = sh.trace.as_mut() {
+                                tr.push(TraceRecord { time: ev.time, pid, kind: 0 });
+                            }
+                            break (ev.time, EventKind::Resume(pid));
+                        }
+                    }
+                }
+            };
+            let EventKind::Resume(pid) = kind else { unreachable!() };
+            let _ = time;
+            // Hand the baton to the process and wait for it to yield back.
+            {
+                let mut sh = self.shared.lock();
+                sh.states[pid.index()] = ProcState::Running;
+            }
+            self.go_txs[pid.index()]
+                .send(Go::Run)
+                .expect("process thread died unexpectedly");
+            let (ypid, y) = self.yield_rx.recv().expect("all processes vanished");
+            debug_assert_eq!(ypid, pid, "yield from unexpected process");
+            match y {
+                Yield::Parked => {
+                    // State was set to Holding/WaitingRecv by the ctx op.
+                }
+                Yield::Finished | Yield::Stopped => {
+                    self.shared.lock().states[pid.index()] = ProcState::Finished;
+                    if let Some(h) = self.threads[pid.index()].take() {
+                        let _ = h.join();
+                    }
+                }
+                Yield::Panicked(payload) => {
+                    self.shared.lock().states[pid.index()] = ProcState::Finished;
+                    if let Some(h) = self.threads[pid.index()].take() {
+                        let _ = h.join();
+                    }
+                    // Tear down remaining processes, then re-raise.
+                    let blocked: Vec<Pid> = {
+                        let sh = self.shared.lock();
+                        sh.states
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| !matches!(s, ProcState::Finished))
+                            .map(|(i, _)| Pid(i))
+                            .collect()
+                    };
+                    self.teardown(&blocked);
+                    eprintln!(
+                        "desim: process '{}' panicked; re-raising",
+                        self.names[pid.index()]
+                    );
+                    panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+
+    /// Stop all still-live processes and join their threads.
+    fn teardown(&mut self, blocked: &[Pid]) {
+        for &pid in blocked {
+            if self.threads[pid.index()].is_none() {
+                continue;
+            }
+            let _ = self.go_txs[pid.index()].send(Go::Stop);
+            // Wait for the Stopped acknowledgement so the thread exits
+            // deterministically before we join it.
+            match self.yield_rx.recv() {
+                Ok((p, Yield::Stopped)) | Ok((p, Yield::Finished)) => {
+                    debug_assert_eq!(p, pid);
+                }
+                Ok((_, Yield::Panicked(_))) | Ok((_, Yield::Parked)) | Err(_) => {}
+            }
+            if let Some(h) = self.threads[pid.index()].take() {
+                let _ = h.join();
+            }
+            self.shared.lock().states[pid.index()] = ProcState::Finished;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_process_advances_clock() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.spawn("p", |ctx| {
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            ctx.advance(SimTime::from_secs(3));
+            assert_eq!(ctx.now(), SimTime::from_secs(3));
+        });
+        let stats = sim.run();
+        assert_eq!(stats.reason, StopReason::Completed);
+        assert_eq!(stats.end_time, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn message_delivery_with_delay() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        let got = Arc::new(Mutex::new((SimTime::ZERO, 0u32)));
+        let got2 = Arc::clone(&got);
+        let rx_pid = {
+            // Spawn receiver first so its pid is known to the sender below.
+            sim.spawn("rx", move |ctx| {
+                let m = ctx.recv();
+                *got2.lock() = (ctx.now(), m);
+            })
+        };
+        sim.spawn("tx", move |ctx| {
+            ctx.advance(SimTime::from_millis(5));
+            ctx.send(rx_pid, SimTime::from_millis(10), 42);
+        });
+        let stats = sim.run();
+        assert_eq!(stats.reason, StopReason::Completed);
+        let (t, v) = *got.lock();
+        assert_eq!(v, 42);
+        assert_eq!(t, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn fifo_order_preserved_for_equal_timestamps() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let rx = sim.spawn("rx", move |ctx| {
+            for _ in 0..3 {
+                seen2.lock().push(ctx.recv());
+            }
+        });
+        sim.spawn("tx", move |ctx| {
+            for i in 0..3 {
+                ctx.send(rx, SimTime::from_millis(1), i);
+            }
+        });
+        sim.run();
+        assert_eq!(*seen.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.spawn("stuck", |ctx| {
+            let _ = ctx.recv(); // no one ever sends
+        });
+        let stats = sim.run();
+        assert_eq!(stats.reason, StopReason::Deadlock);
+        assert_eq!(stats.blocked, vec![Pid(0)]);
+    }
+
+    #[test]
+    fn recv_match_skips_non_matching() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = Arc::clone(&out);
+        let rx = sim.spawn("rx", move |ctx| {
+            let even = ctx.recv_match(|m| m % 2 == 0);
+            out2.lock().push(even);
+            // the skipped odd message is still queued
+            out2.lock().push(ctx.recv());
+        });
+        sim.spawn("tx", move |ctx| {
+            ctx.send(rx, SimTime::from_millis(1), 7);
+            ctx.send(rx, SimTime::from_millis(2), 8);
+        });
+        sim.run();
+        assert_eq!(*out.lock(), vec![8, 7]);
+    }
+
+    #[test]
+    fn time_limit_stops_run() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.spawn("ticker", |ctx| loop {
+            ctx.advance(SimTime::from_secs(1));
+        });
+        let stats = sim.run_with_limits(RunLimits {
+            max_time: Some(SimTime::from_secs(10)),
+            ..Default::default()
+        });
+        assert_eq!(stats.reason, StopReason::LimitReached);
+        assert!(stats.end_time <= SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn event_limit_stops_run() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.spawn("ticker", |ctx| loop {
+            ctx.advance(SimTime::from_secs(1));
+        });
+        let stats = sim.run_with_limits(RunLimits {
+            max_events: Some(5),
+            ..Default::default()
+        });
+        assert_eq!(stats.reason, StopReason::LimitReached);
+        assert_eq!(stats.events_processed, 5);
+    }
+
+    #[test]
+    fn dead_letters_counted() {
+        let mut sim: Simulation<()> = Simulation::new();
+        let rx = sim.spawn("ends-early", |_ctx| {});
+        sim.spawn("late-sender", move |ctx| {
+            ctx.advance(SimTime::from_secs(1));
+            ctx.send(rx, SimTime::ZERO, ());
+        });
+        let stats = sim.run();
+        assert_eq!(stats.dead_letters, 1);
+        assert_eq!(stats.reason, StopReason::Completed);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn process_panic_propagates() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.spawn("bad", |_ctx| panic!("boom"));
+        sim.spawn("innocent", |ctx| {
+            let _ = ctx.recv();
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn two_processes_interleave_deterministically() {
+        let mut sim: Simulation<()> = Simulation::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (name, period_ms) in [("a", 10u64), ("b", 15u64)] {
+            let log = Arc::clone(&log);
+            sim.spawn(name, move |ctx| {
+                for _ in 0..3 {
+                    ctx.advance(SimTime::from_millis(period_ms));
+                    log.lock().push((name, ctx.now().as_nanos()));
+                }
+            });
+        }
+        sim.run();
+        let got = log.lock().clone();
+        assert_eq!(
+            got,
+            vec![
+                ("a", 10_000_000),
+                ("b", 15_000_000),
+                ("a", 20_000_000),
+                // At t=30 both are due; b parked first (at t=15) so its
+                // resume event carries the lower sequence number.
+                ("b", 30_000_000),
+                ("a", 30_000_000),
+                ("b", 45_000_000),
+            ]
+        );
+    }
+
+    #[test]
+    fn yield_now_lets_same_time_events_run() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        let out = Arc::new(Mutex::new(0u32));
+        let out2 = Arc::clone(&out);
+        let rx = sim.spawn("rx", move |ctx| {
+            *out2.lock() = ctx.recv();
+        });
+        sim.spawn("tx", move |ctx| {
+            ctx.send(rx, SimTime::ZERO, 9);
+            ctx.yield_now();
+            assert_eq!(ctx.now(), SimTime::ZERO);
+        });
+        sim.run();
+        assert_eq!(*out.lock(), 9);
+    }
+
+    #[test]
+    fn tracing_is_deterministic_across_runs() {
+        fn trace_once() -> Vec<TraceRecord> {
+            let mut sim: Simulation<u32> = Simulation::new();
+            sim.enable_tracing();
+            let rx = sim.spawn("rx", |ctx| {
+                for _ in 0..4 {
+                    let _ = ctx.recv();
+                }
+            });
+            for i in 0..2u64 {
+                sim.spawn(format!("tx{i}"), move |ctx| {
+                    for k in 0..2u64 {
+                        ctx.advance(SimTime::from_millis(3 + i));
+                        ctx.send(rx, SimTime::from_millis(k), (i * 10 + k) as u32);
+                    }
+                });
+            }
+            sim.run().trace.expect("tracing enabled")
+        }
+        assert_eq!(trace_once(), trace_once());
+    }
+}

@@ -1,0 +1,46 @@
+//! # dtrain-desim
+//!
+//! A small, deterministic, process-oriented discrete-event simulation (DES)
+//! kernel: the substrate on which `dtrain` models clusters, networks, GPUs,
+//! parameter servers, and the seven distributed training algorithms of the
+//! reproduced paper.
+//!
+//! ## Model
+//!
+//! - Every simulated entity is a **process**: a closure running on its own
+//!   OS thread against a [`Ctx`] handle, written as ordinary sequential code.
+//! - The scheduler runs **exactly one process at a time**, in strict virtual
+//!   timestamp order with deterministic tie-breaking, so results are
+//!   bit-reproducible across runs and machines.
+//! - Processes communicate through **delayed messages** ([`Ctx::send`] /
+//!   [`Ctx::recv`]); the delay is computed by the caller (e.g. a network
+//!   model) — the kernel is policy-free.
+//! - [`Ctx::advance`] models consuming virtual time (computation, transfer
+//!   occupancy, …).
+//!
+//! ## Example
+//!
+//! ```
+//! use dtrain_desim::{Simulation, SimTime};
+//!
+//! let mut sim: Simulation<&'static str> = Simulation::new();
+//! let server = sim.spawn("server", |ctx| {
+//!     let req = ctx.recv();
+//!     assert_eq!(req, "ping");
+//!     assert_eq!(ctx.now(), SimTime::from_millis(2));
+//! });
+//! sim.spawn("client", move |ctx| {
+//!     ctx.advance(SimTime::from_millis(1));          // think for 1 ms
+//!     ctx.send(server, SimTime::from_millis(1), "ping"); // 1 ms on the wire
+//! });
+//! let stats = sim.run();
+//! assert_eq!(stats.end_time, SimTime::from_millis(2));
+//! ```
+
+mod kernel;
+mod time;
+
+pub use kernel::{
+    Ctx, Pid, RunLimits, SimStats, Simulation, StopReason, TraceRecord,
+};
+pub use time::SimTime;

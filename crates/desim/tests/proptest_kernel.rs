@@ -1,0 +1,93 @@
+//! Property-based tests for the DES kernel: determinism, clock monotonicity,
+//! and message conservation under randomized process topologies.
+
+use std::sync::Arc;
+
+use dtrain_desim::{SimTime, Simulation, TraceRecord};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+/// A randomized "workload program": each worker repeatedly advances by a
+/// random-but-fixed delay and sends a token to a random-but-fixed peer; a
+/// sink counts tokens.
+#[derive(Clone, Debug)]
+struct Workload {
+    /// (delay_ns, peer_choice) per step per worker.
+    steps: Vec<Vec<(u64, usize)>>,
+}
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    // 2..5 workers, each with 1..8 steps of (delay, peer index).
+    prop::collection::vec(
+        prop::collection::vec((0u64..5_000_000, 0usize..16), 1..8),
+        2..5,
+    )
+    .prop_map(|steps| Workload { steps })
+}
+
+/// Build and run the workload; return (trace, tokens received per worker).
+fn run_workload(w: &Workload) -> (Vec<TraceRecord>, Vec<u64>, u64) {
+    let n = w.steps.len();
+    let mut sim: Simulation<u64> = Simulation::new();
+    sim.enable_tracing();
+    let counts = Arc::new(Mutex::new(vec![0u64; n]));
+
+    // Spawn all workers first so pids are dense 0..n.
+    let mut bodies = Vec::new();
+    for (i, steps) in w.steps.iter().enumerate() {
+        bodies.push((i, steps.clone()));
+    }
+    let mut total_sent = 0u64;
+    for (i, steps) in bodies {
+        let counts = Arc::clone(&counts);
+        total_sent += steps.len() as u64;
+        sim.spawn(format!("w{i}"), move |ctx| {
+            for (delay, peer) in &steps {
+                ctx.advance(SimTime::from_nanos(*delay));
+                let dst = dtrain_desim::Pid(*peer % n);
+                ctx.send(dst, SimTime::from_nanos(*delay / 2 + 1), 1);
+            }
+            // Drain whatever already arrived, then exit; remaining messages
+            // become dead letters, which we account for below.
+            while let Some(v) = ctx.try_recv() {
+                counts.lock()[ctx.pid().index()] += v;
+            }
+        });
+    }
+    let stats = sim.run();
+    let received: u64 = counts.lock().iter().sum();
+    let accounted = received + stats.dead_letters;
+    assert_eq!(
+        accounted, total_sent,
+        "every sent token is either received or a dead letter"
+    );
+    let final_counts = counts.lock().clone();
+    (
+        stats.trace.expect("tracing enabled"),
+        final_counts,
+        stats.end_time.as_nanos(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same workload ⇒ bit-identical event trace, token counts, end time.
+    #[test]
+    fn kernel_is_deterministic(w in workload_strategy()) {
+        let a = run_workload(&w);
+        let b = run_workload(&w);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+    }
+
+    /// Event trace timestamps never go backwards.
+    #[test]
+    fn clock_is_monotonic(w in workload_strategy()) {
+        let (trace, _, _) = run_workload(&w);
+        for pair in trace.windows(2) {
+            prop_assert!(pair[0].time <= pair[1].time);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Teardown robustness: whatever way a run ends — completion, deadlock,
+//! limits, or a process panic — every process thread must be joined and no
+//! state leaked. These tests run many kernels in sequence; leaked threads
+//! would accumulate and show up as resource exhaustion.
+
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dtrain_desim::{RunLimits, SimTime, Simulation, StopReason};
+
+/// Count of live guard objects: incremented when a process starts, and the
+/// drop runs when its closure is dropped (i.e. the thread finished).
+struct Guard(Arc<AtomicUsize>);
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn deadlocked_processes_are_torn_down() {
+    let live = Arc::new(AtomicUsize::new(0));
+    for round in 0..20 {
+        let mut sim: Simulation<()> = Simulation::new();
+        for i in 0..5 {
+            let live = Arc::clone(&live);
+            live.fetch_add(1, Ordering::SeqCst);
+            sim.spawn(format!("stuck{round}_{i}"), move |ctx| {
+                let _guard = Guard(live);
+                let _ = ctx.recv(); // nobody ever sends
+            });
+        }
+        let stats = sim.run();
+        assert_eq!(stats.reason, StopReason::Deadlock);
+        assert_eq!(stats.blocked.len(), 5);
+    }
+    assert_eq!(
+        live.load(Ordering::SeqCst),
+        0,
+        "all process closures must be dropped after teardown"
+    );
+}
+
+#[test]
+fn limit_reached_tears_down_holders() {
+    let live = Arc::new(AtomicUsize::new(0));
+    for _ in 0..20 {
+        let mut sim: Simulation<()> = Simulation::new();
+        for i in 0..4 {
+            let live = Arc::clone(&live);
+            live.fetch_add(1, Ordering::SeqCst);
+            sim.spawn(format!("ticker{i}"), move |ctx| {
+                let _guard = Guard(live);
+                loop {
+                    ctx.advance(SimTime::from_millis(1));
+                }
+            });
+        }
+        let stats = sim.run_with_limits(RunLimits {
+            max_events: Some(50),
+            ..Default::default()
+        });
+        assert_eq!(stats.reason, StopReason::LimitReached);
+    }
+    assert_eq!(live.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn panic_teardown_joins_survivors() {
+    let live = Arc::new(AtomicUsize::new(0));
+    for _ in 0..10 {
+        let mut sim: Simulation<()> = Simulation::new();
+        for i in 0..3 {
+            let live = Arc::clone(&live);
+            live.fetch_add(1, Ordering::SeqCst);
+            sim.spawn(format!("victim{i}"), move |ctx| {
+                let _guard = Guard(live);
+                let _ = ctx.recv();
+            });
+        }
+        {
+            let live = Arc::clone(&live);
+            live.fetch_add(1, Ordering::SeqCst);
+            sim.spawn("bomber", move |ctx| {
+                let _guard = Guard(live);
+                ctx.advance(SimTime::from_millis(1));
+                panic!("deliberate test panic");
+            });
+        }
+        let result = panic::catch_unwind(panic::AssertUnwindSafe(|| sim.run()));
+        assert!(result.is_err(), "the process panic must propagate");
+    }
+    assert_eq!(
+        live.load(Ordering::SeqCst),
+        0,
+        "survivor processes must be joined even after a panic"
+    );
+}

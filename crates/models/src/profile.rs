@@ -1,0 +1,269 @@
+//! Layer-by-layer model profiles: parameter counts and FLOPs.
+//!
+//! The performance experiments (Fig. 2–4 of the paper) don't need real
+//! arithmetic — they need the *sizes*: how many bytes each layer contributes
+//! to a gradient/parameter message (this drives layer-wise sharding and its
+//! skew, §VI-C) and how many FLOPs each layer's backward pass costs (this
+//! drives wait-free backpropagation overlap, §V-B). The profiles here are
+//! constructed from the published architectures, not hard-coded, so the
+//! famous totals (≈25.6 M params for ResNet-50 incl. BN/fc, ≈138.4 M for
+//! VGG-16, VGG's fc6 ≈ 74 % of all parameters) fall out and are asserted in
+//! tests.
+
+/// One shardable layer of a model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayerProfile {
+    pub name: String,
+    /// Trainable scalar parameters.
+    pub params: u64,
+    /// Forward FLOPs per input image (multiply–add counted as 2 FLOPs).
+    pub fwd_flops: u64,
+}
+
+impl LayerProfile {
+    /// Gradient/parameter wire size in bytes (f32).
+    pub fn bytes(&self) -> u64 {
+        self.params * 4
+    }
+
+    /// Backward FLOPs per image: the standard 2× of forward (one pass for
+    /// input gradients, one for weight gradients).
+    pub fn bwd_flops(&self) -> u64 {
+        self.fwd_flops * 2
+    }
+}
+
+/// A whole model, in forward layer order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelProfile {
+    pub name: String,
+    pub layers: Vec<LayerProfile>,
+}
+
+impl ModelProfile {
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.total_params() * 4
+    }
+
+    pub fn fwd_flops(&self) -> u64 {
+        self.layers.iter().map(|l| l.fwd_flops).sum()
+    }
+
+    /// Total training FLOPs per image (forward + 2× backward).
+    pub fn train_flops(&self) -> u64 {
+        self.fwd_flops() * 3
+    }
+
+    /// Layer byte sizes in *backward* order — the order wait-free BP emits
+    /// gradients in.
+    pub fn backward_layer_bytes(&self) -> Vec<u64> {
+        self.layers.iter().rev().map(|l| l.bytes()).collect()
+    }
+
+    /// Fraction of all parameters held by the largest single layer — the
+    /// sharding-skew statistic the paper blames for VGG-16's poor scaling.
+    pub fn max_layer_fraction(&self) -> f64 {
+        let total = self.total_params().max(1);
+        let biggest = self.layers.iter().map(|l| l.params).max().unwrap_or(0);
+        biggest as f64 / total as f64
+    }
+}
+
+fn conv(
+    name: impl Into<String>,
+    k: usize,
+    c_in: usize,
+    c_out: usize,
+    out_hw: usize,
+) -> LayerProfile {
+    let params = (k * k * c_in * c_out) as u64; // conv weights (bias folded into BN)
+    let fwd = 2 * params * (out_hw * out_hw) as u64;
+    LayerProfile { name: name.into(), params, fwd_flops: fwd }
+}
+
+fn batchnorm(name: impl Into<String>, channels: usize, out_hw: usize) -> LayerProfile {
+    LayerProfile {
+        name: name.into(),
+        params: 2 * channels as u64, // scale + shift
+        fwd_flops: 2 * (channels * out_hw * out_hw) as u64,
+    }
+}
+
+fn fc(name: impl Into<String>, d_in: usize, d_out: usize) -> LayerProfile {
+    LayerProfile {
+        name: name.into(),
+        params: (d_in * d_out + d_out) as u64,
+        fwd_flops: 2 * (d_in * d_out) as u64,
+    }
+}
+
+/// ResNet-50 for 224×224 ImageNet input (He et al. 2016): the paper's
+/// *computation-intensive* model (≈23 M conv/fc parameters; ≈25.6 M with
+/// batch-norm affine parameters included).
+pub fn resnet50() -> ModelProfile {
+    let mut layers = Vec::new();
+    // Stem: 7×7/2 conv 3→64, output 112×112, then BN; maxpool to 56×56.
+    layers.push(conv("conv1", 7, 3, 64, 112));
+    layers.push(batchnorm("bn1", 64, 112));
+
+    // Stage spec: (blocks, mid_channels, out_channels, spatial after stage).
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (3, 64, 256, 56),
+        (4, 128, 512, 28),
+        (6, 256, 1024, 14),
+        (3, 512, 2048, 7),
+    ];
+    let mut in_ch = 64;
+    for (s, &(blocks, mid, out, hw)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            let prefix = format!("res{}{}", s + 2, (b'a' + b as u8) as char);
+            // 1×1 reduce
+            layers.push(conv(format!("{prefix}_branch2a"), 1, in_ch, mid, hw));
+            layers.push(batchnorm(format!("{prefix}_bn2a"), mid, hw));
+            // 3×3
+            layers.push(conv(format!("{prefix}_branch2b"), 3, mid, mid, hw));
+            layers.push(batchnorm(format!("{prefix}_bn2b"), mid, hw));
+            // 1×1 expand
+            layers.push(conv(format!("{prefix}_branch2c"), 1, mid, out, hw));
+            layers.push(batchnorm(format!("{prefix}_bn2c"), out, hw));
+            // projection shortcut on the first block of each stage
+            if b == 0 {
+                layers.push(conv(format!("{prefix}_branch1"), 1, in_ch, out, hw));
+                layers.push(batchnorm(format!("{prefix}_bn1"), out, hw));
+            }
+            in_ch = out;
+        }
+    }
+    layers.push(fc("fc1000", 2048, 1000));
+    ModelProfile { name: "ResNet-50".into(), layers }
+}
+
+/// VGG-16 for 224×224 ImageNet input (Simonyan & Zisserman 2015): the
+/// paper's *communication-intensive* model, ≈138.4 M parameters with the
+/// first fully-connected layer (fc6) holding ≈74 % of them.
+pub fn vgg16() -> ModelProfile {
+    let mut layers = Vec::new();
+    // (name, c_in, c_out, out_hw) per conv; pooling halves resolution after
+    // each group.
+    let convs: [(&str, usize, usize, usize); 13] = [
+        ("conv1_1", 3, 64, 224),
+        ("conv1_2", 64, 64, 224),
+        ("conv2_1", 64, 128, 112),
+        ("conv2_2", 128, 128, 112),
+        ("conv3_1", 128, 256, 56),
+        ("conv3_2", 256, 256, 56),
+        ("conv3_3", 256, 256, 56),
+        ("conv4_1", 256, 512, 28),
+        ("conv4_2", 512, 512, 28),
+        ("conv4_3", 512, 512, 28),
+        ("conv5_1", 512, 512, 14),
+        ("conv5_2", 512, 512, 14),
+        ("conv5_3", 512, 512, 14),
+    ];
+    for (name, ci, co, hw) in convs {
+        // VGG convs carry biases; add co to the 3×3 weight count.
+        let mut l = conv(name, 3, ci, co, hw);
+        l.params += co as u64;
+        layers.push(l);
+    }
+    layers.push(fc("fc6", 512 * 7 * 7, 4096));
+    layers.push(fc("fc7", 4096, 4096));
+    layers.push(fc("fc8", 4096, 1000));
+    ModelProfile { name: "VGG-16".into(), layers }
+}
+
+/// A synthetic profile with `n` equal layers — useful for controlled
+/// experiments and tests where sharding skew must be zero.
+pub fn uniform_profile(n: usize, params_per_layer: u64, flops_per_layer: u64) -> ModelProfile {
+    ModelProfile {
+        name: format!("Uniform-{n}"),
+        layers: (0..n)
+            .map(|i| LayerProfile {
+                name: format!("layer{i}"),
+                params: params_per_layer,
+                fwd_flops: flops_per_layer,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_totals_match_literature() {
+        let m = resnet50();
+        let p = m.total_params();
+        // 25.56 M with BN affine params; the paper quotes "23M" counting
+        // conv/fc only. Both facts should hold of our construction.
+        assert!(
+            (25_400_000..25_700_000).contains(&p),
+            "ResNet-50 total params {p}"
+        );
+        let conv_only: u64 = m
+            .layers
+            .iter()
+            .filter(|l| !l.name.contains("bn") && !l.name.contains("fc"))
+            .map(|l| l.params)
+            .sum();
+        assert!(
+            (23_300_000..23_600_000).contains(&conv_only),
+            "ResNet-50 conv-only params {conv_only}"
+        );
+        // Literature quotes ~3.8 GMACs forward at 224×224; we count a MAC
+        // as 2 FLOPs, so expect ~7.7 GFLOPs.
+        let gf = m.fwd_flops() as f64 / 1e9;
+        assert!((7.2..8.3).contains(&gf), "ResNet-50 fwd GFLOPs {gf}");
+    }
+
+    #[test]
+    fn vgg16_totals_match_literature() {
+        let m = vgg16();
+        let p = m.total_params();
+        assert!(
+            (138_000_000..138_700_000).contains(&p),
+            "VGG-16 total params {p}"
+        );
+        // fc6 dominates: the paper says "about 75% of total parameters".
+        let frac = m.max_layer_fraction();
+        assert!((0.72..0.76).contains(&frac), "fc6 fraction {frac}");
+        let gf = m.fwd_flops() as f64 / 1e9;
+        assert!((29.0..32.0).contains(&gf), "VGG-16 fwd GFLOPs {gf}");
+    }
+
+    #[test]
+    fn vgg_is_more_communication_intensive_than_resnet() {
+        // The paper's central contrast: VGG-16 has ~5–6× the parameters but
+        // comparable-order compute, i.e. a much higher bytes-per-FLOP ratio.
+        let r = resnet50();
+        let v = vgg16();
+        assert!(v.total_params() > 5 * r.total_params());
+        let ratio_r = r.total_bytes() as f64 / r.train_flops() as f64;
+        let ratio_v = v.total_bytes() as f64 / v.train_flops() as f64;
+        assert!(ratio_v > 1.25 * ratio_r, "{ratio_v} vs {ratio_r}");
+    }
+
+    #[test]
+    fn backward_order_reverses_layers() {
+        let m = uniform_profile(3, 10, 5);
+        assert_eq!(m.backward_layer_bytes(), vec![40, 40, 40]);
+        let v = vgg16();
+        let bwd = v.backward_layer_bytes();
+        assert_eq!(bwd[0], v.layers.last().unwrap().bytes());
+    }
+
+    #[test]
+    fn resnet_layer_count() {
+        let m = resnet50();
+        // 1 stem conv + 16 blocks × 3 convs + 4 projections = 53 convs,
+        // plus matching BNs, plus fc = 107 shardable layers.
+        let convs = m.layers.iter().filter(|l| l.name.contains("conv") || l.name.contains("branch")).count();
+        assert_eq!(convs, 53);
+        assert_eq!(m.layers.len(), 107);
+    }
+}

@@ -1,0 +1,295 @@
+//! Batch normalization over `[N, C, H, W]` activations.
+//!
+//! Normalizes each channel over the batch and spatial dimensions, then
+//! applies a learnable affine (γ, β) — the layer ResNet interleaves with
+//! every convolution (our ResNet-50 *profile* counts these γ/β pairs; this
+//! makes them trainable in the stand-in models too).
+//!
+//! This implementation always uses **batch statistics**, in training and
+//! evaluation alike (no running-average buffers). That choice is deliberate:
+//! in the distributed experiments, replicas exchange *trainable parameters*
+//! only, and non-trainable running buffers would silently desynchronize;
+//! evaluation here always happens on large batches (the full test set),
+//! where batch statistics are the better estimator anyway.
+
+use dtrain_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// Per-channel batch normalization with learnable scale and shift.
+pub struct BatchNorm2d {
+    name: String,
+    gamma: Tensor,
+    beta: Tensor,
+    dgamma: Tensor,
+    dbeta: Tensor,
+    eps: f32,
+    /// (normalized input x̂, per-channel 1/σ, input shape)
+    cache: Option<(Tensor, Vec<f32>, Vec<usize>)>,
+}
+
+impl BatchNorm2d {
+    pub fn new(name: impl Into<String>, channels: usize) -> Self {
+        BatchNorm2d {
+            name: name.into(),
+            gamma: Tensor::full(&[channels], 1.0),
+            beta: Tensor::zeros(&[channels]),
+            dgamma: Tensor::zeros(&[channels]),
+            dbeta: Tensor::zeros(&[channels]),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    fn channels(&self) -> usize {
+        self.gamma.len()
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // indexed loops mirror the math
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let shape = x.shape().to_vec();
+        assert_eq!(shape.len(), 4, "BatchNorm2d expects NCHW");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(c, self.channels(), "channel mismatch in '{}'", self.name);
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let xd = x.data();
+
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                for v in &xd[base..base + plane] {
+                    mean[ch] += v;
+                }
+            }
+        }
+        for m in &mut mean {
+            *m /= count;
+        }
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                for v in &xd[base..base + plane] {
+                    let d = v - mean[ch];
+                    var[ch] += d * d;
+                }
+            }
+        }
+        let std_inv: Vec<f32> = var
+            .iter()
+            .map(|&v| 1.0 / (v / count + self.eps).sqrt())
+            .collect();
+
+        let mut xhat = vec![0.0f32; xd.len()];
+        let mut out = vec![0.0f32; xd.len()];
+        let g = self.gamma.data();
+        let b = self.beta.data();
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                for i in base..base + plane {
+                    let nh = (xd[i] - mean[ch]) * std_inv[ch];
+                    xhat[i] = nh;
+                    out[i] = g[ch] * nh + b[ch];
+                }
+            }
+        }
+        if train {
+            self.cache = Some((Tensor::from_vec(&shape, xhat), std_inv, shape.clone()));
+        }
+        Tensor::from_vec(&shape, out)
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let (xhat, std_inv, shape) = self
+            .cache
+            .take()
+            .expect("backward without forward(train=true)");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let gd = grad.data();
+        let xh = xhat.data();
+
+        // Per-channel reductions.
+        let mut sum_g = vec![0.0f32; c];
+        let mut sum_gx = vec![0.0f32; c];
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                for i in base..base + plane {
+                    sum_g[ch] += gd[i];
+                    sum_gx[ch] += gd[i] * xh[i];
+                }
+            }
+        }
+        self.dbeta = Tensor::from_vec(&[c], sum_g.clone());
+        self.dgamma = Tensor::from_vec(&[c], sum_gx.clone());
+
+        // dx = γ·σ⁻¹/m · (m·g − Σg − x̂·Σ(g·x̂))
+        let gamma = self.gamma.data();
+        let mut dx = vec![0.0f32; gd.len()];
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                let k = gamma[ch] * std_inv[ch] / m;
+                for i in base..base + plane {
+                    dx[i] = k * (m * gd[i] - sum_g[ch] - xh[i] * sum_gx[ch]);
+                }
+            }
+        }
+        Tensor::from_vec(&shape, dx)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.dgamma, &self.dbeta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_is_normalized_per_channel() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut bn = BatchNorm2d::new("bn", 3);
+        let x = Tensor::randn(&[4, 3, 5, 5], 3.0, &mut rng);
+        let y = bn.forward(x, true);
+        // each channel of y has ~zero mean and ~unit variance
+        let yd = y.data();
+        for ch in 0..3 {
+            let mut vals = Vec::new();
+            for img in 0..4 {
+                let base = (img * 3 + ch) * 25;
+                vals.extend_from_slice(&yd[base..base + 25]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ch} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn affine_params_shift_and_scale() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        bn.params_mut()[0].data_mut()[0] = 2.0; // gamma
+        bn.params_mut()[1].data_mut()[0] = 5.0; // beta
+        let x = Tensor::from_vec(&[2, 1, 1, 2], vec![-1.0, 1.0, -1.0, 1.0]);
+        let y = bn.forward(x, false);
+        // x̂ = ±1, so y = ±2 + 5
+        for &v in y.data() {
+            assert!((v - 3.0).abs() < 1e-3 || (v - 7.0).abs() < 1e-3, "{v}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut bn = BatchNorm2d::new("bn", 2);
+        let x = Tensor::randn(&[2, 2, 3, 3], 1.0, &mut rng);
+        // loss = Σ y ⊙ wsum for a fixed random weighting (non-trivial grad)
+        let wsum = Tensor::randn(x.shape(), 1.0, &mut rng);
+        let y = bn.forward(x.clone(), true);
+        let loss0: f32 = y.data().iter().zip(wsum.data()).map(|(a, b)| a * b).sum();
+        let _ = loss0;
+        let dx = bn.backward(wsum.clone());
+        let eps = 1e-2f32;
+        for i in [0usize, 7, 20, 35] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lp: f32 = bn
+                .forward(xp, false)
+                .data()
+                .iter()
+                .zip(wsum.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = bn
+                .forward(xm, false)
+                .data()
+                .iter()
+                .zip(wsum.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - dx.data()[i]).abs() < 2e-2 + 0.02 * dx.data()[i].abs(),
+                "coord {i}: fd {fd} vs analytic {}",
+                dx.data()[i]
+            );
+        }
+        // gamma/beta gradients vs finite differences
+        let base_gamma = bn.params()[0].clone();
+        for ci in 0..2 {
+            let mut p = bn.params_mut();
+            p[0].data_mut()[ci] = base_gamma.data()[ci] + eps;
+            drop(p);
+            let lp: f32 = bn
+                .forward(x.clone(), false)
+                .data()
+                .iter()
+                .zip(wsum.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let mut p = bn.params_mut();
+            p[0].data_mut()[ci] = base_gamma.data()[ci] - eps;
+            drop(p);
+            let lm: f32 = bn
+                .forward(x.clone(), false)
+                .data()
+                .iter()
+                .zip(wsum.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let mut p = bn.params_mut();
+            p[0].data_mut()[ci] = base_gamma.data()[ci];
+            drop(p);
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = bn.grads()[0].data()[ci];
+            assert!((fd - an).abs() < 2e-2 + 0.02 * an.abs(), "dgamma[{ci}] {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_channel() {
+        // BN output is mean-free per channel, so dL/dx must sum to ~0 per
+        // channel for any upstream gradient.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut bn = BatchNorm2d::new("bn", 2);
+        let x = Tensor::randn(&[3, 2, 4, 4], 1.5, &mut rng);
+        let _ = bn.forward(x, true);
+        let g = Tensor::randn(&[3, 2, 4, 4], 1.0, &mut rng);
+        let dx = bn.backward(g);
+        for ch in 0..2 {
+            let mut s = 0.0f32;
+            for img in 0..3 {
+                let base = (img * 2 + ch) * 16;
+                s += dx.data()[base..base + 16].iter().sum::<f32>();
+            }
+            assert!(s.abs() < 1e-3, "channel {ch} grad sum {s}");
+        }
+    }
+}

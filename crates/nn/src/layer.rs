@@ -1,0 +1,398 @@
+//! Layers with hand-written backward passes.
+//!
+//! Each trainable layer caches whatever its backward pass needs during
+//! `forward(train=true)` and accumulates parameter gradients internally;
+//! [`crate::network::Network`] collects them into a
+//! [`crate::params::ParamSet`] after the backward sweep.
+
+use dtrain_tensor::{
+    add_bias, conv2d_backward, conv2d_forward, matmul, matmul_a_bt, matmul_at_b,
+    maxpool2d_backward, maxpool2d_forward, relu, relu_backward, sum_rows,
+    Conv2dSpec, Tensor,
+};
+use rand::Rng;
+
+/// A differentiable layer. `forward` consumes its input and produces the
+/// activation; `backward` consumes the incoming gradient and produces the
+/// gradient w.r.t. the layer input, stashing parameter gradients internally.
+pub trait Layer: Send {
+    /// Stable name used in layouts and shard plans.
+    fn name(&self) -> &str;
+
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor;
+
+    fn backward(&mut self, grad: Tensor) -> Tensor;
+
+    /// Trainable tensors, in a fixed order.
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    /// Gradients from the most recent backward, congruent with `params()`.
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+}
+
+/// Fully-connected layer: `y = x·Wᵀ + b`, with `W[out,in]`.
+pub struct Dense {
+    name: String,
+    weight: Tensor,
+    bias: Tensor,
+    dweight: Tensor,
+    dbias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    pub fn new(name: impl Into<String>, in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Dense {
+            name: name.into(),
+            weight: Tensor::he_init(&[out_dim, in_dim], in_dim, rng),
+            bias: Tensor::zeros(&[out_dim]),
+            dweight: Tensor::zeros(&[out_dim, in_dim]),
+            dbias: Tensor::zeros(&[out_dim]),
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let mut y = matmul_a_bt(&x, &self.weight);
+        add_bias(&mut y, &self.bias);
+        if train {
+            self.cached_input = Some(x);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward without forward(train=true)");
+        // dW[out,in] = gradᵀ[out,batch] · x[batch,in]
+        self.dweight = matmul_at_b(&grad, &x);
+        self.dbias = sum_rows(&grad);
+        // dx[batch,in] = grad[batch,out] · W[out,in]
+        matmul(&grad, &self.weight)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.dweight, &self.dbias]
+    }
+}
+
+/// Elementwise ReLU.
+pub struct Relu {
+    name: String,
+    cached_input: Option<Tensor>,
+}
+
+impl Relu {
+    pub fn new(name: impl Into<String>) -> Self {
+        Relu { name: name.into(), cached_input: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let y = relu(&x);
+        if train {
+            self.cached_input = Some(x);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward without forward(train=true)");
+        relu_backward(&x, &grad)
+    }
+}
+
+/// Convolution layer over `[N, C, H, W]` with square kernels.
+pub struct Conv2d {
+    name: String,
+    spec: Conv2dSpec,
+    in_hw: (usize, usize),
+    weight: Tensor,
+    bias: Tensor,
+    dweight: Tensor,
+    dbias: Tensor,
+    cached_cols: Option<Tensor>,
+}
+
+impl Conv2d {
+    pub fn new(
+        name: impl Into<String>,
+        spec: Conv2dSpec,
+        in_hw: (usize, usize),
+        rng: &mut impl Rng,
+    ) -> Self {
+        let ws = spec.weight_shape();
+        let fan_in = ws[1];
+        Conv2d {
+            name: name.into(),
+            spec,
+            in_hw,
+            weight: Tensor::he_init(&ws, fan_in, rng),
+            bias: Tensor::zeros(&[spec.out_channels]),
+            dweight: Tensor::zeros(&ws),
+            dbias: Tensor::zeros(&[spec.out_channels]),
+            cached_cols: None,
+        }
+    }
+
+    /// Output spatial size given the configured input size.
+    pub fn out_hw(&self) -> (usize, usize) {
+        (self.spec.out_size(self.in_hw.0), self.spec.out_size(self.in_hw.1))
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let (y, cols) = conv2d_forward(&x, &self.weight, &self.bias, &self.spec);
+        if train {
+            self.cached_cols = Some(cols);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let cols = self
+            .cached_cols
+            .take()
+            .expect("backward without forward(train=true)");
+        let (dx, dw, db) = conv2d_backward(
+            &grad,
+            &cols,
+            &self.weight,
+            &self.spec,
+            self.in_hw.0,
+            self.in_hw.1,
+        );
+        self.dweight = dw;
+        self.dbias = db;
+        dx
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.dweight, &self.dbias]
+    }
+}
+
+/// Square max-pooling.
+pub struct MaxPool2d {
+    name: String,
+    window: usize,
+    cached: Option<(Vec<u32>, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    pub fn new(name: impl Into<String>, window: usize) -> Self {
+        MaxPool2d { name: name.into(), window, cached: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let in_shape = x.shape().to_vec();
+        let (y, idx) = maxpool2d_forward(&x, self.window);
+        if train {
+            self.cached = Some((idx, in_shape));
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let (idx, in_shape) = self
+            .cached
+            .take()
+            .expect("backward without forward(train=true)");
+        maxpool2d_backward(&grad, &idx, &in_shape)
+    }
+}
+
+/// Collapse `[N, C, H, W]` → `[N, C·H·W]` (and reverse in backward).
+pub struct Flatten {
+    name: String,
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    pub fn new(name: impl Into<String>) -> Self {
+        Flatten { name: name.into(), cached_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let shape = x.shape().to_vec();
+        let n = shape[0];
+        let rest: usize = shape[1..].iter().product();
+        if train {
+            self.cached_shape = Some(shape);
+        }
+        x.reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let shape = self
+            .cached_shape
+            .take()
+            .expect("backward without forward(train=true)");
+        grad.reshape(&shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_forward_known_values() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut d = Dense::new("d", 2, 1, &mut rng);
+        // overwrite weights for a known case: y = 2*x0 - x1 + 0.5
+        d.params_mut()[0].data_mut().copy_from_slice(&[2.0, -1.0]);
+        d.params_mut()[1].data_mut().copy_from_slice(&[0.5]);
+        let x = Tensor::from_vec(&[2, 2], vec![1., 1., 3., 0.]);
+        let y = d.forward(x, false);
+        assert_eq!(y.data(), &[1.5, 6.5]);
+    }
+
+    #[test]
+    fn dense_gradient_finite_difference() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut d = Dense::new("d", 3, 2, &mut rng);
+        let x = Tensor::randn(&[4, 3], 1.0, &mut rng);
+        // loss = sum(y); dL/dy = ones
+        let y = d.forward(x.clone(), true);
+        let g = Tensor::full(y.shape(), 1.0);
+        let dx = d.backward(g);
+        let eps = 1e-2f32;
+        // weight grad check
+        let base_w = d.params()[0].clone();
+        for i in [0usize, 3, 5] {
+            let mut dp = d.params_mut();
+            dp[0].data_mut()[i] = base_w.data()[i] + eps;
+            drop(dp);
+            let yp = d.forward(x.clone(), false).sum();
+            let mut dp = d.params_mut();
+            dp[0].data_mut()[i] = base_w.data()[i] - eps;
+            drop(dp);
+            let ym = d.forward(x.clone(), false).sum();
+            let mut dp = d.params_mut();
+            dp[0].data_mut()[i] = base_w.data()[i];
+            drop(dp);
+            let fd = (yp - ym) / (2.0 * eps);
+            let analytic = d.grads()[0].data()[i];
+            assert!((fd - analytic).abs() < 1e-2, "w[{i}] {fd} vs {analytic}");
+        }
+        // input grad check
+        for i in [0usize, 7] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp = d.forward(xp, false).sum();
+            let fm = d.forward(xm, false).sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - dx.data()[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn relu_layer_masks_gradient() {
+        let mut r = Relu::new("r");
+        let x = Tensor::from_vec(&[1, 3], vec![-1., 0.5, 2.]);
+        let _ = r.forward(x, true);
+        let dx = r.backward(Tensor::full(&[1, 3], 3.0));
+        assert_eq!(dx.data(), &[0., 3., 3.]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new("f");
+        let x = Tensor::from_vec(&[2, 1, 2, 2], (0..8).map(|v| v as f32).collect());
+        let y = f.forward(x, true);
+        assert_eq!(y.shape(), &[2, 4]);
+        let back = f.backward(y);
+        assert_eq!(back.shape(), &[2, 1, 2, 2]);
+    }
+
+    #[test]
+    fn conv_layer_shapes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let spec = Conv2dSpec {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let mut c = Conv2d::new("c", spec, (8, 8), &mut rng);
+        let x = Tensor::randn(&[2, 3, 8, 8], 1.0, &mut rng);
+        let y = c.forward(x, true);
+        assert_eq!(y.shape(), &[2, 8, 8, 8]);
+        let dx = c.backward(Tensor::full(y.shape(), 0.1));
+        assert_eq!(dx.shape(), &[2, 3, 8, 8]);
+        assert_eq!(c.grads().len(), 2);
+    }
+
+    #[test]
+    fn maxpool_layer_roundtrip() {
+        let mut p = MaxPool2d::new("p", 2);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 9., 3., 4.]);
+        let y = p.forward(x, true);
+        assert_eq!(y.data(), &[9.0]);
+        let dx = p.backward(Tensor::full(&[1, 1, 1, 1], 5.0));
+        assert_eq!(dx.data(), &[0., 5., 0., 0.]);
+    }
+}

@@ -1,0 +1,186 @@
+//! A sequential network: an ordered stack of layers plus the glue the
+//! distributed algorithms need — whole-model parameter get/set, gradient
+//! collection, and the per-layer layout used for sharding and wait-free BP.
+
+use dtrain_tensor::{accuracy, softmax_cross_entropy, Tensor};
+
+use crate::layer::Layer;
+use crate::params::{LayerGroup, ParamLayout, ParamSet};
+
+/// Sequential container.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Network { layers }
+    }
+
+    /// Forward pass through every layer.
+    pub fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let mut h = x;
+        for layer in &mut self.layers {
+            h = layer.forward(h, train);
+        }
+        h
+    }
+
+    /// Backward pass; `dlogits` is the loss gradient w.r.t. the output.
+    pub fn backward(&mut self, dlogits: Tensor) {
+        let mut g = dlogits;
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(g);
+        }
+    }
+
+    /// One forward+backward on a batch; returns `(loss, batch_accuracy)`.
+    /// Gradients are left inside the layers; collect with [`Self::grads`].
+    pub fn train_batch(&mut self, x: Tensor, labels: &[usize]) -> (f32, f32) {
+        let logits = self.forward(x, true);
+        let acc = accuracy(&logits, labels);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, labels);
+        self.backward(dlogits);
+        (loss, acc)
+    }
+
+    /// Loss and accuracy on a batch without touching gradients.
+    pub fn eval_batch(&mut self, x: Tensor, labels: &[usize]) -> (f32, f32) {
+        let logits = self.forward(x, false);
+        let acc = accuracy(&logits, labels);
+        let (loss, _) = softmax_cross_entropy(&logits, labels);
+        (loss, acc)
+    }
+
+    /// Snapshot all trainable parameters.
+    pub fn get_params(&self) -> ParamSet {
+        ParamSet(
+            self.layers
+                .iter()
+                .flat_map(|l| l.params().into_iter().cloned())
+                .collect(),
+        )
+    }
+
+    /// Overwrite all trainable parameters from a congruent set.
+    pub fn set_params(&mut self, params: &ParamSet) {
+        let mut it = params.0.iter();
+        for layer in &mut self.layers {
+            for p in layer.params_mut() {
+                let src = it.next().expect("param set too short for network");
+                assert_eq!(p.shape(), src.shape(), "param shape mismatch");
+                p.data_mut().copy_from_slice(src.data());
+            }
+        }
+        assert!(it.next().is_none(), "param set longer than network");
+    }
+
+    /// Collect the gradients from the most recent backward pass.
+    pub fn grads(&self) -> ParamSet {
+        ParamSet(
+            self.layers
+                .iter()
+                .flat_map(|l| l.grads().into_iter().cloned())
+                .collect(),
+        )
+    }
+
+    /// Per-layer structure of the parameter set (only layers with params).
+    pub fn layout(&self) -> ParamLayout {
+        let mut groups = Vec::new();
+        let mut idx = 0usize;
+        for layer in &self.layers {
+            let ps = layer.params();
+            if ps.is_empty() {
+                continue;
+            }
+            let indices: Vec<usize> = (idx..idx + ps.len()).collect();
+            let num: usize = ps.iter().map(|t| t.len()).sum();
+            idx += ps.len();
+            groups.push(LayerGroup {
+                name: layer.name().to_string(),
+                tensor_indices: indices,
+                num_params: num,
+            });
+        }
+        ParamLayout { groups }
+    }
+
+    /// Total trainable scalar count.
+    pub fn num_params(&self) -> usize {
+        self.layers
+            .iter()
+            .flat_map(|l| l.params())
+            .map(|t| t.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Relu};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Network::new(vec![
+            Box::new(Dense::new("d0", 4, 8, &mut rng)),
+            Box::new(Relu::new("r0")),
+            Box::new(Dense::new("d1", 8, 3, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let mut net = tiny_net(0);
+        let p = net.get_params();
+        assert_eq!(p.num_tensors(), 4); // two dense layers × (W, b)
+        assert_eq!(p.num_params(), 4 * 8 + 8 + 8 * 3 + 3);
+        let mut p2 = p.clone();
+        p2.scale(0.5);
+        net.set_params(&p2);
+        assert_eq!(net.get_params(), p2);
+    }
+
+    #[test]
+    fn layout_covers_all_params() {
+        let net = tiny_net(1);
+        let layout = net.layout();
+        assert_eq!(layout.groups.len(), 2);
+        assert_eq!(layout.groups[0].name, "d0");
+        assert_eq!(layout.num_params(), net.num_params());
+    }
+
+    #[test]
+    fn grads_congruent_with_params() {
+        let mut net = tiny_net(2);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let x = Tensor::randn(&[5, 4], 1.0, &mut rng);
+        let (loss, _acc) = net.train_batch(x, &[0, 1, 2, 0, 1]);
+        assert!(loss.is_finite());
+        let g = net.grads();
+        let p = net.get_params();
+        assert_eq!(g.num_tensors(), p.num_tensors());
+        for (gt, pt) in g.0.iter().zip(&p.0) {
+            assert_eq!(gt.shape(), pt.shape());
+        }
+        assert!(g.sq_norm() > 0.0, "gradient must be nonzero");
+    }
+
+    #[test]
+    fn single_sgd_step_reduces_loss() {
+        let mut net = tiny_net(3);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let x = Tensor::randn(&[16, 4], 1.0, &mut rng);
+        let labels: Vec<usize> = (0..16).map(|i| i % 3).collect();
+        let (l0, _) = net.train_batch(x.clone(), &labels);
+        let g = net.grads();
+        let mut p = net.get_params();
+        p.axpy(-0.1, &g);
+        net.set_params(&p);
+        let (l1, _) = net.eval_batch(x, &labels);
+        assert!(l1 < l0, "loss should drop: {l0} -> {l1}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Residual blocks: `y = x + f(x)` with `f` an inner layer stack.
+//!
+//! The paper's accuracy subject is ResNet-50; this gives the trainable
+//! stand-ins real skip connections, so the accuracy experiments can run a
+//! genuinely residual architecture (`dtrain_models::mini_resnet`) rather
+//! than a plain CNN.
+
+use dtrain_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// A residual block wrapping an inner layer stack whose output shape must
+/// equal its input shape.
+pub struct Residual {
+    name: String,
+    inner: Vec<Box<dyn Layer>>,
+}
+
+impl Residual {
+    pub fn new(name: impl Into<String>, inner: Vec<Box<dyn Layer>>) -> Self {
+        assert!(!inner.is_empty(), "residual block needs at least one layer");
+        Residual { name: name.into(), inner }
+    }
+}
+
+impl Layer for Residual {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let skip = x.clone();
+        let mut h = x;
+        for layer in &mut self.inner {
+            h = layer.forward(h, train);
+        }
+        assert_eq!(
+            h.shape(),
+            skip.shape(),
+            "residual branch must preserve shape in block '{}'",
+            self.name
+        );
+        h.add_assign(&skip);
+        h
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        // d/dx [x + f(x)] = 1 + f'(x): the gradient flows through the
+        // branch and adds to the identity path.
+        let mut g = grad.clone();
+        for layer in self.inner.iter_mut().rev() {
+            g = layer.backward(g);
+        }
+        g.add_assign(&grad);
+        g
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        self.inner.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        self.inner.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        self.inner.iter().flat_map(|l| l.grads()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Relu};
+    use crate::network::Network;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn block(seed: u64) -> Residual {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Residual::new(
+            "res0",
+            vec![
+                Box::new(Dense::new("d0", 4, 4, &mut rng)),
+                Box::new(Relu::new("r0")),
+                Box::new(Dense::new("d1", 4, 4, &mut rng)),
+            ],
+        )
+    }
+
+    #[test]
+    fn identity_branch_passes_input_through() {
+        // Zero the branch weights: y must equal x exactly.
+        let mut b = block(0);
+        for p in b.params_mut() {
+            p.zero_();
+        }
+        let x = Tensor::from_vec(&[2, 4], vec![1., 2., 3., 4., 5., 6., 7., 8.]);
+        let y = b.forward(x.clone(), false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn gradient_includes_identity_path() {
+        // With a zeroed branch, dL/dx == upstream grad exactly (1 + 0).
+        let mut b = block(1);
+        for p in b.params_mut() {
+            p.zero_();
+        }
+        let x = Tensor::from_vec(&[1, 4], vec![1., -1., 2., 0.5]);
+        let _ = b.forward(x, true);
+        let g = Tensor::from_vec(&[1, 4], vec![0.1, 0.2, 0.3, 0.4]);
+        let dx = b.backward(g.clone());
+        assert_eq!(dx.data(), g.data());
+    }
+
+    #[test]
+    fn finite_difference_gradcheck_through_block() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut net = Network::new(vec![Box::new(block(2))]);
+        let x = Tensor::randn(&[3, 4], 1.0, &mut rng);
+        let y = net.forward(x.clone(), true);
+        net.backward(Tensor::full(y.shape(), 1.0)); // loss = sum(y)
+        let analytic = net.grads();
+        let base = net.get_params();
+        let eps = 1e-2f32;
+        for ti in 0..base.0.len() {
+            let i = base.0[ti].len() / 2;
+            let mut plus = base.clone();
+            plus.0[ti].data_mut()[i] += eps;
+            net.set_params(&plus);
+            let lp = net.forward(x.clone(), false).sum();
+            let mut minus = base.clone();
+            minus.0[ti].data_mut()[i] -= eps;
+            net.set_params(&minus);
+            let lm = net.forward(x.clone(), false).sum();
+            net.set_params(&base);
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = analytic.0[ti].data()[i];
+            assert!(
+                (fd - an).abs() < 2e-2 + 0.02 * an.abs(),
+                "tensor {ti}: fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn layout_exposes_block_as_one_group() {
+        let net = Network::new(vec![Box::new(block(4))]);
+        let layout = net.layout();
+        assert_eq!(layout.groups.len(), 1);
+        assert_eq!(layout.groups[0].name, "res0");
+        assert_eq!(layout.groups[0].num_params, 2 * (4 * 4 + 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve shape")]
+    fn shape_mismatch_is_rejected() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut bad = Residual::new(
+            "bad",
+            vec![Box::new(Dense::new("d", 4, 3, &mut rng))],
+        );
+        let _ = bad.forward(Tensor::zeros(&[1, 4]), false);
+    }
+}

@@ -1,0 +1,350 @@
+//! The threaded training engine: N OS threads, each owning a model replica
+//! and a data shard, aggregating through the chosen [`Strategy`].
+//!
+//! This is the "production" counterpart of the simulator in `dtrain-algos`:
+//! same algorithms, real parallelism, real wall-clock. Execution is
+//! nondeterministic (true races decide interleavings), so tests assert
+//! learning outcomes rather than exact values.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::unbounded;
+use dtrain_data::Dataset;
+use dtrain_nn::{LrSchedule, Network, ParamSet, SgdMomentum};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::strategy::{
+    ExchangeMsg, GossipMsg, PeerCtrl, PeerNet, PsState, Strategy,
+};
+
+/// Configuration for a threaded training run.
+#[derive(Clone, Debug)]
+pub struct ThreadedConfig {
+    pub workers: usize,
+    pub epochs: u64,
+    pub batch: usize,
+    pub strategy: Strategy,
+    /// Single-worker base LR; scaled/warmed/decayed like the paper.
+    pub base_lr: f32,
+    pub momentum: f32,
+    pub weight_decay: f32,
+    pub seed: u64,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            workers: 4,
+            epochs: 10,
+            batch: 32,
+            strategy: Strategy::Bsp,
+            base_lr: 0.02,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a threaded run.
+#[derive(Clone, Debug)]
+pub struct ThreadedReport {
+    pub strategy: &'static str,
+    pub final_accuracy: f32,
+    pub final_loss: f32,
+    pub wall_time: Duration,
+    pub total_iterations: u64,
+    /// Max elementwise spread between replicas at the end.
+    pub final_drift: f32,
+}
+
+/// Shared state for BSP's barrier rounds.
+struct BspRound {
+    slots: Mutex<Vec<Option<ParamSet>>>,
+    enter: Barrier,
+    leave: Barrier,
+}
+
+/// Train `factory()`-built replicas over `train` with `cfg.workers`
+/// threads; evaluate the aggregate model on `test`.
+pub fn train_threaded<F>(
+    factory: F,
+    train: &Arc<Dataset>,
+    test: &Dataset,
+    cfg: &ThreadedConfig,
+) -> ThreadedReport
+where
+    F: Fn() -> Network + Send + Sync,
+{
+    assert!(cfg.workers >= 1, "need at least one worker");
+    if matches!(cfg.strategy, Strategy::AdPsgd) {
+        assert!(cfg.workers >= 2, "AD-PSGD needs two workers");
+    }
+    let shard_len = train.len() / cfg.workers;
+    assert!(
+        train.len().is_multiple_of(cfg.workers) && shard_len.is_multiple_of(cfg.batch),
+        "dataset ({}) must divide evenly into workers x batch ({} x {})",
+        train.len(),
+        cfg.workers,
+        cfg.batch
+    );
+
+    let ps = PsState::new(
+        factory().get_params(),
+        cfg.momentum,
+        cfg.weight_decay,
+        cfg.workers,
+    );
+    let peers = PeerNet::new(cfg.workers);
+    let bsp = Arc::new(BspRound {
+        slots: Mutex::new(vec![None; cfg.workers]),
+        enter: Barrier::new(cfg.workers),
+        leave: Barrier::new(cfg.workers),
+    });
+    let actives: Vec<usize> = (0..cfg.workers).filter(|w| w % 2 == 0).collect();
+    let num_actives = actives.len();
+
+    let started = Instant::now();
+    let finals: Vec<ParamSet> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.workers);
+        for w in 0..cfg.workers {
+            let ps = Arc::clone(&ps);
+            let peers = Arc::clone(&peers);
+            let bsp = Arc::clone(&bsp);
+            let factory = &factory;
+            let train = Arc::clone(train);
+            let cfg = cfg.clone();
+            let actives = actives.clone();
+            handles.push(scope.spawn(move || {
+                worker_body(w, factory(), train, &cfg, ps, peers, bsp, &actives, num_actives)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    let wall_time = started.elapsed();
+
+    // Aggregate model: replica mean (equals any replica for BSP).
+    let refs: Vec<&ParamSet> = finals.iter().collect();
+    let mean = ParamSet::mean_of(&refs);
+    let drift = finals
+        .iter()
+        .fold(0.0f32, |m, p| m.max(p.max_abs_diff(&mean)));
+    let mut eval_net = factory();
+    eval_net.set_params(&mean);
+    let (x, y) = test.as_batch();
+    let (loss, acc) = eval_net.eval_batch(x, &y);
+    ThreadedReport {
+        strategy: cfg.strategy.name(),
+        final_accuracy: acc,
+        final_loss: loss,
+        wall_time,
+        total_iterations: cfg.workers as u64
+            * cfg.epochs
+            * (shard_len / cfg.batch) as u64,
+        final_drift: drift,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_body(
+    w: usize,
+    mut net: Network,
+    train: Arc<Dataset>,
+    cfg: &ThreadedConfig,
+    ps: Arc<PsState>,
+    peers: Arc<PeerNet>,
+    bsp: Arc<BspRound>,
+    actives: &[usize],
+    num_actives: usize,
+) -> ParamSet {
+    let shard = train.shard(w, cfg.workers);
+    let sched = LrSchedule::paper_scaled(cfg.workers, cfg.base_lr, cfg.epochs as f32);
+    let mut opt = SgdMomentum::new(cfg.momentum, cfg.weight_decay);
+    let mut rng = SmallRng::seed_from_u64(
+        cfg.seed ^ (w as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+    );
+    let per_epoch = shard.len() / cfg.batch;
+    let n = cfg.workers as f32;
+    let mut alpha = 1.0 / n; // gossip mixing weight
+    let mut cache_ts = 0u64; // SSP cache timestamp
+    let mut clock = 0u64;
+    let passives: Vec<usize> =
+        (0..cfg.workers).filter(|v| v % 2 == 1).collect();
+    let is_active = w.is_multiple_of(2);
+    // AD-PSGD passive bookkeeping: actives may finish (and send Done)
+    // while this passive is still training, so the count must persist
+    // across the training loop and the final drain.
+    let mut dones = 0usize;
+
+    for epoch in 0..cfg.epochs {
+        for (bi, batch) in shard
+            .epoch_batches(cfg.batch, cfg.seed ^ w as u64, epoch)
+            .into_iter()
+            .enumerate()
+        {
+            let epoch_f = epoch as f32 + bi as f32 / per_epoch as f32;
+            let full_lr = sched.lr_at(epoch_f);
+            let grad_lr = full_lr / n;
+
+            match cfg.strategy {
+                Strategy::Bsp => {
+                    let (x, y) = train.gather(&batch);
+                    net.train_batch(x, &y);
+                    let grad = net.grads();
+                    bsp.slots.lock()[w] = Some(grad);
+                    let token = bsp.enter.wait();
+                    if token.is_leader() {
+                        let mut slots = bsp.slots.lock();
+                        let grads: Vec<&ParamSet> =
+                            slots.iter().map(|s| s.as_ref().expect("all deposited")).collect();
+                        let mean = ParamSet::mean_of(&grads);
+                        ps.apply_round(&mean, full_lr);
+                        slots.iter_mut().for_each(|s| *s = None);
+                    }
+                    bsp.leave.wait();
+                    net.set_params(&ps.snapshot());
+                }
+                Strategy::Asp => {
+                    let (x, y) = train.gather(&batch);
+                    net.train_batch(x, &y);
+                    let fresh = ps.push_and_pull(&net.grads(), grad_lr);
+                    net.set_params(&fresh);
+                }
+                Strategy::Ssp { staleness } => {
+                    let (x, y) = train.gather(&batch);
+                    net.train_batch(x, &y);
+                    let grad = net.grads();
+                    // push to the global table
+                    {
+                        let mut g = ps.global.lock();
+                        let (params, opt_ps) = &mut *g;
+                        opt_ps.step(params, &grad, grad_lr);
+                    }
+                    // local update on the cache
+                    let mut p = net.get_params();
+                    opt.step(&mut p, &grad, grad_lr);
+                    net.set_params(&p);
+                    clock += 1;
+                    ps.bump_clock(w, clock);
+                    if clock > cache_ts + staleness {
+                        let min = ps.wait_for_min_clock(clock - staleness);
+                        net.set_params(&ps.snapshot());
+                        opt.reset();
+                        cache_ts = min;
+                    }
+                }
+                Strategy::Easgd { tau, alpha: a } => {
+                    let (x, y) = train.gather(&batch);
+                    net.train_batch(x, &y);
+                    let grad = net.grads();
+                    let mut p = net.get_params();
+                    opt.step(&mut p, &grad, grad_lr);
+                    net.set_params(&p);
+                    clock += 1;
+                    if clock.is_multiple_of(tau) {
+                        let updated = ps.elastic_exchange(&net.get_params(), a);
+                        net.set_params(&updated);
+                    }
+                }
+                Strategy::Gossip { p } => {
+                    let (x, y) = train.gather(&batch);
+                    net.train_batch(x, &y);
+                    let grad = net.grads();
+                    let mut px = net.get_params();
+                    opt.step(&mut px, &grad, grad_lr);
+                    net.set_params(&px);
+                    // merge everything queued
+                    while let Ok(msg) = peers.gossip_rx[w].lock().try_recv() {
+                        let anew = alpha + msg.alpha;
+                        let mut x = net.get_params();
+                        x.lerp(&msg.params, msg.alpha / anew);
+                        net.set_params(&x);
+                        alpha = anew;
+                    }
+                    if rng.gen::<f64>() < p && cfg.workers > 1 {
+                        let target = loop {
+                            let t = rng.gen_range(0..cfg.workers);
+                            if t != w {
+                                break t;
+                            }
+                        };
+                        alpha *= 0.5;
+                        let _ = peers.gossip_tx[target].send(GossipMsg {
+                            params: net.get_params(),
+                            alpha,
+                        });
+                    }
+                }
+                Strategy::AdPsgd => {
+                    if is_active {
+                        // initiate the exchange, overlap with compute
+                        let target = passives[rng.gen_range(0..passives.len())];
+                        let (reply_tx, reply_rx) = unbounded();
+                        let _ = peers.exchange_tx[target].send(PeerCtrl::Exchange(
+                            ExchangeMsg { params: net.get_params(), reply: reply_tx },
+                        ));
+                        let (x, y) = train.gather(&batch);
+                        net.train_batch(x, &y);
+                        let grad = net.grads();
+                        let mid = reply_rx
+                            .recv()
+                            .expect("AD-PSGD passive peer died before replying");
+                        net.set_params(&mid);
+                        let mut p = net.get_params();
+                        opt.step(&mut p, &grad, grad_lr);
+                        net.set_params(&p);
+                    } else {
+                        let (x, y) = train.gather(&batch);
+                        net.train_batch(x, &y);
+                        let grad = net.grads();
+                        let mut p = net.get_params();
+                        opt.step(&mut p, &grad, grad_lr);
+                        net.set_params(&p);
+                        // serve queued exchange requests
+                        while let Ok(ctrl) = peers.exchange_rx[w].lock().try_recv() {
+                            serve_exchange(&mut net, ctrl, &mut dones);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // AD-PSGD teardown: actives announce completion; passives serve until
+    // every active is done (otherwise actives could block forever).
+    if matches!(cfg.strategy, Strategy::AdPsgd) {
+        if is_active {
+            for &v in &passives {
+                let _ = peers.exchange_tx[v].send(PeerCtrl::Done);
+            }
+        } else {
+            while dones < num_actives {
+                match peers.exchange_rx[w].lock().recv() {
+                    Ok(ctrl) => serve_exchange(&mut net, ctrl, &mut dones),
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    let _ = actives;
+    net.get_params()
+}
+
+/// Passive side of one AD-PSGD exchange: adopt and return the midpoint.
+fn serve_exchange(net: &mut Network, ctrl: PeerCtrl, dones: &mut usize) {
+    match ctrl {
+        PeerCtrl::Exchange(msg) => {
+            let mut mine = net.get_params();
+            mine.lerp(&msg.params, 0.5);
+            net.set_params(&mine);
+            let _ = msg.reply.send(mine);
+        }
+        PeerCtrl::Done => *dones += 1,
+    }
+}

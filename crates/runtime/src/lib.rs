@@ -1,0 +1,32 @@
+//! # dtrain-runtime
+//!
+//! Real multi-threaded data-parallel training: the same seven aggregation
+//! algorithms as the simulator (`dtrain-algos`), executed on OS threads
+//! over shared memory and channels. Use this to actually train a model on a
+//! multi-core machine; use the simulator when you need the paper's cluster
+//! timing model or deterministic replay.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dtrain_data::{teacher_task, TeacherTaskConfig};
+//! use dtrain_models::default_mlp;
+//! use dtrain_runtime::{train_threaded, Strategy, ThreadedConfig};
+//!
+//! let (train, test) = teacher_task(&TeacherTaskConfig {
+//!     train_size: 512, test_size: 128, ..Default::default()
+//! });
+//! let train = Arc::new(train);
+//! let report = train_threaded(
+//!     || default_mlp(10, 7),
+//!     &train,
+//!     &test,
+//!     &ThreadedConfig { workers: 2, epochs: 3, ..Default::default() },
+//! );
+//! assert!(report.final_accuracy > 0.1);
+//! ```
+
+mod engine;
+mod strategy;
+
+pub use engine::{train_threaded, ThreadedConfig, ThreadedReport};
+pub use strategy::{ExchangeMsg, GossipMsg, PeerCtrl, PeerNet, PsState, Strategy};

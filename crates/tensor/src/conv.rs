@@ -1,0 +1,374 @@
+//! 2-D convolution and max-pooling on `[N, C, H, W]` tensors.
+//!
+//! Convolution is implemented by im2col + matmul: the input patches are
+//! unrolled into a matrix so the heavy lifting reuses the deterministic
+//! parallel matmul kernel. This is the textbook approach (and what cuDNN's
+//! GEMM algorithms do), sized for the small CNNs the accuracy experiments
+//! train.
+
+use crate::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::tensor::Tensor;
+
+/// Static geometry of a conv layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    pub in_channels: usize,
+    pub out_channels: usize,
+    pub kernel: usize,
+    pub stride: usize,
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Output spatial size for an input of side `h`.
+    pub fn out_size(&self, h: usize) -> usize {
+        (h + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Weight tensor shape: `[out_c, in_c * k * k]` (pre-flattened for GEMM).
+    pub fn weight_shape(&self) -> [usize; 2] {
+        [self.out_channels, self.in_channels * self.kernel * self.kernel]
+    }
+}
+
+/// Unroll input patches: `x[N,C,H,W]` → `cols[N*OH*OW, C*K*K]`.
+pub fn im2col(x: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
+    let shape = x.shape();
+    assert_eq!(shape.len(), 4, "im2col expects NCHW");
+    let (n, c) = (shape[0], shape[1]);
+    assert_eq!(c, spec.in_channels);
+    assert_eq!((shape[2], shape[3]), (h, w));
+    let (k, s, p) = (spec.kernel, spec.stride, spec.padding);
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let cols_w = c * k * k;
+    let mut out = vec![0.0f32; n * oh * ow * cols_w];
+    let xd = x.data();
+    let mut row = 0usize;
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let base = row * cols_w;
+                let mut col = 0usize;
+                for ch in 0..c {
+                    let chan = &xd[(img * c + ch) * h * w..(img * c + ch + 1) * h * w];
+                    for ky in 0..k {
+                        let iy = (oy * s + ky) as isize - p as isize;
+                        for kx in 0..k {
+                            let ix = (ox * s + kx) as isize - p as isize;
+                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
+                            {
+                                out[base + col] = chan[iy as usize * w + ix as usize];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(&[n * oh * ow, cols_w], out)
+}
+
+/// Fold patch-gradients back onto the input: the adjoint of [`im2col`].
+pub fn col2im(
+    cols: &Tensor,
+    spec: &Conv2dSpec,
+    n: usize,
+    h: usize,
+    w: usize,
+) -> Tensor {
+    let (c, k, s, p) = (spec.in_channels, spec.kernel, spec.stride, spec.padding);
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    assert_eq!(cols.shape(), &[n * oh * ow, c * k * k]);
+    let mut out = vec![0.0f32; n * c * h * w];
+    let cd = cols.data();
+    let cols_w = c * k * k;
+    let mut row = 0usize;
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let base = row * cols_w;
+                let mut col = 0usize;
+                for ch in 0..c {
+                    let chan_base = (img * c + ch) * h * w;
+                    for ky in 0..k {
+                        let iy = (oy * s + ky) as isize - p as isize;
+                        for kx in 0..k {
+                            let ix = (ox * s + kx) as isize - p as isize;
+                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
+                            {
+                                out[chan_base + iy as usize * w + ix as usize] +=
+                                    cd[base + col];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(&[n, c, h, w], out)
+}
+
+/// Conv forward. `weight` is `[out_c, in_c*k*k]`, `bias` is `[out_c]`.
+/// Returns `(output[N,OC,OH,OW], cols)` — `cols` is cached for backward.
+pub fn conv2d_forward(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+) -> (Tensor, Tensor) {
+    let shape = x.shape().to_vec();
+    let (n, h, w) = (shape[0], shape[2], shape[3]);
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let cols = im2col(x, spec, h, w);
+    // [N*OH*OW, CKK] x [CKK, OC] — via A · Bᵀ with weight [OC, CKK].
+    let mut y = matmul_a_bt(&cols, weight); // [N*OH*OW, OC]
+    crate::ops::add_bias(&mut y, bias);
+    // Rearrange [N*OH*OW, OC] → [N, OC, OH, OW].
+    let yd = y.data();
+    let mut out = vec![0.0f32; n * spec.out_channels * oh * ow];
+    for img in 0..n {
+        for pix in 0..oh * ow {
+            let src = (img * oh * ow + pix) * spec.out_channels;
+            for oc in 0..spec.out_channels {
+                out[(img * spec.out_channels + oc) * oh * ow + pix] = yd[src + oc];
+            }
+        }
+    }
+    (
+        Tensor::from_vec(&[n, spec.out_channels, oh, ow], out),
+        cols,
+    )
+}
+
+/// Conv backward. Returns `(dx, dweight, dbias)`.
+pub fn conv2d_backward(
+    grad_out: &Tensor,
+    cols: &Tensor,
+    weight: &Tensor,
+    spec: &Conv2dSpec,
+    in_h: usize,
+    in_w: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let gs = grad_out.shape().to_vec();
+    let (n, oc, oh, ow) = (gs[0], gs[1], gs[2], gs[3]);
+    assert_eq!(oc, spec.out_channels);
+    // Rearrange grad [N, OC, OH, OW] → [N*OH*OW, OC].
+    let gd = grad_out.data();
+    let mut g2 = vec![0.0f32; n * oh * ow * oc];
+    for img in 0..n {
+        for c in 0..oc {
+            for pix in 0..oh * ow {
+                g2[(img * oh * ow + pix) * oc + c] =
+                    gd[(img * oc + c) * oh * ow + pix];
+            }
+        }
+    }
+    let g2 = Tensor::from_vec(&[n * oh * ow, oc], g2);
+    // dW[OC, CKK] = g2ᵀ · cols
+    let dw = matmul_at_b(&g2, cols);
+    let db = crate::ops::sum_rows(&g2);
+    // dcols[N*OH*OW, CKK] = g2 · W
+    let dcols = matmul(&g2, weight);
+    let dx = col2im(&dcols, spec, n, in_h, in_w);
+    (dx, dw, db)
+}
+
+/// Max-pool forward with square window/stride. Returns output and the flat
+/// argmax indices (into the input) needed by the backward pass.
+pub fn maxpool2d_forward(x: &Tensor, window: usize) -> (Tensor, Vec<u32>) {
+    let s = x.shape().to_vec();
+    let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+    assert!(h % window == 0 && w % window == 0, "pool window must divide input");
+    let (oh, ow) = (h / window, w / window);
+    let xd = x.data();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut idx = vec![0u32; n * c * oh * ow];
+    for img in 0..n {
+        for ch in 0..c {
+            let cb = (img * c + ch) * h * w;
+            let ob = (img * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut bi = 0usize;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            let i = cb + (oy * window + ky) * w + ox * window + kx;
+                            if xd[i] > best {
+                                best = xd[i];
+                                bi = i;
+                            }
+                        }
+                    }
+                    out[ob + oy * ow + ox] = best;
+                    idx[ob + oy * ow + ox] = bi as u32;
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(&[n, c, oh, ow], out), idx)
+}
+
+/// Max-pool backward: routes each output gradient to its argmax input cell.
+pub fn maxpool2d_backward(
+    grad_out: &Tensor,
+    indices: &[u32],
+    input_shape: &[usize],
+) -> Tensor {
+    assert_eq!(grad_out.len(), indices.len());
+    let mut dx = vec![0.0f32; input_shape.iter().product()];
+    for (&g, &i) in grad_out.data().iter().zip(indices) {
+        dx[i as usize] += g;
+    }
+    Tensor::from_vec(input_shape, dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(ic: usize, oc: usize, k: usize, s: usize, p: usize) -> Conv2dSpec {
+        Conv2dSpec {
+            in_channels: ic,
+            out_channels: oc,
+            kernel: k,
+            stride: s,
+            padding: p,
+        }
+    }
+
+    #[test]
+    fn out_size_formula() {
+        let sp = spec(1, 1, 3, 1, 1);
+        assert_eq!(sp.out_size(8), 8); // same-padding
+        let sp2 = spec(1, 1, 2, 2, 0);
+        assert_eq!(sp2.out_size(8), 4);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 conv with weight 1 and bias 0 is the identity.
+        let sp = spec(1, 1, 1, 1, 0);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let w = Tensor::from_vec(&[1, 1], vec![1.0]);
+        let b = Tensor::zeros(&[1]);
+        let (y, _) = conv2d_forward(&x, &w, &b, &sp);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // 3x3 all-ones kernel over a 3x3 all-ones image, no padding → 9.
+        let sp = spec(1, 1, 3, 1, 0);
+        let x = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let w = Tensor::full(&[1, 9], 1.0);
+        let b = Tensor::zeros(&[1]);
+        let (y, _) = conv2d_forward(&x, &w, &b, &sp);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data(), &[9.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of an adjoint pair, which backprop relies on.
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(11);
+        let sp = spec(2, 1, 3, 1, 1);
+        let x = Tensor::randn(&[2, 2, 5, 5], 1.0, &mut rng);
+        let cols = im2col(&x, &sp, 5, 5);
+        let y = Tensor::randn(cols.shape(), 1.0, &mut rng);
+        let lhs: f32 = cols
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        let folded = col2im(&y, &sp, 2, 5, 5);
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(folded.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_gradient_matches_finite_difference() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        let sp = spec(1, 2, 3, 1, 1);
+        let x = Tensor::randn(&[1, 1, 4, 4], 1.0, &mut rng);
+        let w = Tensor::randn(&[2, 9], 0.5, &mut rng);
+        let b = Tensor::zeros(&[2]);
+        // Loss = sum of outputs; so grad_out = ones.
+        let (y, cols) = conv2d_forward(&x, &w, &b, &sp);
+        let gout = Tensor::full(y.shape(), 1.0);
+        let (dx, dw, db) = conv2d_backward(&gout, &cols, &w, &sp, 4, 4);
+        let eps = 1e-2f32;
+        // check a few weight entries
+        for i in [0usize, 7, 12] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let (yp, _) = conv2d_forward(&x, &wp, &b, &sp);
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let (ym, _) = conv2d_forward(&x, &wm, &b, &sp);
+            let fd = (yp.sum() - ym.sum()) / (2.0 * eps);
+            assert!(
+                (fd - dw.data()[i]).abs() < 1e-2,
+                "dw[{i}] fd {fd} vs {}",
+                dw.data()[i]
+            );
+        }
+        // check an input entry
+        for i in [0usize, 9] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let (yp, _) = conv2d_forward(&xp, &w, &b, &sp);
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let (ym, _) = conv2d_forward(&xm, &w, &b, &sp);
+            let fd = (yp.sum() - ym.sum()) / (2.0 * eps);
+            assert!(
+                (fd - dx.data()[i]).abs() < 1e-2,
+                "dx[{i}] fd {fd} vs {}",
+                dx.data()[i]
+            );
+        }
+        // bias gradient is just the output count per channel
+        assert_eq!(db.len(), 2);
+        assert!((db.data()[0] - 16.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn maxpool_forward_backward() {
+        let x = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        );
+        let (y, idx) = maxpool2d_forward(&x, 2);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4., 8., 12., 16.]);
+        let g = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let dx = maxpool2d_backward(&g, &idx, &[1, 1, 4, 4]);
+        assert_eq!(dx.data()[5], 1.0); // position of "4"
+        assert_eq!(dx.data()[7], 2.0); // "8"
+        assert_eq!(dx.data()[13], 3.0); // "12"
+        assert_eq!(dx.data()[15], 4.0); // "16"
+        assert_eq!(dx.sum(), 10.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # dtrain-tensor
+//!
+//! A deliberately small dense-tensor library: the numerical substrate for the
+//! `dtrain` reproduction of the IPDPS 2021 distributed-training study. It
+//! provides exactly what data-parallel SGD over MLPs/CNNs needs — row-major
+//! `f32` tensors, three GEMM variants, im2col convolution, max-pooling,
+//! softmax cross-entropy — with **deterministic** rayon parallelism
+//! (parallel over independent output rows only, so results are bit-identical
+//! to the sequential kernels).
+//!
+//! ```
+//! use dtrain_tensor::{Tensor, matmul};
+//! let a = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+//! let b = Tensor::from_vec(&[2, 2], vec![0., 1., 1., 0.]);
+//! assert_eq!(matmul(&a, &b).data(), &[2., 1., 4., 3.]);
+//! ```
+
+mod conv;
+mod matmul;
+mod ops;
+mod tensor;
+
+pub use conv::{
+    col2im, conv2d_backward, conv2d_forward, im2col, maxpool2d_backward,
+    maxpool2d_forward, Conv2dSpec,
+};
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b, transpose};
+pub use ops::{
+    accuracy, add_bias, relu, relu_backward, softmax, softmax_cross_entropy,
+    sum_rows,
+};
+pub use tensor::Tensor;

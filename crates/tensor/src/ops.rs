@@ -1,0 +1,183 @@
+//! Activation, loss, and broadcast helpers used by the layer stack.
+
+use crate::tensor::Tensor;
+
+/// ReLU forward: `max(0, x)` elementwise.
+pub fn relu(x: &Tensor) -> Tensor {
+    let data = x.data().iter().map(|&v| v.max(0.0)).collect();
+    Tensor::from_vec(x.shape(), data)
+}
+
+/// ReLU backward: passes `grad` where the *input* was positive.
+pub fn relu_backward(input: &Tensor, grad: &Tensor) -> Tensor {
+    assert_eq!(input.shape(), grad.shape());
+    let data = input
+        .data()
+        .iter()
+        .zip(grad.data())
+        .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
+        .collect();
+    Tensor::from_vec(grad.shape(), data)
+}
+
+/// Adds a bias row-vector `b[1,n]` (or `[n]`) to every row of `x[m,n]`.
+pub fn add_bias(x: &mut Tensor, b: &Tensor) {
+    let n = x.cols();
+    assert_eq!(b.len(), n, "bias length mismatch");
+    let bd = b.data().to_vec();
+    for row in x.data_mut().chunks_exact_mut(n) {
+        for (v, bv) in row.iter_mut().zip(&bd) {
+            *v += bv;
+        }
+    }
+}
+
+/// Sum of gradients over rows — the bias gradient: `g[n] = Σ_rows grad[r,n]`.
+pub fn sum_rows(grad: &Tensor) -> Tensor {
+    let n = grad.cols();
+    let mut out = vec![0.0f32; n];
+    for row in grad.data().chunks_exact(n) {
+        for (o, &g) in out.iter_mut().zip(row) {
+            *o += g;
+        }
+    }
+    Tensor::from_vec(&[n], out)
+}
+
+/// Numerically stable softmax over the last axis of a rank-2 tensor.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let n = logits.cols();
+    let mut out = Vec::with_capacity(logits.len());
+    for row in logits.data().chunks_exact(n) {
+        let mx = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exps: Vec<f32> = row.iter().map(|&v| (v - mx).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        out.extend(exps.iter().map(|e| e / z));
+    }
+    Tensor::from_vec(logits.shape(), out)
+}
+
+/// Mean cross-entropy loss of `logits[m,k]` against integer `labels[m]`,
+/// together with the gradient w.r.t. the logits (already divided by the
+/// batch size, so optimizers apply it directly).
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (m, k) = (logits.rows(), logits.cols());
+    assert_eq!(labels.len(), m, "one label per row");
+    let probs = softmax(logits);
+    let mut loss = 0.0f64;
+    let mut grad = probs.clone();
+    let inv_m = 1.0 / m as f32;
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < k, "label {y} out of range for {k} classes");
+        let p = probs.at(r, y).max(1e-12);
+        loss -= (p as f64).ln();
+        *grad.at_mut(r, y) -= 1.0;
+    }
+    grad.scale(inv_m);
+    ((loss / m as f64) as f32, grad)
+}
+
+/// Fraction of rows whose argmax equals the label.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let preds = logits.argmax_rows();
+    assert_eq!(preds.len(), labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = preds.iter().zip(labels).filter(|(p, y)| p == y).count();
+    correct as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_roundtrip() {
+        let x = Tensor::from_vec(&[4], vec![-1., 0., 2., -3.]);
+        let y = relu(&x);
+        assert_eq!(y.data(), &[0., 0., 2., 0.]);
+        let g = Tensor::full(&[4], 1.0);
+        let gx = relu_backward(&x, &g);
+        assert_eq!(gx.data(), &[0., 0., 1., 0.]);
+    }
+
+    #[test]
+    fn bias_add_and_grad() {
+        let mut x = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec(&[2], vec![10., 20.]);
+        add_bias(&mut x, &b);
+        assert_eq!(x.data(), &[11., 22., 13., 24.]);
+        let g = sum_rows(&x);
+        assert_eq!(g.data(), &[24., 46.]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 1000., 1000., 1000.]);
+        let p = softmax(&x);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // big logits must not overflow
+        assert!(p.all_finite());
+        assert!((p.at(1, 0) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(&[1, 3], vec![20., 0., 0.]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6, "loss {loss}");
+        // gradient ≈ p - onehot ≈ 0
+        assert!(grad.abs_max() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_ln_k() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[1, 2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        // gradient rows sum to zero (softmax minus one-hot)
+        for r in 0..2 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        // d(loss)/d(logit) via central differences on a small case.
+        let base = vec![0.3f32, -0.7, 1.1, 0.25, 0.5, -0.1];
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(
+            &Tensor::from_vec(&[2, 3], base.clone()),
+            &labels,
+        );
+        let eps = 1e-3f32;
+        for i in 0..base.len() {
+            let mut plus = base.clone();
+            plus[i] += eps;
+            let mut minus = base.clone();
+            minus[i] -= eps;
+            let (lp, _) =
+                softmax_cross_entropy(&Tensor::from_vec(&[2, 3], plus), &labels);
+            let (lm, _) =
+                softmax_cross_entropy(&Tensor::from_vec(&[2, 3], minus), &labels);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad.data()[i]).abs() < 1e-3,
+                "elem {i}: fd {fd} vs analytic {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits =
+            Tensor::from_vec(&[3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        assert_eq!(accuracy(&logits, &[0, 1, 1]), 2.0 / 3.0);
+    }
+}

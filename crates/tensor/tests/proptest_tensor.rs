@@ -1,0 +1,117 @@
+//! Property-based tests for tensor algebra: linearity, adjointness, and
+//! shape laws that the training stack silently depends on.
+
+use dtrain_tensor::{
+    im2col, col2im, matmul, matmul_a_bt, matmul_at_b, softmax, softmax_cross_entropy,
+    transpose, Conv2dSpec, Tensor,
+};
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |v| Tensor::from_vec(&[r, c], v))
+    })
+}
+
+/// A pair of multiplicable matrices.
+fn matmul_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1usize..6, 1usize..6, 1usize..6).prop_flat_map(|(m, k, n)| {
+        (
+            prop::collection::vec(-5.0f32..5.0, m * k)
+                .prop_map(move |v| Tensor::from_vec(&[m, k], v)),
+            prop::collection::vec(-5.0f32..5.0, k * n)
+                .prop_map(move |v| Tensor::from_vec(&[k, n], v)),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// (AB)ᵀ == Bᵀ Aᵀ — computed through the fused kernels.
+    #[test]
+    fn matmul_transpose_law((a, b) in matmul_pair()) {
+        let ab_t = transpose(&matmul(&a, &b));
+        let bt_at = matmul(&transpose(&b), &transpose(&a));
+        prop_assert!(ab_t.max_abs_diff(&bt_at) < 1e-3);
+    }
+
+    /// The fused kernels agree with explicit transposition.
+    #[test]
+    fn fused_kernels_agree((a, b) in matmul_pair()) {
+        let at_b = matmul_at_b(&transpose(&a), &b);
+        let plain = matmul(&a, &b);
+        prop_assert!(at_b.max_abs_diff(&plain) < 1e-3);
+        let a_bt = matmul_a_bt(&a, &transpose(&b));
+        prop_assert!(a_bt.max_abs_diff(&plain) < 1e-3);
+    }
+
+    /// Matmul distributes over addition: A(B + C) == AB + AC.
+    #[test]
+    fn matmul_distributes((a, b) in matmul_pair(), scale in -3.0f32..3.0) {
+        let mut c = b.clone();
+        c.scale(scale);
+        let sum_first = matmul(&a, &b.add(&c));
+        let mul_first = matmul(&a, &b).add(&matmul(&a, &c));
+        prop_assert!(sum_first.max_abs_diff(&mul_first) < 1e-2);
+    }
+
+    /// axpy is linear: x.axpy(α, y) == x + α·y elementwise.
+    #[test]
+    fn axpy_matches_manual(x in small_matrix(6), alpha in -4.0f32..4.0) {
+        let y = Tensor::full(x.shape(), 1.5);
+        let mut fused = x.clone();
+        fused.axpy(alpha, &y);
+        for (i, v) in fused.data().iter().enumerate() {
+            prop_assert!((v - (x.data()[i] + alpha * 1.5)).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax rows are probability vectors for any finite logits.
+    #[test]
+    fn softmax_rows_are_distributions(x in small_matrix(8)) {
+        let p = softmax(&x);
+        prop_assert!(p.all_finite());
+        let cols = x.shape()[1];
+        for row in p.data().chunks_exact(cols) {
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    /// Cross-entropy gradient rows always sum to ~0 (softmax minus one-hot).
+    #[test]
+    fn xent_grad_rows_sum_to_zero(x in small_matrix(6)) {
+        let rows = x.shape()[0];
+        let cols = x.shape()[1];
+        let labels: Vec<usize> = (0..rows).map(|r| r % cols).collect();
+        let (loss, grad) = softmax_cross_entropy(&x, &labels);
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+        for row in grad.data().chunks_exact(cols) {
+            let s: f32 = row.iter().sum();
+            prop_assert!(s.abs() < 1e-4);
+        }
+    }
+
+    /// im2col/col2im adjoint identity <im2col(x), y> == <x, col2im(y)>.
+    #[test]
+    fn conv_unroll_adjoint(
+        seedable in prop::collection::vec(-2.0f32..2.0, 2 * 1 * 6 * 6),
+        k in 1usize..4,
+        p in 0usize..2,
+    ) {
+        let spec = Conv2dSpec {
+            in_channels: 1, out_channels: 1, kernel: k, stride: 1, padding: p,
+        };
+        if spec.out_size(6) == 0 { return Ok(()); }
+        let x = Tensor::from_vec(&[2, 1, 6, 6], seedable);
+        let cols = im2col(&x, &spec, 6, 6);
+        let y = Tensor::full(cols.shape(), 0.5);
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let folded = col2im(&y, &spec, 2, 6, 6);
+        let rhs: f32 = x.data().iter().zip(folded.data()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2);
+    }
+}

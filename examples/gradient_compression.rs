@@ -1,0 +1,74 @@
+//! Deep Gradient Compression end-to-end: what DGC costs in accuracy (real
+//! math, with local accumulation / momentum correction / masking / warm-up)
+//! and what it buys in traffic and throughput.
+//!
+//! Run with: `cargo run --release --example gradient_compression`
+
+use dtrain_core::prelude::*;
+use dtrain_core::presets::{accuracy_run, accuracy_run_with_dgc, AccuracyScale};
+use dtrain_models::vgg16;
+
+fn main() {
+    // --- accuracy side (real math, 8 workers) ---
+    let scale = AccuracyScale {
+        epochs: 12,
+        train_size: 2048,
+        test_size: 512,
+        batch: 32,
+        base_lr: 0.02,
+        seed: 11,
+    };
+    let mut acc_table = Table::new(
+        "DGC accuracy effect (ASP, 8 workers, real training)",
+        &["variant", "final accuracy", "gradient GB pushed"],
+    );
+    for (label, cfg) in [
+        ("dense gradients", accuracy_run(Algo::Asp, 8, &scale)),
+        ("DGC sparse", accuracy_run_with_dgc(Algo::Asp, 8, &scale)),
+    ] {
+        let out = run(&cfg);
+        acc_table.push_row(vec![
+            label.to_string(),
+            fmt_acc(out.final_accuracy.expect("accuracy")),
+            format!("{:.2}", out.traffic.inter_bytes as f64 / 1e9),
+        ]);
+    }
+    println!("{}", acc_table.render());
+
+    // --- throughput side (cost model, VGG-16 on the starved network) ---
+    let workers = 16;
+    let cluster = ClusterConfig::paper_with_workers(NetworkConfig::TEN_GBPS, workers);
+    let mut perf_table = Table::new(
+        "DGC throughput effect (ASP, VGG-16, 16 workers, 10 Gbps)",
+        &["variant", "img/s", "inter-machine GB"],
+    );
+    for (label, dgc) in [("dense", None), ("DGC", Some(DgcConfig::default()))] {
+        let cfg = RunConfig {
+            algo: Algo::Asp,
+            cluster: cluster.clone(),
+            workers,
+            profile: vgg16(),
+            batch: 96,
+            opts: OptimizationConfig {
+                ps_shards: 2 * cluster.machines,
+                dgc,
+                ..Default::default()
+            },
+            stop: StopCondition::Iterations(20),
+            real: None,
+            seed: 23,
+        };
+        let out = run(&cfg);
+        perf_table.push_row(vec![
+            label.to_string(),
+            format!("{:.0}", out.throughput),
+            format!("{:.1}", out.traffic.inter_bytes as f64 / 1e9),
+        ]);
+    }
+    println!("{}", perf_table.render());
+    println!(
+        "DGC transmits ~0.1% of gradient coordinates (plus indices) yet keeps\n\
+         accuracy — the accumulation and momentum-correction machinery delays\n\
+         small gradients instead of dropping them."
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: simulate data-parallel training of a classifier with BSP on
+//! four workers of the paper's cluster, and watch the accuracy curve.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dtrain_core::prelude::*;
+
+fn main() {
+    // A scaled-down accuracy experiment: 4 workers, 12 epochs over the
+    // synthetic teacher task, virtual time driven by the ResNet-50 profile
+    // on the 56 Gbps cluster.
+    let scale = presets::AccuracyScale {
+        epochs: 12,
+        train_size: 2048,
+        test_size: 512,
+        batch: 32,
+        base_lr: 0.02,
+        seed: 11,
+    };
+    let cfg = presets::accuracy_run(Algo::Bsp, 4, &scale);
+    println!(
+        "Training {} workers with {} on the synthetic task…",
+        cfg.workers,
+        cfg.algo.name()
+    );
+    let out = run(&cfg);
+
+    let mut table = Table::new(
+        "BSP accuracy curve",
+        &["epoch", "test accuracy", "test error", "virtual time (s)"],
+    );
+    for p in &out.curve {
+        table.push_row(vec![
+            p.epoch.to_string(),
+            fmt_acc(p.test_accuracy),
+            fmt_acc(p.test_error),
+            format!("{:.1}", p.time.as_secs_f64()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "final accuracy {:.4} | {} iterations | {:.0} images/s of virtual time",
+        out.final_accuracy.expect("curve is non-empty"),
+        out.total_iterations,
+        out.throughput,
+    );
+    println!(
+        "traffic: {:.1} GB inter-machine, {:.1} GB intra-machine",
+        out.traffic.inter_bytes as f64 / 1e9,
+        out.traffic.intra_bytes as f64 / 1e9,
+    );
+}

@@ -1,0 +1,68 @@
+//! Straggler resilience: inject one worker that computes 3× slower and
+//! compare how each algorithm's throughput degrades.
+//!
+//! The paper's analysis predicts: BSP and AR-SGD stall on the straggler
+//! (every synchronization round waits for it); ASP barely notices (the PS
+//! serves fast workers at their own pace); AD-PSGD degrades only for the
+//! peers unlucky enough to exchange with the slow worker.
+//!
+//! Run with: `cargo run --release --example straggler_resilience`
+
+use dtrain_core::prelude::*;
+use dtrain_models::resnet50;
+
+fn run_case(algo: Algo, straggler: Option<Straggler>) -> f64 {
+    let workers = 8;
+    let mut cluster =
+        ClusterConfig::paper_with_workers(NetworkConfig::FIFTY_SIX_GBPS, workers);
+    if let Some(s) = straggler {
+        cluster.stragglers.push(s);
+    }
+    let cfg = RunConfig {
+        algo,
+        cluster,
+        workers,
+        profile: resnet50(),
+        batch: 128,
+        opts: OptimizationConfig {
+            ps_shards: if algo.is_centralized() { 4 } else { 1 },
+            local_aggregation: matches!(algo, Algo::Bsp),
+            ..Default::default()
+        },
+        stop: StopCondition::Iterations(30),
+        real: None,
+        seed: 9,
+    };
+    run(&cfg).throughput
+}
+
+fn main() {
+    let slow = Straggler { worker: 3, slowdown: 3.0 };
+    let algos = [
+        Algo::Bsp,
+        Algo::ArSgd,
+        Algo::Asp,
+        Algo::Ssp { staleness: 10 },
+        Algo::AdPsgd,
+    ];
+    let mut table = Table::new(
+        "Throughput with one 3x straggler (8 workers, ResNet-50, 56 Gbps)",
+        &["algorithm", "healthy img/s", "straggler img/s", "retained"],
+    );
+    for algo in algos {
+        let healthy = run_case(algo, None);
+        let degraded = run_case(algo, Some(slow));
+        table.push_row(vec![
+            algo.name().to_string(),
+            format!("{healthy:.0}"),
+            format!("{degraded:.0}"),
+            format!("{:.0}%", 100.0 * degraded / healthy),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Synchronous algorithms (BSP, AR-SGD) pay the straggler tax on every \
+         iteration;\nasynchronous ones keep most of their throughput — the \
+         trade-off the paper's\naccuracy tables price out."
+    );
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper, plus the extension
+# studies, writing CSVs to results/. Takes ~25 minutes on a modern laptop;
+# add --quick after -- for a smoke-scale pass (~2 minutes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release --workspace
+mkdir -p results
+for b in table1_summary table2_accuracy fig1_convergence table3_sensitivity \
+         fig2_scalability fig3_breakdown fig4_optimizations \
+         table4_dgc_accuracy ablations straggler_study; do
+  echo "=== $b ==="
+  ./target/release/$b --csv results "$@"
+done
+echo "done — see results/"

@@ -1,0 +1,50 @@
+//! # dtrain-repro
+//!
+//! Root facade of the `dtrain` workspace — a from-scratch Rust reproduction
+//! of *"An In-Depth Analysis of Distributed Training of Deep Neural
+//! Networks"* (Ko, Choi, Seo, Kim — IPDPS 2021).
+//!
+//! The sub-crates are re-exported under short names, so downstream users can
+//! depend on this one crate:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `dtrain-core` | experiment presets, reports, the prelude |
+//! | [`algos`] | `dtrain-algos` | the seven algorithms over the simulator |
+//! | [`runtime`] | `dtrain-runtime` | the same algorithms on OS threads |
+//! | [`cluster`] | `dtrain-cluster` | testbed model: NICs, GPUs, shards |
+//! | [`desim`] | `dtrain-desim` | the deterministic DES kernel |
+//! | [`nn`] / [`tensor`] | `dtrain-nn` / `dtrain-tensor` | training math |
+//! | [`data`] | `dtrain-data` | synthetic datasets + sharding |
+//! | [`models`] | `dtrain-models` | ResNet-50/VGG-16 profiles, stand-ins |
+//! | [`compress`] | `dtrain-compress` | Deep Gradient Compression |
+//!
+//! ```
+//! use dtrain_repro::prelude::*;
+//!
+//! // Compare BSP and ASP on a tiny simulated cluster.
+//! let scale = presets::AccuracyScale {
+//!     epochs: 2, train_size: 512, test_size: 128,
+//!     batch: 32, base_lr: 0.02, seed: 3,
+//! };
+//! let bsp = run(&presets::accuracy_run(Algo::Bsp, 4, &scale));
+//! let asp = run(&presets::accuracy_run(Algo::Asp, 4, &scale));
+//! assert!(bsp.final_accuracy.unwrap() > 0.1);
+//! assert!(asp.final_accuracy.unwrap() > 0.1);
+//! ```
+
+pub use dtrain_algos as algos;
+pub use dtrain_cluster as cluster;
+pub use dtrain_compress as compress;
+pub use dtrain_core as core;
+pub use dtrain_data as data;
+pub use dtrain_desim as desim;
+pub use dtrain_models as models;
+pub use dtrain_nn as nn;
+pub use dtrain_runtime as runtime;
+pub use dtrain_tensor as tensor;
+
+/// The everyday imports, re-exported from `dtrain-core`.
+pub mod prelude {
+    pub use dtrain_core::prelude::*;
+}

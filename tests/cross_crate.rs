@@ -1,0 +1,156 @@
+//! Cross-crate integration tests: the paper's qualitative findings, checked
+//! end-to-end through the public facade.
+
+use dtrain_core::prelude::*;
+use dtrain_core::presets::{
+    accuracy_run, accuracy_run_with_dgc, breakdown_run, scalability_run,
+    AccuracyScale, PaperModel,
+};
+
+fn quick() -> AccuracyScale {
+    AccuracyScale::quick()
+}
+
+/// Finding §VI-A: synchronous algorithms (BSP, AR-SGD) achieve the best
+/// accuracy; the intermittent/asymmetric ones (EASGD, GoSGD p=0.01) are
+/// clearly worse at the same epoch budget.
+#[test]
+fn sync_beats_intermittent_in_accuracy() {
+    let workers = 8;
+    let bsp = run(&accuracy_run(Algo::Bsp, workers, &quick()))
+        .final_accuracy
+        .expect("bsp acc");
+    let easgd = run(&accuracy_run(Algo::Easgd { tau: 8, alpha: None }, workers, &quick()))
+        .final_accuracy
+        .expect("easgd acc");
+    let gosgd = run(&accuracy_run(Algo::GoSgd { p: 0.01 }, workers, &quick()))
+        .final_accuracy
+        .expect("gosgd acc");
+    assert!(
+        bsp > easgd + 0.05 && bsp > gosgd + 0.05,
+        "BSP {bsp} vs EASGD {easgd} vs GoSGD {gosgd}"
+    );
+}
+
+/// Finding §VI-B: the hyperparameters move accuracy monotonically — less
+/// frequent aggregation (larger s, smaller p) hurts.
+#[test]
+fn hyperparameters_control_the_accuracy_loss() {
+    let workers = 8;
+    let s3 = run(&accuracy_run(Algo::Ssp { staleness: 3 }, workers, &quick()))
+        .final_accuracy
+        .expect("ssp3");
+    let s10 = run(&accuracy_run(Algo::Ssp { staleness: 10 }, workers, &quick()))
+        .final_accuracy
+        .expect("ssp10");
+    assert!(s3 >= s10 - 0.02, "SSP s=3 ({s3}) should not lose to s=10 ({s10})");
+    // For GoSGD the paper's accuracy ordering (larger p better) emerges
+    // only at ImageNet scale; the scale-robust invariant is the *mechanism*:
+    // less frequent gossip ⇒ larger replica drift.
+    let d1 = run(&accuracy_run(Algo::GoSgd { p: 1.0 }, workers, &quick()))
+        .curve
+        .last()
+        .expect("curve")
+        .drift;
+    let d001 = run(&accuracy_run(Algo::GoSgd { p: 0.01 }, workers, &quick()))
+        .curve
+        .last()
+        .expect("curve")
+        .drift;
+    assert!(
+        d001 > 10.0 * d1.max(1e-6),
+        "GoSGD drift must grow as p shrinks: p=1 drift {d1}, p=0.01 drift {d001}"
+    );
+}
+
+/// Finding §VI-C: on the bandwidth-starved network, the centralized
+/// asynchronous algorithms scale *worse* than synchronous BSP (PS
+/// bottleneck); on 56 Gbps they recover.
+#[test]
+fn ps_bottleneck_inverts_on_fast_network() {
+    let w = 16;
+    let iters = 12;
+    let tp = |algo, net| run(&scalability_run(algo, PaperModel::Vgg16, w, net, iters)).throughput;
+    let bsp_slow = tp(Algo::Bsp, NetworkConfig::TEN_GBPS);
+    let asp_slow = tp(Algo::Asp, NetworkConfig::TEN_GBPS);
+    assert!(
+        asp_slow < bsp_slow,
+        "10G VGG: ASP ({asp_slow:.0}) must trail BSP ({bsp_slow:.0})"
+    );
+    // On the fast network the bottleneck clears: for the compute-bound
+    // model ASP matches or beats BSP (paper Fig. 2a).
+    let tp_r = |algo, net| {
+        run(&scalability_run(algo, PaperModel::ResNet50, w, net, iters)).throughput
+    };
+    let bsp_fast = tp_r(Algo::Bsp, NetworkConfig::FIFTY_SIX_GBPS);
+    let asp_fast = tp_r(Algo::Asp, NetworkConfig::FIFTY_SIX_GBPS);
+    assert!(
+        asp_fast > 0.95 * bsp_fast,
+        "56G ResNet: ASP ({asp_fast:.0}) should at least match BSP ({bsp_fast:.0})"
+    );
+}
+
+/// Finding §VI-C: VGG-16 (communication-intensive) scales worse than
+/// ResNet-50 for every algorithm.
+#[test]
+fn vgg_scales_worse_than_resnet() {
+    for algo in [Algo::Bsp, Algo::ArSgd, Algo::AdPsgd] {
+        let iters = 12;
+        // 1-worker baselines are algorithm-independent (no communication).
+        let base_r = run(&scalability_run(Algo::Bsp, PaperModel::ResNet50, 1, NetworkConfig::TEN_GBPS, iters)).throughput;
+        let r16 = run(&scalability_run(algo, PaperModel::ResNet50, 16, NetworkConfig::TEN_GBPS, iters)).throughput;
+        let base_v = run(&scalability_run(Algo::Bsp, PaperModel::Vgg16, 1, NetworkConfig::TEN_GBPS, iters)).throughput;
+        let v16 = run(&scalability_run(algo, PaperModel::Vgg16, 16, NetworkConfig::TEN_GBPS, iters)).throughput;
+        let speedup_r = r16 / base_r;
+        let speedup_v = v16 / base_v;
+        assert!(
+            speedup_v < speedup_r,
+            "{}: VGG speedup {speedup_v:.2} should trail ResNet {speedup_r:.2}",
+            algo.name()
+        );
+    }
+}
+
+/// Finding Fig. 3: at 24 workers, BSP spends more than a third of its time
+/// aggregating; ASP's global aggregation dominates on 10 Gbps.
+#[test]
+fn breakdown_shapes() {
+    let bsp = run(&breakdown_run(Algo::Bsp, PaperModel::ResNet50, NetworkConfig::TEN_GBPS, 10));
+    let b = bsp.mean_breakdown;
+    let agg = b.fraction(Phase::LocalAgg) + b.fraction(Phase::GlobalAgg);
+    assert!(agg > 0.33, "BSP aggregation fraction {agg}");
+    let asp = run(&breakdown_run(Algo::Asp, PaperModel::ResNet50, NetworkConfig::TEN_GBPS, 10));
+    assert!(
+        asp.mean_breakdown.fraction(Phase::GlobalAgg) > 0.5,
+        "ASP global-agg fraction {}",
+        asp.mean_breakdown.fraction(Phase::GlobalAgg)
+    );
+}
+
+/// Finding Table IV: DGC (scaled to this run's visit budget) does not
+/// degrade accuracy materially while reducing pushed gradient volume.
+#[test]
+fn dgc_is_accuracy_neutral() {
+    let plain = run(&accuracy_run(Algo::Asp, 4, &quick()));
+    let dgc = run(&accuracy_run_with_dgc(Algo::Asp, 4, &quick()));
+    let (a, b) = (
+        plain.final_accuracy.expect("plain"),
+        dgc.final_accuracy.expect("dgc"),
+    );
+    // At this quick scale (192 iterations) the visit-scaled sparsity still
+    // holds back a visible share of total gradient mass; the paper-scale
+    // neutrality check lives in the table4 harness (ASP: 0.7031 → 0.7026).
+    assert!(b > a - 0.12, "DGC accuracy {b} vs dense {a}");
+    // 4 workers fit one machine, so compare total moved bytes.
+    assert!(dgc.traffic.total_bytes() < plain.traffic.total_bytes());
+}
+
+/// Full-facade determinism: identical configs give identical outputs.
+#[test]
+fn facade_runs_are_deterministic() {
+    let a = run(&accuracy_run(Algo::GoSgd { p: 0.1 }, 4, &quick()));
+    let b = run(&accuracy_run(Algo::GoSgd { p: 0.1 }, 4, &quick()));
+    assert_eq!(a.final_accuracy, b.final_accuracy);
+    assert_eq!(a.end_time, b.end_time);
+    assert_eq!(a.traffic.inter_bytes, b.traffic.inter_bytes);
+}

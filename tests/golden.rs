@@ -1,0 +1,48 @@
+//! Golden regression tests: exact virtual end-times and traffic volumes for
+//! pinned configurations. The simulator is fully deterministic, so any
+//! change to these values means a *semantic* change to the cluster model or
+//! an algorithm — which should be a conscious decision, accompanied by
+//! updating the constants below and the recorded results in EXPERIMENTS.md.
+
+use dtrain_core::prelude::*;
+use dtrain_models::{resnet50, vgg16};
+
+fn golden_cfg(algo: Algo, model: ModelProfile) -> RunConfig {
+    RunConfig {
+        algo,
+        cluster: ClusterConfig::paper_with_workers(NetworkConfig::TEN_GBPS, 8),
+        workers: 8,
+        profile: model,
+        batch: 64,
+        opts: OptimizationConfig {
+            ps_shards: if algo.is_centralized() { 4 } else { 1 },
+            local_aggregation: matches!(algo, Algo::Bsp),
+            ..Default::default()
+        },
+        stop: StopCondition::Iterations(6),
+        real: None,
+        seed: 77,
+    }
+}
+
+#[test]
+fn golden_end_times_and_traffic() {
+    let cases: [(&str, Algo, ModelProfile, u64, u64); 4] = [
+        ("bsp_resnet", Algo::Bsp, resnet50(), 2431535568, 1226737536),
+        ("asp_vgg", Algo::Asp, vgg16(), 18379383131, 26564648448),
+        ("arsgd_resnet", Algo::ArSgd, resnet50(), 1824651708, 2146790688),
+        ("adpsgd_vgg", Algo::AdPsgd, vgg16(), 7178083167, 15496044928),
+    ];
+    for (name, algo, model, end_ns, inter_bytes) in cases {
+        let out = run(&golden_cfg(algo, model));
+        assert_eq!(
+            out.end_time.as_nanos(),
+            end_ns,
+            "{name}: virtual end time drifted — semantic model change?"
+        );
+        assert_eq!(
+            out.traffic.inter_bytes, inter_bytes,
+            "{name}: inter-machine traffic drifted — semantic model change?"
+        );
+    }
+}
