@@ -7,8 +7,12 @@
 //! [`dtrain_cluster::NetModel`], which is what produces the PS-bottleneck
 //! behaviour the paper analyses.
 
+use std::collections::VecDeque;
+use std::sync::Arc;
+
 use dtrain_cluster::{MetricsHub, NetModel, NodeId, Phase, TrafficClass};
 use dtrain_desim::{Ctx, Pid, SimTime};
+use dtrain_faults::CheckpointStore;
 use dtrain_nn::{ParamSet, SgdMomentum};
 
 use crate::exec::{GradData, Msg, WorkerCore};
@@ -106,6 +110,20 @@ pub enum PsMode {
     Easgd { alpha: f32 },
 }
 
+/// Owner-key offset for PS shards in the run's shared checkpoint store
+/// (workers use their id directly; shards use `PS_OWNER_BASE + shard`).
+pub const PS_OWNER_BASE: usize = 1 << 20;
+
+/// Fault-injection state of one PS shard: its outage schedule plus the
+/// shared checkpoint store its parameter state rolls back to.
+pub struct PsFaultState {
+    /// Outage windows `(start, duration)`, earliest first.
+    pub outages: VecDeque<(SimTime, SimTime)>,
+    pub store: Arc<CheckpointStore>,
+    /// Applied pushes (drives the checkpoint cadence).
+    pub applies: u64,
+}
+
 /// State for one run of the PS process.
 pub struct PsCore {
     pub shard: usize,
@@ -118,11 +136,60 @@ pub struct PsCore {
     pub workers: Vec<Addr>,
     /// Number of Stop messages that end this PS.
     pub expected_stops: usize,
+    pub faults: Option<PsFaultState>,
 }
 
 impl PsCore {
     fn reply_params(&self) -> Option<ParamSet> {
         self.real.as_ref().map(|r| r.params.clone())
+    }
+
+    /// Consume any outage windows that have started. The shard loses its
+    /// in-memory state (rolled back to the last checkpoint) and is
+    /// unavailable until the window ends — messages received meanwhile sat
+    /// in the mailbox, which models clients blocking on a dead shard.
+    fn handle_outage(&mut self, ctx: &Ctx<Msg>) {
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        while f
+            .outages
+            .front()
+            .is_some_and(|&(start, _)| start <= ctx.now())
+        {
+            let (start, dur) = f.outages.pop_front().unwrap();
+            let end = start + dur;
+            if let Some(real) = self.real.as_mut() {
+                if let Some(cp) = f.store.restore(PS_OWNER_BASE + self.shard) {
+                    real.params = cp.params;
+                    real.opt = cp.opt;
+                }
+            }
+            let now = ctx.now();
+            if end > now {
+                ctx.advance(end - now);
+            }
+        }
+    }
+
+    /// Count one applied update and checkpoint this shard's state on the
+    /// configured cadence.
+    fn tick_checkpoint(&mut self) {
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        let Some(real) = self.real.as_ref() else {
+            return;
+        };
+        f.applies += 1;
+        if f.store.due(f.applies) {
+            f.store.save(
+                PS_OWNER_BASE + self.shard,
+                f.applies,
+                &real.params,
+                &real.opt,
+            );
+        }
     }
 
     fn send_params(&self, ctx: &Ctx<Msg>, to: usize, clock: u64, data: Option<ParamSet>) {
@@ -137,14 +204,58 @@ impl PsCore {
         ctx.send(
             dst.pid,
             delay,
-            Msg::ShardParams { shard: self.shard, clock, data, bytes: self.reply_bytes },
+            Msg::ShardParams {
+                shard: self.shard,
+                clock,
+                data,
+                bytes: self.reply_bytes,
+            },
         );
+    }
+}
+
+/// Min clock over live workers (a crashed worker must not hold the SSP
+/// staleness bound back — that is the DropAndReadmit recovery policy).
+fn live_min_clock(clocks: &[u64], live: &[bool]) -> u64 {
+    clocks
+        .iter()
+        .zip(live)
+        .filter(|&(_, &l)| l)
+        .map(|(&c, _)| c)
+        .min()
+        .unwrap_or(0)
+}
+
+/// Release every pending gated pull the new min clock satisfies.
+fn release_pulls(ps: &PsCore, ctx: &Ctx<Msg>, pending: &mut Vec<(usize, u64)>, min_clock: u64) {
+    let ready: Vec<usize> = pending
+        .iter()
+        .filter(|&&(_, need)| min_clock >= need)
+        .map(|&(w, _)| w)
+        .collect();
+    pending.retain(|&(_, need)| min_clock < need);
+    for w in ready {
+        ps.send_params(ctx, w, min_clock, ps.reply_params());
     }
 }
 
 /// The parameter-server process body.
 pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
+    // Baseline checkpoint so an outage before the first cadence tick still
+    // has a state to roll back to.
+    if let (Some(f), Some(real)) = (ps.faults.as_ref(), ps.real.as_ref()) {
+        f.store
+            .save(PS_OWNER_BASE + ps.shard, 0, &real.params, &real.opt);
+    }
     let mut stops = 0usize;
+    // BSP round size: shrinks when a member is lost permanently. It must
+    // NOT shrink on a temporary crash — a paused worker resumes the same
+    // round, and changing the round size mid-stream desynchronizes the
+    // per-worker round counts and deadlocks the barrier.
+    let mut bsp_senders = match &mode {
+        PsMode::Bsp { num_senders } => *num_senders,
+        _ => 0,
+    };
     // BSP round state
     let mut round_acc: Option<ParamSet> = None;
     let mut round_members: Vec<usize> = Vec::new();
@@ -157,20 +268,33 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
         PsMode::Ssp { num_workers } => vec![0; *num_workers],
         _ => Vec::new(),
     };
+    let mut live: Vec<bool> = vec![true; clocks.len()];
     let mut pending_pulls: Vec<(usize, u64)> = Vec::new(); // (worker, min_needed)
 
     loop {
         let msg = ctx.recv();
+        ps.handle_outage(&ctx);
         match msg {
             Msg::Stop { .. } => {
                 stops += 1;
-                if stops == ps.expected_stops {
+                if stops >= ps.expected_stops {
                     break;
                 }
             }
-            Msg::GradPush { sender, iter, lr, weight, data, bytes, .. } => {
+            Msg::GradPush {
+                sender,
+                iter,
+                lr,
+                weight,
+                data,
+                bytes,
+                ..
+            } => {
                 match &mode {
-                    PsMode::Bsp { num_senders } => {
+                    PsMode::Bsp { .. } => {
+                        // Accumulate only; round completion is checked
+                        // below so a shrinking `bsp_senders` can also
+                        // complete a round.
                         if let Some(d) = &data {
                             merge_grad(&mut round_acc, d);
                         }
@@ -178,21 +302,6 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
                         round_bytes += bytes;
                         round_weight += weight;
                         round_lr = lr;
-                        if round_members.len() == *num_senders {
-                            ctx.advance(ps_apply_time(round_bytes));
-                            if let (Some(real), Some(sum)) =
-                                (ps.real.as_mut(), round_acc.take())
-                            {
-                                real.apply(&GradData::Dense(sum), round_lr, round_weight);
-                            }
-                            let members = std::mem::take(&mut round_members);
-                            for m in members {
-                                ps.send_params(&ctx, m, 0, ps.reply_params());
-                            }
-                            round_acc = None;
-                            round_bytes = 0;
-                            round_weight = 0.0;
-                        }
                     }
                     PsMode::Asp => {
                         ctx.advance(ps_apply_time(bytes));
@@ -200,6 +309,7 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
                             real.apply(d, lr, weight);
                         }
                         ps.send_params(&ctx, sender, 0, ps.reply_params());
+                        ps.tick_checkpoint();
                     }
                     PsMode::Ssp { .. } => {
                         ctx.advance(ps_apply_time(bytes));
@@ -210,19 +320,10 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
                             // monotonic: NIC FIFO delivers in order today,
                             // but the clock must never regress regardless
                             clocks[sender] = clocks[sender].max(iter + 1);
-                            let min_clock =
-                                clocks.iter().copied().min().unwrap_or(0);
-                            // release any pulls the new clock satisfies
-                            let ready: Vec<usize> = pending_pulls
-                                .iter()
-                                .filter(|&&(_, need)| min_clock >= need)
-                                .map(|&(w, _)| w)
-                                .collect();
-                            pending_pulls.retain(|&(_, need)| min_clock < need);
-                            for w in ready {
-                                ps.send_params(&ctx, w, min_clock, ps.reply_params());
-                            }
+                            let min_clock = live_min_clock(&clocks, &live);
+                            release_pulls(&ps, &ctx, &mut pending_pulls, min_clock);
                         }
+                        ps.tick_checkpoint();
                     }
                     PsMode::Easgd { .. } => {
                         unreachable!("EASGD workers push parameters, not gradients")
@@ -234,7 +335,13 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
                 // issues them; shard 0 gets GatedPull instead).
                 ps.send_params(&ctx, sender, 0, ps.reply_params());
             }
-            Msg::ParamPush { sender, lr: _, data, bytes, .. } => {
+            Msg::ParamPush {
+                sender,
+                lr: _,
+                data,
+                bytes,
+                ..
+            } => {
                 let PsMode::Easgd { alpha } = &mode else {
                     unreachable!("ParamPush outside EASGD")
                 };
@@ -246,19 +353,128 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
                     _ => None,
                 };
                 ps.send_params(&ctx, sender, 0, reply);
+                ps.tick_checkpoint();
             }
             Msg::GatedPull { sender, min_needed } => {
                 // SSP shard-0 gated pull: reply once min clock ≥ min_needed.
-                let min_clock = clocks.iter().copied().min().unwrap_or(0);
+                let min_clock = live_min_clock(&clocks, &live);
                 if min_clock >= min_needed {
                     ps.send_params(&ctx, sender, min_clock, ps.reply_params());
                 } else {
                     pending_pulls.push((sender, min_needed));
                 }
             }
+            Msg::MemberDown { worker, permanent } => {
+                if permanent {
+                    // The worker will never send its Stop (nor, for BSP,
+                    // its round contribution).
+                    ps.expected_stops = ps.expected_stops.saturating_sub(1);
+                    if matches!(mode, PsMode::Bsp { .. }) {
+                        bsp_senders = bsp_senders.saturating_sub(1);
+                    }
+                    if stops >= ps.expected_stops {
+                        break;
+                    }
+                }
+                if matches!(mode, PsMode::Ssp { .. }) && ps.shard == 0 {
+                    // Drop-and-readmit: exclude the crashed worker from the
+                    // staleness bound and re-evaluate gated pulls.
+                    live[worker] = false;
+                    let min_clock = live_min_clock(&clocks, &live);
+                    release_pulls(&ps, &ctx, &mut pending_pulls, min_clock);
+                }
+            }
+            Msg::MemberUp { worker } => {
+                if matches!(mode, PsMode::Ssp { .. }) && ps.shard == 0 {
+                    // Re-admit at the current live min so the bound never
+                    // regresses (the restored worker restarts from its
+                    // checkpointed params anyway).
+                    clocks[worker] = live_min_clock(&clocks, &live);
+                    live[worker] = true;
+                }
+            }
             other => unreachable!("PS got unexpected message {other:?}"),
         }
+        // BSP round completion: reached either by the last push of a round
+        // or by a permanent member loss shrinking the round size under the
+        // number already collected.
+        if matches!(mode, PsMode::Bsp { .. })
+            && !round_members.is_empty()
+            && round_members.len() >= bsp_senders
+        {
+            ctx.advance(ps_apply_time(round_bytes));
+            if let (Some(real), Some(sum)) = (ps.real.as_mut(), round_acc.take()) {
+                real.apply(&GradData::Dense(sum), round_lr, round_weight);
+            }
+            let members = std::mem::take(&mut round_members);
+            for m in members {
+                ps.send_params(&ctx, m, 0, ps.reply_params());
+            }
+            round_acc = None;
+            round_bytes = 0;
+            round_weight = 0.0;
+            ps.tick_checkpoint();
+        }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Worker-side fault handling
+// ---------------------------------------------------------------------------
+
+/// Wire size of a fault-control message (MemberDown / MemberUp).
+const CTRL_BYTES: u64 = 64;
+
+/// Consume any crash events that are due for this worker — called at the
+/// top of each iteration, i.e. at a protocol-quiescent point (no replies
+/// outstanding). Every PS shard is notified with `MemberDown`. A permanent
+/// crash returns `false`: the caller must exit without sending its Stop
+/// (the MemberDown already adjusted the PS's stop accounting). A
+/// restartable crash advances the clock by the restart delay, rolls
+/// parameters and optimizer back to the last checkpoint, announces
+/// `MemberUp`, and returns `true`.
+pub fn handle_crash(core: &mut WorkerCore, ps: &[Addr], ctx: &Ctx<Msg>) -> bool {
+    if core
+        .faults
+        .as_ref()
+        .is_none_or(|f| f.pending_crashes.is_empty())
+    {
+        return true;
+    }
+    while let Some(restart) = core.take_due_crash(ctx.now()) {
+        let permanent = restart.is_none();
+        for a in ps {
+            let delay = core.net.transfer_delay_class(
+                ctx.now(),
+                core.node,
+                a.node,
+                CTRL_BYTES,
+                TrafficClass::Other,
+            );
+            ctx.send(
+                a.pid,
+                delay,
+                Msg::MemberDown {
+                    worker: core.w,
+                    permanent,
+                },
+            );
+        }
+        let Some(outage) = restart else { return false };
+        ctx.advance(outage);
+        core.restore_checkpoint();
+        for a in ps {
+            let delay = core.net.transfer_delay_class(
+                ctx.now(),
+                core.node,
+                a.node,
+                CTRL_BYTES,
+                TrafficClass::Other,
+            );
+            ctx.send(a.pid, delay, Msg::MemberUp { worker: core.w });
+        }
+    }
+    true
 }
 
 // ---------------------------------------------------------------------------
@@ -281,6 +497,9 @@ pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<M
     let shards = ps.len();
     let metrics: MetricsHub = core.metrics.clone();
     for iter in 0..core.total_iters {
+        if !handle_crash(&mut core, &ps, &ctx) {
+            return;
+        }
         let grads = core.real_grad_slices();
         let lr = core.current_lr();
         match &role {
@@ -322,7 +541,13 @@ pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<M
                     ctx.send(
                         leader.pid,
                         delay,
-                        Msg::LocalGrad { sender: core.w, iter, shard: s, data, bytes },
+                        Msg::LocalGrad {
+                            sender: core.w,
+                            iter,
+                            shard: s,
+                            data,
+                            bytes,
+                        },
                     );
                 });
                 // Wait for fresh parameters from the leader.
@@ -407,7 +632,9 @@ pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<M
                     // Drain any peer gradients that already arrived.
                     while let Some(m) = ctx.try_recv() {
                         match m {
-                            Msg::LocalGrad { shard, data, bytes, .. } => {
+                            Msg::LocalGrad {
+                                shard, data, bytes, ..
+                            } => {
                                 if let Some(d) = &data {
                                     merge_grad(&mut peer_acc[shard], d);
                                 }
@@ -419,8 +646,19 @@ pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<M
                     }
                     for sh in 0..ps.len() {
                         try_push(
-                            core, ctx, &ps, iter, lr, nf, sh, &mut own, &own_ready,
-                            &mut peer_acc, &peer_count, &peer_bytes, &mut pushed,
+                            core,
+                            ctx,
+                            &ps,
+                            iter,
+                            lr,
+                            nf,
+                            sh,
+                            &mut own,
+                            &own_ready,
+                            &mut peer_acc,
+                            &peer_count,
+                            &peer_bytes,
+                            &mut pushed,
                         );
                     }
                 });
@@ -429,15 +667,27 @@ pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<M
                 while pushed.iter().any(|&p| !p) {
                     let m = ctx.recv();
                     match m {
-                        Msg::LocalGrad { shard, data, bytes, .. } => {
+                        Msg::LocalGrad {
+                            shard, data, bytes, ..
+                        } => {
                             if let Some(d) = &data {
                                 merge_grad(&mut peer_acc[shard], d);
                             }
                             peer_count[shard] += 1;
                             peer_bytes[shard] += bytes;
                             try_push(
-                                &mut core, &ctx, &ps, iter, lr, nf, shard, &mut own,
-                                &own_ready, &mut peer_acc, &peer_count, &peer_bytes,
+                                &mut core,
+                                &ctx,
+                                &ps,
+                                iter,
+                                lr,
+                                nf,
+                                shard,
+                                &mut own,
+                                &own_ready,
+                                &mut peer_acc,
+                                &peer_count,
+                                &peer_bytes,
                                 &mut pushed,
                             );
                         }
@@ -458,18 +708,22 @@ pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<M
                     };
                 for m in deferred.drain(..) {
                     match m {
-                        Msg::ShardParams { shard, data, bytes, .. } => {
+                        Msg::ShardParams {
+                            shard, data, bytes, ..
+                        } => {
                             handle_params(&mut core, shard, data, bytes);
                             got += 1;
                         }
-                        other => unreachable!(
-                            "BSP leader deferred an unexpected message: {other:?}"
-                        ),
+                        other => {
+                            unreachable!("BSP leader deferred an unexpected message: {other:?}")
+                        }
                     }
                 }
                 while got < shards {
                     match ctx.recv_match(|m| matches!(m, Msg::ShardParams { .. })) {
-                        Msg::ShardParams { shard, data, bytes, .. } => {
+                        Msg::ShardParams {
+                            shard, data, bytes, ..
+                        } => {
                             handle_params(&mut core, shard, data, bytes);
                             got += 1;
                         }
@@ -478,16 +732,9 @@ pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<M
                 }
                 let blocked = ctx.now() - t_global;
                 metrics.record(core.w, Phase::Comm, reply_wire.min(blocked));
-                metrics.record(
-                    core.w,
-                    Phase::GlobalAgg,
-                    blocked.saturating_sub(reply_wire),
-                );
+                metrics.record(core.w, Phase::GlobalAgg, blocked.saturating_sub(reply_wire));
                 // Broadcast fresh full parameters to followers.
-                let full = core
-                    .real
-                    .as_ref()
-                    .map(|r| r.net.get_params());
+                let full = core.real.as_ref().map(|r| r.net.get_params());
                 let full_bytes: u64 = core.shard_bytes.iter().sum();
                 for f in followers.clone() {
                     let delay = core.net.transfer_delay_class(
@@ -500,7 +747,10 @@ pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<M
                     ctx.send(
                         f.pid,
                         delay,
-                        Msg::LocalParams { data: full.clone(), bytes: full_bytes },
+                        Msg::LocalParams {
+                            data: full.clone(),
+                            bytes: full_bytes,
+                        },
                     );
                 }
             }
@@ -520,6 +770,9 @@ pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<M
 pub fn asp_worker(mut core: WorkerCore, ps: Vec<Addr>, ctx: Ctx<Msg>) {
     let shards = ps.len();
     for iter in 0..core.total_iters {
+        if !handle_crash(&mut core, &ps, &ctx) {
+            return;
+        }
         let grads = core.real_grad_slices();
         let lr = core.current_lr();
         core.run_compute_phase(&ctx, |core, ctx, s| {
@@ -565,6 +818,9 @@ pub fn ssp_worker(mut core: WorkerCore, ps: Vec<Addr>, staleness: u64, ctx: Ctx<
     // Timestamp (min worker clock) the min worker clock the cache reflects.
     let mut cache_ts: u64 = 0;
     for iter in 0..core.total_iters {
+        if !handle_crash(&mut core, &ps, &ctx) {
+            return;
+        }
         // SSPTable semantics (Ho et al.): the worker runs its own optimizer
         // on its cache and pushes the applied *delta*; the server is a
         // purely additive table. (Pushing raw gradients through a second
@@ -617,11 +873,8 @@ pub fn ssp_worker(mut core: WorkerCore, ps: Vec<Addr>, staleness: u64, ctx: Ctx<
                     .map(|s| core.wire_time(ps[s].node, core.grad_bytes(s)))
                     .sum();
                 let stall = ctx.now() - t0;
-                core.metrics.record(
-                    core.w,
-                    Phase::GlobalAgg,
-                    stall.saturating_sub(own_wire),
-                );
+                core.metrics
+                    .record(core.w, Phase::GlobalAgg, stall.saturating_sub(own_wire));
             }
         }
         let my_clock = iter + 1;
@@ -638,7 +891,10 @@ pub fn ssp_worker(mut core: WorkerCore, ps: Vec<Addr>, staleness: u64, ctx: Ctx<
             ctx.send(
                 ps[0].pid,
                 delay,
-                Msg::GatedPull { sender: core.w, min_needed: need },
+                Msg::GatedPull {
+                    sender: core.w,
+                    min_needed: need,
+                },
             );
             // other shards reply immediately
             for (s, a) in ps.iter().enumerate().skip(1) {
@@ -649,7 +905,14 @@ pub fn ssp_worker(mut core: WorkerCore, ps: Vec<Addr>, staleness: u64, ctx: Ctx<
                     64,
                     TrafficClass::WorkerPs,
                 );
-                ctx.send(a.pid, d, Msg::PullReq { sender: core.w, shard: s });
+                ctx.send(
+                    a.pid,
+                    d,
+                    Msg::PullReq {
+                        sender: core.w,
+                        shard: s,
+                    },
+                );
             }
             let seen_clock =
                 collect_and_apply_shard_params(&mut core, &ctx, shards, Phase::GlobalAgg);
@@ -677,6 +940,9 @@ pub fn ssp_worker(mut core: WorkerCore, ps: Vec<Addr>, staleness: u64, ctx: Ctx<
 pub fn easgd_worker(mut core: WorkerCore, ps: Vec<Addr>, tau: u64, ctx: Ctx<Msg>) {
     let shards = ps.len();
     for iter in 0..core.total_iters {
+        if !handle_crash(&mut core, &ps, &ctx) {
+            return;
+        }
         // local compute + local SGD step
         let t = core
             .gpu
@@ -709,7 +975,13 @@ pub fn easgd_worker(mut core: WorkerCore, ps: Vec<Addr>, tau: u64, ctx: Ctx<Msg>
                     a.node,
                     bytes,
                     TrafficClass::WorkerPs,
-                    Msg::ParamPush { sender: core.w, shard: s, lr, data, bytes },
+                    Msg::ParamPush {
+                        sender: core.w,
+                        shard: s,
+                        lr,
+                        data,
+                        bytes,
+                    },
                 );
             }
             collect_and_apply_shard_params(&mut core, &ctx, shards, Phase::GlobalAgg);
@@ -739,7 +1011,12 @@ pub fn collect_and_apply_shard_params(
     let mut max_clock = 0u64;
     for _ in 0..shards {
         match ctx.recv_match(|m| matches!(m, Msg::ShardParams { .. })) {
-            Msg::ShardParams { shard, clock, data, bytes } => {
+            Msg::ShardParams {
+                shard,
+                clock,
+                data,
+                bytes,
+            } => {
                 if let (Some(real), Some(p)) = (core.real.as_mut(), data) {
                     real.set_shard_params(shard, &p);
                 }
@@ -753,17 +1030,15 @@ pub fn collect_and_apply_shard_params(
     let blocked = ctx.now() - t0;
     let wire = reply_wire.min(blocked);
     core.metrics.record(core.w, Phase::Comm, wire);
-    core.metrics.record(core.w, phase, blocked.saturating_sub(wire));
+    core.metrics
+        .record(core.w, phase, blocked.saturating_sub(wire));
     max_clock
 }
 
 /// Slice an already-computed dense gradient per shard (SSP needs both the
 /// full gradient for the local step and the slices for pushing; DGC
 /// compression happens here when enabled).
-fn slice_current_grad(
-    core: &mut WorkerCore,
-    full: Option<&ParamSet>,
-) -> Option<Vec<GradData>> {
+fn slice_current_grad(core: &mut WorkerCore, full: Option<&ParamSet>) -> Option<Vec<GradData>> {
     let real = core.real.as_mut()?;
     let grad = full?;
     if let Some(dgc) = real.dgc.as_mut() {
@@ -794,5 +1069,6 @@ pub fn finish_iteration(core: &mut WorkerCore, ctx: &Ctx<Msg>) {
     if let Some(Some(epoch)) = epoch_done {
         core.maybe_snapshot(ctx, epoch);
     }
+    core.tick_checkpoint();
     core.metrics.finish_iteration(core.w, ctx.now());
 }

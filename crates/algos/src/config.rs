@@ -3,6 +3,7 @@
 use dtrain_cluster::ClusterConfig;
 use dtrain_compress::DgcConfig;
 use dtrain_data::{Dataset, ImageTaskConfig, TeacherTaskConfig};
+use dtrain_faults::{FaultKind, FaultSchedule};
 use dtrain_models::ModelProfile;
 
 /// The seven algorithms of the paper (Table I), with their hyperparameters.
@@ -146,25 +147,15 @@ impl SyntheticTask {
     /// the same `seed` so they start identical.
     pub fn build_net(&self, seed: u64) -> dtrain_nn::Network {
         match self {
-            SyntheticTask::Teacher(cfg) => dtrain_models::mlp_classifier(
-                cfg.input_dim,
-                &[64, 32],
-                cfg.num_classes,
-                seed,
-            ),
-            SyntheticTask::Images(cfg) => dtrain_models::small_cnn(
-                cfg.channels,
-                cfg.side,
-                cfg.num_classes,
-                seed,
-            ),
-            SyntheticTask::ResidualImages(cfg) => dtrain_models::mini_resnet(
-                cfg.channels,
-                cfg.side,
-                cfg.num_classes,
-                2,
-                seed,
-            ),
+            SyntheticTask::Teacher(cfg) => {
+                dtrain_models::mlp_classifier(cfg.input_dim, &[64, 32], cfg.num_classes, seed)
+            }
+            SyntheticTask::Images(cfg) => {
+                dtrain_models::small_cnn(cfg.channels, cfg.side, cfg.num_classes, seed)
+            }
+            SyntheticTask::ResidualImages(cfg) => {
+                dtrain_models::mini_resnet(cfg.channels, cfg.side, cfg.num_classes, 2, seed)
+            }
         }
     }
 
@@ -172,9 +163,7 @@ impl SyntheticTask {
     pub fn train_size(&self) -> usize {
         match self {
             SyntheticTask::Teacher(cfg) => cfg.train_size,
-            SyntheticTask::Images(cfg) | SyntheticTask::ResidualImages(cfg) => {
-                cfg.train_size
-            }
+            SyntheticTask::Images(cfg) | SyntheticTask::ResidualImages(cfg) => cfg.train_size,
         }
     }
 }
@@ -219,6 +208,31 @@ impl RealTraining {
     }
 }
 
+/// Fault-injection attachment for a run: a concrete schedule plus the
+/// checkpoint cadence the recovery layer uses. Recovery semantics are
+/// per-algorithm (see DESIGN.md "Fault model"): BSP stalls its barrier on a
+/// temporary crash and shrinks the round on a permanent one; ASP/EASGD drop
+/// and re-admit; SSP recomputes its staleness bound over live workers; the
+/// decentralized algorithms always re-admit (a permanent loss is coerced to
+/// a restart).
+#[derive(Clone, Debug, Default)]
+pub struct FaultConfig {
+    pub schedule: FaultSchedule,
+    /// Iterations between checkpoint snapshots (0 = only the initial
+    /// snapshot taken at startup).
+    pub checkpoint_interval: u64,
+}
+
+impl FaultConfig {
+    /// Does the schedule contain any worker-crash events?
+    pub fn has_crashes(&self) -> bool {
+        self.schedule
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::WorkerCrash { .. }))
+    }
+}
+
 /// A complete run description.
 #[derive(Clone, Debug)]
 pub struct RunConfig {
@@ -236,6 +250,9 @@ pub struct RunConfig {
     pub real: Option<RealTraining>,
     /// Seed for algorithmic randomness (gossip targets, pairings).
     pub seed: u64,
+    /// Optional fault injection (crashes, PS outages, link faults,
+    /// stragglers) with checkpoint-based recovery.
+    pub faults: Option<FaultConfig>,
 }
 
 impl RunConfig {
@@ -254,9 +271,7 @@ impl RunConfig {
         if self.opts.ps_shards == 0 {
             return Err("ps_shards must be ≥ 1".into());
         }
-        if !self.algo.is_centralized()
-            && (self.opts.local_aggregation || self.opts.ps_shards > 1)
-        {
+        if !self.algo.is_centralized() && (self.opts.local_aggregation || self.opts.ps_shards > 1) {
             return Err(format!(
                 "{} is decentralized: PS sharding / local aggregation do not apply",
                 self.algo.name()
@@ -292,9 +307,16 @@ impl RunConfig {
         }
         if self.real.is_none() && matches!(self.stop, StopCondition::Epochs(_)) {
             return Err(
-                "StopCondition::Epochs requires real training (epochs are data passes)"
-                    .into(),
+                "StopCondition::Epochs requires real training (epochs are data passes)".into(),
             );
+        }
+        if let Some(f) = &self.faults {
+            if f.has_crashes() && self.opts.local_aggregation {
+                return Err("worker crashes are not supported under BSP local \
+                     aggregation (leader/follower machines have no recovery \
+                     path); disable local_aggregation or drop the crash events"
+                    .into());
+            }
         }
         if let Some(real) = &self.real {
             if real.task.train_size() % self.workers != 0 {
@@ -326,6 +348,7 @@ mod tests {
             stop: StopCondition::Iterations(5),
             real: None,
             seed: 0,
+            faults: None,
         }
     }
 
@@ -337,7 +360,11 @@ mod tests {
         assert!(Algo::ArSgd.is_synchronous());
         assert!(!Algo::AdPsgd.is_synchronous());
         assert!(Algo::Ssp { staleness: 3 }.communicates_gradients());
-        assert!(!Algo::Easgd { tau: 8, alpha: None }.communicates_gradients());
+        assert!(!Algo::Easgd {
+            tau: 8,
+            alpha: None
+        }
+        .communicates_gradients());
         assert_eq!(Algo::GoSgd { p: 0.5 }.name(), "GoSGD");
     }
 
@@ -347,7 +374,10 @@ mod tests {
         let mut c = base(Algo::ArSgd);
         c.opts.ps_shards = 4;
         assert!(c.validate().is_err());
-        let mut c = base(Algo::Easgd { tau: 4, alpha: None });
+        let mut c = base(Algo::Easgd {
+            tau: 4,
+            alpha: None,
+        });
         c.opts.dgc = Some(DgcConfig::default());
         assert!(c.validate().is_err());
         let mut c = base(Algo::GoSgd { p: 1.5 });
@@ -363,9 +393,42 @@ mod tests {
         c.opts.ps_shards = 1;
         c.workers = 1;
         assert!(c.validate().is_err(), "GoSGD with one worker has no target");
-        let mut c = base(Algo::Easgd { tau: 0, alpha: None });
+        let mut c = base(Algo::Easgd {
+            tau: 0,
+            alpha: None,
+        });
         c.opts.ps_shards = 2;
         assert!(c.validate().is_err(), "EASGD τ=0 divides by zero");
+    }
+
+    #[test]
+    fn crashes_with_local_aggregation_rejected() {
+        use dtrain_faults::{FaultEvent, FaultKind};
+        let mut c = base(Algo::Bsp);
+        c.opts.local_aggregation = true;
+        c.faults = Some(FaultConfig {
+            schedule: FaultSchedule::new(vec![FaultEvent {
+                at: dtrain_desim::SimTime::from_secs(1),
+                kind: FaultKind::WorkerCrash {
+                    worker: 0,
+                    restart_after: None,
+                },
+            }]),
+            checkpoint_interval: 10,
+        });
+        assert!(c.validate().is_err());
+        // Non-crash faults (stragglers, link windows) are fine with it.
+        c.faults = Some(FaultConfig {
+            schedule: FaultSchedule::new(vec![FaultEvent {
+                at: dtrain_desim::SimTime::ZERO,
+                kind: FaultKind::Straggler {
+                    worker: 0,
+                    slowdown: 2.0,
+                },
+            }]),
+            checkpoint_interval: 10,
+        });
+        assert!(c.validate().is_ok());
     }
 
     #[test]
@@ -381,7 +444,13 @@ mod tests {
         assert_eq!(o.ps_shards, 12);
         assert!(o.wait_free_bp);
         assert!(o.local_aggregation);
-        let o2 = OptimizationConfig::paper_scalability(6, Algo::Easgd { tau: 8, alpha: None });
+        let o2 = OptimizationConfig::paper_scalability(
+            6,
+            Algo::Easgd {
+                tau: 8,
+                alpha: None,
+            },
+        );
         assert!(!o2.wait_free_bp);
         assert!(!o2.local_aggregation);
     }

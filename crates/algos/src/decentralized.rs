@@ -16,7 +16,7 @@ use dtrain_nn::ParamSet;
 use parking_lot::Mutex;
 use rand::Rng;
 
-use crate::centralized::{finish_iteration, Addr};
+use crate::centralized::{finish_iteration, handle_crash, Addr};
 use crate::exec::{Msg, WorkerCore};
 
 // ---------------------------------------------------------------------------
@@ -96,6 +96,10 @@ pub fn arsgd_worker(
     };
 
     for iter in 0..core.total_iters {
+        // Decentralized crashes are always restarts (no PS to rebalance a
+        // permanent loss, so build_worker_cores coerces them); peers stall
+        // in their recv until this worker resumes, mailboxes buffering.
+        handle_crash(&mut core, &[], &ctx);
         // Real math: deposit own gradient before any communication.
         let full_grad = core.real.as_mut().map(|r| r.compute_grad());
         if let (Some(b), Some(g)) = (&board, &full_grad) {
@@ -175,7 +179,15 @@ fn run_ring_bucket(
             chunk,
             TrafficClass::Peer,
         );
-        ctx.send(right.pid, delay, Msg::RingChunk { step, bucket, bytes: chunk });
+        ctx.send(
+            right.pid,
+            delay,
+            Msg::RingChunk {
+                step,
+                bucket,
+                bytes: chunk,
+            },
+        );
         // wait for the matching hop from the left neighbor
         let _ = ctx.recv_match(
             |m| matches!(m, Msg::RingChunk { step: s, bucket: b, .. } if *s == step && *b == bucket),
@@ -197,6 +209,7 @@ pub fn gosgd_worker(mut core: WorkerCore, peers: Vec<Addr>, p: f64, ctx: Ctx<Msg
     let mut alpha: f32 = 1.0 / n as f32;
     let full_bytes: u64 = core.shard_bytes.iter().sum();
     for _iter in 0..core.total_iters {
+        handle_crash(&mut core, &[], &ctx);
         // compute + local SGD step
         let t = core
             .gpu
@@ -212,7 +225,10 @@ pub fn gosgd_worker(mut core: WorkerCore, peers: Vec<Addr>, p: f64, ctx: Ctx<Msg
         }
         // merge everything that arrived (asymmetric: never block)
         while let Some(m) = ctx.try_recv() {
-            if let Msg::Gossip { alpha: ar, data, .. } = m {
+            if let Msg::Gossip {
+                alpha: ar, data, ..
+            } = m
+            {
                 let anew = alpha + ar;
                 if let (Some(real), Some(xr)) = (core.real.as_mut(), data) {
                     let mut x = real.net.get_params();
@@ -240,7 +256,12 @@ pub fn gosgd_worker(mut core: WorkerCore, peers: Vec<Addr>, p: f64, ctx: Ctx<Msg
                 dst.node,
                 full_bytes,
                 TrafficClass::Peer,
-                Msg::Gossip { sender: core.w, alpha, data, bytes: full_bytes },
+                Msg::Gossip {
+                    sender: core.w,
+                    alpha,
+                    data,
+                    bytes: full_bytes,
+                },
             );
         }
         finish_iteration(&mut core, &ctx);
@@ -269,6 +290,7 @@ pub fn adpsgd_active_worker(
 ) {
     let full_bytes: u64 = core.shard_bytes.iter().sum();
     for _iter in 0..core.total_iters {
+        handle_crash(&mut core, &[], &ctx);
         // 1. pick the passive peer; with overlap (the paper's design) the
         //    exchange goes on the wire *before* computing, hiding its
         //    latency behind the gradient computation.
@@ -282,7 +304,11 @@ pub fn adpsgd_active_worker(
                 dst.node,
                 full_bytes,
                 TrafficClass::Peer,
-                Msg::ExchangeReq { sender: core.w, data, bytes: full_bytes },
+                Msg::ExchangeReq {
+                    sender: core.w,
+                    data,
+                    bytes: full_bytes,
+                },
             );
         };
         if overlap {
@@ -306,8 +332,12 @@ pub fn adpsgd_active_worker(
         let rep = ctx.recv_match(|m| matches!(m, Msg::ExchangeRep { .. }));
         core.metrics
             .record(core.w, Phase::GlobalAgg, ctx.now() - t0);
-        if let (Some(real), Msg::ExchangeRep { data: Some(mid), .. }) =
-            (core.real.as_mut(), rep)
+        if let (
+            Some(real),
+            Msg::ExchangeRep {
+                data: Some(mid), ..
+            },
+        ) = (core.real.as_mut(), rep)
         {
             real.net.set_params(&mid);
         }
@@ -324,7 +354,11 @@ pub fn adpsgd_active_worker(
     // release passive workers
     for &pidx in &passives {
         let dst = peers[pidx];
-        ctx.send(dst.pid, SimTime::from_nanos(1), Msg::Stop { sender: core.w });
+        ctx.send(
+            dst.pid,
+            SimTime::from_nanos(1),
+            Msg::Stop { sender: core.w },
+        );
     }
 }
 
@@ -360,7 +394,11 @@ pub fn adpsgd_passive_worker(
                     dst.node,
                     full_bytes,
                     TrafficClass::Peer,
-                    Msg::ExchangeRep { sender: core.w, data: mid, bytes: full_bytes },
+                    Msg::ExchangeRep {
+                        sender: core.w,
+                        data: mid,
+                        bytes: full_bytes,
+                    },
                 );
             }
             Msg::Stop { .. } => *stops += 1,
@@ -368,6 +406,7 @@ pub fn adpsgd_passive_worker(
         }
     };
     for _iter in 0..core.total_iters {
+        handle_crash(&mut core, &[], &ctx);
         let t = core
             .gpu
             .iteration_time(&core.iteration_compute.profile, core.batch);

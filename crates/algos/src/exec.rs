@@ -9,15 +9,16 @@
 //! is the hybrid virtual-time design from DESIGN.md §1: the interleavings
 //! are the paper's, the arithmetic is real.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use dtrain_cluster::{
-    ClusterConfig, GpuModel, MetricsHub, NetModel, NodeId, Phase, ShardPlan,
-    TrafficClass,
+    ClusterConfig, GpuModel, MetricsHub, NetModel, NodeId, Phase, ShardPlan, TrafficClass,
 };
 use dtrain_compress::{compressed_wire_bytes, DgcCompressor, SparseUpdate};
 use dtrain_data::Dataset;
 use dtrain_desim::{Ctx, SimTime};
+use dtrain_faults::CheckpointStore;
 use dtrain_models::ModelProfile;
 use dtrain_nn::{LrSchedule, Network, ParamLayout, ParamSet, SgdMomentum};
 use parking_lot::Mutex;
@@ -61,7 +62,12 @@ pub enum Msg {
     /// PS shard → worker: shard parameters (or elastic-updated locals).
     /// `clock` is the PS's view of the slowest worker's clock (SSP uses it
     /// to refresh its cache timestamp; 0 elsewhere).
-    ShardParams { shard: usize, clock: u64, data: Option<ParamSet>, bytes: u64 },
+    ShardParams {
+        shard: usize,
+        clock: u64,
+        data: Option<ParamSet>,
+        bytes: u64,
+    },
     /// Worker → co-located leader (BSP local aggregation): local gradient
     /// for one PS shard's layers.
     LocalGrad {
@@ -76,17 +82,37 @@ pub enum Msg {
     /// Ring neighbor → neighbor (AR-SGD): one reduce-scatter/all-gather hop.
     RingChunk { step: u32, bucket: u32, bytes: u64 },
     /// Gossip (GoSGD): asymmetric parameter share with mixing weight.
-    Gossip { sender: usize, alpha: f32, data: Option<ParamSet>, bytes: u64 },
+    Gossip {
+        sender: usize,
+        alpha: f32,
+        data: Option<ParamSet>,
+        bytes: u64,
+    },
     /// AD-PSGD active → passive: parameters, expecting the peer's back.
-    ExchangeReq { sender: usize, data: Option<ParamSet>, bytes: u64 },
+    ExchangeReq {
+        sender: usize,
+        data: Option<ParamSet>,
+        bytes: u64,
+    },
     /// AD-PSGD passive → active: the passive side's parameters.
-    ExchangeRep { sender: usize, data: Option<ParamSet>, bytes: u64 },
+    ExchangeRep {
+        sender: usize,
+        data: Option<ParamSet>,
+        bytes: u64,
+    },
     /// Worker → PS shard 0 (SSP): pull gated on the staleness bound — the
     /// server replies only once the slowest worker's clock reaches
     /// `min_needed`.
     GatedPull { sender: usize, min_needed: u64 },
     /// Sender has finished all its iterations.
     Stop { sender: usize },
+    /// Fault layer → PS shards: `worker` crashed. `permanent` means it will
+    /// never return, so the PS drops it from round and stop accounting; a
+    /// temporary crash is followed by [`Msg::MemberUp`] after the restart.
+    MemberDown { worker: usize, permanent: bool },
+    /// Fault layer → PS shards: `worker` restored its checkpoint and
+    /// rejoined.
+    MemberUp { worker: usize },
 }
 
 /// One parameter snapshot taken at a worker's epoch boundary.
@@ -125,11 +151,7 @@ impl Recorder {
 
 /// Tensor indices (into the flat `ParamSet`) owned by `shard` under `plan`,
 /// where plan layers are the `layout`'s groups. Deterministic group order.
-pub fn shard_tensor_indices(
-    layout: &ParamLayout,
-    plan: &ShardPlan,
-    shard: usize,
-) -> Vec<usize> {
+pub fn shard_tensor_indices(layout: &ParamLayout, plan: &ShardPlan, shard: usize) -> Vec<usize> {
     let mut out = Vec::new();
     for (g, group) in layout.groups.iter().enumerate() {
         if plan.layer_to_shard[g] == shard {
@@ -233,8 +255,9 @@ impl RealWorkerState {
             self.batch_in_epoch = 0;
             self.epoch += 1;
             // reshuffle for the new epoch
-            self.batches =
-                self.shard.epoch_batches(self.batch, self.shard_seed, self.epoch);
+            self.batches = self
+                .shard
+                .epoch_batches(self.batch, self.shard_seed, self.epoch);
             true
         } else {
             false
@@ -245,6 +268,22 @@ impl RealWorkerState {
 // ---------------------------------------------------------------------------
 // WorkerCore: everything a worker process needs
 // ---------------------------------------------------------------------------
+
+/// Default restart delay when a permanent crash must be coerced to a
+/// temporary one (synchronous groups and decentralized peers always
+/// re-admit — see DESIGN.md "Fault model").
+pub const DEFAULT_RESTART: SimTime = SimTime::from_secs(5);
+
+/// Per-worker fault-injection state: the worker's crash schedule plus the
+/// run's shared checkpoint store.
+pub struct WorkerFaults {
+    /// Upcoming crashes as `(at, restart_after)`, earliest first.
+    /// `restart_after = None` is a permanent loss.
+    pub pending_crashes: VecDeque<(SimTime, Option<SimTime>)>,
+    pub store: Arc<CheckpointStore>,
+    /// Completed iterations (drives the checkpoint cadence).
+    pub iters_done: u64,
+}
 
 /// Bundle of models and handles each worker process owns.
 pub struct WorkerCore {
@@ -270,6 +309,7 @@ pub struct WorkerCore {
     pub rng: SmallRng,
     pub real: Option<RealWorkerState>,
     pub virtual_lr: f32,
+    pub faults: Option<WorkerFaults>,
 }
 
 /// Precomputed compute-phase structure for a worker iteration.
@@ -313,9 +353,9 @@ impl WorkerCore {
         class: TrafficClass,
         msg: Msg,
     ) {
-        let delay =
-            self.net
-                .transfer_delay_class(ctx.now(), self.node, dst_node, bytes, class);
+        let delay = self
+            .net
+            .transfer_delay_class(ctx.now(), self.node, dst_node, bytes, class);
         self.metrics
             .record(self.w, Phase::Comm, self.wire_time(dst_node, bytes));
         ctx.send(dst_pid, delay, msg);
@@ -353,7 +393,9 @@ impl WorkerCore {
     ) {
         let num_shards = self.profile_plan.num_shards;
         if !self.wait_free {
-            let t = self.gpu.iteration_time(&self.iteration_compute.profile, self.batch);
+            let t = self
+                .gpu
+                .iteration_time(&self.iteration_compute.profile, self.batch);
             self.metrics.record(self.w, Phase::Compute, t);
             ctx.advance(t);
             for s in 0..num_shards {
@@ -364,7 +406,9 @@ impl WorkerCore {
         // Wait-free BP: forward, then per-layer backward; a shard's message
         // becomes ready when the *last* of its layers (the one closest to
         // the input) finishes its backward computation.
-        let fwd = self.gpu.forward_time(&self.iteration_compute.profile, self.batch);
+        let fwd = self
+            .gpu
+            .forward_time(&self.iteration_compute.profile, self.batch);
         let bwd = self
             .gpu
             .backward_layer_times(&self.iteration_compute.profile, self.batch);
@@ -416,6 +460,48 @@ impl WorkerCore {
         }
     }
 
+    /// Pop the next crash if it is due at `now`. Returns the crash's
+    /// restart delay (`None` inside = permanent loss).
+    pub fn take_due_crash(&mut self, now: SimTime) -> Option<Option<SimTime>> {
+        let f = self.faults.as_mut()?;
+        match f.pending_crashes.front() {
+            Some(&(at, restart)) if at <= now => {
+                f.pending_crashes.pop_front();
+                Some(restart)
+            }
+            _ => None,
+        }
+    }
+
+    /// Roll this replica back to its last checkpoint (crash recovery). In
+    /// cost-only mode there is no parameter state to lose; only the restart
+    /// time matters.
+    pub fn restore_checkpoint(&mut self) {
+        let Some(f) = &self.faults else { return };
+        let Some(real) = self.real.as_mut() else {
+            return;
+        };
+        if let Some(cp) = f.store.restore(self.w) {
+            real.net.set_params(&cp.params);
+            real.opt = cp.opt;
+        }
+    }
+
+    /// Count one completed iteration and checkpoint when the cadence says
+    /// so. Called from [`crate::centralized::finish_iteration`].
+    pub fn tick_checkpoint(&mut self) {
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        f.iters_done += 1;
+        if f.store.due(f.iters_done) {
+            if let Some(real) = &self.real {
+                f.store
+                    .save(self.w, f.iters_done, &real.net.get_params(), &real.opt);
+            }
+        }
+    }
+
     /// Record a snapshot of the worker's current parameters (real mode).
     pub fn maybe_snapshot(&self, ctx: &Ctx<Msg>, epoch_completed: u64) {
         if let Some(real) = &self.real {
@@ -429,16 +515,22 @@ impl WorkerCore {
     }
 }
 
-/// Build the per-worker cores for a run (shared by all algorithm front-ends).
+/// Build the per-worker cores for a run (shared by all algorithm
+/// front-ends). `store` is the run's shared checkpoint store; pass `Some`
+/// exactly when `cfg.faults` is set.
 pub fn build_worker_cores(
     cfg: &RunConfig,
     metrics: &MetricsHub,
     recorder: &Recorder,
     net: &NetModel,
+    store: Option<&Arc<CheckpointStore>>,
 ) -> Vec<WorkerCore> {
-    let profile_bytes: Vec<u64> =
-        cfg.profile.layers.iter().map(|l| l.bytes()).collect();
-    let num_shards = if cfg.algo.is_centralized() { cfg.opts.ps_shards } else { 1 };
+    let profile_bytes: Vec<u64> = cfg.profile.layers.iter().map(|l| l.bytes()).collect();
+    let num_shards = if cfg.algo.is_centralized() {
+        cfg.opts.ps_shards
+    } else {
+        1
+    };
     let profile_plan = if cfg.opts.balanced_sharding {
         ShardPlan::balanced(&profile_bytes, num_shards)
     } else {
@@ -461,12 +553,39 @@ pub fn build_worker_cores(
             let real = real_setup.as_ref().map(|(train, rcfg)| {
                 build_real_state(cfg, rcfg, Arc::clone(train), w, &profile_plan)
             });
+            let (slowdown, faults) = match (&cfg.faults, store) {
+                (Some(fc), Some(store)) => {
+                    let mut crashes: VecDeque<(SimTime, Option<SimTime>)> =
+                        fc.schedule.crashes_for(w).into();
+                    // Decentralized algorithms always re-admit a member:
+                    // a permanent loss becomes a restart (DESIGN.md).
+                    if !cfg.algo.is_centralized() {
+                        for c in crashes.iter_mut() {
+                            c.1.get_or_insert(DEFAULT_RESTART);
+                        }
+                    }
+                    // Seed the store so a crash before the first periodic
+                    // snapshot still has something to restore.
+                    if let Some(r) = &real {
+                        store.save(w, 0, &r.net.get_params(), &r.opt);
+                    }
+                    (
+                        fc.schedule.straggler_slowdown(w),
+                        Some(WorkerFaults {
+                            pending_crashes: crashes,
+                            store: Arc::clone(store),
+                            iters_done: 0,
+                        }),
+                    )
+                }
+                _ => (1.0, None),
+            };
             WorkerCore {
                 w,
                 node: cfg.cluster.machine_of_worker(w),
                 cluster: cfg.cluster.clone(),
                 num_workers: cfg.workers,
-                gpu: GpuModel::for_worker(&cfg.cluster, w),
+                gpu: GpuModel::for_worker(&cfg.cluster, w).with_slowdown(slowdown),
                 net: net.clone(),
                 metrics: metrics.clone(),
                 recorder: recorder.clone(),
@@ -474,7 +593,9 @@ pub fn build_worker_cores(
                 shard_bytes: shard_bytes.clone(),
                 wait_free: cfg.opts.wait_free_bp,
                 dgc_sparsity: cfg.opts.dgc.as_ref().map(|d| d.final_sparsity),
-                iteration_compute: IterationCompute { profile: cfg.profile.clone() },
+                iteration_compute: IterationCompute {
+                    profile: cfg.profile.clone(),
+                },
                 total_iters,
                 batch: cfg.batch,
                 rng: SmallRng::seed_from_u64(
@@ -482,6 +603,7 @@ pub fn build_worker_cores(
                 ),
                 real,
                 virtual_lr: 0.05,
+                faults,
             }
         })
         .collect()
@@ -517,7 +639,11 @@ fn build_real_state(
     let net = rcfg.task.build_net(rcfg.model_seed);
     let layout = net.layout();
     let group_bytes: Vec<u64> = layout.groups.iter().map(|g| g.num_bytes()).collect();
-    let num_shards = if cfg.algo.is_centralized() { cfg.opts.ps_shards } else { 1 };
+    let num_shards = if cfg.algo.is_centralized() {
+        cfg.opts.ps_shards
+    } else {
+        1
+    };
     let real_plan = if cfg.opts.balanced_sharding {
         ShardPlan::balanced(&group_bytes, num_shards)
     } else {
@@ -531,9 +657,7 @@ fn build_real_state(
     let batches = shard.epoch_batches(rcfg.batch, shard_seed, 0);
     let total_epochs = match cfg.stop {
         StopCondition::Epochs(e) => e as f32,
-        StopCondition::Iterations(k) => {
-            (k as f32 / batches.len().max(1) as f32).max(1.0)
-        }
+        StopCondition::Iterations(k) => (k as f32 / batches.len().max(1) as f32).max(1.0),
     };
     RealWorkerState {
         net,
@@ -571,9 +695,21 @@ mod tests {
     fn layout3() -> ParamLayout {
         ParamLayout {
             groups: vec![
-                LayerGroup { name: "a".into(), tensor_indices: vec![0, 1], num_params: 6 },
-                LayerGroup { name: "b".into(), tensor_indices: vec![2, 3], num_params: 8 },
-                LayerGroup { name: "c".into(), tensor_indices: vec![4], num_params: 2 },
+                LayerGroup {
+                    name: "a".into(),
+                    tensor_indices: vec![0, 1],
+                    num_params: 6,
+                },
+                LayerGroup {
+                    name: "b".into(),
+                    tensor_indices: vec![2, 3],
+                    num_params: 8,
+                },
+                LayerGroup {
+                    name: "c".into(),
+                    tensor_indices: vec![4],
+                    num_params: 2,
+                },
             ],
         }
     }

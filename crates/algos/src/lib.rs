@@ -27,15 +27,15 @@ mod exec;
 mod runner;
 
 pub use centralized::{
-    elastic_update, merge_grad, ps_apply_time, Addr, BspRole, PsCore, PsMode,
-    PsRealState,
+    elastic_update, handle_crash, merge_grad, ps_apply_time, Addr, BspRole, PsCore, PsFaultState,
+    PsMode, PsRealState, PS_OWNER_BASE,
 };
 pub use config::{
-    Algo, OptimizationConfig, RealTraining, RunConfig, StopCondition, SyntheticTask,
+    Algo, FaultConfig, OptimizationConfig, RealTraining, RunConfig, StopCondition, SyntheticTask,
 };
 pub use decentralized::{adpsgd_is_active, AllReduceBoard};
 pub use exec::{
-    build_worker_cores, shard_tensor_indices, slice_set, slice_sparse,
-    unslice_set, GradData, Msg, Recorder, Snapshot, WorkerCore,
+    build_worker_cores, shard_tensor_indices, slice_set, slice_sparse, unslice_set, GradData, Msg,
+    Recorder, Snapshot, WorkerCore, WorkerFaults,
 };
-pub use runner::{run, EpochPoint, RunOutput};
+pub use runner::{run, run_traced, EpochPoint, RunOutput};

@@ -2,23 +2,24 @@
 //! simulation, and distill the outputs (throughput, breakdowns, accuracy
 //! curves).
 
-use dtrain_cluster::{Breakdown, MetricsHub, NetModel, ShardPlan, TrafficStats};
+use std::sync::Arc;
+
+use dtrain_cluster::{Breakdown, LinkWindow, MetricsHub, NetModel, ShardPlan, TrafficStats};
 use dtrain_compress::compressed_wire_bytes;
-use dtrain_desim::{Pid, SimTime, Simulation, StopReason};
+use dtrain_desim::{Pid, SimTime, Simulation, StopReason, TraceRecord};
+use dtrain_faults::CheckpointStore;
 use dtrain_nn::{ParamSet, SgdMomentum};
 
 use crate::centralized::{
-    asp_worker, bsp_worker, easgd_worker, ps_process, ssp_worker, Addr, BspRole,
-    PsCore, PsMode, PsRealState,
+    asp_worker, bsp_worker, easgd_worker, ps_process, ssp_worker, Addr, BspRole, PsCore,
+    PsFaultState, PsMode, PsRealState,
 };
 use crate::config::{Algo, RunConfig};
 use crate::decentralized::{
-    adpsgd_active_worker, adpsgd_is_active, adpsgd_passive_worker, arsgd_worker,
-    gosgd_worker, AllReduceBoard,
+    adpsgd_active_worker, adpsgd_is_active, adpsgd_passive_worker, arsgd_worker, gosgd_worker,
+    AllReduceBoard,
 };
-use crate::exec::{
-    build_worker_cores, shard_tensor_indices, slice_set, Msg, Recorder, Snapshot,
-};
+use crate::exec::{build_worker_cores, shard_tensor_indices, slice_set, Msg, Recorder, Snapshot};
 
 /// One evaluated point of the accuracy/time curve (Fig. 1 of the paper).
 #[derive(Clone, Debug)]
@@ -71,15 +72,57 @@ fn eval_uses_worker_average(algo: Algo) -> bool {
 
 /// Execute one run.
 pub fn run(cfg: &RunConfig) -> RunOutput {
+    run_impl(cfg, false).0
+}
+
+/// Execute one run with kernel event tracing enabled; returns the output
+/// plus the full scheduling trace. Two runs of an identical configuration
+/// (same seeds, same fault schedule) must produce identical traces — the
+/// determinism contract fault injection is required to preserve.
+pub fn run_traced(cfg: &RunConfig) -> (RunOutput, Vec<TraceRecord>) {
+    let (out, trace) = run_impl(cfg, true);
+    (out, trace.expect("tracing was enabled"))
+}
+
+fn run_impl(cfg: &RunConfig, trace: bool) -> (RunOutput, Option<Vec<TraceRecord>>) {
     cfg.validate().expect("invalid run configuration");
     let metrics = MetricsHub::new(cfg.workers);
     let recorder = Recorder::new();
     let net = NetModel::new(&cfg.cluster);
-    let mut cores = build_worker_cores(cfg, &metrics, &recorder, &net);
+    // Shared checkpoint store: workers and PS shards snapshot into it and
+    // roll back from it on crash/outage.
+    let store: Option<Arc<CheckpointStore>> = cfg
+        .faults
+        .as_ref()
+        .map(|f| Arc::new(CheckpointStore::new(f.checkpoint_interval)));
+    if let Some(f) = cfg.faults.as_ref() {
+        let windows: Vec<LinkWindow> = f
+            .schedule
+            .link_faults()
+            .into_iter()
+            .map(|(start, machine, factor, duration)| LinkWindow {
+                start,
+                machine,
+                factor,
+                duration,
+            })
+            .collect();
+        if !windows.is_empty() {
+            net.set_link_faults(windows);
+        }
+    }
+    let mut cores = build_worker_cores(cfg, &metrics, &recorder, &net, store.as_ref());
 
     let mut sim: Simulation<Msg> = Simulation::new();
+    if trace {
+        sim.enable_tracing();
+    }
 
-    let num_shards = if cfg.algo.is_centralized() { cfg.opts.ps_shards } else { 0 };
+    let num_shards = if cfg.algo.is_centralized() {
+        cfg.opts.ps_shards
+    } else {
+        0
+    };
     // Pids are assigned densely in spawn order (kernel contract): PS shards
     // first, then workers.
     let profile_bytes: Vec<u64> = cfg.profile.layers.iter().map(|l| l.bytes()).collect();
@@ -121,14 +164,20 @@ pub fn run(cfg: &RunConfig) -> RunOutput {
                 ),
             });
             let reply_bytes = match cfg.opts.dgc.as_ref() {
-                Some(d) => {
-                    compressed_wire_bytes(profile_plan.bytes_of_shard(s), d.final_sparsity)
-                }
+                Some(d) => compressed_wire_bytes(profile_plan.bytes_of_shard(s), d.final_sparsity),
                 None => profile_plan.bytes_of_shard(s),
             };
             let expected_stops = match (cfg.algo, cfg.opts.local_aggregation) {
                 (Algo::Bsp, true) => leaders.len(),
                 _ => cfg.workers,
+            };
+            let faults = match (cfg.faults.as_ref(), store.as_ref()) {
+                (Some(f), Some(store)) => Some(PsFaultState {
+                    outages: f.schedule.ps_failures_for(s).into(),
+                    store: Arc::clone(store),
+                    applies: 0,
+                }),
+                _ => None,
             };
             let ps = PsCore {
                 shard: s,
@@ -138,6 +187,7 @@ pub fn run(cfg: &RunConfig) -> RunOutput {
                 reply_bytes,
                 workers: worker_addrs.clone(),
                 expected_stops,
+                faults,
             };
             let mode = match cfg.algo {
                 Algo::Bsp => PsMode::Bsp {
@@ -148,7 +198,9 @@ pub fn run(cfg: &RunConfig) -> RunOutput {
                     },
                 },
                 Algo::Asp => PsMode::Asp,
-                Algo::Ssp { .. } => PsMode::Ssp { num_workers: cfg.workers },
+                Algo::Ssp { .. } => PsMode::Ssp {
+                    num_workers: cfg.workers,
+                },
                 Algo::Easgd { alpha, .. } => PsMode::Easgd {
                     alpha: alpha.unwrap_or(0.9 / cfg.workers as f32),
                 },
@@ -172,8 +224,7 @@ pub fn run(cfg: &RunConfig) -> RunOutput {
     };
     let leaders = bsp_leaders(cfg);
     let actives: Vec<usize> = (0..cfg.workers).filter(|&w| adpsgd_is_active(w)).collect();
-    let passives: Vec<usize> =
-        (0..cfg.workers).filter(|&w| !adpsgd_is_active(w)).collect();
+    let passives: Vec<usize> = (0..cfg.workers).filter(|&w| !adpsgd_is_active(w)).collect();
 
     for (w, core) in cores.drain(..).enumerate() {
         let ps = ps_addrs.clone();
@@ -201,7 +252,9 @@ pub fn run(cfg: &RunConfig) -> RunOutput {
                         .find(|(_, fs)| fs.contains(&w))
                         .map(|(l, _)| l)
                         .expect("every follower has a leader");
-                    BspRole::Follower { leader: peers[leader_w] }
+                    BspRole::Follower {
+                        leader: peers[leader_w],
+                    }
                 };
                 bsp_worker(core, ps, role, ctx)
             }
@@ -237,7 +290,7 @@ pub fn run(cfg: &RunConfig) -> RunOutput {
         Vec::new()
     };
     let final_accuracy = curve.last().map(|p| p.test_accuracy);
-    RunOutput {
+    let out = RunOutput {
         algo: cfg.algo.name().to_string(),
         workers: cfg.workers,
         end_time: stats.end_time,
@@ -248,7 +301,8 @@ pub fn run(cfg: &RunConfig) -> RunOutput {
         traffic: net.stats(),
         curve,
         final_accuracy,
-    }
+    };
+    (out, stats.trace)
 }
 
 /// leader worker → its followers, for BSP local aggregation.
@@ -298,8 +352,7 @@ fn evaluate_curve(cfg: &RunConfig, snapshots: &[Snapshot]) -> Vec<EpochPoint> {
     let max_epoch = snapshots.iter().map(|s| s.epoch).max().unwrap_or(0);
     let mut out = Vec::new();
     for e in 1..=max_epoch {
-        let of_epoch: Vec<&Snapshot> =
-            snapshots.iter().filter(|s| s.epoch == e).collect();
+        let of_epoch: Vec<&Snapshot> = snapshots.iter().filter(|s| s.epoch == e).collect();
         if of_epoch.is_empty() {
             continue;
         }

@@ -1,0 +1,200 @@
+//! Fault injection through the simulator path: worker crashes (temporary
+//! and permanent), PS-shard outages, link degradation, and stragglers must
+//! all leave every algorithm able to finish its run — with the per-
+//! algorithm recovery semantics (barrier stall, round shrink, staleness
+//! recomputation, coerced restart) doing the absorbing.
+
+use dtrain_algos::{run, Algo, FaultConfig, OptimizationConfig, RunConfig, StopCondition};
+use dtrain_cluster::{ClusterConfig, NetworkConfig};
+use dtrain_desim::SimTime;
+use dtrain_faults::{FaultEvent, FaultKind, FaultSchedule};
+use dtrain_models::resnet50;
+
+const WORKERS: usize = 4;
+const ITERS: u64 = 12;
+
+fn cfg(algo: Algo, faults: Option<FaultConfig>) -> RunConfig {
+    RunConfig {
+        algo,
+        cluster: ClusterConfig::paper_with_workers(NetworkConfig::FIFTY_SIX_GBPS, WORKERS),
+        workers: WORKERS,
+        profile: resnet50(),
+        batch: 128,
+        opts: OptimizationConfig {
+            ps_shards: if algo.is_centralized() { 2 } else { 1 },
+            ..Default::default()
+        },
+        stop: StopCondition::Iterations(ITERS),
+        faults,
+        real: None,
+        seed: 5,
+    }
+}
+
+fn faults_of(events: Vec<FaultEvent>) -> Option<FaultConfig> {
+    Some(FaultConfig {
+        schedule: FaultSchedule::new(events),
+        checkpoint_interval: 4,
+    })
+}
+
+fn crash(at_ms: u64, worker: usize, restart: Option<SimTime>) -> FaultEvent {
+    FaultEvent {
+        at: SimTime::from_millis(at_ms),
+        kind: FaultKind::WorkerCrash {
+            worker,
+            restart_after: restart,
+        },
+    }
+}
+
+#[test]
+fn temporary_crash_stalls_bsp_but_all_iterations_finish() {
+    let base = run(&cfg(Algo::Bsp, None));
+    let faulted = run(&cfg(
+        Algo::Bsp,
+        faults_of(vec![crash(100, 1, Some(SimTime::from_secs(2)))]),
+    ));
+    // the worker resumes from its checkpoint, so every iteration completes
+    assert_eq!(faulted.total_iterations, WORKERS as u64 * ITERS);
+    // ... but the whole barrier paid for the 2 s outage
+    assert!(
+        faulted.end_time > base.end_time + SimTime::from_secs(1),
+        "BSP crash did not stall the barrier: {:?} vs {:?}",
+        faulted.end_time,
+        base.end_time
+    );
+}
+
+#[test]
+fn permanent_crash_shrinks_bsp_round() {
+    let out = run(&cfg(Algo::Bsp, faults_of(vec![crash(100, 1, None)])));
+    // survivors keep training in a 3-member round; the dead worker's
+    // remaining iterations are lost
+    assert!(out.total_iterations < WORKERS as u64 * ITERS);
+    assert!(out.total_iterations >= (WORKERS as u64 - 1) * ITERS);
+}
+
+#[test]
+fn permanent_crashes_complete_on_asp_ssp_easgd() {
+    for algo in [
+        Algo::Asp,
+        Algo::Ssp { staleness: 2 },
+        Algo::Easgd {
+            tau: 2,
+            alpha: None,
+        },
+    ] {
+        let out = run(&cfg(algo, faults_of(vec![crash(100, 2, None)])));
+        assert!(
+            out.total_iterations < WORKERS as u64 * ITERS,
+            "{}: lost iterations expected",
+            out.algo
+        );
+        assert!(
+            out.total_iterations >= (WORKERS as u64 - 1) * ITERS,
+            "{}: survivors must finish",
+            out.algo
+        );
+    }
+}
+
+#[test]
+fn ssp_restart_rejoins_at_live_bound() {
+    // Crash + restart under a tight staleness bound: while the worker is
+    // down the others' gated pulls must be released against the live
+    // minimum, and the restarted worker re-admitted without regressing it.
+    let out = run(&cfg(
+        Algo::Ssp { staleness: 2 },
+        faults_of(vec![crash(100, 0, Some(SimTime::from_secs(2)))]),
+    ));
+    assert_eq!(out.total_iterations, WORKERS as u64 * ITERS);
+}
+
+#[test]
+fn decentralized_algorithms_coerce_crashes_to_restarts() {
+    // Even a "permanent" crash is coerced to a restart for the
+    // decentralized family (no server exists to rebalance a loss), so
+    // every iteration eventually completes.
+    for algo in [Algo::ArSgd, Algo::GoSgd { p: 0.3 }, Algo::AdPsgd] {
+        let out = run(&cfg(algo, faults_of(vec![crash(100, 1, None)])));
+        assert_eq!(
+            out.total_iterations,
+            WORKERS as u64 * ITERS,
+            "{}: coerced restart must preserve iterations",
+            out.algo
+        );
+    }
+}
+
+#[test]
+fn ps_outage_delays_the_run() {
+    let base = run(&cfg(Algo::Asp, None));
+    let faulted = run(&cfg(
+        Algo::Asp,
+        faults_of(vec![FaultEvent {
+            at: SimTime::from_millis(200),
+            kind: FaultKind::PsShardFail {
+                shard: 0,
+                outage: SimTime::from_secs(2),
+            },
+        }]),
+    ));
+    assert_eq!(faulted.total_iterations, WORKERS as u64 * ITERS);
+    assert!(
+        faulted.end_time > base.end_time + SimTime::from_secs(1),
+        "PS outage did not delay the run: {:?} vs {:?}",
+        faulted.end_time,
+        base.end_time
+    );
+}
+
+#[test]
+fn link_degradation_slows_cross_machine_traffic() {
+    // 8 workers = 2 machines, so the PS traffic actually crosses the
+    // degraded machine-0 uplink (4 workers fit on one machine and would
+    // see no inter-machine traffic at all).
+    let wide = |faults: Option<FaultConfig>| {
+        let mut c = cfg(Algo::Bsp, faults);
+        c.cluster = ClusterConfig::paper_with_workers(NetworkConfig::FIFTY_SIX_GBPS, 8);
+        c.workers = 8;
+        c
+    };
+    let base = run(&wide(None));
+    let faulted = run(&wide(faults_of(vec![FaultEvent {
+        at: SimTime::ZERO,
+        kind: FaultKind::LinkDegrade {
+            machine: 0,
+            factor: 0.05,
+            duration: SimTime::from_secs(30),
+        },
+    }])));
+    assert_eq!(faulted.total_iterations, 8 * ITERS);
+    assert!(
+        faulted.end_time > base.end_time,
+        "20x thinner links must slow the run: {:?} vs {:?}",
+        faulted.end_time,
+        base.end_time
+    );
+}
+
+#[test]
+fn straggler_slows_synchronous_run() {
+    let base = run(&cfg(Algo::Bsp, None));
+    let faulted = run(&cfg(
+        Algo::Bsp,
+        faults_of(vec![FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::Straggler {
+                worker: 3,
+                slowdown: 3.0,
+            },
+        }]),
+    ));
+    assert!(
+        faulted.end_time.as_secs_f64() > 1.5 * base.end_time.as_secs_f64(),
+        "a 3x straggler must dominate BSP: {:?} vs {:?}",
+        faulted.end_time,
+        base.end_time
+    );
+}

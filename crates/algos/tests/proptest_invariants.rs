@@ -3,8 +3,8 @@
 //! configurations.
 
 use dtrain_algos::{
-    elastic_update, merge_grad, run, shard_tensor_indices, slice_set,
-    unslice_set, Algo, GradData, OptimizationConfig, RunConfig, StopCondition,
+    elastic_update, merge_grad, run, shard_tensor_indices, slice_set, unslice_set, Algo, GradData,
+    OptimizationConfig, RunConfig, StopCondition,
 };
 use dtrain_cluster::{ClusterConfig, NetworkConfig, ShardPlan};
 use dtrain_models::uniform_profile;
@@ -126,6 +126,7 @@ proptest! {
                 ..Default::default()
             },
             stop: StopCondition::Iterations(iters),
+            faults: None,
             real: None,
             seed,
         };
@@ -154,6 +155,7 @@ proptest! {
             batch: 16,
             opts: OptimizationConfig::default(),
             stop: StopCondition::Iterations(iters),
+            faults: None,
             real: None,
             seed: 1,
         };

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use dtrain_algos::{build_worker_cores, Msg, Recorder, RunConfig};
 use dtrain_algos::{Algo, OptimizationConfig, StopCondition};
 use dtrain_cluster::{ClusterConfig, MetricsHub, NetModel, NetworkConfig};
-use dtrain_desim::{SimTime, Simulation};
+use dtrain_desim::Simulation;
 use dtrain_models::uniform_profile;
 use parking_lot::Mutex;
 
@@ -26,13 +26,14 @@ fn emission_times(wait_free: bool) -> (Vec<(usize, u64)>, u64) {
             ..Default::default()
         },
         stop: StopCondition::Iterations(1),
+        faults: None,
         real: None,
         seed: 1,
     };
     let metrics = MetricsHub::new(1);
     let recorder = Recorder::new();
     let net = NetModel::new(&cfg.cluster);
-    let mut cores = build_worker_cores(&cfg, &metrics, &recorder, &net);
+    let mut cores = build_worker_cores(&cfg, &metrics, &recorder, &net, None);
     let mut core = cores.remove(0);
 
     let events = Arc::new(Mutex::new(Vec::new()));

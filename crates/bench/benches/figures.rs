@@ -10,8 +10,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dtrain_algos::{run, Algo};
 use dtrain_cluster::NetworkConfig;
 use dtrain_core::presets::{
-    accuracy_run, accuracy_run_with_dgc, breakdown_run, optimization_run,
-    scalability_run, AccuracyScale, PaperModel,
+    accuracy_run, accuracy_run_with_dgc, breakdown_run, optimization_run, scalability_run,
+    AccuracyScale, PaperModel,
 };
 
 fn mini_scale() -> AccuracyScale {
@@ -35,7 +35,10 @@ fn bench_table1(c: &mut Criterion) {
                 Algo::Bsp,
                 Algo::Asp,
                 Algo::Ssp { staleness: 2 },
-                Algo::Easgd { tau: 2, alpha: None },
+                Algo::Easgd {
+                    tau: 2,
+                    alpha: None,
+                },
                 Algo::ArSgd,
                 Algo::GoSgd { p: 0.5 },
                 Algo::AdPsgd,
@@ -110,8 +113,18 @@ fn bench_fig3(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("bsp_asp_24w_5iter", |b| {
         b.iter(|| {
-            run(&breakdown_run(Algo::Bsp, PaperModel::ResNet50, NetworkConfig::TEN_GBPS, 5));
-            run(&breakdown_run(Algo::Asp, PaperModel::ResNet50, NetworkConfig::TEN_GBPS, 5));
+            run(&breakdown_run(
+                Algo::Bsp,
+                PaperModel::ResNet50,
+                NetworkConfig::TEN_GBPS,
+                5,
+            ));
+            run(&breakdown_run(
+                Algo::Asp,
+                PaperModel::ResNet50,
+                NetworkConfig::TEN_GBPS,
+                5,
+            ));
         })
     });
     g.finish();

@@ -5,7 +5,9 @@
 //! (simulated) throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dtrain_algos::{run, Algo, OptimizationConfig, RealTraining, RunConfig, StopCondition, SyntheticTask};
+use dtrain_algos::{
+    run, Algo, OptimizationConfig, RealTraining, RunConfig, StopCondition, SyntheticTask,
+};
 use dtrain_cluster::{ClusterConfig, NetworkConfig};
 use dtrain_data::TeacherTaskConfig;
 use dtrain_models::resnet50;
@@ -23,6 +25,7 @@ fn virtual_cfg(algo: Algo) -> RunConfig {
             ..Default::default()
         },
         stop: StopCondition::Iterations(5),
+        faults: None,
         real: None,
         seed: 1,
     }
@@ -35,14 +38,15 @@ fn bench_cost_only_runs(c: &mut Criterion) {
         Algo::Bsp,
         Algo::Asp,
         Algo::Ssp { staleness: 10 },
-        Algo::Easgd { tau: 4, alpha: None },
+        Algo::Easgd {
+            tau: 4,
+            alpha: None,
+        },
         Algo::ArSgd,
         Algo::GoSgd { p: 0.1 },
         Algo::AdPsgd,
     ] {
-        group.bench_function(algo.name(), |b| {
-            b.iter(|| run(&virtual_cfg(algo)))
-        });
+        group.bench_function(algo.name(), |b| b.iter(|| run(&virtual_cfg(algo))));
     }
     group.finish();
 }
@@ -58,6 +62,7 @@ fn bench_real_math_run(c: &mut Criterion) {
             ..Default::default()
         }),
         stop: StopCondition::Epochs(2),
+        faults: None,
         workers: 4,
         cluster: ClusterConfig::paper_with_workers(NetworkConfig::FIFTY_SIX_GBPS, 4),
         ..virtual_cfg(Algo::Bsp)

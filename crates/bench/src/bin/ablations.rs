@@ -7,8 +7,8 @@
 //!    masking) measured on real training accuracy.
 
 use dtrain_bench::HarnessOpts;
-use dtrain_core::presets::{accuracy_run, AccuracyScale, PaperModel};
 use dtrain_core::prelude::*;
+use dtrain_core::presets::{accuracy_run, AccuracyScale, PaperModel};
 
 fn main() {
     let opts = HarnessOpts::from_env();
@@ -30,11 +30,16 @@ fn base_cfg(algo: Algo, workers: usize, iters: u64, model: PaperModel) -> RunCon
         profile: model.profile(),
         batch: model.batch(),
         opts: OptimizationConfig {
-            ps_shards: if algo.is_centralized() { 2 * cluster.machines } else { 1 },
+            ps_shards: if algo.is_centralized() {
+                2 * cluster.machines
+            } else {
+                1
+            },
             local_aggregation: matches!(algo, Algo::Bsp),
             ..Default::default()
         },
         stop: StopCondition::Iterations(iters),
+        faults: None,
         real: None,
         seed: 31,
     }
@@ -52,8 +57,14 @@ fn ablate_local_aggregation(opts: &HarnessOpts, workers: usize, iters: u64) {
         table.push_row(vec![
             if on { "on" } else { "off" }.into(),
             format!("{:.0}", out.throughput),
-            format!("{:.1}", out.traffic.bytes_of(dtrain_cluster::TrafficClass::WorkerPs) as f64 / 1e9),
-            format!("{:.1}", out.traffic.bytes_of(dtrain_cluster::TrafficClass::LocalAgg) as f64 / 1e9),
+            format!(
+                "{:.1}",
+                out.traffic.bytes_of(dtrain_cluster::TrafficClass::WorkerPs) as f64 / 1e9
+            ),
+            format!(
+                "{:.1}",
+                out.traffic.bytes_of(dtrain_cluster::TrafficClass::LocalAgg) as f64 / 1e9
+            ),
         ]);
     }
     opts.emit(&table, "ablation_local_agg");
@@ -75,7 +86,12 @@ fn ablate_sharding(opts: &HarnessOpts, workers: usize, iters: u64) {
         };
         let out = run(&cfg);
         table.push_row(vec![
-            if balanced { "greedy-balanced" } else { "layer-wise (paper)" }.into(),
+            if balanced {
+                "greedy-balanced"
+            } else {
+                "layer-wise (paper)"
+            }
+            .into(),
             format!("{:.0}", out.throughput),
             format!("{:.2}", plan.imbalance()),
         ]);
@@ -101,10 +117,17 @@ fn ablate_overlap(opts: &HarnessOpts, workers: usize, iters: u64) {
 }
 
 fn ablate_dgc_components(opts: &HarnessOpts) {
-    let scale = if opts.quick { AccuracyScale::quick() } else { AccuracyScale::default() };
+    let scale = if opts.quick {
+        AccuracyScale::quick()
+    } else {
+        AccuracyScale::default()
+    };
     let workers = 8;
     let mut table = Table::new(
-        format!("Ablation: DGC components (ASP, {workers} workers, real training, {} epochs)", scale.epochs),
+        format!(
+            "Ablation: DGC components (ASP, {workers} workers, real training, {} epochs)",
+            scale.epochs
+        ),
         &["variant", "final accuracy"],
     );
     // Reference: dense gradients.
@@ -113,15 +136,38 @@ fn ablate_dgc_components(opts: &HarnessOpts) {
         "dense (no DGC)".into(),
         fmt_acc(dense.final_accuracy.expect("dense")),
     ]);
-    let iters_per_worker =
-        scale.epochs * (scale.train_size / workers / scale.batch) as u64;
+    let iters_per_worker = scale.epochs * (scale.train_size / workers / scale.batch) as u64;
     let full = dtrain_core::presets::scaled_dgc(iters_per_worker);
     let variants: Vec<(&str, DgcConfig)> = vec![
         ("full DGC", full.clone()),
-        ("no local accumulation", DgcConfig { local_accumulation: false, ..full.clone() }),
-        ("no momentum correction", DgcConfig { momentum_correction: false, ..full.clone() }),
-        ("no factor masking", DgcConfig { factor_masking: false, ..full.clone() }),
-        ("no warm-up", DgcConfig { warmup_schedule: vec![], ..full.clone() }),
+        (
+            "no local accumulation",
+            DgcConfig {
+                local_accumulation: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "no momentum correction",
+            DgcConfig {
+                momentum_correction: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "no factor masking",
+            DgcConfig {
+                factor_masking: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "no warm-up",
+            DgcConfig {
+                warmup_schedule: vec![],
+                ..full.clone()
+            },
+        ),
     ];
     for (label, dgc) in variants {
         let mut cfg = accuracy_run(Algo::Asp, workers, &scale);

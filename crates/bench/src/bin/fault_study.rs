@@ -1,0 +1,215 @@
+//! Extension study: throughput resilience of the seven algorithms under
+//! injected faults.
+//!
+//! The paper compares the algorithms on healthy clusters; this harness asks
+//! how each one degrades when the cluster misbehaves. A seeded
+//! [`FaultPlan`] is expanded into crash / link-degradation / PS-outage
+//! schedules at increasing rates, and each algorithm's throughput is
+//! compared against its own healthy baseline. A second table uses
+//! *permanent* crashes to expose the recovery policies: synchronous and
+//! server-based algorithms lose the dead worker's iterations (rebuild /
+//! drop-and-readmit), while the decentralized family coerces the loss to a
+//! restart and completes everything. A third table runs the real-math
+//! accuracy presets under crash-restarts (checkpoint rollback loses the
+//! uncheckpointed updates) plus a straggler, asking what faults cost in
+//! final accuracy rather than time.
+
+use dtrain_bench::HarnessOpts;
+use dtrain_core::prelude::*;
+use dtrain_core::presets::{accuracy_run, AccuracyScale};
+use dtrain_desim::SimTime;
+use dtrain_models::resnet50;
+
+fn base_cfg(algo: Algo, workers: usize, iters: u64) -> RunConfig {
+    let cluster = ClusterConfig::paper_with_workers(NetworkConfig::FIFTY_SIX_GBPS, workers);
+    RunConfig {
+        algo,
+        workers,
+        profile: resnet50(),
+        batch: 128,
+        // no local aggregation: worker crashes are unsupported under the
+        // leader/follower machine grouping, and the healthy baseline must
+        // use the same topology as the faulted runs to be comparable
+        opts: OptimizationConfig {
+            ps_shards: if algo.is_centralized() {
+                2 * cluster.machines
+            } else {
+                1
+            },
+            ..Default::default()
+        },
+        cluster,
+        stop: StopCondition::Iterations(iters),
+        faults: None,
+        real: None,
+        seed: 97,
+    }
+}
+
+/// Expand a rate level into a concrete schedule over this run's horizon.
+fn plan_faults(cfg: &RunConfig, horizon: SimTime, rate: f64) -> FaultConfig {
+    let plan = FaultPlan {
+        seed: 1309,
+        horizon,
+        expected_crashes: 2.0 * rate,
+        restart_after: Some(SimTime::from_secs(2)),
+        expected_link_faults: rate,
+        degrade_factor: 0.2,
+        degrade_duration: SimTime::from_nanos(horizon.as_nanos() / 8),
+        expected_ps_failures: rate,
+        ps_outage: SimTime::from_secs(1),
+        stragglers: Vec::new(),
+    };
+    let ps_shards = if cfg.algo.is_centralized() {
+        cfg.opts.ps_shards
+    } else {
+        0
+    };
+    FaultConfig {
+        schedule: plan.generate(cfg.workers, cfg.cluster.machines, ps_shards),
+        checkpoint_interval: 5,
+    }
+}
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let workers = if opts.quick { 8 } else { 16 };
+    let iters = if opts.quick { 15 } else { 40 };
+    let algos: Vec<(&str, Algo)> = vec![
+        ("BSP", Algo::Bsp),
+        ("AR-SGD", Algo::ArSgd),
+        ("ASP", Algo::Asp),
+        ("SSP(s=10)", Algo::Ssp { staleness: 10 }),
+        (
+            "EASGD(tau=4)",
+            Algo::Easgd {
+                tau: 4,
+                alpha: None,
+            },
+        ),
+        ("GoSGD(p=0.1)", Algo::GoSgd { p: 0.1 }),
+        ("AD-PSGD", Algo::AdPsgd),
+    ];
+    let levels: [(&str, f64); 3] = [("light", 0.5), ("moderate", 1.5), ("heavy", 3.0)];
+
+    // --- restartable faults: throughput retained vs the healthy baseline ---
+    let mut tp_table = Table::new(
+        format!(
+            "Fault study: throughput retained under seeded crash/link/PS faults \
+             ({workers} workers, ResNet-50, 56 Gbps, 2 s restarts)"
+        ),
+        &["algorithm", "healthy img/s", "light", "moderate", "heavy"],
+    );
+    for (label, algo) in &algos {
+        let healthy = run(&base_cfg(*algo, workers, iters));
+        let mut row = vec![label.to_string(), format!("{:.0}", healthy.throughput)];
+        for (_, rate) in &levels {
+            let mut cfg = base_cfg(*algo, workers, iters);
+            cfg.faults = Some(plan_faults(&cfg, healthy.end_time, *rate));
+            let faulted = run(&cfg);
+            assert_eq!(
+                faulted.total_iterations,
+                workers as u64 * iters,
+                "{label}: restartable faults must not lose iterations"
+            );
+            row.push(format!(
+                "{:.0}%",
+                100.0 * faulted.throughput / healthy.throughput
+            ));
+        }
+        tp_table.push_row(row);
+    }
+    opts.emit(&tp_table, "fault_throughput");
+
+    // --- permanent crash: what fraction of the work still completes? ---
+    let mut loss_table = Table::new(
+        format!(
+            "Fault study: iterations completed after one permanent worker loss \
+             ({workers} workers; decentralized algorithms coerce the loss to a restart)"
+        ),
+        &["algorithm", "completed", "of scheduled", "recovery"],
+    );
+    for (label, algo) in &algos {
+        let mut cfg = base_cfg(*algo, workers, iters);
+        cfg.faults = Some(FaultConfig {
+            schedule: FaultSchedule::new(vec![FaultEvent {
+                at: SimTime::from_millis(200),
+                kind: FaultKind::WorkerCrash {
+                    worker: 1,
+                    restart_after: None,
+                },
+            }]),
+            checkpoint_interval: 5,
+        });
+        let out = run(&cfg);
+        let scheduled = workers as u64 * iters;
+        let policy = match algo {
+            Algo::Bsp => "rebuild group",
+            Algo::Ssp { .. } => "recompute staleness",
+            Algo::Asp | Algo::Easgd { .. } => "drop and re-admit",
+            Algo::ArSgd | Algo::GoSgd { .. } | Algo::AdPsgd => "coerced restart",
+        };
+        loss_table.push_row(vec![
+            label.to_string(),
+            format!("{}", out.total_iterations),
+            format!(
+                "{:.0}%",
+                100.0 * out.total_iterations as f64 / scheduled as f64
+            ),
+            policy.to_string(),
+        ]);
+    }
+    opts.emit(&loss_table, "fault_permanent_loss");
+
+    // --- accuracy side (real math): what do crash rollbacks cost? ---
+    let scale = if opts.quick {
+        AccuracyScale::quick()
+    } else {
+        AccuracyScale::default()
+    };
+    let acc_workers = 8;
+    let mut acc_table = Table::new(
+        format!(
+            "Fault study: accuracy under two crash-restarts + one 2x straggler \
+             ({acc_workers} workers, {} epochs, checkpoint every 10 iterations)",
+            scale.epochs
+        ),
+        &["algorithm", "healthy", "faulted"],
+    );
+    for (label, algo) in &algos {
+        let healthy = run(&accuracy_run(*algo, acc_workers, &scale));
+        // pin the crashes to fractions of this algorithm's healthy runtime
+        // so every algorithm loses work at comparable points in training
+        let horizon = healthy.end_time;
+        let at = |f: f64| SimTime::from_nanos((horizon.as_nanos() as f64 * f) as u64);
+        let crash = |frac: f64, worker: usize| FaultEvent {
+            at: at(frac),
+            kind: FaultKind::WorkerCrash {
+                worker,
+                restart_after: Some(at(0.05)),
+            },
+        };
+        let mut cfg = accuracy_run(*algo, acc_workers, &scale);
+        cfg.faults = Some(FaultConfig {
+            schedule: FaultSchedule::new(vec![
+                crash(0.15, 1),
+                crash(0.5, 5),
+                FaultEvent {
+                    at: SimTime::ZERO,
+                    kind: FaultKind::Straggler {
+                        worker: 2,
+                        slowdown: 2.0,
+                    },
+                },
+            ]),
+            checkpoint_interval: 10,
+        });
+        let faulted = run(&cfg);
+        acc_table.push_row(vec![
+            label.to_string(),
+            fmt_acc(healthy.final_accuracy.expect("accuracy")),
+            fmt_acc(faulted.final_accuracy.expect("accuracy")),
+        ]);
+    }
+    opts.emit(&acc_table, "fault_accuracy");
+}

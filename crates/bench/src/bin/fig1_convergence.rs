@@ -8,17 +8,30 @@
 //! profile on the simulated 56 Gbps cluster.
 
 use dtrain_bench::HarnessOpts;
-use dtrain_core::presets::{accuracy_run, paper_algorithms, AccuracyScale};
 use dtrain_core::prelude::*;
+use dtrain_core::presets::{accuracy_run, paper_algorithms, AccuracyScale};
 
 fn main() {
     let opts = HarnessOpts::from_env();
-    let scale = if opts.quick { AccuracyScale::quick() } else { AccuracyScale::default() };
+    let scale = if opts.quick {
+        AccuracyScale::quick()
+    } else {
+        AccuracyScale::default()
+    };
     let workers = if opts.quick { 8 } else { 24 };
 
     let mut per_epoch = Table::new(
         format!("Fig 1(a): top-1 test error vs epoch ({workers} workers)"),
-        &["epoch", "BSP", "ASP", "SSP(10)", "EASGD(8)", "AR-SGD", "GoSGD(.01)", "AD-PSGD"],
+        &[
+            "epoch",
+            "BSP",
+            "ASP",
+            "SSP(10)",
+            "EASGD(8)",
+            "AR-SGD",
+            "GoSGD(.01)",
+            "AD-PSGD",
+        ],
     );
     let mut per_time = Table::new(
         "Fig 1(b): (virtual time s, top-1 error) series per algorithm",
@@ -66,7 +79,10 @@ fn main() {
             )
         })
         .collect();
-    println!("{}", render_chart("Fig 1(a): error vs epoch", &epoch_series, 72, 18));
+    println!(
+        "{}",
+        render_chart("Fig 1(a): error vs epoch", &epoch_series, 72, 18)
+    );
     let time_series: Vec<Series> = curves
         .iter()
         .map(|(name, c)| {
@@ -78,5 +94,8 @@ fn main() {
             )
         })
         .collect();
-    println!("{}", render_chart("Fig 1(b): error vs virtual time (s)", &time_series, 72, 18));
+    println!(
+        "{}",
+        render_chart("Fig 1(b): error vs virtual time (s)", &time_series, 72, 18)
+    );
 }

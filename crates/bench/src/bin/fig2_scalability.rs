@@ -9,8 +9,8 @@
 //! layer-wise shards).
 
 use dtrain_bench::{sweep_workers, HarnessOpts};
-use dtrain_core::presets::{scalability_run, PaperModel, FIG2_WORKERS};
 use dtrain_core::prelude::*;
+use dtrain_core::presets::{scalability_run, PaperModel, FIG2_WORKERS};
 
 fn main() {
     let opts = HarnessOpts::from_env();
@@ -40,9 +40,7 @@ fn main() {
             // pure computation, no aggregation. A 1-worker AR-SGD run is
             // exactly that (its ring is empty), and it is the same for
             // every algorithm.
-            let base_tp =
-                run(&scalability_run(Algo::ArSgd, model, 1, net, iterations))
-                    .throughput;
+            let base_tp = run(&scalability_run(Algo::ArSgd, model, 1, net, iterations)).throughput;
             for (label, algo) in &algos {
                 let mut row = vec![label.to_string()];
                 for &w in &workers {

@@ -10,8 +10,8 @@
 //! everything toward aggregation/communication.
 
 use dtrain_bench::HarnessOpts;
-use dtrain_core::presets::{breakdown_run, PaperModel};
 use dtrain_core::prelude::*;
+use dtrain_core::presets::{breakdown_run, PaperModel};
 
 fn main() {
     let opts = HarnessOpts::from_env();
@@ -25,7 +25,16 @@ fn main() {
 
     let mut table = Table::new(
         "Fig 3: per-worker time breakdown at 24 workers (% of iteration time)",
-        &["model", "network", "algorithm", "compute%", "local_agg%", "global_agg%", "comm%", "iter(s)"],
+        &[
+            "model",
+            "network",
+            "algorithm",
+            "compute%",
+            "local_agg%",
+            "global_agg%",
+            "comm%",
+            "iter(s)",
+        ],
     );
     for model in [PaperModel::ResNet50, PaperModel::Vgg16] {
         for net in [NetworkConfig::TEN_GBPS, NetworkConfig::FIFTY_SIX_GBPS] {

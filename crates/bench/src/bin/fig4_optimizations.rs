@@ -9,8 +9,8 @@
 //! them scale almost linearly.
 
 use dtrain_bench::HarnessOpts;
-use dtrain_core::presets::{optimization_run, PaperModel};
 use dtrain_core::prelude::*;
+use dtrain_core::presets::{optimization_run, PaperModel};
 
 fn main() {
     let opts = HarnessOpts::from_env();
@@ -31,14 +31,20 @@ fn main() {
                     model.name(),
                     net.bandwidth_gbps
                 ),
-                &["algorithm", "workers", "none", "+shard", "+waitfree", "+dgc"],
+                &[
+                    "algorithm",
+                    "workers",
+                    "none",
+                    "+shard",
+                    "+waitfree",
+                    "+dgc",
+                ],
             );
             for (label, algo) in &algos {
                 for &w in &worker_counts {
                     let mut row = vec![label.to_string(), w.to_string()];
                     for level in 0..LEVELS.len() {
-                        let out =
-                            run(&optimization_run(*algo, model, w, net, level, iterations));
+                        let out = run(&optimization_run(*algo, model, w, net, level, iterations));
                         row.push(format!("{:.0}", out.throughput));
                     }
                     table.push_row(row);

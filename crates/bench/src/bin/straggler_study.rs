@@ -2,14 +2,27 @@
 //!
 //! The paper attributes BSP's aggregation time to waiting (Fig. 3) and
 //! motivates asynchrony as the remedy; this harness quantifies the whole
-//! trade-off by injecting a slow worker and measuring what each algorithm
-//! pays in throughput and what asynchrony costs in accuracy when worker
-//! speeds diverge (the slow worker's gradients grow stale).
+//! trade-off by injecting a slow worker (a persistent
+//! `FaultKind::Straggler` event from the fault-schedule DSL) and measuring
+//! what each algorithm pays in throughput and what asynchrony costs in
+//! accuracy when worker speeds diverge (the slow worker's gradients grow
+//! stale).
 
 use dtrain_bench::HarnessOpts;
-use dtrain_core::presets::{accuracy_run, AccuracyScale};
 use dtrain_core::prelude::*;
+use dtrain_core::presets::{accuracy_run, AccuracyScale};
+use dtrain_desim::SimTime;
 use dtrain_models::resnet50;
+
+fn straggler_faults(worker: usize, slowdown: f64) -> FaultConfig {
+    FaultConfig {
+        schedule: FaultSchedule::new(vec![FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::Straggler { worker, slowdown },
+        }]),
+        checkpoint_interval: 0,
+    }
+}
 
 fn main() {
     let opts = HarnessOpts::from_env();
@@ -31,11 +44,7 @@ fn main() {
     );
     for (label, algo) in &algos {
         let mk = |straggle: bool| {
-            let mut cluster =
-                ClusterConfig::paper_with_workers(NetworkConfig::FIFTY_SIX_GBPS, workers);
-            if straggle {
-                cluster.stragglers.push(Straggler { worker: 1, slowdown });
-            }
+            let cluster = ClusterConfig::paper_with_workers(NetworkConfig::FIFTY_SIX_GBPS, workers);
             let cfg = RunConfig {
                 algo: *algo,
                 cluster: cluster.clone(),
@@ -43,11 +52,16 @@ fn main() {
                 profile: resnet50(),
                 batch: 128,
                 opts: OptimizationConfig {
-                    ps_shards: if algo.is_centralized() { 2 * cluster.machines } else { 1 },
+                    ps_shards: if algo.is_centralized() {
+                        2 * cluster.machines
+                    } else {
+                        1
+                    },
                     local_aggregation: matches!(algo, Algo::Bsp),
                     ..Default::default()
                 },
                 stop: StopCondition::Iterations(iters),
+                faults: straggle.then(|| straggler_faults(1, slowdown)),
                 real: None,
                 seed: 41,
             };
@@ -65,7 +79,11 @@ fn main() {
     opts.emit(&tp_table, "straggler_throughput");
 
     // --- accuracy side (real math): does heterogeneity hurt async algos? ---
-    let scale = if opts.quick { AccuracyScale::quick() } else { AccuracyScale::default() };
+    let scale = if opts.quick {
+        AccuracyScale::quick()
+    } else {
+        AccuracyScale::default()
+    };
     let acc_workers = 8;
     let mut acc_table = Table::new(
         format!("Straggler study: accuracy with one {slowdown}x-slow worker ({acc_workers} workers, {} epochs)", scale.epochs),
@@ -75,7 +93,7 @@ fn main() {
         let mk = |straggle: bool| {
             let mut cfg = accuracy_run(*algo, acc_workers, &scale);
             if straggle {
-                cfg.cluster.stragglers.push(Straggler { worker: 1, slowdown });
+                cfg.faults = Some(straggler_faults(1, slowdown));
             }
             run(&cfg).final_accuracy.expect("accuracy")
         };

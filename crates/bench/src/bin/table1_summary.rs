@@ -33,8 +33,21 @@ fn main() {
         ("BSP (+local agg)", Algo::Bsp, true, 2.0 * m * n / l),
         ("ASP", Algo::Asp, false, 2.0 * m * n),
         // SSP: pushes MN; pulls MN/(s+1)-ish (we pull every s iterations)
-        ("SSP (s=10)", Algo::Ssp { staleness: 10 }, false, (1.0 + 1.0 / 11.0) * m * n),
-        ("EASGD (tau=8)", Algo::Easgd { tau: 8, alpha: None }, false, 2.0 * m * n / 8.0),
+        (
+            "SSP (s=10)",
+            Algo::Ssp { staleness: 10 },
+            false,
+            (1.0 + 1.0 / 11.0) * m * n,
+        ),
+        (
+            "EASGD (tau=8)",
+            Algo::Easgd {
+                tau: 8,
+                alpha: None,
+            },
+            false,
+            2.0 * m * n / 8.0,
+        ),
         ("AR-SGD", Algo::ArSgd, false, 2.0 * m * (n - 1.0)),
         ("GoSGD (p=0.1)", Algo::GoSgd { p: 0.1 }, false, m * n * 0.1),
         ("AD-PSGD", Algo::AdPsgd, false, m * n),
@@ -52,11 +65,16 @@ fn main() {
             profile: profile.clone(),
             batch: 128,
             opts: OptimizationConfig {
-                ps_shards: if algo.is_centralized() { 2 * cluster.machines } else { 1 },
+                ps_shards: if algo.is_centralized() {
+                    2 * cluster.machines
+                } else {
+                    1
+                },
                 local_aggregation: local_agg,
                 ..Default::default()
             },
             stop: StopCondition::Iterations(iters),
+            faults: None,
             real: None,
             seed: 5,
         };

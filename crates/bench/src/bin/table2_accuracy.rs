@@ -15,12 +15,25 @@ use dtrain_core::presets::{accuracy_run, paper_algorithms, AccuracyScale};
 
 fn main() {
     let opts = HarnessOpts::from_env();
-    let scale = if opts.quick { AccuracyScale::quick() } else { AccuracyScale::default() };
+    let scale = if opts.quick {
+        AccuracyScale::quick()
+    } else {
+        AccuracyScale::default()
+    };
     let workers = if opts.quick { 8 } else { 24 };
 
     let mut table = Table::new(
-        format!("Table II: final test accuracy, {workers} workers, {} epochs", scale.epochs),
-        &["algorithm", "hyperparams", "accuracy", "drift", "virt-time(s)"],
+        format!(
+            "Table II: final test accuracy, {workers} workers, {} epochs",
+            scale.epochs
+        ),
+        &[
+            "algorithm",
+            "hyperparams",
+            "accuracy",
+            "drift",
+            "virt-time(s)",
+        ],
     );
     for algo in paper_algorithms() {
         let cfg = accuracy_run(algo, workers, &scale);

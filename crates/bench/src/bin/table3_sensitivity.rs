@@ -8,12 +8,16 @@
 //! hardest.
 
 use dtrain_bench::{sweep_workers, HarnessOpts};
-use dtrain_core::presets::{accuracy_run, AccuracyScale, TABLE3_WORKERS};
 use dtrain_core::prelude::*;
+use dtrain_core::presets::{accuracy_run, AccuracyScale, TABLE3_WORKERS};
 
 fn main() {
     let opts = HarnessOpts::from_env();
-    let scale = if opts.quick { AccuracyScale::quick() } else { AccuracyScale::default() };
+    let scale = if opts.quick {
+        AccuracyScale::quick()
+    } else {
+        AccuracyScale::default()
+    };
     let workers = sweep_workers(&opts, &TABLE3_WORKERS);
 
     let configs: Vec<(String, Algo)> = vec![
@@ -21,8 +25,20 @@ fn main() {
         ("ASP".into(), Algo::Asp),
         ("SSP s=3".into(), Algo::Ssp { staleness: 3 }),
         ("SSP s=10".into(), Algo::Ssp { staleness: 10 }),
-        ("EASGD tau=4".into(), Algo::Easgd { tau: 4, alpha: None }),
-        ("EASGD tau=8".into(), Algo::Easgd { tau: 8, alpha: None }),
+        (
+            "EASGD tau=4".into(),
+            Algo::Easgd {
+                tau: 4,
+                alpha: None,
+            },
+        ),
+        (
+            "EASGD tau=8".into(),
+            Algo::Easgd {
+                tau: 8,
+                alpha: None,
+            },
+        ),
         ("GoSGD p=1".into(), Algo::GoSgd { p: 1.0 }),
         ("GoSGD p=0.1".into(), Algo::GoSgd { p: 0.1 }),
         ("GoSGD p=0.01".into(), Algo::GoSgd { p: 0.01 }),
@@ -32,7 +48,10 @@ fn main() {
     let mut headers: Vec<String> = vec!["config".into()];
     headers.extend(workers.iter().map(|w| format!("{w} workers")));
     let mut table = Table::new(
-        format!("Table III: test accuracy vs workers ({} epochs)", scale.epochs),
+        format!(
+            "Table III: test accuracy vs workers ({} epochs)",
+            scale.epochs
+        ),
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
 

@@ -7,12 +7,16 @@
 //! communicated gradient volume by ~1000×.
 
 use dtrain_bench::HarnessOpts;
-use dtrain_core::presets::{accuracy_run, accuracy_run_with_dgc, AccuracyScale};
 use dtrain_core::prelude::*;
+use dtrain_core::presets::{accuracy_run, accuracy_run_with_dgc, AccuracyScale};
 
 fn main() {
     let opts = HarnessOpts::from_env();
-    let scale = if opts.quick { AccuracyScale::quick() } else { AccuracyScale::default() };
+    let scale = if opts.quick {
+        AccuracyScale::quick()
+    } else {
+        AccuracyScale::default()
+    };
     let workers = if opts.quick { 8 } else { 24 };
 
     let configs: Vec<(&str, Algo)> = vec![
@@ -22,8 +26,17 @@ fn main() {
         ("SSP s=10", Algo::Ssp { staleness: 10 }),
     ];
     let mut table = Table::new(
-        format!("Table IV: effect of DGC on accuracy ({workers} workers, {} epochs)", scale.epochs),
-        &["algorithm", "without DGC", "with DGC", "grad bytes w/o", "grad bytes w/"],
+        format!(
+            "Table IV: effect of DGC on accuracy ({workers} workers, {} epochs)",
+            scale.epochs
+        ),
+        &[
+            "algorithm",
+            "without DGC",
+            "with DGC",
+            "grad bytes w/o",
+            "grad bytes w/",
+        ],
     );
     for (label, algo) in configs {
         let plain = run(&accuracy_run(algo, workers, &scale));

@@ -83,7 +83,10 @@ mod tests {
 
     #[test]
     fn quick_filters_worker_sweep() {
-        let q = HarnessOpts { quick: true, csv_dir: None };
+        let q = HarnessOpts {
+            quick: true,
+            csv_dir: None,
+        };
         assert_eq!(sweep_workers(&q, &[1, 2, 4, 8, 16, 24]), vec![1, 2, 4, 8]);
         let f = HarnessOpts::default();
         assert_eq!(sweep_workers(&f, &[4, 24]), vec![4, 24]);

@@ -17,23 +17,20 @@ pub struct NetworkConfig {
 
 impl NetworkConfig {
     /// The paper's commodity Ethernet: 10 Gbps.
-    pub const TEN_GBPS: NetworkConfig =
-        NetworkConfig { bandwidth_gbps: 10.0, latency_us: 50.0 };
+    pub const TEN_GBPS: NetworkConfig = NetworkConfig {
+        bandwidth_gbps: 10.0,
+        latency_us: 50.0,
+    };
     /// The paper's InfiniBand: 56 Gbps.
-    pub const FIFTY_SIX_GBPS: NetworkConfig =
-        NetworkConfig { bandwidth_gbps: 56.0, latency_us: 5.0 };
+    pub const FIFTY_SIX_GBPS: NetworkConfig = NetworkConfig {
+        bandwidth_gbps: 56.0,
+        latency_us: 5.0,
+    };
 
     /// Seconds to push `bytes` through the link (excluding latency).
     pub fn serialization_secs(&self, bytes: u64) -> f64 {
         bytes as f64 * 8.0 / (self.bandwidth_gbps * 1e9)
     }
-}
-
-/// An injected straggler: worker `worker` computes `slowdown`× slower.
-#[derive(Clone, Copy, Debug)]
-pub struct Straggler {
-    pub worker: usize,
-    pub slowdown: f64,
 }
 
 /// Full cluster description.
@@ -55,8 +52,6 @@ pub struct ClusterConfig {
     /// workers (local aggregation) and worker↔PS on the same machine.
     pub intra_bandwidth_gbps: f64,
     pub intra_latency_us: f64,
-    /// Optional injected stragglers.
-    pub stragglers: Vec<Straggler>,
     /// RNG seed for compute jitter.
     pub seed: u64,
 }
@@ -77,7 +72,6 @@ impl ClusterConfig {
             network,
             intra_bandwidth_gbps: 100.0, // PCIe 3.0 x16-class
             intra_latency_us: 2.0,
-            stragglers: Vec::new(),
             seed: 42,
         }
     }
@@ -104,14 +98,6 @@ impl ClusterConfig {
     pub fn machine_peers(&self, w: usize) -> std::ops::Range<usize> {
         let m = w / self.gpus_per_machine;
         m * self.gpus_per_machine..(m + 1) * self.gpus_per_machine
-    }
-
-    /// Compute-slowdown factor for worker `w` (1.0 unless a straggler).
-    pub fn slowdown_of(&self, w: usize) -> f64 {
-        self.stragglers
-            .iter()
-            .find(|s| s.worker == w)
-            .map_or(1.0, |s| s.slowdown)
     }
 }
 
@@ -147,13 +133,5 @@ mod tests {
         // 56 Gbps is 5.6× faster
         let t2 = NetworkConfig::FIFTY_SIX_GBPS.serialization_secs(1_000_000_000);
         assert!((t / t2 - 5.6).abs() < 1e-9);
-    }
-
-    #[test]
-    fn straggler_lookup() {
-        let mut c = ClusterConfig::paper(NetworkConfig::TEN_GBPS);
-        c.stragglers.push(Straggler { worker: 3, slowdown: 2.0 });
-        assert_eq!(c.slowdown_of(3), 2.0);
-        assert_eq!(c.slowdown_of(4), 1.0);
     }
 }

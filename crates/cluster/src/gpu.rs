@@ -29,11 +29,17 @@ impl GpuModel {
         GpuModel {
             flops_per_sec: cfg.gpu_tflops * 1e12 * cfg.gpu_efficiency,
             jitter: cfg.compute_jitter,
-            slowdown: cfg.slowdown_of(w),
-            rng: SmallRng::seed_from_u64(
-                cfg.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            ),
+            slowdown: 1.0,
+            rng: SmallRng::seed_from_u64(cfg.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         }
+    }
+
+    /// Apply a persistent compute slowdown (straggler injection; the fault
+    /// layer derives the factor from its schedule). Multiplies, so stacked
+    /// faults compound.
+    pub fn with_slowdown(mut self, slowdown: f64) -> Self {
+        self.slowdown *= slowdown.max(f64::MIN_POSITIVE);
+        self
     }
 
     /// Time to execute `flops` of work, with fresh jitter.
@@ -57,11 +63,7 @@ impl GpuModel {
     /// Per-layer backward times **in backward order** (last layer first),
     /// sharing one jitter draw so they sum to a consistent iteration slice.
     /// This is the schedule wait-free BP overlaps communication against.
-    pub fn backward_layer_times(
-        &mut self,
-        model: &ModelProfile,
-        batch: usize,
-    ) -> Vec<SimTime> {
+    pub fn backward_layer_times(&mut self, model: &ModelProfile, batch: usize) -> Vec<SimTime> {
         let j = 1.0 + self.rng.gen_range(-self.jitter..=self.jitter);
         model
             .layers
@@ -78,7 +80,7 @@ impl GpuModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{NetworkConfig, Straggler};
+    use crate::config::NetworkConfig;
     use dtrain_models::{resnet50, vgg16};
 
     fn cfg() -> ClusterConfig {
@@ -120,9 +122,8 @@ mod tests {
     fn straggler_multiplies_time() {
         let mut c = cfg();
         c.compute_jitter = 0.0;
-        c.stragglers.push(Straggler { worker: 2, slowdown: 3.0 });
         let mut fast = GpuModel::for_worker(&c, 0);
-        let mut slow = GpuModel::for_worker(&c, 2);
+        let mut slow = GpuModel::for_worker(&c, 2).with_slowdown(3.0);
         let tf = fast.iteration_time(&resnet50(), 128).as_secs_f64();
         let ts = slow.iteration_time(&resnet50(), 128).as_secs_f64();
         assert!((ts / tf - 3.0).abs() < 1e-6);

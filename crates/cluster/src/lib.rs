@@ -8,7 +8,8 @@
 //! * [`NetModel`] — NIC-serialized transfers (the source of the PS
 //!   bottleneck) with traffic accounting;
 //! * [`GpuModel`] — per-worker compute times from layer FLOP profiles, with
-//!   the paper's ~5 % jitter and optional stragglers;
+//!   the paper's ~5 % jitter and per-worker slowdowns (driven by the
+//!   fault-schedule DSL in `dtrain-faults`);
 //! * [`ShardPlan`] — layer-wise / balanced parameter-shard planning;
 //! * [`MetricsHub`] — Fig.-3-style phase breakdowns and throughput.
 
@@ -18,8 +19,8 @@ mod metrics;
 mod net;
 mod shard;
 
-pub use config::{ClusterConfig, NetworkConfig, NodeId, Straggler};
+pub use config::{ClusterConfig, NetworkConfig, NodeId};
 pub use gpu::GpuModel;
 pub use metrics::{Breakdown, MetricsHub, Phase};
-pub use net::{NetModel, TrafficClass, TrafficStats};
+pub use net::{LinkWindow, NetModel, TrafficClass, TrafficStats};
 pub use shard::ShardPlan;

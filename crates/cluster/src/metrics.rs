@@ -26,8 +26,12 @@ pub enum Phase {
 }
 
 impl Phase {
-    pub const ALL: [Phase; 4] =
-        [Phase::Compute, Phase::LocalAgg, Phase::GlobalAgg, Phase::Comm];
+    pub const ALL: [Phase; 4] = [
+        Phase::Compute,
+        Phase::LocalAgg,
+        Phase::GlobalAgg,
+        Phase::Comm,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {

@@ -61,9 +61,33 @@ impl TrafficStats {
     }
 }
 
+/// A time-varying link fault: machine `machine`'s NIC runs at
+/// `factor`× bandwidth during `[start, start + duration)`. `factor = 0.0`
+/// is a partition — transfers touching the machine cannot start until the
+/// window closes. Windows are supplied by the fault layer
+/// (`dtrain-faults`); the network model only applies them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkWindow {
+    pub start: SimTime,
+    pub machine: usize,
+    pub factor: f64,
+    pub duration: SimTime,
+}
+
+impl LinkWindow {
+    fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+
+    fn covers(&self, t: SimTime, machine: usize) -> bool {
+        self.machine == machine && self.start <= t && t < self.end()
+    }
+}
+
 struct NetInner {
     nics: Vec<NicState>,
     stats: TrafficStats,
+    link_faults: Vec<LinkWindow>,
 }
 
 /// Shared handle to the network model. Clone freely; all clones observe the
@@ -97,19 +121,20 @@ impl NetModel {
             inner: Arc::new(Mutex::new(NetInner {
                 nics: vec![NicState::default(); cfg.machines],
                 stats: TrafficStats::default(),
+                link_faults: Vec::new(),
             })),
         }
     }
 
+    /// Install time-varying link faults. Replaces any previous set; call
+    /// before the simulation starts to keep runs deterministic.
+    pub fn set_link_faults(&self, windows: Vec<LinkWindow>) {
+        self.inner.lock().link_faults = windows;
+    }
+
     /// Reserve NIC time for an unclassified transfer; see
     /// [`Self::transfer_delay_class`].
-    pub fn transfer_delay(
-        &self,
-        now: SimTime,
-        src: NodeId,
-        dst: NodeId,
-        bytes: u64,
-    ) -> SimTime {
+    pub fn transfer_delay(&self, now: SimTime, src: NodeId, dst: NodeId, bytes: u64) -> SimTime {
         self.transfer_delay_class(now, src, dst, bytes, TrafficClass::Other)
     }
 
@@ -130,26 +155,51 @@ impl NetModel {
         if src == dst {
             inner.stats.intra_messages += 1;
             inner.stats.intra_bytes += bytes;
-            let ser = SimTime::from_secs_f64(
-                bytes as f64 * 8.0 / (self.cfg.intra_bandwidth_gbps * 1e9),
-            );
+            let ser =
+                SimTime::from_secs_f64(bytes as f64 * 8.0 / (self.cfg.intra_bandwidth_gbps * 1e9));
             let lat = SimTime::from_secs_f64(self.cfg.intra_latency_us * 1e-6);
             return ser + lat;
         }
         inner.stats.inter_messages += 1;
         inner.stats.inter_bytes += bytes;
-        let ser = SimTime::from_secs_f64(
-            bytes as f64 * 8.0 / (self.cfg.bandwidth_gbps * 1e9),
-        );
         let lat = SimTime::from_secs_f64(self.cfg.latency_us * 1e-6);
         // Start once both endpoints' NICs are free (FIFO in request order).
-        let start = now
+        let mut start = now
             .max(inner.nics[src.0].tx_free)
             .max(inner.nics[dst.0].rx_free);
+        // Partition windows (factor = 0) block the transfer outright: it
+        // cannot start until every such window touching either endpoint has
+        // closed. Loop because clearing one window can land inside another.
+        loop {
+            let blocked_until = inner
+                .link_faults
+                .iter()
+                .filter(|w| w.factor <= 0.0 && (w.covers(start, src.0) || w.covers(start, dst.0)))
+                .map(LinkWindow::end)
+                .max();
+            match blocked_until {
+                Some(t) if t > start => start = t,
+                _ => break,
+            }
+        }
+        // Degradation windows multiply down the effective bandwidth. The
+        // factor is sampled at the start instant and held for the whole
+        // transfer (first-order model, keeps reservations deterministic).
+        let factor = inner
+            .link_faults
+            .iter()
+            .filter(|w| w.factor > 0.0 && (w.covers(start, src.0) || w.covers(start, dst.0)))
+            .map(|w| w.factor)
+            .product::<f64>()
+            .clamp(1e-3, 1.0);
+        let ser =
+            SimTime::from_secs_f64(bytes as f64 * 8.0 / (self.cfg.bandwidth_gbps * factor * 1e9));
         let wire_done = start + ser;
         inner.nics[src.0].tx_free = wire_done;
         inner.nics[dst.0].rx_free = wire_done;
-        (wire_done + lat).saturating_sub(now).max(SimTime::from_nanos(1))
+        (wire_done + lat)
+            .saturating_sub(now)
+            .max(SimTime::from_nanos(1))
     }
 
     /// Traffic counters so far.
@@ -211,7 +261,10 @@ mod tests {
         let d_inter = net.transfer_delay(SimTime::ZERO, NodeId(0), NodeId(1), MB100);
         assert!(d_intra.as_secs_f64() * 5.0 < d_inter.as_secs_f64());
         // intra transfers don't occupy the NIC
-        assert_eq!(net.tx_free_at(NodeId(0)), d_inter.saturating_sub(SimTime::from_micros(50)));
+        assert_eq!(
+            net.tx_free_at(NodeId(0)),
+            d_inter.saturating_sub(SimTime::from_micros(50))
+        );
     }
 
     #[test]
@@ -234,6 +287,60 @@ mod tests {
         assert_eq!(s.inter_bytes, 10);
         assert_eq!(s.intra_messages, 1);
         assert_eq!(s.intra_bytes, 20);
+    }
+
+    #[test]
+    fn degraded_window_stretches_serialization() {
+        let net = model(NetworkConfig::TEN_GBPS, 2);
+        let base = net.transfer_delay(SimTime::ZERO, NodeId(0), NodeId(1), MB100);
+        // Fresh model with a 10%-bandwidth window covering t=0 on machine 1.
+        let net = model(NetworkConfig::TEN_GBPS, 2);
+        net.set_link_faults(vec![LinkWindow {
+            start: SimTime::ZERO,
+            machine: 1,
+            factor: 0.1,
+            duration: SimTime::from_secs(10),
+        }]);
+        let slow = net.transfer_delay(SimTime::ZERO, NodeId(0), NodeId(1), MB100);
+        let ratio = slow.as_secs_f64() / base.as_secs_f64();
+        assert!((9.0..10.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn partition_window_delays_start() {
+        let net = model(NetworkConfig::TEN_GBPS, 2);
+        net.set_link_faults(vec![LinkWindow {
+            start: SimTime::ZERO,
+            machine: 0,
+            factor: 0.0,
+            duration: SimTime::from_secs(1),
+        }]);
+        let d = net.transfer_delay(SimTime::ZERO, NodeId(0), NodeId(1), MB100);
+        // 1 s blocked + 80 ms wire + 50 µs latency
+        assert!((d.as_secs_f64() - 1.08005).abs() < 1e-5, "{d:?}");
+        // Transfers not touching the partitioned machine are unaffected.
+        let net = model(NetworkConfig::TEN_GBPS, 3);
+        net.set_link_faults(vec![LinkWindow {
+            start: SimTime::ZERO,
+            machine: 2,
+            factor: 0.0,
+            duration: SimTime::from_secs(1),
+        }]);
+        let d = net.transfer_delay(SimTime::ZERO, NodeId(0), NodeId(1), MB100);
+        assert!((d.as_secs_f64() - 0.08005).abs() < 1e-6, "{d:?}");
+    }
+
+    #[test]
+    fn expired_window_has_no_effect() {
+        let net = model(NetworkConfig::TEN_GBPS, 2);
+        net.set_link_faults(vec![LinkWindow {
+            start: SimTime::ZERO,
+            machine: 0,
+            factor: 0.5,
+            duration: SimTime::from_millis(1),
+        }]);
+        let d = net.transfer_delay(SimTime::from_secs(1), NodeId(0), NodeId(1), MB100);
+        assert!((d.as_secs_f64() - 0.08005).abs() < 1e-6, "{d:?}");
     }
 
     #[test]

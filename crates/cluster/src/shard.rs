@@ -40,7 +40,11 @@ impl ShardPlan {
                 s
             })
             .collect();
-        ShardPlan { layer_to_shard, num_shards, shard_bytes }
+        ShardPlan {
+            layer_to_shard,
+            num_shards,
+            shard_bytes,
+        }
     }
 
     /// Greedy balanced packing: biggest layers first onto the least-loaded
@@ -61,7 +65,11 @@ impl ShardPlan {
             layer_to_shard[l] = s;
             shard_bytes[s] += layer_bytes[l];
         }
-        ShardPlan { layer_to_shard, num_shards, shard_bytes }
+        ShardPlan {
+            layer_to_shard,
+            num_shards,
+            shard_bytes,
+        }
     }
 
     /// Load imbalance: max shard bytes / mean shard bytes (1.0 = perfect).
@@ -91,7 +99,7 @@ impl ShardPlan {
 mod tests {
     use super::*;
     use crate::config::NetworkConfig;
-    use dtrain_models::{vgg16, uniform_profile};
+    use dtrain_models::{uniform_profile, vgg16};
 
     #[test]
     fn single_shard_holds_everything() {
@@ -117,7 +125,11 @@ mod tests {
         // dominated by it — but it must not be *worse*.
         assert!(bal.imbalance() <= lw.imbalance());
         // With uniform layers, both are near-perfect.
-        let u: Vec<u64> = uniform_profile(16, 1000, 1).layers.iter().map(|l| l.bytes()).collect();
+        let u: Vec<u64> = uniform_profile(16, 1000, 1)
+            .layers
+            .iter()
+            .map(|l| l.bytes())
+            .collect();
         assert!(ShardPlan::layer_wise(&u, 4).imbalance() < 1.01);
         assert!(ShardPlan::balanced(&u, 4).imbalance() < 1.01);
     }

@@ -22,7 +22,7 @@ proptest! {
         cfg.machines = 4;
         let net = NetModel::new(&cfg);
         let mut now = SimTime::ZERO;
-        let mut last_tx = vec![SimTime::ZERO; 4];
+        let mut last_tx = [SimTime::ZERO; 4];
         for (src, dst, bytes, dt) in reqs {
             now += SimTime::from_nanos(dt);
             let delay = net.transfer_delay(now, NodeId(src), NodeId(dst), bytes);

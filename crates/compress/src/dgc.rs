@@ -80,7 +80,12 @@ pub struct DgcCompressor {
 
 impl DgcCompressor {
     pub fn new(cfg: DgcConfig, num_workers: usize) -> Self {
-        DgcCompressor { cfg, num_workers: num_workers.max(1), u: None, v: None }
+        DgcCompressor {
+            cfg,
+            num_workers: num_workers.max(1),
+            u: None,
+            v: None,
+        }
     }
 
     pub fn config(&self) -> &DgcConfig {
@@ -166,7 +171,7 @@ mod tests {
             momentum_correction: false,
             factor_masking: false,
             local_accumulation: true,
-            }
+        }
     }
 
     #[test]

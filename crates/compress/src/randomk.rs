@@ -26,7 +26,11 @@ pub struct RandomKCompressor {
 impl RandomKCompressor {
     pub fn new(sparsity: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&sparsity), "sparsity in [0,1)");
-        RandomKCompressor { sparsity, acc: None, rng: SmallRng::seed_from_u64(seed) }
+        RandomKCompressor {
+            sparsity,
+            acc: None,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Accumulate `grad` and emit a uniformly random subset of coordinates
@@ -40,8 +44,7 @@ impl RandomKCompressor {
         let mut tensors = Vec::with_capacity(acc.0.len());
         for t in &mut acc.0 {
             let len = t.len();
-            let k = (((len as f64) * (1.0 - self.sparsity)).round() as usize)
-                .clamp(1, len);
+            let k = (((len as f64) * (1.0 - self.sparsity)).round() as usize).clamp(1, len);
             let mut idx: Vec<u32> = (0..len as u32).collect();
             idx.shuffle(&mut self.rng);
             idx.truncate(k);
@@ -55,7 +58,11 @@ impl RandomKCompressor {
                     v
                 })
                 .collect();
-            tensors.push(SparseTensor { shape: t.shape().to_vec(), indices: idx, values });
+            tensors.push(SparseTensor {
+                shape: t.shape().to_vec(),
+                indices: idx,
+                values,
+            });
         }
         SparseUpdate { tensors }
     }
@@ -114,7 +121,9 @@ mod tests {
     fn deterministic_per_seed() {
         let run = |seed| {
             let mut c = RandomKCompressor::new(0.5, seed);
-            c.compress(&ps(&[1.0, 2.0, 3.0, 4.0])).tensors[0].indices.clone()
+            c.compress(&ps(&[1.0, 2.0, 3.0, 4.0])).tensors[0]
+                .indices
+                .clone()
         };
         assert_eq!(run(1), run(1));
         // different seeds eventually differ (4 choose 2 = 6 subsets; seeds
@@ -127,9 +136,7 @@ mod tests {
     fn topk_beats_randomk_at_equal_budget() {
         // One-shot approximation error on a skewed gradient: top-k keeps the
         // heavy coordinates, random-k usually misses them.
-        use crate::SparseTensor as _;
-        let skewed: Vec<f32> =
-            (0..64).map(|i| if i < 4 { 100.0 } else { 0.01 }).collect();
+        let skewed: Vec<f32> = (0..64).map(|i| if i < 4 { 100.0 } else { 0.01 }).collect();
         let t = Tensor::from_vec(&[64], skewed.clone());
         let top = crate::SparseTensor::top_k(&t, 4).to_dense();
         let mut rk = RandomKCompressor::new(1.0 - 4.0 / 64.0, 9);

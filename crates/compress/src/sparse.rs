@@ -18,7 +18,11 @@ impl SparseTensor {
         let data = t.data();
         let k = k.min(data.len());
         if k == 0 {
-            return SparseTensor { shape: t.shape().to_vec(), indices: vec![], values: vec![] };
+            return SparseTensor {
+                shape: t.shape().to_vec(),
+                indices: vec![],
+                values: vec![],
+            };
         }
         let mut order: Vec<u32> = (0..data.len() as u32).collect();
         // Partially sort so the first k indices hold the largest |values|;
@@ -33,7 +37,11 @@ impl SparseTensor {
         }
         order.sort_unstable(); // ascending index order on the wire
         let values = order.iter().map(|&i| data[i as usize]).collect();
-        SparseTensor { shape: t.shape().to_vec(), indices: order, values }
+        SparseTensor {
+            shape: t.shape().to_vec(),
+            indices: order,
+            values,
+        }
     }
 
     /// Densify back into a full tensor (zeros elsewhere).
@@ -83,7 +91,9 @@ mod ordered_float {
     }
     impl Ord for NotNanF32 {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.partial_cmp(&other.0).expect("NaNs filtered by caller")
+            self.0
+                .partial_cmp(&other.0)
+                .expect("NaNs filtered by caller")
         }
     }
 }
@@ -174,7 +184,9 @@ mod tests {
     #[test]
     fn update_wire_accounting() {
         let t = Tensor::from_vec(&[4], vec![9., 0., 0., 1.]);
-        let u = SparseUpdate { tensors: vec![SparseTensor::top_k(&t, 2); 3] };
+        let u = SparseUpdate {
+            tensors: vec![SparseTensor::top_k(&t, 2); 3],
+        };
         assert_eq!(u.nnz(), 6);
         assert_eq!(u.wire_bytes(), 48);
     }

@@ -12,19 +12,17 @@ pub struct Series {
 
 impl Series {
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 }
 
 /// Render multiple series into a fixed-size ASCII grid. Each series is
 /// drawn with its own glyph; y grows upward; axes are annotated with the
 /// data ranges.
-pub fn render_chart(
-    title: &str,
-    series: &[Series],
-    width: usize,
-    height: usize,
-) -> String {
+pub fn render_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
     assert!(width >= 16 && height >= 4, "chart too small to be legible");
     const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
     let pts = series.iter().flat_map(|s| s.points.iter());
@@ -72,12 +70,7 @@ pub fn render_chart(
         let line: String = row.iter().collect();
         let _ = writeln!(out, "{label:>margin$} |{line}");
     }
-    let _ = writeln!(
-        out,
-        "{:>margin$} +{}",
-        "",
-        "-".repeat(width),
-    );
+    let _ = writeln!(out, "{:>margin$} +{}", "", "-".repeat(width),);
     let _ = writeln!(
         out,
         "{:>margin$}  {:<w2$}{x1:.1}",
@@ -99,7 +92,10 @@ mod tests {
     use super::*;
 
     fn ramp(label: &str, slope: f64) -> Series {
-        Series::new(label, (0..20).map(|i| (i as f64, slope * i as f64)).collect())
+        Series::new(
+            label,
+            (0..20).map(|i| (i as f64, slope * i as f64)).collect(),
+        )
     }
 
     #[test]
@@ -114,12 +110,7 @@ mod tests {
 
     #[test]
     fn distinct_glyphs_per_series() {
-        let chart = render_chart(
-            "two",
-            &[ramp("a", 1.0), ramp("b", -1.0)],
-            40,
-            8,
-        );
+        let chart = render_chart("two", &[ramp("a", 1.0), ramp("b", -1.0)], 40, 8);
         assert!(chart.contains('*'));
         assert!(chart.contains('o'));
         assert!(chart.contains("* a"));
@@ -129,10 +120,7 @@ mod tests {
     #[test]
     fn monotone_series_lands_on_corners() {
         let chart = render_chart("corner", &[ramp("r", 2.0)], 30, 6);
-        let rows: Vec<&str> = chart
-            .lines()
-            .filter(|l| l.contains('|'))
-            .collect();
+        let rows: Vec<&str> = chart.lines().filter(|l| l.contains('|')).collect();
         // highest point on the top row, lowest on the bottom row
         assert!(rows.first().expect("rows").contains('*'));
         assert!(rows.last().expect("rows").contains('*'));

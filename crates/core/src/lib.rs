@@ -39,13 +39,14 @@ pub mod prelude {
     pub use crate::presets;
     pub use crate::report::{fmt_acc, fmt_secs, fmt_x, Table};
     pub use dtrain_algos::{
-        run, Algo, EpochPoint, OptimizationConfig, RealTraining, RunConfig,
-        RunOutput, StopCondition,
+        run, run_traced, Algo, EpochPoint, FaultConfig, OptimizationConfig, RealTraining,
+        RunConfig, RunOutput, StopCondition,
     };
-    pub use dtrain_cluster::{
-        Breakdown, ClusterConfig, NetworkConfig, Phase, ShardPlan, Straggler,
-    };
+    pub use dtrain_cluster::{Breakdown, ClusterConfig, NetworkConfig, Phase, ShardPlan};
     pub use dtrain_compress::DgcConfig;
+    pub use dtrain_faults::{
+        CheckpointStore, FaultEvent, FaultKind, FaultPlan, FaultSchedule, RecoveryPolicy,
+    };
     pub use dtrain_models::{resnet50, vgg16, ModelProfile};
 }
 

@@ -4,7 +4,9 @@
 //! produces the exact [`RunConfig`]s to execute; the `dtrain-bench` harness
 //! binaries drive these and print the resulting rows.
 
-use dtrain_algos::{Algo, OptimizationConfig, RealTraining, RunConfig, StopCondition, SyntheticTask};
+use dtrain_algos::{
+    Algo, OptimizationConfig, RealTraining, RunConfig, StopCondition, SyntheticTask,
+};
 use dtrain_cluster::{ClusterConfig, NetworkConfig};
 use dtrain_compress::DgcConfig;
 use dtrain_data::TeacherTaskConfig;
@@ -50,7 +52,10 @@ pub fn paper_algorithms() -> Vec<Algo> {
         Algo::Bsp,
         Algo::Asp,
         Algo::Ssp { staleness: 10 },
-        Algo::Easgd { tau: 8, alpha: None },
+        Algo::Easgd {
+            tau: 8,
+            alpha: None,
+        },
         Algo::ArSgd,
         Algo::GoSgd { p: 0.01 },
         Algo::AdPsgd,
@@ -86,14 +91,28 @@ impl Default for AccuracyScale {
         // paper's sweeps (1..24), keeping BSP rounds aligned. Batch 8 keeps
         // iterations-per-epoch high enough that staleness hyperparameters
         // (s, τ, p) are a small fraction of an epoch, as on ImageNet.
-        AccuracyScale { epochs: 30, train_size: 7680, test_size: 2048, batch: 8, base_lr: 0.008, seed: 11 }
+        AccuracyScale {
+            epochs: 30,
+            train_size: 7680,
+            test_size: 2048,
+            batch: 8,
+            base_lr: 0.008,
+            seed: 11,
+        }
     }
 }
 
 impl AccuracyScale {
     /// A faster variant for CI-sized runs.
     pub fn quick() -> Self {
-        AccuracyScale { epochs: 12, train_size: 2048, test_size: 512, batch: 32, base_lr: 0.02, seed: 11 }
+        AccuracyScale {
+            epochs: 12,
+            train_size: 2048,
+            test_size: 512,
+            batch: 32,
+            base_lr: 0.02,
+            seed: 11,
+        }
     }
 }
 
@@ -117,6 +136,7 @@ pub fn accuracy_run(algo: Algo, workers: usize, scale: &AccuracyScale) -> RunCon
         batch: 128,
         opts,
         stop: StopCondition::Epochs(scale.epochs),
+        faults: None,
         real: Some(RealTraining {
             task: SyntheticTask::Teacher(TeacherTaskConfig {
                 train_size: scale.train_size,
@@ -140,14 +160,9 @@ pub fn accuracy_run(algo: Algo, workers: usize, scale: &AccuracyScale) -> RunCon
 /// (ImageNet: ~37k iterations × 0.1 % ≈ 37 visits per coordinate). We pick
 /// the sparsity that preserves that visit count for this run's iteration
 /// budget, with a proportionally shortened warm-up.
-pub fn accuracy_run_with_dgc(
-    algo: Algo,
-    workers: usize,
-    scale: &AccuracyScale,
-) -> RunConfig {
+pub fn accuracy_run_with_dgc(algo: Algo, workers: usize, scale: &AccuracyScale) -> RunConfig {
     let mut cfg = accuracy_run(algo, workers, scale);
-    let iters_per_worker =
-        scale.epochs * (scale.train_size / workers / scale.batch) as u64;
+    let iters_per_worker = scale.epochs * (scale.train_size / workers / scale.batch) as u64;
     cfg.opts.dgc = Some(scaled_dgc(iters_per_worker));
     cfg
 }
@@ -194,6 +209,7 @@ pub fn scalability_run(
         batch: model.batch(),
         opts,
         stop: StopCondition::Iterations(iterations),
+        faults: None,
         real: None,
         seed: 3,
     }
@@ -225,10 +241,17 @@ pub fn optimization_run(
     level: usize,
     iterations: u64,
 ) -> RunConfig {
-    assert!(algo.is_centralized(), "Fig. 4 covers centralized algorithms");
+    assert!(
+        algo.is_centralized(),
+        "Fig. 4 covers centralized algorithms"
+    );
     let cluster = ClusterConfig::paper_with_workers(network, workers);
     let opts = OptimizationConfig {
-        ps_shards: if level >= 1 { 2 * cluster.machines } else { cluster.machines },
+        ps_shards: if level >= 1 {
+            2 * cluster.machines
+        } else {
+            cluster.machines
+        },
         balanced_sharding: false,
         wait_free_bp: level >= 2 && algo.communicates_gradients(),
         dgc: if level >= 3 && algo.communicates_gradients() {
@@ -247,6 +270,7 @@ pub fn optimization_run(
         batch: model.batch(),
         opts,
         stop: StopCondition::Iterations(iterations),
+        faults: None,
         real: None,
         seed: 4,
     }
@@ -300,7 +324,14 @@ mod tests {
         let scale = AccuracyScale::quick();
         let cfg = accuracy_run_with_dgc(Algo::Ssp { staleness: 3 }, 4, &scale);
         assert!(cfg.validate().is_ok());
-        let bad = accuracy_run_with_dgc(Algo::Easgd { tau: 8, alpha: None }, 4, &scale);
+        let bad = accuracy_run_with_dgc(
+            Algo::Easgd {
+                tau: 8,
+                alpha: None,
+            },
+            4,
+            &scale,
+        );
         assert!(bad.validate().is_err());
     }
 
@@ -313,8 +344,22 @@ mod tests {
 
     #[test]
     fn optimization_levels_nest() {
-        let l0 = optimization_run(Algo::Asp, PaperModel::ResNet50, 8, NetworkConfig::TEN_GBPS, 0, 5);
-        let l3 = optimization_run(Algo::Asp, PaperModel::ResNet50, 8, NetworkConfig::TEN_GBPS, 3, 5);
+        let l0 = optimization_run(
+            Algo::Asp,
+            PaperModel::ResNet50,
+            8,
+            NetworkConfig::TEN_GBPS,
+            0,
+            5,
+        );
+        let l3 = optimization_run(
+            Algo::Asp,
+            PaperModel::ResNet50,
+            8,
+            NetworkConfig::TEN_GBPS,
+            3,
+            5,
+        );
         assert_eq!(l0.opts.ps_shards, l0.cluster.machines, "1 PS per machine");
         assert!(!l0.opts.wait_free_bp);
         assert!(l0.opts.dgc.is_none());

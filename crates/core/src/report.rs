@@ -5,10 +5,8 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use serde::Serialize;
-
 /// A rectangular table with a title, rendered to console or CSV.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     pub title: String,
     pub headers: Vec<String>,
@@ -68,7 +66,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -143,7 +145,7 @@ mod tests {
     #[test]
     fn formatters() {
         assert_eq!(fmt_acc(0.75109), "0.7511");
-        assert_eq!(fmt_x(3.14159), "3.14x");
+        assert_eq!(fmt_x(2.3456), "2.35x");
         assert_eq!(fmt_secs(0.1234), "0.123s");
     }
 

@@ -30,8 +30,17 @@ impl Dataset {
             labels.len() * sample_len,
             "inputs/labels size mismatch"
         );
-        assert!(labels.iter().all(|&y| y < num_classes), "label out of range");
-        Dataset { sample_shape, sample_len, inputs, labels, num_classes }
+        assert!(
+            labels.iter().all(|&y| y < num_classes),
+            "label out of range"
+        );
+        Dataset {
+            sample_shape,
+            sample_len,
+            inputs,
+            labels,
+            num_classes,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -84,7 +93,9 @@ impl Dataset {
         let rem = n % num_workers;
         let start = worker * base + worker.min(rem);
         let len = base + usize::from(worker < rem);
-        Shard { indices: (start..start + len).collect() }
+        Shard {
+            indices: (start..start + len).collect(),
+        }
     }
 }
 
@@ -109,12 +120,7 @@ impl Shard {
 
     /// Iterator over the shard's batches for one epoch, shuffled
     /// deterministically by `(seed, epoch)`. The last short batch is kept.
-    pub fn epoch_batches(
-        &self,
-        batch_size: usize,
-        seed: u64,
-        epoch: u64,
-    ) -> Vec<Vec<usize>> {
+    pub fn epoch_batches(&self, batch_size: usize, seed: u64, epoch: u64) -> Vec<Vec<usize>> {
         assert!(batch_size > 0);
         let mut order = self.indices.clone();
         let mut rng = SmallRng::seed_from_u64(seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -150,7 +156,7 @@ mod tests {
     #[test]
     fn shards_are_disjoint_and_cover() {
         let d = ds(10);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for w in 0..3 {
             for &i in d.shard(w, 3).indices() {
                 assert!(!seen[i], "index {i} in two shards");

@@ -9,6 +9,4 @@ mod dataset;
 mod synth;
 
 pub use dataset::{Dataset, Shard};
-pub use synth::{
-    prototype_images, teacher_task, ImageTaskConfig, TeacherTaskConfig,
-};
+pub use synth::{prototype_images, teacher_task, ImageTaskConfig, TeacherTaskConfig};

@@ -48,11 +48,22 @@ impl Default for TeacherTaskConfig {
 
 /// Generate `(train, test)` datasets from a frozen random teacher.
 pub fn teacher_task(cfg: &TeacherTaskConfig) -> (Dataset, Dataset) {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(1));
+    let mut rng =
+        SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(1));
     let mut teacher = Network::new(vec![
-        Box::new(Dense::new("t0", cfg.input_dim, cfg.teacher_hidden, &mut rng)),
+        Box::new(Dense::new(
+            "t0",
+            cfg.input_dim,
+            cfg.teacher_hidden,
+            &mut rng,
+        )),
         Box::new(Relu::new("tr")),
-        Box::new(Dense::new("t1", cfg.teacher_hidden, cfg.num_classes, &mut rng)),
+        Box::new(Dense::new(
+            "t1",
+            cfg.teacher_hidden,
+            cfg.num_classes,
+            &mut rng,
+        )),
     ]);
     let mut make = |n: usize, noise: f32, rng: &mut SmallRng| {
         let x = Tensor::randn(&[n, cfg.input_dim], 1.0, rng);
@@ -65,12 +76,7 @@ pub fn teacher_task(cfg: &TeacherTaskConfig) -> (Dataset, Dataset) {
                 }
             }
         }
-        Dataset::new(
-            vec![cfg.input_dim],
-            x.into_vec(),
-            labels,
-            cfg.num_classes,
-        )
+        Dataset::new(vec![cfg.input_dim], x.into_vec(), labels, cfg.num_classes)
     };
     let train = make(cfg.train_size, cfg.label_noise, &mut rng);
     let test = make(cfg.test_size, 0.0, &mut rng);
@@ -106,7 +112,8 @@ impl Default for ImageTaskConfig {
 
 /// Generate `(train, test)` image datasets: per-class prototypes + noise.
 pub fn prototype_images(cfg: &ImageTaskConfig) -> (Dataset, Dataset) {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0xD6E8_FEB8_6659_FD93).wrapping_add(3));
+    let mut rng =
+        SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0xD6E8_FEB8_6659_FD93).wrapping_add(3));
     let sample_len = cfg.channels * cfg.side * cfg.side;
     let prototypes: Vec<Tensor> = (0..cfg.num_classes)
         .map(|_| Tensor::randn(&[sample_len], 1.0, &mut rng))
@@ -148,7 +155,11 @@ mod tests {
 
     #[test]
     fn teacher_task_is_reproducible() {
-        let cfg = TeacherTaskConfig { train_size: 64, test_size: 32, ..Default::default() };
+        let cfg = TeacherTaskConfig {
+            train_size: 64,
+            test_size: 32,
+            ..Default::default()
+        };
         let (a_train, a_test) = teacher_task(&cfg);
         let (b_train, _) = teacher_task(&cfg);
         let (xa, ya) = a_train.as_batch();
@@ -173,13 +184,28 @@ mod tests {
             counts[train.label(i)] += 1;
         }
         let used = counts.iter().filter(|&&c| c > 0).count();
-        assert!(used >= 8, "teacher should produce a rich label set, got {counts:?}");
+        assert!(
+            used >= 8,
+            "teacher should produce a rich label set, got {counts:?}"
+        );
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = teacher_task(&TeacherTaskConfig { train_size: 16, test_size: 4, seed: 1, ..Default::default() }).0;
-        let b = teacher_task(&TeacherTaskConfig { train_size: 16, test_size: 4, seed: 2, ..Default::default() }).0;
+        let a = teacher_task(&TeacherTaskConfig {
+            train_size: 16,
+            test_size: 4,
+            seed: 1,
+            ..Default::default()
+        })
+        .0;
+        let b = teacher_task(&TeacherTaskConfig {
+            train_size: 16,
+            test_size: 4,
+            seed: 2,
+            ..Default::default()
+        })
+        .0;
         let (xa, _) = a.as_batch();
         let (xb, _) = b.as_batch();
         assert_ne!(xa.data(), xb.data());
@@ -187,7 +213,11 @@ mod tests {
 
     #[test]
     fn image_task_shapes() {
-        let cfg = ImageTaskConfig { train_size: 32, test_size: 8, ..Default::default() };
+        let cfg = ImageTaskConfig {
+            train_size: 32,
+            test_size: 8,
+            ..Default::default()
+        };
         let (train, test) = prototype_images(&cfg);
         assert_eq!(train.sample_shape(), &[1, 12, 12]);
         let (x, y) = test.gather(&[0, 1, 2]);
@@ -197,7 +227,12 @@ mod tests {
 
     #[test]
     fn image_classes_are_balanced() {
-        let cfg = ImageTaskConfig { train_size: 64, test_size: 8, num_classes: 8, ..Default::default() };
+        let cfg = ImageTaskConfig {
+            train_size: 64,
+            test_size: 8,
+            num_classes: 8,
+            ..Default::default()
+        };
         let (train, _) = prototype_images(&cfg);
         let mut counts = vec![0usize; 8];
         for i in 0..train.len() {

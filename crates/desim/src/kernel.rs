@@ -103,7 +103,7 @@ impl<M> Ord for Event<M> {
 pub struct TraceRecord {
     pub time: SimTime,
     pub pid: Pid,
-    /// 0 = resume, 1 = deliver.
+    /// 0 = resume, 1 = deliver, 2 = kill, 3 = spawn.
     pub kind: u8,
 }
 
@@ -120,7 +120,19 @@ struct Shared<M> {
     /// Messages sent to already-finished processes.
     dead_letters: u64,
     events_processed: u64,
+    /// Processes killed via [`Ctx::kill`], awaiting scheduler-side teardown.
+    doomed: VecDeque<Pid>,
+    kills: u64,
     trace: Option<Vec<TraceRecord>>,
+}
+
+/// Thread-side bookkeeping for every spawned process, shared between the
+/// [`Simulation`] driver and [`Ctx`] handles so processes can spawn peers
+/// mid-run (crash *respawn* in fault experiments).
+struct Registry {
+    go_txs: Vec<Sender<Go>>,
+    threads: Vec<Option<JoinHandle<()>>>,
+    names: Vec<String>,
 }
 
 impl<M> Shared<M> {
@@ -136,6 +148,7 @@ impl<M> Shared<M> {
 pub struct Ctx<M: Send + 'static> {
     pid: Pid,
     shared: Arc<Mutex<Shared<M>>>,
+    registry: Arc<Mutex<Registry>>,
     go_rx: Receiver<Go>,
     yield_tx: Sender<(Pid, Yield)>,
 }
@@ -246,6 +259,130 @@ impl<M: Send + 'static> Ctx<M> {
     pub fn mailbox_len(&self) -> usize {
         self.shared.lock().mailboxes[self.pid.index()].len()
     }
+
+    /// Whether `pid` is a live (spawned, not finished, not killed) process.
+    pub fn is_live(&self, pid: Pid) -> bool {
+        let sh = self.shared.lock();
+        pid.index() < sh.states.len()
+            && !matches!(sh.states[pid.index()], ProcState::Finished)
+            && !sh.doomed.contains(&pid)
+    }
+
+    /// Kill another process at the current virtual instant (fault
+    /// injection). The victim's mailbox is discarded and its thread unwound
+    /// before any further event is processed; events already queued for it
+    /// become dead letters. Returns `false` if the victim had already
+    /// finished (or was already killed). Killing yourself is not supported —
+    /// return from the process body instead.
+    pub fn kill(&self, victim: Pid) -> bool {
+        assert_ne!(victim, self.pid, "a process cannot kill itself");
+        let mut sh = self.shared.lock();
+        if victim.index() >= sh.states.len()
+            || matches!(sh.states[victim.index()], ProcState::Finished)
+            || sh.doomed.contains(&victim)
+        {
+            return false;
+        }
+        sh.kills += 1;
+        let now = sh.now;
+        if let Some(tr) = sh.trace.as_mut() {
+            tr.push(TraceRecord {
+                time: now,
+                pid: victim,
+                kind: 2,
+            });
+        }
+        sh.doomed.push_back(victim);
+        true
+    }
+
+    /// Spawn a new process mid-run (crash *respawn* in fault experiments).
+    /// The body starts executing at the current virtual time; the new pid
+    /// extends the dense pid space.
+    pub fn spawn<F>(&self, name: impl Into<String>, body: F) -> Pid
+    where
+        F: FnOnce(Ctx<M>) + Send + 'static,
+    {
+        let start_at = self.shared.lock().now;
+        spawn_process(
+            &self.shared,
+            &self.registry,
+            &self.yield_tx,
+            start_at,
+            name.into(),
+            body,
+        )
+    }
+}
+
+/// Shared spawn path for [`Simulation::spawn`] (at t=0, pre-run) and
+/// [`Ctx::spawn`] (mid-run, at the current instant).
+fn spawn_process<M, F>(
+    shared: &Arc<Mutex<Shared<M>>>,
+    registry: &Arc<Mutex<Registry>>,
+    yield_tx: &Sender<(Pid, Yield)>,
+    start_at: SimTime,
+    name: String,
+    body: F,
+) -> Pid
+where
+    M: Send + 'static,
+    F: FnOnce(Ctx<M>) + Send + 'static,
+{
+    let (go_tx, go_rx) = bounded(1);
+    let pid = {
+        let mut reg = registry.lock();
+        let mut sh = shared.lock();
+        let pid = Pid(reg.threads.len());
+        sh.mailboxes.push(VecDeque::new());
+        sh.states.push(ProcState::Holding);
+        sh.push_event(start_at, EventKind::Resume(pid));
+        if start_at > SimTime::ZERO {
+            if let Some(tr) = sh.trace.as_mut() {
+                tr.push(TraceRecord {
+                    time: start_at,
+                    pid,
+                    kind: 3,
+                });
+            }
+        }
+        reg.go_txs.push(go_tx);
+        reg.names.push(name.clone());
+        // Reserve the slot before the thread handle exists so a re-entrant
+        // spawn from another thread can't race the pid.
+        reg.threads.push(None);
+        pid
+    };
+    let ctx = Ctx {
+        pid,
+        shared: Arc::clone(shared),
+        registry: Arc::clone(registry),
+        go_rx,
+        yield_tx: yield_tx.clone(),
+    };
+    let thread_yield_tx = yield_tx.clone();
+    let handle = std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            // Wait for the first Go before touching anything.
+            match ctx.go_rx.recv() {
+                Ok(Go::Run) => {}
+                Ok(Go::Stop) | Err(_) => {
+                    let _ = thread_yield_tx.send((pid, Yield::Stopped));
+                    return;
+                }
+            }
+            let r = panic::catch_unwind(AssertUnwindSafe(|| body(ctx)));
+            let msg = match r {
+                Ok(()) => Yield::Finished,
+                Err(p) if p.is::<ShutdownToken>() => Yield::Stopped,
+                Err(p) => Yield::Panicked(p),
+            };
+            let _ = thread_yield_tx.send((pid, msg));
+        })
+        .expect("failed to spawn simulation process thread");
+    registry.lock().threads[pid.index()] = Some(handle);
+    pid
 }
 
 /// Why a simulation run ended.
@@ -269,6 +406,8 @@ pub struct SimStats {
     pub events_processed: u64,
     /// Messages addressed to processes that had already finished.
     pub dead_letters: u64,
+    /// Processes torn down via [`Ctx::kill`] (fault injection).
+    pub kills: u64,
     /// Pids still blocked when the run ended (non-empty on deadlock/limit).
     pub blocked: Vec<Pid>,
     /// Deterministic event trace, if tracing was enabled.
@@ -287,11 +426,9 @@ pub struct RunLimits {
 /// A configured simulation: spawn processes, then [`run`](Simulation::run).
 pub struct Simulation<M: Send + 'static> {
     shared: Arc<Mutex<Shared<M>>>,
+    registry: Arc<Mutex<Registry>>,
     yield_tx: Sender<(Pid, Yield)>,
     yield_rx: Receiver<(Pid, Yield)>,
-    go_txs: Vec<Sender<Go>>,
-    threads: Vec<Option<JoinHandle<()>>>,
-    names: Vec<String>,
 }
 
 impl<M: Send + 'static> Default for Simulation<M> {
@@ -312,13 +449,17 @@ impl<M: Send + 'static> Simulation<M> {
                 next_seq: 0,
                 dead_letters: 0,
                 events_processed: 0,
+                doomed: VecDeque::new(),
+                kills: 0,
                 trace: None,
+            })),
+            registry: Arc::new(Mutex::new(Registry {
+                go_txs: Vec::new(),
+                threads: Vec::new(),
+                names: Vec::new(),
             })),
             yield_tx,
             yield_rx,
-            go_txs: Vec::new(),
-            threads: Vec::new(),
-            names: Vec::new(),
         }
     }
 
@@ -329,53 +470,20 @@ impl<M: Send + 'static> Simulation<M> {
     }
 
     /// Spawn a process. The body runs when `run` is called; it starts at
-    /// virtual time zero.
+    /// virtual time zero. (Processes themselves can spawn more mid-run via
+    /// [`Ctx::spawn`].)
     pub fn spawn<F>(&mut self, name: impl Into<String>, body: F) -> Pid
     where
         F: FnOnce(Ctx<M>) + Send + 'static,
     {
-        let pid = Pid(self.threads.len());
-        let (go_tx, go_rx) = bounded(1);
-        {
-            let mut sh = self.shared.lock();
-            sh.mailboxes.push(VecDeque::new());
-            sh.states.push(ProcState::Holding);
-            // Initial resume event: every process starts at t=0 in spawn order.
-            sh.push_event(SimTime::ZERO, EventKind::Resume(pid));
-        }
-        let ctx = Ctx {
-            pid,
-            shared: Arc::clone(&self.shared),
-            go_rx,
-            yield_tx: self.yield_tx.clone(),
-        };
-        let name_s: String = name.into();
-        let thread_name = name_s.clone();
-        let yield_tx = self.yield_tx.clone();
-        let handle = std::thread::Builder::new()
-            .name(thread_name)
-            .spawn(move || {
-                // Wait for the first Go before touching anything.
-                match ctx.go_rx.recv() {
-                    Ok(Go::Run) => {}
-                    Ok(Go::Stop) | Err(_) => {
-                        let _ = yield_tx.send((pid, Yield::Stopped));
-                        return;
-                    }
-                }
-                let r = panic::catch_unwind(AssertUnwindSafe(|| body(ctx)));
-                let msg = match r {
-                    Ok(()) => Yield::Finished,
-                    Err(p) if p.is::<ShutdownToken>() => Yield::Stopped,
-                    Err(p) => Yield::Panicked(p),
-                };
-                let _ = yield_tx.send((pid, msg));
-            })
-            .expect("failed to spawn simulation process thread");
-        self.go_txs.push(go_tx);
-        self.threads.push(Some(handle));
-        self.names.push(name_s);
-        pid
+        spawn_process(
+            &self.shared,
+            &self.registry,
+            &self.yield_tx,
+            SimTime::ZERO,
+            name.into(),
+            body,
+        )
     }
 
     /// Run to completion (or deadlock). Panics from process bodies are
@@ -387,7 +495,7 @@ impl<M: Send + 'static> Simulation<M> {
     /// Run with event/time limits; see [`RunLimits`].
     pub fn run_with_limits(mut self, limits: RunLimits) -> SimStats {
         let reason = self.schedule_loop(limits);
-        let (end_time, events, dead, blocked, trace) = {
+        let (end_time, events, dead, kills, blocked, trace) = {
             let mut sh = self.shared.lock();
             let blocked: Vec<Pid> = sh
                 .states
@@ -400,6 +508,7 @@ impl<M: Send + 'static> Simulation<M> {
                 sh.now,
                 sh.events_processed,
                 sh.dead_letters,
+                sh.kills,
                 blocked,
                 sh.trace.take(),
             )
@@ -410,6 +519,7 @@ impl<M: Send + 'static> Simulation<M> {
             end_time,
             events_processed: events,
             dead_letters: dead,
+            kills,
             blocked: if reason == StopReason::Completed {
                 Vec::new()
             } else {
@@ -429,8 +539,7 @@ impl<M: Send + 'static> Simulation<M> {
                 let mut sh = self.shared.lock();
                 loop {
                     let Some(ev) = sh.queue.pop() else {
-                        let any_live =
-                            sh.states.iter().any(|s| !matches!(s, ProcState::Finished));
+                        let any_live = sh.states.iter().any(|s| !matches!(s, ProcState::Finished));
                         return if any_live {
                             StopReason::Deadlock
                         } else {
@@ -456,7 +565,11 @@ impl<M: Send + 'static> Simulation<M> {
                             }
                             sh.now = ev.time;
                             if let Some(tr) = sh.trace.as_mut() {
-                                tr.push(TraceRecord { time: ev.time, pid, kind: 1 });
+                                tr.push(TraceRecord {
+                                    time: ev.time,
+                                    pid,
+                                    kind: 1,
+                                });
                             }
                             sh.mailboxes[pid.index()].push_back(msg);
                             if matches!(sh.states[pid.index()], ProcState::WaitingRecv) {
@@ -470,21 +583,28 @@ impl<M: Send + 'static> Simulation<M> {
                             }
                             sh.now = ev.time;
                             if let Some(tr) = sh.trace.as_mut() {
-                                tr.push(TraceRecord { time: ev.time, pid, kind: 0 });
+                                tr.push(TraceRecord {
+                                    time: ev.time,
+                                    pid,
+                                    kind: 0,
+                                });
                             }
                             break (ev.time, EventKind::Resume(pid));
                         }
                     }
                 }
             };
-            let EventKind::Resume(pid) = kind else { unreachable!() };
+            let EventKind::Resume(pid) = kind else {
+                unreachable!()
+            };
             let _ = time;
             // Hand the baton to the process and wait for it to yield back.
             {
                 let mut sh = self.shared.lock();
                 sh.states[pid.index()] = ProcState::Running;
             }
-            self.go_txs[pid.index()]
+            let go_tx = self.registry.lock().go_txs[pid.index()].clone();
+            go_tx
                 .send(Go::Run)
                 .expect("process thread died unexpectedly");
             let (ypid, y) = self.yield_rx.recv().expect("all processes vanished");
@@ -495,13 +615,15 @@ impl<M: Send + 'static> Simulation<M> {
                 }
                 Yield::Finished | Yield::Stopped => {
                     self.shared.lock().states[pid.index()] = ProcState::Finished;
-                    if let Some(h) = self.threads[pid.index()].take() {
+                    let handle = self.registry.lock().threads[pid.index()].take();
+                    if let Some(h) = handle {
                         let _ = h.join();
                     }
                 }
                 Yield::Panicked(payload) => {
                     self.shared.lock().states[pid.index()] = ProcState::Finished;
-                    if let Some(h) = self.threads[pid.index()].take() {
+                    let handle = self.registry.lock().threads[pid.index()].take();
+                    if let Some(h) = handle {
                         let _ = h.join();
                     }
                     // Tear down remaining processes, then re-raise.
@@ -515,23 +637,67 @@ impl<M: Send + 'static> Simulation<M> {
                             .collect()
                     };
                     self.teardown(&blocked);
-                    eprintln!(
-                        "desim: process '{}' panicked; re-raising",
-                        self.names[pid.index()]
-                    );
+                    let name = self.registry.lock().names[pid.index()].clone();
+                    eprintln!("desim: process '{name}' panicked; re-raising");
                     panic::resume_unwind(payload);
                 }
             }
+            // Execute any kills the process requested while it ran: unwind
+            // the victims' threads before the next event so the kill takes
+            // effect at the current instant, deterministically.
+            self.reap_doomed();
+        }
+    }
+
+    /// Unwind and join every process queued in `doomed` by [`Ctx::kill`].
+    /// Victims are parked (only one process runs at a time), so a `Stop`
+    /// resume unwinds them via the shutdown token. Their mailboxes are
+    /// discarded; queued events targeting them count as dead letters when
+    /// popped.
+    fn reap_doomed(&mut self) {
+        loop {
+            let victim = {
+                let mut sh = self.shared.lock();
+                match sh.doomed.pop_front() {
+                    Some(v) => v,
+                    None => return,
+                }
+            };
+            if matches!(
+                self.shared.lock().states[victim.index()],
+                ProcState::Finished
+            ) {
+                continue;
+            }
+            let go_tx = self.registry.lock().go_txs[victim.index()].clone();
+            let _ = go_tx.send(Go::Stop);
+            match self.yield_rx.recv() {
+                Ok((p, Yield::Stopped)) | Ok((p, Yield::Finished)) => {
+                    debug_assert_eq!(p, victim);
+                }
+                Ok((_, Yield::Panicked(_))) | Ok((_, Yield::Parked)) | Err(_) => {}
+            }
+            let handle = self.registry.lock().threads[victim.index()].take();
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
+            let mut sh = self.shared.lock();
+            sh.states[victim.index()] = ProcState::Finished;
+            sh.mailboxes[victim.index()].clear();
         }
     }
 
     /// Stop all still-live processes and join their threads.
     fn teardown(&mut self, blocked: &[Pid]) {
         for &pid in blocked {
-            if self.threads[pid.index()].is_none() {
-                continue;
-            }
-            let _ = self.go_txs[pid.index()].send(Go::Stop);
+            let go_tx = {
+                let reg = self.registry.lock();
+                if reg.threads[pid.index()].is_none() {
+                    continue;
+                }
+                reg.go_txs[pid.index()].clone()
+            };
+            let _ = go_tx.send(Go::Stop);
             // Wait for the Stopped acknowledgement so the thread exits
             // deterministically before we join it.
             match self.yield_rx.recv() {
@@ -540,7 +706,8 @@ impl<M: Send + 'static> Simulation<M> {
                 }
                 Ok((_, Yield::Panicked(_))) | Ok((_, Yield::Parked)) | Err(_) => {}
             }
-            if let Some(h) = self.threads[pid.index()].take() {
+            let handle = self.registry.lock().threads[pid.index()].take();
+            if let Some(h) = handle {
                 let _ = h.join();
             }
             self.shared.lock().states[pid.index()] = ProcState::Finished;
@@ -611,7 +778,7 @@ mod tests {
     fn deadlock_detected() {
         let mut sim: Simulation<()> = Simulation::new();
         sim.spawn("stuck", |ctx| {
-            let _ = ctx.recv(); // no one ever sends
+            ctx.recv(); // no one ever sends
         });
         let stats = sim.run();
         assert_eq!(stats.reason, StopReason::Deadlock);
@@ -684,7 +851,7 @@ mod tests {
         let mut sim: Simulation<()> = Simulation::new();
         sim.spawn("bad", |_ctx| panic!("boom"));
         sim.spawn("innocent", |ctx| {
-            let _ = ctx.recv();
+            ctx.recv();
         });
         sim.run();
     }
@@ -737,13 +904,125 @@ mod tests {
     }
 
     #[test]
+    fn kill_unwinds_blocked_process() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        let victim = sim.spawn("victim", |ctx| {
+            let _ = ctx.recv(); // would deadlock without the kill
+        });
+        sim.spawn("killer", move |ctx| {
+            ctx.advance(SimTime::from_millis(5));
+            assert!(ctx.is_live(victim));
+            assert!(ctx.kill(victim));
+            assert!(!ctx.is_live(victim));
+        });
+        let stats = sim.run();
+        assert_eq!(stats.reason, StopReason::Completed);
+        assert_eq!(stats.kills, 1);
+    }
+
+    #[test]
+    fn messages_to_killed_process_are_dead_letters() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        let victim = sim.spawn("victim", |ctx| {
+            ctx.recv();
+        });
+        sim.spawn("killer", move |ctx| {
+            ctx.advance(SimTime::from_millis(1));
+            ctx.kill(victim);
+            // Arrives after the kill: must be dropped, not delivered.
+            ctx.send(victim, SimTime::from_millis(1), 5);
+        });
+        let stats = sim.run();
+        assert_eq!(stats.reason, StopReason::Completed);
+        assert_eq!(stats.dead_letters, 1);
+    }
+
+    #[test]
+    fn kill_finished_process_is_noop() {
+        let mut sim: Simulation<()> = Simulation::new();
+        let early = sim.spawn("early", |_ctx| {});
+        sim.spawn("late", move |ctx| {
+            ctx.advance(SimTime::from_secs(1));
+            assert!(!ctx.kill(early));
+        });
+        let stats = sim.run();
+        assert_eq!(stats.kills, 0);
+    }
+
+    #[test]
+    fn respawn_mid_run_starts_at_current_time() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        sim.spawn("parent", move |ctx| {
+            ctx.advance(SimTime::from_millis(10));
+            let log3 = Arc::clone(&log2);
+            let child = ctx.spawn("child", move |cctx| {
+                log3.lock().push(("child-start", cctx.now()));
+                let m = cctx.recv();
+                log3.lock().push(("child-recv", cctx.now()));
+                assert_eq!(m, 77);
+            });
+            assert_eq!(child, Pid(1));
+            ctx.send(child, SimTime::from_millis(5), 77);
+        });
+        let stats = sim.run();
+        assert_eq!(stats.reason, StopReason::Completed);
+        assert_eq!(
+            *log.lock(),
+            vec![
+                ("child-start", SimTime::from_millis(10)),
+                ("child-recv", SimTime::from_millis(15)),
+            ]
+        );
+    }
+
+    #[test]
+    fn kill_and_respawn_cycle() {
+        // Crash/restart pattern: a daemon kills a worker, then respawns a
+        // replacement that picks up where the checkpoint left off.
+        let mut sim: Simulation<u32> = Simulation::new();
+        let progress = Arc::new(Mutex::new(Vec::new()));
+        let p2 = Arc::clone(&progress);
+        let worker = sim.spawn("worker", move |ctx| loop {
+            ctx.advance(SimTime::from_millis(10));
+            p2.lock().push(("w0", ctx.now()));
+        });
+        let p3 = Arc::clone(&progress);
+        sim.spawn("daemon", move |ctx| {
+            ctx.advance(SimTime::from_millis(25));
+            assert!(ctx.kill(worker));
+            ctx.advance(SimTime::from_millis(20));
+            let p4 = Arc::clone(&p3);
+            ctx.spawn("worker-restarted", move |wctx| {
+                for _ in 0..2 {
+                    wctx.advance(SimTime::from_millis(10));
+                    p4.lock().push(("w1", wctx.now()));
+                }
+            });
+        });
+        let stats = sim.run();
+        assert_eq!(stats.reason, StopReason::Completed);
+        assert_eq!(stats.kills, 1);
+        assert_eq!(
+            *progress.lock(),
+            vec![
+                ("w0", SimTime::from_millis(10)),
+                ("w0", SimTime::from_millis(20)),
+                ("w1", SimTime::from_millis(55)),
+                ("w1", SimTime::from_millis(65)),
+            ]
+        );
+    }
+
+    #[test]
     fn tracing_is_deterministic_across_runs() {
         fn trace_once() -> Vec<TraceRecord> {
             let mut sim: Simulation<u32> = Simulation::new();
             sim.enable_tracing();
             let rx = sim.spawn("rx", |ctx| {
                 for _ in 0..4 {
-                    let _ = ctx.recv();
+                    ctx.recv();
                 }
             });
             for i in 0..2u64 {

@@ -40,7 +40,5 @@
 mod kernel;
 mod time;
 
-pub use kernel::{
-    Ctx, Pid, RunLimits, SimStats, Simulation, StopReason, TraceRecord,
-};
+pub use kernel::{Ctx, Pid, RunLimits, SimStats, Simulation, StopReason, TraceRecord};
 pub use time::SimTime;

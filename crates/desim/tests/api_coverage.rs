@@ -74,7 +74,10 @@ fn fan_in_of_many_processes_completes_in_order() {
     assert_eq!(stats.reason, StopReason::Completed);
     let ts = times.lock();
     assert_eq!(ts.len(), n * 5);
-    assert!(ts.windows(2).all(|w| w[0] <= w[1]), "sink saw time reversal");
+    assert!(
+        ts.windows(2).all(|w| w[0] <= w[1]),
+        "sink saw time reversal"
+    );
 }
 
 #[test]

@@ -29,7 +29,7 @@ fn deadlocked_processes_are_torn_down() {
             live.fetch_add(1, Ordering::SeqCst);
             sim.spawn(format!("stuck{round}_{i}"), move |ctx| {
                 let _guard = Guard(live);
-                let _ = ctx.recv(); // nobody ever sends
+                ctx.recv(); // nobody ever sends
             });
         }
         let stats = sim.run();
@@ -77,7 +77,7 @@ fn panic_teardown_joins_survivors() {
             live.fetch_add(1, Ordering::SeqCst);
             sim.spawn(format!("victim{i}"), move |ctx| {
                 let _guard = Guard(live);
-                let _ = ctx.recv();
+                ctx.recv();
             });
         }
         {

@@ -1,0 +1,11 @@
+//! # dtrain-faults
+//!
+//! Deterministic fault injection for distributed-training experiments.
+
+mod checkpoint;
+mod schedule;
+
+pub use checkpoint::{CheckpointStore, WorkerCheckpoint};
+pub use schedule::{
+    FaultEvent, FaultKind, FaultPlan, FaultSchedule, RecoveryPolicy, RuntimeFaultSchedule,
+};

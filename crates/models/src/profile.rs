@@ -82,7 +82,11 @@ fn conv(
 ) -> LayerProfile {
     let params = (k * k * c_in * c_out) as u64; // conv weights (bias folded into BN)
     let fwd = 2 * params * (out_hw * out_hw) as u64;
-    LayerProfile { name: name.into(), params, fwd_flops: fwd }
+    LayerProfile {
+        name: name.into(),
+        params,
+        fwd_flops: fwd,
+    }
 }
 
 fn batchnorm(name: impl Into<String>, channels: usize, out_hw: usize) -> LayerProfile {
@@ -139,7 +143,10 @@ pub fn resnet50() -> ModelProfile {
         }
     }
     layers.push(fc("fc1000", 2048, 1000));
-    ModelProfile { name: "ResNet-50".into(), layers }
+    ModelProfile {
+        name: "ResNet-50".into(),
+        layers,
+    }
 }
 
 /// VGG-16 for 224×224 ImageNet input (Simonyan & Zisserman 2015): the
@@ -173,7 +180,10 @@ pub fn vgg16() -> ModelProfile {
     layers.push(fc("fc6", 512 * 7 * 7, 4096));
     layers.push(fc("fc7", 4096, 4096));
     layers.push(fc("fc8", 4096, 1000));
-    ModelProfile { name: "VGG-16".into(), layers }
+    ModelProfile {
+        name: "VGG-16".into(),
+        layers,
+    }
 }
 
 /// A synthetic profile with `n` equal layers — useful for controlled
@@ -262,7 +272,11 @@ mod tests {
         let m = resnet50();
         // 1 stem conv + 16 blocks × 3 convs + 4 projections = 53 convs,
         // plus matching BNs, plus fc = 107 shardable layers.
-        let convs = m.layers.iter().filter(|l| l.name.contains("conv") || l.name.contains("branch")).count();
+        let convs = m
+            .layers
+            .iter()
+            .filter(|l| l.name.contains("conv") || l.name.contains("branch"))
+            .count();
         assert_eq!(convs, 53);
         assert_eq!(m.layers.len(), 107);
     }

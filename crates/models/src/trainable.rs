@@ -6,7 +6,9 @@
 //! networks with *real* math while the virtual clock is driven by the
 //! full-size profiles from [`crate::profile`].
 
-use dtrain_nn::{BatchNorm2d, Conv2d, Dense, Flatten, Layer as _, MaxPool2d, Network, Relu, Residual};
+use dtrain_nn::{
+    BatchNorm2d, Conv2d, Dense, Flatten, Layer as _, MaxPool2d, Network, Relu, Residual,
+};
 use dtrain_tensor::Conv2dSpec;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -15,12 +17,7 @@ use rand::SeedableRng;
 /// All workers must build their replica with the same `seed` so they start
 /// from identical parameters (as a broadcast from worker 0 would ensure in
 /// a real system).
-pub fn mlp_classifier(
-    input_dim: usize,
-    hidden: &[usize],
-    classes: usize,
-    seed: u64,
-) -> Network {
+pub fn mlp_classifier(input_dim: usize, hidden: &[usize], classes: usize, seed: u64) -> Network {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut layers: Vec<Box<dyn dtrain_nn::Layer>> = Vec::new();
     let mut d = input_dim;
@@ -47,7 +44,10 @@ pub fn default_mlp(classes: usize, seed: u64) -> Network {
 /// conv3×3(8) → relu → pool2 → conv3×3(16) → relu → pool2 → flatten → dense.
 /// Requires `side` divisible by 4.
 pub fn small_cnn(channels: usize, side: usize, classes: usize, seed: u64) -> Network {
-    assert!(side.is_multiple_of(4), "small_cnn needs side divisible by 4");
+    assert!(
+        side.is_multiple_of(4),
+        "small_cnn needs side divisible by 4"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let c1 = Conv2dSpec {
         in_channels: channels,
@@ -87,7 +87,10 @@ pub fn mini_resnet(
     blocks: usize,
     seed: u64,
 ) -> Network {
-    assert!(side.is_multiple_of(2), "mini_resnet needs side divisible by 2");
+    assert!(
+        side.is_multiple_of(2),
+        "mini_resnet needs side divisible by 2"
+    );
     assert!(blocks >= 1, "need at least one residual block");
     let mut rng = SmallRng::seed_from_u64(seed);
     let width = 12usize;
@@ -120,10 +123,20 @@ pub fn mini_resnet(
         layers.push(Box::new(Residual::new(
             format!("res{b}"),
             vec![
-                Box::new(Conv2d::new(format!("res{b}_a"), body, (side, side), &mut rng)),
+                Box::new(Conv2d::new(
+                    format!("res{b}_a"),
+                    body,
+                    (side, side),
+                    &mut rng,
+                )),
                 Box::new(BatchNorm2d::new(format!("res{b}_bn_a"), width)),
                 Box::new(Relu::new(format!("res{b}_relu"))),
-                Box::new(Conv2d::new(format!("res{b}_b"), body, (side, side), &mut rng)),
+                Box::new(Conv2d::new(
+                    format!("res{b}_b"),
+                    body,
+                    (side, side),
+                    &mut rng,
+                )),
                 Box::new(last_bn),
             ],
         )));
@@ -132,7 +145,12 @@ pub fn mini_resnet(
     let half = side / 2;
     layers.push(Box::new(MaxPool2d::new("pool", 2)));
     layers.push(Box::new(Flatten::new("flatten")));
-    layers.push(Box::new(Dense::new("head", width * half * half, classes, &mut rng)));
+    layers.push(Box::new(Dense::new(
+        "head",
+        width * half * half,
+        classes,
+        &mut rng,
+    )));
     Network::new(layers)
 }
 

@@ -183,8 +183,7 @@ mod tests {
                 vals.extend_from_slice(&yd[base..base + 25]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 =
-                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "channel {ch} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "channel {ch} var {var}");
         }
@@ -269,7 +268,10 @@ mod tests {
             drop(p);
             let fd = (lp - lm) / (2.0 * eps);
             let an = bn.grads()[0].data()[ci];
-            assert!((fd - an).abs() < 2e-2 + 0.02 * an.abs(), "dgamma[{ci}] {fd} vs {an}");
+            assert!(
+                (fd - an).abs() < 2e-2 + 0.02 * an.abs(),
+                "dgamma[{ci}] {fd} vs {an}"
+            );
         }
     }
 

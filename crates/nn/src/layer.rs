@@ -7,8 +7,7 @@
 
 use dtrain_tensor::{
     add_bias, conv2d_backward, conv2d_forward, matmul, matmul_a_bt, matmul_at_b,
-    maxpool2d_backward, maxpool2d_forward, relu, relu_backward, sum_rows,
-    Conv2dSpec, Tensor,
+    maxpool2d_backward, maxpool2d_forward, relu, relu_backward, sum_rows, Conv2dSpec, Tensor,
 };
 use rand::Rng;
 
@@ -108,7 +107,10 @@ pub struct Relu {
 
 impl Relu {
     pub fn new(name: impl Into<String>) -> Self {
-        Relu { name: name.into(), cached_input: None }
+        Relu {
+            name: name.into(),
+            cached_input: None,
+        }
     }
 }
 
@@ -169,7 +171,10 @@ impl Conv2d {
 
     /// Output spatial size given the configured input size.
     pub fn out_hw(&self) -> (usize, usize) {
-        (self.spec.out_size(self.in_hw.0), self.spec.out_size(self.in_hw.1))
+        (
+            self.spec.out_size(self.in_hw.0),
+            self.spec.out_size(self.in_hw.1),
+        )
     }
 }
 
@@ -226,7 +231,11 @@ pub struct MaxPool2d {
 
 impl MaxPool2d {
     pub fn new(name: impl Into<String>, window: usize) -> Self {
-        MaxPool2d { name: name.into(), window, cached: None }
+        MaxPool2d {
+            name: name.into(),
+            window,
+            cached: None,
+        }
     }
 }
 
@@ -261,7 +270,10 @@ pub struct Flatten {
 
 impl Flatten {
     pub fn new(name: impl Into<String>) -> Self {
-        Flatten { name: name.into(), cached_shape: None }
+        Flatten {
+            name: name.into(),
+            cached_shape: None,
+        }
     }
 }
 

@@ -40,7 +40,7 @@ mod residual;
 
 pub use batchnorm::BatchNorm2d;
 pub use layer::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Relu};
-pub use residual::Residual;
 pub use network::Network;
 pub use optim::{LrSchedule, SgdMomentum};
 pub use params::{LayerGroup, ParamLayout, ParamSet};
+pub use residual::Residual;

@@ -20,7 +20,11 @@ pub struct SgdMomentum {
 
 impl SgdMomentum {
     pub fn new(momentum: f32, weight_decay: f32) -> Self {
-        SgdMomentum { momentum, weight_decay, velocity: None }
+        SgdMomentum {
+            momentum,
+            weight_decay,
+            velocity: None,
+        }
     }
 
     /// Plain SGD (no momentum, no decay).
@@ -34,7 +38,11 @@ impl SgdMomentum {
             self.velocity = Some(ParamSet::zeros_like(params));
         }
         let v = self.velocity.as_mut().expect("velocity just initialized");
-        assert_eq!(v.num_tensors(), grads.num_tensors(), "optimizer/model mismatch");
+        assert_eq!(
+            v.num_tensors(),
+            grads.num_tensors(),
+            "optimizer/model mismatch"
+        );
         for ((vt, gt), pt) in v.0.iter_mut().zip(&grads.0).zip(&params.0) {
             vt.scale(self.momentum);
             vt.axpy(1.0, gt);
@@ -50,7 +58,6 @@ impl SgdMomentum {
     pub fn reset(&mut self) {
         self.velocity = None;
     }
-
 }
 
 /// The paper's learning-rate schedule: `η = base_lr · n_workers`, warmed up

@@ -208,8 +208,16 @@ mod tests {
     fn layout_bytes() {
         let layout = ParamLayout {
             groups: vec![
-                LayerGroup { name: "a".into(), tensor_indices: vec![0, 1], num_params: 10 },
-                LayerGroup { name: "b".into(), tensor_indices: vec![2], num_params: 6 },
+                LayerGroup {
+                    name: "a".into(),
+                    tensor_indices: vec![0, 1],
+                    num_params: 10,
+                },
+                LayerGroup {
+                    name: "b".into(),
+                    tensor_indices: vec![2],
+                    num_params: 6,
+                },
             ],
         };
         assert_eq!(layout.num_params(), 16);

@@ -19,7 +19,10 @@ pub struct Residual {
 impl Residual {
     pub fn new(name: impl Into<String>, inner: Vec<Box<dyn Layer>>) -> Self {
         assert!(!inner.is_empty(), "residual block needs at least one layer");
-        Residual { name: name.into(), inner }
+        Residual {
+            name: name.into(),
+            inner,
+        }
     }
 }
 
@@ -157,10 +160,7 @@ mod tests {
     #[should_panic(expected = "preserve shape")]
     fn shape_mismatch_is_rejected() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let mut bad = Residual::new(
-            "bad",
-            vec![Box::new(Dense::new("d", 4, 3, &mut rng))],
-        );
+        let mut bad = Residual::new("bad", vec![Box::new(Dense::new("d", 4, 3, &mut rng))]);
         let _ = bad.forward(Tensor::zeros(&[1, 4]), false);
     }
 }

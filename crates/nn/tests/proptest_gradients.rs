@@ -48,7 +48,7 @@ proptest! {
         // at two scales; coordinates whose two estimates disagree sit on a
         // ReLU kink (the loss is only piecewise smooth there) and carry no
         // valid finite-difference signal, so they are skipped.
-        let mut fd_at = |net: &mut Network, ti: usize, i: usize, eps: f32| {
+        let fd_at = |net: &mut Network, ti: usize, i: usize, eps: f32| {
             let mut plus = base.clone();
             plus.0[ti].data_mut()[i] += eps;
             let mut minus = base.clone();

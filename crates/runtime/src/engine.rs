@@ -6,19 +6,54 @@
 //! nondeterministic (true races decide interleavings), so tests assert
 //! learning outcomes rather than exact values.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::unbounded;
 use dtrain_data::Dataset;
+use dtrain_faults::{CheckpointStore, RuntimeFaultSchedule};
 use dtrain_nn::{LrSchedule, Network, ParamSet, SgdMomentum};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::strategy::{
-    ExchangeMsg, GossipMsg, PeerCtrl, PeerNet, PsState, Strategy,
-};
+use crate::strategy::{ExchangeMsg, GossipMsg, PeerCtrl, PeerNet, PsState, Strategy};
+
+/// Checkpoint-store owner key for the shared parameter server (workers use
+/// their own index; mirrors the simulator's `PS_OWNER_BASE` convention).
+const PS_OWNER: usize = 1 << 20;
+
+/// Fault injection for the threaded runtime: an iteration-indexed schedule
+/// plus the supervisor policy (checkpoint cadence, bounded restart retries
+/// with backoff, heartbeat watchdog threshold).
+#[derive(Clone, Debug)]
+pub struct RuntimeFaultConfig {
+    pub schedule: RuntimeFaultSchedule,
+    /// Local iterations between worker checkpoint snapshots (0 = only the
+    /// initial snapshot).
+    pub checkpoint_interval: u64,
+    /// Wall-clock delay before a crashed worker is restarted.
+    pub restart_backoff: Duration,
+    /// Total restart budget for the run; crashes beyond it are abandoned
+    /// (counted in [`ThreadedReport::abandoned_restarts`]).
+    pub max_restarts: u64,
+    /// Watchdog threshold: a worker silent for longer than this counts a
+    /// missed heartbeat.
+    pub heartbeat_timeout: Duration,
+}
+
+impl Default for RuntimeFaultConfig {
+    fn default() -> Self {
+        RuntimeFaultConfig {
+            schedule: RuntimeFaultSchedule::default(),
+            checkpoint_interval: 10,
+            restart_backoff: Duration::from_millis(20),
+            max_restarts: 8,
+            heartbeat_timeout: Duration::from_secs(5),
+        }
+    }
+}
 
 /// Configuration for a threaded training run.
 #[derive(Clone, Debug)]
@@ -32,6 +67,7 @@ pub struct ThreadedConfig {
     pub momentum: f32,
     pub weight_decay: f32,
     pub seed: u64,
+    pub faults: Option<RuntimeFaultConfig>,
 }
 
 impl Default for ThreadedConfig {
@@ -45,6 +81,7 @@ impl Default for ThreadedConfig {
             momentum: 0.9,
             weight_decay: 1e-4,
             seed: 0,
+            faults: None,
         }
     }
 }
@@ -59,6 +96,135 @@ pub struct ThreadedReport {
     pub total_iterations: u64,
     /// Max elementwise spread between replicas at the end.
     pub final_drift: f32,
+    /// Worker crash-restarts executed (checkpoint restore after backoff).
+    pub restarts: u64,
+    /// Crashes past the bounded-retry budget (worker kept its live state).
+    pub abandoned_restarts: u64,
+    /// PS outages consumed (server state rolled back to its checkpoint).
+    pub ps_recoveries: u64,
+    /// Watchdog observations of a worker silent past `heartbeat_timeout`.
+    pub missed_heartbeats: u64,
+}
+
+/// Shared fault-injection state for one threaded run.
+struct FaultRuntime {
+    cfg: RuntimeFaultConfig,
+    store: CheckpointStore,
+    /// Millis-since-start of each worker's last heartbeat; `u64::MAX` once
+    /// the worker finished.
+    heartbeats: Vec<AtomicU64>,
+    started: Instant,
+    /// Global iteration counter (all workers), keys the PS outage windows.
+    global_iters: AtomicU64,
+    /// PS outage windows not yet consumed: `(start_iter, len)`, guarded so
+    /// exactly one worker executes each recovery.
+    pending_outages: Mutex<Vec<(u64, u64)>>,
+    restarts: AtomicU64,
+    abandoned: AtomicU64,
+    ps_recoveries: AtomicU64,
+    missed_heartbeats: AtomicU64,
+    ps_applies: AtomicU64,
+}
+
+impl FaultRuntime {
+    fn new(cfg: RuntimeFaultConfig, workers: usize) -> Self {
+        let mut pending = cfg.schedule.ps_outages.clone();
+        pending.sort_unstable();
+        FaultRuntime {
+            store: CheckpointStore::new(cfg.checkpoint_interval),
+            heartbeats: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            started: Instant::now(),
+            global_iters: AtomicU64::new(0),
+            pending_outages: Mutex::new(pending),
+            restarts: AtomicU64::new(0),
+            abandoned: AtomicU64::new(0),
+            ps_recoveries: AtomicU64::new(0),
+            missed_heartbeats: AtomicU64::new(0),
+            ps_applies: AtomicU64::new(0),
+            cfg,
+        }
+    }
+
+    fn beat(&self, w: usize) {
+        let ms = self.started.elapsed().as_millis() as u64;
+        self.heartbeats[w].store(ms, Ordering::Relaxed);
+    }
+
+    fn finish(&self, w: usize) {
+        self.heartbeats[w].store(u64::MAX, Ordering::Relaxed);
+    }
+
+    /// Crash-restart: notionally lose the replica, wait out the supervisor
+    /// backoff, restore from the last checkpoint. Returns the restored
+    /// state, or `None` when the retry budget is exhausted (the crash is
+    /// abandoned and the worker continues with its live state).
+    fn crash_restart(&self, w: usize) -> Option<(ParamSet, SgdMomentum)> {
+        if self.restarts.load(Ordering::Relaxed) >= self.cfg.max_restarts {
+            self.abandoned.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        std::thread::sleep(self.cfg.restart_backoff);
+        let cp = self.store.restore(w)?;
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        Some((cp.params, cp.opt))
+    }
+
+    /// Consume any PS outage whose window start the global iteration
+    /// counter has crossed: the server state rolls back to its last
+    /// checkpoint and clients stall for the recovery backoff (scaled by
+    /// the window length).
+    fn ps_gate(&self, ps: &PsState) {
+        let k = self.global_iters.load(Ordering::Relaxed);
+        let due = {
+            let mut pending = self.pending_outages.lock();
+            pending
+                .iter()
+                .position(|&(start, _)| start <= k)
+                .map(|i| pending.remove(i))
+        };
+        if let Some((_, len)) = due {
+            if let Some(cp) = self.store.restore(PS_OWNER) {
+                let mut g = ps.global.lock();
+                *g = (cp.params, cp.opt);
+            }
+            std::thread::sleep(self.cfg.restart_backoff * len.max(1) as u32);
+            self.ps_recoveries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one PS apply; checkpoint the server state on the cadence.
+    fn ps_applied(&self, ps: &PsState) {
+        let n = self.ps_applies.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.store.due(n) {
+            let g = ps.global.lock();
+            self.store.save(PS_OWNER, n, &g.0, &g.1);
+        }
+    }
+}
+
+/// Watchdog loop: samples heartbeats until every worker finished, counting
+/// workers silent for longer than the timeout.
+fn watchdog(fr: &FaultRuntime) {
+    let timeout_ms = fr.cfg.heartbeat_timeout.as_millis() as u64;
+    let tick = (fr.cfg.heartbeat_timeout / 4).max(Duration::from_millis(1));
+    loop {
+        std::thread::sleep(tick);
+        let now_ms = fr.started.elapsed().as_millis() as u64;
+        let mut all_done = true;
+        for hb in &fr.heartbeats {
+            let last = hb.load(Ordering::Relaxed);
+            if last == u64::MAX {
+                continue;
+            }
+            all_done = false;
+            if now_ms.saturating_sub(last) > timeout_ms {
+                fr.missed_heartbeats.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if all_done {
+            return;
+        }
+    }
 }
 
 /// Shared state for BSP's barrier rounds.
@@ -106,9 +272,23 @@ where
     });
     let actives: Vec<usize> = (0..cfg.workers).filter(|w| w % 2 == 0).collect();
     let num_actives = actives.len();
+    let faults: Option<Arc<FaultRuntime>> = cfg
+        .faults
+        .clone()
+        .map(|fc| Arc::new(FaultRuntime::new(fc, cfg.workers)));
+    if let Some(fr) = faults.as_ref() {
+        // Baseline PS checkpoint so an outage before the first cadence tick
+        // still has a state to roll back to.
+        let g = ps.global.lock();
+        fr.store.save(PS_OWNER, 0, &g.0, &g.1);
+    }
 
     let started = Instant::now();
     let finals: Vec<ParamSet> = std::thread::scope(|scope| {
+        if let Some(fr) = faults.as_ref() {
+            let fr = Arc::clone(fr);
+            scope.spawn(move || watchdog(&fr));
+        }
         let mut handles = Vec::with_capacity(cfg.workers);
         for w in 0..cfg.workers {
             let ps = Arc::clone(&ps);
@@ -118,8 +298,20 @@ where
             let train = Arc::clone(train);
             let cfg = cfg.clone();
             let actives = actives.clone();
+            let faults = faults.clone();
             handles.push(scope.spawn(move || {
-                worker_body(w, factory(), train, &cfg, ps, peers, bsp, &actives, num_actives)
+                worker_body(
+                    w,
+                    factory(),
+                    train,
+                    &cfg,
+                    ps,
+                    peers,
+                    bsp,
+                    &actives,
+                    num_actives,
+                    faults,
+                )
             }));
         }
         handles
@@ -139,15 +331,22 @@ where
     eval_net.set_params(&mean);
     let (x, y) = test.as_batch();
     let (loss, acc) = eval_net.eval_batch(x, &y);
+    let counter = |f: fn(&FaultRuntime) -> &AtomicU64| -> u64 {
+        faults
+            .as_ref()
+            .map_or(0, |fr| f(fr).load(Ordering::Relaxed))
+    };
     ThreadedReport {
         strategy: cfg.strategy.name(),
         final_accuracy: acc,
         final_loss: loss,
         wall_time,
-        total_iterations: cfg.workers as u64
-            * cfg.epochs
-            * (shard_len / cfg.batch) as u64,
+        total_iterations: cfg.workers as u64 * cfg.epochs * (shard_len / cfg.batch) as u64,
         final_drift: drift,
+        restarts: counter(|fr| &fr.restarts),
+        abandoned_restarts: counter(|fr| &fr.abandoned),
+        ps_recoveries: counter(|fr| &fr.ps_recoveries),
+        missed_heartbeats: counter(|fr| &fr.missed_heartbeats),
     }
 }
 
@@ -162,25 +361,43 @@ fn worker_body(
     bsp: Arc<BspRound>,
     actives: &[usize],
     num_actives: usize,
+    faults: Option<Arc<FaultRuntime>>,
 ) -> ParamSet {
     let shard = train.shard(w, cfg.workers);
     let sched = LrSchedule::paper_scaled(cfg.workers, cfg.base_lr, cfg.epochs as f32);
     let mut opt = SgdMomentum::new(cfg.momentum, cfg.weight_decay);
-    let mut rng = SmallRng::seed_from_u64(
-        cfg.seed ^ (w as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
-    );
+    let mut rng =
+        SmallRng::seed_from_u64(cfg.seed ^ (w as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
     let per_epoch = shard.len() / cfg.batch;
     let n = cfg.workers as f32;
     let mut alpha = 1.0 / n; // gossip mixing weight
     let mut cache_ts = 0u64; // SSP cache timestamp
     let mut clock = 0u64;
-    let passives: Vec<usize> =
-        (0..cfg.workers).filter(|v| v % 2 == 1).collect();
+    let passives: Vec<usize> = (0..cfg.workers).filter(|v| v % 2 == 1).collect();
     let is_active = w.is_multiple_of(2);
     // AD-PSGD passive bookkeeping: actives may finish (and send Done)
     // while this passive is still training, so the count must persist
     // across the training loop and the final drain.
     let mut dones = 0usize;
+    // Fault bookkeeping: pending crash points (local iteration indexed),
+    // persistent compute slowdown, and the local iteration counter that
+    // drives the checkpoint cadence.
+    let slowdown = faults
+        .as_ref()
+        .map_or(1.0, |fr| fr.cfg.schedule.straggler_slowdown(w));
+    let mut crash_iters: std::collections::VecDeque<u64> = faults
+        .as_ref()
+        .map(|fr| {
+            let mut c = fr.cfg.schedule.crash_iterations_for(w);
+            c.sort_unstable();
+            c.into()
+        })
+        .unwrap_or_default();
+    let mut local_iter = 0u64;
+    if let Some(fr) = faults.as_ref() {
+        fr.store.save(w, 0, &net.get_params(), &opt);
+        fr.beat(w);
+    }
 
     for epoch in 0..cfg.epochs {
         for (bi, batch) in shard
@@ -192,6 +409,19 @@ fn worker_body(
             let full_lr = sched.lr_at(epoch_f);
             let grad_lr = full_lr / n;
 
+            // Consume any crash points reached: lose the replica, wait out
+            // the supervisor backoff, restore from the checkpoint.
+            if let Some(fr) = faults.as_ref() {
+                while crash_iters.front().is_some_and(|&it| it <= local_iter) {
+                    crash_iters.pop_front();
+                    if let Some((p, o)) = fr.crash_restart(w) {
+                        net.set_params(&p);
+                        opt = o;
+                    }
+                }
+            }
+            let it_start = Instant::now();
+
             match cfg.strategy {
                 Strategy::Bsp => {
                     let (x, y) = train.gather(&batch);
@@ -200,12 +430,20 @@ fn worker_body(
                     bsp.slots.lock()[w] = Some(grad);
                     let token = bsp.enter.wait();
                     if token.is_leader() {
+                        if let Some(fr) = faults.as_ref() {
+                            fr.ps_gate(&ps);
+                        }
                         let mut slots = bsp.slots.lock();
-                        let grads: Vec<&ParamSet> =
-                            slots.iter().map(|s| s.as_ref().expect("all deposited")).collect();
+                        let grads: Vec<&ParamSet> = slots
+                            .iter()
+                            .map(|s| s.as_ref().expect("all deposited"))
+                            .collect();
                         let mean = ParamSet::mean_of(&grads);
                         ps.apply_round(&mean, full_lr);
                         slots.iter_mut().for_each(|s| *s = None);
+                        if let Some(fr) = faults.as_ref() {
+                            fr.ps_applied(&ps);
+                        }
                     }
                     bsp.leave.wait();
                     net.set_params(&ps.snapshot());
@@ -213,18 +451,30 @@ fn worker_body(
                 Strategy::Asp => {
                     let (x, y) = train.gather(&batch);
                     net.train_batch(x, &y);
+                    if let Some(fr) = faults.as_ref() {
+                        fr.ps_gate(&ps);
+                    }
                     let fresh = ps.push_and_pull(&net.grads(), grad_lr);
                     net.set_params(&fresh);
+                    if let Some(fr) = faults.as_ref() {
+                        fr.ps_applied(&ps);
+                    }
                 }
                 Strategy::Ssp { staleness } => {
                     let (x, y) = train.gather(&batch);
                     net.train_batch(x, &y);
                     let grad = net.grads();
                     // push to the global table
+                    if let Some(fr) = faults.as_ref() {
+                        fr.ps_gate(&ps);
+                    }
                     {
                         let mut g = ps.global.lock();
                         let (params, opt_ps) = &mut *g;
                         opt_ps.step(params, &grad, grad_lr);
+                    }
+                    if let Some(fr) = faults.as_ref() {
+                        fr.ps_applied(&ps);
                     }
                     // local update on the cache
                     let mut p = net.get_params();
@@ -248,8 +498,14 @@ fn worker_body(
                     net.set_params(&p);
                     clock += 1;
                     if clock.is_multiple_of(tau) {
+                        if let Some(fr) = faults.as_ref() {
+                            fr.ps_gate(&ps);
+                        }
                         let updated = ps.elastic_exchange(&net.get_params(), a);
                         net.set_params(&updated);
+                        if let Some(fr) = faults.as_ref() {
+                            fr.ps_applied(&ps);
+                        }
                     }
                 }
                 Strategy::Gossip { p } => {
@@ -286,9 +542,10 @@ fn worker_body(
                         // initiate the exchange, overlap with compute
                         let target = passives[rng.gen_range(0..passives.len())];
                         let (reply_tx, reply_rx) = unbounded();
-                        let _ = peers.exchange_tx[target].send(PeerCtrl::Exchange(
-                            ExchangeMsg { params: net.get_params(), reply: reply_tx },
-                        ));
+                        let _ = peers.exchange_tx[target].send(PeerCtrl::Exchange(ExchangeMsg {
+                            params: net.get_params(),
+                            reply: reply_tx,
+                        }));
                         let (x, y) = train.gather(&batch);
                         net.train_batch(x, &y);
                         let grad = net.grads();
@@ -313,7 +570,25 @@ fn worker_body(
                     }
                 }
             }
+
+            if let Some(fr) = faults.as_ref() {
+                // Persistent straggler: stretch this iteration by the
+                // slowdown factor (sleep the extra fraction of what the
+                // iteration actually took).
+                if slowdown > 1.0 {
+                    std::thread::sleep(it_start.elapsed().mul_f64(slowdown - 1.0));
+                }
+                fr.beat(w);
+                fr.global_iters.fetch_add(1, Ordering::Relaxed);
+                local_iter += 1;
+                if fr.store.due(local_iter) {
+                    fr.store.save(w, local_iter, &net.get_params(), &opt);
+                }
+            }
         }
+    }
+    if let Some(fr) = faults.as_ref() {
+        fr.finish(w);
     }
 
     // AD-PSGD teardown: actives announce completion; passives serve until

@@ -28,5 +28,5 @@
 mod engine;
 mod strategy;
 
-pub use engine::{train_threaded, ThreadedConfig, ThreadedReport};
+pub use engine::{train_threaded, RuntimeFaultConfig, ThreadedConfig, ThreadedReport};
 pub use strategy::{ExchangeMsg, GossipMsg, PeerCtrl, PeerNet, PsState, Strategy};

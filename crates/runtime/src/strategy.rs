@@ -151,7 +151,12 @@ impl PeerNet {
             exchange_tx.push(et);
             exchange_rx.push(Mutex::new(er));
         }
-        Arc::new(PeerNet { gossip_tx, gossip_rx, exchange_tx, exchange_rx })
+        Arc::new(PeerNet {
+            gossip_tx,
+            gossip_rx,
+            exchange_tx,
+            exchange_rx,
+        })
     }
 }
 
@@ -199,7 +204,10 @@ mod tests {
     fn peer_net_routes_messages() {
         let net = PeerNet::new(2);
         net.gossip_tx[1]
-            .send(GossipMsg { params: ps(&[1.0]), alpha: 0.5 })
+            .send(GossipMsg {
+                params: ps(&[1.0]),
+                alpha: 0.5,
+            })
             .expect("send");
         let got = net.gossip_rx[1].lock().try_recv().expect("recv");
         assert_eq!(got.alpha, 0.5);

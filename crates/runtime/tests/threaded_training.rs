@@ -23,7 +23,12 @@ fn run_strategy(strategy: Strategy, workers: usize, epochs: u64) -> dtrain_runti
         || default_mlp(10, 7),
         &train,
         &test,
-        &ThreadedConfig { workers, epochs, strategy, ..Default::default() },
+        &ThreadedConfig {
+            workers,
+            epochs,
+            strategy,
+            ..Default::default()
+        },
     )
 }
 
@@ -49,8 +54,19 @@ fn ssp_trains_with_bounded_staleness() {
 
 #[test]
 fn easgd_trains_and_drifts() {
-    let r = run_strategy(Strategy::Easgd { tau: 4, alpha: 0.9 / 4.0 }, 4, 10);
-    assert!(r.final_accuracy > 0.3, "EASGD accuracy {}", r.final_accuracy);
+    let r = run_strategy(
+        Strategy::Easgd {
+            tau: 4,
+            alpha: 0.9 / 4.0,
+        },
+        4,
+        10,
+    );
+    assert!(
+        r.final_accuracy > 0.3,
+        "EASGD accuracy {}",
+        r.final_accuracy
+    );
     assert!(r.final_drift > 1e-5, "EASGD replicas should differ");
 }
 
@@ -67,13 +83,21 @@ fn gossip_trains() {
 #[test]
 fn adpsgd_trains() {
     let r = run_strategy(Strategy::AdPsgd, 4, 10);
-    assert!(r.final_accuracy > 0.35, "AD-PSGD accuracy {}", r.final_accuracy);
+    assert!(
+        r.final_accuracy > 0.35,
+        "AD-PSGD accuracy {}",
+        r.final_accuracy
+    );
 }
 
 #[test]
 fn single_worker_matches_sequential_sgd_shape() {
     let r = run_strategy(Strategy::Bsp, 1, 10);
-    assert!(r.final_accuracy > 0.45, "1-worker accuracy {}", r.final_accuracy);
+    assert!(
+        r.final_accuracy > 0.45,
+        "1-worker accuracy {}",
+        r.final_accuracy
+    );
     assert_eq!(r.final_drift, 0.0);
 }
 
@@ -94,6 +118,10 @@ fn uneven_sharding_is_rejected() {
         || default_mlp(10, 7),
         &train,
         &test,
-        &ThreadedConfig { workers: 3, epochs: 1, ..Default::default() },
+        &ThreadedConfig {
+            workers: 3,
+            epochs: 1,
+            ..Default::default()
+        },
     );
 }

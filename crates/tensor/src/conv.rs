@@ -27,7 +27,10 @@ impl Conv2dSpec {
 
     /// Weight tensor shape: `[out_c, in_c * k * k]` (pre-flattened for GEMM).
     pub fn weight_shape(&self) -> [usize; 2] {
-        [self.out_channels, self.in_channels * self.kernel * self.kernel]
+        [
+            self.out_channels,
+            self.in_channels * self.kernel * self.kernel,
+        ]
     }
 }
 
@@ -56,8 +59,7 @@ pub fn im2col(x: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
                         let iy = (oy * s + ky) as isize - p as isize;
                         for kx in 0..k {
                             let ix = (ox * s + kx) as isize - p as isize;
-                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
-                            {
+                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
                                 out[base + col] = chan[iy as usize * w + ix as usize];
                             }
                             col += 1;
@@ -72,13 +74,7 @@ pub fn im2col(x: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
 }
 
 /// Fold patch-gradients back onto the input: the adjoint of [`im2col`].
-pub fn col2im(
-    cols: &Tensor,
-    spec: &Conv2dSpec,
-    n: usize,
-    h: usize,
-    w: usize,
-) -> Tensor {
+pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, n: usize, h: usize, w: usize) -> Tensor {
     let (c, k, s, p) = (spec.in_channels, spec.kernel, spec.stride, spec.padding);
     let oh = spec.out_size(h);
     let ow = spec.out_size(w);
@@ -98,10 +94,8 @@ pub fn col2im(
                         let iy = (oy * s + ky) as isize - p as isize;
                         for kx in 0..k {
                             let ix = (ox * s + kx) as isize - p as isize;
-                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
-                            {
-                                out[chan_base + iy as usize * w + ix as usize] +=
-                                    cd[base + col];
+                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                out[chan_base + iy as usize * w + ix as usize] += cd[base + col];
                             }
                             col += 1;
                         }
@@ -141,10 +135,7 @@ pub fn conv2d_forward(
             }
         }
     }
-    (
-        Tensor::from_vec(&[n, spec.out_channels, oh, ow], out),
-        cols,
-    )
+    (Tensor::from_vec(&[n, spec.out_channels, oh, ow], out), cols)
 }
 
 /// Conv backward. Returns `(dx, dweight, dbias)`.
@@ -165,8 +156,7 @@ pub fn conv2d_backward(
     for img in 0..n {
         for c in 0..oc {
             for pix in 0..oh * ow {
-                g2[(img * oh * ow + pix) * oc + c] =
-                    gd[(img * oc + c) * oh * ow + pix];
+                g2[(img * oh * ow + pix) * oc + c] = gd[(img * oc + c) * oh * ow + pix];
             }
         }
     }
@@ -185,7 +175,10 @@ pub fn conv2d_backward(
 pub fn maxpool2d_forward(x: &Tensor, window: usize) -> (Tensor, Vec<u32>) {
     let s = x.shape().to_vec();
     let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
-    assert!(h % window == 0 && w % window == 0, "pool window must divide input");
+    assert!(
+        h % window == 0 && w % window == 0,
+        "pool window must divide input"
+    );
     let (oh, ow) = (h / window, w / window);
     let xd = x.data();
     let mut out = vec![0.0f32; n * c * oh * ow];
@@ -217,11 +210,7 @@ pub fn maxpool2d_forward(x: &Tensor, window: usize) -> (Tensor, Vec<u32>) {
 }
 
 /// Max-pool backward: routes each output gradient to its argmax input cell.
-pub fn maxpool2d_backward(
-    grad_out: &Tensor,
-    indices: &[u32],
-    input_shape: &[usize],
-) -> Tensor {
+pub fn maxpool2d_backward(grad_out: &Tensor, indices: &[u32], input_shape: &[usize]) -> Tensor {
     assert_eq!(grad_out.len(), indices.len());
     let mut dx = vec![0.0f32; input_shape.iter().product()];
     for (&g, &i) in grad_out.data().iter().zip(indices) {
@@ -285,19 +274,9 @@ mod tests {
         let x = Tensor::randn(&[2, 2, 5, 5], 1.0, &mut rng);
         let cols = im2col(&x, &sp, 5, 5);
         let y = Tensor::randn(cols.shape(), 1.0, &mut rng);
-        let lhs: f32 = cols
-            .data()
-            .iter()
-            .zip(y.data())
-            .map(|(a, b)| a * b)
-            .sum();
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
         let folded = col2im(&y, &sp, 2, 5, 5);
-        let rhs: f32 = x
-            .data()
-            .iter()
-            .zip(folded.data())
-            .map(|(a, b)| a * b)
-            .sum();
+        let rhs: f32 = x.data().iter().zip(folded.data()).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
     }
 

@@ -21,12 +21,9 @@ mod ops;
 mod tensor;
 
 pub use conv::{
-    col2im, conv2d_backward, conv2d_forward, im2col, maxpool2d_backward,
-    maxpool2d_forward, Conv2dSpec,
+    col2im, conv2d_backward, conv2d_forward, im2col, maxpool2d_backward, maxpool2d_forward,
+    Conv2dSpec,
 };
 pub use matmul::{matmul, matmul_a_bt, matmul_at_b, transpose};
-pub use ops::{
-    accuracy, add_bias, relu, relu_backward, softmax, softmax_cross_entropy,
-    sum_rows,
-};
+pub use ops::{accuracy, add_bias, relu, relu_backward, softmax, softmax_cross_entropy, sum_rows};
 pub use tensor::Tensor;

@@ -151,20 +151,15 @@ mod tests {
         // d(loss)/d(logit) via central differences on a small case.
         let base = vec![0.3f32, -0.7, 1.1, 0.25, 0.5, -0.1];
         let labels = [2usize, 0];
-        let (_, grad) = softmax_cross_entropy(
-            &Tensor::from_vec(&[2, 3], base.clone()),
-            &labels,
-        );
+        let (_, grad) = softmax_cross_entropy(&Tensor::from_vec(&[2, 3], base.clone()), &labels);
         let eps = 1e-3f32;
         for i in 0..base.len() {
             let mut plus = base.clone();
             plus[i] += eps;
             let mut minus = base.clone();
             minus[i] -= eps;
-            let (lp, _) =
-                softmax_cross_entropy(&Tensor::from_vec(&[2, 3], plus), &labels);
-            let (lm, _) =
-                softmax_cross_entropy(&Tensor::from_vec(&[2, 3], minus), &labels);
+            let (lp, _) = softmax_cross_entropy(&Tensor::from_vec(&[2, 3], plus), &labels);
+            let (lm, _) = softmax_cross_entropy(&Tensor::from_vec(&[2, 3], minus), &labels);
             let fd = (lp - lm) / (2.0 * eps);
             assert!(
                 (fd - grad.data()[i]).abs() < 1e-3,
@@ -176,8 +171,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_matches() {
-        let logits =
-            Tensor::from_vec(&[3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        let logits = Tensor::from_vec(&[3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
         assert_eq!(accuracy(&logits, &[0, 1, 1]), 2.0 / 3.0);
     }
 }

@@ -24,13 +24,19 @@ impl Tensor {
     /// A tensor of zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let n = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![0.0; n] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
     }
 
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let n = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![value; n] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; n],
+        }
     }
 
     /// Build from existing data; `data.len()` must equal the shape volume.
@@ -42,21 +48,30 @@ impl Tensor {
             shape,
             data.len()
         );
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Gaussian init with standard deviation `std` (mean zero).
     pub fn randn(shape: &[usize], std: f32, rng: &mut impl Rng) -> Self {
         let n = shape.iter().product();
         let data = (0..n).map(|_| sample_standard_normal(rng) * std).collect();
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Uniform init on `[lo, hi)`.
     pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
         let n = shape.iter().product();
         let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// He (Kaiming) initialization for a layer with `fan_in` inputs —
@@ -276,7 +291,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 8 {
             write!(f, " {:?}", self.data)
         } else {
-            write!(f, " [{}, {}, … ({} elems)]", self.data[0], self.data[1], self.data.len())
+            write!(
+                f,
+                " [{}, {}, … ({} elems)]",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
         }
     }
 }
@@ -367,8 +388,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         let t = Tensor::randn(&[10_000], 2.0, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / t.len() as f32;
+        let var = t.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / t.len() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

@@ -12,7 +12,10 @@ use dtrain_core::prelude::*;
 use dtrain_models::vgg16;
 
 fn throughput(algo: Algo, gbps: f64, workers: usize) -> f64 {
-    let network = NetworkConfig { bandwidth_gbps: gbps, latency_us: 20.0 };
+    let network = NetworkConfig {
+        bandwidth_gbps: gbps,
+        latency_us: 20.0,
+    };
     let cluster = ClusterConfig::paper_with_workers(network, workers);
     let cfg = RunConfig {
         algo,
@@ -21,11 +24,16 @@ fn throughput(algo: Algo, gbps: f64, workers: usize) -> f64 {
         profile: vgg16(),
         batch: 96,
         opts: OptimizationConfig {
-            ps_shards: if algo.is_centralized() { 2 * cluster.machines } else { 1 },
+            ps_shards: if algo.is_centralized() {
+                2 * cluster.machines
+            } else {
+                1
+            },
             local_aggregation: matches!(algo, Algo::Bsp),
             ..Default::default()
         },
         stop: StopCondition::Iterations(20),
+        faults: None,
         real: None,
         seed: 17,
     };

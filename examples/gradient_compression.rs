@@ -55,6 +55,7 @@ fn main() {
                 ..Default::default()
             },
             stop: StopCondition::Iterations(20),
+            faults: None,
             real: None,
             seed: 23,
         };

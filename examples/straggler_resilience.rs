@@ -1,5 +1,6 @@
-//! Straggler resilience: inject one worker that computes 3× slower and
-//! compare how each algorithm's throughput degrades.
+//! Straggler resilience: inject one worker that computes 3× slower (a
+//! persistent `FaultKind::Straggler` event) and compare how each
+//! algorithm's throughput degrades.
 //!
 //! The paper's analysis predicts: BSP and AR-SGD stall on the straggler
 //! (every synchronization round waits for it); ASP barely notices (the PS
@@ -9,15 +10,16 @@
 //! Run with: `cargo run --release --example straggler_resilience`
 
 use dtrain_core::prelude::*;
+use dtrain_desim::SimTime;
 use dtrain_models::resnet50;
 
-fn run_case(algo: Algo, straggler: Option<Straggler>) -> f64 {
+fn run_case(algo: Algo, straggler: Option<FaultEvent>) -> f64 {
     let workers = 8;
-    let mut cluster =
-        ClusterConfig::paper_with_workers(NetworkConfig::FIFTY_SIX_GBPS, workers);
-    if let Some(s) = straggler {
-        cluster.stragglers.push(s);
-    }
+    let cluster = ClusterConfig::paper_with_workers(NetworkConfig::FIFTY_SIX_GBPS, workers);
+    let faults = straggler.map(|ev| FaultConfig {
+        schedule: FaultSchedule::new(vec![ev]),
+        checkpoint_interval: 0,
+    });
     let cfg = RunConfig {
         algo,
         cluster,
@@ -30,6 +32,7 @@ fn run_case(algo: Algo, straggler: Option<Straggler>) -> f64 {
             ..Default::default()
         },
         stop: StopCondition::Iterations(30),
+        faults,
         real: None,
         seed: 9,
     };
@@ -37,7 +40,13 @@ fn run_case(algo: Algo, straggler: Option<Straggler>) -> f64 {
 }
 
 fn main() {
-    let slow = Straggler { worker: 3, slowdown: 3.0 };
+    let slow = FaultEvent {
+        at: SimTime::ZERO,
+        kind: FaultKind::Straggler {
+            worker: 3,
+            slowdown: 3.0,
+        },
+    };
     let algos = [
         Algo::Bsp,
         Algo::ArSgd,
@@ -51,7 +60,7 @@ fn main() {
     );
     for algo in algos {
         let healthy = run_case(algo, None);
-        let degraded = run_case(algo, Some(slow));
+        let degraded = run_case(algo, Some(slow.clone()));
         table.push_row(vec![
             algo.name().to_string(),
             format!("{healthy:.0}"),

@@ -29,7 +29,10 @@ fn main() {
         Strategy::Bsp,
         Strategy::Asp,
         Strategy::Ssp { staleness: 3 },
-        Strategy::Easgd { tau: 8, alpha: 0.9 / workers as f32 },
+        Strategy::Easgd {
+            tau: 8,
+            alpha: 0.9 / workers as f32,
+        },
         Strategy::Gossip { p: 0.1 },
         Strategy::AdPsgd,
     ];

@@ -1,0 +1,55 @@
+//! Offline stand-in for `rayon`, covering the API subset the tensor
+//! kernels use (`par_chunks_mut`) with sequential execution. The kernels
+//! parallelize over *independent* output rows, so a sequential fallback is
+//! observationally identical (and trivially deterministic) — only host-side
+//! wall-clock differs.
+
+pub mod prelude {
+    /// Sequential `par_chunks_mut`/`par_chunks`: plain slice chunking. The
+    /// returned iterators support the same `enumerate().for_each(..)`
+    /// chains the real parallel versions do.
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `into_par_iter()` as a plain `IntoIterator` pass-through.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_covers_all_rows() {
+        let mut v = vec![0u32; 12];
+        v.par_chunks_mut(4).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+}

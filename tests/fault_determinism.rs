@@ -1,0 +1,89 @@
+//! Determinism regression: an identical seed + fault schedule must produce
+//! a byte-identical kernel event trace across two runs. Fault injection
+//! (crash/respawn, PS outages, link windows, stragglers) adds scheduling
+//! branches everywhere, and any nondeterminism it introduced would
+//! silently invalidate every golden number in this repository.
+
+use dtrain_core::prelude::*;
+use dtrain_desim::SimTime;
+use dtrain_models::resnet50;
+
+fn faulted_cfg(algo: Algo, workers: usize) -> RunConfig {
+    let schedule = FaultSchedule::new(vec![
+        FaultEvent {
+            at: SimTime::from_millis(100),
+            kind: FaultKind::WorkerCrash {
+                worker: 1,
+                restart_after: Some(SimTime::from_secs(1)),
+            },
+        },
+        FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::Straggler {
+                worker: 2,
+                slowdown: 2.0,
+            },
+        },
+        FaultEvent {
+            at: SimTime::from_millis(300),
+            kind: FaultKind::LinkDegrade {
+                machine: 0,
+                factor: 0.2,
+                duration: SimTime::from_secs(3),
+            },
+        },
+        FaultEvent {
+            at: SimTime::from_millis(500),
+            kind: FaultKind::PsShardFail {
+                shard: 0,
+                outage: SimTime::from_millis(800),
+            },
+        },
+    ]);
+    RunConfig {
+        algo,
+        cluster: ClusterConfig::paper_with_workers(NetworkConfig::TEN_GBPS, workers),
+        workers,
+        profile: resnet50(),
+        batch: 64,
+        opts: OptimizationConfig {
+            ps_shards: if algo.is_centralized() { 2 } else { 1 },
+            ..Default::default()
+        },
+        stop: StopCondition::Iterations(8),
+        faults: Some(FaultConfig {
+            schedule,
+            checkpoint_interval: 3,
+        }),
+        real: None,
+        seed: 23,
+    }
+}
+
+#[test]
+fn identical_fault_runs_trace_identically() {
+    for algo in [Algo::Bsp, Algo::Asp, Algo::AdPsgd] {
+        let cfg = faulted_cfg(algo, 8);
+        let (out1, trace1) = run_traced(&cfg);
+        let (out2, trace2) = run_traced(&cfg);
+        assert!(!trace1.is_empty(), "{}: trace must be recorded", out1.algo);
+        assert_eq!(
+            trace1, trace2,
+            "{}: identical config must replay identically",
+            out1.algo
+        );
+        assert_eq!(out1.end_time, out2.end_time);
+        assert_eq!(out1.total_iterations, out2.total_iterations);
+    }
+}
+
+#[test]
+fn fault_free_tracing_is_also_stable() {
+    // Control: tracing itself must not perturb scheduling.
+    let mut cfg = faulted_cfg(Algo::Ssp { staleness: 4 }, 8);
+    cfg.faults = None;
+    let (out1, trace1) = run_traced(&cfg);
+    let (out2, trace2) = run_traced(&cfg);
+    assert_eq!(trace1, trace2);
+    assert_eq!(out1.end_time, out2.end_time);
+}

@@ -20,6 +20,7 @@ fn golden_cfg(algo: Algo, model: ModelProfile) -> RunConfig {
             ..Default::default()
         },
         stop: StopCondition::Iterations(6),
+        faults: None,
         real: None,
         seed: 77,
     }
@@ -27,11 +28,21 @@ fn golden_cfg(algo: Algo, model: ModelProfile) -> RunConfig {
 
 #[test]
 fn golden_end_times_and_traffic() {
+    // Constants regenerated when the workspace moved to the offline
+    // `shims/rand` generator (xoshiro256++): the jitter/peer-choice RNG
+    // stream changed, shifting end times (and AD-PSGD's partner-dependent
+    // traffic). Protocol-determined volumes (BSP/ASP/AR-SGD) are unchanged.
     let cases: [(&str, Algo, ModelProfile, u64, u64); 4] = [
-        ("bsp_resnet", Algo::Bsp, resnet50(), 2431535568, 1226737536),
-        ("asp_vgg", Algo::Asp, vgg16(), 18379383131, 26564648448),
-        ("arsgd_resnet", Algo::ArSgd, resnet50(), 1824651708, 2146790688),
-        ("adpsgd_vgg", Algo::AdPsgd, vgg16(), 7178083167, 15496044928),
+        ("bsp_resnet", Algo::Bsp, resnet50(), 2430783387, 1226737536),
+        ("asp_vgg", Algo::Asp, vgg16(), 18359911384, 26564648448),
+        (
+            "arsgd_resnet",
+            Algo::ArSgd,
+            resnet50(),
+            1829503498,
+            2146790688,
+        ),
+        ("adpsgd_vgg", Algo::AdPsgd, vgg16(), 6572062377, 9961743168),
     ];
     for (name, algo, model, end_ns, inter_bytes) in cases {
         let out = run(&golden_cfg(algo, model));
