@@ -1,0 +1,264 @@
+//! Kernel benchmark + correctness harness for the parallel compute
+//! substrate.
+//!
+//! Times the three GEMM variants, im2col convolution forward+backward, and
+//! an end-to-end `small_cnn` training step across thread counts (via
+//! `with_max_threads` scoping on one pool), and writes everything to
+//! `results/bench_kernels.json`.
+//!
+//! Every timed configuration is also *checked*: outputs must be bit-identical
+//! across thread widths, and GEMM must agree (within float tolerance) with a
+//! sequential reference kernel embedded here — a copy of the seed's
+//! pre-optimization inner loop (ikj order with the old `av == 0.0` skip).
+//! Any divergence makes the process exit nonzero, so CI runs this as a
+//! regression gate (`--smoke` keeps the sizes small there).
+
+use std::time::Instant;
+
+use dtrain_models::small_cnn;
+use dtrain_tensor::parallel::{current_num_threads, with_max_threads};
+use dtrain_tensor::{
+    conv2d_backward, conv2d_forward, matmul, matmul_a_bt, matmul_at_b, transpose, Conv2dSpec,
+    Tensor,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The seed repo's sequential GEMM, reproduced verbatim as the correctness
+/// and "before" reference: ikj loop order with the zero-skip branch the
+/// blocked kernel dropped.
+fn reference_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = ad[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (c, &bv) in crow.iter_mut().zip(brow) {
+                *c += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(&[m, n], out)
+}
+
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+/// One benchmarked+verified kernel configuration.
+struct Record {
+    kernel: String,
+    threads: usize,
+    ms: f64,
+}
+
+struct Harness {
+    records: Vec<Record>,
+    divergences: Vec<String>,
+    widths: Vec<usize>,
+}
+
+impl Harness {
+    /// Time `f` at every thread width and check its output is bit-identical
+    /// across them. Returns the single-thread output for further checks.
+    fn run(&mut self, kernel: &str, reps: usize, mut f: impl FnMut() -> Vec<f32>) -> Vec<f32> {
+        let reference = with_max_threads(1, &mut f);
+        let widths = self.widths.clone();
+        for &w in &widths {
+            let out = with_max_threads(w, &mut f);
+            if out.len() != reference.len()
+                || out
+                    .iter()
+                    .zip(&reference)
+                    .any(|(a, b)| a.to_bits() != b.to_bits())
+            {
+                self.divergences.push(format!(
+                    "{kernel}: output at {w} thread(s) differs bitwise from 1 thread"
+                ));
+            }
+            let ms = with_max_threads(w, || {
+                time_ms(reps, || {
+                    let _ = f();
+                })
+            });
+            self.records.push(Record {
+                kernel: kernel.to_string(),
+                threads: w,
+                ms,
+            });
+        }
+        reference
+    }
+
+    fn check_close(&mut self, kernel: &str, got: &[f32], want: &[f32], tol: f32) {
+        let worst = got
+            .iter()
+            .zip(want)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        if got.len() != want.len() || worst > tol {
+            self.divergences.push(format!(
+                "{kernel}: diverges from sequential reference (max abs diff {worst}, tol {tol})"
+            ));
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    // The pool is sized once, lazily, from DTRAIN_THREADS. On small CI
+    // hosts `available_parallelism` may be 1, which would make the
+    // cross-width determinism check vacuous — so default the pool to 8 and
+    // scope the actually-used width with `with_max_threads`.
+    if std::env::var("DTRAIN_THREADS").is_err() {
+        std::env::set_var("DTRAIN_THREADS", "8");
+    }
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool_width = current_num_threads();
+
+    let mut h = Harness {
+        records: Vec::new(),
+        divergences: Vec::new(),
+        widths: [1usize, 2, 4, 8]
+            .into_iter()
+            .filter(|&w| w <= pool_width)
+            .collect(),
+    };
+
+    let mut rng = SmallRng::seed_from_u64(1);
+
+    // --- GEMM: square sizes, all three fused variants ---------------------
+    let gemm_sizes: &[usize] = if smoke {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512]
+    };
+    for &n in gemm_sizes {
+        let a = Tensor::randn(&[n, n], 1.0, &mut rng);
+        let b = Tensor::randn(&[n, n], 1.0, &mut rng);
+        let reps = if smoke {
+            3
+        } else if n >= 256 {
+            5
+        } else {
+            20
+        };
+        let out = h.run(&format!("gemm_{n}"), reps, || matmul(&a, &b).into_vec());
+        let want = reference_matmul(&a, &b);
+        // The blocked kernel preserves the reference's per-element addition
+        // order, so this is bitwise in practice; the gate asserts the float
+        // tolerance the training stack actually requires.
+        let tol = 1e-3 * n as f32;
+        h.check_close(&format!("gemm_{n}"), &out, want.data(), tol);
+
+        let at = transpose(&a);
+        let out = h.run(&format!("gemm_at_b_{n}"), reps, || {
+            matmul_at_b(&at, &b).into_vec()
+        });
+        h.check_close(&format!("gemm_at_b_{n}"), &out, want.data(), tol);
+
+        let bt = transpose(&b);
+        let out = h.run(&format!("gemm_a_bt_{n}"), reps, || {
+            matmul_a_bt(&a, &bt).into_vec()
+        });
+        h.check_close(&format!("gemm_a_bt_{n}"), &out, want.data(), tol);
+    }
+
+    // --- conv forward + backward ------------------------------------------
+    let spec = Conv2dSpec {
+        in_channels: 8,
+        out_channels: 16,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let x = Tensor::randn(&[16, 8, 16, 16], 1.0, &mut rng);
+    let w = Tensor::randn(&[16, 8 * 9], 0.1, &mut rng);
+    let bias = Tensor::zeros(&[16]);
+    let conv_reps = if smoke { 3 } else { 10 };
+    h.run("conv_fwd_bwd_16x8x16x16", conv_reps, || {
+        let (y, cols) = conv2d_forward(&x, &w, &bias, &spec);
+        let g = Tensor::full(y.shape(), 0.1);
+        let (dx, dw, db) = conv2d_backward(&g, &cols, &w, &spec, 16, 16);
+        let mut out = y.into_vec();
+        out.extend_from_slice(dx.data());
+        out.extend_from_slice(dw.data());
+        out.extend_from_slice(db.data());
+        out
+    });
+
+    // --- end-to-end training step -----------------------------------------
+    let xb = Tensor::randn(&[32, 3, 16, 16], 1.0, &mut rng);
+    let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    let step_reps = if smoke { 2 } else { 10 };
+    h.run("train_step_small_cnn_b32", step_reps, || {
+        // fresh net per call: the step must be a pure function of the seed
+        // for the cross-width bitwise check
+        let mut net = small_cnn(3, 16, 10, 7);
+        let (loss, acc) = net.train_batch(xb.clone(), &labels);
+        let mut out = vec![loss, acc];
+        out.extend_from_slice(net.grads().0[0].data());
+        out
+    });
+
+    // --- report ------------------------------------------------------------
+    for r in &h.records {
+        println!("{:<28} threads={} {:>9.3} ms", r.kernel, r.threads, r.ms);
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"host_parallelism\": {host_parallelism},\n  \"pool_width\": {pool_width},\n  \"smoke\": {smoke},\n"
+    ));
+    json.push_str("  \"records\": [\n");
+    for (i, r) in h.records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"threads\": {}, \"ms\": {:.6}}}{}\n",
+            json_escape(&r.kernel),
+            r.threads,
+            r.ms,
+            if i + 1 < h.records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"divergences\": [\n");
+    for (i, d) in h.divergences.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\"{}\n",
+            json_escape(d),
+            if i + 1 < h.divergences.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/bench_kernels.json", &json).expect("write bench_kernels.json");
+    println!(
+        "wrote results/bench_kernels.json ({} records)",
+        h.records.len()
+    );
+
+    if !h.divergences.is_empty() {
+        eprintln!("KERNEL DIVERGENCE DETECTED:");
+        for d in &h.divergences {
+            eprintln!("  {d}");
+        }
+        std::process::exit(1);
+    }
+}

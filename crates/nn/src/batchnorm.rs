@@ -12,7 +12,7 @@
 //! evaluation here always happens on large batches (the full test set),
 //! where batch statistics are the better estimator anyway.
 
-use dtrain_tensor::Tensor;
+use dtrain_tensor::{Scratch, Shape, Tensor};
 
 use crate::layer::Layer;
 
@@ -25,7 +25,7 @@ pub struct BatchNorm2d {
     dbeta: Tensor,
     eps: f32,
     /// (normalized input x̂, per-channel 1/σ, input shape)
-    cache: Option<(Tensor, Vec<f32>, Vec<usize>)>,
+    cache: Option<(Tensor, Vec<f32>, Shape)>,
 }
 
 impl BatchNorm2d {
@@ -52,8 +52,8 @@ impl Layer for BatchNorm2d {
         &self.name
     }
 
-    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
-        let shape = x.shape().to_vec();
+    fn forward(&mut self, x: Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        let shape = Shape::from(x.shape());
         assert_eq!(shape.len(), 4, "BatchNorm2d expects NCHW");
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         assert_eq!(c, self.channels(), "channel mismatch in '{}'", self.name);
@@ -61,8 +61,9 @@ impl Layer for BatchNorm2d {
         let count = (n * plane) as f32;
         let xd = x.data();
 
-        let mut mean = vec![0.0f32; c];
-        let mut var = vec![0.0f32; c];
+        let mut mean = scratch.take_zeroed(c);
+        // `var` becomes the cached 1/σ vector below.
+        let mut var = scratch.take_zeroed(c);
         for img in 0..n {
             for ch in 0..c {
                 let base = (img * c + ch) * plane;
@@ -83,32 +84,44 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        let std_inv: Vec<f32> = var
-            .iter()
-            .map(|&v| 1.0 / (v / count + self.eps).sqrt())
-            .collect();
+        for v in &mut var {
+            *v = 1.0 / (*v / count + self.eps).sqrt();
+        }
+        let std_inv = var;
 
-        let mut xhat = vec![0.0f32; xd.len()];
-        let mut out = vec![0.0f32; xd.len()];
+        let mut xhat = scratch.tensor_any(&shape);
+        let mut out = scratch.tensor_any(&shape);
         let g = self.gamma.data();
         let b = self.beta.data();
-        for img in 0..n {
-            for ch in 0..c {
-                let base = (img * c + ch) * plane;
-                for i in base..base + plane {
-                    let nh = (xd[i] - mean[ch]) * std_inv[ch];
-                    xhat[i] = nh;
-                    out[i] = g[ch] * nh + b[ch];
+        {
+            let xh = xhat.data_mut();
+            let od = out.data_mut();
+            for img in 0..n {
+                for ch in 0..c {
+                    let base = (img * c + ch) * plane;
+                    for i in base..base + plane {
+                        let nh = (xd[i] - mean[ch]) * std_inv[ch];
+                        xh[i] = nh;
+                        od[i] = g[ch] * nh + b[ch];
+                    }
                 }
             }
         }
+        scratch.recycle(mean);
+        scratch.recycle_tensor(x);
         if train {
-            self.cache = Some((Tensor::from_vec(&shape, xhat), std_inv, shape.clone()));
+            if let Some((old_xhat, old_std, _)) = self.cache.replace((xhat, std_inv, shape)) {
+                scratch.recycle_tensor(old_xhat);
+                scratch.recycle(old_std);
+            }
+        } else {
+            scratch.recycle_tensor(xhat);
+            scratch.recycle(std_inv);
         }
-        Tensor::from_vec(&shape, out)
+        out
     }
 
-    fn backward(&mut self, grad: Tensor) -> Tensor {
+    fn backward(&mut self, grad: Tensor, scratch: &mut Scratch) -> Tensor {
         let (xhat, std_inv, shape) = self
             .cache
             .take()
@@ -120,8 +133,8 @@ impl Layer for BatchNorm2d {
         let xh = xhat.data();
 
         // Per-channel reductions.
-        let mut sum_g = vec![0.0f32; c];
-        let mut sum_gx = vec![0.0f32; c];
+        let mut sum_g = scratch.take_zeroed(c);
+        let mut sum_gx = scratch.take_zeroed(c);
         for img in 0..n {
             for ch in 0..c {
                 let base = (img * c + ch) * plane;
@@ -131,22 +144,30 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        self.dbeta = Tensor::from_vec(&[c], sum_g.clone());
-        self.dgamma = Tensor::from_vec(&[c], sum_gx.clone());
+        self.dbeta.data_mut().copy_from_slice(&sum_g);
+        self.dgamma.data_mut().copy_from_slice(&sum_gx);
 
         // dx = γ·σ⁻¹/m · (m·g − Σg − x̂·Σ(g·x̂))
         let gamma = self.gamma.data();
-        let mut dx = vec![0.0f32; gd.len()];
-        for img in 0..n {
-            for ch in 0..c {
-                let base = (img * c + ch) * plane;
-                let k = gamma[ch] * std_inv[ch] / m;
-                for i in base..base + plane {
-                    dx[i] = k * (m * gd[i] - sum_g[ch] - xh[i] * sum_gx[ch]);
+        let mut dx = scratch.tensor_any(&shape);
+        {
+            let dd = dx.data_mut();
+            for img in 0..n {
+                for ch in 0..c {
+                    let base = (img * c + ch) * plane;
+                    let k = gamma[ch] * std_inv[ch] / m;
+                    for i in base..base + plane {
+                        dd[i] = k * (m * gd[i] - sum_g[ch] - xh[i] * sum_gx[ch]);
+                    }
                 }
             }
         }
-        Tensor::from_vec(&shape, dx)
+        scratch.recycle(sum_g);
+        scratch.recycle(sum_gx);
+        scratch.recycle(std_inv);
+        scratch.recycle_tensor(xhat);
+        scratch.recycle_tensor(grad);
+        dx
     }
 
     fn params(&self) -> Vec<&Tensor> {
@@ -170,10 +191,11 @@ mod tests {
 
     #[test]
     fn output_is_normalized_per_channel() {
+        let mut s = Scratch::new();
         let mut rng = SmallRng::seed_from_u64(1);
         let mut bn = BatchNorm2d::new("bn", 3);
         let x = Tensor::randn(&[4, 3, 5, 5], 3.0, &mut rng);
-        let y = bn.forward(x, true);
+        let y = bn.forward(x, true, &mut s);
         // each channel of y has ~zero mean and ~unit variance
         let yd = y.data();
         for ch in 0..3 {
@@ -191,11 +213,12 @@ mod tests {
 
     #[test]
     fn affine_params_shift_and_scale() {
+        let mut s = Scratch::new();
         let mut bn = BatchNorm2d::new("bn", 1);
         bn.params_mut()[0].data_mut()[0] = 2.0; // gamma
         bn.params_mut()[1].data_mut()[0] = 5.0; // beta
         let x = Tensor::from_vec(&[2, 1, 1, 2], vec![-1.0, 1.0, -1.0, 1.0]);
-        let y = bn.forward(x, false);
+        let y = bn.forward(x, false, &mut s);
         // x̂ = ±1, so y = ±2 + 5
         for &v in y.data() {
             assert!((v - 3.0).abs() < 1e-3 || (v - 7.0).abs() < 1e-3, "{v}");
@@ -204,15 +227,16 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_difference() {
+        let mut s = Scratch::new();
         let mut rng = SmallRng::seed_from_u64(2);
         let mut bn = BatchNorm2d::new("bn", 2);
         let x = Tensor::randn(&[2, 2, 3, 3], 1.0, &mut rng);
         // loss = Σ y ⊙ wsum for a fixed random weighting (non-trivial grad)
         let wsum = Tensor::randn(x.shape(), 1.0, &mut rng);
-        let y = bn.forward(x.clone(), true);
+        let y = bn.forward(x.clone(), true, &mut s);
         let loss0: f32 = y.data().iter().zip(wsum.data()).map(|(a, b)| a * b).sum();
         let _ = loss0;
-        let dx = bn.backward(wsum.clone());
+        let dx = bn.backward(wsum.clone(), &mut s);
         let eps = 1e-2f32;
         for i in [0usize, 7, 20, 35] {
             let mut xp = x.clone();
@@ -220,14 +244,14 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
             let lp: f32 = bn
-                .forward(xp, false)
+                .forward(xp, false, &mut s)
                 .data()
                 .iter()
                 .zip(wsum.data())
                 .map(|(a, b)| a * b)
                 .sum();
             let lm: f32 = bn
-                .forward(xm, false)
+                .forward(xm, false, &mut s)
                 .data()
                 .iter()
                 .zip(wsum.data())
@@ -247,7 +271,7 @@ mod tests {
             p[0].data_mut()[ci] = base_gamma.data()[ci] + eps;
             drop(p);
             let lp: f32 = bn
-                .forward(x.clone(), false)
+                .forward(x.clone(), false, &mut s)
                 .data()
                 .iter()
                 .zip(wsum.data())
@@ -257,7 +281,7 @@ mod tests {
             p[0].data_mut()[ci] = base_gamma.data()[ci] - eps;
             drop(p);
             let lm: f32 = bn
-                .forward(x.clone(), false)
+                .forward(x.clone(), false, &mut s)
                 .data()
                 .iter()
                 .zip(wsum.data())
@@ -279,12 +303,13 @@ mod tests {
     fn gradient_sums_to_zero_per_channel() {
         // BN output is mean-free per channel, so dL/dx must sum to ~0 per
         // channel for any upstream gradient.
+        let mut s = Scratch::new();
         let mut rng = SmallRng::seed_from_u64(3);
         let mut bn = BatchNorm2d::new("bn", 2);
         let x = Tensor::randn(&[3, 2, 4, 4], 1.5, &mut rng);
-        let _ = bn.forward(x, true);
+        let _ = bn.forward(x, true, &mut s);
         let g = Tensor::randn(&[3, 2, 4, 4], 1.0, &mut rng);
-        let dx = bn.backward(g);
+        let dx = bn.backward(g, &mut s);
         for ch in 0..2 {
             let mut s = 0.0f32;
             for img in 0..3 {

@@ -4,23 +4,30 @@
 //! `forward(train=true)` and accumulates parameter gradients internally;
 //! [`crate::network::Network`] collects them into a
 //! [`crate::params::ParamSet`] after the backward sweep.
+//!
+//! Every `forward`/`backward` takes the network-owned [`Scratch`] arena:
+//! layers draw activations, gradients, and kernel workspaces from it and
+//! recycle consumed tensors back into it, so a steady-state training step
+//! performs zero heap allocations inside the layer stack.
 
 use dtrain_tensor::{
-    add_bias, conv2d_backward, conv2d_forward, matmul, matmul_a_bt, matmul_at_b,
-    maxpool2d_backward, maxpool2d_forward, relu, relu_backward, sum_rows, Conv2dSpec, Tensor,
+    add_bias, conv2d_backward_scratch, conv2d_forward_scratch, matmul_a_bt_scratch,
+    matmul_at_b_scratch, matmul_scratch, maxpool2d_backward_scratch, maxpool2d_forward_scratch,
+    relu_backward_scratch, relu_scratch, sum_rows_scratch, Conv2dSpec, Scratch, Shape, Tensor,
 };
 use rand::Rng;
 
 /// A differentiable layer. `forward` consumes its input and produces the
 /// activation; `backward` consumes the incoming gradient and produces the
 /// gradient w.r.t. the layer input, stashing parameter gradients internally.
+/// Consumed tensors are recycled into `scratch`; outputs are drawn from it.
 pub trait Layer: Send {
     /// Stable name used in layouts and shard plans.
     fn name(&self) -> &str;
 
-    fn forward(&mut self, x: Tensor, train: bool) -> Tensor;
+    fn forward(&mut self, x: Tensor, train: bool, scratch: &mut Scratch) -> Tensor;
 
-    fn backward(&mut self, grad: Tensor) -> Tensor;
+    fn backward(&mut self, grad: Tensor, scratch: &mut Scratch) -> Tensor;
 
     /// Trainable tensors, in a fixed order.
     fn params(&self) -> Vec<&Tensor> {
@@ -34,6 +41,13 @@ pub trait Layer: Send {
     /// Gradients from the most recent backward, congruent with `params()`.
     fn grads(&self) -> Vec<&Tensor> {
         Vec::new()
+    }
+}
+
+/// Stash `t` in `slot`, recycling whatever the slot held before.
+fn cache_tensor(slot: &mut Option<Tensor>, t: Tensor, scratch: &mut Scratch) {
+    if let Some(old) = slot.replace(t) {
+        scratch.recycle_tensor(old);
     }
 }
 
@@ -65,25 +79,32 @@ impl Layer for Dense {
         &self.name
     }
 
-    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
-        let mut y = matmul_a_bt(&x, &self.weight);
+    fn forward(&mut self, x: Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        let mut y = matmul_a_bt_scratch(&x, &self.weight, scratch);
         add_bias(&mut y, &self.bias);
         if train {
-            self.cached_input = Some(x);
+            cache_tensor(&mut self.cached_input, x, scratch);
+        } else {
+            scratch.recycle_tensor(x);
         }
         y
     }
 
-    fn backward(&mut self, grad: Tensor) -> Tensor {
+    fn backward(&mut self, grad: Tensor, scratch: &mut Scratch) -> Tensor {
         let x = self
             .cached_input
             .take()
             .expect("backward without forward(train=true)");
         // dW[out,in] = gradᵀ[out,batch] · x[batch,in]
-        self.dweight = matmul_at_b(&grad, &x);
-        self.dbias = sum_rows(&grad);
+        let dw = matmul_at_b_scratch(&grad, &x, scratch);
+        scratch.recycle_tensor(std::mem::replace(&mut self.dweight, dw));
+        let db = sum_rows_scratch(&grad, scratch);
+        scratch.recycle_tensor(std::mem::replace(&mut self.dbias, db));
         // dx[batch,in] = grad[batch,out] · W[out,in]
-        matmul(&grad, &self.weight)
+        let dx = matmul_scratch(&grad, &self.weight, scratch);
+        scratch.recycle_tensor(x);
+        scratch.recycle_tensor(grad);
+        dx
     }
 
     fn params(&self) -> Vec<&Tensor> {
@@ -119,20 +140,25 @@ impl Layer for Relu {
         &self.name
     }
 
-    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
-        let y = relu(&x);
+    fn forward(&mut self, x: Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        let y = relu_scratch(&x, scratch);
         if train {
-            self.cached_input = Some(x);
+            cache_tensor(&mut self.cached_input, x, scratch);
+        } else {
+            scratch.recycle_tensor(x);
         }
         y
     }
 
-    fn backward(&mut self, grad: Tensor) -> Tensor {
+    fn backward(&mut self, grad: Tensor, scratch: &mut Scratch) -> Tensor {
         let x = self
             .cached_input
             .take()
             .expect("backward without forward(train=true)");
-        relu_backward(&x, &grad)
+        let dx = relu_backward_scratch(&x, &grad, scratch);
+        scratch.recycle_tensor(x);
+        scratch.recycle_tensor(grad);
+        dx
     }
 }
 
@@ -183,29 +209,35 @@ impl Layer for Conv2d {
         &self.name
     }
 
-    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
-        let (y, cols) = conv2d_forward(&x, &self.weight, &self.bias, &self.spec);
+    fn forward(&mut self, x: Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        let (y, cols) = conv2d_forward_scratch(&x, &self.weight, &self.bias, &self.spec, scratch);
+        scratch.recycle_tensor(x);
         if train {
-            self.cached_cols = Some(cols);
+            cache_tensor(&mut self.cached_cols, cols, scratch);
+        } else {
+            scratch.recycle_tensor(cols);
         }
         y
     }
 
-    fn backward(&mut self, grad: Tensor) -> Tensor {
+    fn backward(&mut self, grad: Tensor, scratch: &mut Scratch) -> Tensor {
         let cols = self
             .cached_cols
             .take()
             .expect("backward without forward(train=true)");
-        let (dx, dw, db) = conv2d_backward(
+        let (dx, dw, db) = conv2d_backward_scratch(
             &grad,
             &cols,
             &self.weight,
             &self.spec,
             self.in_hw.0,
             self.in_hw.1,
+            scratch,
         );
-        self.dweight = dw;
-        self.dbias = db;
+        scratch.recycle_tensor(std::mem::replace(&mut self.dweight, dw));
+        scratch.recycle_tensor(std::mem::replace(&mut self.dbias, db));
+        scratch.recycle_tensor(cols);
+        scratch.recycle_tensor(grad);
         dx
     }
 
@@ -226,7 +258,7 @@ impl Layer for Conv2d {
 pub struct MaxPool2d {
     name: String,
     window: usize,
-    cached: Option<(Vec<u32>, Vec<usize>)>,
+    cached: Option<(Vec<u32>, Shape)>,
 }
 
 impl MaxPool2d {
@@ -244,28 +276,36 @@ impl Layer for MaxPool2d {
         &self.name
     }
 
-    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
-        let in_shape = x.shape().to_vec();
-        let (y, idx) = maxpool2d_forward(&x, self.window);
+    fn forward(&mut self, x: Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        let in_shape = Shape::from(x.shape());
+        let (y, idx) = maxpool2d_forward_scratch(&x, self.window, scratch);
+        scratch.recycle_tensor(x);
         if train {
-            self.cached = Some((idx, in_shape));
+            if let Some((old_idx, _)) = self.cached.replace((idx, in_shape)) {
+                scratch.recycle_u32(old_idx);
+            }
+        } else {
+            scratch.recycle_u32(idx);
         }
         y
     }
 
-    fn backward(&mut self, grad: Tensor) -> Tensor {
+    fn backward(&mut self, grad: Tensor, scratch: &mut Scratch) -> Tensor {
         let (idx, in_shape) = self
             .cached
             .take()
             .expect("backward without forward(train=true)");
-        maxpool2d_backward(&grad, &idx, &in_shape)
+        let dx = maxpool2d_backward_scratch(&grad, &idx, &in_shape, scratch);
+        scratch.recycle_u32(idx);
+        scratch.recycle_tensor(grad);
+        dx
     }
 }
 
 /// Collapse `[N, C, H, W]` → `[N, C·H·W]` (and reverse in backward).
 pub struct Flatten {
     name: String,
-    cached_shape: Option<Vec<usize>>,
+    cached_shape: Option<Shape>,
 }
 
 impl Flatten {
@@ -282,8 +322,8 @@ impl Layer for Flatten {
         &self.name
     }
 
-    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
-        let shape = x.shape().to_vec();
+    fn forward(&mut self, x: Tensor, train: bool, _scratch: &mut Scratch) -> Tensor {
+        let shape = Shape::from(x.shape());
         let n = shape[0];
         let rest: usize = shape[1..].iter().product();
         if train {
@@ -292,7 +332,7 @@ impl Layer for Flatten {
         x.reshape(&[n, rest])
     }
 
-    fn backward(&mut self, grad: Tensor) -> Tensor {
+    fn backward(&mut self, grad: Tensor, _scratch: &mut Scratch) -> Tensor {
         let shape = self
             .cached_shape
             .take()
@@ -309,25 +349,27 @@ mod tests {
 
     #[test]
     fn dense_forward_known_values() {
+        let mut s = Scratch::new();
         let mut rng = SmallRng::seed_from_u64(0);
         let mut d = Dense::new("d", 2, 1, &mut rng);
         // overwrite weights for a known case: y = 2*x0 - x1 + 0.5
         d.params_mut()[0].data_mut().copy_from_slice(&[2.0, -1.0]);
         d.params_mut()[1].data_mut().copy_from_slice(&[0.5]);
         let x = Tensor::from_vec(&[2, 2], vec![1., 1., 3., 0.]);
-        let y = d.forward(x, false);
+        let y = d.forward(x, false, &mut s);
         assert_eq!(y.data(), &[1.5, 6.5]);
     }
 
     #[test]
     fn dense_gradient_finite_difference() {
+        let mut s = Scratch::new();
         let mut rng = SmallRng::seed_from_u64(1);
         let mut d = Dense::new("d", 3, 2, &mut rng);
         let x = Tensor::randn(&[4, 3], 1.0, &mut rng);
         // loss = sum(y); dL/dy = ones
-        let y = d.forward(x.clone(), true);
+        let y = d.forward(x.clone(), true, &mut s);
         let g = Tensor::full(y.shape(), 1.0);
-        let dx = d.backward(g);
+        let dx = d.backward(g, &mut s);
         let eps = 1e-2f32;
         // weight grad check
         let base_w = d.params()[0].clone();
@@ -335,11 +377,11 @@ mod tests {
             let mut dp = d.params_mut();
             dp[0].data_mut()[i] = base_w.data()[i] + eps;
             drop(dp);
-            let yp = d.forward(x.clone(), false).sum();
+            let yp = d.forward(x.clone(), false, &mut s).sum();
             let mut dp = d.params_mut();
             dp[0].data_mut()[i] = base_w.data()[i] - eps;
             drop(dp);
-            let ym = d.forward(x.clone(), false).sum();
+            let ym = d.forward(x.clone(), false, &mut s).sum();
             let mut dp = d.params_mut();
             dp[0].data_mut()[i] = base_w.data()[i];
             drop(dp);
@@ -353,8 +395,8 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let fp = d.forward(xp, false).sum();
-            let fm = d.forward(xm, false).sum();
+            let fp = d.forward(xp, false, &mut s).sum();
+            let fm = d.forward(xm, false, &mut s).sum();
             let fd = (fp - fm) / (2.0 * eps);
             assert!((fd - dx.data()[i]).abs() < 1e-2);
         }
@@ -362,25 +404,28 @@ mod tests {
 
     #[test]
     fn relu_layer_masks_gradient() {
+        let mut s = Scratch::new();
         let mut r = Relu::new("r");
         let x = Tensor::from_vec(&[1, 3], vec![-1., 0.5, 2.]);
-        let _ = r.forward(x, true);
-        let dx = r.backward(Tensor::full(&[1, 3], 3.0));
+        let _ = r.forward(x, true, &mut s);
+        let dx = r.backward(Tensor::full(&[1, 3], 3.0), &mut s);
         assert_eq!(dx.data(), &[0., 3., 3.]);
     }
 
     #[test]
     fn flatten_roundtrip() {
+        let mut s = Scratch::new();
         let mut f = Flatten::new("f");
         let x = Tensor::from_vec(&[2, 1, 2, 2], (0..8).map(|v| v as f32).collect());
-        let y = f.forward(x, true);
+        let y = f.forward(x, true, &mut s);
         assert_eq!(y.shape(), &[2, 4]);
-        let back = f.backward(y);
+        let back = f.backward(y, &mut s);
         assert_eq!(back.shape(), &[2, 1, 2, 2]);
     }
 
     #[test]
     fn conv_layer_shapes() {
+        let mut s = Scratch::new();
         let mut rng = SmallRng::seed_from_u64(2);
         let spec = Conv2dSpec {
             in_channels: 3,
@@ -391,20 +436,22 @@ mod tests {
         };
         let mut c = Conv2d::new("c", spec, (8, 8), &mut rng);
         let x = Tensor::randn(&[2, 3, 8, 8], 1.0, &mut rng);
-        let y = c.forward(x, true);
+        let y = c.forward(x, true, &mut s);
         assert_eq!(y.shape(), &[2, 8, 8, 8]);
-        let dx = c.backward(Tensor::full(y.shape(), 0.1));
+        let gshape = Shape::from(y.shape());
+        let dx = c.backward(Tensor::full(&gshape, 0.1), &mut s);
         assert_eq!(dx.shape(), &[2, 3, 8, 8]);
         assert_eq!(c.grads().len(), 2);
     }
 
     #[test]
     fn maxpool_layer_roundtrip() {
+        let mut s = Scratch::new();
         let mut p = MaxPool2d::new("p", 2);
         let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 9., 3., 4.]);
-        let y = p.forward(x, true);
+        let y = p.forward(x, true, &mut s);
         assert_eq!(y.data(), &[9.0]);
-        let dx = p.backward(Tensor::full(&[1, 1, 1, 1], 5.0));
+        let dx = p.backward(Tensor::full(&[1, 1, 1, 1], 5.0), &mut s);
         assert_eq!(dx.data(), &[0., 5., 0., 0.]);
     }
 }

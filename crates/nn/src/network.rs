@@ -2,26 +2,32 @@
 //! distributed algorithms need — whole-model parameter get/set, gradient
 //! collection, and the per-layer layout used for sharding and wait-free BP.
 
-use dtrain_tensor::{accuracy, softmax_cross_entropy, Tensor};
+use dtrain_tensor::{accuracy, softmax_cross_entropy_scratch, Scratch, Tensor};
 
 use crate::layer::Layer;
 use crate::params::{LayerGroup, ParamLayout, ParamSet};
 
-/// Sequential container.
+/// Sequential container. Owns the [`Scratch`] arena all its layers draw
+/// temporaries from: after a warm-up step, steady-state `train_batch` calls
+/// perform zero heap allocations in tensor temporaries.
 pub struct Network {
     layers: Vec<Box<dyn Layer>>,
+    scratch: Scratch,
 }
 
 impl Network {
     pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
-        Network { layers }
+        Network {
+            layers,
+            scratch: Scratch::new(),
+        }
     }
 
     /// Forward pass through every layer.
     pub fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
         let mut h = x;
         for layer in &mut self.layers {
-            h = layer.forward(h, train);
+            h = layer.forward(h, train, &mut self.scratch);
         }
         h
     }
@@ -30,8 +36,9 @@ impl Network {
     pub fn backward(&mut self, dlogits: Tensor) {
         let mut g = dlogits;
         for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(g);
+            g = layer.backward(g, &mut self.scratch);
         }
+        self.scratch.recycle_tensor(g);
     }
 
     /// One forward+backward on a batch; returns `(loss, batch_accuracy)`.
@@ -39,7 +46,8 @@ impl Network {
     pub fn train_batch(&mut self, x: Tensor, labels: &[usize]) -> (f32, f32) {
         let logits = self.forward(x, true);
         let acc = accuracy(&logits, labels);
-        let (loss, dlogits) = softmax_cross_entropy(&logits, labels);
+        let (loss, dlogits) = softmax_cross_entropy_scratch(&logits, labels, &mut self.scratch);
+        self.scratch.recycle_tensor(logits);
         self.backward(dlogits);
         (loss, acc)
     }
@@ -48,8 +56,22 @@ impl Network {
     pub fn eval_batch(&mut self, x: Tensor, labels: &[usize]) -> (f32, f32) {
         let logits = self.forward(x, false);
         let acc = accuracy(&logits, labels);
-        let (loss, _) = softmax_cross_entropy(&logits, labels);
+        let (loss, dlogits) = softmax_cross_entropy_scratch(&logits, labels, &mut self.scratch);
+        self.scratch.recycle_tensor(dlogits);
+        self.scratch.recycle_tensor(logits);
         (loss, acc)
+    }
+
+    /// Heap growths the arena has performed: stays flat across steady-state
+    /// training steps — the allocation-counting hook the zero-alloc
+    /// regression test observes.
+    pub fn scratch_grown(&self) -> usize {
+        self.scratch.grown()
+    }
+
+    /// Arena requests served without touching the heap.
+    pub fn scratch_reused(&self) -> usize {
+        self.scratch.reused()
     }
 
     /// Snapshot all trainable parameters.

@@ -5,7 +5,7 @@
 //! genuinely residual architecture (`dtrain_models::mini_resnet`) rather
 //! than a plain CNN.
 
-use dtrain_tensor::Tensor;
+use dtrain_tensor::{Scratch, Tensor};
 
 use crate::layer::Layer;
 
@@ -31,11 +31,12 @@ impl Layer for Residual {
         &self.name
     }
 
-    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
-        let skip = x.clone();
+    fn forward(&mut self, x: Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        let mut skip = scratch.tensor_any(x.shape());
+        skip.data_mut().copy_from_slice(x.data());
         let mut h = x;
         for layer in &mut self.inner {
-            h = layer.forward(h, train);
+            h = layer.forward(h, train, scratch);
         }
         assert_eq!(
             h.shape(),
@@ -44,17 +45,20 @@ impl Layer for Residual {
             self.name
         );
         h.add_assign(&skip);
+        scratch.recycle_tensor(skip);
         h
     }
 
-    fn backward(&mut self, grad: Tensor) -> Tensor {
+    fn backward(&mut self, grad: Tensor, scratch: &mut Scratch) -> Tensor {
         // d/dx [x + f(x)] = 1 + f'(x): the gradient flows through the
         // branch and adds to the identity path.
-        let mut g = grad.clone();
+        let mut g = scratch.tensor_any(grad.shape());
+        g.data_mut().copy_from_slice(grad.data());
         for layer in self.inner.iter_mut().rev() {
-            g = layer.backward(g);
+            g = layer.backward(g, scratch);
         }
         g.add_assign(&grad);
+        scratch.recycle_tensor(grad);
         g
     }
 
@@ -99,7 +103,7 @@ mod tests {
             p.zero_();
         }
         let x = Tensor::from_vec(&[2, 4], vec![1., 2., 3., 4., 5., 6., 7., 8.]);
-        let y = b.forward(x.clone(), false);
+        let y = b.forward(x.clone(), false, &mut Scratch::new());
         assert_eq!(y.data(), x.data());
     }
 
@@ -110,10 +114,11 @@ mod tests {
         for p in b.params_mut() {
             p.zero_();
         }
+        let mut s = Scratch::new();
         let x = Tensor::from_vec(&[1, 4], vec![1., -1., 2., 0.5]);
-        let _ = b.forward(x, true);
+        let _ = b.forward(x, true, &mut s);
         let g = Tensor::from_vec(&[1, 4], vec![0.1, 0.2, 0.3, 0.4]);
-        let dx = b.backward(g.clone());
+        let dx = b.backward(g.clone(), &mut s);
         assert_eq!(dx.data(), g.data());
     }
 
@@ -161,6 +166,6 @@ mod tests {
     fn shape_mismatch_is_rejected() {
         let mut rng = SmallRng::seed_from_u64(5);
         let mut bad = Residual::new("bad", vec![Box::new(Dense::new("d", 4, 3, &mut rng))]);
-        let _ = bad.forward(Tensor::zeros(&[1, 4]), false);
+        let _ = bad.forward(Tensor::zeros(&[1, 4]), false, &mut Scratch::new());
     }
 }

@@ -55,6 +55,16 @@ impl Default for RuntimeFaultConfig {
     }
 }
 
+/// Default replica count for threaded runs: the `DTRAIN_THREADS` override
+/// if set (the same knob that sizes the kernel thread pool), else 4.
+pub fn default_workers() -> usize {
+    std::env::var("DTRAIN_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(4)
+}
+
 /// Configuration for a threaded training run.
 #[derive(Clone, Debug)]
 pub struct ThreadedConfig {
@@ -73,7 +83,7 @@ pub struct ThreadedConfig {
 impl Default for ThreadedConfig {
     fn default() -> Self {
         ThreadedConfig {
-            workers: 4,
+            workers: default_workers(),
             epochs: 10,
             batch: 32,
             strategy: Strategy::Bsp,

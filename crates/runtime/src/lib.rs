@@ -28,5 +28,7 @@
 mod engine;
 mod strategy;
 
-pub use engine::{train_threaded, RuntimeFaultConfig, ThreadedConfig, ThreadedReport};
+pub use engine::{
+    default_workers, train_threaded, RuntimeFaultConfig, ThreadedConfig, ThreadedReport,
+};
 pub use strategy::{ExchangeMsg, GossipMsg, PeerCtrl, PeerNet, PsState, Strategy};

@@ -5,9 +5,21 @@
 //! parallel matmul kernel. This is the textbook approach (and what cuDNN's
 //! GEMM algorithms do), sized for the small CNNs the accuracy experiments
 //! train.
+//!
+//! im2col and col2im parallelise over *images*: each image owns a disjoint
+//! slice of the output, no cross-image reduction exists, so results are
+//! bit-identical at any thread count. The `_scratch` variants draw every
+//! temporary (patch matrices, reorder copies, outputs) from a [`Scratch`]
+//! arena so steady-state training allocates nothing here.
 
-use crate::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::matmul::{matmul_a_bt_scratch, matmul_at_b_scratch, matmul_scratch};
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Below this many output elements the per-region dispatch overhead beats
+/// the parallel win; run sequentially.
+const PAR_MIN_ELEMS: usize = 64 * 64;
 
 /// Static geometry of a conv layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,8 +46,60 @@ impl Conv2dSpec {
     }
 }
 
+/// Unroll one image's patches into its `oh*ow * cols_w` slice of the patch
+/// matrix. Writes every cell (0.0 for padding), so the destination may hold
+/// stale data.
+#[allow(clippy::too_many_arguments)]
+fn im2col_image(
+    dst: &mut [f32],
+    img_chan: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+    oh: usize,
+    ow: usize,
+) {
+    let cols_w = c * k * k;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = (oy * ow + ox) * cols_w;
+            let mut col = 0usize;
+            for ch in 0..c {
+                let chan = &img_chan[ch * h * w..(ch + 1) * h * w];
+                for ky in 0..k {
+                    let iy = (oy * s + ky) as isize - p as isize;
+                    for kx in 0..k {
+                        let ix = (ox * s + kx) as isize - p as isize;
+                        dst[base + col] =
+                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                chan[iy as usize * w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Unroll input patches: `x[N,C,H,W]` → `cols[N*OH*OW, C*K*K]`.
 pub fn im2col(x: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
+    im2col_scratch(x, spec, h, w, &mut Scratch::new())
+}
+
+/// [`im2col`] with the patch matrix drawn from the arena.
+pub fn im2col_scratch(
+    x: &Tensor,
+    spec: &Conv2dSpec,
+    h: usize,
+    w: usize,
+    scratch: &mut Scratch,
+) -> Tensor {
     let shape = x.shape();
     assert_eq!(shape.len(), 4, "im2col expects NCHW");
     let (n, c) = (shape[0], shape[1]);
@@ -45,67 +109,139 @@ pub fn im2col(x: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
     let oh = spec.out_size(h);
     let ow = spec.out_size(w);
     let cols_w = c * k * k;
-    let mut out = vec![0.0f32; n * oh * ow * cols_w];
+    let mut out = scratch.tensor_any(&[n * oh * ow, cols_w]);
     let xd = x.data();
-    let mut row = 0usize;
-    for img in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let base = row * cols_w;
-                let mut col = 0usize;
-                for ch in 0..c {
-                    let chan = &xd[(img * c + ch) * h * w..(img * c + ch + 1) * h * w];
-                    for ky in 0..k {
-                        let iy = (oy * s + ky) as isize - p as isize;
-                        for kx in 0..k {
-                            let ix = (ox * s + kx) as isize - p as isize;
-                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                out[base + col] = chan[iy as usize * w + ix as usize];
-                            }
-                            col += 1;
+    let img_len = c * h * w;
+    let chunk = oh * ow * cols_w;
+    let od = out.data_mut();
+    if n > 1 && od.len() >= PAR_MIN_ELEMS && rayon::current_num_threads() > 1 {
+        od.par_chunks_mut(chunk).enumerate().for_each(|(img, dst)| {
+            im2col_image(
+                dst,
+                &xd[img * img_len..(img + 1) * img_len],
+                c,
+                h,
+                w,
+                k,
+                s,
+                p,
+                oh,
+                ow,
+            );
+        });
+    } else {
+        for (img, dst) in od.chunks_mut(chunk).enumerate() {
+            im2col_image(
+                dst,
+                &xd[img * img_len..(img + 1) * img_len],
+                c,
+                h,
+                w,
+                k,
+                s,
+                p,
+                oh,
+                ow,
+            );
+        }
+    }
+    out
+}
+
+/// Fold one image's patch-gradients back onto its `c*h*w` input slice.
+/// The destination must be zeroed (this accumulates).
+#[allow(clippy::too_many_arguments)]
+fn col2im_image(
+    dst: &mut [f32],
+    img_cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+    oh: usize,
+    ow: usize,
+) {
+    let cols_w = c * k * k;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = (oy * ow + ox) * cols_w;
+            let mut col = 0usize;
+            for ch in 0..c {
+                let chan_base = ch * h * w;
+                for ky in 0..k {
+                    let iy = (oy * s + ky) as isize - p as isize;
+                    for kx in 0..k {
+                        let ix = (ox * s + kx) as isize - p as isize;
+                        if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            dst[chan_base + iy as usize * w + ix as usize] += img_cols[base + col];
                         }
+                        col += 1;
                     }
                 }
-                row += 1;
             }
         }
     }
-    Tensor::from_vec(&[n * oh * ow, cols_w], out)
 }
 
 /// Fold patch-gradients back onto the input: the adjoint of [`im2col`].
 pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, n: usize, h: usize, w: usize) -> Tensor {
+    col2im_scratch(cols, spec, n, h, w, &mut Scratch::new())
+}
+
+/// [`col2im`] with the output drawn from the arena.
+pub fn col2im_scratch(
+    cols: &Tensor,
+    spec: &Conv2dSpec,
+    n: usize,
+    h: usize,
+    w: usize,
+    scratch: &mut Scratch,
+) -> Tensor {
     let (c, k, s, p) = (spec.in_channels, spec.kernel, spec.stride, spec.padding);
     let oh = spec.out_size(h);
     let ow = spec.out_size(w);
     assert_eq!(cols.shape(), &[n * oh * ow, c * k * k]);
-    let mut out = vec![0.0f32; n * c * h * w];
+    let mut out = scratch.tensor_zeroed(&[n, c, h, w]);
     let cd = cols.data();
-    let cols_w = c * k * k;
-    let mut row = 0usize;
-    for img in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let base = row * cols_w;
-                let mut col = 0usize;
-                for ch in 0..c {
-                    let chan_base = (img * c + ch) * h * w;
-                    for ky in 0..k {
-                        let iy = (oy * s + ky) as isize - p as isize;
-                        for kx in 0..k {
-                            let ix = (ox * s + kx) as isize - p as isize;
-                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                out[chan_base + iy as usize * w + ix as usize] += cd[base + col];
-                            }
-                            col += 1;
-                        }
-                    }
-                }
-                row += 1;
-            }
+    let img_len = c * h * w;
+    let cols_chunk = oh * ow * c * k * k;
+    let od = out.data_mut();
+    if n > 1 && od.len() >= PAR_MIN_ELEMS && rayon::current_num_threads() > 1 {
+        od.par_chunks_mut(img_len)
+            .enumerate()
+            .for_each(|(img, dst)| {
+                col2im_image(
+                    dst,
+                    &cd[img * cols_chunk..(img + 1) * cols_chunk],
+                    c,
+                    h,
+                    w,
+                    k,
+                    s,
+                    p,
+                    oh,
+                    ow,
+                );
+            });
+    } else {
+        for (img, dst) in od.chunks_mut(img_len).enumerate() {
+            col2im_image(
+                dst,
+                &cd[img * cols_chunk..(img + 1) * cols_chunk],
+                c,
+                h,
+                w,
+                k,
+                s,
+                p,
+                oh,
+                ow,
+            );
         }
     }
-    Tensor::from_vec(&[n, c, h, w], out)
+    out
 }
 
 /// Conv forward. `weight` is `[out_c, in_c*k*k]`, `bias` is `[out_c]`.
@@ -116,26 +252,42 @@ pub fn conv2d_forward(
     bias: &Tensor,
     spec: &Conv2dSpec,
 ) -> (Tensor, Tensor) {
-    let shape = x.shape().to_vec();
+    conv2d_forward_scratch(x, weight, bias, spec, &mut Scratch::new())
+}
+
+/// [`conv2d_forward`] with every temporary (patch matrix, GEMM output,
+/// reorder copy) drawn from the arena.
+pub fn conv2d_forward_scratch(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+    scratch: &mut Scratch,
+) -> (Tensor, Tensor) {
+    let shape = x.shape();
     let (n, h, w) = (shape[0], shape[2], shape[3]);
     let oh = spec.out_size(h);
     let ow = spec.out_size(w);
-    let cols = im2col(x, spec, h, w);
+    let cols = im2col_scratch(x, spec, h, w, scratch);
     // [N*OH*OW, CKK] x [CKK, OC] — via A · Bᵀ with weight [OC, CKK].
-    let mut y = matmul_a_bt(&cols, weight); // [N*OH*OW, OC]
+    let mut y = matmul_a_bt_scratch(&cols, weight, scratch); // [N*OH*OW, OC]
     crate::ops::add_bias(&mut y, bias);
     // Rearrange [N*OH*OW, OC] → [N, OC, OH, OW].
-    let yd = y.data();
-    let mut out = vec![0.0f32; n * spec.out_channels * oh * ow];
-    for img in 0..n {
-        for pix in 0..oh * ow {
-            let src = (img * oh * ow + pix) * spec.out_channels;
-            for oc in 0..spec.out_channels {
-                out[(img * spec.out_channels + oc) * oh * ow + pix] = yd[src + oc];
+    let mut out = scratch.tensor_any(&[n, spec.out_channels, oh, ow]);
+    {
+        let od = out.data_mut();
+        let yd = y.data();
+        for img in 0..n {
+            for pix in 0..oh * ow {
+                let src = (img * oh * ow + pix) * spec.out_channels;
+                for oc in 0..spec.out_channels {
+                    od[(img * spec.out_channels + oc) * oh * ow + pix] = yd[src + oc];
+                }
             }
         }
     }
-    (Tensor::from_vec(&[n, spec.out_channels, oh, ow], out), cols)
+    scratch.recycle_tensor(y);
+    (out, cols)
 }
 
 /// Conv backward. Returns `(dx, dweight, dbias)`.
@@ -147,33 +299,70 @@ pub fn conv2d_backward(
     in_h: usize,
     in_w: usize,
 ) -> (Tensor, Tensor, Tensor) {
-    let gs = grad_out.shape().to_vec();
+    conv2d_backward_scratch(
+        grad_out,
+        cols,
+        weight,
+        spec,
+        in_h,
+        in_w,
+        &mut Scratch::new(),
+    )
+}
+
+/// [`conv2d_backward`] with every temporary drawn from the arena. The
+/// returned `(dx, dw, db)` tensors are arena-backed too — recycle them when
+/// retired.
+pub fn conv2d_backward_scratch(
+    grad_out: &Tensor,
+    cols: &Tensor,
+    weight: &Tensor,
+    spec: &Conv2dSpec,
+    in_h: usize,
+    in_w: usize,
+    scratch: &mut Scratch,
+) -> (Tensor, Tensor, Tensor) {
+    let gs = grad_out.shape();
     let (n, oc, oh, ow) = (gs[0], gs[1], gs[2], gs[3]);
     assert_eq!(oc, spec.out_channels);
     // Rearrange grad [N, OC, OH, OW] → [N*OH*OW, OC].
-    let gd = grad_out.data();
-    let mut g2 = vec![0.0f32; n * oh * ow * oc];
-    for img in 0..n {
-        for c in 0..oc {
-            for pix in 0..oh * ow {
-                g2[(img * oh * ow + pix) * oc + c] = gd[(img * oc + c) * oh * ow + pix];
+    let mut g2 = scratch.tensor_any(&[n * oh * ow, oc]);
+    {
+        let g2d = g2.data_mut();
+        let gd = grad_out.data();
+        for img in 0..n {
+            for c in 0..oc {
+                for pix in 0..oh * ow {
+                    g2d[(img * oh * ow + pix) * oc + c] = gd[(img * oc + c) * oh * ow + pix];
+                }
             }
         }
     }
-    let g2 = Tensor::from_vec(&[n * oh * ow, oc], g2);
     // dW[OC, CKK] = g2ᵀ · cols
-    let dw = matmul_at_b(&g2, cols);
-    let db = crate::ops::sum_rows(&g2);
+    let dw = matmul_at_b_scratch(&g2, cols, scratch);
+    let db = crate::ops::sum_rows_scratch(&g2, scratch);
     // dcols[N*OH*OW, CKK] = g2 · W
-    let dcols = matmul(&g2, weight);
-    let dx = col2im(&dcols, spec, n, in_h, in_w);
+    let dcols = matmul_scratch(&g2, weight, scratch);
+    scratch.recycle_tensor(g2);
+    let dx = col2im_scratch(&dcols, spec, n, in_h, in_w, scratch);
+    scratch.recycle_tensor(dcols);
     (dx, dw, db)
 }
 
 /// Max-pool forward with square window/stride. Returns output and the flat
 /// argmax indices (into the input) needed by the backward pass.
 pub fn maxpool2d_forward(x: &Tensor, window: usize) -> (Tensor, Vec<u32>) {
-    let s = x.shape().to_vec();
+    maxpool2d_forward_scratch(x, window, &mut Scratch::new())
+}
+
+/// [`maxpool2d_forward`] with output and index buffers drawn from the arena
+/// (return the index buffer with [`Scratch::recycle_u32`] when retired).
+pub fn maxpool2d_forward_scratch(
+    x: &Tensor,
+    window: usize,
+    scratch: &mut Scratch,
+) -> (Tensor, Vec<u32>) {
+    let s = x.shape();
     let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
     assert!(
         h % window == 0 && w % window == 0,
@@ -181,8 +370,9 @@ pub fn maxpool2d_forward(x: &Tensor, window: usize) -> (Tensor, Vec<u32>) {
     );
     let (oh, ow) = (h / window, w / window);
     let xd = x.data();
-    let mut out = vec![0.0f32; n * c * oh * ow];
-    let mut idx = vec![0u32; n * c * oh * ow];
+    let mut out = scratch.tensor_any(&[n, c, oh, ow]);
+    let mut idx = scratch.take_u32(n * c * oh * ow);
+    let od = out.data_mut();
     for img in 0..n {
         for ch in 0..c {
             let cb = (img * c + ch) * h * w;
@@ -200,23 +390,34 @@ pub fn maxpool2d_forward(x: &Tensor, window: usize) -> (Tensor, Vec<u32>) {
                             }
                         }
                     }
-                    out[ob + oy * ow + ox] = best;
+                    od[ob + oy * ow + ox] = best;
                     idx[ob + oy * ow + ox] = bi as u32;
                 }
             }
         }
     }
-    (Tensor::from_vec(&[n, c, oh, ow], out), idx)
+    (out, idx)
 }
 
 /// Max-pool backward: routes each output gradient to its argmax input cell.
 pub fn maxpool2d_backward(grad_out: &Tensor, indices: &[u32], input_shape: &[usize]) -> Tensor {
+    maxpool2d_backward_scratch(grad_out, indices, input_shape, &mut Scratch::new())
+}
+
+/// [`maxpool2d_backward`] with the output drawn from the arena.
+pub fn maxpool2d_backward_scratch(
+    grad_out: &Tensor,
+    indices: &[u32],
+    input_shape: &[usize],
+    scratch: &mut Scratch,
+) -> Tensor {
     assert_eq!(grad_out.len(), indices.len());
-    let mut dx = vec![0.0f32; input_shape.iter().product()];
+    let mut dx = scratch.tensor_zeroed(input_shape);
+    let dd = dx.data_mut();
     for (&g, &i) in grad_out.data().iter().zip(indices) {
-        dx[i as usize] += g;
+        dd[i as usize] += g;
     }
-    Tensor::from_vec(input_shape, dx)
+    dx
 }
 
 #[cfg(test)]
@@ -262,6 +463,19 @@ mod tests {
         let (y, _) = conv2d_forward(&x, &w, &b, &sp);
         assert_eq!(y.shape(), &[1, 1, 1, 1]);
         assert_eq!(y.data(), &[9.0]);
+    }
+
+    #[test]
+    fn im2col_overwrites_dirty_scratch() {
+        // Padding cells must come out zero even when the arena hands back a
+        // buffer full of garbage.
+        let sp = spec(1, 1, 3, 1, 1);
+        let x = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let clean = im2col(&x, &sp, 3, 3);
+        let mut s = Scratch::new();
+        s.recycle(vec![f32::NAN; clean.len() + 13]);
+        let dirty = im2col_scratch(&x, &sp, 3, 3, &mut s);
+        assert_eq!(clean.data(), dirty.data());
     }
 
     #[test]
@@ -326,6 +540,38 @@ mod tests {
         // bias gradient is just the output count per channel
         assert_eq!(db.len(), 2);
         assert!((db.data()[0] - 16.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scratch_conv_matches_allocating_conv() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(77);
+        let sp = spec(3, 4, 3, 1, 1);
+        let x = Tensor::randn(&[4, 3, 6, 6], 1.0, &mut rng);
+        let w = Tensor::randn(&[4, 27], 0.3, &mut rng);
+        let b = Tensor::randn(&[4], 0.1, &mut rng);
+        let (y_ref, cols_ref) = conv2d_forward(&x, &w, &b, &sp);
+        let gout = Tensor::randn(y_ref.shape(), 1.0, &mut rng);
+        let (dx_ref, dw_ref, db_ref) = conv2d_backward(&gout, &cols_ref, &w, &sp, 6, 6);
+
+        let mut s = Scratch::new();
+        // two passes: the second runs entirely from recycled buffers
+        for pass in 0..2 {
+            let (y, cols) = conv2d_forward_scratch(&x, &w, &b, &sp, &mut s);
+            assert_eq!(y.data(), y_ref.data(), "forward pass {pass}");
+            let (dx, dw, db) = conv2d_backward_scratch(&gout, &cols, &w, &sp, 6, 6, &mut s);
+            assert_eq!(dx.data(), dx_ref.data(), "dx pass {pass}");
+            assert_eq!(dw.data(), dw_ref.data(), "dw pass {pass}");
+            assert_eq!(db.data(), db_ref.data(), "db pass {pass}");
+            for t in [y, cols, dx, dw, db] {
+                s.recycle_tensor(t);
+            }
+        }
+        let after_warmup = s.grown();
+        let (y, cols) = conv2d_forward_scratch(&x, &w, &b, &sp, &mut s);
+        let _ = conv2d_backward_scratch(&gout, &cols, &w, &sp, 6, 6, &mut s);
+        let _ = y;
+        assert_eq!(s.grown(), after_warmup, "steady state must not allocate");
     }
 
     #[test]

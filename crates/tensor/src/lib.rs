@@ -3,10 +3,17 @@
 //! A deliberately small dense-tensor library: the numerical substrate for the
 //! `dtrain` reproduction of the IPDPS 2021 distributed-training study. It
 //! provides exactly what data-parallel SGD over MLPs/CNNs needs — row-major
-//! `f32` tensors, three GEMM variants, im2col convolution, max-pooling,
-//! softmax cross-entropy — with **deterministic** rayon parallelism
-//! (parallel over independent output rows only, so results are bit-identical
-//! to the sequential kernels).
+//! `f32` tensors, three cache-blocked GEMM variants, im2col convolution,
+//! max-pooling, softmax cross-entropy — executed on a real persistent
+//! thread pool (behind the `rayon` facade) with **deterministic**
+//! parallelism: work splits over independent output blocks only, and every
+//! per-element reduction runs in a fixed sequential order, so results are
+//! bit-identical for any `DTRAIN_THREADS` setting.
+//!
+//! The [`Scratch`] arena pools kernel temporaries (im2col patch matrices,
+//! GEMM outputs, activation/gradient buffers); the `_scratch` kernel
+//! variants draw their outputs from it so steady-state training iterations
+//! allocate nothing.
 //!
 //! ```
 //! use dtrain_tensor::{Tensor, matmul};
@@ -18,12 +25,34 @@
 mod conv;
 mod matmul;
 mod ops;
+mod scratch;
 mod tensor;
 
 pub use conv::{
-    col2im, conv2d_backward, conv2d_forward, im2col, maxpool2d_backward, maxpool2d_forward,
-    Conv2dSpec,
+    col2im, col2im_scratch, conv2d_backward, conv2d_backward_scratch, conv2d_forward,
+    conv2d_forward_scratch, im2col, im2col_scratch, maxpool2d_backward, maxpool2d_backward_scratch,
+    maxpool2d_forward, maxpool2d_forward_scratch, Conv2dSpec,
 };
-pub use matmul::{matmul, matmul_a_bt, matmul_at_b, transpose};
-pub use ops::{accuracy, add_bias, relu, relu_backward, softmax, softmax_cross_entropy, sum_rows};
-pub use tensor::Tensor;
+pub use matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_scratch, matmul_at_b, matmul_at_b_scratch, matmul_scratch,
+    transpose,
+};
+pub use ops::{
+    accuracy, add_bias, relu, relu_backward, relu_backward_scratch, relu_scratch, softmax,
+    softmax_cross_entropy, softmax_cross_entropy_scratch, sum_rows, sum_rows_scratch,
+};
+pub use scratch::Scratch;
+pub use tensor::{Shape, Tensor};
+
+/// Parallel-substrate introspection and control, re-exported from the pool
+/// that executes the kernels.
+pub mod parallel {
+    /// Threads a kernel parallel region may use right now (pool width,
+    /// capped by any enclosing [`with_max_threads`] scope). The pool is
+    /// sized by `DTRAIN_THREADS`, falling back to
+    /// `std::thread::available_parallelism()`.
+    pub use rayon::current_num_threads;
+    /// Scope kernels to at most `k` threads — determinism tests compare
+    /// kernel output across widths with this.
+    pub use rayon::with_max_threads;
+}

@@ -1,23 +1,153 @@
 //! Matrix multiplication kernels.
 //!
 //! Three variants cover everything a dense layer's forward and backward
-//! passes need without materializing transposes:
+//! passes need:
 //!
 //! - [`matmul`]      — `C = A · B`
-//! - [`matmul_at_b`] — `C = Aᵀ · B` (weight gradients)
-//! - [`matmul_a_bt`] — `C = A · Bᵀ` (input gradients)
+//! - [`matmul_at_b`] — `C = Aᵀ · B` (weight gradients), coefficient strided
+//!   in place — no transpose materialized
+//! - [`matmul_a_bt`] — `C = A · Bᵀ` (forward / input gradients), via an
+//!   arena-pooled `Bᵀ` panel feeding the same blocked kernel
 //!
-//! All kernels parallelize over **independent output rows** with rayon; the
-//! reduction inside each row stays sequential, so results are bit-identical
-//! to the single-threaded computation regardless of thread count.
+//! All kernels are cache-blocked and parallelize over **independent blocks
+//! of output rows**; the reduction for each output element runs in a fixed
+//! sequential order (`p` ascending), so results are bit-identical to the
+//! single-threaded computation regardless of thread count *and* of the
+//! blocking parameters.
+//!
+//! The inner loops are branchless. The seed kernels skipped `a == 0.0`
+//! multiplicands to exploit sparsity, but no GEMM input is ever sparse here:
+//! DGC/random-k sparsified gradients travel as coordinate lists
+//! (`SparseTensor` in `dtrain-compress`) and are applied by scatter-add,
+//! never multiplied — while GEMM operands are activations and weights,
+//! which are dense, so the per-element branch only cost mispredicts and
+//! blocked autovectorization. Zero-skipping lives solely on the sparse
+//! coordinate paths.
 
 use rayon::prelude::*;
 
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// Below this output-element count, threading overhead dominates and the
 /// kernels run sequentially.
 const PAR_THRESHOLD: usize = 64 * 64;
+
+/// Rows of `C` per parallel task. Small enough to load-balance ragged
+/// shapes, large enough that the per-task atomic claim is noise.
+const ROW_BLOCK: usize = 8;
+
+/// Reduction-dimension tile: `TILE_K` rows of the `B` panel are streamed
+/// per pass over an output-row segment.
+const TILE_K: usize = 64;
+
+/// Output-column tile: with `TILE_K`, bounds the hot `B` panel at
+/// `TILE_K × TILE_N × 4` bytes = 32 KiB — sized to L1.
+const TILE_N: usize = 128;
+
+/// `crow[j] += Σ_q aq · brows[q][j]` for up to 4 `B` rows, with the terms
+/// added in ascending `q` order per element — the same order a plain
+/// `p`-ascending loop produces, so unrolling never changes bits.
+#[inline(always)]
+fn axpy_rows(crow: &mut [f32], coeffs: &[f32], brows: &[&[f32]]) {
+    match (coeffs.len(), brows) {
+        (4, [b0, b1, b2, b3]) => {
+            let (a0, a1, a2, a3) = (coeffs[0], coeffs[1], coeffs[2], coeffs[3]);
+            let n = crow.len();
+            let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+            for j in 0..n {
+                let mut s = crow[j];
+                s += a0 * b0[j];
+                s += a1 * b1[j];
+                s += a2 * b2[j];
+                s += a3 * b3[j];
+                crow[j] = s;
+            }
+        }
+        _ => {
+            for (q, &aq) in coeffs.iter().enumerate() {
+                let brow = &brows[q][..crow.len()];
+                for (c, &bv) in crow.iter_mut().zip(brow) {
+                    *c += aq * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Shared row-block kernel for the `C += A' · B` family: computes output
+/// rows `[i0, i0+rows)` where row `i` accumulates `Σ_p coeff(i, p) · B[p,:]`
+/// with `p` ascending. `coeff` abstracts over A-layouts (`A[i,p]` for
+/// [`matmul`], `A[p,i]` for [`matmul_at_b`]).
+#[inline(always)]
+fn row_block_axpy(
+    cblk: &mut [f32],
+    i0: usize,
+    n: usize,
+    k: usize,
+    bd: &[f32],
+    coeff: &impl Fn(usize, usize) -> f32,
+) {
+    let rows = cblk.len() / n;
+    let mut coeffs = [0.0f32; 4];
+    for k0 in (0..k).step_by(TILE_K) {
+        let k1 = (k0 + TILE_K).min(k);
+        for n0 in (0..n).step_by(TILE_N) {
+            let n1 = (n0 + TILE_N).min(n);
+            for r in 0..rows {
+                let i = i0 + r;
+                let crow = &mut cblk[r * n + n0..r * n + n1];
+                let mut p = k0;
+                while p + 4 <= k1 {
+                    for (q, c) in coeffs.iter_mut().enumerate() {
+                        *c = coeff(i, p + q);
+                    }
+                    let brows = [
+                        &bd[p * n + n0..p * n + n1],
+                        &bd[(p + 1) * n + n0..(p + 1) * n + n1],
+                        &bd[(p + 2) * n + n0..(p + 2) * n + n1],
+                        &bd[(p + 3) * n + n0..(p + 3) * n + n1],
+                    ];
+                    axpy_rows(crow, &coeffs, &brows);
+                    p += 4;
+                }
+                while p < k1 {
+                    let av = coeff(i, p);
+                    let brow = &bd[p * n + n0..p * n + n1];
+                    for (c, &bv) in crow.iter_mut().zip(brow) {
+                        *c += av * bv;
+                    }
+                    p += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Dispatch a zeroed output over row blocks, in parallel above the
+/// threshold.
+fn run_blocked(
+    out: &mut [f32],
+    n: usize,
+    job: impl Fn((usize, &mut [f32])) + Sync,
+    parallel: bool,
+) {
+    if parallel && rayon::current_num_threads() > 1 {
+        out.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(job);
+    } else {
+        out.chunks_mut(ROW_BLOCK * n).enumerate().for_each(job);
+    }
+}
+
+/// `C[m,n] = A[m,k] · B[k,n]`, writing into a scratch-pooled tensor.
+pub fn matmul_scratch(a: &Tensor, b: &Tensor, scratch: &mut Scratch) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul inner dims: {k} vs {kb}");
+    let mut out = scratch.take_zeroed(m * n);
+    matmul_into(a.data(), b.data(), &mut out, k, n);
+    Tensor::from_vec(&[m, n], out)
+}
 
 /// `C[m,n] = A[m,k] · B[k,n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
@@ -25,27 +155,27 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (kb, n) = (b.rows(), b.cols());
     assert_eq!(k, kb, "matmul inner dims: {k} vs {kb}");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    let row_job = |(i, crow): (usize, &mut [f32])| {
-        let arow = &ad[i * k..(i + 1) * k];
-        // ikj loop order: stream through B rows, accumulate into the C row.
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            for (c, &bv) in crow.iter_mut().zip(brow) {
-                *c += av * bv;
-            }
-        }
-    };
-    if m * n >= PAR_THRESHOLD {
-        out.par_chunks_mut(n).enumerate().for_each(row_job);
-    } else {
-        out.chunks_mut(n).enumerate().for_each(row_job);
-    }
+    matmul_into(a.data(), b.data(), &mut out, k, n);
     Tensor::from_vec(&[m, n], out)
+}
+
+fn matmul_into(ad: &[f32], bd: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let parallel = out.len() >= PAR_THRESHOLD;
+    let job = |(blk, cblk): (usize, &mut [f32])| {
+        let coeff = |i: usize, p: usize| ad[i * k + p];
+        row_block_axpy(cblk, blk * ROW_BLOCK, n, k, bd, &coeff);
+    };
+    run_blocked(out, n, job, parallel);
+}
+
+/// `C[k,n] = Aᵀ[k,m] · B[m,n]` for `A[m,k]`, `B[m,n]`, scratch-pooled.
+pub fn matmul_at_b_scratch(a: &Tensor, b: &Tensor, scratch: &mut Scratch) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (mb, n) = (b.rows(), b.cols());
+    assert_eq!(m, mb, "matmul_at_b outer dims: {m} vs {mb}");
+    let mut out = scratch.take_zeroed(k * n);
+    matmul_at_b_into(a.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec(&[k, n], out)
 }
 
 /// `C[k,n] = Aᵀ[k,m] · B[m,n]` for `A[m,k]`, `B[m,n]`.
@@ -54,55 +184,69 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (mb, n) = (b.rows(), b.cols());
     assert_eq!(m, mb, "matmul_at_b outer dims: {m} vs {mb}");
     let mut out = vec![0.0f32; k * n];
-    let ad = a.data();
-    let bd = b.data();
-    let row_job = |(i, crow): (usize, &mut [f32])| {
-        // crow = sum over samples s of A[s,i] * B[s,:]
-        for s in 0..m {
-            let av = ad[s * k + i];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[s * n..(s + 1) * n];
-            for (c, &bv) in crow.iter_mut().zip(brow) {
-                *c += av * bv;
+    matmul_at_b_into(a.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec(&[k, n], out)
+}
+
+/// Shared by the public wrappers and the in-place layer-gradient path:
+/// `out[k,n] = Aᵀ·B`, `out` pre-zeroed.
+pub(crate) fn matmul_at_b_into(
+    ad: &[f32],
+    bd: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    // Output row i is C[i,:] = Σ_s A[s,i]·B[s,:] — same axpy family with the
+    // A coefficient striding down a column.
+    let parallel = out.len() >= PAR_THRESHOLD;
+    let job = |(blk, cblk): (usize, &mut [f32])| {
+        let coeff = |i: usize, s: usize| ad[s * k + i];
+        row_block_axpy(cblk, blk * ROW_BLOCK, n, m, bd, &coeff);
+    };
+    run_blocked(out, n, job, parallel);
+}
+
+/// Cache-blocked transpose: `dst[n,k] = src[k,n]ᵀ`. 32×32 tiles keep both
+/// the read and write streams inside L1.
+fn transpose_into(src: &[f32], dst: &mut [f32], k: usize, n: usize) {
+    const T: usize = 32;
+    for i0 in (0..k).step_by(T) {
+        let i1 = (i0 + T).min(k);
+        for j0 in (0..n).step_by(T) {
+            let j1 = (j0 + T).min(n);
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    dst[j * k + i] = src[i * n + j];
+                }
             }
         }
-    };
-    if k * n >= PAR_THRESHOLD {
-        out.par_chunks_mut(n).enumerate().for_each(row_job);
-    } else {
-        out.chunks_mut(n).enumerate().for_each(row_job);
     }
-    Tensor::from_vec(&[k, n], out)
+}
+
+/// `C[m,k] = A[m,n] · Bᵀ[n,k]` for `A[m,n]`, `B[k,n]`, scratch-pooled.
+///
+/// Materializes `Bᵀ` into an arena buffer and runs the blocked axpy kernel:
+/// the O(nk) transpose is noise next to the O(mnk) GEMM, and the axpy form
+/// autovectorizes where a row-dot formulation would not — it also keeps the
+/// per-element reduction in the same ascending order as [`matmul`], so this
+/// variant is bit-identical to `matmul(a, transpose(b))`.
+pub fn matmul_a_bt_scratch(a: &Tensor, b: &Tensor, scratch: &mut Scratch) -> Tensor {
+    let (m, n) = (a.rows(), a.cols());
+    let (k, nb) = (b.rows(), b.cols());
+    assert_eq!(n, nb, "matmul_a_bt inner dims: {n} vs {nb}");
+    let mut bt = scratch.take_any(n * k);
+    transpose_into(b.data(), &mut bt, k, n);
+    let mut out = scratch.take_zeroed(m * k);
+    matmul_into(a.data(), &bt, &mut out, n, k);
+    scratch.recycle(bt);
+    Tensor::from_vec(&[m, k], out)
 }
 
 /// `C[m,k] = A[m,n] · Bᵀ[n,k]` for `A[m,n]`, `B[k,n]`.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
-    let (m, n) = (a.rows(), a.cols());
-    let (k, nb) = (b.rows(), b.cols());
-    assert_eq!(n, nb, "matmul_a_bt inner dims: {n} vs {nb}");
-    let mut out = vec![0.0f32; m * k];
-    let ad = a.data();
-    let bd = b.data();
-    let row_job = |(i, crow): (usize, &mut [f32])| {
-        let arow = &ad[i * n..(i + 1) * n];
-        for (j, c) in crow.iter_mut().enumerate() {
-            let brow = &bd[j * n..(j + 1) * n];
-            // Dot product of two contiguous rows — vectorizes well.
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
-            }
-            *c = acc;
-        }
-    };
-    if m * k >= PAR_THRESHOLD {
-        out.par_chunks_mut(k).enumerate().for_each(row_job);
-    } else {
-        out.chunks_mut(k).enumerate().for_each(row_job);
-    }
-    Tensor::from_vec(&[m, k], out)
+    matmul_a_bt_scratch(a, b, &mut Scratch::new())
 }
 
 /// Naive transpose of a rank-2 tensor (used only in tests and cold paths).
@@ -173,6 +317,47 @@ mod tests {
         let c = matmul(&a, &b);
         let c2 = matmul_a_bt(&a, &transpose(&b));
         assert!(c.max_abs_diff(&c2) < 1e-4);
+    }
+
+    #[test]
+    fn blocked_matches_naive_reference_bitwise() {
+        // The blocked kernel preserves the naive p-ascending accumulation
+        // order per element, so it must agree exactly — odd sizes exercise
+        // every tail path (row blocks, k tiles, n tiles, unroll remainder).
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(17);
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (9, 130, 67), (70, 70, 70)] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let fast = matmul(&a, &b);
+            let mut naive = vec![0.0f32; m * n];
+            for i in 0..m {
+                for p in 0..k {
+                    let av = a.at(i, p);
+                    for j in 0..n {
+                        naive[i * n + j] += av * b.at(p, j);
+                    }
+                }
+            }
+            assert_eq!(fast.data(), &naive[..], "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating_variants() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(9);
+        let a = Tensor::randn(&[13, 21], 1.0, &mut rng);
+        let b = Tensor::randn(&[21, 17], 1.0, &mut rng);
+        let bt = Tensor::randn(&[17, 21], 1.0, &mut rng);
+        let at = Tensor::randn(&[21, 13], 1.0, &mut rng);
+        let mut s = Scratch::new();
+        // Warm the arena with garbage so `take_any` hands back dirty buffers.
+        let junk = Tensor::full(&[13 * 21], 42.0);
+        s.recycle_tensor(junk);
+        assert_eq!(matmul_scratch(&a, &b, &mut s), matmul(&a, &b));
+        assert_eq!(matmul_at_b_scratch(&at, &b, &mut s), matmul_at_b(&at, &b));
+        assert_eq!(matmul_a_bt_scratch(&a, &bt, &mut s), matmul_a_bt(&a, &bt));
     }
 
     #[test]

@@ -1,32 +1,47 @@
 //! Activation, loss, and broadcast helpers used by the layer stack.
+//!
+//! Every allocating op has a `_scratch` twin that draws its output from a
+//! [`Scratch`] arena; the plain versions remain for cold paths and tests.
 
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// ReLU forward: `max(0, x)` elementwise.
 pub fn relu(x: &Tensor) -> Tensor {
-    let data = x.data().iter().map(|&v| v.max(0.0)).collect();
-    Tensor::from_vec(x.shape(), data)
+    relu_scratch(x, &mut Scratch::new())
+}
+
+/// ReLU forward into a pooled buffer.
+pub fn relu_scratch(x: &Tensor, scratch: &mut Scratch) -> Tensor {
+    let mut y = scratch.tensor_any(x.shape());
+    for (o, &v) in y.data_mut().iter_mut().zip(x.data()) {
+        *o = v.max(0.0);
+    }
+    y
 }
 
 /// ReLU backward: passes `grad` where the *input* was positive.
 pub fn relu_backward(input: &Tensor, grad: &Tensor) -> Tensor {
+    relu_backward_scratch(input, grad, &mut Scratch::new())
+}
+
+/// ReLU backward into a pooled buffer.
+pub fn relu_backward_scratch(input: &Tensor, grad: &Tensor, scratch: &mut Scratch) -> Tensor {
     assert_eq!(input.shape(), grad.shape());
-    let data = input
-        .data()
-        .iter()
-        .zip(grad.data())
-        .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
-        .collect();
-    Tensor::from_vec(grad.shape(), data)
+    let mut out = scratch.tensor_any(grad.shape());
+    for ((o, &x), &g) in out.data_mut().iter_mut().zip(input.data()).zip(grad.data()) {
+        *o = if x > 0.0 { g } else { 0.0 };
+    }
+    out
 }
 
 /// Adds a bias row-vector `b[1,n]` (or `[n]`) to every row of `x[m,n]`.
 pub fn add_bias(x: &mut Tensor, b: &Tensor) {
     let n = x.cols();
     assert_eq!(b.len(), n, "bias length mismatch");
-    let bd = b.data().to_vec();
+    let bd = b.data();
     for row in x.data_mut().chunks_exact_mut(n) {
-        for (v, bv) in row.iter_mut().zip(&bd) {
+        for (v, bv) in row.iter_mut().zip(bd) {
             *v += bv;
         }
     }
@@ -34,57 +49,98 @@ pub fn add_bias(x: &mut Tensor, b: &Tensor) {
 
 /// Sum of gradients over rows — the bias gradient: `g[n] = Σ_rows grad[r,n]`.
 pub fn sum_rows(grad: &Tensor) -> Tensor {
+    sum_rows_scratch(grad, &mut Scratch::new())
+}
+
+/// Row-sum into a pooled buffer.
+pub fn sum_rows_scratch(grad: &Tensor, scratch: &mut Scratch) -> Tensor {
     let n = grad.cols();
-    let mut out = vec![0.0f32; n];
+    let mut out = scratch.tensor_zeroed(&[n]);
+    let od = out.data_mut();
     for row in grad.data().chunks_exact(n) {
-        for (o, &g) in out.iter_mut().zip(row) {
+        for (o, &g) in od.iter_mut().zip(row) {
             *o += g;
         }
     }
-    Tensor::from_vec(&[n], out)
+    out
 }
 
 /// Numerically stable softmax over the last axis of a rank-2 tensor.
 pub fn softmax(logits: &Tensor) -> Tensor {
     let n = logits.cols();
-    let mut out = Vec::with_capacity(logits.len());
-    for row in logits.data().chunks_exact(n) {
-        let mx = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
-        let exps: Vec<f32> = row.iter().map(|&v| (v - mx).exp()).collect();
-        let z: f32 = exps.iter().sum();
-        out.extend(exps.iter().map(|e| e / z));
+    let mut out = logits.clone();
+    for row in out.data_mut().chunks_exact_mut(n) {
+        softmax_row(row);
     }
-    Tensor::from_vec(logits.shape(), out)
+    out
+}
+
+/// In-place stable softmax of one row.
+#[inline]
+fn softmax_row(row: &mut [f32]) {
+    let mx = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let mut z = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - mx).exp();
+        z += *v;
+    }
+    let inv = 1.0 / z;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
 }
 
 /// Mean cross-entropy loss of `logits[m,k]` against integer `labels[m]`,
 /// together with the gradient w.r.t. the logits (already divided by the
 /// batch size, so optimizers apply it directly).
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    softmax_cross_entropy_scratch(logits, labels, &mut Scratch::new())
+}
+
+/// Loss + logit gradient with the gradient tensor drawn from the arena.
+/// One pooled buffer serves as both the softmax workspace and the returned
+/// gradient.
+pub fn softmax_cross_entropy_scratch(
+    logits: &Tensor,
+    labels: &[usize],
+    scratch: &mut Scratch,
+) -> (f32, Tensor) {
     let (m, k) = (logits.rows(), logits.cols());
     assert_eq!(labels.len(), m, "one label per row");
-    let probs = softmax(logits);
+    let mut grad = scratch.tensor_any(logits.shape());
+    grad.data_mut().copy_from_slice(logits.data());
     let mut loss = 0.0f64;
-    let mut grad = probs.clone();
     let inv_m = 1.0 / m as f32;
-    for (r, &y) in labels.iter().enumerate() {
+    for (row, &y) in grad.data_mut().chunks_exact_mut(k).zip(labels) {
         assert!(y < k, "label {y} out of range for {k} classes");
-        let p = probs.at(r, y).max(1e-12);
+        softmax_row(row);
+        let p = row[y].max(1e-12);
         loss -= (p as f64).ln();
-        *grad.at_mut(r, y) -= 1.0;
+        row[y] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= inv_m;
+        }
     }
-    grad.scale(inv_m);
     ((loss / m as f64) as f32, grad)
 }
 
-/// Fraction of rows whose argmax equals the label.
+/// Fraction of rows whose argmax equals the label. Allocation-free.
 pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
-    let preds = logits.argmax_rows();
-    assert_eq!(preds.len(), labels.len());
+    let (m, k) = (logits.rows(), logits.cols());
+    assert_eq!(m, labels.len());
     if labels.is_empty() {
         return 0.0;
     }
-    let correct = preds.iter().zip(labels).filter(|(p, y)| p == y).count();
+    let mut correct = 0usize;
+    for (row, &y) in logits.data().chunks_exact(k).zip(labels) {
+        let mut best = (0usize, f32::NEG_INFINITY);
+        for (i, &v) in row.iter().enumerate() {
+            if v > best.1 {
+                best = (i, v);
+            }
+        }
+        correct += usize::from(best.0 == y);
+    }
     correct as f32 / labels.len() as f32
 }
 
@@ -100,6 +156,15 @@ mod tests {
         let g = Tensor::full(&[4], 1.0);
         let gx = relu_backward(&x, &g);
         assert_eq!(gx.data(), &[0., 0., 1., 0.]);
+    }
+
+    #[test]
+    fn relu_scratch_overwrites_dirty_buffers() {
+        let mut s = Scratch::new();
+        s.recycle(vec![-9.0; 16]);
+        let x = Tensor::from_vec(&[4], vec![-1., 0.5, 2., -3.]);
+        let y = relu_scratch(&x, &mut s);
+        assert_eq!(y.data(), &[0., 0.5, 2., 0.]);
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! A pooling arena for kernel and layer temporaries.
+//!
+//! Training iterates the same network over same-shaped batches, so every
+//! temporary buffer (im2col patches, GEMM outputs, activation/gradient
+//! tensors, batch-norm statistics) has a stable size from one step to the
+//! next. [`Scratch`] keeps the backing `Vec`s of retired temporaries on a
+//! free list and hands them back on the next request: after a warm-up
+//! iteration, steady-state training steps perform **zero heap allocations**
+//! in tensor temporaries.
+//!
+//! The arena is deliberately dumb — a best-fit free list, no size classes,
+//! no thread-safety (each [`crate::Tensor`]-consuming owner, e.g. a
+//! `Network`, owns its own arena). `grown()` counts requests the free list
+//! could not serve from existing capacity; tests use it as the
+//! allocation-counting hook required for the zero-alloc guarantee.
+
+use crate::tensor::Tensor;
+
+/// Free-list cap: recycling beyond this many parked buffers drops the buffer
+/// instead, so feeding externally-allocated inputs into the arena every
+/// iteration (the training loop does this with each batch) cannot grow
+/// memory without bound.
+const MAX_PARKED: usize = 64;
+
+/// Pooling arena for `f32` and `u32` scratch buffers.
+#[derive(Default)]
+pub struct Scratch {
+    f32_free: Vec<Vec<f32>>,
+    u32_free: Vec<Vec<u32>>,
+    grown: usize,
+    reused: usize,
+}
+
+impl Scratch {
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Number of buffer requests that had to grow capacity (i.e. touch the
+    /// heap). Stays flat across steady-state iterations — the zero-alloc
+    /// test hook.
+    pub fn grown(&self) -> usize {
+        self.grown
+    }
+
+    /// Number of buffer requests served entirely from the free list.
+    pub fn reused(&self) -> usize {
+        self.reused
+    }
+
+    /// A `len`-sized buffer with unspecified contents. Allocation-free when
+    /// a parked buffer with sufficient capacity exists.
+    pub fn take_any(&mut self, len: usize) -> Vec<f32> {
+        match best_fit(&mut self.f32_free, len) {
+            Some(mut buf) => {
+                if buf.capacity() >= len {
+                    self.reused += 1;
+                } else {
+                    self.grown += 1;
+                }
+                buf.truncate(len);
+                if buf.len() < len {
+                    buf.resize(len, 0.0);
+                }
+                buf
+            }
+            None => {
+                self.grown += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// A zero-filled `len`-sized buffer.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_any(len);
+        buf.fill(0.0);
+        buf
+    }
+
+    /// Park a retired buffer for reuse.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 && self.f32_free.len() < MAX_PARKED {
+            self.f32_free.push(buf);
+        }
+    }
+
+    /// Park a retired tensor's backing buffer.
+    pub fn recycle_tensor(&mut self, t: Tensor) {
+        self.recycle(t.into_vec());
+    }
+
+    /// A tensor of the given shape with unspecified contents.
+    pub fn tensor_any(&mut self, shape: &[usize]) -> Tensor {
+        let len = shape.iter().product();
+        Tensor::from_vec(shape, self.take_any(len))
+    }
+
+    /// A zero-filled tensor of the given shape.
+    pub fn tensor_zeroed(&mut self, shape: &[usize]) -> Tensor {
+        let len = shape.iter().product();
+        Tensor::from_vec(shape, self.take_zeroed(len))
+    }
+
+    /// A `u32` index buffer (max-pool argmax indices), zero-filled.
+    pub fn take_u32(&mut self, len: usize) -> Vec<u32> {
+        match best_fit(&mut self.u32_free, len) {
+            Some(mut buf) => {
+                if buf.capacity() >= len {
+                    self.reused += 1;
+                } else {
+                    self.grown += 1;
+                }
+                buf.clear();
+                buf.resize(len, 0);
+                buf
+            }
+            None => {
+                self.grown += 1;
+                vec![0; len]
+            }
+        }
+    }
+
+    pub fn recycle_u32(&mut self, buf: Vec<u32>) {
+        if buf.capacity() > 0 && self.u32_free.len() < MAX_PARKED {
+            self.u32_free.push(buf);
+        }
+    }
+
+    /// Parked buffer count (both pools) — introspection for tests.
+    pub fn parked(&self) -> usize {
+        self.f32_free.len() + self.u32_free.len()
+    }
+}
+
+/// Pop the parked buffer whose capacity fits `len` most tightly; if none
+/// fits, pop the largest one (growing a single buffer converges faster than
+/// growing many). Linear scan — the list is small by construction.
+fn best_fit<T>(free: &mut Vec<Vec<T>>, len: usize) -> Option<Vec<T>> {
+    if free.is_empty() {
+        return None;
+    }
+    let mut fit: Option<(usize, usize)> = None; // (index, capacity)
+    let mut largest = (0usize, 0usize);
+    for (i, buf) in free.iter().enumerate() {
+        let cap = buf.capacity();
+        if cap >= len && fit.is_none_or(|(_, c)| cap < c) {
+            fit = Some((i, cap));
+        }
+        if cap >= largest.1 {
+            largest = (i, cap);
+        }
+    }
+    let idx = fit.map(|(i, _)| i).unwrap_or(largest.0);
+    Some(free.swap_remove(idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_reuses_capacity() {
+        let mut s = Scratch::new();
+        let a = s.take_zeroed(100);
+        assert_eq!(s.grown(), 1);
+        let ptr = a.as_ptr();
+        s.recycle(a);
+        let b = s.take_any(80);
+        assert_eq!(b.len(), 80);
+        assert_eq!(b.as_ptr(), ptr, "must reuse the parked buffer");
+        assert_eq!(s.grown(), 1);
+        assert_eq!(s.reused(), 1);
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_buffer() {
+        let mut s = Scratch::new();
+        let big = s.take_zeroed(1000);
+        let small = s.take_zeroed(10);
+        let small_ptr = small.as_ptr();
+        s.recycle(big);
+        s.recycle(small);
+        let got = s.take_any(8);
+        assert_eq!(got.as_ptr(), small_ptr);
+    }
+
+    #[test]
+    fn grows_largest_when_nothing_fits() {
+        let mut s = Scratch::new();
+        let a = s.take_zeroed(100);
+        s.recycle(a);
+        let b = s.take_any(200); // reuses the 100-cap buffer, grown
+        assert_eq!(b.len(), 200);
+        assert_eq!(s.parked(), 0, "the parked buffer was consumed");
+    }
+
+    #[test]
+    fn tensor_round_trip() {
+        let mut s = Scratch::new();
+        let t = s.tensor_zeroed(&[4, 5]);
+        assert_eq!(t.shape(), &[4, 5]);
+        assert_eq!(t.sum(), 0.0);
+        s.recycle_tensor(t);
+        let u = s.tensor_any(&[2, 10]);
+        assert_eq!(u.len(), 20);
+        assert_eq!(s.grown(), 1);
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let mut s = Scratch::new();
+        for _ in 0..(MAX_PARKED + 20) {
+            s.recycle(vec![0.0; 8]);
+        }
+        assert_eq!(s.parked(), MAX_PARKED);
+    }
+
+    #[test]
+    fn zeroed_take_really_zeroes() {
+        let mut s = Scratch::new();
+        s.recycle(vec![7.0; 32]);
+        let z = s.take_zeroed(16);
+        assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        let mut s = Scratch::new();
+        let a = s.take_u32(10);
+        let ptr = a.as_ptr();
+        s.recycle_u32(a);
+        let b = s.take_u32(6);
+        assert_eq!(b.as_ptr(), ptr);
+        assert!(b.iter().all(|&v| v == 0));
+    }
+}

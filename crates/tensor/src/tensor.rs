@@ -9,15 +9,84 @@ use std::fmt;
 use rand::Rng;
 use rand_distr_normal::sample_standard_normal;
 
+/// Inline tensor shape: rank ≤ 4, stored without heap allocation so tensor
+/// construction from pooled buffers stays allocation-free on the hot path.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Shape {
+    dims: [usize; 4],
+    rank: u8,
+}
+
+impl Shape {
+    pub const MAX_RANK: usize = 4;
+
+    #[inline]
+    pub fn from_slice(shape: &[usize]) -> Self {
+        assert!(
+            shape.len() <= Self::MAX_RANK,
+            "tensor rank {} exceeds the supported maximum of {}",
+            shape.len(),
+            Self::MAX_RANK
+        );
+        let mut dims = [0usize; 4];
+        dims[..shape.len()].copy_from_slice(shape);
+        Shape {
+            dims,
+            rank: shape.len() as u8,
+        }
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.dims[..self.rank as usize]
+    }
+
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.as_slice().iter().product()
+    }
+
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank as usize
+    }
+}
+
+impl std::ops::Deref for Shape {
+    type Target = [usize];
+
+    fn deref(&self) -> &[usize] {
+        self.as_slice()
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(s: &[usize]) -> Self {
+        Shape::from_slice(s)
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_slice())
+    }
+}
+
 /// Row-major dense tensor of `f32`.
 ///
-/// The shape is dynamic (rank 1–4 in practice). Indexing helpers are provided
-/// for the common 2-D case; higher-rank layouts are handled by the kernels
-/// that need them (convolution works on `[N, C, H, W]`).
-#[derive(Clone, PartialEq)]
+/// The shape is dynamic (rank 1–4). Indexing helpers are provided for the
+/// common 2-D case; higher-rank layouts are handled by the kernels that need
+/// them (convolution works on `[N, C, H, W]`).
+#[derive(Clone)]
 pub struct Tensor {
-    shape: Vec<usize>,
+    shape: Shape,
     data: Vec<f32>,
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape.as_slice() == other.shape.as_slice() && self.data == other.data
+    }
 }
 
 impl Tensor {
@@ -25,7 +94,7 @@ impl Tensor {
     pub fn zeros(shape: &[usize]) -> Self {
         let n = shape.iter().product();
         Tensor {
-            shape: shape.to_vec(),
+            shape: Shape::from_slice(shape),
             data: vec![0.0; n],
         }
     }
@@ -34,7 +103,7 @@ impl Tensor {
     pub fn full(shape: &[usize], value: f32) -> Self {
         let n = shape.iter().product();
         Tensor {
-            shape: shape.to_vec(),
+            shape: Shape::from_slice(shape),
             data: vec![value; n],
         }
     }
@@ -49,7 +118,7 @@ impl Tensor {
             data.len()
         );
         Tensor {
-            shape: shape.to_vec(),
+            shape: Shape::from_slice(shape),
             data,
         }
     }
@@ -59,7 +128,7 @@ impl Tensor {
         let n = shape.iter().product();
         let data = (0..n).map(|_| sample_standard_normal(rng) * std).collect();
         Tensor {
-            shape: shape.to_vec(),
+            shape: Shape::from_slice(shape),
             data,
         }
     }
@@ -69,7 +138,7 @@ impl Tensor {
         let n = shape.iter().product();
         let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
         Tensor {
-            shape: shape.to_vec(),
+            shape: Shape::from_slice(shape),
             data,
         }
     }
@@ -82,7 +151,7 @@ impl Tensor {
 
     #[inline]
     pub fn shape(&self) -> &[usize] {
-        &self.shape
+        self.shape.as_slice()
     }
 
     /// Total element count.
@@ -153,7 +222,7 @@ impl Tensor {
             "reshape to {:?} changes volume",
             shape
         );
-        self.shape = shape.to_vec();
+        self.shape = Shape::from_slice(shape);
         self
     }
 

@@ -7,6 +7,40 @@ use dtrain_tensor::{
 };
 use proptest::prelude::*;
 
+/// Textbook three-loop GEMM with a single accumulator per output element,
+/// summing over `p` in ascending order — the reference the cache-blocked
+/// kernel must match *bitwise* (the blocked kernel preserves exactly this
+/// per-element addition order).
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f32;
+            for p in 0..k {
+                s += ad[i * k + p] * bd[p * n + j];
+            }
+            out[i * n + j] = s;
+        }
+    }
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// Matrix pairs big enough to cross the parallel threshold and the k/n tile
+/// boundaries of the blocked kernel.
+fn blocked_gemm_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1usize..24, 1usize..80, 1usize..140).prop_flat_map(|(m, k, n)| {
+        (
+            prop::collection::vec(-5.0f32..5.0, m * k)
+                .prop_map(move |v| Tensor::from_vec(&[m, k], v)),
+            prop::collection::vec(-5.0f32..5.0, k * n)
+                .prop_map(move |v| Tensor::from_vec(&[k, n], v)),
+        )
+    })
+}
+
 fn small_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
         prop::collection::vec(-10.0f32..10.0, r * c).prop_map(move |v| Tensor::from_vec(&[r, c], v))
@@ -92,6 +126,20 @@ proptest! {
             let s: f32 = row.iter().sum();
             prop_assert!(s.abs() < 1e-4);
         }
+    }
+
+    /// The cache-blocked GEMM is bit-identical to the naive reference for
+    /// `matmul` and `matmul_at_b` (same per-element addition order), and
+    /// tolerance-close for `matmul_a_bt` (8-lane dot product).
+    #[test]
+    fn blocked_gemm_matches_naive_reference((a, b) in blocked_gemm_pair()) {
+        let reference = naive_matmul(&a, &b);
+        let blocked = matmul(&a, &b);
+        prop_assert_eq!(blocked.data(), reference.data());
+        let via_at_b = matmul_at_b(&transpose(&a), &b);
+        prop_assert_eq!(via_at_b.data(), reference.data());
+        let via_a_bt = matmul_a_bt(&a, &transpose(&b));
+        prop_assert!(via_a_bt.max_abs_diff(&reference) < 1e-2);
     }
 
     /// im2col/col2im adjoint identity <im2col(x), y> == <x, col2im(y)>.
