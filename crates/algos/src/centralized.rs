@@ -12,8 +12,9 @@ use std::sync::Arc;
 
 use dtrain_cluster::{MetricsHub, NetModel, NodeId, Phase, TrafficClass};
 use dtrain_desim::{Ctx, Pid, SimTime};
-use dtrain_faults::CheckpointStore;
+use dtrain_faults::{markers, CheckpointStore};
 use dtrain_nn::{ParamSet, SgdMomentum};
+use dtrain_obs::TrackHandle;
 
 use crate::exec::{GradData, Msg, WorkerCore};
 
@@ -137,6 +138,8 @@ pub struct PsCore {
     /// Number of Stop messages that end this PS.
     pub expected_stops: usize,
     pub faults: Option<PsFaultState>,
+    /// Obs track for this shard (`ps<shard>`); noop when tracing is off.
+    pub obs: TrackHandle,
 }
 
 impl PsCore {
@@ -159,22 +162,25 @@ impl PsCore {
         {
             let (start, dur) = f.outages.pop_front().unwrap();
             let end = start + dur;
+            markers::ps_outage(&self.obs, start.as_nanos(), self.shard);
             if let Some(real) = self.real.as_mut() {
                 if let Some(cp) = f.store.restore(PS_OWNER_BASE + self.shard) {
                     real.params = cp.params;
                     real.opt = cp.opt;
+                    markers::ckpt_restore(&self.obs, ctx.now().as_nanos(), cp.iteration);
                 }
             }
             let now = ctx.now();
             if end > now {
                 ctx.advance(end - now);
             }
+            markers::ps_recover(&self.obs, ctx.now().as_nanos(), self.shard);
         }
     }
 
     /// Count one applied update and checkpoint this shard's state on the
     /// configured cadence.
-    fn tick_checkpoint(&mut self) {
+    fn tick_checkpoint(&mut self, now: SimTime) {
         let Some(f) = self.faults.as_mut() else {
             return;
         };
@@ -189,6 +195,7 @@ impl PsCore {
                 &real.params,
                 &real.opt,
             );
+            markers::ckpt_save(&self.obs, now.as_nanos(), f.applies);
         }
     }
 
@@ -302,6 +309,13 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
                         round_bytes += bytes;
                         round_weight += weight;
                         round_lr = lr;
+                        // How full the barrier is — Fig. 3's "waiting on
+                        // stragglers" shape, directly observable.
+                        ps.obs.counter(
+                            ctx.now().as_nanos(),
+                            dtrain_obs::names::BARRIER_OCCUPANCY,
+                            round_members.len() as i64,
+                        );
                     }
                     PsMode::Asp => {
                         ctx.advance(ps_apply_time(bytes));
@@ -309,7 +323,7 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
                             real.apply(d, lr, weight);
                         }
                         ps.send_params(&ctx, sender, 0, ps.reply_params());
-                        ps.tick_checkpoint();
+                        ps.tick_checkpoint(ctx.now());
                     }
                     PsMode::Ssp { .. } => {
                         ctx.advance(ps_apply_time(bytes));
@@ -323,7 +337,7 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
                             let min_clock = live_min_clock(&clocks, &live);
                             release_pulls(&ps, &ctx, &mut pending_pulls, min_clock);
                         }
-                        ps.tick_checkpoint();
+                        ps.tick_checkpoint(ctx.now());
                     }
                     PsMode::Easgd { .. } => {
                         unreachable!("EASGD workers push parameters, not gradients")
@@ -353,7 +367,7 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
                     _ => None,
                 };
                 ps.send_params(&ctx, sender, 0, reply);
-                ps.tick_checkpoint();
+                ps.tick_checkpoint(ctx.now());
             }
             Msg::GatedPull { sender, min_needed } => {
                 // SSP shard-0 gated pull: reply once min clock ≥ min_needed.
@@ -413,7 +427,7 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
             round_acc = None;
             round_bytes = 0;
             round_weight = 0.0;
-            ps.tick_checkpoint();
+            ps.tick_checkpoint(ctx.now());
         }
     }
 }
@@ -443,6 +457,11 @@ pub fn handle_crash(core: &mut WorkerCore, ps: &[Addr], ctx: &Ctx<Msg>) -> bool 
     }
     while let Some(restart) = core.take_due_crash(ctx.now()) {
         let permanent = restart.is_none();
+        markers::crash(
+            core.metrics.worker_track(core.w),
+            ctx.now().as_nanos(),
+            core.w,
+        );
         for a in ps {
             let delay = core.net.transfer_delay_class(
                 ctx.now(),
@@ -462,7 +481,12 @@ pub fn handle_crash(core: &mut WorkerCore, ps: &[Addr], ctx: &Ctx<Msg>) -> bool 
         }
         let Some(outage) = restart else { return false };
         ctx.advance(outage);
-        core.restore_checkpoint();
+        core.restore_checkpoint(ctx.now());
+        markers::restart(
+            core.metrics.worker_track(core.w),
+            ctx.now().as_nanos(),
+            core.w,
+        );
         for a in ps {
             let delay = core.net.transfer_delay_class(
                 ctx.now(),
@@ -500,6 +524,7 @@ pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<M
         if !handle_crash(&mut core, &ps, &ctx) {
             return;
         }
+        core.metrics.begin_iteration(core.w, ctx.now(), iter);
         let grads = core.real_grad_slices();
         let lr = core.current_lr();
         match &role {
@@ -538,22 +563,20 @@ pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<M
                         bytes,
                         TrafficClass::LocalAgg,
                     );
-                    ctx.send(
-                        leader.pid,
-                        delay,
-                        Msg::LocalGrad {
-                            sender: core.w,
-                            iter,
-                            shard: s,
-                            data,
-                            bytes,
-                        },
-                    );
+                    let msg = Msg::LocalGrad {
+                        sender: core.w,
+                        iter,
+                        shard: s,
+                        data,
+                        bytes,
+                    };
+                    core.count_logical(ctx.now(), crate::exec::logical_payload(&msg));
+                    ctx.send(leader.pid, delay, msg);
                 });
                 // Wait for fresh parameters from the leader.
                 let t0 = ctx.now();
                 let msg = ctx.recv_match(|m| matches!(m, Msg::LocalParams { .. }));
-                metrics.record(core.w, Phase::LocalAgg, ctx.now() - t0);
+                metrics.record_at(core.w, Phase::LocalAgg, t0, ctx.now() - t0);
                 if let Msg::LocalParams { data: Some(p), .. } = msg {
                     if let Some(real) = core.real.as_mut() {
                         real.net.set_params(&p);
@@ -694,7 +717,7 @@ pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<M
                         other => deferred.push(other),
                     }
                 }
-                metrics.record(core.w, Phase::LocalAgg, ctx.now() - t_local);
+                metrics.record_at(core.w, Phase::LocalAgg, t_local, ctx.now() - t_local);
                 // Collect shard replies (some may be in `deferred`).
                 let t_global = ctx.now();
                 let mut got = 0usize;
@@ -731,8 +754,14 @@ pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<M
                     }
                 }
                 let blocked = ctx.now() - t_global;
-                metrics.record(core.w, Phase::Comm, reply_wire.min(blocked));
-                metrics.record(core.w, Phase::GlobalAgg, blocked.saturating_sub(reply_wire));
+                let wire = reply_wire.min(blocked);
+                metrics.record_at(core.w, Phase::Comm, ctx.now() - wire, wire);
+                metrics.record_at(
+                    core.w,
+                    Phase::GlobalAgg,
+                    t_global,
+                    blocked.saturating_sub(wire),
+                );
                 // Broadcast fresh full parameters to followers.
                 let full = core.real.as_ref().map(|r| r.net.get_params());
                 let full_bytes: u64 = core.shard_bytes.iter().sum();
@@ -744,14 +773,12 @@ pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<M
                         full_bytes,
                         TrafficClass::LocalAgg,
                     );
-                    ctx.send(
-                        f.pid,
-                        delay,
-                        Msg::LocalParams {
-                            data: full.clone(),
-                            bytes: full_bytes,
-                        },
-                    );
+                    let msg = Msg::LocalParams {
+                        data: full.clone(),
+                        bytes: full_bytes,
+                    };
+                    core.count_logical(ctx.now(), crate::exec::logical_payload(&msg));
+                    ctx.send(f.pid, delay, msg);
                 }
             }
         }
@@ -773,6 +800,7 @@ pub fn asp_worker(mut core: WorkerCore, ps: Vec<Addr>, ctx: Ctx<Msg>) {
         if !handle_crash(&mut core, &ps, &ctx) {
             return;
         }
+        core.metrics.begin_iteration(core.w, ctx.now(), iter);
         let grads = core.real_grad_slices();
         let lr = core.current_lr();
         core.run_compute_phase(&ctx, |core, ctx, s| {
@@ -821,6 +849,7 @@ pub fn ssp_worker(mut core: WorkerCore, ps: Vec<Addr>, staleness: u64, ctx: Ctx<
         if !handle_crash(&mut core, &ps, &ctx) {
             return;
         }
+        core.metrics.begin_iteration(core.w, ctx.now(), iter);
         // SSPTable semantics (Ho et al.): the worker runs its own optimizer
         // on its cache and pushes the applied *delta*; the server is a
         // purely additive table. (Pushing raw gradients through a second
@@ -873,8 +902,12 @@ pub fn ssp_worker(mut core: WorkerCore, ps: Vec<Addr>, staleness: u64, ctx: Ctx<
                     .map(|s| core.wire_time(ps[s].node, core.grad_bytes(s)))
                     .sum();
                 let stall = ctx.now() - t0;
-                core.metrics
-                    .record(core.w, Phase::GlobalAgg, stall.saturating_sub(own_wire));
+                core.metrics.record_at(
+                    core.w,
+                    Phase::GlobalAgg,
+                    t0,
+                    stall.saturating_sub(own_wire),
+                );
             }
         }
         let my_clock = iter + 1;
@@ -928,6 +961,11 @@ pub fn ssp_worker(mut core: WorkerCore, ps: Vec<Addr>, staleness: u64, ctx: Ctx<
             // at least `need`; the cache is fresh as of that timestamp.
             cache_ts = seen_clock.max(need);
         }
+        core.metrics.worker_track(core.w).counter(
+            ctx.now().as_nanos(),
+            dtrain_obs::names::STALENESS,
+            my_clock.saturating_sub(cache_ts) as i64,
+        );
         finish_iteration(&mut core, &ctx);
     }
     for a in &ps {
@@ -943,11 +981,12 @@ pub fn easgd_worker(mut core: WorkerCore, ps: Vec<Addr>, tau: u64, ctx: Ctx<Msg>
         if !handle_crash(&mut core, &ps, &ctx) {
             return;
         }
+        core.metrics.begin_iteration(core.w, ctx.now(), iter);
         // local compute + local SGD step
         let t = core
             .gpu
             .iteration_time(&core.iteration_compute.profile, core.batch);
-        core.metrics.record(core.w, Phase::Compute, t);
+        core.metrics.record_at(core.w, Phase::Compute, ctx.now(), t);
         ctx.advance(t);
         if let Some(real) = core.real.as_mut() {
             let g = real.compute_grad();
@@ -1029,9 +1068,10 @@ pub fn collect_and_apply_shard_params(
     }
     let blocked = ctx.now() - t0;
     let wire = reply_wire.min(blocked);
-    core.metrics.record(core.w, Phase::Comm, wire);
     core.metrics
-        .record(core.w, phase, blocked.saturating_sub(wire));
+        .record_at(core.w, Phase::Comm, ctx.now() - wire, wire);
+    core.metrics
+        .record_at(core.w, phase, t0, blocked.saturating_sub(wire));
     max_clock
 }
 
@@ -1069,6 +1109,6 @@ pub fn finish_iteration(core: &mut WorkerCore, ctx: &Ctx<Msg>) {
     if let Some(Some(epoch)) = epoch_done {
         core.maybe_snapshot(ctx, epoch);
     }
-    core.tick_checkpoint();
+    core.tick_checkpoint(ctx.now());
     core.metrics.finish_iteration(core.w, ctx.now());
 }

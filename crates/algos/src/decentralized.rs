@@ -100,6 +100,7 @@ pub fn arsgd_worker(
         // permanent loss, so build_worker_cores coerces them); peers stall
         // in their recv until this worker resumes, mailboxes buffering.
         handle_crash(&mut core, &[], &ctx);
+        core.metrics.begin_iteration(core.w, ctx.now(), iter);
         // Real math: deposit own gradient before any communication.
         let full_grad = core.real.as_mut().map(|r| r.compute_grad());
         if let (Some(b), Some(g)) = (&board, &full_grad) {
@@ -122,7 +123,8 @@ pub fn arsgd_worker(
                 .iter()
                 .copied()
                 .sum();
-            core.metrics.record(core.w, Phase::Compute, fwd + bwd_total);
+            core.metrics
+                .record_at(core.w, Phase::Compute, ctx.now(), fwd + bwd_total);
             ctx.advance(fwd);
             let slice = bwd_total / buckets as u64;
             for b in 0..buckets {
@@ -133,7 +135,7 @@ pub fn arsgd_worker(
             let t = core
                 .gpu
                 .iteration_time(&core.iteration_compute.profile, core.batch);
-            core.metrics.record(core.w, Phase::Compute, t);
+            core.metrics.record_at(core.w, Phase::Compute, ctx.now(), t);
             ctx.advance(t);
             for b in 0..buckets {
                 run_ring_bucket(&mut core, &ctx, right, n, steps, b as u32, bucket_total);
@@ -169,8 +171,12 @@ fn run_ring_bucket(
     let t0 = ctx.now();
     let mut own_wire = SimTime::ZERO;
     for step in 0..steps {
-        core.metrics
-            .record(core.w, Phase::Comm, core.wire_time(right.node, chunk));
+        core.metrics.record_at(
+            core.w,
+            Phase::Comm,
+            ctx.now(),
+            core.wire_time(right.node, chunk),
+        );
         own_wire += core.wire_time(right.node, chunk);
         let delay = core.net.transfer_delay_class(
             ctx.now(),
@@ -194,7 +200,8 @@ fn run_ring_bucket(
         );
     }
     let blocked = (ctx.now() - t0).saturating_sub(own_wire);
-    core.metrics.record(core.w, Phase::GlobalAgg, blocked);
+    core.metrics
+        .record_at(core.w, Phase::GlobalAgg, t0, blocked);
 }
 
 // ---------------------------------------------------------------------------
@@ -208,13 +215,14 @@ pub fn gosgd_worker(mut core: WorkerCore, peers: Vec<Addr>, p: f64, ctx: Ctx<Msg
     let n = peers.len();
     let mut alpha: f32 = 1.0 / n as f32;
     let full_bytes: u64 = core.shard_bytes.iter().sum();
-    for _iter in 0..core.total_iters {
+    for iter in 0..core.total_iters {
         handle_crash(&mut core, &[], &ctx);
+        core.metrics.begin_iteration(core.w, ctx.now(), iter);
         // compute + local SGD step
         let t = core
             .gpu
             .iteration_time(&core.iteration_compute.profile, core.batch);
-        core.metrics.record(core.w, Phase::Compute, t);
+        core.metrics.record_at(core.w, Phase::Compute, ctx.now(), t);
         ctx.advance(t);
         if let Some(real) = core.real.as_mut() {
             let g = real.compute_grad();
@@ -289,8 +297,9 @@ pub fn adpsgd_active_worker(
     ctx: Ctx<Msg>,
 ) {
     let full_bytes: u64 = core.shard_bytes.iter().sum();
-    for _iter in 0..core.total_iters {
+    for iter in 0..core.total_iters {
         handle_crash(&mut core, &[], &ctx);
+        core.metrics.begin_iteration(core.w, ctx.now(), iter);
         // 1. pick the passive peer; with overlap (the paper's design) the
         //    exchange goes on the wire *before* computing, hiding its
         //    latency behind the gradient computation.
@@ -318,7 +327,7 @@ pub fn adpsgd_active_worker(
         let t = core
             .gpu
             .iteration_time(&core.iteration_compute.profile, core.batch);
-        core.metrics.record(core.w, Phase::Compute, t);
+        core.metrics.record_at(core.w, Phase::Compute, ctx.now(), t);
         ctx.advance(t);
         let grad = core.real.as_mut().map(|r| r.compute_grad());
         if !overlap {
@@ -331,7 +340,7 @@ pub fn adpsgd_active_worker(
         let t0 = ctx.now();
         let rep = ctx.recv_match(|m| matches!(m, Msg::ExchangeRep { .. }));
         core.metrics
-            .record(core.w, Phase::GlobalAgg, ctx.now() - t0);
+            .record_at(core.w, Phase::GlobalAgg, t0, ctx.now() - t0);
         if let (
             Some(real),
             Msg::ExchangeRep {
@@ -405,12 +414,13 @@ pub fn adpsgd_passive_worker(
             other => unreachable!("passive got {other:?}"),
         }
     };
-    for _iter in 0..core.total_iters {
+    for iter in 0..core.total_iters {
         handle_crash(&mut core, &[], &ctx);
+        core.metrics.begin_iteration(core.w, ctx.now(), iter);
         let t = core
             .gpu
             .iteration_time(&core.iteration_compute.profile, core.batch);
-        core.metrics.record(core.w, Phase::Compute, t);
+        core.metrics.record_at(core.w, Phase::Compute, ctx.now(), t);
         ctx.advance(t);
         let grad = core.real.as_mut().map(|r| r.compute_grad());
         if let (Some(real), Some(g)) = (core.real.as_mut(), &grad) {

@@ -18,9 +18,10 @@ use dtrain_cluster::{
 use dtrain_compress::{compressed_wire_bytes, DgcCompressor, SparseUpdate};
 use dtrain_data::Dataset;
 use dtrain_desim::{Ctx, SimTime};
-use dtrain_faults::CheckpointStore;
+use dtrain_faults::{markers, CheckpointStore};
 use dtrain_models::ModelProfile;
 use dtrain_nn::{LrSchedule, Network, ParamLayout, ParamSet, SgdMomentum};
+use dtrain_obs::names;
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -113,6 +114,33 @@ pub enum Msg {
     /// Fault layer → PS shards: `worker` restored its checkpoint and
     /// rejoined.
     MemberUp { worker: usize },
+}
+
+/// Bytes of *real* model payload carried by `msg` (0 for cost-only or
+/// control messages). This is the cross-path "logical traffic" unit: the
+/// threaded runtime moves the same `ParamSet`s through memory, so both
+/// execution paths can report identical `logical.bytes` counters.
+pub fn logical_payload(msg: &Msg) -> u64 {
+    fn grad(g: &Option<GradData>) -> u64 {
+        match g {
+            Some(GradData::Dense(p)) => p.num_bytes(),
+            Some(GradData::Sparse(s)) => s.wire_bytes(),
+            None => 0,
+        }
+    }
+    fn params(p: &Option<ParamSet>) -> u64 {
+        p.as_ref().map_or(0, ParamSet::num_bytes)
+    }
+    match msg {
+        Msg::GradPush { data, .. } | Msg::LocalGrad { data, .. } => grad(data),
+        Msg::ParamPush { data, .. }
+        | Msg::ShardParams { data, .. }
+        | Msg::LocalParams { data, .. }
+        | Msg::Gossip { data, .. }
+        | Msg::ExchangeReq { data, .. }
+        | Msg::ExchangeRep { data, .. } => params(data),
+        _ => 0,
+    }
 }
 
 /// One parameter snapshot taken at a worker's epoch boundary.
@@ -310,6 +338,9 @@ pub struct WorkerCore {
     pub real: Option<RealWorkerState>,
     pub virtual_lr: f32,
     pub faults: Option<WorkerFaults>,
+    /// Cumulative real-payload bytes this worker has put on the wire
+    /// (`names::LOGICAL_BYTES` counter; see DESIGN.md §4).
+    pub logical_bytes: u64,
 }
 
 /// Precomputed compute-phase structure for a worker iteration.
@@ -356,9 +387,28 @@ impl WorkerCore {
         let delay = self
             .net
             .transfer_delay_class(ctx.now(), self.node, dst_node, bytes, class);
-        self.metrics
-            .record(self.w, Phase::Comm, self.wire_time(dst_node, bytes));
+        self.metrics.record_at(
+            self.w,
+            Phase::Comm,
+            ctx.now(),
+            self.wire_time(dst_node, bytes),
+        );
+        self.count_logical(ctx.now(), logical_payload(&msg));
         ctx.send(dst_pid, delay, msg);
+    }
+
+    /// Accumulate real-payload bytes and emit the cumulative
+    /// `logical.bytes` counter on this worker's obs track.
+    pub fn count_logical(&mut self, now: SimTime, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        self.logical_bytes += bytes;
+        self.metrics.worker_track(self.w).counter(
+            now.as_nanos(),
+            names::LOGICAL_BYTES,
+            self.logical_bytes as i64,
+        );
     }
 
     /// Wire bytes of a gradient push for `shard`, DGC-compressed if enabled.
@@ -396,7 +446,7 @@ impl WorkerCore {
             let t = self
                 .gpu
                 .iteration_time(&self.iteration_compute.profile, self.batch);
-            self.metrics.record(self.w, Phase::Compute, t);
+            self.metrics.record_at(self.w, Phase::Compute, ctx.now(), t);
             ctx.advance(t);
             for s in 0..num_shards {
                 emit(self, ctx, s);
@@ -413,7 +463,8 @@ impl WorkerCore {
             .gpu
             .backward_layer_times(&self.iteration_compute.profile, self.batch);
         let total: SimTime = fwd + bwd.iter().copied().sum();
-        self.metrics.record(self.w, Phase::Compute, total);
+        self.metrics
+            .record_at(self.w, Phase::Compute, ctx.now(), total);
         ctx.advance(fwd);
         // Walk backward order (= profile layers reversed), tracking which
         // shards become complete at each step.
@@ -476,7 +527,7 @@ impl WorkerCore {
     /// Roll this replica back to its last checkpoint (crash recovery). In
     /// cost-only mode there is no parameter state to lose; only the restart
     /// time matters.
-    pub fn restore_checkpoint(&mut self) {
+    pub fn restore_checkpoint(&mut self, now: SimTime) {
         let Some(f) = &self.faults else { return };
         let Some(real) = self.real.as_mut() else {
             return;
@@ -484,12 +535,17 @@ impl WorkerCore {
         if let Some(cp) = f.store.restore(self.w) {
             real.net.set_params(&cp.params);
             real.opt = cp.opt;
+            markers::ckpt_restore(
+                self.metrics.worker_track(self.w),
+                now.as_nanos(),
+                cp.iteration,
+            );
         }
     }
 
     /// Count one completed iteration and checkpoint when the cadence says
     /// so. Called from [`crate::centralized::finish_iteration`].
-    pub fn tick_checkpoint(&mut self) {
+    pub fn tick_checkpoint(&mut self, now: SimTime) {
         let Some(f) = self.faults.as_mut() else {
             return;
         };
@@ -498,6 +554,11 @@ impl WorkerCore {
             if let Some(real) = &self.real {
                 f.store
                     .save(self.w, f.iters_done, &real.net.get_params(), &real.opt);
+                markers::ckpt_save(
+                    self.metrics.worker_track(self.w),
+                    now.as_nanos(),
+                    f.iters_done,
+                );
             }
         }
     }
@@ -604,6 +665,7 @@ pub fn build_worker_cores(
                 real,
                 virtual_lr: 0.05,
                 faults,
+                logical_bytes: 0,
             }
         })
         .collect()

@@ -38,4 +38,4 @@ pub use exec::{
     build_worker_cores, shard_tensor_indices, slice_set, slice_sparse, unslice_set, GradData, Msg,
     Recorder, Snapshot, WorkerCore, WorkerFaults,
 };
-pub use runner::{run, run_traced, EpochPoint, RunOutput};
+pub use runner::{run, run_observed, run_traced, EpochPoint, RunOutput};

@@ -9,6 +9,7 @@ use dtrain_compress::compressed_wire_bytes;
 use dtrain_desim::{Pid, SimTime, Simulation, StopReason, TraceRecord};
 use dtrain_faults::CheckpointStore;
 use dtrain_nn::{ParamSet, SgdMomentum};
+use dtrain_obs::{names, ObsSink, Track};
 
 use crate::centralized::{
     asp_worker, bsp_worker, easgd_worker, ps_process, ssp_worker, Addr, BspRole, PsCore,
@@ -72,7 +73,16 @@ fn eval_uses_worker_average(algo: Algo) -> bool {
 
 /// Execute one run.
 pub fn run(cfg: &RunConfig) -> RunOutput {
-    run_impl(cfg, false).0
+    run_impl(cfg, false, &ObsSink::disabled()).0
+}
+
+/// Execute one run with structured-event observation: per-phase spans,
+/// iteration spans, NIC queue counters, fault markers, and the kernel's
+/// scheduling stream all land in `sink` (see `dtrain_obs`). Observation is
+/// timing-passive — the run's virtual-time behaviour is bit-identical to
+/// [`run`].
+pub fn run_observed(cfg: &RunConfig, sink: &ObsSink) -> RunOutput {
+    run_impl(cfg, false, sink).0
 }
 
 /// Execute one run with kernel event tracing enabled; returns the output
@@ -80,15 +90,16 @@ pub fn run(cfg: &RunConfig) -> RunOutput {
 /// (same seeds, same fault schedule) must produce identical traces — the
 /// determinism contract fault injection is required to preserve.
 pub fn run_traced(cfg: &RunConfig) -> (RunOutput, Vec<TraceRecord>) {
-    let (out, trace) = run_impl(cfg, true);
+    let (out, trace) = run_impl(cfg, true, &ObsSink::disabled());
     (out, trace.expect("tracing was enabled"))
 }
 
-fn run_impl(cfg: &RunConfig, trace: bool) -> (RunOutput, Option<Vec<TraceRecord>>) {
+fn run_impl(cfg: &RunConfig, trace: bool, sink: &ObsSink) -> (RunOutput, Option<Vec<TraceRecord>>) {
     cfg.validate().expect("invalid run configuration");
-    let metrics = MetricsHub::new(cfg.workers);
+    let metrics = MetricsHub::observed(cfg.workers, sink);
     let recorder = Recorder::new();
     let net = NetModel::new(&cfg.cluster);
+    net.set_obs(sink);
     // Shared checkpoint store: workers and PS shards snapshot into it and
     // roll back from it on crash/outage.
     let store: Option<Arc<CheckpointStore>> = cfg
@@ -116,6 +127,20 @@ fn run_impl(cfg: &RunConfig, trace: bool) -> (RunOutput, Option<Vec<TraceRecord>
     let mut sim: Simulation<Msg> = Simulation::new();
     if trace {
         sim.enable_tracing();
+    }
+    if sink.is_enabled() {
+        // Mirror the kernel's scheduling stream onto the obs timeline: one
+        // instant per resume/deliver/kill/spawn, value = pid.
+        let kt = sink.track(Track::Kernel);
+        sim.set_event_hook(move |rec| {
+            let name = match rec.kind {
+                0 => names::K_RESUME,
+                1 => names::K_DELIVER,
+                2 => names::K_KILL,
+                _ => names::K_SPAWN,
+            };
+            kt.instant(rec.time.as_nanos(), name, rec.pid.0 as i64);
+        });
     }
 
     let num_shards = if cfg.algo.is_centralized() {
@@ -188,6 +213,7 @@ fn run_impl(cfg: &RunConfig, trace: bool) -> (RunOutput, Option<Vec<TraceRecord>
                 workers: worker_addrs.clone(),
                 expected_stops,
                 faults,
+                obs: sink.track(Track::Ps(s as u16)),
             };
             let mode = match cfg.algo {
                 Algo::Bsp => PsMode::Bsp {

@@ -218,6 +218,84 @@ fn main() {
         out
     });
 
+    // --- obs tracing overhead on the training step ------------------------
+    // The observability layer must be effectively free when disabled and
+    // cost at most a few percent when enabled, measured on the same
+    // end-to-end train step a threaded worker instruments (iteration
+    // enter/exit, a compute span, a byte counter per step). Each variant's
+    // *minimum* over interleaved samples is compared: noise and machine
+    // drift only ever add time, so minima isolate the true per-step cost,
+    // and a multi-millisecond step dwarfs four ring writes.
+    {
+        use dtrain_obs::{ObsSink, Track};
+        let step = |obs: &dtrain_obs::TrackHandle, iter: u64| {
+            obs.enter(iter, "iter", iter);
+            let mut net = small_cnn(3, 16, 10, 7);
+            let (loss, _) = net.train_batch(xb.clone(), &labels);
+            obs.span(iter, 1, "compute", iter);
+            obs.counter(iter, "logical.bytes", loss as i64);
+            obs.exit(iter + 1, "iter");
+            loss
+        };
+        // Big ring so long sample runs never hit the overflow path.
+        let enabled_sink = ObsSink::with_capacity(1 << 20);
+        let enabled = enabled_sink.track(Track::Worker(0));
+        let disabled = ObsSink::disabled().track(Track::Worker(0));
+        // Even at smoke scale the sampling stays dense: the gate compares
+        // two ~4 ms measurements, so a sparse min is still noise-bound.
+        let obs_reps = if smoke { 3 } else { 5 };
+        let samples = if smoke { 15 } else { 11 };
+        let mut t_base = Vec::new();
+        let mut t_dis = Vec::new();
+        let mut t_en = Vec::new();
+        let mut i = 0u64;
+        for _ in 0..samples {
+            t_base.push(time_ms(obs_reps, || {
+                let mut net = small_cnn(3, 16, 10, 7);
+                let _ = net.train_batch(xb.clone(), &labels);
+            }));
+            t_dis.push(time_ms(obs_reps, || {
+                let _ = step(&disabled, i);
+                i += 1;
+            }));
+            t_en.push(time_ms(obs_reps, || {
+                let _ = step(&enabled, i);
+                i += 1;
+            }));
+        }
+        let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+        let base = min(&t_base);
+        let overhead_disabled = min(&t_dis) / base - 1.0;
+        let overhead_enabled = min(&t_en) / base - 1.0;
+        println!(
+            "obs overhead on train step: disabled {:+.2}%, enabled {:+.2}%",
+            overhead_disabled * 100.0,
+            overhead_enabled * 100.0
+        );
+        h.records.push(Record {
+            kernel: "train_step_obs_disabled_pct".into(),
+            threads: 1,
+            ms: overhead_disabled * 100.0,
+        });
+        h.records.push(Record {
+            kernel: "train_step_obs_enabled_pct".into(),
+            threads: 1,
+            ms: overhead_enabled * 100.0,
+        });
+        if overhead_disabled > 0.03 {
+            h.divergences.push(format!(
+                "obs: disabled tracing costs {:.2}% on the train step (must be ~0)",
+                overhead_disabled * 100.0
+            ));
+        }
+        if overhead_enabled > 0.05 {
+            h.divergences.push(format!(
+                "obs: enabled tracing costs {:.2}% on the train step (budget 5%)",
+                overhead_enabled * 100.0
+            ));
+        }
+    }
+
     // --- report ------------------------------------------------------------
     for r in &h.records {
         println!("{:<28} threads={} {:>9.3} ms", r.kernel, r.threads, r.ms);

@@ -4,44 +4,19 @@
 //! aggregation, global aggregation (both including waiting), and
 //! communication. Algorithm processes report each span they spend into a
 //! shared [`MetricsHub`]; the harness reads the totals back out.
+//!
+//! The hub is a thin aggregation layer over `dtrain-obs`: every span-aware
+//! record both bumps the per-worker [`Breakdown`] total *and* emits a typed
+//! span onto that worker's obs track, so the same instrumentation feeds
+//! Fig.-3 totals and Perfetto/canonical-trace timelines.
 
 use std::sync::Arc;
 
 use dtrain_desim::SimTime;
+use dtrain_obs::{names, ObsSink, Track, TrackHandle, NO_ITER};
 use parking_lot::Mutex;
 
-/// The phases of one training iteration, as broken down in Fig. 3.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub enum Phase {
-    /// Forward + backward computation.
-    Compute,
-    /// Intra-machine gradient aggregation, including waiting for co-located
-    /// workers (BSP's local aggregation).
-    LocalAgg,
-    /// Server-side / collective aggregation, including waiting for the
-    /// result (PS round-trip wait, AllReduce barrier).
-    GlobalAgg,
-    /// Pure wire time attributable to this worker's own transfers.
-    Comm,
-}
-
-impl Phase {
-    pub const ALL: [Phase; 4] = [
-        Phase::Compute,
-        Phase::LocalAgg,
-        Phase::GlobalAgg,
-        Phase::Comm,
-    ];
-
-    pub fn name(self) -> &'static str {
-        match self {
-            Phase::Compute => "compute",
-            Phase::LocalAgg => "local_agg",
-            Phase::GlobalAgg => "global_agg",
-            Phase::Comm => "comm",
-        }
-    }
-}
+pub use dtrain_obs::Phase;
 
 /// Accumulated per-worker phase times.
 #[derive(Clone, Copy, Debug, Default)]
@@ -93,14 +68,35 @@ struct HubInner {
     end_time: SimTime,
 }
 
+/// A mutually consistent copy of everything the hub tracks, taken under a
+/// single lock acquisition. Use this (not a sequence of individual getter
+/// calls) when reading mid-run: getters taken one by one can interleave
+/// with writers, yielding e.g. an iteration count that doesn't match the
+/// end time it was paired with — time recorded between the two reads is
+/// silently missing from the pair.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    pub per_worker: Vec<Breakdown>,
+    pub iterations: Vec<u64>,
+    pub finish_times: Vec<SimTime>,
+    pub end_time: SimTime,
+}
+
 /// Shared metrics sink for one simulated run.
 #[derive(Clone)]
 pub struct MetricsHub {
     inner: Arc<Mutex<HubInner>>,
+    tracks: Arc<Vec<TrackHandle>>,
 }
 
 impl MetricsHub {
+    /// Hub with tracing disabled (totals only).
     pub fn new(num_workers: usize) -> Self {
+        Self::observed(num_workers, &ObsSink::disabled())
+    }
+
+    /// Hub that mirrors every span-aware record onto per-worker obs tracks.
+    pub fn observed(num_workers: usize, sink: &ObsSink) -> Self {
         MetricsHub {
             inner: Arc::new(Mutex::new(HubInner {
                 per_worker: vec![Breakdown::default(); num_workers],
@@ -108,25 +104,66 @@ impl MetricsHub {
                 finish_times: vec![SimTime::ZERO; num_workers],
                 end_time: SimTime::ZERO,
             })),
+            tracks: Arc::new(
+                (0..num_workers)
+                    .map(|w| sink.track(Track::Worker(w as u16)))
+                    .collect(),
+            ),
         }
     }
 
-    /// Record `dt` of `phase` for `worker`.
+    /// The obs track handle for `worker`, for event kinds the hub has no
+    /// helper for (counters, fault markers).
+    pub fn worker_track(&self, worker: usize) -> &TrackHandle {
+        &self.tracks[worker]
+    }
+
+    /// Record `dt` of `phase` for `worker`, total only. Prefer
+    /// [`Self::record_at`], which also places the span on the timeline.
     pub fn record(&self, worker: usize, phase: Phase, dt: SimTime) {
         self.inner.lock().per_worker[worker].add(phase, dt);
     }
 
+    /// Record a `phase` span `[start, start + dur]` for `worker`: adds to
+    /// the Breakdown total and emits the span onto the worker's obs track.
+    pub fn record_at(&self, worker: usize, phase: Phase, start: SimTime, dur: SimTime) {
+        self.inner.lock().per_worker[worker].add(phase, dur);
+        self.tracks[worker].span(start.as_nanos(), dur.as_nanos(), phase.name(), NO_ITER);
+    }
+
+    /// Mark the start of iteration `iter` for `worker` (opens the nesting
+    /// span closed by [`Self::finish_iteration`]).
+    pub fn begin_iteration(&self, worker: usize, now: SimTime, iter: u64) {
+        self.tracks[worker].enter(now.as_nanos(), names::ITER, iter);
+    }
+
     /// Count one finished iteration for `worker` at virtual time `now`.
     pub fn finish_iteration(&self, worker: usize, now: SimTime) {
-        let mut inner = self.inner.lock();
-        inner.iterations[worker] += 1;
-        inner.finish_times[worker] = inner.finish_times[worker].max(now);
-        inner.end_time = inner.end_time.max(now);
+        {
+            let mut inner = self.inner.lock();
+            inner.iterations[worker] += 1;
+            inner.finish_times[worker] = inner.finish_times[worker].max(now);
+            inner.end_time = inner.end_time.max(now);
+        }
+        self.tracks[worker].exit(now.as_nanos(), names::ITER);
+    }
+
+    /// Everything the hub tracks, read under one lock acquisition. Safe to
+    /// call mid-run: purely observational, drops nothing, and the returned
+    /// fields are mutually consistent.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            per_worker: inner.per_worker.clone(),
+            iterations: inner.iterations.clone(),
+            finish_times: inner.finish_times.clone(),
+            end_time: inner.end_time,
+        }
     }
 
     /// Per-worker breakdowns.
     pub fn breakdowns(&self) -> Vec<Breakdown> {
-        self.inner.lock().per_worker.clone()
+        self.snapshot().per_worker
     }
 
     /// Mean breakdown across workers.
@@ -149,12 +186,12 @@ impl MetricsHub {
 
     /// Total iterations across workers.
     pub fn total_iterations(&self) -> u64 {
-        self.inner.lock().iterations.iter().sum()
+        self.snapshot().iterations.iter().sum()
     }
 
     /// Latest iteration-finish timestamp seen.
     pub fn end_time(&self) -> SimTime {
-        self.inner.lock().end_time
+        self.snapshot().end_time
     }
 
     /// Aggregate throughput in images/second of virtual time: the sum of
@@ -164,11 +201,10 @@ impl MetricsHub {
     /// correctly credits fast workers that keep iterating while a straggler
     /// lags, which is how the paper measures images/sec.
     pub fn throughput(&self, batch: usize) -> f64 {
-        let inner = self.inner.lock();
-        inner
-            .iterations
+        let snap = self.snapshot();
+        snap.iterations
             .iter()
-            .zip(&inner.finish_times)
+            .zip(&snap.finish_times)
             .map(|(&iters, &t)| {
                 let secs = t.as_secs_f64();
                 if secs == 0.0 {
@@ -184,6 +220,7 @@ impl MetricsHub {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dtrain_obs::{Event, EventKind};
 
     #[test]
     fn breakdown_accumulates_and_fractions() {
@@ -224,5 +261,98 @@ mod tests {
     fn phase_names_are_stable() {
         let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(names, vec!["compute", "local_agg", "global_agg", "comm"]);
+    }
+
+    #[test]
+    fn record_at_feeds_both_totals_and_obs_spans() {
+        let sink = ObsSink::enabled();
+        let hub = MetricsHub::observed(2, &sink);
+        hub.begin_iteration(0, SimTime::ZERO, 0);
+        hub.record_at(0, Phase::Compute, SimTime::ZERO, SimTime::from_millis(7));
+        hub.record_at(
+            0,
+            Phase::Comm,
+            SimTime::from_millis(7),
+            SimTime::from_millis(3),
+        );
+        hub.finish_iteration(0, SimTime::from_millis(10));
+        assert_eq!(hub.breakdowns()[0].total(), SimTime::from_millis(10));
+        let events: Vec<Event> = sink.snapshot();
+        let span_sum: u64 = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Span { dur, .. } => Some(dur),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(span_sum, SimTime::from_millis(10).as_nanos());
+        assert!(matches!(
+            events[0].kind,
+            EventKind::Enter {
+                name: "iter",
+                iter: 0
+            }
+        ));
+        assert!(matches!(
+            events.last().unwrap().kind,
+            EventKind::Exit { name: "iter" }
+        ));
+    }
+
+    /// Regression: reading the hub mid-run must be purely observational.
+    /// The old interleaved-getter pattern could pair an iteration count
+    /// with an end time from a different instant, so time recorded between
+    /// the reads was silently absent from the pair; `snapshot()` reads
+    /// everything under one lock, and records made after a snapshot keep
+    /// accumulating into the totals.
+    #[test]
+    fn mid_run_snapshot_is_consistent_and_drops_nothing() {
+        let hub = MetricsHub::new(1);
+        hub.record(0, Phase::Compute, SimTime::from_secs(1));
+        hub.finish_iteration(0, SimTime::from_secs(1));
+
+        let mid = hub.snapshot();
+        assert_eq!(mid.per_worker[0].compute, SimTime::from_secs(1));
+        assert_eq!(mid.iterations[0], 1);
+        assert_eq!(mid.end_time, SimTime::from_secs(1));
+
+        // Recording continues after the mid-run read...
+        hub.record(0, Phase::Compute, SimTime::from_secs(2));
+        hub.finish_iteration(0, SimTime::from_secs(3));
+
+        // ...and the final totals include everything from both halves.
+        let fin = hub.snapshot();
+        assert_eq!(fin.per_worker[0].compute, SimTime::from_secs(3));
+        assert_eq!(fin.iterations[0], 2);
+        assert_eq!(fin.end_time, SimTime::from_secs(3));
+        // The mid-run copy is untouched by later writes.
+        assert_eq!(mid.per_worker[0].compute, SimTime::from_secs(1));
+    }
+
+    /// Under a concurrent writer, a snapshot is internally consistent:
+    /// every (iterations, end_time) pair it returns must satisfy the
+    /// writer's invariant (end_time advances with the iteration count).
+    #[test]
+    fn concurrent_snapshots_never_tear() {
+        let hub = MetricsHub::new(1);
+        let writer = {
+            let hub = hub.clone();
+            std::thread::spawn(move || {
+                for i in 1..=2000u64 {
+                    // Writer invariant: after iteration i, end_time == i ns.
+                    hub.finish_iteration(0, SimTime::from_nanos(i));
+                }
+            })
+        };
+        for _ in 0..200 {
+            let snap = hub.snapshot();
+            assert_eq!(
+                snap.end_time,
+                SimTime::from_nanos(snap.iterations[0]),
+                "snapshot paired an iteration count with a foreign end time"
+            );
+        }
+        writer.join().expect("writer panicked");
+        assert_eq!(hub.total_iterations(), 2000);
     }
 }

@@ -13,6 +13,7 @@
 use std::sync::Arc;
 
 use dtrain_desim::SimTime;
+use dtrain_obs::{names, ObsSink, Track, TrackHandle};
 use parking_lot::Mutex;
 
 use crate::config::{ClusterConfig, NodeId};
@@ -88,6 +89,9 @@ struct NetInner {
     nics: Vec<NicState>,
     stats: TrafficStats,
     link_faults: Vec<LinkWindow>,
+    /// Per-machine obs tracks (empty unless [`NetModel::set_obs`] was
+    /// called): NIC queue-occupancy counters and wire-bytes instants.
+    obs: Vec<TrackHandle>,
 }
 
 /// Shared handle to the network model. Clone freely; all clones observe the
@@ -122,6 +126,7 @@ impl NetModel {
                 nics: vec![NicState::default(); cfg.machines],
                 stats: TrafficStats::default(),
                 link_faults: Vec::new(),
+                obs: Vec::new(),
             })),
         }
     }
@@ -130,6 +135,17 @@ impl NetModel {
     /// before the simulation starts to keep runs deterministic.
     pub fn set_link_faults(&self, windows: Vec<LinkWindow>) {
         self.inner.lock().link_faults = windows;
+    }
+
+    /// Mirror NIC-level activity onto per-machine obs tracks: every
+    /// inter-machine reservation samples the backlog (ns until the
+    /// endpoint's NIC frees) at both endpoints and stamps the transfer's
+    /// wire bytes on the sender. Call before the simulation starts.
+    pub fn set_obs(&self, sink: &ObsSink) {
+        let mut inner = self.inner.lock();
+        inner.obs = (0..inner.nics.len())
+            .map(|m| sink.track(Track::Machine(m as u16)))
+            .collect();
     }
 
     /// Reserve NIC time for an unclassified transfer; see
@@ -162,6 +178,16 @@ impl NetModel {
         }
         inner.stats.inter_messages += 1;
         inner.stats.inter_bytes += bytes;
+        if !inner.obs.is_empty() {
+            // Backlog already queued ahead of this transfer, in ns of NIC
+            // time — the quantity Fig. 4's PS-bottleneck analysis is about.
+            let tx_backlog = inner.nics[src.0].tx_free.saturating_sub(now).as_nanos();
+            let rx_backlog = inner.nics[dst.0].rx_free.saturating_sub(now).as_nanos();
+            let ts = now.as_nanos();
+            inner.obs[src.0].counter(ts, names::NIC_TX_QUEUE, tx_backlog as i64);
+            inner.obs[dst.0].counter(ts, names::NIC_RX_QUEUE, rx_backlog as i64);
+            inner.obs[src.0].instant(ts, names::WIRE_BYTES, bytes as i64);
+        }
         let lat = SimTime::from_secs_f64(self.cfg.latency_us * 1e-6);
         // Start once both endpoints' NICs are free (FIFO in request order).
         let mut start = now
@@ -211,6 +237,57 @@ impl NetModel {
     /// wait-free BP's overlap accounting.
     pub fn tx_free_at(&self, node: NodeId) -> SimTime {
         self.inner.lock().nics[node.0].tx_free
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use dtrain_obs::EventKind;
+
+    #[test]
+    fn nic_counters_sample_backlog_at_both_endpoints() {
+        let mut cfg = ClusterConfig::paper(NetworkConfig::TEN_GBPS);
+        cfg.machines = 3;
+        let net = NetModel::new(&cfg);
+        let sink = ObsSink::enabled();
+        net.set_obs(&sink);
+        const MB100: u64 = 100_000_000;
+        net.transfer_delay(SimTime::ZERO, NodeId(1), NodeId(0), MB100);
+        net.transfer_delay(SimTime::ZERO, NodeId(2), NodeId(0), MB100);
+        let events = sink.snapshot();
+        let rx_samples: Vec<i64> = events
+            .iter()
+            .filter(|e| e.track == Track::Machine(0))
+            .filter_map(|e| match e.kind {
+                EventKind::Counter { name, value } if name == names::NIC_RX_QUEUE => Some(value),
+                _ => None,
+            })
+            .collect();
+        // First arrival sees an idle NIC; the second sees the first's 80 ms
+        // of serialization already queued.
+        assert_eq!(rx_samples.len(), 2);
+        assert_eq!(rx_samples[0], 0);
+        assert_eq!(rx_samples[1], 80_000_000);
+        let wire_bytes: i64 = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Instant { name, value } if name == names::WIRE_BYTES => Some(value),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(wire_bytes, 2 * MB100 as i64);
+    }
+
+    #[test]
+    fn intra_machine_transfers_emit_no_nic_events() {
+        let cfg = ClusterConfig::paper(NetworkConfig::TEN_GBPS);
+        let net = NetModel::new(&cfg);
+        let sink = ObsSink::enabled();
+        net.set_obs(&sink);
+        net.transfer_delay(SimTime::ZERO, NodeId(0), NodeId(0), 1_000_000);
+        assert!(sink.snapshot().is_empty());
     }
 }
 

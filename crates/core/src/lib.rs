@@ -39,8 +39,8 @@ pub mod prelude {
     pub use crate::presets;
     pub use crate::report::{fmt_acc, fmt_secs, fmt_x, Table};
     pub use dtrain_algos::{
-        run, run_traced, Algo, EpochPoint, FaultConfig, OptimizationConfig, RealTraining,
-        RunConfig, RunOutput, StopCondition,
+        run, run_observed, run_traced, Algo, EpochPoint, FaultConfig, OptimizationConfig,
+        RealTraining, RunConfig, RunOutput, StopCondition,
     };
     pub use dtrain_cluster::{Breakdown, ClusterConfig, NetworkConfig, Phase, ShardPlan};
     pub use dtrain_compress::DgcConfig;
@@ -48,6 +48,8 @@ pub mod prelude {
         CheckpointStore, FaultEvent, FaultKind, FaultPlan, FaultSchedule, RecoveryPolicy,
     };
     pub use dtrain_models::{resnet50, vgg16, ModelProfile};
+    pub use dtrain_obs::export::{canonical_trace, diff_canonical, perfetto_trace};
+    pub use dtrain_obs::{Event, EventKind, ObsSink, Track, TrackHandle};
 }
 
 pub use dtrain_algos::{run, Algo, RunConfig, RunOutput};

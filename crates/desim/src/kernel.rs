@@ -107,6 +107,9 @@ pub struct TraceRecord {
     pub kind: u8,
 }
 
+/// Observer invoked for every traced kernel event (see [`Shared::hook`]).
+type EventHook = Box<dyn FnMut(&TraceRecord) + Send>;
+
 /// Kernel state shared between the scheduler and the (one) running process.
 ///
 /// Only one process runs at a time and the scheduler is parked while it does,
@@ -124,6 +127,10 @@ struct Shared<M> {
     doomed: VecDeque<Pid>,
     kills: u64,
     trace: Option<Vec<TraceRecord>>,
+    /// Observer invoked for every traced kernel event (resume / deliver /
+    /// kill / spawn) as it happens. Runs under the kernel lock while the
+    /// scheduler holds the baton: it must not re-enter the simulation.
+    hook: Option<EventHook>,
 }
 
 /// Thread-side bookkeeping for every spawned process, shared between the
@@ -140,6 +147,21 @@ impl<M> Shared<M> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(Event { time, seq, kind });
+    }
+
+    /// Record one kernel event into the optional trace buffer and feed it
+    /// to the optional live hook.
+    fn trace_event(&mut self, time: SimTime, pid: Pid, kind: u8) {
+        if self.trace.is_none() && self.hook.is_none() {
+            return;
+        }
+        let rec = TraceRecord { time, pid, kind };
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push(rec);
+        }
+        if let Some(hook) = self.hook.as_mut() {
+            hook(&rec);
+        }
     }
 }
 
@@ -285,13 +307,7 @@ impl<M: Send + 'static> Ctx<M> {
         }
         sh.kills += 1;
         let now = sh.now;
-        if let Some(tr) = sh.trace.as_mut() {
-            tr.push(TraceRecord {
-                time: now,
-                pid: victim,
-                kind: 2,
-            });
-        }
+        sh.trace_event(now, victim, 2);
         sh.doomed.push_back(victim);
         true
     }
@@ -338,13 +354,7 @@ where
         sh.states.push(ProcState::Holding);
         sh.push_event(start_at, EventKind::Resume(pid));
         if start_at > SimTime::ZERO {
-            if let Some(tr) = sh.trace.as_mut() {
-                tr.push(TraceRecord {
-                    time: start_at,
-                    pid,
-                    kind: 3,
-                });
-            }
+            sh.trace_event(start_at, pid, 3);
         }
         reg.go_txs.push(go_tx);
         reg.names.push(name.clone());
@@ -452,6 +462,7 @@ impl<M: Send + 'static> Simulation<M> {
                 doomed: VecDeque::new(),
                 kills: 0,
                 trace: None,
+                hook: None,
             })),
             registry: Arc::new(Mutex::new(Registry {
                 go_txs: Vec::new(),
@@ -467,6 +478,16 @@ impl<M: Send + 'static> Simulation<M> {
     /// from [`SimStats::trace`]. Intended for determinism tests.
     pub fn enable_tracing(&mut self) {
         self.shared.lock().trace = Some(Vec::new());
+    }
+
+    /// Install a live observer called for every kernel scheduling event
+    /// (resume / deliver / kill / spawn), in the exact order the trace
+    /// records them. The hook runs under the kernel lock while the
+    /// scheduler holds the baton, so it must be fast and must not touch
+    /// the simulation; it exists so an external sink (e.g. `dtrain-obs`)
+    /// can stream the event order without buffering the whole trace here.
+    pub fn set_event_hook(&mut self, hook: impl FnMut(&TraceRecord) + Send + 'static) {
+        self.shared.lock().hook = Some(Box::new(hook));
     }
 
     /// Spawn a process. The body runs when `run` is called; it starts at
@@ -564,13 +585,7 @@ impl<M: Send + 'static> Simulation<M> {
                                 continue; // drop, try next event
                             }
                             sh.now = ev.time;
-                            if let Some(tr) = sh.trace.as_mut() {
-                                tr.push(TraceRecord {
-                                    time: ev.time,
-                                    pid,
-                                    kind: 1,
-                                });
-                            }
+                            sh.trace_event(ev.time, pid, 1);
                             sh.mailboxes[pid.index()].push_back(msg);
                             if matches!(sh.states[pid.index()], ProcState::WaitingRecv) {
                                 break (ev.time, EventKind::<M>::Resume(pid));
@@ -582,13 +597,7 @@ impl<M: Send + 'static> Simulation<M> {
                                 continue;
                             }
                             sh.now = ev.time;
-                            if let Some(tr) = sh.trace.as_mut() {
-                                tr.push(TraceRecord {
-                                    time: ev.time,
-                                    pid,
-                                    kind: 0,
-                                });
-                            }
+                            sh.trace_event(ev.time, pid, 0);
                             break (ev.time, EventKind::Resume(pid));
                         }
                     }
@@ -1036,5 +1045,31 @@ mod tests {
             sim.run().trace.expect("tracing enabled")
         }
         assert_eq!(trace_once(), trace_once());
+    }
+
+    #[test]
+    fn event_hook_sees_the_exact_trace_stream() {
+        use std::sync::Arc as StdArc;
+        let streamed: StdArc<Mutex<Vec<TraceRecord>>> = StdArc::new(Mutex::new(Vec::new()));
+        let streamed2 = StdArc::clone(&streamed);
+        let mut sim: Simulation<u32> = Simulation::new();
+        sim.enable_tracing();
+        sim.set_event_hook(move |rec| streamed2.lock().push(*rec));
+        let rx = sim.spawn("rx", |ctx| {
+            let _ = ctx.recv();
+            let _ = ctx.recv();
+        });
+        sim.spawn("tx", move |ctx| {
+            ctx.advance(SimTime::from_millis(1));
+            ctx.send(rx, SimTime::from_millis(2), 7);
+            let grand = ctx.spawn("grand", move |ctx2| {
+                ctx2.send(rx, SimTime::ZERO, 8);
+            });
+            assert!(grand.index() > 0);
+        });
+        let stats = sim.run();
+        let trace = stats.trace.expect("tracing enabled");
+        assert_eq!(*streamed.lock(), trace);
+        assert!(trace.iter().any(|r| r.kind == 3), "spawn event present");
     }
 }

@@ -3,6 +3,7 @@
 //! Deterministic fault injection for distributed-training experiments.
 
 mod checkpoint;
+pub mod markers;
 mod schedule;
 
 pub use checkpoint::{CheckpointStore, WorkerCheckpoint};

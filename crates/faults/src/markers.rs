@@ -1,0 +1,76 @@
+//! Obs-trace markers for fault-layer events.
+//!
+//! One tiny vocabulary shared by both execution paths, so a crash in the
+//! simulator and a crash in the threaded runtime land on a timeline with
+//! the same name and payload convention. Every marker is an
+//! [`dtrain_obs::EventKind::Instant`] whose value carries the most useful
+//! scalar for that event (worker id, shard id, or `-1` when there is none).
+
+use dtrain_obs::{names, TrackHandle};
+
+/// A worker (or PS process) died at `ts`.
+pub fn crash(track: &TrackHandle, ts: u64, worker: usize) {
+    track.instant(ts, names::CRASH, worker as i64);
+}
+
+/// A previously crashed worker rejoined at `ts`.
+pub fn restart(track: &TrackHandle, ts: u64, worker: usize) {
+    track.instant(ts, names::RESTART, worker as i64);
+}
+
+/// A parameter-server shard became unreachable at `ts`.
+pub fn ps_outage(track: &TrackHandle, ts: u64, shard: usize) {
+    track.instant(ts, names::PS_OUTAGE, shard as i64);
+}
+
+/// A parameter-server shard came back at `ts`.
+pub fn ps_recover(track: &TrackHandle, ts: u64, shard: usize) {
+    track.instant(ts, names::PS_RECOVER, shard as i64);
+}
+
+/// A checkpoint of `iter` was saved at `ts`.
+pub fn ckpt_save(track: &TrackHandle, ts: u64, iter: u64) {
+    track.instant(ts, names::CKPT_SAVE, iter as i64);
+}
+
+/// State was restored from the checkpoint of `iter` at `ts`.
+pub fn ckpt_restore(track: &TrackHandle, ts: u64, iter: u64) {
+    track.instant(ts, names::CKPT_RESTORE, iter as i64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtrain_obs::{EventKind, ObsSink, Track};
+
+    #[test]
+    fn markers_land_on_the_given_track_with_payloads() {
+        let sink = ObsSink::enabled();
+        let w = sink.track(Track::Worker(2));
+        crash(&w, 10, 2);
+        restart(&w, 20, 2);
+        ps_outage(&w, 30, 1);
+        ps_recover(&w, 40, 1);
+        ckpt_save(&w, 50, 6);
+        ckpt_restore(&w, 60, 6);
+        let events = sink.snapshot();
+        let kinds: Vec<(&str, i64)> = events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Instant { name, value } => (name, value),
+                other => panic!("expected instant, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("fault.crash", 2),
+                ("fault.restart", 2),
+                ("fault.ps_outage", 1),
+                ("fault.ps_recover", 1),
+                ("ckpt.save", 6),
+                ("ckpt.restore", 6),
+            ]
+        );
+    }
+}

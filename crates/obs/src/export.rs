@@ -1,0 +1,370 @@
+//! Trace exporters and trace-level checks.
+//!
+//! Two formats:
+//!
+//! * **Canonical text** — one line per event, stable field order, designed
+//!   to be diffed. This is the format the golden-trace suite pins. Spec:
+//!
+//!   ```text
+//!   # dtrain canonical trace v1
+//!   <ts_ns> <track> <kind> <name> <f1> <f2>
+//!   ```
+//!
+//!   `track` is `w<i>` / `ps<i>` / `m<i>` / `r<i>` / `k`. `kind` is one of
+//!   `E` (enter), `X` (exit), `S` (span), `C` (counter), `I` (instant).
+//!   The two trailing fields depend on kind (`-` when absent):
+//!   `E`: f1 = iteration; `X`: none; `S`: f1 = duration ns, f2 = iteration;
+//!   `C`: f1 = value; `I`: f1 = value. Lines are ordered by
+//!   `(ts, track, seq)` — exactly [`crate::ObsSink::snapshot`] order.
+//!
+//! * **Perfetto JSON** — Chrome `trace_event` format, loadable at
+//!   <https://ui.perfetto.dev>. Tracks map to pid/tid pairs; spans become
+//!   `X`/`B`/`E` events, counters become `C`, instants become `i`.
+
+use crate::{Event, EventKind, Track, NO_ITER};
+
+/// Header line of the canonical text format.
+pub const CANONICAL_HEADER: &str = "# dtrain canonical trace v1";
+
+fn iter_field(iter: u64) -> String {
+    if iter == NO_ITER {
+        "-".to_string()
+    } else {
+        iter.to_string()
+    }
+}
+
+/// Render one event as a canonical line (no trailing newline).
+pub fn canonical_line(e: &Event) -> String {
+    let track = e.track.label();
+    match e.kind {
+        EventKind::Enter { name, iter } => {
+            format!("{} {} E {} {} -", e.ts, track, name, iter_field(iter))
+        }
+        EventKind::Exit { name } => format!("{} {} X {} - -", e.ts, track, name),
+        EventKind::Span { name, dur, iter } => {
+            format!("{} {} S {} {} {}", e.ts, track, name, dur, iter_field(iter))
+        }
+        EventKind::Counter { name, value } => {
+            format!("{} {} C {} {} -", e.ts, track, name, value)
+        }
+        EventKind::Instant { name, value } => {
+            format!("{} {} I {} {} -", e.ts, track, name, value)
+        }
+    }
+}
+
+/// Render a snapshot (already `(ts, track, seq)`-ordered) as a canonical
+/// text trace, header included, trailing newline included.
+pub fn canonical_trace(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 40 + 40);
+    out.push_str(CANONICAL_HEADER);
+    out.push('\n');
+    for e in events {
+        out.push_str(&canonical_line(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// First divergence between two canonical traces, as a readable report, or
+/// `None` if they are identical. The report names the first differing line
+/// (1-based) and shows surrounding context from both sides.
+pub fn diff_canonical(expected: &str, got: &str) -> Option<String> {
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = got.lines().collect();
+    let n = exp.len().max(act.len());
+    for i in 0..n {
+        let e = exp.get(i).copied();
+        let a = act.get(i).copied();
+        if e == a {
+            continue;
+        }
+        let mut report = String::new();
+        report.push_str(&format!(
+            "traces diverge at line {} (expected {} lines, got {}):\n",
+            i + 1,
+            exp.len(),
+            act.len()
+        ));
+        let ctx = 3usize;
+        let lo = i.saturating_sub(ctx);
+        for (j, line) in exp.iter().enumerate().take(i).skip(lo) {
+            report.push_str(&format!("    {:>5}   {}\n", j + 1, line));
+        }
+        report.push_str(&format!(
+            "  - {:>5}   {}\n",
+            i + 1,
+            e.unwrap_or("<end of expected trace>")
+        ));
+        report.push_str(&format!(
+            "  + {:>5}   {}\n",
+            i + 1,
+            a.unwrap_or("<end of regenerated trace>")
+        ));
+        for (j, line) in act.iter().enumerate().take(i + 1 + ctx).skip(i + 1) {
+            report.push_str(&format!("    {:>5} + {}\n", j + 1, line));
+        }
+        return Some(report);
+    }
+    None
+}
+
+/// Check nesting discipline: on every track, each `Exit` must name the
+/// innermost open `Enter`. Tracks may end with spans still open (a run cut
+/// short); an `Exit` with no or a mismatched open span is an error.
+pub fn verify_stack_discipline(events: &[Event]) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut stacks: HashMap<Track, Vec<&'static str>> = HashMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::Enter { name, .. } => stacks.entry(e.track).or_default().push(name),
+            EventKind::Exit { name } => {
+                let stack = stacks.entry(e.track).or_default();
+                match stack.pop() {
+                    Some(open) if open == name => {}
+                    Some(open) => {
+                        return Err(format!(
+                            "track {} at ts {}: exit '{}' while innermost open span is '{}'",
+                            e.track.label(),
+                            e.ts,
+                            name,
+                            open
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "track {} at ts {}: exit '{}' with no open span",
+                            e.track.label(),
+                            e.ts,
+                            name
+                        ))
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn track_pid(track: Track) -> (u32, u32, &'static str) {
+    match track {
+        Track::Worker(i) => (1, i as u32, "workers"),
+        Track::Ps(i) => (2, i as u32, "parameter servers"),
+        Track::Machine(i) => (3, i as u32, "machines"),
+        Track::Runtime(i) => (4, i as u32, "runtime"),
+        Track::Kernel => (5, 0, "sim kernel"),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microseconds with fixed 3-decimal formatting: `trace_event` timestamps
+/// are µs, ours are ns, and fixed precision keeps output deterministic.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Export to Chrome/Perfetto `trace_event` JSON (the
+/// `{"traceEvents": [...]}` object form). Deterministic for a given
+/// snapshot: metadata first (in track order), then events in input order.
+pub fn perfetto_trace(events: &[Event]) -> String {
+    let mut tracks: Vec<Track> = Vec::new();
+    for e in events {
+        if !tracks.contains(&e.track) {
+            tracks.push(e.track);
+        }
+    }
+    tracks.sort();
+
+    let mut records: Vec<String> = Vec::new();
+    let mut seen_pids: Vec<u32> = Vec::new();
+    for t in &tracks {
+        let (pid, tid, pname) = track_pid(*t);
+        if !seen_pids.contains(&pid) {
+            seen_pids.push(pid);
+            records.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                pid,
+                json_escape(pname)
+            ));
+        }
+        records.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            pid,
+            tid,
+            json_escape(&t.label())
+        ));
+    }
+
+    for e in events {
+        let (pid, tid, _) = track_pid(e.track);
+        let common = format!("\"pid\":{},\"tid\":{},\"ts\":{}", pid, tid, us(e.ts));
+        let rec = match e.kind {
+            EventKind::Enter { name, iter } => {
+                let args = if iter == NO_ITER {
+                    String::new()
+                } else {
+                    format!(",\"args\":{{\"iter\":{iter}}}")
+                };
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"B\",{}{}}}",
+                    json_escape(name),
+                    common,
+                    args
+                )
+            }
+            EventKind::Exit { name } => {
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"E\",{}}}",
+                    json_escape(name),
+                    common
+                )
+            }
+            EventKind::Span { name, dur, iter } => {
+                let args = if iter == NO_ITER {
+                    String::new()
+                } else {
+                    format!(",\"args\":{{\"iter\":{iter}}}")
+                };
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",{},\"dur\":{}{}}}",
+                    json_escape(name),
+                    common,
+                    us(dur),
+                    args
+                )
+            }
+            EventKind::Counter { name, value } => format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",{},\"args\":{{\"value\":{}}}}}",
+                json_escape(name),
+                common,
+                value
+            ),
+            EventKind::Instant { name, value } => format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",{},\"args\":{{\"value\":{}}}}}",
+                json_escape(name),
+                common,
+                value
+            ),
+        };
+        records.push(rec);
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(r);
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObsSink, Track};
+
+    fn sample_events() -> Vec<Event> {
+        let sink = ObsSink::enabled();
+        let w0 = sink.track(Track::Worker(0));
+        let ps = sink.track(Track::Ps(0));
+        w0.enter(0, "iter", 0);
+        w0.span(0, 700, "compute", 0);
+        w0.counter(700, "logical.bytes", 4096);
+        ps.instant(750, "fault.crash", 3);
+        w0.span(700, 300, "comm", 0);
+        w0.exit(1000, "iter");
+        sink.snapshot()
+    }
+
+    #[test]
+    fn canonical_format_is_stable() {
+        let text = canonical_trace(&sample_events());
+        let expected = "\
+# dtrain canonical trace v1
+0 w0 E iter 0 -
+0 w0 S compute 700 0
+700 w0 C logical.bytes 4096 -
+700 w0 S comm 300 0
+750 ps0 I fault.crash 3 -
+1000 w0 X iter - -
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn diff_reports_first_divergence_with_line_number() {
+        let a = canonical_trace(&sample_events());
+        // Reorder two adjacent lines.
+        let mut lines: Vec<&str> = a.lines().collect();
+        lines.swap(2, 3);
+        let b = lines.join("\n") + "\n";
+        let report = diff_canonical(&a, &b).expect("must diverge");
+        assert!(report.contains("line 3"), "{report}");
+        assert!(report.contains("S compute"), "{report}");
+        assert!(diff_canonical(&a, &a).is_none());
+    }
+
+    #[test]
+    fn diff_reports_length_mismatch() {
+        let a = "# h\n1 w0 S compute 5 0\n";
+        let b = "# h\n";
+        let report = diff_canonical(a, b).expect("must diverge");
+        assert!(report.contains("<end of regenerated trace>"), "{report}");
+    }
+
+    #[test]
+    fn stack_discipline_detects_mismatched_exit() {
+        let events = sample_events();
+        assert!(verify_stack_discipline(&events).is_ok());
+
+        let sink = ObsSink::enabled();
+        let w = sink.track(Track::Worker(0));
+        w.enter(0, "iter", 0);
+        w.enter(1, "compute", 0);
+        w.exit(2, "iter");
+        let err = verify_stack_discipline(&sink.snapshot()).unwrap_err();
+        assert!(err.contains("innermost"), "{err}");
+
+        let sink = ObsSink::enabled();
+        let w = sink.track(Track::Worker(0));
+        w.exit(0, "iter");
+        assert!(verify_stack_discipline(&sink.snapshot()).is_err());
+    }
+
+    #[test]
+    fn perfetto_export_parses_and_has_expected_shape() {
+        let json = perfetto_trace(&sample_events());
+        let v = serde_json::from_str(&json).expect("valid JSON");
+        let events = v["traceEvents"].as_array().expect("traceEvents array");
+        // 2 process_name + 2 thread_name + 6 events
+        assert_eq!(events.len(), 10);
+        let x = events
+            .iter()
+            .find(|e| e["ph"].as_str() == Some("X"))
+            .expect("has a complete span");
+        assert_eq!(x["name"].as_str(), Some("compute"));
+        assert!((x["dur"].as_f64().unwrap() - 0.7).abs() < 1e-9);
+    }
+}

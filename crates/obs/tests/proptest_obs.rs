@@ -1,0 +1,150 @@
+//! Property tests for the obs layer.
+//!
+//! 1. Spans recorded by genuinely concurrent threads (one track per worker,
+//!    well-nested per worker) never interleave malformed in the merged
+//!    snapshot: every exit matches the innermost open enter on its track.
+//! 2. Perfetto export of arbitrary event sequences round-trips through
+//!    `serde_json` with non-negative, monotone `ts` and non-negative `dur`.
+
+use dtrain_obs::export::{perfetto_trace, verify_stack_discipline};
+use dtrain_obs::{EventKind, ObsSink, Track, NO_ITER};
+use proptest::prelude::*;
+
+/// Interpret `ops` as a per-worker program: even byte = enter, odd = exit
+/// (ignored when nothing is open). Closes everything at the end, so the
+/// per-worker stream is always well-nested.
+fn run_worker_program(handle: &dtrain_obs::TrackHandle, ops: &[u8]) {
+    const NAMES: [&str; 4] = ["iter", "compute", "global_agg", "comm"];
+    let mut stack: Vec<&'static str> = Vec::new();
+    let mut ts = 0u64;
+    for &op in ops {
+        ts += 1 + (op as u64 % 7);
+        if op % 2 == 0 && stack.len() < NAMES.len() {
+            let name = NAMES[stack.len()];
+            stack.push(name);
+            handle.enter(ts, name, (op / 2) as u64);
+        } else if let Some(name) = stack.pop() {
+            handle.exit(ts, name);
+        } else {
+            handle.span(ts, op as u64, "compute", NO_ITER);
+        }
+    }
+    while let Some(name) = stack.pop() {
+        ts += 1;
+        handle.exit(ts, name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn concurrent_workers_never_interleave_malformed(
+        programs in prop::collection::vec(
+            prop::collection::vec(0u8..=255, 0..64), 1..6)
+    ) {
+        let sink = ObsSink::enabled();
+        let handles: Vec<_> = programs
+            .iter()
+            .enumerate()
+            .map(|(w, ops)| {
+                let h = sink.track(Track::Worker(w as u16));
+                let ops = ops.clone();
+                std::thread::spawn(move || run_worker_program(&h, &ops))
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker thread panicked");
+        }
+        let snap = sink.snapshot();
+        prop_assert!(verify_stack_discipline(&snap).is_ok(),
+            "merged snapshot broke nesting: {:?}", verify_stack_discipline(&snap));
+        // The merge must also preserve per-track record order exactly.
+        for w in 0..programs.len() {
+            let track = Track::Worker(w as u16);
+            let seqs: Vec<u64> = snap.iter()
+                .filter(|e| e.track == track)
+                .map(|e| e.seq)
+                .collect();
+            prop_assert!(seqs.windows(2).all(|p| p[0] < p[1]),
+                "track {w} events out of order: {seqs:?}");
+        }
+    }
+
+    #[test]
+    fn perfetto_round_trips_with_monotone_nonnegative_times(
+        raw in prop::collection::vec(
+            (0u64..2_000_000, 0usize..5, 0usize..5, 0u64..1_000_000, -1_000i64..1_000),
+            0..200)
+    ) {
+        let sink = ObsSink::enabled();
+        for &(ts, track_idx, kind_idx, dur, value) in &raw {
+            let track = match track_idx {
+                0 => Track::Worker(0),
+                1 => Track::Worker(1),
+                2 => Track::Ps(0),
+                3 => Track::Machine(1),
+                _ => Track::Kernel,
+            };
+            let h = sink.track(track);
+            match kind_idx {
+                0 => h.enter(ts, "iter", dur),
+                1 => h.exit(ts, "iter"),
+                2 => h.span(ts, dur, "compute", NO_ITER),
+                3 => h.counter(ts, "logical.bytes", value),
+                _ => h.instant(ts, "fault.crash", value),
+            }
+        }
+        let snap = sink.snapshot();
+        let json = perfetto_trace(&snap);
+        let doc = serde_json::from_str(&json)
+            .map_err(|e| TestCaseError::fail(format!("export not valid JSON: {e}")))?;
+        let events = doc["traceEvents"].as_array()
+            .ok_or_else(|| TestCaseError::fail("missing traceEvents array"))?;
+
+        let mut data_events = 0usize;
+        let mut last_ts = -1.0f64;
+        for ev in events {
+            let ph = ev["ph"].as_str()
+                .ok_or_else(|| TestCaseError::fail("event without ph"))?;
+            if ph == "M" {
+                continue; // metadata carries no timestamp
+            }
+            data_events += 1;
+            let ts = ev["ts"].as_f64()
+                .ok_or_else(|| TestCaseError::fail("event without numeric ts"))?;
+            prop_assert!(ts >= 0.0, "negative ts {ts}");
+            prop_assert!(ts >= last_ts, "ts went backwards: {last_ts} -> {ts}");
+            last_ts = ts;
+            if ph == "X" {
+                let dur = ev["dur"].as_f64()
+                    .ok_or_else(|| TestCaseError::fail("X event without dur"))?;
+                prop_assert!(dur >= 0.0, "negative dur {dur}");
+            }
+        }
+        prop_assert_eq!(data_events, snap.len());
+
+        // Reserialize → reparse must be a fixed point.
+        let again = serde_json::to_string(&doc)
+            .map_err(|e| TestCaseError::fail(format!("reserialize failed: {e}")))?;
+        let doc2 = serde_json::from_str(&again)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}")))?;
+        prop_assert_eq!(doc, doc2);
+    }
+}
+
+/// Cross-check that the span kinds exported as nesting pairs are the only
+/// ones `verify_stack_discipline` inspects (guards against taxonomy drift).
+#[test]
+fn discipline_ignores_counters_and_instants() {
+    let sink = ObsSink::enabled();
+    let h = sink.track(Track::Worker(0));
+    h.counter(0, "logical.bytes", 1);
+    h.instant(1, "fault.crash", 0);
+    h.span(2, 5, "compute", 0);
+    let snap = sink.snapshot();
+    assert!(snap
+        .iter()
+        .all(|e| !matches!(e.kind, EventKind::Enter { .. } | EventKind::Exit { .. })));
+    assert!(verify_stack_discipline(&snap).is_ok());
+}

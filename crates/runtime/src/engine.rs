@@ -12,8 +12,10 @@ use std::time::{Duration, Instant};
 
 use crossbeam_channel::unbounded;
 use dtrain_data::Dataset;
-use dtrain_faults::{CheckpointStore, RuntimeFaultSchedule};
+use dtrain_faults::{markers, CheckpointStore, RuntimeFaultSchedule};
 use dtrain_nn::{LrSchedule, Network, ParamSet, SgdMomentum};
+use dtrain_obs::{names, ObsSink, Phase, Track, TrackHandle, NO_ITER};
+use dtrain_tensor::Tensor;
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -120,6 +122,8 @@ pub struct ThreadedReport {
 struct FaultRuntime {
     cfg: RuntimeFaultConfig,
     store: CheckpointStore,
+    /// Runtime-infrastructure obs track (PS outages, server checkpoints).
+    obs: TrackHandle,
     /// Millis-since-start of each worker's last heartbeat; `u64::MAX` once
     /// the worker finished.
     heartbeats: Vec<AtomicU64>,
@@ -137,13 +141,14 @@ struct FaultRuntime {
 }
 
 impl FaultRuntime {
-    fn new(cfg: RuntimeFaultConfig, workers: usize) -> Self {
+    fn new(cfg: RuntimeFaultConfig, workers: usize, obs: TrackHandle, clock: Instant) -> Self {
         let mut pending = cfg.schedule.ps_outages.clone();
         pending.sort_unstable();
         FaultRuntime {
             store: CheckpointStore::new(cfg.checkpoint_interval),
+            obs,
             heartbeats: (0..workers).map(|_| AtomicU64::new(0)).collect(),
-            started: Instant::now(),
+            started: clock,
             global_iters: AtomicU64::new(0),
             pending_outages: Mutex::new(pending),
             restarts: AtomicU64::new(0),
@@ -168,7 +173,7 @@ impl FaultRuntime {
     /// backoff, restore from the last checkpoint. Returns the restored
     /// state, or `None` when the retry budget is exhausted (the crash is
     /// abandoned and the worker continues with its live state).
-    fn crash_restart(&self, w: usize) -> Option<(ParamSet, SgdMomentum)> {
+    fn crash_restart(&self, w: usize) -> Option<(ParamSet, SgdMomentum, u64)> {
         if self.restarts.load(Ordering::Relaxed) >= self.cfg.max_restarts {
             self.abandoned.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -176,7 +181,7 @@ impl FaultRuntime {
         std::thread::sleep(self.cfg.restart_backoff);
         let cp = self.store.restore(w)?;
         self.restarts.fetch_add(1, Ordering::Relaxed);
-        Some((cp.params, cp.opt))
+        Some((cp.params, cp.opt, cp.iteration))
     }
 
     /// Consume any PS outage whose window start the global iteration
@@ -193,12 +198,15 @@ impl FaultRuntime {
                 .map(|i| pending.remove(i))
         };
         if let Some((_, len)) = due {
+            markers::ps_outage(&self.obs, self.now_ns(), 0);
             if let Some(cp) = self.store.restore(PS_OWNER) {
                 let mut g = ps.global.lock();
                 *g = (cp.params, cp.opt);
+                markers::ckpt_restore(&self.obs, self.now_ns(), cp.iteration);
             }
             std::thread::sleep(self.cfg.restart_backoff * len.max(1) as u32);
             self.ps_recoveries.fetch_add(1, Ordering::Relaxed);
+            markers::ps_recover(&self.obs, self.now_ns(), 0);
         }
     }
 
@@ -208,7 +216,12 @@ impl FaultRuntime {
         if self.store.due(n) {
             let g = ps.global.lock();
             self.store.save(PS_OWNER, n, &g.0, &g.1);
+            markers::ckpt_save(&self.obs, self.now_ns(), n);
         }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
     }
 }
 
@@ -255,6 +268,24 @@ pub fn train_threaded<F>(
 where
     F: Fn() -> Network + Send + Sync,
 {
+    train_threaded_observed(factory, train, test, cfg, &ObsSink::disabled())
+}
+
+/// [`train_threaded`] with structured-event observation: per-iteration and
+/// per-compute spans, cumulative `logical.bytes` counters, and fault
+/// markers land in `sink`, stamped with wall-clock nanoseconds since run
+/// start. The *logical* counters (payload bytes, iteration counts) are
+/// deterministic and comparable with the simulator's; timestamps are not.
+pub fn train_threaded_observed<F>(
+    factory: F,
+    train: &Arc<Dataset>,
+    test: &Dataset,
+    cfg: &ThreadedConfig,
+    sink: &ObsSink,
+) -> ThreadedReport
+where
+    F: Fn() -> Network + Send + Sync,
+{
     assert!(cfg.workers >= 1, "need at least one worker");
     if matches!(cfg.strategy, Strategy::AdPsgd) {
         assert!(cfg.workers >= 2, "AD-PSGD needs two workers");
@@ -282,10 +313,15 @@ where
     });
     let actives: Vec<usize> = (0..cfg.workers).filter(|w| w % 2 == 0).collect();
     let num_actives = actives.len();
-    let faults: Option<Arc<FaultRuntime>> = cfg
-        .faults
-        .clone()
-        .map(|fc| Arc::new(FaultRuntime::new(fc, cfg.workers)));
+    let clock = Instant::now();
+    let faults: Option<Arc<FaultRuntime>> = cfg.faults.clone().map(|fc| {
+        Arc::new(FaultRuntime::new(
+            fc,
+            cfg.workers,
+            sink.track(Track::Runtime(0)),
+            clock,
+        ))
+    });
     if let Some(fr) = faults.as_ref() {
         // Baseline PS checkpoint so an outage before the first cadence tick
         // still has a state to roll back to.
@@ -309,6 +345,7 @@ where
             let cfg = cfg.clone();
             let actives = actives.clone();
             let faults = faults.clone();
+            let obs = sink.track(Track::Worker(w as u16));
             handles.push(scope.spawn(move || {
                 worker_body(
                     w,
@@ -321,6 +358,8 @@ where
                     &actives,
                     num_actives,
                     faults,
+                    obs,
+                    clock,
                 )
             }));
         }
@@ -360,6 +399,15 @@ where
     }
 }
 
+/// One timed gradient computation: runs `train_batch` and records it as a
+/// `compute` span on the worker's obs track.
+fn timed_train(net: &mut Network, x: Tensor, y: &[usize], obs: &TrackHandle, clock: &Instant) {
+    let t0 = clock.elapsed().as_nanos() as u64;
+    net.train_batch(x, y);
+    let t1 = clock.elapsed().as_nanos() as u64;
+    obs.span(t0, t1 - t0, Phase::Compute.name(), NO_ITER);
+}
+
 #[allow(clippy::too_many_arguments)]
 fn worker_body(
     w: usize,
@@ -372,6 +420,8 @@ fn worker_body(
     actives: &[usize],
     num_actives: usize,
     faults: Option<Arc<FaultRuntime>>,
+    obs: TrackHandle,
+    wall: Instant,
 ) -> ParamSet {
     let shard = train.shard(w, cfg.workers);
     let sched = LrSchedule::paper_scaled(cfg.workers, cfg.base_lr, cfg.epochs as f32);
@@ -404,6 +454,10 @@ fn worker_body(
         })
         .unwrap_or_default();
     let mut local_iter = 0u64;
+    // Cumulative payload bytes this worker pushed (mirrors the simulator's
+    // `logical.bytes` counter exactly: same model, same push schedule).
+    let mut logical = 0u64;
+    let ns = |clock: &Instant| clock.elapsed().as_nanos() as u64;
     if let Some(fr) = faults.as_ref() {
         fr.store.save(w, 0, &net.get_params(), &opt);
         fr.beat(w);
@@ -424,19 +478,26 @@ fn worker_body(
             if let Some(fr) = faults.as_ref() {
                 while crash_iters.front().is_some_and(|&it| it <= local_iter) {
                     crash_iters.pop_front();
-                    if let Some((p, o)) = fr.crash_restart(w) {
+                    markers::crash(&obs, ns(&wall), w);
+                    if let Some((p, o, cp_iter)) = fr.crash_restart(w) {
                         net.set_params(&p);
                         opt = o;
+                        markers::ckpt_restore(&obs, ns(&wall), cp_iter);
+                        markers::restart(&obs, ns(&wall), w);
                     }
                 }
             }
             let it_start = Instant::now();
+            let it_idx = epoch * per_epoch as u64 + bi as u64;
+            obs.enter(ns(&wall), names::ITER, it_idx);
 
             match cfg.strategy {
                 Strategy::Bsp => {
                     let (x, y) = train.gather(&batch);
-                    net.train_batch(x, &y);
+                    timed_train(&mut net, x, &y, &obs, &wall);
                     let grad = net.grads();
+                    logical += grad.num_bytes();
+                    obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
                     bsp.slots.lock()[w] = Some(grad);
                     let token = bsp.enter.wait();
                     if token.is_leader() {
@@ -460,11 +521,14 @@ fn worker_body(
                 }
                 Strategy::Asp => {
                     let (x, y) = train.gather(&batch);
-                    net.train_batch(x, &y);
+                    timed_train(&mut net, x, &y, &obs, &wall);
                     if let Some(fr) = faults.as_ref() {
                         fr.ps_gate(&ps);
                     }
-                    let fresh = ps.push_and_pull(&net.grads(), grad_lr);
+                    let grad = net.grads();
+                    logical += grad.num_bytes();
+                    obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
+                    let fresh = ps.push_and_pull(&grad, grad_lr);
                     net.set_params(&fresh);
                     if let Some(fr) = faults.as_ref() {
                         fr.ps_applied(&ps);
@@ -472,8 +536,10 @@ fn worker_body(
                 }
                 Strategy::Ssp { staleness } => {
                     let (x, y) = train.gather(&batch);
-                    net.train_batch(x, &y);
+                    timed_train(&mut net, x, &y, &obs, &wall);
                     let grad = net.grads();
+                    logical += grad.num_bytes();
+                    obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
                     // push to the global table
                     if let Some(fr) = faults.as_ref() {
                         fr.ps_gate(&ps);
@@ -498,10 +564,15 @@ fn worker_body(
                         opt.reset();
                         cache_ts = min;
                     }
+                    obs.counter(
+                        ns(&wall),
+                        names::STALENESS,
+                        clock.saturating_sub(cache_ts) as i64,
+                    );
                 }
                 Strategy::Easgd { tau, alpha: a } => {
                     let (x, y) = train.gather(&batch);
-                    net.train_batch(x, &y);
+                    timed_train(&mut net, x, &y, &obs, &wall);
                     let grad = net.grads();
                     let mut p = net.get_params();
                     opt.step(&mut p, &grad, grad_lr);
@@ -511,7 +582,10 @@ fn worker_body(
                         if let Some(fr) = faults.as_ref() {
                             fr.ps_gate(&ps);
                         }
-                        let updated = ps.elastic_exchange(&net.get_params(), a);
+                        let push = net.get_params();
+                        logical += push.num_bytes();
+                        obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
+                        let updated = ps.elastic_exchange(&push, a);
                         net.set_params(&updated);
                         if let Some(fr) = faults.as_ref() {
                             fr.ps_applied(&ps);
@@ -520,7 +594,7 @@ fn worker_body(
                 }
                 Strategy::Gossip { p } => {
                     let (x, y) = train.gather(&batch);
-                    net.train_batch(x, &y);
+                    timed_train(&mut net, x, &y, &obs, &wall);
                     let grad = net.grads();
                     let mut px = net.get_params();
                     opt.step(&mut px, &grad, grad_lr);
@@ -541,8 +615,11 @@ fn worker_body(
                             }
                         };
                         alpha *= 0.5;
+                        let share = net.get_params();
+                        logical += share.num_bytes();
+                        obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
                         let _ = peers.gossip_tx[target].send(GossipMsg {
-                            params: net.get_params(),
+                            params: share,
                             alpha,
                         });
                     }
@@ -552,12 +629,15 @@ fn worker_body(
                         // initiate the exchange, overlap with compute
                         let target = passives[rng.gen_range(0..passives.len())];
                         let (reply_tx, reply_rx) = unbounded();
+                        let mine = net.get_params();
+                        logical += mine.num_bytes();
+                        obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
                         let _ = peers.exchange_tx[target].send(PeerCtrl::Exchange(ExchangeMsg {
-                            params: net.get_params(),
+                            params: mine,
                             reply: reply_tx,
                         }));
                         let (x, y) = train.gather(&batch);
-                        net.train_batch(x, &y);
+                        timed_train(&mut net, x, &y, &obs, &wall);
                         let grad = net.grads();
                         let mid = reply_rx
                             .recv()
@@ -568,14 +648,14 @@ fn worker_body(
                         net.set_params(&p);
                     } else {
                         let (x, y) = train.gather(&batch);
-                        net.train_batch(x, &y);
+                        timed_train(&mut net, x, &y, &obs, &wall);
                         let grad = net.grads();
                         let mut p = net.get_params();
                         opt.step(&mut p, &grad, grad_lr);
                         net.set_params(&p);
                         // serve queued exchange requests
                         while let Ok(ctrl) = peers.exchange_rx[w].lock().try_recv() {
-                            serve_exchange(&mut net, ctrl, &mut dones);
+                            serve_exchange(&mut net, ctrl, &mut dones, &obs, &wall, &mut logical);
                         }
                     }
                 }
@@ -593,8 +673,10 @@ fn worker_body(
                 local_iter += 1;
                 if fr.store.due(local_iter) {
                     fr.store.save(w, local_iter, &net.get_params(), &opt);
+                    markers::ckpt_save(&obs, ns(&wall), local_iter);
                 }
             }
+            obs.exit(ns(&wall), names::ITER);
         }
     }
     if let Some(fr) = faults.as_ref() {
@@ -611,7 +693,9 @@ fn worker_body(
         } else {
             while dones < num_actives {
                 match peers.exchange_rx[w].lock().recv() {
-                    Ok(ctrl) => serve_exchange(&mut net, ctrl, &mut dones),
+                    Ok(ctrl) => {
+                        serve_exchange(&mut net, ctrl, &mut dones, &obs, &wall, &mut logical)
+                    }
                     Err(_) => break,
                 }
             }
@@ -622,12 +706,25 @@ fn worker_body(
 }
 
 /// Passive side of one AD-PSGD exchange: adopt and return the midpoint.
-fn serve_exchange(net: &mut Network, ctrl: PeerCtrl, dones: &mut usize) {
+fn serve_exchange(
+    net: &mut Network,
+    ctrl: PeerCtrl,
+    dones: &mut usize,
+    obs: &TrackHandle,
+    clock: &Instant,
+    logical: &mut u64,
+) {
     match ctrl {
         PeerCtrl::Exchange(msg) => {
             let mut mine = net.get_params();
             mine.lerp(&msg.params, 0.5);
             net.set_params(&mine);
+            *logical += mine.num_bytes();
+            obs.counter(
+                clock.elapsed().as_nanos() as u64,
+                names::LOGICAL_BYTES,
+                *logical as i64,
+            );
             let _ = msg.reply.send(mine);
         }
         PeerCtrl::Done => *dones += 1,

@@ -29,6 +29,7 @@ mod engine;
 mod strategy;
 
 pub use engine::{
-    default_workers, train_threaded, RuntimeFaultConfig, ThreadedConfig, ThreadedReport,
+    default_workers, train_threaded, train_threaded_observed, RuntimeFaultConfig, ThreadedConfig,
+    ThreadedReport,
 };
 pub use strategy::{ExchangeMsg, GossipMsg, PeerCtrl, PeerNet, PsState, Strategy};

@@ -2,6 +2,11 @@
 //! four workers of the paper's cluster, and watch the accuracy curve.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Set `DTRAIN_TRACE=perfetto` to also write a Chrome/Perfetto timeline of
+//! the run to `results/trace_quickstart.json` — open it at
+//! <https://ui.perfetto.dev> to see every worker's compute / local-agg /
+//! global-agg / comm phases (the paper's Fig. 3) on real tracks.
 
 use dtrain_core::prelude::*;
 
@@ -17,13 +22,28 @@ fn main() {
         base_lr: 0.02,
         seed: 11,
     };
-    let cfg = presets::accuracy_run(Algo::Bsp, 4, &scale);
+    let mut cfg = presets::accuracy_run(Algo::Bsp, 4, &scale);
+    // The paper applies local aggregation to BSP; it also makes the trace
+    // show all four Fig.-3 phases.
+    cfg.opts.local_aggregation = true;
     println!(
         "Training {} workers with {} on the synthetic task…",
         cfg.workers,
         cfg.algo.name()
     );
-    let out = run(&cfg);
+    let tracing = std::env::var("DTRAIN_TRACE").is_ok_and(|v| v == "perfetto");
+    let sink = if tracing {
+        ObsSink::enabled()
+    } else {
+        ObsSink::disabled()
+    };
+    let out = run_observed(&cfg, &sink);
+    if tracing {
+        std::fs::create_dir_all("results").expect("create results/");
+        let path = "results/trace_quickstart.json";
+        std::fs::write(path, perfetto_trace(&sink.snapshot())).expect("write trace");
+        println!("wrote {path} — open it at https://ui.perfetto.dev");
+    }
 
     let mut table = Table::new(
         "BSP accuracy curve",

@@ -1,0 +1,183 @@
+//! Golden-trace conformance suite: the canonical event trace of a small
+//! pinned run of each of the seven algorithms is a committed artifact
+//! (`tests/golden/<algo>.trace`). The simulator is deterministic, so any
+//! divergence — an event appearing, disappearing, moving in time, or
+//! changing order — is a semantic change to an algorithm, the cluster
+//! model, or the observability layer, and must be a conscious decision.
+//!
+//! To re-record after an intentional change:
+//!
+//! ```sh
+//! DTRAIN_BLESS=1 cargo test --test golden_traces
+//! ```
+//!
+//! On failure, the first divergence (with context) is printed and the full
+//! report is written to `results/golden_diffs/<algo>.diff`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dtrain_core::prelude::*;
+use dtrain_models::resnet50;
+use dtrain_obs::export::{diff_canonical, verify_stack_discipline};
+use dtrain_obs::Event;
+
+/// 2 machines x 2 workers each: small enough for readable traces, big
+/// enough to exercise local aggregation, inter-machine NIC queues, and
+/// multi-shard parameter servers.
+fn golden_cluster() -> ClusterConfig {
+    let mut c = ClusterConfig::paper_with_workers(NetworkConfig::TEN_GBPS, 4);
+    c.machines = 2;
+    c.gpus_per_machine = 2;
+    c
+}
+
+fn golden_cfg(algo: Algo) -> RunConfig {
+    RunConfig {
+        algo,
+        cluster: golden_cluster(),
+        workers: 4,
+        profile: resnet50(),
+        batch: 64,
+        opts: OptimizationConfig {
+            ps_shards: if algo.is_centralized() { 2 } else { 1 },
+            local_aggregation: matches!(algo, Algo::Bsp),
+            ..Default::default()
+        },
+        stop: StopCondition::Iterations(3),
+        faults: None,
+        real: None,
+        seed: 77,
+    }
+}
+
+const ALGOS: [(&str, Algo); 7] = [
+    ("bsp", Algo::Bsp),
+    ("asp", Algo::Asp),
+    ("ssp", Algo::Ssp { staleness: 2 }),
+    (
+        "easgd",
+        Algo::Easgd {
+            tau: 2,
+            alpha: None,
+        },
+    ),
+    ("arsgd", Algo::ArSgd),
+    ("gosgd", Algo::GoSgd { p: 0.5 }),
+    ("adpsgd", Algo::AdPsgd),
+];
+
+fn record(algo: Algo) -> Vec<Event> {
+    let sink = ObsSink::enabled();
+    let _ = run_observed(&golden_cfg(algo), &sink);
+    assert_eq!(sink.dropped(), 0, "ring buffers overflowed; raise capacity");
+    sink.snapshot()
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.trace"))
+}
+
+#[test]
+fn golden_traces_all_seven_algorithms() {
+    let bless = std::env::var("DTRAIN_BLESS").is_ok_and(|v| v == "1");
+    let mut failures: Vec<String> = Vec::new();
+    for (name, algo) in ALGOS {
+        let events = record(algo);
+        assert!(!events.is_empty(), "{name}: run produced no events");
+        verify_stack_discipline(&events)
+            .unwrap_or_else(|e| panic!("{name}: malformed span nesting: {e}"));
+        let got = canonical_trace(&events);
+        let path = golden_path(name);
+        if bless {
+            fs::create_dir_all(path.parent().unwrap()).unwrap();
+            fs::write(&path, &got).unwrap();
+            eprintln!("blessed {} ({} lines)", path.display(), got.lines().count());
+            continue;
+        }
+        let expected = fs::read_to_string(&path).unwrap_or_else(|_| {
+            panic!(
+                "missing golden trace {}; record it with DTRAIN_BLESS=1 cargo test --test golden_traces",
+                path.display()
+            )
+        });
+        if let Some(report) = diff_canonical(&expected, &got) {
+            let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results/golden_diffs");
+            fs::create_dir_all(&dir).unwrap();
+            fs::write(dir.join(format!("{name}.diff")), &report).unwrap();
+            failures.push(format!("== {name} ==\n{report}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden trace divergence in {} of {} algorithms (full reports in results/golden_diffs/):\n\n{}",
+        failures.len(),
+        ALGOS.len(),
+        failures.join("\n\n")
+    );
+}
+
+#[test]
+fn traces_are_deterministic_across_runs() {
+    let a = canonical_trace(&record(Algo::Bsp));
+    let b = canonical_trace(&record(Algo::Bsp));
+    assert_eq!(a, b, "two identical runs produced different traces");
+}
+
+/// Mutation test: the harness must catch a deliberate event reorder and
+/// report the first divergent line readably.
+#[test]
+fn deliberate_reorder_fails_with_line_number() {
+    let events = record(Algo::Asp);
+    let reference = canonical_trace(&events);
+
+    // Swap two adjacent events in the middle of the trace.
+    let mut mutated = events.clone();
+    let mid = mutated.len() / 2;
+    mutated.swap(mid, mid + 1);
+    let got = canonical_trace(&mutated);
+    let report = diff_canonical(&reference, &got)
+        .expect("a reordered trace must diverge from the reference");
+    // +2: one for the header line, one for 1-based numbering.
+    let expected_line = mid + 2;
+    assert!(
+        report.contains(&format!("line {expected_line}")),
+        "divergence report should name line {expected_line}:\n{report}"
+    );
+    assert!(
+        report.contains("expected") && report.contains("got"),
+        "report should show both sides:\n{report}"
+    );
+
+    // Dropping an event is also caught.
+    let mut truncated = events.clone();
+    truncated.remove(mid);
+    assert!(
+        diff_canonical(&reference, &canonical_trace(&truncated)).is_some(),
+        "a dropped event must diverge"
+    );
+}
+
+/// The golden configuration exercises all four Fig.-3 phases somewhere in
+/// the suite, plus iteration spans on every worker.
+#[test]
+fn golden_runs_cover_all_phases() {
+    use dtrain_obs::EventKind;
+    let mut seen: std::collections::BTreeSet<&'static str> = Default::default();
+    for algo in [Algo::Bsp, Algo::AdPsgd] {
+        for e in record(algo) {
+            if let EventKind::Span { name, .. } = e.kind {
+                seen.insert(name);
+            }
+        }
+    }
+    for phase in Phase::ALL {
+        assert!(
+            seen.contains(phase.name()),
+            "no {} span in the golden runs (saw {seen:?})",
+            phase.name()
+        );
+    }
+}
