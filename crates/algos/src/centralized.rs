@@ -10,9 +10,9 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use dtrain_cluster::{MetricsHub, NetModel, NodeId, Phase, TrafficClass};
+use dtrain_cluster::{MetricsHub, NetModel, NodeId, Phase, ShardHomes, TrafficClass};
 use dtrain_desim::{Ctx, Pid, SimTime};
-use dtrain_faults::{markers, CheckpointStore};
+use dtrain_faults::{markers, CheckpointStore, ElasticConfig};
 use dtrain_nn::{ParamSet, SgdMomentum};
 use dtrain_obs::TrackHandle;
 
@@ -138,6 +138,18 @@ pub struct PsCore {
     /// Number of Stop messages that end this PS.
     pub expected_stops: usize,
     pub faults: Option<PsFaultState>,
+    /// Elastic tunables; `Some` exactly in elastic runs. Switches
+    /// [`FaultKind::PsShardFail`](dtrain_faults::FaultKind) from
+    /// outage-and-resume to *machine loss with failover*, and arms the BSP
+    /// partial-barrier deadline.
+    pub elastic: Option<ElasticConfig>,
+    /// Live shard→machine map shared with the workers (elastic runs).
+    pub homes: Option<ShardHomes>,
+    /// Machine count, for choosing a failover home.
+    pub machines: usize,
+    /// Dense bytes of this shard's state — what a failover must move to the
+    /// replacement machine.
+    pub state_bytes: u64,
     /// Obs track for this shard (`ps<shard>`); noop when tracing is off.
     pub obs: TrackHandle,
 }
@@ -151,6 +163,13 @@ impl PsCore {
     /// in-memory state (rolled back to the last checkpoint) and is
     /// unavailable until the window ends — messages received meanwhile sat
     /// in the mailbox, which models clients blocking on a dead shard.
+    ///
+    /// In elastic mode the outage is a *machine loss*: after a detection
+    /// window (the schedule's outage duration) the shard fails over to the
+    /// next surviving machine — the shared [`ShardHomes`] map is updated so
+    /// worker traffic follows, the state is restored from the newest
+    /// checkpoint at or before the applied count, and the recovery pays the
+    /// state-transfer wire time plus `ps_recovery_delay`.
     fn handle_outage(&mut self, ctx: &Ctx<Msg>) {
         let Some(f) = self.faults.as_mut() else {
             return;
@@ -163,16 +182,61 @@ impl PsCore {
             let (start, dur) = f.outages.pop_front().unwrap();
             let end = start + dur;
             markers::ps_outage(&self.obs, start.as_nanos(), self.shard);
-            if let Some(real) = self.real.as_mut() {
-                if let Some(cp) = f.store.restore(PS_OWNER_BASE + self.shard) {
-                    real.params = cp.params;
-                    real.opt = cp.opt;
-                    markers::ckpt_restore(&self.obs, ctx.now().as_nanos(), cp.iteration);
+            if let Some(e) = self.elastic.clone() {
+                // Detection window: the cohort needs `dur` to declare the
+                // machine dead.
+                let now = ctx.now();
+                if end > now {
+                    ctx.advance(end - now);
                 }
-            }
-            let now = ctx.now();
-            if end > now {
-                ctx.advance(end - now);
+                let old_home = self.node;
+                let new_home = match &self.homes {
+                    Some(h) => h.fail_over(self.shard, self.machines),
+                    None => NodeId((self.node.0 + 1) % self.machines.max(1)),
+                };
+                self.node = new_home;
+                markers::shard_failover(&self.obs, ctx.now().as_nanos(), self.shard);
+                // Roll back to the newest snapshot not ahead of what the
+                // survivors have seen applied.
+                if let Some(real) = self.real.as_mut() {
+                    if let Some(cp) = f
+                        .store
+                        .restore_at_or_before(PS_OWNER_BASE + self.shard, f.applies)
+                    {
+                        real.params = cp.params;
+                        real.opt = cp.opt;
+                        f.applies = cp.iteration;
+                        markers::ckpt_restore(&self.obs, ctx.now().as_nanos(), cp.iteration);
+                    }
+                }
+                // The replacement pulls the checkpointed shard state over
+                // the wire from the checkpoint host (the lowest-numbered
+                // surviving machine), plus a fixed re-admission delay.
+                let ckpt_host = NodeId(if old_home.0 == 0 {
+                    1 % self.machines.max(1)
+                } else {
+                    0
+                });
+                let wire = self.net.transfer_delay_class(
+                    ctx.now(),
+                    ckpt_host,
+                    new_home,
+                    self.state_bytes,
+                    TrafficClass::Other,
+                );
+                ctx.advance(wire + e.ps_recovery_delay);
+            } else {
+                if let Some(real) = self.real.as_mut() {
+                    if let Some(cp) = f.store.restore(PS_OWNER_BASE + self.shard) {
+                        real.params = cp.params;
+                        real.opt = cp.opt;
+                        markers::ckpt_restore(&self.obs, ctx.now().as_nanos(), cp.iteration);
+                    }
+                }
+                let now = ctx.now();
+                if end > now {
+                    ctx.advance(end - now);
+                }
             }
             markers::ps_recover(&self.obs, ctx.now().as_nanos(), self.shard);
         }
@@ -263,6 +327,19 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
         PsMode::Bsp { num_senders } => *num_senders,
         _ => 0,
     };
+    // Elastic bookkeeping: who is evicted (permanent MemberDown) and who
+    // has finished (Stop) — the two reasons a member stops pushing. Their
+    // complement is who a partial barrier still owes an out-of-round reply.
+    let num_workers = ps.workers.len();
+    let mut evicted = vec![false; num_workers];
+    let mut stopped = vec![false; num_workers];
+    // Elastic BSP: monotone completed-round counter (stale-timer
+    // invalidation) and the members owed an out-of-round release after a
+    // partial close.
+    let mut round_seq = 0u64;
+    let mut late_from: Vec<usize> = Vec::new();
+    let mut force_close = false;
+    let barrier_deadline = ps.elastic.as_ref().map(|e| e.barrier_deadline);
     // BSP round state
     let mut round_acc: Option<ParamSet> = None;
     let mut round_members: Vec<usize> = Vec::new();
@@ -282,7 +359,10 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
         let msg = ctx.recv();
         ps.handle_outage(&ctx);
         match msg {
-            Msg::Stop { .. } => {
+            Msg::Stop { sender } => {
+                if sender < num_workers {
+                    stopped[sender] = true;
+                }
                 stops += 1;
                 if stops >= ps.expected_stops {
                     break;
@@ -299,23 +379,49 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
             } => {
                 match &mode {
                     PsMode::Bsp { .. } => {
-                        // Accumulate only; round completion is checked
-                        // below so a shrinking `bsp_senders` can also
-                        // complete a round.
-                        if let Some(d) = &data {
-                            merge_grad(&mut round_acc, d);
+                        if let Some(i) = late_from.iter().position(|&w| w == sender) {
+                            // Straggler surfacing after its round closed
+                            // partially: fold its contribution in
+                            // out-of-round and release it immediately so
+                            // it never blocks on a barrier that already
+                            // moved on.
+                            late_from.swap_remove(i);
+                            ctx.advance(ps_apply_time(bytes));
+                            if let (Some(real), Some(d)) = (ps.real.as_mut(), &data) {
+                                real.apply(d, lr, weight);
+                            }
+                            ps.send_params(&ctx, sender, 0, ps.reply_params());
+                            ps.tick_checkpoint(ctx.now());
+                        } else {
+                            // First arrival of a round arms the partial-
+                            // barrier deadline (elastic only).
+                            if round_members.is_empty() {
+                                if let Some(dl) = barrier_deadline {
+                                    ctx.send(
+                                        ctx.pid(),
+                                        dl,
+                                        Msg::RoundDeadline { round: round_seq },
+                                    );
+                                }
+                            }
+                            // Accumulate only; round completion is checked
+                            // below so a shrinking `bsp_senders` can also
+                            // complete a round.
+                            if let Some(d) = &data {
+                                merge_grad(&mut round_acc, d);
+                            }
+                            round_members.push(sender);
+                            round_bytes += bytes;
+                            round_weight += weight;
+                            round_lr = lr;
+                            // How full the barrier is — Fig. 3's "waiting
+                            // on stragglers" shape, directly observable.
+                            ps.obs.counter(
+                                ctx.now().as_nanos(),
+                                dtrain_obs::names::BARRIER_OCCUPANCY,
+                                round_members.len() as i64,
+                            );
                         }
-                        round_members.push(sender);
-                        round_bytes += bytes;
-                        round_weight += weight;
-                        round_lr = lr;
-                        // How full the barrier is — Fig. 3's "waiting on
-                        // stragglers" shape, directly observable.
-                        ps.obs.counter(
-                            ctx.now().as_nanos(),
-                            dtrain_obs::names::BARRIER_OCCUPANCY,
-                            round_members.len() as i64,
-                        );
                     }
                     PsMode::Asp => {
                         ctx.advance(ps_apply_time(bytes));
@@ -378,16 +484,28 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
                     pending_pulls.push((sender, min_needed));
                 }
             }
-            Msg::MemberDown { worker, permanent } => {
+            Msg::MemberDown {
+                worker,
+                permanent,
+                rejoining,
+            } => {
                 if permanent {
-                    // The worker will never send its Stop (nor, for BSP,
-                    // its round contribution).
-                    ps.expected_stops = ps.expected_stops.saturating_sub(1);
+                    // The worker stops pushing (nor, for BSP, owes its
+                    // round contribution) until a MemberUp readmits it.
+                    if worker < num_workers {
+                        evicted[worker] = true;
+                    }
+                    late_from.retain(|&w| w != worker);
                     if matches!(mode, PsMode::Bsp { .. }) {
                         bsp_senders = bsp_senders.saturating_sub(1);
                     }
-                    if stops >= ps.expected_stops {
-                        break;
+                    // A rejoining member still owes its Stop at the end of
+                    // the run; only a member gone for good is written off.
+                    if !rejoining {
+                        ps.expected_stops = ps.expected_stops.saturating_sub(1);
+                        if stops >= ps.expected_stops {
+                            break;
+                        }
                     }
                 }
                 if matches!(mode, PsMode::Ssp { .. }) && ps.shard == 0 {
@@ -399,6 +517,14 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
                 }
             }
             Msg::MemberUp { worker } => {
+                // Elastic readmission: an evicted member rejoins and pushes
+                // again (its Stop was never written off — see MemberDown).
+                if worker < num_workers && evicted[worker] {
+                    evicted[worker] = false;
+                    if matches!(mode, PsMode::Bsp { .. }) {
+                        bsp_senders += 1;
+                    }
+                }
                 if matches!(mode, PsMode::Ssp { .. }) && ps.shard == 0 {
                     // Re-admit at the current live min so the bound never
                     // regresses (the restored worker restarts from its
@@ -407,14 +533,34 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
                     live[worker] = true;
                 }
             }
+            Msg::RoundDeadline { round } => {
+                // Partial-barrier policy (elastic BSP): if the round the
+                // timer was armed for is still the open one and incomplete,
+                // close it with whoever arrived. Members that are neither
+                // evicted nor finished are owed an out-of-round release
+                // when their (late) push lands.
+                if matches!(mode, PsMode::Bsp { .. })
+                    && round == round_seq
+                    && !round_members.is_empty()
+                    && round_members.len() < bsp_senders
+                {
+                    markers::partial_barrier(&ps.obs, ctx.now().as_nanos(), round_members.len());
+                    for w in 0..num_workers {
+                        if !evicted[w] && !stopped[w] && !round_members.contains(&w) {
+                            late_from.push(w);
+                        }
+                    }
+                    force_close = true;
+                }
+            }
             other => unreachable!("PS got unexpected message {other:?}"),
         }
-        // BSP round completion: reached either by the last push of a round
-        // or by a permanent member loss shrinking the round size under the
-        // number already collected.
+        // BSP round completion: reached by the last push of a round, by a
+        // permanent member loss shrinking the round size under the number
+        // already collected, or by the partial-barrier deadline firing.
         if matches!(mode, PsMode::Bsp { .. })
             && !round_members.is_empty()
-            && round_members.len() >= bsp_senders
+            && (round_members.len() >= bsp_senders || force_close)
         {
             ctx.advance(ps_apply_time(round_bytes));
             if let (Some(real), Some(sum)) = (ps.real.as_mut(), round_acc.take()) {
@@ -427,6 +573,8 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
             round_acc = None;
             round_bytes = 0;
             round_weight = 0.0;
+            round_seq += 1;
+            force_close = false;
             ps.tick_checkpoint(ctx.now());
         }
     }
@@ -436,8 +584,8 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
 // Worker-side fault handling
 // ---------------------------------------------------------------------------
 
-/// Wire size of a fault-control message (MemberDown / MemberUp).
-const CTRL_BYTES: u64 = 64;
+/// Wire size of a fault-control message (MemberDown / MemberUp / AdoptReq).
+pub(crate) const CTRL_BYTES: u64 = 64;
 
 /// Consume any crash events that are due for this worker — called at the
 /// top of each iteration, i.e. at a protocol-quiescent point (no replies
@@ -476,6 +624,7 @@ pub fn handle_crash(core: &mut WorkerCore, ps: &[Addr], ctx: &Ctx<Msg>) -> bool 
                 Msg::MemberDown {
                     worker: core.w,
                     permanent,
+                    rejoining: false,
                 },
             );
         }
@@ -501,6 +650,118 @@ pub fn handle_crash(core: &mut WorkerCore, ps: &[Addr], ctx: &Ctx<Msg>) -> bool 
     true
 }
 
+/// Outcome of the elastic membership check at the top of an iteration.
+pub enum ElasticFlow {
+    /// Keep executing this iteration.
+    Live,
+    /// This worker left the cohort permanently: exit without a Stop (the
+    /// permanent MemberDown already adjusted the PS's stop accounting).
+    Exit,
+    /// The worker died, was evicted, sat out, and re-entered: `iter` was
+    /// advanced to the rejoin round and fresh parameters pulled — continue
+    /// the loop from the new iteration.
+    Rejoined,
+}
+
+/// Broadcast a control message to every PS shard (at its *live* home).
+fn announce(core: &WorkerCore, ps: &[Addr], ctx: &Ctx<Msg>, msg: Msg) {
+    for (s, a) in ps.iter().enumerate() {
+        let node = core.ps_node(a.node, s);
+        let delay = core.net.transfer_delay_class(
+            ctx.now(),
+            core.node,
+            node,
+            CTRL_BYTES,
+            TrafficClass::Other,
+        );
+        ctx.send(a.pid, delay, msg.clone());
+    }
+}
+
+/// Elastic-mode replacement for [`handle_crash`], called at the top of each
+/// iteration. Round-indexed: the membership view (not wall-clock time)
+/// decides death, so the simulator and the threaded runtime agree on the
+/// final cohort and per-worker iteration counts.
+///
+/// On the death round the worker announces a *permanent* MemberDown to all
+/// shards — the topology repairs around it (BSP round shrinks, SSP bound
+/// drops it) instead of waiting. If the plan has a rejoin round, the worker
+/// sits out the dead rounds in virtual time, pulls fresh parameters from
+/// every shard (wire bytes charged), resets its optimizer, announces
+/// MemberUp (NIC FIFO guarantees it precedes the first new push at every
+/// shard), and resumes at the rejoin round.
+pub fn elastic_guard(
+    core: &mut WorkerCore,
+    ps: &[Addr],
+    ctx: &Ctx<Msg>,
+    iter: &mut u64,
+) -> ElasticFlow {
+    let Some(el) = core.elastic.clone() else {
+        return if handle_crash(core, ps, ctx) {
+            ElasticFlow::Live
+        } else {
+            ElasticFlow::Exit
+        };
+    };
+    if el.view.death_round(core.w) != Some(*iter) {
+        return ElasticFlow::Live;
+    }
+    let now = ctx.now().as_nanos();
+    markers::crash(core.metrics.worker_track(core.w), now, core.w);
+    markers::evict(core.metrics.worker_track(core.w), now, core.w);
+    // A rejoin round past the end of the run is a permanent loss.
+    let rejoin = el
+        .view
+        .rejoin_round(core.w)
+        .filter(|&j| j < core.total_iters);
+    announce(
+        core,
+        ps,
+        ctx,
+        Msg::MemberDown {
+            worker: core.w,
+            permanent: true,
+            rejoining: rejoin.is_some(),
+        },
+    );
+    let Some(j) = rejoin else {
+        return ElasticFlow::Exit;
+    };
+    // Sit out the dead rounds, then pull the current model from the shards.
+    let gap = j.saturating_sub(*iter).max(1);
+    ctx.advance(el.cfg.round_estimate * gap);
+    for (s, a) in ps.iter().enumerate() {
+        let node = core.ps_node(a.node, s);
+        let delay = core.net.transfer_delay_class(
+            ctx.now(),
+            core.node,
+            node,
+            CTRL_BYTES,
+            TrafficClass::WorkerPs,
+        );
+        ctx.send(
+            a.pid,
+            delay,
+            Msg::PullReq {
+                sender: core.w,
+                shard: s,
+            },
+        );
+    }
+    collect_and_apply_shard_params(core, ctx, ps.len(), Phase::GlobalAgg);
+    if let Some(real) = core.real.as_mut() {
+        real.opt.reset();
+    }
+    announce(core, ps, ctx, Msg::MemberUp { worker: core.w });
+    markers::rejoin(
+        core.metrics.worker_track(core.w),
+        ctx.now().as_nanos(),
+        core.w,
+    );
+    *iter = j;
+    ElasticFlow::Rejoined
+}
+
 // ---------------------------------------------------------------------------
 // Worker bodies
 // ---------------------------------------------------------------------------
@@ -520,9 +781,12 @@ pub enum BspRole {
 pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<Msg>) {
     let shards = ps.len();
     let metrics: MetricsHub = core.metrics.clone();
-    for iter in 0..core.total_iters {
-        if !handle_crash(&mut core, &ps, &ctx) {
-            return;
+    let mut iter = 0u64;
+    while iter < core.total_iters {
+        match elastic_guard(&mut core, &ps, &ctx, &mut iter) {
+            ElasticFlow::Exit => return,
+            ElasticFlow::Rejoined => continue,
+            ElasticFlow::Live => {}
         }
         core.metrics.begin_iteration(core.w, ctx.now(), iter);
         let grads = core.real_grad_slices();
@@ -535,7 +799,7 @@ pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<M
                     core.send_counted(
                         ctx,
                         ps[s].pid,
-                        ps[s].node,
+                        core.ps_node(ps[s].node, s),
                         bytes,
                         TrafficClass::WorkerPs,
                         Msg::GradPush {
@@ -783,6 +1047,7 @@ pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<M
             }
         }
         finish_iteration(&mut core, &ctx);
+        iter += 1;
     }
     // Tell the PS shards we're done (Solo and Leader are the PS's senders).
     if !matches!(role, BspRole::Follower { .. }) {
@@ -796,9 +1061,12 @@ pub fn bsp_worker(mut core: WorkerCore, ps: Vec<Addr>, role: BspRole, ctx: Ctx<M
 /// other workers.
 pub fn asp_worker(mut core: WorkerCore, ps: Vec<Addr>, ctx: Ctx<Msg>) {
     let shards = ps.len();
-    for iter in 0..core.total_iters {
-        if !handle_crash(&mut core, &ps, &ctx) {
-            return;
+    let mut iter = 0u64;
+    while iter < core.total_iters {
+        match elastic_guard(&mut core, &ps, &ctx, &mut iter) {
+            ElasticFlow::Exit => return,
+            ElasticFlow::Rejoined => continue,
+            ElasticFlow::Live => {}
         }
         core.metrics.begin_iteration(core.w, ctx.now(), iter);
         let grads = core.real_grad_slices();
@@ -809,7 +1077,7 @@ pub fn asp_worker(mut core: WorkerCore, ps: Vec<Addr>, ctx: Ctx<Msg>) {
             core.send_counted(
                 ctx,
                 ps[s].pid,
-                ps[s].node,
+                core.ps_node(ps[s].node, s),
                 bytes,
                 TrafficClass::WorkerPs,
                 Msg::GradPush {
@@ -828,6 +1096,7 @@ pub fn asp_worker(mut core: WorkerCore, ps: Vec<Addr>, ctx: Ctx<Msg>) {
             real.opt.reset(); // momentum lives at the PS
         }
         finish_iteration(&mut core, &ctx);
+        iter += 1;
     }
     for a in &ps {
         ctx.send(a.pid, SimTime::from_nanos(1), Msg::Stop { sender: core.w });
@@ -845,9 +1114,16 @@ pub fn ssp_worker(mut core: WorkerCore, ps: Vec<Addr>, staleness: u64, ctx: Ctx<
     let shards = ps.len();
     // Timestamp (min worker clock) the min worker clock the cache reflects.
     let mut cache_ts: u64 = 0;
-    for iter in 0..core.total_iters {
-        if !handle_crash(&mut core, &ps, &ctx) {
-            return;
+    let mut iter = 0u64;
+    while iter < core.total_iters {
+        match elastic_guard(&mut core, &ps, &ctx, &mut iter) {
+            ElasticFlow::Exit => return,
+            ElasticFlow::Rejoined => {
+                // The rejoin pull refreshed the cache as of "now".
+                cache_ts = iter;
+                continue;
+            }
+            ElasticFlow::Live => {}
         }
         core.metrics.begin_iteration(core.w, ctx.now(), iter);
         // SSPTable semantics (Ho et al.): the worker runs its own optimizer
@@ -873,7 +1149,7 @@ pub fn ssp_worker(mut core: WorkerCore, ps: Vec<Addr>, staleness: u64, ctx: Ctx<
             core.send_counted(
                 ctx,
                 ps[s].pid,
-                ps[s].node,
+                core.ps_node(ps[s].node, s),
                 bytes,
                 TrafficClass::WorkerPs,
                 Msg::GradPush {
@@ -899,7 +1175,7 @@ pub fn ssp_worker(mut core: WorkerCore, ps: Vec<Addr>, staleness: u64, ctx: Ctx<
             if tx_free > t0 {
                 ctx.advance(tx_free - t0);
                 let own_wire: SimTime = (0..shards)
-                    .map(|s| core.wire_time(ps[s].node, core.grad_bytes(s)))
+                    .map(|s| core.wire_time(core.ps_node(ps[s].node, s), core.grad_bytes(s)))
                     .sum();
                 let stall = ctx.now() - t0;
                 core.metrics.record_at(
@@ -917,7 +1193,7 @@ pub fn ssp_worker(mut core: WorkerCore, ps: Vec<Addr>, staleness: u64, ctx: Ctx<
             let delay = core.net.transfer_delay_class(
                 ctx.now(),
                 core.node,
-                ps[0].node,
+                core.ps_node(ps[0].node, 0),
                 64,
                 TrafficClass::WorkerPs,
             );
@@ -934,7 +1210,7 @@ pub fn ssp_worker(mut core: WorkerCore, ps: Vec<Addr>, staleness: u64, ctx: Ctx<
                 let d = core.net.transfer_delay_class(
                     ctx.now(),
                     core.node,
-                    a.node,
+                    core.ps_node(a.node, s),
                     64,
                     TrafficClass::WorkerPs,
                 );
@@ -967,6 +1243,7 @@ pub fn ssp_worker(mut core: WorkerCore, ps: Vec<Addr>, staleness: u64, ctx: Ctx<
             my_clock.saturating_sub(cache_ts) as i64,
         );
         finish_iteration(&mut core, &ctx);
+        iter += 1;
     }
     for a in &ps {
         ctx.send(a.pid, SimTime::from_nanos(1), Msg::Stop { sender: core.w });
@@ -977,9 +1254,12 @@ pub fn ssp_worker(mut core: WorkerCore, ps: Vec<Addr>, staleness: u64, ctx: Ctx<
 /// PS every `tau` iterations.
 pub fn easgd_worker(mut core: WorkerCore, ps: Vec<Addr>, tau: u64, ctx: Ctx<Msg>) {
     let shards = ps.len();
-    for iter in 0..core.total_iters {
-        if !handle_crash(&mut core, &ps, &ctx) {
-            return;
+    let mut iter = 0u64;
+    while iter < core.total_iters {
+        match elastic_guard(&mut core, &ps, &ctx, &mut iter) {
+            ElasticFlow::Exit => return,
+            ElasticFlow::Rejoined => continue,
+            ElasticFlow::Live => {}
         }
         core.metrics.begin_iteration(core.w, ctx.now(), iter);
         // local compute + local SGD step
@@ -995,7 +1275,7 @@ pub fn easgd_worker(mut core: WorkerCore, ps: Vec<Addr>, tau: u64, ctx: Ctx<Msg>
             real.opt.step(&mut p, &g, glr);
             real.net.set_params(&p);
         }
-        if (iter + 1) % tau == 0 {
+        if (iter + 1).is_multiple_of(tau) {
             let lr = core.current_lr();
             // push local params to every shard
             let slices: Option<Vec<ParamSet>> = core.real.as_ref().map(|r| {
@@ -1011,7 +1291,7 @@ pub fn easgd_worker(mut core: WorkerCore, ps: Vec<Addr>, tau: u64, ctx: Ctx<Msg>
                 core.send_counted(
                     &ctx,
                     a.pid,
-                    a.node,
+                    core.ps_node(a.node, s),
                     bytes,
                     TrafficClass::WorkerPs,
                     Msg::ParamPush {
@@ -1026,6 +1306,7 @@ pub fn easgd_worker(mut core: WorkerCore, ps: Vec<Addr>, tau: u64, ctx: Ctx<Msg>
             collect_and_apply_shard_params(&mut core, &ctx, shards, Phase::GlobalAgg);
         }
         finish_iteration(&mut core, &ctx);
+        iter += 1;
     }
     for a in &ps {
         ctx.send(a.pid, SimTime::from_nanos(1), Msg::Stop { sender: core.w });

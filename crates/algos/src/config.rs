@@ -3,7 +3,7 @@
 use dtrain_cluster::ClusterConfig;
 use dtrain_compress::DgcConfig;
 use dtrain_data::{Dataset, ImageTaskConfig, TeacherTaskConfig};
-use dtrain_faults::{FaultKind, FaultSchedule};
+use dtrain_faults::{ElasticConfig, FaultKind, FaultSchedule};
 use dtrain_models::ModelProfile;
 
 /// The seven algorithms of the paper (Table I), with their hyperparameters.
@@ -221,6 +221,11 @@ pub struct FaultConfig {
     /// Iterations between checkpoint snapshots (0 = only the initial
     /// snapshot taken at startup).
     pub checkpoint_interval: u64,
+    /// `Some` switches the run to *elastic* recovery: instead of restarting
+    /// crashed members, the cohort evicts them and the topology repairs
+    /// (rings shrink, peer graphs re-knit, barriers re-size, PS shards fail
+    /// over). `None` keeps the classic restart semantics untouched.
+    pub elastic: Option<ElasticConfig>,
 }
 
 impl FaultConfig {
@@ -256,6 +261,16 @@ pub struct RunConfig {
 }
 
 impl RunConfig {
+    /// Is elastic (evict-and-repair) recovery enabled?
+    pub fn is_elastic(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.elastic.is_some())
+    }
+
+    /// The elastic tunables, when enabled.
+    pub fn elastic(&self) -> Option<&ElasticConfig> {
+        self.faults.as_ref().and_then(|f| f.elastic.as_ref())
+    }
+
     /// Sanity-check invariants before running.
     pub fn validate(&self) -> Result<(), String> {
         if self.workers == 0 {
@@ -316,6 +331,21 @@ impl RunConfig {
                      aggregation (leader/follower machines have no recovery \
                      path); disable local_aggregation or drop the crash events"
                     .into());
+            }
+            if let Some(e) = &f.elastic {
+                if self.opts.local_aggregation {
+                    return Err("elastic membership is not supported under BSP \
+                         local aggregation (machine-leader trees do not repair)"
+                        .into());
+                }
+                if matches!(self.algo, Algo::ArSgd) && e.suspect_rounds != 0 {
+                    return Err("AR-SGD requires suspect_rounds = 0 (a ring cannot carry \
+                         a dead hop through a grace window)"
+                        .into());
+                }
+                if e.round_estimate == dtrain_desim::SimTime::ZERO {
+                    return Err("elastic round_estimate must be > 0".into());
+                }
             }
         }
         if let Some(real) = &self.real {
@@ -415,6 +445,7 @@ mod tests {
                 },
             }]),
             checkpoint_interval: 10,
+            elastic: None,
         });
         assert!(c.validate().is_err());
         // Non-crash faults (stragglers, link windows) are fine with it.
@@ -427,8 +458,38 @@ mod tests {
                 },
             }]),
             checkpoint_interval: 10,
+            elastic: None,
         });
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn elastic_validation() {
+        let elastic = |algo: Algo, e: ElasticConfig| {
+            let mut c = base(algo);
+            c.faults = Some(FaultConfig {
+                schedule: FaultSchedule::new(vec![]),
+                checkpoint_interval: 10,
+                elastic: Some(e),
+            });
+            c
+        };
+        assert!(elastic(Algo::Bsp, ElasticConfig::default())
+            .validate()
+            .is_ok());
+        assert!(!base(Algo::Bsp).is_elastic());
+        assert!(elastic(Algo::Bsp, ElasticConfig::default()).is_elastic());
+        // AR-SGD cannot carry a suspect window.
+        let e = ElasticConfig {
+            suspect_rounds: 2,
+            ..Default::default()
+        };
+        assert!(elastic(Algo::ArSgd, e.clone()).validate().is_err());
+        assert!(elastic(Algo::Bsp, e).validate().is_ok());
+        // Local aggregation has no repair path.
+        let mut c = elastic(Algo::Bsp, ElasticConfig::default());
+        c.opts.local_aggregation = true;
+        assert!(c.validate().is_err());
     }
 
     #[test]

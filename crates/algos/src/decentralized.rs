@@ -12,12 +12,105 @@ use std::sync::Arc;
 
 use dtrain_cluster::{Phase, TrafficClass};
 use dtrain_desim::{Ctx, SimTime};
+use dtrain_faults::{markers, MembershipView};
 use dtrain_nn::ParamSet;
 use parking_lot::Mutex;
 use rand::Rng;
 
-use crate::centralized::{finish_iteration, handle_crash, Addr};
+use crate::centralized::{finish_iteration, handle_crash, Addr, CTRL_BYTES};
 use crate::exec::{Msg, WorkerCore};
+
+// ---------------------------------------------------------------------------
+// Elastic membership (shared by the decentralized family)
+// ---------------------------------------------------------------------------
+
+/// The membership view's decree for this worker at this round: `None` while
+/// alive; `Some(None)` = dead for good; `Some(Some(j))` = dead now,
+/// rejoining at round `j`. Emits the crash/evict markers but does NOT
+/// advance time — the caller announces its departure first (control
+/// messages must carry the death timestamp), then serves the dormancy.
+fn elastic_death(core: &mut WorkerCore, ctx: &Ctx<Msg>, iter: u64) -> Option<Option<u64>> {
+    let el = core.elastic.clone()?;
+    if el.view.death_round(core.w) != Some(iter) {
+        return None;
+    }
+    let now = ctx.now().as_nanos();
+    markers::crash(core.metrics.worker_track(core.w), now, core.w);
+    markers::evict(core.metrics.worker_track(core.w), now, core.w);
+    // A rejoin round past the end of the run is a permanent loss.
+    Some(
+        el.view
+            .rejoin_round(core.w)
+            .filter(|&j| j < core.total_iters),
+    )
+}
+
+/// Sit out the dead rounds `iter..j` in virtual time.
+fn serve_dormancy(core: &WorkerCore, ctx: &Ctx<Msg>, iter: u64, j: u64) {
+    let el = core.elastic.as_ref().expect("elastic dormancy");
+    ctx.advance(el.cfg.round_estimate * j.saturating_sub(iter).max(1));
+}
+
+/// Send a full-parameter seed to every member rejoining at `iter`, if this
+/// worker is the designated sponsor: the lowest-id live member that is not
+/// itself rejoining this round. Every member evaluates the same rule on the
+/// same shared view, so exactly one sponsor emerges.
+fn sponsor_rejoiners(
+    core: &mut WorkerCore,
+    ctx: &Ctx<Msg>,
+    peers: &[Addr],
+    view: &MembershipView,
+    iter: u64,
+    full_bytes: u64,
+) {
+    let me = core.w;
+    let rejoiners: Vec<usize> = (0..peers.len())
+        .filter(|&w| w != me && view.rejoin_round(w) == Some(iter))
+        .collect();
+    if rejoiners.is_empty() {
+        return;
+    }
+    let sponsor = view
+        .live_at(iter)
+        .into_iter()
+        .find(|&w| view.rejoin_round(w) != Some(iter));
+    if sponsor != Some(me) {
+        return;
+    }
+    for w2 in rejoiners {
+        let data = core.real.as_ref().map(|r| r.net.get_params());
+        let dst = peers[w2];
+        core.send_counted(
+            ctx,
+            dst.pid,
+            dst.node,
+            full_bytes,
+            TrafficClass::Peer,
+            Msg::LocalParams {
+                data,
+                bytes: full_bytes,
+            },
+        );
+    }
+}
+
+/// Adopt the sponsor's replica after dormancy (AR-SGD / GoSGD): block for
+/// the `LocalParams` seed the sponsor sends at the top of round `j`. If no
+/// live member can sponsor, resume on the checkpointed state.
+fn adopt_local_params(core: &mut WorkerCore, ctx: &Ctx<Msg>, view: &MembershipView, j: u64) {
+    let has_sponsor = view
+        .live_at(j)
+        .into_iter()
+        .any(|w| view.rejoin_round(w) != Some(j));
+    if !has_sponsor {
+        return;
+    }
+    let m = ctx.recv_match(|m| matches!(m, Msg::LocalParams { .. }));
+    if let (Some(real), Msg::LocalParams { data: Some(p), .. }) = (core.real.as_mut(), m) {
+        real.net.set_params(&p);
+        real.opt.reset();
+    }
+}
 
 // ---------------------------------------------------------------------------
 // AR-SGD
@@ -80,10 +173,8 @@ pub fn arsgd_worker(
     buckets: usize,
     ctx: Ctx<Msg>,
 ) {
-    let n = ring.len();
+    let n_static = ring.len();
     let me = core.w;
-    let right = ring[(me + 1) % n];
-    let steps = 2 * (n.saturating_sub(1)) as u32;
     // Bucket the model bytes: contiguous layer ranges via a round-robin
     // plan over buckets (reuses the shard planner's arithmetic through
     // WorkerCore's profile plan when buckets == plan arity; otherwise the
@@ -95,11 +186,40 @@ pub fn arsgd_worker(
         None => dense_bucket,
     };
 
-    for iter in 0..core.total_iters {
-        // Decentralized crashes are always restarts (no PS to rebalance a
-        // permanent loss, so build_worker_cores coerces them); peers stall
-        // in their recv until this worker resumes, mailboxes buffering.
-        handle_crash(&mut core, &[], &ctx);
+    let mut iter = 0u64;
+    while iter < core.total_iters {
+        if let Some(fate) = elastic_death(&mut core, &ctx, iter) {
+            let Some(j) = fate else { return };
+            serve_dormancy(&core, &ctx, iter, j);
+            let view = core.elastic.clone().expect("elastic").view;
+            adopt_local_params(&mut core, &ctx, &view, j);
+            markers::rejoin(core.metrics.worker_track(me), ctx.now().as_nanos(), me);
+            iter = j;
+            continue;
+        }
+        if let Some(el) = core.elastic.clone() {
+            sponsor_rejoiners(&mut core, &ctx, &ring, &el.view, iter, total_bytes);
+        } else {
+            // Classic decentralized crashes are always restarts (no PS to
+            // rebalance a permanent loss, so build_worker_cores coerces
+            // them); peers stall in their recv until this worker resumes,
+            // mailboxes buffering.
+            handle_crash(&mut core, &[], &ctx);
+        }
+        // This round's ring: the live cohort in id order (shared view ⇒
+        // every member rebuilds the identical ring), else the static one.
+        let (n, right) = match core.elastic.as_ref() {
+            Some(el) => {
+                let ids = el.view.ring_at(iter);
+                let pos = ids
+                    .iter()
+                    .position(|&x| x == me)
+                    .expect("live member must be in its own ring");
+                (ids.len(), ring[ids[(pos + 1) % ids.len()]])
+            }
+            None => (n_static, ring[(me + 1) % n_static]),
+        };
+        let steps = 2 * (n.saturating_sub(1)) as u32;
         core.metrics.begin_iteration(core.w, ctx.now(), iter);
         // Real math: deposit own gradient before any communication.
         let full_grad = core.real.as_mut().map(|r| r.compute_grad());
@@ -150,6 +270,7 @@ pub fn arsgd_worker(
             real.net.set_params(&p);
         }
         finish_iteration(&mut core, &ctx);
+        iter += 1;
     }
 }
 
@@ -215,8 +336,29 @@ pub fn gosgd_worker(mut core: WorkerCore, peers: Vec<Addr>, p: f64, ctx: Ctx<Msg
     let n = peers.len();
     let mut alpha: f32 = 1.0 / n as f32;
     let full_bytes: u64 = core.shard_bytes.iter().sum();
-    for iter in 0..core.total_iters {
-        handle_crash(&mut core, &[], &ctx);
+    let mut iter = 0u64;
+    while iter < core.total_iters {
+        if let Some(fate) = elastic_death(&mut core, &ctx, iter) {
+            let Some(j) = fate else { return };
+            serve_dormancy(&core, &ctx, iter, j);
+            let view = core.elastic.clone().expect("elastic").view;
+            adopt_local_params(&mut core, &ctx, &view, j);
+            // Fresh mixing mass, as at init — the dead replica's α mass
+            // left the system with it.
+            alpha = 1.0 / n as f32;
+            markers::rejoin(
+                core.metrics.worker_track(core.w),
+                ctx.now().as_nanos(),
+                core.w,
+            );
+            iter = j;
+            continue;
+        }
+        if let Some(el) = core.elastic.clone() {
+            sponsor_rejoiners(&mut core, &ctx, &peers, &el.view, iter, full_bytes);
+        } else {
+            handle_crash(&mut core, &[], &ctx);
+        }
         core.metrics.begin_iteration(core.w, ctx.now(), iter);
         // compute + local SGD step
         let t = core
@@ -249,30 +391,47 @@ pub fn gosgd_worker(mut core: WorkerCore, peers: Vec<Addr>, p: f64, ctx: Ctx<Msg
         }
         // gossip with probability p (needs a peer to talk to)
         if n >= 2 && core.rng.gen::<f64>() < p {
-            let target = loop {
-                let t = core.rng.gen_range(0..n);
-                if t != core.w {
-                    break t;
+            // Elastic targeting draws from the live cohort so shares never
+            // chase an evicted replica; the classic draw loop is kept
+            // verbatim so fault-free runs replay the same rng sequence.
+            let target = match core.elastic.as_ref() {
+                Some(el) => {
+                    let mut live = el.view.live_at(iter);
+                    live.retain(|&x| x != core.w);
+                    if live.is_empty() {
+                        None
+                    } else {
+                        Some(live[core.rng.gen_range(0..live.len())])
+                    }
                 }
+                None => Some(loop {
+                    let t = core.rng.gen_range(0..n);
+                    if t != core.w {
+                        break t;
+                    }
+                }),
             };
-            alpha *= 0.5;
-            let data = core.real.as_ref().map(|r| r.net.get_params());
-            let dst = peers[target];
-            core.send_counted(
-                &ctx,
-                dst.pid,
-                dst.node,
-                full_bytes,
-                TrafficClass::Peer,
-                Msg::Gossip {
-                    sender: core.w,
-                    alpha,
-                    data,
-                    bytes: full_bytes,
-                },
-            );
+            if let Some(target) = target {
+                alpha *= 0.5;
+                let data = core.real.as_ref().map(|r| r.net.get_params());
+                let dst = peers[target];
+                core.send_counted(
+                    &ctx,
+                    dst.pid,
+                    dst.node,
+                    full_bytes,
+                    TrafficClass::Peer,
+                    Msg::Gossip {
+                        sender: core.w,
+                        alpha,
+                        data,
+                        bytes: full_bytes,
+                    },
+                );
+            }
         }
         finish_iteration(&mut core, &ctx);
+        iter += 1;
     }
 }
 
@@ -297,15 +456,61 @@ pub fn adpsgd_active_worker(
     ctx: Ctx<Msg>,
 ) {
     let full_bytes: u64 = core.shard_bytes.iter().sum();
-    for iter in 0..core.total_iters {
-        handle_crash(&mut core, &[], &ctx);
+    let me = core.w;
+    // Passives this active has seen a MemberDown for (cleared by MemberUp);
+    // both arrive interleaved with exchange replies and are consumed inside
+    // the reply wait.
+    let mut down = vec![false; peers.len()];
+    let send_stops = |ctx: &Ctx<Msg>| {
+        for &pidx in &passives {
+            let dst = peers[pidx];
+            ctx.send(dst.pid, SimTime::from_nanos(1), Msg::Stop { sender: me });
+        }
+    };
+    let mut iter = 0u64;
+    while iter < core.total_iters {
+        if let Some(fate) = elastic_death(&mut core, &ctx, iter) {
+            let Some(j) = fate else {
+                // Never coming back: settle the passives' stop accounting
+                // now so they don't wait on a ghost.
+                send_stops(&ctx);
+                return;
+            };
+            serve_dormancy(&core, &ctx, iter, j);
+            adpsgd_adopt(&mut core, &ctx, &peers, j);
+            markers::rejoin(
+                core.metrics.worker_track(core.w),
+                ctx.now().as_nanos(),
+                core.w,
+            );
+            iter = j;
+            continue;
+        }
+        if core.elastic.is_none() {
+            handle_crash(&mut core, &[], &ctx);
+        }
         core.metrics.begin_iteration(core.w, ctx.now(), iter);
         // 1. pick the passive peer; with overlap (the paper's design) the
         //    exchange goes on the wire *before* computing, hiding its
-        //    latency behind the gradient computation.
-        let target = passives[core.rng.gen_range(0..passives.len())];
-        let dst = peers[target];
-        let initiate = |core: &mut WorkerCore, ctx: &Ctx<Msg>| {
+        //    latency behind the gradient computation. Elastic draws only
+        //    from passives both scheduled live and not flagged down; if
+        //    none qualify this iteration is pure local SGD.
+        let target = match core.elastic.as_ref() {
+            Some(el) => {
+                let live: Vec<usize> = passives
+                    .iter()
+                    .copied()
+                    .filter(|&x| el.view.is_live(x, iter) && !down[x])
+                    .collect();
+                if live.is_empty() {
+                    None
+                } else {
+                    Some(live[core.rng.gen_range(0..live.len())])
+                }
+            }
+            None => Some(passives[core.rng.gen_range(0..passives.len())]),
+        };
+        let initiate = |core: &mut WorkerCore, ctx: &Ctx<Msg>, dst: Addr| {
             let data = core.real.as_ref().map(|r| r.net.get_params());
             core.send_counted(
                 ctx,
@@ -321,7 +526,9 @@ pub fn adpsgd_active_worker(
             );
         };
         if overlap {
-            initiate(&mut core, &ctx);
+            if let Some(t) = target {
+                initiate(&mut core, &ctx, peers[t]);
+            }
         }
         // 2. compute this iteration's gradient (wire busy in parallel)
         let t = core
@@ -331,24 +538,24 @@ pub fn adpsgd_active_worker(
         ctx.advance(t);
         let grad = core.real.as_mut().map(|r| r.compute_grad());
         if !overlap {
-            initiate(&mut core, &ctx);
+            if let Some(t) = target {
+                initiate(&mut core, &ctx, peers[t]);
+            }
         }
         // 3. wait (often zero) for the atomic-averaging midpoint: the
         //    passive peer computed mid = (x_active + x_passive)/2, adopted
         //    it, and sent it back, so both replicas hold the same value —
-        //    Lian et al.'s atomic averaging step.
-        let t0 = ctx.now();
-        let rep = ctx.recv_match(|m| matches!(m, Msg::ExchangeRep { .. }));
-        core.metrics
-            .record_at(core.w, Phase::GlobalAgg, t0, ctx.now() - t0);
-        if let (
-            Some(real),
-            Msg::ExchangeRep {
-                data: Some(mid), ..
-            },
-        ) = (core.real.as_mut(), rep)
-        {
-            real.net.set_params(&mid);
+        //    Lian et al.'s atomic averaging step. If the target dies
+        //    mid-exchange, its MemberDown releases the wait and the
+        //    exchange is abandoned.
+        if let Some(target) = target {
+            let t0 = ctx.now();
+            let mid = wait_exchange_rep(&ctx, target, &mut down);
+            core.metrics
+                .record_at(core.w, Phase::GlobalAgg, t0, ctx.now() - t0);
+            if let (Some(real), Some(mid)) = (core.real.as_mut(), mid) {
+                real.net.set_params(&mid);
+            }
         }
         // 4. gradient step on top of the averaged point:
         //    x_{k+1} = mid − γ·g(x_k)
@@ -359,15 +566,61 @@ pub fn adpsgd_active_worker(
             real.net.set_params(&px);
         }
         finish_iteration(&mut core, &ctx);
+        iter += 1;
     }
     // release passive workers
-    for &pidx in &passives {
-        let dst = peers[pidx];
-        ctx.send(
-            dst.pid,
-            SimTime::from_nanos(1),
-            Msg::Stop { sender: core.w },
-        );
+    send_stops(&ctx);
+}
+
+/// Block for the midpoint reply from `target`, absorbing membership
+/// traffic while blocked. Returns `None` if the target was declared down
+/// before replying — the exchange is abandoned (the dormant passive
+/// discards the stale request on rejoin).
+fn wait_exchange_rep(ctx: &Ctx<Msg>, target: usize, down: &mut [bool]) -> Option<ParamSet> {
+    loop {
+        let m = ctx.recv_match(|m| {
+            matches!(m, Msg::ExchangeRep { sender, .. } if *sender == target)
+                || matches!(m, Msg::MemberDown { .. } | Msg::MemberUp { .. })
+        });
+        match m {
+            Msg::ExchangeRep { data, .. } => return data,
+            Msg::MemberDown { worker, .. } => {
+                down[worker] = true;
+                if worker == target {
+                    return None;
+                }
+            }
+            Msg::MemberUp { worker } => down[worker] = false,
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Rejoin (both AD-PSGD roles): ask the sponsor passive — lowest live
+/// passive at `j` that is not itself rejoining — for its replica via
+/// `AdoptReq`, answered with a plain `ExchangeRep` (no averaging, so the
+/// rejoiner's stale state never pollutes the cohort). With no live passive
+/// to seed from, resume on the checkpointed state.
+fn adpsgd_adopt(core: &mut WorkerCore, ctx: &Ctx<Msg>, peers: &[Addr], j: u64) {
+    let view = core.elastic.as_ref().expect("elastic rejoin").view.clone();
+    let sponsor = view
+        .live_at(j)
+        .into_iter()
+        .find(|&w| !adpsgd_is_active(w) && w != core.w && view.rejoin_round(w) != Some(j));
+    let Some(sp) = sponsor else { return };
+    let dst = peers[sp];
+    core.send_counted(
+        ctx,
+        dst.pid,
+        dst.node,
+        CTRL_BYTES,
+        TrafficClass::Other,
+        Msg::AdoptReq { sender: core.w },
+    );
+    let m = ctx.recv_match(|m| matches!(m, Msg::ExchangeRep { sender, .. } if *sender == sp));
+    if let (Some(real), Msg::ExchangeRep { data: Some(p), .. }) = (core.real.as_mut(), m) {
+        real.net.set_params(&p);
+        real.opt.reset();
     }
 }
 
@@ -382,6 +635,7 @@ pub fn adpsgd_passive_worker(
 ) {
     let full_bytes: u64 = core.shard_bytes.iter().sum();
     let mut stops = 0usize;
+    let actives: Vec<usize> = (0..peers.len()).filter(|&w| adpsgd_is_active(w)).collect();
     let answer = |core: &mut WorkerCore, ctx: &Ctx<Msg>, m: Msg, stops: &mut usize| {
         match m {
             Msg::ExchangeReq { sender, data, .. } => {
@@ -410,12 +664,84 @@ pub fn adpsgd_passive_worker(
                     },
                 );
             }
+            Msg::AdoptReq { sender } => {
+                // Seed a rejoiner with this replica, unaveraged — adoption
+                // must not drag the rejoiner's stale state into the cohort.
+                let data = core.real.as_ref().map(|r| r.net.get_params());
+                let dst = peers[sender];
+                core.send_counted(
+                    ctx,
+                    dst.pid,
+                    dst.node,
+                    full_bytes,
+                    TrafficClass::Peer,
+                    Msg::ExchangeRep {
+                        sender: core.w,
+                        data,
+                        bytes: full_bytes,
+                    },
+                );
+            }
             Msg::Stop { .. } => *stops += 1,
             other => unreachable!("passive got {other:?}"),
         }
     };
-    for iter in 0..core.total_iters {
-        handle_crash(&mut core, &[], &ctx);
+    // Announce this passive's membership change to every active (they may
+    // be blocked on an exchange with it right now).
+    let announce = |core: &mut WorkerCore, ctx: &Ctx<Msg>, msg: Msg| {
+        for &a in &actives {
+            let dst = peers[a];
+            let delay = core.net.transfer_delay_class(
+                ctx.now(),
+                core.node,
+                dst.node,
+                CTRL_BYTES,
+                TrafficClass::Other,
+            );
+            ctx.send(dst.pid, delay, msg.clone());
+        }
+    };
+    let me = core.w;
+    let mut iter = 0u64;
+    while iter < core.total_iters {
+        if let Some(fate) = elastic_death(&mut core, &ctx, iter) {
+            announce(
+                &mut core,
+                &ctx,
+                Msg::MemberDown {
+                    worker: me,
+                    permanent: true,
+                    rejoining: fate.is_some(),
+                },
+            );
+            let Some(j) = fate else { return };
+            serve_dormancy(&core, &ctx, iter, j);
+            // Discard exchange requests that queued while dormant — their
+            // initiators were woken by the MemberDown and abandoned the
+            // exchange; answering now would strand unmatched replies. Stop
+            // and adopt accounting still applies.
+            while let Some(m) = ctx.try_recv() {
+                match m {
+                    Msg::ExchangeReq { .. } => {}
+                    m @ (Msg::Stop { .. } | Msg::AdoptReq { .. }) => {
+                        answer(&mut core, &ctx, m, &mut stops)
+                    }
+                    other => unreachable!("dormant passive got {other:?}"),
+                }
+            }
+            adpsgd_adopt(&mut core, &ctx, &peers, j);
+            announce(&mut core, &ctx, Msg::MemberUp { worker: me });
+            markers::rejoin(
+                core.metrics.worker_track(core.w),
+                ctx.now().as_nanos(),
+                core.w,
+            );
+            iter = j;
+            continue;
+        }
+        if core.elastic.is_none() {
+            handle_crash(&mut core, &[], &ctx);
+        }
         core.metrics.begin_iteration(core.w, ctx.now(), iter);
         let t = core
             .gpu
@@ -433,8 +759,10 @@ pub fn adpsgd_passive_worker(
             answer(&mut core, &ctx, m, &mut stops);
         }
         finish_iteration(&mut core, &ctx);
+        iter += 1;
     }
-    // Keep answering until all actives are done.
+    // Keep answering until all actives are done. Permanently-lost actives
+    // sent their Stop at death, so the count still converges.
     while stops < num_actives {
         let m = ctx.recv();
         answer(&mut core, &ctx, m, &mut stops);

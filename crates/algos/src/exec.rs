@@ -13,12 +13,13 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use dtrain_cluster::{
-    ClusterConfig, GpuModel, MetricsHub, NetModel, NodeId, Phase, ShardPlan, TrafficClass,
+    ClusterConfig, DeadlinePolicy, GpuModel, MetricsHub, NetModel, NodeId, Phase, ShardHomes,
+    ShardPlan, TrafficClass,
 };
 use dtrain_compress::{compressed_wire_bytes, DgcCompressor, SparseUpdate};
 use dtrain_data::Dataset;
 use dtrain_desim::{Ctx, SimTime};
-use dtrain_faults::{markers, CheckpointStore};
+use dtrain_faults::{markers, CheckpointStore, ElasticConfig, MembershipView};
 use dtrain_models::ModelProfile;
 use dtrain_nn::{LrSchedule, Network, ParamLayout, ParamSet, SgdMomentum};
 use dtrain_obs::names;
@@ -105,12 +106,26 @@ pub enum Msg {
     /// server replies only once the slowest worker's clock reaches
     /// `min_needed`.
     GatedPull { sender: usize, min_needed: u64 },
+    /// PS shard → itself (elastic BSP): delayed timer armed at a round's
+    /// first arrival; if it fires while `round` is still collecting, the
+    /// barrier closes *partially* over the members present.
+    RoundDeadline { round: u64 },
+    /// Rejoining member → peer (elastic AD-PSGD): request the peer's
+    /// current parameters without averaging (the rejoiner's state is stale
+    /// and must not pollute the peer). Answered with [`Msg::ExchangeRep`].
+    AdoptReq { sender: usize },
     /// Sender has finished all its iterations.
     Stop { sender: usize },
-    /// Fault layer → PS shards: `worker` crashed. `permanent` means it will
-    /// never return, so the PS drops it from round and stop accounting; a
-    /// temporary crash is followed by [`Msg::MemberUp`] after the restart.
-    MemberDown { worker: usize, permanent: bool },
+    /// Fault layer → PS shards / peers: `worker` crashed. `permanent` means
+    /// it left the cohort (the PS shrinks rounds around it); `rejoining`
+    /// qualifies a permanent loss whose plan re-enters it later, so its Stop
+    /// is still owed — a temporary crash (`permanent: false`) is simply
+    /// followed by [`Msg::MemberUp`] after the restart.
+    MemberDown {
+        worker: usize,
+        permanent: bool,
+        rejoining: bool,
+    },
     /// Fault layer → PS shards: `worker` restored its checkpoint and
     /// rejoined.
     MemberUp { worker: usize },
@@ -302,6 +317,27 @@ impl RealWorkerState {
 /// re-admit — see DESIGN.md "Fault model").
 pub const DEFAULT_RESTART: SimTime = SimTime::from_secs(5);
 
+/// Elastic-membership runtime handle (elastic mode only): the shared
+/// deterministic view plus the layer's tunables. All workers (and the PS
+/// shards) hold clones of the same `Arc`, so every party derives topology
+/// from identical history.
+#[derive(Clone)]
+pub struct ElasticRuntime {
+    pub view: Arc<MembershipView>,
+    pub cfg: ElasticConfig,
+}
+
+impl ElasticRuntime {
+    /// The transport deadline/retry policy workers apply to their sends.
+    pub fn deadline_policy(&self) -> DeadlinePolicy {
+        DeadlinePolicy {
+            deadline: self.cfg.transfer_deadline,
+            max_retries: self.cfg.max_retries,
+            backoff: self.cfg.retry_backoff,
+        }
+    }
+}
+
 /// Per-worker fault-injection state: the worker's crash schedule plus the
 /// run's shared checkpoint store.
 pub struct WorkerFaults {
@@ -338,6 +374,12 @@ pub struct WorkerCore {
     pub real: Option<RealWorkerState>,
     pub virtual_lr: f32,
     pub faults: Option<WorkerFaults>,
+    /// Elastic-membership handle; `Some` exactly when the run is elastic.
+    pub elastic: Option<ElasticRuntime>,
+    /// Live shard→machine map (elastic centralized runs): sends to a PS
+    /// shard resolve the destination machine here so traffic follows a
+    /// failed-over shard. `None` = static placement.
+    pub ps_homes: Option<ShardHomes>,
     /// Cumulative real-payload bytes this worker has put on the wire
     /// (`names::LOGICAL_BYTES` counter; see DESIGN.md §4).
     pub logical_bytes: u64,
@@ -374,7 +416,9 @@ impl WorkerCore {
     }
 
     /// Send `msg` of `bytes` to a process at `dst_node`, reserving NIC time
-    /// and attributing the analytic wire time to the Comm phase.
+    /// and attributing the analytic wire time to the Comm phase. In elastic
+    /// mode the transfer runs under the per-transfer deadline/retry policy;
+    /// each retry is stamped on this worker's obs track.
     pub fn send_counted(
         &mut self,
         ctx: &Ctx<Msg>,
@@ -384,17 +428,39 @@ impl WorkerCore {
         class: TrafficClass,
         msg: Msg,
     ) {
-        let delay = self
-            .net
-            .transfer_delay_class(ctx.now(), self.node, dst_node, bytes, class);
-        self.metrics.record_at(
-            self.w,
-            Phase::Comm,
-            ctx.now(),
-            self.wire_time(dst_node, bytes),
-        );
-        self.count_logical(ctx.now(), logical_payload(&msg));
+        let now = ctx.now();
+        let delay = match &self.elastic {
+            Some(e) => {
+                let (delay, retries) = self.net.transfer_delay_deadline(
+                    now,
+                    self.node,
+                    dst_node,
+                    bytes,
+                    class,
+                    e.deadline_policy(),
+                );
+                for attempt in 1..=retries {
+                    markers::retry(self.metrics.worker_track(self.w), now.as_nanos(), attempt);
+                }
+                delay
+            }
+            None => self
+                .net
+                .transfer_delay_class(now, self.node, dst_node, bytes, class),
+        };
+        self.metrics
+            .record_at(self.w, Phase::Comm, now, self.wire_time(dst_node, bytes));
+        self.count_logical(now, logical_payload(&msg));
         ctx.send(dst_pid, delay, msg);
+    }
+
+    /// Destination machine for PS shard `s`: the live home under elastic
+    /// failover, the static placement otherwise.
+    pub fn ps_node(&self, static_node: NodeId, s: usize) -> NodeId {
+        match &self.ps_homes {
+            Some(h) => h.node_of(s),
+            None => static_node,
+        }
     }
 
     /// Accumulate real-payload bytes and emit the cumulative
@@ -609,6 +675,17 @@ pub fn build_worker_cores(
 
     let total_iters = resolve_total_iters(cfg);
 
+    // Elastic mode: one shared membership view derived from the schedule
+    // (bit-reproducible); the view, not the time-based crash queue, drives
+    // worker deaths so both execution paths see identical cohort history.
+    let elastic_rt = match (&cfg.faults, cfg.elastic()) {
+        (Some(fc), Some(e)) => Some(ElasticRuntime {
+            view: Arc::new(MembershipView::from_schedule(&fc.schedule, cfg.workers, e)),
+            cfg: e.clone(),
+        }),
+        _ => None,
+    };
+
     (0..cfg.workers)
         .map(|w| {
             let real = real_setup.as_ref().map(|(train, rcfg)| {
@@ -618,9 +695,16 @@ pub fn build_worker_cores(
                 (Some(fc), Some(store)) => {
                     let mut crashes: VecDeque<(SimTime, Option<SimTime>)> =
                         fc.schedule.crashes_for(w).into();
-                    // Decentralized algorithms always re-admit a member:
-                    // a permanent loss becomes a restart (DESIGN.md).
-                    if !cfg.algo.is_centralized() {
+                    if elastic_rt.is_some() {
+                        // Elastic runs take deaths from the membership view
+                        // (round-indexed), not the time-based queue — and
+                        // permanent losses stay permanent: the cohort
+                        // repairs instead of restarting.
+                        crashes.clear();
+                    } else if !cfg.algo.is_centralized() {
+                        // Classic mode: decentralized algorithms always
+                        // re-admit a member: a permanent loss becomes a
+                        // restart (DESIGN.md).
                         for c in crashes.iter_mut() {
                             c.1.get_or_insert(DEFAULT_RESTART);
                         }
@@ -665,6 +749,8 @@ pub fn build_worker_cores(
                 real,
                 virtual_lr: 0.05,
                 faults,
+                elastic: elastic_rt.clone(),
+                ps_homes: None,
                 logical_bytes: 0,
             }
         })

@@ -169,6 +169,17 @@ fn run_impl(cfg: &RunConfig, trace: bool, sink: &ObsSink) -> (RunOutput, Option<
         })
         .collect();
 
+    // Elastic centralized runs share a live shard→machine map: a PS-shard
+    // machine loss re-homes the shard there and worker traffic follows.
+    let ps_homes = if cfg.is_elastic() && cfg.algo.is_centralized() && num_shards > 0 {
+        Some(profile_plan.homes(&cfg.cluster))
+    } else {
+        None
+    };
+    for core in cores.iter_mut() {
+        core.ps_homes = ps_homes.clone();
+    }
+
     // ---- spawn PS shards (centralized algorithms) ----
     if cfg.algo.is_centralized() {
         let global_shards = build_global_shard_params(cfg, num_shards);
@@ -213,6 +224,10 @@ fn run_impl(cfg: &RunConfig, trace: bool, sink: &ObsSink) -> (RunOutput, Option<
                 workers: worker_addrs.clone(),
                 expected_stops,
                 faults,
+                elastic: cfg.elastic().cloned(),
+                homes: ps_homes.clone(),
+                machines: cfg.cluster.machines,
+                state_bytes: profile_plan.bytes_of_shard(s),
                 obs: sink.track(Track::Ps(s as u16)),
             };
             let mode = match cfg.algo {

@@ -35,6 +35,7 @@ fn faults_of(events: Vec<FaultEvent>) -> Option<FaultConfig> {
     Some(FaultConfig {
         schedule: FaultSchedule::new(events),
         checkpoint_interval: 4,
+        elastic: None,
     })
 }
 

@@ -68,11 +68,99 @@ fn plan_faults(cfg: &RunConfig, horizon: SimTime, rate: f64) -> FaultConfig {
     FaultConfig {
         schedule: plan.generate(cfg.workers, cfg.cluster.machines, ps_shards),
         checkpoint_interval: 5,
+        elastic: None,
     }
 }
 
+/// Elastic-vs-restart study (`--elastic`): the same one-permanent-loss plan
+/// is run under the classic recovery policies (rebuild / drop-and-readmit /
+/// coerced restart) and under elastic membership (evict, repair the
+/// topology, keep going), for all seven algorithms. Elastic keeps every
+/// survivor's iterations and finishes without replaying the dead worker's
+/// work; a rejoin column shows the evictee re-entering at the current
+/// round. Canonical traces of the elastic runs are written next to the CSVs
+/// so CI can archive the recovery choreography.
+fn elastic_study(opts: &HarnessOpts, workers: usize, iters: u64, algos: &[(&str, Algo)]) {
+    let one_loss = |restart: Option<SimTime>| {
+        FaultSchedule::new(vec![FaultEvent {
+            at: SimTime::from_millis(200),
+            kind: FaultKind::WorkerCrash {
+                worker: 1,
+                restart_after: restart,
+            },
+        }])
+    };
+    let faulted = |algo: Algo, restart: Option<SimTime>, elastic: bool| {
+        let mut cfg = base_cfg(algo, workers, iters);
+        cfg.faults = Some(FaultConfig {
+            schedule: one_loss(restart),
+            checkpoint_interval: 5,
+            elastic: elastic.then(ElasticConfig::default),
+        });
+        cfg
+    };
+    let mut table = Table::new(
+        format!(
+            "Fault study: elastic membership vs restart recovery after one \
+             permanent worker loss ({workers} workers, ResNet-50, 56 Gbps)"
+        ),
+        &[
+            "algorithm",
+            "restart iters",
+            "elastic iters",
+            "of schedule",
+            "time vs restart",
+            "rejoin iters",
+        ],
+    );
+    for &(label, algo) in algos {
+        let view =
+            MembershipView::from_schedule(&one_loss(None), workers, &ElasticConfig::default());
+        let scheduled: u64 = (0..iters).map(|r| view.live_at(r).len() as u64).sum();
+        let classic = run(&faulted(algo, None, false));
+        let cfg = faulted(algo, None, true);
+        let sink = ObsSink::enabled();
+        let out = run_observed(&cfg, &sink);
+        assert_eq!(
+            out.total_iterations, scheduled,
+            "{label}: elastic run must follow the live-cohort schedule"
+        );
+        if let Some(dir) = &opts.csv_dir {
+            let stem = label
+                .to_lowercase()
+                .replace(|c: char| !c.is_ascii_alphanumeric(), "_");
+            let path = dir.join(format!("elastic_{stem}.trace"));
+            let trace = canonical_trace(&sink.snapshot());
+            if let Err(e) =
+                std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &trace))
+            {
+                eprintln!("failed to write {}: {e}", path.display());
+            }
+        }
+        let rejoin = run(&faulted(algo, Some(SimTime::from_secs(2)), true));
+        table.push_row(vec![
+            label.to_string(),
+            format!("{}", classic.total_iterations),
+            format!("{}", out.total_iterations),
+            format!(
+                "{:.0}%",
+                100.0 * out.total_iterations as f64 / scheduled as f64
+            ),
+            format!(
+                "{:.2}x",
+                out.end_time.as_secs_f64() / classic.end_time.as_secs_f64()
+            ),
+            format!("{}", rejoin.total_iterations),
+        ]);
+    }
+    opts.emit(&table, "fault_elastic");
+}
+
 fn main() {
-    let opts = HarnessOpts::from_env();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let elastic = args.iter().any(|a| a == "--elastic");
+    args.retain(|a| a != "--elastic");
+    let opts = HarnessOpts::from_args(&args);
     let workers = if opts.quick { 8 } else { 16 };
     let iters = if opts.quick { 15 } else { 40 };
     let algos: Vec<(&str, Algo)> = vec![
@@ -91,6 +179,13 @@ fn main() {
         ("AD-PSGD", Algo::AdPsgd),
     ];
     let levels: [(&str, f64); 3] = [("light", 0.5), ("moderate", 1.5), ("heavy", 3.0)];
+
+    if elastic {
+        // `--elastic` runs only the elastic-vs-restart comparison — it is
+        // the CI smoke for the membership layer and needs to stay fast.
+        elastic_study(&opts, workers, iters, &algos);
+        return;
+    }
 
     // --- restartable faults: throughput retained vs the healthy baseline ---
     let mut tp_table = Table::new(
@@ -140,6 +235,7 @@ fn main() {
                 },
             }]),
             checkpoint_interval: 5,
+            elastic: None,
         });
         let out = run(&cfg);
         let scheduled = workers as u64 * iters;
@@ -203,6 +299,7 @@ fn main() {
                 },
             ]),
             checkpoint_interval: 10,
+            elastic: None,
         });
         let faulted = run(&cfg);
         acc_table.push_row(vec![

@@ -21,6 +21,7 @@ fn straggler_faults(worker: usize, slowdown: f64) -> FaultConfig {
             kind: FaultKind::Straggler { worker, slowdown },
         }]),
         checkpoint_interval: 0,
+        elastic: None,
     }
 }
 

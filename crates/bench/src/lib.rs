@@ -22,6 +22,12 @@ impl HarnessOpts {
     /// Parse from `std::env` (args + `DTRAIN_QUICK`).
     pub fn from_env() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_args(&args)
+    }
+
+    /// Parse an explicit argument list (binaries with extra flags strip
+    /// them first and pass the remainder here).
+    pub fn from_args(args: &[String]) -> Self {
         let mut opts = HarnessOpts {
             quick: std::env::var("DTRAIN_QUICK").is_ok_and(|v| v != "0"),
             csv_dir: None,

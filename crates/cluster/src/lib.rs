@@ -22,5 +22,5 @@ mod shard;
 pub use config::{ClusterConfig, NetworkConfig, NodeId};
 pub use gpu::GpuModel;
 pub use metrics::{Breakdown, MetricsHub, Phase};
-pub use net::{LinkWindow, NetModel, TrafficClass, TrafficStats};
-pub use shard::ShardPlan;
+pub use net::{DeadlinePolicy, LinkWindow, NetModel, TrafficClass, TrafficStats};
+pub use shard::{ShardHomes, ShardPlan};

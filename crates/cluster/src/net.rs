@@ -38,6 +38,16 @@ pub enum TrafficClass {
     Other,
 }
 
+/// Per-transfer deadline/retry policy (elastic mode): cut off a transfer
+/// that would exceed `deadline`, back off exponentially from `backoff`, and
+/// give up retrying (accepting whatever delay remains) after `max_retries`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeadlinePolicy {
+    pub deadline: SimTime,
+    pub max_retries: u32,
+    pub backoff: SimTime,
+}
+
 /// Aggregate traffic statistics, for Table I's communication-complexity
 /// verification.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -226,6 +236,35 @@ impl NetModel {
         (wire_done + lat)
             .saturating_sub(now)
             .max(SimTime::from_nanos(1))
+    }
+
+    /// Reserve NIC time for a transfer under a deadline/retry policy
+    /// (elastic mode). An attempt whose delivery delay would exceed
+    /// `pol.deadline` is abandoned at the deadline and retried after an
+    /// exponential backoff; the final attempt always completes so bounded
+    /// retries never lose the message. Returns the *total* delay from `now`
+    /// until delivery plus the number of retries taken. Abandoned attempts
+    /// still reserve NIC time and count bytes — duplicate traffic is the
+    /// price of impatience, and it is visible in [`TrafficStats`].
+    pub fn transfer_delay_deadline(
+        &self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        class: TrafficClass,
+        pol: DeadlinePolicy,
+    ) -> (SimTime, u32) {
+        let mut at = now;
+        let mut attempt = 0u32;
+        loop {
+            let d = self.transfer_delay_class(at, src, dst, bytes, class);
+            if d <= pol.deadline || attempt >= pol.max_retries {
+                return ((at + d).saturating_sub(now), attempt);
+            }
+            at = at + pol.deadline + pol.backoff * (1u64 << attempt.min(20));
+            attempt += 1;
+        }
     }
 
     /// Traffic counters so far.
@@ -418,6 +457,51 @@ mod tests {
         }]);
         let d = net.transfer_delay(SimTime::from_secs(1), NodeId(0), NodeId(1), MB100);
         assert!((d.as_secs_f64() - 0.08005).abs() < 1e-6, "{d:?}");
+    }
+
+    #[test]
+    fn deadline_retries_through_a_partition_and_charges_duplicates() {
+        let pol = DeadlinePolicy {
+            deadline: SimTime::from_millis(100),
+            max_retries: 3,
+            backoff: SimTime::from_millis(10),
+        };
+        // No congestion: one attempt, no retries, same delay as the plain
+        // call would give.
+        let net = model(NetworkConfig::TEN_GBPS, 2);
+        let (d, retries) = net.transfer_delay_deadline(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            MB100,
+            TrafficClass::Peer,
+            pol,
+        );
+        assert_eq!(retries, 0);
+        assert!((d.as_secs_f64() - 0.08005).abs() < 1e-6, "{d:?}");
+        // A partition until t=1s: the first attempts blow the 100 ms
+        // deadline and are retried with doubling backoff.
+        let net = model(NetworkConfig::TEN_GBPS, 2);
+        net.set_link_faults(vec![LinkWindow {
+            start: SimTime::ZERO,
+            machine: 1,
+            factor: 0.0,
+            duration: SimTime::from_secs(1),
+        }]);
+        let (d, retries) = net.transfer_delay_deadline(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            MB100,
+            TrafficClass::Peer,
+            pol,
+        );
+        assert_eq!(retries, 3, "every allowed retry was needed");
+        // Every abandoned attempt still reserved a full serialization slot,
+        // so delivery lands after the 1 s partition plus 4 × 80 ms of wire.
+        assert!((d.as_secs_f64() - 1.32005).abs() < 1e-4, "{d:?}");
+        // Duplicate attempts are charged: 4 messages' worth of bytes.
+        assert_eq!(net.stats().inter_bytes, 4 * MB100);
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! and exists for the ablation bench — it shows how much of VGG-16's poor
 //! centralized scaling is due to fc6's skew under layer-wise placement.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
 use crate::config::{ClusterConfig, NodeId};
 
 /// Assignment of layers to parameter-server shards.
@@ -93,6 +96,52 @@ impl ShardPlan {
     pub fn machine_of_shard(&self, s: usize, cfg: &ClusterConfig) -> NodeId {
         NodeId(s % cfg.machines)
     }
+
+    /// Live shard→machine map seeded from this plan's static placement.
+    pub fn homes(&self, cfg: &ClusterConfig) -> ShardHomes {
+        ShardHomes::new(
+            (0..self.num_shards)
+                .map(|s| self.machine_of_shard(s, cfg))
+                .collect(),
+        )
+    }
+}
+
+/// The *live* shard→machine assignment, shared between PS shard processes
+/// and worker send paths. Under elastic failover a shard whose machine dies
+/// is re-homed onto a survivor; every holder of a clone sees the move
+/// immediately, so traffic follows the shard. Fault-free runs never call
+/// [`ShardHomes::fail_over`], and the map stays the plan's static placement.
+#[derive(Clone, Debug)]
+pub struct ShardHomes {
+    homes: Arc<Vec<AtomicUsize>>,
+}
+
+impl ShardHomes {
+    pub fn new(initial: Vec<NodeId>) -> ShardHomes {
+        ShardHomes {
+            homes: Arc::new(initial.into_iter().map(|n| AtomicUsize::new(n.0)).collect()),
+        }
+    }
+
+    /// Machine currently hosting `shard`.
+    pub fn node_of(&self, shard: usize) -> NodeId {
+        NodeId(self.homes[shard].load(Ordering::Acquire))
+    }
+
+    /// Re-home `shard` onto the next machine (wrapping over `machines`);
+    /// returns the new home. Deterministic: the replacement is a pure
+    /// function of the old home.
+    pub fn fail_over(&self, shard: usize, machines: usize) -> NodeId {
+        let cur = self.homes[shard].load(Ordering::Acquire);
+        let next = (cur + 1) % machines.max(1);
+        self.homes[shard].store(next, Ordering::Release);
+        NodeId(next)
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.homes.len()
+    }
 }
 
 #[cfg(test)]
@@ -162,5 +211,21 @@ mod tests {
         assert_eq!(p.machine_of_shard(0, &cfg), NodeId(0));
         assert_eq!(p.machine_of_shard(6, &cfg), NodeId(0));
         assert_eq!(p.machine_of_shard(7, &cfg), NodeId(1));
+    }
+
+    #[test]
+    fn shard_homes_follow_failover_and_are_shared() {
+        let cfg = ClusterConfig::paper(NetworkConfig::TEN_GBPS);
+        let p = ShardPlan::layer_wise(&[1; 4], 4);
+        let homes = p.homes(&cfg);
+        assert_eq!(homes.num_shards(), 4);
+        assert_eq!(homes.node_of(1), p.machine_of_shard(1, &cfg));
+        let other = homes.clone();
+        let new_home = homes.fail_over(1, cfg.machines);
+        assert_eq!(new_home, NodeId(2));
+        assert_eq!(other.node_of(1), NodeId(2), "clones share the map");
+        // Wraps over the machine count.
+        let last = ShardHomes::new(vec![NodeId(cfg.machines - 1)]);
+        assert_eq!(last.fail_over(0, cfg.machines), NodeId(0));
     }
 }

@@ -45,7 +45,8 @@ pub mod prelude {
     pub use dtrain_cluster::{Breakdown, ClusterConfig, NetworkConfig, Phase, ShardPlan};
     pub use dtrain_compress::DgcConfig;
     pub use dtrain_faults::{
-        CheckpointStore, FaultEvent, FaultKind, FaultPlan, FaultSchedule, RecoveryPolicy,
+        CheckpointStore, ElasticConfig, FaultEvent, FaultKind, FaultPlan, FaultSchedule,
+        MembershipView, RecoveryPolicy,
     };
     pub use dtrain_models::{resnet50, vgg16, ModelProfile};
     pub use dtrain_obs::export::{canonical_trace, diff_canonical, perfetto_trace};

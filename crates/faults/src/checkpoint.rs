@@ -3,10 +3,18 @@
 //! restores the snapshot instead of restarting from scratch, and a PS shard
 //! coming back from an outage rolls back to it — the recovery substrate for
 //! every policy in [`crate::RecoveryPolicy`].
+//!
+//! The store keeps a small bounded history per owner (not just the latest
+//! snapshot): PS-shard failover may need the state *at or before* a known
+//! consistent iteration, which the latest snapshot can overshoot.
 
 use dtrain_nn::{ParamSet, SgdMomentum};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+
+/// Snapshots retained per owner; older entries are evicted so the store
+/// stays bounded at `owners × MAX_VERSIONS` snapshots.
+pub const MAX_VERSIONS: usize = 4;
 
 /// One snapshot: what a worker needs to resume training.
 #[derive(Clone, Debug)]
@@ -25,7 +33,9 @@ pub struct CheckpointStore {
     /// Snapshot every `interval` iterations; 0 disables periodic saves
     /// (explicit `save` still works).
     interval: u64,
-    slots: Mutex<HashMap<usize, WorkerCheckpoint>>,
+    /// Per owner: snapshots sorted ascending by iteration, at most
+    /// [`MAX_VERSIONS`] entries.
+    slots: Mutex<HashMap<usize, Vec<WorkerCheckpoint>>>,
 }
 
 impl CheckpointStore {
@@ -45,16 +55,25 @@ impl CheckpointStore {
         self.interval > 0 && iteration > 0 && iteration.is_multiple_of(self.interval)
     }
 
-    /// Unconditionally snapshot `owner`'s state.
+    /// Unconditionally snapshot `owner`'s state. A snapshot at an iteration
+    /// that already has one replaces it; otherwise the history grows and the
+    /// oldest entry is evicted past [`MAX_VERSIONS`].
     pub fn save(&self, owner: usize, iteration: u64, params: &ParamSet, opt: &SgdMomentum) {
-        self.slots.lock().insert(
-            owner,
-            WorkerCheckpoint {
-                iteration,
-                params: params.clone(),
-                opt: opt.clone(),
-            },
-        );
+        let cp = WorkerCheckpoint {
+            iteration,
+            params: params.clone(),
+            opt: opt.clone(),
+        };
+        let mut slots = self.slots.lock();
+        let versions = slots.entry(owner).or_default();
+        match versions.binary_search_by_key(&iteration, |c| c.iteration) {
+            Ok(i) => versions[i] = cp,
+            Err(i) => versions.insert(i, cp),
+        }
+        if versions.len() > MAX_VERSIONS {
+            let excess = versions.len() - MAX_VERSIONS;
+            versions.drain(..excess);
+        }
     }
 
     /// Snapshot only when the interval says so; returns whether it saved.
@@ -75,16 +94,41 @@ impl CheckpointStore {
 
     /// Latest snapshot for `owner`, if any.
     pub fn restore(&self, owner: usize) -> Option<WorkerCheckpoint> {
-        self.slots.lock().get(&owner).cloned()
+        self.slots
+            .lock()
+            .get(&owner)
+            .and_then(|v| v.last())
+            .cloned()
+    }
+
+    /// Newest snapshot for `owner` taken at or before `iteration` — the
+    /// failover primitive: a replacement shard must not resume *ahead* of
+    /// the iteration the survivors agree on.
+    pub fn restore_at_or_before(&self, owner: usize, iteration: u64) -> Option<WorkerCheckpoint> {
+        self.slots
+            .lock()
+            .get(&owner)
+            .and_then(|v| v.iter().rev().find(|c| c.iteration <= iteration).cloned())
     }
 
     /// Iteration of `owner`'s latest snapshot.
     pub fn latest_iteration(&self, owner: usize) -> Option<u64> {
-        self.slots.lock().get(&owner).map(|c| c.iteration)
+        self.slots
+            .lock()
+            .get(&owner)
+            .and_then(|v| v.last())
+            .map(|c| c.iteration)
     }
 
+    /// Number of owners with at least one snapshot.
     pub fn len(&self) -> usize {
         self.slots.lock().len()
+    }
+
+    /// Total snapshots held across all owners (bounded by
+    /// `len() × MAX_VERSIONS`).
+    pub fn total_versions(&self) -> usize {
+        self.slots.lock().values().map(Vec::len).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -140,7 +184,7 @@ mod tests {
         assert_eq!(store.latest_iteration(0), Some(5));
         assert!(
             store.maybe_save(0, 10, &p, &opt),
-            "overwrites older snapshot"
+            "newer snapshot becomes the restore target"
         );
         assert_eq!(store.latest_iteration(0), Some(10));
         assert_eq!(store.len(), 1);
@@ -155,5 +199,46 @@ mod tests {
         assert!(store.restore(1).is_none());
         store.save(1, 100, &p, &opt);
         assert_eq!(store.latest_iteration(1), Some(100));
+    }
+
+    #[test]
+    fn restore_at_or_before_picks_the_newest_eligible_version() {
+        let store = CheckpointStore::new(0);
+        let opt = SgdMomentum::plain();
+        for it in [5u64, 10, 15] {
+            store.save(7, it, &params(it as f32), &opt);
+        }
+        // Exact hit.
+        assert_eq!(store.restore_at_or_before(7, 10).unwrap().iteration, 10);
+        // Between snapshots: round down.
+        assert_eq!(store.restore_at_or_before(7, 12).unwrap().iteration, 10);
+        // Before the first: nothing usable.
+        assert!(store.restore_at_or_before(7, 4).is_none());
+        // Past the last: latest.
+        assert_eq!(store.restore_at_or_before(7, 99).unwrap().iteration, 15);
+        // `restore` stays "latest".
+        assert_eq!(store.restore(7).unwrap().iteration, 15);
+    }
+
+    #[test]
+    fn history_is_bounded_and_evicts_oldest() {
+        let store = CheckpointStore::new(0);
+        let opt = SgdMomentum::plain();
+        for it in 1..=10u64 {
+            store.save(0, it, &params(it as f32), &opt);
+        }
+        assert_eq!(store.len(), 1, "one owner");
+        assert_eq!(store.total_versions(), MAX_VERSIONS);
+        // Oldest surviving snapshot is 10 - MAX_VERSIONS + 1.
+        let oldest = 10 - MAX_VERSIONS as u64 + 1;
+        assert!(store.restore_at_or_before(0, oldest - 1).is_none());
+        assert_eq!(
+            store.restore_at_or_before(0, oldest).unwrap().iteration,
+            oldest
+        );
+        // Re-saving an existing iteration replaces in place, no growth.
+        store.save(0, 10, &params(99.0), &opt);
+        assert_eq!(store.total_versions(), MAX_VERSIONS);
+        assert_eq!(store.restore(0).unwrap().params, params(99.0));
     }
 }

@@ -4,9 +4,11 @@
 
 mod checkpoint;
 pub mod markers;
+mod membership;
 mod schedule;
 
-pub use checkpoint::{CheckpointStore, WorkerCheckpoint};
+pub use checkpoint::{CheckpointStore, WorkerCheckpoint, MAX_VERSIONS};
+pub use membership::{is_connected, ElasticConfig, MemberState, MembershipView};
 pub use schedule::{
     FaultEvent, FaultKind, FaultPlan, FaultSchedule, RecoveryPolicy, RuntimeFaultSchedule,
 };

@@ -38,6 +38,32 @@ pub fn ckpt_restore(track: &TrackHandle, ts: u64, iter: u64) {
     track.instant(ts, names::CKPT_RESTORE, iter as i64);
 }
 
+/// The membership view evicted `worker` at `ts` (permanent removal from
+/// the live cohort; topology repairs around the hole).
+pub fn evict(track: &TrackHandle, ts: u64, worker: usize) {
+    track.instant(ts, names::EVICT, worker as i64);
+}
+
+/// A previously evicted `worker` re-entered the cohort at `ts`.
+pub fn rejoin(track: &TrackHandle, ts: u64, worker: usize) {
+    track.instant(ts, names::REJOIN, worker as i64);
+}
+
+/// PS shard `shard` was re-homed onto a surviving machine at `ts`.
+pub fn shard_failover(track: &TrackHandle, ts: u64, shard: usize) {
+    track.instant(ts, names::SHARD_FAILOVER, shard as i64);
+}
+
+/// A transfer missed its deadline and was retried (`attempt` is 1-based).
+pub fn retry(track: &TrackHandle, ts: u64, attempt: u32) {
+    track.instant(ts, names::RETRY, attempt as i64);
+}
+
+/// A BSP round closed early with only `members` of the cohort present.
+pub fn partial_barrier(track: &TrackHandle, ts: u64, members: usize) {
+    track.instant(ts, names::PARTIAL_BARRIER, members as i64);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,6 +79,11 @@ mod tests {
         ps_recover(&w, 40, 1);
         ckpt_save(&w, 50, 6);
         ckpt_restore(&w, 60, 6);
+        evict(&w, 70, 3);
+        rejoin(&w, 80, 3);
+        shard_failover(&w, 90, 1);
+        retry(&w, 100, 2);
+        partial_barrier(&w, 110, 5);
         let events = sink.snapshot();
         let kinds: Vec<(&str, i64)> = events
             .iter()
@@ -70,6 +101,11 @@ mod tests {
                 ("fault.ps_recover", 1),
                 ("ckpt.save", 6),
                 ("ckpt.restore", 6),
+                ("member.evict", 3),
+                ("member.rejoin", 3),
+                ("ps.shard_failover", 1),
+                ("net.retry", 2),
+                ("barrier.partial", 5),
             ]
         );
     }

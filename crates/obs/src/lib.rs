@@ -87,6 +87,12 @@ pub mod names {
     pub const PS_RECOVER: &str = "fault.ps_recover";
     pub const CKPT_SAVE: &str = "ckpt.save";
     pub const CKPT_RESTORE: &str = "ckpt.restore";
+    /// Elastic-membership markers.
+    pub const EVICT: &str = "member.evict";
+    pub const REJOIN: &str = "member.rejoin";
+    pub const SHARD_FAILOVER: &str = "ps.shard_failover";
+    pub const RETRY: &str = "net.retry";
+    pub const PARTIAL_BARRIER: &str = "barrier.partial";
     /// Simulator-kernel scheduling events (from the desim hook).
     pub const K_RESUME: &str = "k.resume";
     pub const K_DELIVER: &str = "k.deliver";

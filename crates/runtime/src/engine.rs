@@ -6,17 +6,18 @@
 //! nondeterministic (true races decide interleavings), so tests assert
 //! learning outcomes rather than exact values.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::unbounded;
 use dtrain_data::Dataset;
-use dtrain_faults::{markers, CheckpointStore, RuntimeFaultSchedule};
+use dtrain_faults::{markers, CheckpointStore, MembershipView, RuntimeFaultSchedule};
 use dtrain_nn::{LrSchedule, Network, ParamSet, SgdMomentum};
 use dtrain_obs::{names, ObsSink, Phase, Track, TrackHandle, NO_ITER};
 use dtrain_tensor::Tensor;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -43,6 +44,22 @@ pub struct RuntimeFaultConfig {
     /// Watchdog threshold: a worker silent for longer than this counts a
     /// missed heartbeat.
     pub heartbeat_timeout: Duration,
+    /// Elastic membership: the same round-indexed view the simulator
+    /// consults, keyed here by each worker's local iteration index. A dead
+    /// round is skipped outright (no compute, no barrier seat) instead of
+    /// being restarted; rejoiners re-enter at the current round with fresh
+    /// state. `None` = classic restart-based recovery. When set, the
+    /// iteration-indexed crash schedule is ignored (the view encodes it).
+    pub elastic: Option<Arc<MembershipView>>,
+    /// Elastic only: how long a peer-exchange reply may take before one
+    /// bounded retry wait is charged (and eventually abandoned).
+    pub transfer_deadline: Duration,
+    /// Elastic only: reply waits after the deadline before the exchange is
+    /// abandoned.
+    pub max_transfer_retries: u32,
+    /// Elastic only: a BSP round that cannot fill within this window
+    /// force-closes partially so survivors keep making progress.
+    pub barrier_deadline: Duration,
 }
 
 impl Default for RuntimeFaultConfig {
@@ -53,6 +70,10 @@ impl Default for RuntimeFaultConfig {
             restart_backoff: Duration::from_millis(20),
             max_restarts: 8,
             heartbeat_timeout: Duration::from_secs(5),
+            elastic: None,
+            transfer_deadline: Duration::from_millis(500),
+            max_transfer_retries: 3,
+            barrier_deadline: Duration::from_secs(2),
         }
     }
 }
@@ -116,6 +137,10 @@ pub struct ThreadedReport {
     pub ps_recoveries: u64,
     /// Watchdog observations of a worker silent past `heartbeat_timeout`.
     pub missed_heartbeats: u64,
+    /// Elastic membership: workers evicted from the cohort (no restart).
+    pub evictions: u64,
+    /// Elastic membership: workers that re-entered at a later round.
+    pub rejoins: u64,
 }
 
 /// Shared fault-injection state for one threaded run.
@@ -138,6 +163,8 @@ struct FaultRuntime {
     ps_recoveries: AtomicU64,
     missed_heartbeats: AtomicU64,
     ps_applies: AtomicU64,
+    evictions: AtomicU64,
+    rejoins: AtomicU64,
 }
 
 impl FaultRuntime {
@@ -156,6 +183,8 @@ impl FaultRuntime {
             ps_recoveries: AtomicU64::new(0),
             missed_heartbeats: AtomicU64::new(0),
             ps_applies: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
             cfg,
         }
     }
@@ -204,7 +233,15 @@ impl FaultRuntime {
                 *g = (cp.params, cp.opt);
                 markers::ckpt_restore(&self.obs, self.now_ns(), cp.iteration);
             }
-            std::thread::sleep(self.cfg.restart_backoff * len.max(1) as u32);
+            if self.cfg.elastic.is_some() {
+                // Elastic failover: the server state re-homes from its
+                // checkpoint onto a survivor — one bounded recovery delay
+                // instead of an outage-scaled stall.
+                markers::shard_failover(&self.obs, self.now_ns(), 0);
+                std::thread::sleep(self.cfg.restart_backoff);
+            } else {
+                std::thread::sleep(self.cfg.restart_backoff * len.max(1) as u32);
+            }
             self.ps_recoveries.fetch_add(1, Ordering::Relaxed);
             markers::ps_recover(&self.obs, self.now_ns(), 0);
         }
@@ -250,11 +287,82 @@ fn watchdog(fr: &FaultRuntime) {
     }
 }
 
+/// A round-keyed barrier whose cohort size may change between rounds —
+/// the elastic replacement for `std::sync::Barrier`'s fixed count.
+///
+/// Every live member of round `r` calls `wait(r, expected, ..)` once; the
+/// arrival that completes the round closes it and is told so (it plays the
+/// BSP leader). Arrivals to an already-closed round pass straight through
+/// (their deposit is folded into the next round, ASP-style). With a
+/// deadline, the longest-blocked member force-closes a round that cannot
+/// fill — the degrade-to-partial-barrier path.
+struct ElasticBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct BarrierState {
+    /// Arrival counts of rounds still open.
+    counts: HashMap<u64, usize>,
+    /// Rounds below this are closed.
+    closed: u64,
+}
+
+impl ElasticBarrier {
+    fn new() -> Self {
+        ElasticBarrier {
+            state: Mutex::new(BarrierState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Arrive at `round` expecting `expected` members. Blocks until the
+    /// round closes. Returns `Some(arrived)` for the single closer (the
+    /// leader — partial if `arrived < expected`), `None` for everyone
+    /// else, including stragglers arriving after the round closed.
+    fn wait(&self, round: u64, expected: usize, deadline: Option<Duration>) -> Option<usize> {
+        let mut s = self.state.lock();
+        if round < s.closed {
+            return None;
+        }
+        let arrived = {
+            let c = s.counts.entry(round).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if arrived >= expected {
+            s.counts.remove(&round);
+            s.closed = round + 1;
+            self.cv.notify_all();
+            return Some(arrived);
+        }
+        loop {
+            let timed_out = match deadline {
+                Some(d) => self.cv.wait_for(&mut s, d).timed_out(),
+                None => {
+                    self.cv.wait(&mut s);
+                    false
+                }
+            };
+            if round < s.closed {
+                return None;
+            }
+            if timed_out {
+                let arrived = s.counts.remove(&round).unwrap_or(1);
+                s.closed = round + 1;
+                self.cv.notify_all();
+                return Some(arrived);
+            }
+        }
+    }
+}
+
 /// Shared state for BSP's barrier rounds.
 struct BspRound {
     slots: Mutex<Vec<Option<ParamSet>>>,
-    enter: Barrier,
-    leave: Barrier,
+    enter: ElasticBarrier,
+    leave: ElasticBarrier,
 }
 
 /// Train `factory()`-built replicas over `train` with `cfg.workers`
@@ -308,8 +416,8 @@ where
     let peers = PeerNet::new(cfg.workers);
     let bsp = Arc::new(BspRound {
         slots: Mutex::new(vec![None; cfg.workers]),
-        enter: Barrier::new(cfg.workers),
-        leave: Barrier::new(cfg.workers),
+        enter: ElasticBarrier::new(),
+        leave: ElasticBarrier::new(),
     });
     let actives: Vec<usize> = (0..cfg.workers).filter(|w| w % 2 == 0).collect();
     let num_actives = actives.len();
@@ -370,10 +478,29 @@ where
     });
     let wall_time = started.elapsed();
 
-    // Aggregate model: replica mean (equals any replica for BSP).
-    let refs: Vec<&ParamSet> = finals.iter().collect();
+    // Aggregate model: replica mean (equals any replica for BSP). Under
+    // elastic membership only the final cohort's replicas count — an
+    // evicted worker's stale replica is not part of the trained model.
+    let refs: Vec<&ParamSet> = match faults.as_ref().and_then(|fr| fr.cfg.elastic.as_ref()) {
+        Some(view) => {
+            let last_round = (cfg.epochs * (shard_len / cfg.batch) as u64).saturating_sub(1);
+            let live = view.live_at(last_round);
+            let cohort: Vec<&ParamSet> = finals
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| live.contains(i))
+                .map(|(_, p)| p)
+                .collect();
+            if cohort.is_empty() {
+                finals.iter().collect()
+            } else {
+                cohort
+            }
+        }
+        None => finals.iter().collect(),
+    };
     let mean = ParamSet::mean_of(&refs);
-    let drift = finals
+    let drift = refs
         .iter()
         .fold(0.0f32, |m, p| m.max(p.max_abs_diff(&mean)));
     let mut eval_net = factory();
@@ -385,17 +512,25 @@ where
             .as_ref()
             .map_or(0, |fr| f(fr).load(Ordering::Relaxed))
     };
+    // Classic runs execute the full schedule; elastic runs execute exactly
+    // the rounds the membership view scheduled (counted as they happen).
+    let total_iterations = match faults.as_ref() {
+        Some(fr) if fr.cfg.elastic.is_some() => fr.global_iters.load(Ordering::Relaxed),
+        _ => cfg.workers as u64 * cfg.epochs * (shard_len / cfg.batch) as u64,
+    };
     ThreadedReport {
         strategy: cfg.strategy.name(),
         final_accuracy: acc,
         final_loss: loss,
         wall_time,
-        total_iterations: cfg.workers as u64 * cfg.epochs * (shard_len / cfg.batch) as u64,
+        total_iterations,
         final_drift: drift,
         restarts: counter(|fr| &fr.restarts),
         abandoned_restarts: counter(|fr| &fr.abandoned),
         ps_recoveries: counter(|fr| &fr.ps_recoveries),
         missed_heartbeats: counter(|fr| &fr.missed_heartbeats),
+        evictions: counter(|fr| &fr.evictions),
+        rejoins: counter(|fr| &fr.rejoins),
     }
 }
 
@@ -458,6 +593,8 @@ fn worker_body(
     // `logical.bytes` counter exactly: same model, same push schedule).
     let mut logical = 0u64;
     let ns = |clock: &Instant| clock.elapsed().as_nanos() as u64;
+    let elastic: Option<Arc<MembershipView>> =
+        faults.as_ref().and_then(|fr| fr.cfg.elastic.clone());
     if let Some(fr) = faults.as_ref() {
         fr.store.save(w, 0, &net.get_params(), &opt);
         fr.beat(w);
@@ -472,23 +609,80 @@ fn worker_body(
             let epoch_f = epoch as f32 + bi as f32 / per_epoch as f32;
             let full_lr = sched.lr_at(epoch_f);
             let grad_lr = full_lr / n;
+            let it_idx = epoch * per_epoch as u64 + bi as u64;
+
+            // Elastic membership gate: a dead round is skipped outright —
+            // no compute, no barrier seat, no heartbeat. A rejoin round
+            // re-enters with fresh state pulled at the current epoch.
+            if let Some(view) = elastic.as_ref() {
+                if view.death_round(w) == Some(it_idx) {
+                    markers::crash(&obs, ns(&wall), w);
+                    markers::evict(&obs, ns(&wall), w);
+                    if let Some(fr) = faults.as_ref() {
+                        fr.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if matches!(cfg.strategy, Strategy::Ssp { .. }) {
+                        // Park the dead clock so survivors' staleness gate
+                        // excludes it (a stalled clock would block them).
+                        ps.bump_clock(w, u64::MAX);
+                    }
+                }
+                if !view.is_live(w, it_idx) {
+                    continue;
+                }
+                if view.rejoin_round(w) == Some(it_idx) {
+                    match cfg.strategy {
+                        Strategy::Bsp
+                        | Strategy::Asp
+                        | Strategy::Ssp { .. }
+                        | Strategy::Easgd { .. } => {
+                            // Pull the current parameters from the server.
+                            net.set_params(&ps.snapshot());
+                            opt.reset();
+                        }
+                        Strategy::Gossip { .. } | Strategy::AdPsgd => {
+                            // No server: resume from the latest checkpoint
+                            // (peer averaging re-converges the replica).
+                            if let Some(fr) = faults.as_ref() {
+                                if let Some(cp) = fr.store.restore(w) {
+                                    net.set_params(&cp.params);
+                                    opt = cp.opt;
+                                    markers::ckpt_restore(&obs, ns(&wall), cp.iteration);
+                                }
+                            }
+                            alpha = 1.0 / n; // gossip mixing mass as at init
+                        }
+                    }
+                    if matches!(cfg.strategy, Strategy::Ssp { .. }) {
+                        clock = it_idx;
+                        cache_ts = it_idx;
+                        ps.bump_clock(w, it_idx);
+                    }
+                    if let Some(fr) = faults.as_ref() {
+                        fr.rejoins.fetch_add(1, Ordering::Relaxed);
+                    }
+                    markers::rejoin(&obs, ns(&wall), w);
+                }
+            }
 
             // Consume any crash points reached: lose the replica, wait out
-            // the supervisor backoff, restore from the checkpoint.
+            // the supervisor backoff, restore from the checkpoint. (With
+            // elastic membership the view already encodes the crashes.)
             if let Some(fr) = faults.as_ref() {
-                while crash_iters.front().is_some_and(|&it| it <= local_iter) {
-                    crash_iters.pop_front();
-                    markers::crash(&obs, ns(&wall), w);
-                    if let Some((p, o, cp_iter)) = fr.crash_restart(w) {
-                        net.set_params(&p);
-                        opt = o;
-                        markers::ckpt_restore(&obs, ns(&wall), cp_iter);
-                        markers::restart(&obs, ns(&wall), w);
+                if elastic.is_none() {
+                    while crash_iters.front().is_some_and(|&it| it <= local_iter) {
+                        crash_iters.pop_front();
+                        markers::crash(&obs, ns(&wall), w);
+                        if let Some((p, o, cp_iter)) = fr.crash_restart(w) {
+                            net.set_params(&p);
+                            opt = o;
+                            markers::ckpt_restore(&obs, ns(&wall), cp_iter);
+                            markers::restart(&obs, ns(&wall), w);
+                        }
                     }
                 }
             }
             let it_start = Instant::now();
-            let it_idx = epoch * per_epoch as u64 + bi as u64;
             obs.enter(ns(&wall), names::ITER, it_idx);
 
             match cfg.strategy {
@@ -499,16 +693,37 @@ fn worker_body(
                     logical += grad.num_bytes();
                     obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
                     bsp.slots.lock()[w] = Some(grad);
-                    let token = bsp.enter.wait();
-                    if token.is_leader() {
+                    // This round's cohort: the live members under the view
+                    // (everyone, classically). A rejoiner waits without a
+                    // deadline — it arrives early and must not force-close
+                    // the round it is waiting to re-enter.
+                    let (expected, deadline) = match elastic.as_ref() {
+                        Some(view) => (
+                            view.live_at(it_idx).len(),
+                            if view.rejoin_round(w) == Some(it_idx) {
+                                None
+                            } else {
+                                faults.as_ref().map(|fr| fr.cfg.barrier_deadline)
+                            },
+                        ),
+                        None => (cfg.workers, None),
+                    };
+                    if let Some(arrived) = bsp.enter.wait(it_idx, expected, deadline) {
+                        if arrived < expected {
+                            markers::partial_barrier(&obs, ns(&wall), arrived);
+                        }
                         if let Some(fr) = faults.as_ref() {
                             fr.ps_gate(&ps);
                         }
                         let mut slots = bsp.slots.lock();
-                        let grads: Vec<&ParamSet> = slots
-                            .iter()
-                            .map(|s| s.as_ref().expect("all deposited"))
-                            .collect();
+                        let grads: Vec<&ParamSet> = if elastic.is_some() {
+                            slots.iter().filter_map(|s| s.as_ref()).collect()
+                        } else {
+                            slots
+                                .iter()
+                                .map(|s| s.as_ref().expect("all deposited"))
+                                .collect()
+                        };
                         let mean = ParamSet::mean_of(&grads);
                         ps.apply_round(&mean, full_lr);
                         slots.iter_mut().for_each(|s| *s = None);
@@ -516,7 +731,7 @@ fn worker_body(
                             fr.ps_applied(&ps);
                         }
                     }
-                    bsp.leave.wait();
+                    bsp.leave.wait(it_idx, expected, deadline);
                     net.set_params(&ps.snapshot());
                 }
                 Strategy::Asp => {
@@ -608,41 +823,109 @@ fn worker_body(
                         alpha = anew;
                     }
                     if rng.gen::<f64>() < p && cfg.workers > 1 {
-                        let target = loop {
-                            let t = rng.gen_range(0..cfg.workers);
-                            if t != w {
-                                break t;
+                        // Elastic targeting draws from the live cohort so
+                        // shares never chase an evicted replica.
+                        let target = match elastic.as_ref() {
+                            Some(view) => {
+                                let mut live = view.live_at(it_idx);
+                                live.retain(|&x| x != w);
+                                if live.is_empty() {
+                                    None
+                                } else {
+                                    Some(live[rng.gen_range(0..live.len())])
+                                }
                             }
+                            None => Some(loop {
+                                let t = rng.gen_range(0..cfg.workers);
+                                if t != w {
+                                    break t;
+                                }
+                            }),
                         };
-                        alpha *= 0.5;
-                        let share = net.get_params();
-                        logical += share.num_bytes();
-                        obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
-                        let _ = peers.gossip_tx[target].send(GossipMsg {
-                            params: share,
-                            alpha,
-                        });
+                        if let Some(target) = target {
+                            alpha *= 0.5;
+                            let share = net.get_params();
+                            logical += share.num_bytes();
+                            obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
+                            let _ = peers.gossip_tx[target].send(GossipMsg {
+                                params: share,
+                                alpha,
+                            });
+                        }
                     }
                 }
                 Strategy::AdPsgd => {
                     if is_active {
-                        // initiate the exchange, overlap with compute
-                        let target = passives[rng.gen_range(0..passives.len())];
-                        let (reply_tx, reply_rx) = unbounded();
-                        let mine = net.get_params();
-                        logical += mine.num_bytes();
-                        obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
-                        let _ = peers.exchange_tx[target].send(PeerCtrl::Exchange(ExchangeMsg {
-                            params: mine,
-                            reply: reply_tx,
-                        }));
+                        // initiate the exchange, overlap with compute;
+                        // elastic draws only from passives scheduled live
+                        // this round — none live means a pure local round.
+                        let target = match elastic.as_ref() {
+                            Some(view) => {
+                                let live: Vec<usize> = passives
+                                    .iter()
+                                    .copied()
+                                    .filter(|&v| view.is_live(v, it_idx))
+                                    .collect();
+                                if live.is_empty() {
+                                    None
+                                } else {
+                                    Some(live[rng.gen_range(0..live.len())])
+                                }
+                            }
+                            None => Some(passives[rng.gen_range(0..passives.len())]),
+                        };
+                        let mut reply = None;
+                        if let Some(target) = target {
+                            let (reply_tx, reply_rx) = unbounded();
+                            let mine = net.get_params();
+                            logical += mine.num_bytes();
+                            obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
+                            let _ =
+                                peers.exchange_tx[target].send(PeerCtrl::Exchange(ExchangeMsg {
+                                    params: mine,
+                                    reply: reply_tx,
+                                }));
+                            reply = Some(reply_rx);
+                        }
                         let (x, y) = train.gather(&batch);
                         timed_train(&mut net, x, &y, &obs, &wall);
                         let grad = net.grads();
-                        let mid = reply_rx
-                            .recv()
-                            .expect("AD-PSGD passive peer died before replying");
-                        net.set_params(&mid);
+                        if let Some(reply_rx) = reply {
+                            // Transport deadline: bounded retry waits, then
+                            // the exchange is abandoned (elastic only).
+                            let deadline = faults
+                                .as_ref()
+                                .filter(|fr| fr.cfg.elastic.is_some())
+                                .map(|fr| (fr.cfg.transfer_deadline, fr.cfg.max_transfer_retries));
+                            let mid = match deadline {
+                                Some((dl, retries)) => {
+                                    let mut got = None;
+                                    for attempt in 1..=retries.max(1) {
+                                        match reply_rx.recv_timeout(dl) {
+                                            Ok(m) => {
+                                                got = Some(m);
+                                                break;
+                                            }
+                                            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                                                markers::retry(&obs, ns(&wall), attempt);
+                                            }
+                                            Err(
+                                                crossbeam_channel::RecvTimeoutError::Disconnected,
+                                            ) => break,
+                                        }
+                                    }
+                                    got
+                                }
+                                None => Some(
+                                    reply_rx
+                                        .recv()
+                                        .expect("AD-PSGD passive peer died before replying"),
+                                ),
+                            };
+                            if let Some(mid) = mid {
+                                net.set_params(&mid);
+                            }
+                        }
                         let mut p = net.get_params();
                         opt.step(&mut p, &grad, grad_lr);
                         net.set_params(&p);

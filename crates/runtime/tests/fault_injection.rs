@@ -54,6 +54,7 @@ fn bsp_survives_crashes_stragglers_and_ps_outage() {
             restart_backoff: Duration::from_millis(5),
             max_restarts: 8,
             heartbeat_timeout: Duration::from_secs(5),
+            ..Default::default()
         },
     );
     assert_eq!(r.restarts, 2, "both scheduled crashes restarted");
@@ -78,6 +79,7 @@ fn asp_survives_crashes_and_outage() {
             restart_backoff: Duration::from_millis(5),
             max_restarts: 8,
             heartbeat_timeout: Duration::from_secs(5),
+            ..Default::default()
         },
     );
     assert_eq!(r.restarts, 2);
@@ -102,6 +104,7 @@ fn restart_budget_is_bounded() {
             restart_backoff: Duration::from_millis(1),
             max_restarts: 2,
             heartbeat_timeout: Duration::from_secs(5),
+            ..Default::default()
         },
     );
     assert_eq!(r.restarts, 2, "budget caps restarts");
@@ -124,6 +127,7 @@ fn heartbeat_watchdog_flags_stalled_worker() {
             restart_backoff: Duration::from_millis(150),
             max_restarts: 8,
             heartbeat_timeout: Duration::from_millis(30),
+            ..Default::default()
         },
     );
     assert_eq!(r.restarts, 1);

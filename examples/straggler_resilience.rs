@@ -19,6 +19,7 @@ fn run_case(algo: Algo, straggler: Option<FaultEvent>) -> f64 {
     let faults = straggler.map(|ev| FaultConfig {
         schedule: FaultSchedule::new(vec![ev]),
         checkpoint_interval: 0,
+        elastic: None,
     });
     let cfg = RunConfig {
         algo,

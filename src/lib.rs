@@ -18,6 +18,7 @@
 //! | [`data`] | `dtrain-data` | synthetic datasets + sharding |
 //! | [`models`] | `dtrain-models` | ResNet-50/VGG-16 profiles, stand-ins |
 //! | [`compress`] | `dtrain-compress` | Deep Gradient Compression |
+//! | [`faults`] | `dtrain-faults` | fault schedules, elastic membership |
 //!
 //! ```
 //! use dtrain_repro::prelude::*;
@@ -39,6 +40,7 @@ pub use dtrain_compress as compress;
 pub use dtrain_core as core;
 pub use dtrain_data as data;
 pub use dtrain_desim as desim;
+pub use dtrain_faults as faults;
 pub use dtrain_models as models;
 pub use dtrain_nn as nn;
 pub use dtrain_runtime as runtime;

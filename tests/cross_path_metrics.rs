@@ -128,6 +128,100 @@ fn sim_and_threaded_agree_on_bsp_logical_metrics() {
     }
 }
 
+/// Elastic membership must mean the same thing on both execution paths:
+/// for one loss-and-rejoin plan, the simulator (virtual time) and the
+/// threaded runtime (wall clock) must agree on the membership view, the
+/// final live cohort, and the total iteration count — the live-cohort
+/// schedule is path-independent.
+#[test]
+fn sim_and_threaded_agree_on_elastic_bsp_schedule() {
+    use dtrain_repro::desim::SimTime;
+    use dtrain_repro::faults::{
+        ElasticConfig, FaultEvent, FaultKind, FaultSchedule, MembershipView,
+    };
+    use dtrain_repro::runtime::{train_threaded, RuntimeFaultConfig};
+
+    let workers = 4usize;
+    let rounds = 12u64;
+
+    // One plan: worker 1 dies at round 1 and rejoins at round 11. The sim
+    // derives the view from a timed crash (100 ms into 200 ms rounds, back
+    // 2 s later); the threaded path takes the view directly.
+    let schedule = FaultSchedule::new(vec![FaultEvent {
+        at: SimTime::from_millis(100),
+        kind: FaultKind::WorkerCrash {
+            worker: 1,
+            restart_after: Some(SimTime::from_secs(2)),
+        },
+    }]);
+    let view = MembershipView::from_schedule(&schedule, workers, &ElasticConfig::default());
+    assert_eq!(
+        view,
+        MembershipView::from_events(workers, &[(1, 1)], &[(1, 11)])
+    );
+    let scheduled: u64 = (0..rounds).map(|r| view.live_at(r).len() as u64).sum();
+
+    // --- Simulator path ---
+    let sim = run(&RunConfig {
+        algo: Algo::Bsp,
+        cluster: ClusterConfig::paper_with_workers(NetworkConfig::TEN_GBPS, workers),
+        workers,
+        profile: resnet50(),
+        batch: 64,
+        opts: OptimizationConfig::default(),
+        stop: StopCondition::Iterations(rounds),
+        real: None,
+        seed: 5,
+        faults: Some(FaultConfig {
+            schedule,
+            checkpoint_interval: 4,
+            elastic: Some(ElasticConfig::default()),
+        }),
+    });
+
+    // --- Threaded path: 256 samples / 4 workers / batch 16 = 4 rounds per
+    // epoch, 3 epochs = the same 12 rounds ---
+    let task = TeacherTaskConfig {
+        train_size: 256,
+        test_size: 64,
+        seed: 11,
+        ..Default::default()
+    };
+    let (train, test) = teacher_task(&task);
+    let train = Arc::new(train);
+    let report = train_threaded(
+        || mlp_classifier(task.input_dim, &[64, 32], task.num_classes, MODEL_SEED),
+        &train,
+        &test,
+        &ThreadedConfig {
+            workers,
+            epochs: 3,
+            batch: 16,
+            strategy: Strategy::Bsp,
+            seed: 5,
+            faults: Some(RuntimeFaultConfig {
+                elastic: Some(Arc::new(view.clone())),
+                checkpoint_interval: 4,
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+    );
+
+    assert_eq!(
+        sim.total_iterations, scheduled,
+        "simulator must follow the live-cohort schedule"
+    );
+    assert_eq!(
+        report.total_iterations, scheduled,
+        "threaded runtime must follow the live-cohort schedule"
+    );
+    assert_eq!(report.restarts, 0);
+    assert_eq!((report.evictions, report.rejoins), (1, 1));
+    // Rejoin at round 11 means the final cohort is whole again on both paths.
+    assert_eq!(view.live_at(rounds - 1), vec![0, 1, 2, 3]);
+}
+
 /// The per-worker `Breakdown` the runner reports and the phase spans on the
 /// worker's obs track are two projections of the same `record_at` calls:
 /// per phase, the span durations must sum to the Breakdown total exactly.

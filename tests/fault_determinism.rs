@@ -54,6 +54,7 @@ fn faulted_cfg(algo: Algo, workers: usize) -> RunConfig {
         faults: Some(FaultConfig {
             schedule,
             checkpoint_interval: 3,
+            elastic: None,
         }),
         real: None,
         seed: 23,

@@ -119,6 +119,126 @@ fn golden_traces_all_seven_algorithms() {
     );
 }
 
+/// One pinned *elastic* run rides next to the seven fault-free traces: BSP
+/// with a loss-and-rejoin plan. Pinning it freezes the whole recovery
+/// choreography — eviction, partial barrier, sponsor catch-up, rejoin —
+/// not just the counters.
+fn elastic_bsp_cfg() -> RunConfig {
+    use dtrain_desim::SimTime;
+    use dtrain_faults::ElasticConfig;
+    let mut cfg = golden_cfg(Algo::Bsp);
+    // Leader/follower machine aggregation has no crash-recovery path.
+    cfg.opts.local_aggregation = false;
+    cfg.stop = StopCondition::Iterations(12);
+    cfg.faults = Some(FaultConfig {
+        schedule: FaultSchedule::new(vec![FaultEvent {
+            at: SimTime::from_millis(100),
+            kind: FaultKind::WorkerCrash {
+                worker: 1,
+                restart_after: Some(SimTime::from_secs(2)),
+            },
+        }]),
+        checkpoint_interval: 4,
+        elastic: Some(ElasticConfig::default()),
+    });
+    cfg
+}
+
+#[test]
+fn golden_trace_elastic_bsp() {
+    let bless = std::env::var("DTRAIN_BLESS").is_ok_and(|v| v == "1");
+    let sink = ObsSink::enabled();
+    let _ = run_observed(&elastic_bsp_cfg(), &sink);
+    let events = sink.snapshot();
+    assert_eq!(sink.dropped(), 0);
+    verify_stack_discipline(&events).expect("elastic trace has malformed span nesting");
+    let got = canonical_trace(&events);
+    let path = golden_path("elastic_bsp");
+    if bless {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &got).unwrap();
+        eprintln!("blessed {} ({} lines)", path.display(), got.lines().count());
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden trace {}; record it with DTRAIN_BLESS=1 cargo test --test golden_traces",
+            path.display()
+        )
+    });
+    if let Some(report) = diff_canonical(&expected, &got) {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results/golden_diffs");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("elastic_bsp.diff"), &report).unwrap();
+        panic!("elastic_bsp golden trace diverged:\n{report}");
+    }
+}
+
+/// Every elastic marker in the shared vocabulary shows up in a canonical
+/// trace of the scenario that produces it, so the Perfetto timeline (and
+/// any trace-driven tooling) can rely on the names.
+#[test]
+fn elastic_markers_appear_in_canonical_traces() {
+    use dtrain_desim::SimTime;
+    use dtrain_faults::ElasticConfig;
+
+    // Loss + rejoin under BSP: eviction, the degraded round, re-entry.
+    let trace = {
+        let sink = ObsSink::enabled();
+        let _ = run_observed(&elastic_bsp_cfg(), &sink);
+        canonical_trace(&sink.snapshot())
+    };
+    for name in ["member.evict", "member.rejoin", "barrier.partial"] {
+        assert!(trace.contains(name), "BSP loss/rejoin trace lacks {name}");
+    }
+
+    // PS-shard machine loss under ASP: the shard re-homes.
+    let trace = {
+        let mut cfg = golden_cfg(Algo::Asp);
+        cfg.stop = StopCondition::Iterations(12);
+        cfg.faults = Some(FaultConfig {
+            schedule: FaultSchedule::new(vec![FaultEvent {
+                at: SimTime::from_millis(200),
+                kind: FaultKind::PsShardFail {
+                    shard: 0,
+                    outage: SimTime::from_millis(300),
+                },
+            }]),
+            checkpoint_interval: 4,
+            elastic: Some(ElasticConfig::default()),
+        });
+        let sink = ObsSink::enabled();
+        let _ = run_observed(&cfg, &sink);
+        canonical_trace(&sink.snapshot())
+    };
+    assert!(
+        trace.contains("ps.shard_failover"),
+        "PS-failover trace lacks ps.shard_failover"
+    );
+
+    // An absurdly tight transfer deadline: every transfer blows it and the
+    // bounded retry loop stamps its attempts.
+    let trace = {
+        let mut cfg = golden_cfg(Algo::Bsp);
+        cfg.opts.local_aggregation = false;
+        cfg.faults = Some(FaultConfig {
+            schedule: FaultSchedule::new(vec![]),
+            checkpoint_interval: 4,
+            elastic: Some(ElasticConfig {
+                transfer_deadline: SimTime::from_nanos(1),
+                ..Default::default()
+            }),
+        });
+        let sink = ObsSink::enabled();
+        let _ = run_observed(&cfg, &sink);
+        canonical_trace(&sink.snapshot())
+    };
+    assert!(
+        trace.contains("net.retry"),
+        "tight-deadline trace lacks net.retry"
+    );
+}
+
 #[test]
 fn traces_are_deterministic_across_runs() {
     let a = canonical_trace(&record(Algo::Bsp));
