@@ -6,11 +6,18 @@
 //! GEMM algorithms do), sized for the small CNNs the accuracy experiments
 //! train.
 //!
-//! im2col and col2im parallelise over *images*: each image owns a disjoint
-//! slice of the output, no cross-image reduction exists, so results are
-//! bit-identical at any thread count. The `_scratch` variants draw every
-//! temporary (patch matrices, reorder copies, outputs) from a [`Scratch`]
-//! arena so steady-state training allocates nothing here.
+//! im2col parallelises over **(image × output-row band)** tasks — each task
+//! owns a disjoint slice of the patch matrix, so even small batches yield
+//! `N × IM2COL_BANDS` tasks and the pool doesn't starve; the task→rows
+//! mapping depends only on the geometry, and im2col is a pure copy, so
+//! results are bit-identical at any thread count. The NCHW⇄patch-row
+//! reorders in the conv forward/backward parallelise per image the same
+//! way. col2im stays per-image: adjacent output rows *overlap* on input
+//! pixels when `kernel > stride`, so finer splits would race (or require a
+//! reduction, which would break the fixed accumulation order). The
+//! `_scratch` variants draw every temporary (patch matrices, reorder
+//! copies, outputs) from a [`Scratch`] arena so steady-state training
+//! allocates nothing here.
 
 use crate::matmul::{matmul_a_bt_scratch, matmul_at_b_scratch, matmul_scratch};
 use crate::scratch::Scratch;
@@ -20,6 +27,12 @@ use rayon::prelude::*;
 /// Below this many output elements the per-region dispatch overhead beats
 /// the parallel win; run sequentially.
 const PAR_MIN_ELEMS: usize = 64 * 64;
+
+/// Output-row bands each image's im2col is split into, so task count is
+/// `N × bands` (clamped to `OH`). Purely a scheduling knob: the task→rows
+/// mapping is fixed by geometry and im2col writes disjoint cells, so the
+/// value can never change results.
+const IM2COL_BANDS: usize = 4;
 
 /// Static geometry of a conv layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,11 +59,11 @@ impl Conv2dSpec {
     }
 }
 
-/// Unroll one image's patches into its `oh*ow * cols_w` slice of the patch
-/// matrix. Writes every cell (0.0 for padding), so the destination may hold
-/// stale data.
+/// Unroll output rows `[oy0, oy1)` of one image into `dst`, which covers
+/// exactly that band of the image's patch-matrix slice. Writes every cell
+/// (0.0 for padding), so the destination may hold stale data.
 #[allow(clippy::too_many_arguments)]
-fn im2col_image(
+fn im2col_rows(
     dst: &mut [f32],
     img_chan: &[f32],
     c: usize,
@@ -59,13 +72,14 @@ fn im2col_image(
     k: usize,
     s: usize,
     p: usize,
-    oh: usize,
+    oy0: usize,
+    oy1: usize,
     ow: usize,
 ) {
     let cols_w = c * k * k;
-    for oy in 0..oh {
+    for oy in oy0..oy1 {
         for ox in 0..ow {
-            let base = (oy * ow + ox) * cols_w;
+            let base = ((oy - oy0) * ow + ox) * cols_w;
             let mut col = 0usize;
             for ch in 0..c {
                 let chan = &img_chan[ch * h * w..(ch + 1) * h * w];
@@ -112,37 +126,35 @@ pub fn im2col_scratch(
     let mut out = scratch.tensor_any(&[n * oh * ow, cols_w]);
     let xd = x.data();
     let img_len = c * h * w;
-    let chunk = oh * ow * cols_w;
+    let row_len = ow * cols_w;
     let od = out.data_mut();
-    if n > 1 && od.len() >= PAR_MIN_ELEMS && rayon::current_num_threads() > 1 {
-        od.par_chunks_mut(chunk).enumerate().for_each(|(img, dst)| {
-            im2col_image(
-                dst,
-                &xd[img * img_len..(img + 1) * img_len],
-                c,
-                h,
-                w,
-                k,
-                s,
-                p,
-                oh,
-                ow,
-            );
+    let bands = IM2COL_BANDS.min(oh).max(1);
+    let tasks = n * bands;
+    if tasks > 1 && od.len() >= PAR_MIN_ELEMS && rayon::current_num_threads() > 1 {
+        let od_addr = od.as_mut_ptr() as usize;
+        rayon::parallel_for(tasks, &|t| {
+            let img = t / bands;
+            let band = t % bands;
+            let oy0 = band * oh / bands;
+            let oy1 = (band + 1) * oh / bands;
+            // SAFETY: task (img, band) exclusively owns the patch-matrix
+            // rows for output rows [oy0, oy1) of image `img` — bands
+            // partition [0, oh) and images partition the matrix, so slices
+            // are disjoint and in bounds of the `n*oh*ow × cols_w` buffer.
+            let dst = unsafe {
+                std::slice::from_raw_parts_mut(
+                    (od_addr as *mut f32).add((img * oh + oy0) * row_len),
+                    (oy1 - oy0) * row_len,
+                )
+            };
+            let src = &xd[img * img_len..(img + 1) * img_len];
+            im2col_rows(dst, src, c, h, w, k, s, p, oy0, oy1, ow);
         });
     } else {
-        for (img, dst) in od.chunks_mut(chunk).enumerate() {
-            im2col_image(
-                dst,
-                &xd[img * img_len..(img + 1) * img_len],
-                c,
-                h,
-                w,
-                k,
-                s,
-                p,
-                oh,
-                ow,
-            );
+        for img in 0..n {
+            let dst = &mut od[img * oh * row_len..(img + 1) * oh * row_len];
+            let src = &xd[img * img_len..(img + 1) * img_len];
+            im2col_rows(dst, src, c, h, w, k, s, p, 0, oh, ow);
         }
     }
     out
@@ -272,18 +284,27 @@ pub fn conv2d_forward_scratch(
     // [N*OH*OW, CKK] x [CKK, OC] — via A · Bᵀ with weight [OC, CKK].
     let mut y = matmul_a_bt_scratch(&cols, weight, scratch); // [N*OH*OW, OC]
     crate::ops::add_bias(&mut y, bias);
-    // Rearrange [N*OH*OW, OC] → [N, OC, OH, OW].
+    // Rearrange [N*OH*OW, OC] → [N, OC, OH, OW]: a pure per-image permuted
+    // copy, parallelized over images (disjoint output chunks).
     let mut out = scratch.tensor_any(&[n, spec.out_channels, oh, ow]);
     {
         let od = out.data_mut();
         let yd = y.data();
-        for img in 0..n {
+        let oc_n = spec.out_channels;
+        let reorder = |(img, dst): (usize, &mut [f32])| {
             for pix in 0..oh * ow {
-                let src = (img * oh * ow + pix) * spec.out_channels;
-                for oc in 0..spec.out_channels {
-                    od[(img * spec.out_channels + oc) * oh * ow + pix] = yd[src + oc];
+                let src = (img * oh * ow + pix) * oc_n;
+                for oc in 0..oc_n {
+                    dst[oc * oh * ow + pix] = yd[src + oc];
                 }
             }
+        };
+        if n > 1 && od.len() >= PAR_MIN_ELEMS && rayon::current_num_threads() > 1 {
+            od.par_chunks_mut(oc_n * oh * ow)
+                .enumerate()
+                .for_each(reorder);
+        } else {
+            od.chunks_mut(oc_n * oh * ow).enumerate().for_each(reorder);
         }
     }
     scratch.recycle_tensor(y);
@@ -325,17 +346,26 @@ pub fn conv2d_backward_scratch(
     let gs = grad_out.shape();
     let (n, oc, oh, ow) = (gs[0], gs[1], gs[2], gs[3]);
     assert_eq!(oc, spec.out_channels);
-    // Rearrange grad [N, OC, OH, OW] → [N*OH*OW, OC].
+    // Rearrange grad [N, OC, OH, OW] → [N*OH*OW, OC]: per-image permuted
+    // copy, parallelized over images (disjoint output chunks).
     let mut g2 = scratch.tensor_any(&[n * oh * ow, oc]);
     {
         let g2d = g2.data_mut();
         let gd = grad_out.data();
-        for img in 0..n {
+        let reorder = |(img, dst): (usize, &mut [f32])| {
             for c in 0..oc {
-                for pix in 0..oh * ow {
-                    g2d[(img * oh * ow + pix) * oc + c] = gd[(img * oc + c) * oh * ow + pix];
+                let src = &gd[(img * oc + c) * oh * ow..(img * oc + c + 1) * oh * ow];
+                for (pix, &v) in src.iter().enumerate() {
+                    dst[pix * oc + c] = v;
                 }
             }
+        };
+        if n > 1 && g2d.len() >= PAR_MIN_ELEMS && rayon::current_num_threads() > 1 {
+            g2d.par_chunks_mut(oh * ow * oc)
+                .enumerate()
+                .for_each(reorder);
+        } else {
+            g2d.chunks_mut(oh * ow * oc).enumerate().for_each(reorder);
         }
     }
     // dW[OC, CKK] = g2ᵀ · cols

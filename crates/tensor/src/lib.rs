@@ -10,6 +10,13 @@
 //! per-element reduction runs in a fixed sequential order, so results are
 //! bit-identical for any `DTRAIN_THREADS` setting.
 //!
+//! The GEMM inner loops are explicit SIMD microkernels ([`simd`]) selected
+//! at runtime (AVX-512 / AVX2 / portable scalar) over packed, cache-line
+//! aligned operand panels. All tiers perform per-product rounding (no FMA)
+//! in the same ascending reduction order, so outputs are additionally
+//! bit-identical across ISA tiers and machines — kernel speed is invisible
+//! to every numeric result.
+//!
 //! The [`Scratch`] arena pools kernel temporaries (im2col patch matrices,
 //! GEMM outputs, activation/gradient buffers); the `_scratch` kernel
 //! variants draw their outputs from it so steady-state training iterations
@@ -22,10 +29,13 @@
 //! assert_eq!(matmul(&a, &b).data(), &[2., 1., 4., 3.]);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod conv;
 mod matmul;
 mod ops;
 mod scratch;
+pub mod simd;
 mod tensor;
 
 pub use conv::{
@@ -41,7 +51,7 @@ pub use ops::{
     accuracy, add_bias, relu, relu_backward, relu_backward_scratch, relu_scratch, softmax,
     softmax_cross_entropy, softmax_cross_entropy_scratch, sum_rows, sum_rows_scratch,
 };
-pub use scratch::Scratch;
+pub use scratch::{AlignedVec, Scratch};
 pub use tensor::{Shape, Tensor};
 
 /// Parallel-substrate introspection and control, re-exported from the pool
@@ -52,6 +62,13 @@ pub mod parallel {
     /// sized by `DTRAIN_THREADS`, falling back to
     /// `std::thread::available_parallelism()`.
     pub use rayon::current_num_threads;
+    /// What the hardware offers (`available_parallelism`), as opposed to
+    /// the configured pool width; benches annotate oversubscribed records
+    /// with it.
+    pub use rayon::host_parallelism;
+    /// The configured pool width (`DTRAIN_THREADS` / host) — the widest an
+    /// explicit `with_max_threads` scope can go.
+    pub use rayon::pool_width;
     /// Scope kernels to at most `k` threads — determinism tests compare
     /// kernel output across widths with this.
     pub use rayon::with_max_threads;

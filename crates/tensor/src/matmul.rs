@@ -6,137 +6,288 @@
 //! - [`matmul`]      — `C = A · B`
 //! - [`matmul_at_b`] — `C = Aᵀ · B` (weight gradients), coefficient strided
 //!   in place — no transpose materialized
-//! - [`matmul_a_bt`] — `C = A · Bᵀ` (forward / input gradients), via an
-//!   arena-pooled `Bᵀ` panel feeding the same blocked kernel
+//! - [`matmul_a_bt`] — `C = A · Bᵀ` (forward / input gradients), B read
+//!   column-wise by the packing stage — no transpose materialized
 //!
-//! All kernels are cache-blocked and parallelize over **independent blocks
-//! of output rows**; the reduction for each output element runs in a fixed
-//! sequential order (`p` ascending), so results are bit-identical to the
-//! single-threaded computation regardless of thread count *and* of the
-//! blocking parameters.
+//! All three are thin views onto one packed GEMM driver ([`gemm`]): the
+//! reduction operands are first **packed** into cache-line-aligned,
+//! thread-local arena buffers (A in `MR`-row blocks laid out `ap[p*MR+ii]`,
+//! B in `NR`-column panels laid out `bp[p*NR+jj]`), and an ISA-selected
+//! SIMD microkernel (see [`crate::simd`]) then computes each `MR×NR` output
+//! tile from the packed panels. Packing is where layout differences go to
+//! die — the transposed variants differ *only* in the gather pattern of the
+//! pack loops, so every variant runs the identical inner kernel at the
+//! identical speed, and `matmul_a_bt` no longer materializes `Bᵀ` at all.
 //!
-//! The inner loops are branchless. The seed kernels skipped `a == 0.0`
-//! multiplicands to exploit sparsity, but no GEMM input is ever sparse here:
-//! DGC/random-k sparsified gradients travel as coordinate lists
-//! (`SparseTensor` in `dtrain-compress`) and are applied by scatter-add,
-//! never multiplied — while GEMM operands are activations and weights,
-//! which are dense, so the per-element branch only cost mispredicts and
-//! blocked autovectorization. Zero-skipping lives solely on the sparse
-//! coordinate paths.
+//! **Parallel decomposition is 2-D**: tasks are (row-block × column-panel)
+//! output tiles, so even an `m = 128` GEMM yields `16 × npanels` tasks and
+//! the pool never starves. Tiles are disjoint `MR×NR` regions of `C` and
+//! `NR` is a multiple of the 16-float cache line, so tasks never
+//! false-share output cache lines. Packing itself is parallelized the same
+//! way (one task per A block / B panel, disjoint writes). GEMMs under
+//! [`PAR_FLOPS_MIN`] run sequentially — below that, region dispatch costs
+//! more than it buys (the seed's gemm_64 *lost* time at 4–8 threads).
+//!
+//! **Determinism contract.** For each output element, each product is
+//! rounded individually (no FMA) and added in ascending `p` order from
+//! `+0.0` — exactly the naive three-loop order. The reduction dimension is
+//! chunked ([`KC`]) for cache residency, but chunk boundaries only
+//! round-trip the partial sum through memory (exact for f32), never reorder
+//! it; SIMD lanes batch independent output columns, never reduction terms.
+//! Results are therefore bit-identical to the naive reference *and*
+//! invariant across thread counts, ISA tiers, blocking parameters, and
+//! machines.
 
-use rayon::prelude::*;
-
-use crate::scratch::Scratch;
+use crate::scratch::{with_pack_bufs, Scratch};
+use crate::simd::{self, StageTile};
 use crate::tensor::Tensor;
 
-/// Below this output-element count, threading overhead dominates and the
-/// kernels run sequentially.
-const PAR_THRESHOLD: usize = 64 * 64;
+/// Reduction-dimension chunk: one packed A block column + B panel column
+/// stays L2-resident while a tile pass streams it. Chunk `> 0` resumes from
+/// the partial sums already in `C`.
+const KC: usize = 512;
 
-/// Rows of `C` per parallel task. Small enough to load-balance ragged
-/// shapes, large enough that the per-task atomic claim is noise.
-const ROW_BLOCK: usize = 8;
+/// GEMMs below this many flops (`2·m·n·k`) run sequentially: a parallel
+/// region costs ~2–10 µs of dispatch + join, which a sub-8-Mflop GEMM
+/// (< ~100 µs of work) cannot amortize. Keeps gemm_64/gemm_128 on the
+/// fast sequential path where the seed kernels lost time to threading.
+const PAR_FLOPS_MIN: usize = 8_000_000;
 
-/// Reduction-dimension tile: `TILE_K` rows of the `B` panel are streamed
-/// per pass over an output-row segment.
-const TILE_K: usize = 64;
+/// How the packing stage reads the left operand's coefficient `a(i, p)`
+/// for output row `i`, reduction index `p`.
+#[derive(Clone, Copy)]
+enum ASrc {
+    /// `a(i, p) = d[i*stride + p]` — A stored row-major (`matmul`,
+    /// `matmul_a_bt`).
+    Rows,
+    /// `a(i, p) = d[p*stride + i]` — the Aᵀ view (`matmul_at_b`).
+    Cols,
+}
 
-/// Output-column tile: with `TILE_K`, bounds the hot `B` panel at
-/// `TILE_K × TILE_N × 4` bytes = 32 KiB — sized to L1.
-const TILE_N: usize = 128;
+/// How the packing stage reads the right operand's element `b(p, j)` for
+/// reduction index `p`, output column `j`.
+#[derive(Clone, Copy)]
+enum BSrc {
+    /// `b(p, j) = d[p*stride + j]` — B stored row-major.
+    Rows,
+    /// `b(p, j) = d[j*stride + p]` — the Bᵀ view (`matmul_a_bt`): output
+    /// column `j` gathers source row `j`.
+    Cols,
+}
 
-/// `crow[j] += Σ_q aq · brows[q][j]` for up to 4 `B` rows, with the terms
-/// added in ascending `q` order per element — the same order a plain
-/// `p`-ascending loop produces, so unrolling never changes bits.
-#[inline(always)]
-fn axpy_rows(crow: &mut [f32], coeffs: &[f32], brows: &[&[f32]]) {
-    match (coeffs.len(), brows) {
-        (4, [b0, b1, b2, b3]) => {
-            let (a0, a1, a2, a3) = (coeffs[0], coeffs[1], coeffs[2], coeffs[3]);
-            let n = crow.len();
-            let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
-            for j in 0..n {
-                let mut s = crow[j];
-                s += a0 * b0[j];
-                s += a1 * b1[j];
-                s += a2 * b2[j];
-                s += a3 * b3[j];
-                crow[j] = s;
+/// Pack one A row-block: `dst[p*mr + ii] = a(i0+ii, k0+p)` for `p < kc`,
+/// zero-padding rows past `rows` so edge blocks feed the full-width kernel.
+#[allow(clippy::too_many_arguments)] // block coordinates, not configuration
+fn pack_a_block(
+    d: &[f32],
+    stride: usize,
+    src: ASrc,
+    i0: usize,
+    rows: usize,
+    mr: usize,
+    k0: usize,
+    kc: usize,
+    dst: &mut [f32],
+) {
+    debug_assert_eq!(dst.len(), kc * mr);
+    match src {
+        ASrc::Rows => {
+            // `ii` outer keeps the source reads contiguous in `p`; the
+            // strided writes land in the L1-resident destination block.
+            if rows < mr {
+                dst.fill(0.0);
+            }
+            for ii in 0..rows {
+                let srow = &d[(i0 + ii) * stride + k0..];
+                for (p, &v) in srow[..kc].iter().enumerate() {
+                    dst[p * mr + ii] = v;
+                }
             }
         }
-        _ => {
-            for (q, &aq) in coeffs.iter().enumerate() {
-                let brow = &brows[q][..crow.len()];
-                for (c, &bv) in crow.iter_mut().zip(brow) {
-                    *c += aq * bv;
+        ASrc::Cols => {
+            // Source rows are contiguous in `ii` here: one memcpy-like run
+            // per reduction index.
+            for p in 0..kc {
+                let srow = &d[(k0 + p) * stride + i0..];
+                let col = &mut dst[p * mr..(p + 1) * mr];
+                col[..rows].copy_from_slice(&srow[..rows]);
+                col[rows..].fill(0.0);
+            }
+        }
+    }
+}
+
+/// Pack one B column-panel: `dst[p*nr + jj] = b(k0+p, j0+jj)` for `p < kc`,
+/// zero-padding columns past `cols`.
+#[allow(clippy::too_many_arguments)] // panel coordinates, not configuration
+fn pack_b_panel(
+    d: &[f32],
+    stride: usize,
+    src: BSrc,
+    j0: usize,
+    cols: usize,
+    nr: usize,
+    k0: usize,
+    kc: usize,
+    dst: &mut [f32],
+) {
+    debug_assert_eq!(dst.len(), kc * nr);
+    match src {
+        BSrc::Rows => {
+            for p in 0..kc {
+                let srow = &d[(k0 + p) * stride + j0..];
+                let row = &mut dst[p * nr..(p + 1) * nr];
+                row[..cols].copy_from_slice(&srow[..cols]);
+                row[cols..].fill(0.0);
+            }
+        }
+        BSrc::Cols => {
+            if cols < nr {
+                dst.fill(0.0);
+            }
+            // Gather Bᵀ: source row `j0+jj` supplies output column `jj`.
+            // Iterating `jj` outer keeps the source reads contiguous in `p`.
+            for jj in 0..cols {
+                let srow = &d[(j0 + jj) * stride + k0..];
+                for (p, &v) in srow[..kc].iter().enumerate() {
+                    dst[p * nr + jj] = v;
                 }
             }
         }
     }
 }
 
-/// Shared row-block kernel for the `C += A' · B` family: computes output
-/// rows `[i0, i0+rows)` where row `i` accumulates `Σ_p coeff(i, p) · B[p,:]`
-/// with `p` ascending. `coeff` abstracts over A-layouts (`A[i,p]` for
-/// [`matmul`], `A[p,i]` for [`matmul_at_b`]).
-#[inline(always)]
-fn row_block_axpy(
-    cblk: &mut [f32],
-    i0: usize,
+/// Packed, tiled GEMM driver shared by all three variants:
+/// `out[i*n + j] = Σ_p a(i,p)·b(p,j)` over `i < m`, `j < n`, `p < k`, with
+/// the reduction in ascending `p` order per element. `out` must be
+/// zero-filled when `k == 0` (callers pass zeroed buffers); for `k > 0`
+/// every element is overwritten.
+#[allow(clippy::too_many_arguments)]
+fn gemm(
+    ad: &[f32],
+    a_stride: usize,
+    a_src: ASrc,
+    bd: &[f32],
+    b_stride: usize,
+    b_src: BSrc,
+    out: &mut [f32],
+    m: usize,
     n: usize,
     k: usize,
-    bd: &[f32],
-    coeff: &impl Fn(usize, usize) -> f32,
 ) {
-    let rows = cblk.len() / n;
-    let mut coeffs = [0.0f32; 4];
-    for k0 in (0..k).step_by(TILE_K) {
-        let k1 = (k0 + TILE_K).min(k);
-        for n0 in (0..n).step_by(TILE_N) {
-            let n1 = (n0 + TILE_N).min(n);
-            for r in 0..rows {
-                let i = i0 + r;
-                let crow = &mut cblk[r * n + n0..r * n + n1];
-                let mut p = k0;
-                while p + 4 <= k1 {
-                    for (q, c) in coeffs.iter_mut().enumerate() {
-                        *c = coeff(i, p + q);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // Resolve the ISA once, on the calling thread: a `with_isa` override is
+    // thread-local and pool workers must not consult their own.
+    let isa = simd::active_isa();
+    let (mr, nr) = isa.geometry();
+    let mblocks = m.div_ceil(mr);
+    let npanels = n.div_ceil(nr);
+    let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+    let parallel =
+        flops >= PAR_FLOPS_MIN && mblocks * npanels >= 2 && rayon::current_num_threads() > 1;
+    with_pack_bufs(|bufs| {
+        let kc_first = k.min(KC);
+        let apack = bufs.a.ensure_len(mblocks * mr * kc_first);
+        let bpack = bufs.b.ensure_len(npanels * nr * kc_first);
+        let mut k0 = 0;
+        while k0 < k {
+            let kc = (k - k0).min(KC);
+            let init = k0 == 0;
+            if parallel {
+                // Pack phase: one task per A block or B panel, each writing
+                // a disjoint slice of the shared aligned buffers.
+                let ap_addr = apack.as_mut_ptr() as usize;
+                let bp_addr = bpack.as_mut_ptr() as usize;
+                rayon::parallel_for(mblocks + npanels, &|t| {
+                    if t < mblocks {
+                        let bi = t;
+                        // SAFETY: block `bi` owns exactly
+                        // `[bi*kc*mr, (bi+1)*kc*mr)` of the packed-A buffer
+                        // (length `mblocks*mr*kc_first ≥ mblocks*mr*kc`);
+                        // task indices are claimed exactly once.
+                        let dst = unsafe {
+                            std::slice::from_raw_parts_mut(
+                                (ap_addr as *mut f32).add(bi * kc * mr),
+                                kc * mr,
+                            )
+                        };
+                        let rows = (m - bi * mr).min(mr);
+                        pack_a_block(ad, a_stride, a_src, bi * mr, rows, mr, k0, kc, dst);
+                    } else {
+                        let pj = t - mblocks;
+                        // SAFETY: panel `pj` owns `[pj*kc*nr, (pj+1)*kc*nr)`
+                        // of the packed-B buffer; disjoint by index.
+                        let dst = unsafe {
+                            std::slice::from_raw_parts_mut(
+                                (bp_addr as *mut f32).add(pj * kc * nr),
+                                kc * nr,
+                            )
+                        };
+                        let cols = (n - pj * nr).min(nr);
+                        pack_b_panel(bd, b_stride, b_src, pj * nr, cols, nr, k0, kc, dst);
                     }
-                    let brows = [
-                        &bd[p * n + n0..p * n + n1],
-                        &bd[(p + 1) * n + n0..(p + 1) * n + n1],
-                        &bd[(p + 2) * n + n0..(p + 2) * n + n1],
-                        &bd[(p + 3) * n + n0..(p + 3) * n + n1],
-                    ];
-                    axpy_rows(crow, &coeffs, &brows);
-                    p += 4;
+                });
+                // Compute phase: 2-D tile grid, one task per MR×NR output
+                // tile — task count = mblocks·npanels ≫ thread count.
+                let out_addr = out.as_mut_ptr() as usize;
+                rayon::parallel_for(mblocks * npanels, &|t| {
+                    let bi = t / npanels;
+                    let pj = t % npanels;
+                    // SAFETY: the packed buffers are only read during this
+                    // phase (packing completed above); slices stay in
+                    // bounds as in the pack phase.
+                    let ap = unsafe {
+                        std::slice::from_raw_parts(
+                            (ap_addr as *const f32).add(bi * kc * mr),
+                            kc * mr,
+                        )
+                    };
+                    let bp = unsafe {
+                        std::slice::from_raw_parts(
+                            (bp_addr as *const f32).add(pj * kc * nr),
+                            kc * nr,
+                        )
+                    };
+                    let rows = (m - bi * mr).min(mr);
+                    let cols = (n - pj * nr).min(nr);
+                    // SAFETY: tile (bi, pj) exclusively owns the rows×cols
+                    // region of `out` at (bi*mr, pj*nr); tiles are disjoint.
+                    let cptr = unsafe { (out_addr as *mut f32).add(bi * mr * n + pj * nr) };
+                    let mut stage = StageTile::new();
+                    simd::run_tile(isa, ap, bp, cptr, n, kc, rows, cols, init, &mut stage);
+                });
+            } else {
+                for bi in 0..mblocks {
+                    let rows = (m - bi * mr).min(mr);
+                    let dst = &mut apack[bi * kc * mr..(bi + 1) * kc * mr];
+                    pack_a_block(ad, a_stride, a_src, bi * mr, rows, mr, k0, kc, dst);
                 }
-                while p < k1 {
-                    let av = coeff(i, p);
-                    let brow = &bd[p * n + n0..p * n + n1];
-                    for (c, &bv) in crow.iter_mut().zip(brow) {
-                        *c += av * bv;
+                for pj in 0..npanels {
+                    let cols = (n - pj * nr).min(nr);
+                    let dst = &mut bpack[pj * kc * nr..(pj + 1) * kc * nr];
+                    pack_b_panel(bd, b_stride, b_src, pj * nr, cols, nr, k0, kc, dst);
+                }
+                let mut stage = StageTile::new();
+                let cbase = out.as_mut_ptr();
+                for bi in 0..mblocks {
+                    let rows = (m - bi * mr).min(mr);
+                    let ap = &apack[bi * kc * mr..(bi + 1) * kc * mr];
+                    for pj in 0..npanels {
+                        let cols = (n - pj * nr).min(nr);
+                        let bp = &bpack[pj * kc * nr..(pj + 1) * kc * nr];
+                        // SAFETY: sequential path — `out` is exclusively
+                        // borrowed and the tile region is in bounds.
+                        let cptr = unsafe { cbase.add(bi * mr * n + pj * nr) };
+                        simd::run_tile(isa, ap, bp, cptr, n, kc, rows, cols, init, &mut stage);
                     }
-                    p += 1;
                 }
             }
+            k0 += kc;
         }
-    }
-}
-
-/// Dispatch a zeroed output over row blocks, in parallel above the
-/// threshold.
-fn run_blocked(
-    out: &mut [f32],
-    n: usize,
-    job: impl Fn((usize, &mut [f32])) + Sync,
-    parallel: bool,
-) {
-    if parallel && rayon::current_num_threads() > 1 {
-        out.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(job);
-    } else {
-        out.chunks_mut(ROW_BLOCK * n).enumerate().for_each(job);
-    }
+    });
 }
 
 /// `C[m,n] = A[m,k] · B[k,n]`, writing into a scratch-pooled tensor.
@@ -145,7 +296,18 @@ pub fn matmul_scratch(a: &Tensor, b: &Tensor, scratch: &mut Scratch) -> Tensor {
     let (kb, n) = (b.rows(), b.cols());
     assert_eq!(k, kb, "matmul inner dims: {k} vs {kb}");
     let mut out = scratch.take_zeroed(m * n);
-    matmul_into(a.data(), b.data(), &mut out, k, n);
+    gemm(
+        a.data(),
+        k,
+        ASrc::Rows,
+        b.data(),
+        n,
+        BSrc::Rows,
+        &mut out,
+        m,
+        n,
+        k,
+    );
     Tensor::from_vec(&[m, n], out)
 }
 
@@ -155,17 +317,19 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (kb, n) = (b.rows(), b.cols());
     assert_eq!(k, kb, "matmul inner dims: {k} vs {kb}");
     let mut out = vec![0.0f32; m * n];
-    matmul_into(a.data(), b.data(), &mut out, k, n);
+    gemm(
+        a.data(),
+        k,
+        ASrc::Rows,
+        b.data(),
+        n,
+        BSrc::Rows,
+        &mut out,
+        m,
+        n,
+        k,
+    );
     Tensor::from_vec(&[m, n], out)
-}
-
-fn matmul_into(ad: &[f32], bd: &[f32], out: &mut [f32], k: usize, n: usize) {
-    let parallel = out.len() >= PAR_THRESHOLD;
-    let job = |(blk, cblk): (usize, &mut [f32])| {
-        let coeff = |i: usize, p: usize| ad[i * k + p];
-        row_block_axpy(cblk, blk * ROW_BLOCK, n, k, bd, &coeff);
-    };
-    run_blocked(out, n, job, parallel);
 }
 
 /// `C[k,n] = Aᵀ[k,m] · B[m,n]` for `A[m,k]`, `B[m,n]`, scratch-pooled.
@@ -174,7 +338,20 @@ pub fn matmul_at_b_scratch(a: &Tensor, b: &Tensor, scratch: &mut Scratch) -> Ten
     let (mb, n) = (b.rows(), b.cols());
     assert_eq!(m, mb, "matmul_at_b outer dims: {m} vs {mb}");
     let mut out = scratch.take_zeroed(k * n);
-    matmul_at_b_into(a.data(), b.data(), &mut out, m, k, n);
+    // Output row i is C[i,:] = Σ_s A[s,i]·B[s,:]: the A coefficient strides
+    // down a column, which is just the `ASrc::Cols` gather in the packer.
+    gemm(
+        a.data(),
+        k,
+        ASrc::Cols,
+        b.data(),
+        n,
+        BSrc::Rows,
+        &mut out,
+        k,
+        n,
+        m,
+    );
     Tensor::from_vec(&[k, n], out)
 }
 
@@ -184,64 +361,46 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (mb, n) = (b.rows(), b.cols());
     assert_eq!(m, mb, "matmul_at_b outer dims: {m} vs {mb}");
     let mut out = vec![0.0f32; k * n];
-    matmul_at_b_into(a.data(), b.data(), &mut out, m, k, n);
+    gemm(
+        a.data(),
+        k,
+        ASrc::Cols,
+        b.data(),
+        n,
+        BSrc::Rows,
+        &mut out,
+        k,
+        n,
+        m,
+    );
     Tensor::from_vec(&[k, n], out)
-}
-
-/// Shared by the public wrappers and the in-place layer-gradient path:
-/// `out[k,n] = Aᵀ·B`, `out` pre-zeroed.
-pub(crate) fn matmul_at_b_into(
-    ad: &[f32],
-    bd: &[f32],
-    out: &mut [f32],
-    m: usize,
-    k: usize,
-    n: usize,
-) {
-    // Output row i is C[i,:] = Σ_s A[s,i]·B[s,:] — same axpy family with the
-    // A coefficient striding down a column.
-    let parallel = out.len() >= PAR_THRESHOLD;
-    let job = |(blk, cblk): (usize, &mut [f32])| {
-        let coeff = |i: usize, s: usize| ad[s * k + i];
-        row_block_axpy(cblk, blk * ROW_BLOCK, n, m, bd, &coeff);
-    };
-    run_blocked(out, n, job, parallel);
-}
-
-/// Cache-blocked transpose: `dst[n,k] = src[k,n]ᵀ`. 32×32 tiles keep both
-/// the read and write streams inside L1.
-fn transpose_into(src: &[f32], dst: &mut [f32], k: usize, n: usize) {
-    const T: usize = 32;
-    for i0 in (0..k).step_by(T) {
-        let i1 = (i0 + T).min(k);
-        for j0 in (0..n).step_by(T) {
-            let j1 = (j0 + T).min(n);
-            for i in i0..i1 {
-                for j in j0..j1 {
-                    dst[j * k + i] = src[i * n + j];
-                }
-            }
-        }
-    }
 }
 
 /// `C[m,k] = A[m,n] · Bᵀ[n,k]` for `A[m,n]`, `B[k,n]`, scratch-pooled.
 ///
-/// Materializes `Bᵀ` into an arena buffer and runs the blocked axpy kernel:
-/// the O(nk) transpose is noise next to the O(mnk) GEMM, and the axpy form
-/// autovectorizes where a row-dot formulation would not — it also keeps the
-/// per-element reduction in the same ascending order as [`matmul`], so this
-/// variant is bit-identical to `matmul(a, transpose(b))`.
+/// The packing stage reads `B` column-wise (`b(p,j) = B[j,p]`), so no `Bᵀ`
+/// is ever materialized — the O(nk) transpose pass and its arena buffer are
+/// gone, and the per-element reduction keeps the same ascending-`p` order
+/// as [`matmul`], so this variant stays bit-identical to
+/// `matmul(a, transpose(b))`.
 pub fn matmul_a_bt_scratch(a: &Tensor, b: &Tensor, scratch: &mut Scratch) -> Tensor {
     let (m, n) = (a.rows(), a.cols());
-    let (k, nb) = (b.rows(), b.cols());
+    let (kb, nb) = (b.rows(), b.cols());
     assert_eq!(n, nb, "matmul_a_bt inner dims: {n} vs {nb}");
-    let mut bt = scratch.take_any(n * k);
-    transpose_into(b.data(), &mut bt, k, n);
-    let mut out = scratch.take_zeroed(m * k);
-    matmul_into(a.data(), &bt, &mut out, n, k);
-    scratch.recycle(bt);
-    Tensor::from_vec(&[m, k], out)
+    let mut out = scratch.take_zeroed(m * kb);
+    gemm(
+        a.data(),
+        n,
+        ASrc::Rows,
+        b.data(),
+        n,
+        BSrc::Cols,
+        &mut out,
+        m,
+        kb,
+        n,
+    );
+    Tensor::from_vec(&[m, kb], out)
 }
 
 /// `C[m,k] = A[m,n] · Bᵀ[n,k]` for `A[m,n]`, `B[k,n]`.
@@ -341,6 +500,31 @@ mod tests {
             }
             assert_eq!(fast.data(), &naive[..], "{m}x{k}x{n}");
         }
+    }
+
+    #[test]
+    fn multi_chunk_reduction_is_bitwise_exact() {
+        // k > KC forces the chunked-accumulation path (partial sums
+        // round-trip through C between chunks) — still bitwise equal to the
+        // naive single-pass reduction, for all three variants.
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(23);
+        let (m, k, n) = (5, 2 * KC + 37, 9);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let mut naive = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    s += a.at(i, p) * b.at(p, j);
+                }
+                naive[i * n + j] = s;
+            }
+        }
+        assert_eq!(matmul(&a, &b).data(), &naive[..]);
+        assert_eq!(matmul_at_b(&transpose(&a), &b).data(), &naive[..]);
+        assert_eq!(matmul_a_bt(&a, &transpose(&b)).data(), &naive[..]);
     }
 
     #[test]

@@ -134,6 +134,127 @@ impl Scratch {
     }
 }
 
+/// A grow-only `f32` buffer whose storage is 64-byte (cache-line) aligned.
+///
+/// The GEMM packing stage copies A/B panels into these so the SIMD
+/// microkernels stream whole aligned cache lines; `Vec<f32>` only
+/// guarantees 4-byte alignment. Capacity never shrinks — after the first
+/// training step at a given shape, [`AlignedVec::ensure_len`] is
+/// allocation-free, preserving the zero-alloc steady-state guarantee.
+pub struct AlignedVec {
+    ptr: std::ptr::NonNull<f32>,
+    cap: usize,
+    len: usize,
+    grown: usize,
+}
+
+impl AlignedVec {
+    /// Cache-line alignment of the backing storage.
+    pub const ALIGN: usize = 64;
+
+    pub fn new() -> Self {
+        AlignedVec {
+            ptr: std::ptr::NonNull::dangling(),
+            cap: 0,
+            len: 0,
+            grown: 0,
+        }
+    }
+
+    fn layout(cap: usize) -> std::alloc::Layout {
+        std::alloc::Layout::from_size_align(cap * std::mem::size_of::<f32>(), Self::ALIGN)
+            .expect("aligned buffer layout")
+    }
+
+    /// Resize to exactly `len` elements (contents unspecified) and return
+    /// the buffer. Reallocates only when `len` exceeds the current
+    /// capacity, rounding capacity up 25% to amortize ragged-shape growth.
+    pub fn ensure_len(&mut self, len: usize) -> &mut [f32] {
+        if len > self.cap {
+            let new_cap = len.max(self.cap + self.cap / 4);
+            // SAFETY: `new_cap > 0` (it is ≥ len > cap ≥ 0), so the layout
+            // is non-zero-sized; an old block exists only when `cap > 0`
+            // and was allocated with the matching layout.
+            unsafe {
+                let new_ptr = std::alloc::alloc(Self::layout(new_cap)) as *mut f32;
+                let new_ptr = std::ptr::NonNull::new(new_ptr)
+                    .unwrap_or_else(|| std::alloc::handle_alloc_error(Self::layout(new_cap)));
+                if self.cap > 0 {
+                    std::alloc::dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.cap));
+                }
+                self.ptr = new_ptr;
+            }
+            self.cap = new_cap;
+            self.grown += 1;
+        }
+        self.len = len;
+        self.as_mut_slice()
+    }
+
+    /// Number of reallocations since construction — the zero-alloc test
+    /// hook, mirroring [`Scratch::grown`].
+    pub fn grown(&self) -> usize {
+        self.grown
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        // SAFETY: `len ≤ cap` elements are allocated; when `cap == 0`,
+        // `len == 0` and a dangling pointer is valid for empty slices.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        // SAFETY: as in `as_slice`, plus `&mut self` gives exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Default for AlignedVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for AlignedVec {
+    fn drop(&mut self) {
+        if self.cap > 0 {
+            // SAFETY: the block was allocated with exactly this layout.
+            unsafe { std::alloc::dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.cap)) };
+        }
+    }
+}
+
+/// Aligned packing buffers for one GEMM invocation: the packed A blocks and
+/// the packed B panels of the current reduction chunk.
+#[derive(Default)]
+pub(crate) struct PackBufs {
+    pub a: AlignedVec,
+    pub b: AlignedVec,
+}
+
+thread_local! {
+    /// Per-thread pack arena. GEMM drivers borrow it for the duration of
+    /// one call; buffers grow to the largest shape seen and then serve
+    /// every later call allocation-free. Thread-local (rather than passed
+    /// through `Scratch`) because pool workers and the main thread hit
+    /// GEMM through many call paths that don't thread a scratch handle.
+    static PACK_BUFS: std::cell::RefCell<PackBufs> = std::cell::RefCell::new(PackBufs::default());
+}
+
+/// Borrow this thread's packing buffers. Panics on re-entrant borrow —
+/// GEMM drivers never nest.
+pub(crate) fn with_pack_bufs<R>(f: impl FnOnce(&mut PackBufs) -> R) -> R {
+    PACK_BUFS.with(|b| f(&mut b.borrow_mut()))
+}
+
 /// Pop the parked buffer whose capacity fits `len` most tightly; if none
 /// fits, pop the largest one (growing a single buffer converges faster than
 /// growing many). Linear scan — the list is small by construction.
@@ -223,6 +344,42 @@ mod tests {
         s.recycle(vec![7.0; 32]);
         let z = s.take_zeroed(16);
         assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn aligned_vec_alignment_and_growth() {
+        let mut v = AlignedVec::new();
+        assert!(v.is_empty());
+        let s = v.ensure_len(100);
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.as_ptr() as usize % AlignedVec::ALIGN, 0);
+        s.fill(1.0);
+        assert_eq!(v.grown(), 1);
+        // Shrinking and re-growing within capacity must not reallocate.
+        let ptr = v.as_slice().as_ptr();
+        v.ensure_len(10);
+        v.ensure_len(100);
+        assert_eq!(v.grown(), 1);
+        assert_eq!(v.as_slice().as_ptr(), ptr);
+        // Growing past capacity reallocates, still aligned.
+        let s = v.ensure_len(1000);
+        assert_eq!(s.as_ptr() as usize % AlignedVec::ALIGN, 0);
+        assert_eq!(v.grown(), 2);
+        assert_eq!(v.len(), 1000);
+    }
+
+    #[test]
+    fn pack_bufs_are_reused_per_thread() {
+        let first = with_pack_bufs(|p| {
+            p.a.ensure_len(64);
+            p.a.as_slice().as_ptr() as usize
+        });
+        let (second, grown) = with_pack_bufs(|p| {
+            p.a.ensure_len(32);
+            (p.a.as_slice().as_ptr() as usize, p.a.grown())
+        });
+        assert_eq!(first, second, "thread-local buffer must be reused");
+        assert_eq!(grown, 1);
     }
 
     #[test]

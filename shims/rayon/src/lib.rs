@@ -13,6 +13,16 @@
 //!
 //! Pool size: `DTRAIN_THREADS` if set (≥ 1), else
 //! `std::thread::available_parallelism()`. Read once at first use.
+//!
+//! **Oversubscription policy.** A pool configured wider than the host
+//! (`DTRAIN_THREADS` > cores) exists so determinism sweeps and benches can
+//! exercise real multi-thread scheduling on small CI machines. Ambient
+//! regions — ones not inside an explicit [`with_max_threads`] scope — are
+//! capped at [`host_parallelism`] so ordinary kernels never pay
+//! oversubscription contention; explicit scopes bypass the cap (the sweep
+//! asked for that width on purpose), and `DTRAIN_OVERSUBSCRIBE=1` removes
+//! the cap globally. Benches annotate records where the requested width
+//! exceeds the host (see `bench_kernels`).
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -117,10 +127,42 @@ fn fallback_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Number of threads a parallel region may use right now (pool width capped
-/// by any enclosing [`with_max_threads`] scope).
+/// What the hardware actually offers: `std::thread::available_parallelism()`
+/// read once. Distinct from the pool width, which `DTRAIN_THREADS` may set
+/// wider for width sweeps on small hosts.
+pub fn host_parallelism() -> usize {
+    static HOST: OnceLock<usize> = OnceLock::new();
+    *HOST.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Configured pool width (`DTRAIN_THREADS` / `available_parallelism`):
+/// the widest an explicit [`with_max_threads`] scope can actually go.
+pub fn pool_width() -> usize {
+    pool().threads
+}
+
+fn oversubscribe_allowed() -> bool {
+    static ALLOW: OnceLock<bool> = OnceLock::new();
+    *ALLOW.get_or_init(|| std::env::var("DTRAIN_OVERSUBSCRIBE").is_ok_and(|v| v.trim() == "1"))
+}
+
+/// Number of threads a parallel region may use right now: pool width capped
+/// by any enclosing [`with_max_threads`] scope. Ambient regions (no scope)
+/// are additionally capped at [`host_parallelism`] unless
+/// `DTRAIN_OVERSUBSCRIBE=1` — an oversubscribed width only slows real work
+/// down, so it must be asked for explicitly (width sweeps do, via scopes).
 pub fn current_num_threads() -> usize {
-    pool().threads.min(MAX_THREADS.with(Cell::get)).max(1)
+    let cap = MAX_THREADS.with(Cell::get);
+    let width = pool().threads.min(cap);
+    if cap == usize::MAX && !oversubscribe_allowed() {
+        width.min(host_parallelism()).max(1)
+    } else {
+        width.max(1)
+    }
 }
 
 /// Run `f` with parallel regions limited to at most `k` participants
@@ -401,6 +443,31 @@ mod tests {
             assert_eq!(super::current_num_threads(), 1);
         });
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn ambient_width_never_oversubscribes_host() {
+        if super::oversubscribe_allowed() {
+            return; // the operator explicitly opted out of the cap
+        }
+        assert!(super::current_num_threads() <= super::host_parallelism());
+    }
+
+    #[test]
+    fn explicit_scope_bypasses_host_cap() {
+        // An explicit width request is honored up to the pool width even
+        // when it exceeds the host — sweeps rely on this.
+        let pool_width = super::pool().threads;
+        super::with_max_threads(pool_width, || {
+            assert_eq!(super::current_num_threads(), pool_width);
+        });
+    }
+
+    #[test]
+    fn host_parallelism_is_positive_and_stable() {
+        let h = super::host_parallelism();
+        assert!(h >= 1);
+        assert_eq!(h, super::host_parallelism());
     }
 
     #[test]

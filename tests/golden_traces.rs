@@ -239,6 +239,58 @@ fn elastic_markers_appear_in_canonical_traces() {
     );
 }
 
+/// Timing passivity: kernel speed must be invisible to traces. The
+/// simulated clock is driven by the layer profile, never by kernel
+/// wall-clock, and every SIMD tier shares one reduction order — so a
+/// real-math observed run executed on the portable scalar tier and on the
+/// widest supported SIMD tier must produce a byte-identical canonical
+/// trace, the same virtual end time, and bit-identical accuracy. This is
+/// the regression fence that lets kernels get faster (or slower) without
+/// ever re-blessing a golden trace.
+#[test]
+fn kernel_speed_cannot_alter_golden_traces() {
+    use dtrain_core::presets::{accuracy_run, AccuracyScale};
+    use dtrain_tensor::simd::{supported_isas, with_isa, Isa};
+
+    let scale = AccuracyScale {
+        epochs: 1,
+        train_size: 128,
+        test_size: 64,
+        batch: 16,
+        base_lr: 0.02,
+        seed: 11,
+    };
+    let cfg = accuracy_run(Algo::Bsp, 2, &scale);
+    let run_on = |isa: Isa| {
+        with_isa(isa, || {
+            let sink = ObsSink::enabled();
+            let out = run_observed(&cfg, &sink);
+            (
+                canonical_trace(&sink.snapshot()),
+                out.end_time,
+                out.final_accuracy.map(f32::to_bits),
+            )
+        })
+    };
+    let widest = *supported_isas().first().expect("scalar always supported");
+    let (scalar_trace, scalar_end, scalar_acc) = run_on(Isa::Scalar);
+    let (simd_trace, simd_end, simd_acc) = run_on(widest);
+    assert_eq!(
+        scalar_end, simd_end,
+        "virtual end time depends on the kernel ISA"
+    );
+    assert_eq!(
+        scalar_acc, simd_acc,
+        "accuracy is not bit-identical across ISA tiers"
+    );
+    if let Some(report) = diff_canonical(&scalar_trace, &simd_trace) {
+        panic!(
+            "canonical trace differs between scalar and {} kernels:\n{report}",
+            widest.name()
+        );
+    }
+}
+
 #[test]
 fn traces_are_deterministic_across_runs() {
     let a = canonical_trace(&record(Algo::Bsp));
