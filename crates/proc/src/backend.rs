@@ -1,0 +1,391 @@
+//! [`ProcBackend`]: the [`ExecBackend`] a worker *process* runs
+//! [`dtrain_runtime::worker_body`] against — every primitive is an RPC to
+//! the coordinator over the worker's single TCP connection.
+//!
+//! Error policy: the coordinator is the authority on this path. A worker
+//! that loses its connection (coordinator died, or the coordinator already
+//! evicted it and closed the socket) has nothing useful left to do, so RPC
+//! failures panic and take the process down — which is exactly what the
+//! coordinator's failure model expects of a dead peer, and what keeps test
+//! machines free of orphaned trainers.
+
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dtrain_nn::{ParamSet, SgdMomentum};
+use dtrain_runtime::{BspOutcome, ExecBackend, PeerRequest, ReplyToken};
+
+use crate::codec::CodecError;
+use crate::proto::Msg;
+
+/// Bounded-backoff connect: `retries` attempts, delay doubling from
+/// `backoff` — workers race the coordinator's listener at spawn.
+fn connect_with_retry(
+    addr: &str,
+    retries: u32,
+    backoff: Duration,
+) -> Result<TcpStream, std::io::Error> {
+    let mut delay = backoff;
+    let mut last_err = None;
+    for attempt in 0..retries.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => last_err = Some(e),
+        }
+        if attempt + 1 < retries.max(1) {
+            std::thread::sleep(delay);
+            delay = delay.saturating_mul(2);
+        }
+    }
+    Err(last_err.unwrap_or_else(|| std::io::Error::other("no connect attempts made")))
+}
+
+/// The process-path execution backend: one per worker process.
+pub struct ProcBackend {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    w: usize,
+    momentum: f32,
+    weight_decay: f32,
+    start_round: u64,
+    init_params: ParamSet,
+    /// One Membership RPC per round, memoized (AD-PSGD / gossip targeting
+    /// ask several times per iteration).
+    live_cache: Option<(u64, Vec<usize>)>,
+    /// Is an AD-PSGD exchange outstanding on this connection?
+    pending_exchange: bool,
+}
+
+impl ProcBackend {
+    /// Connect to the coordinator at `addr` as rank `w` and complete the
+    /// handshake. `momentum`/`weight_decay` rebuild the optimizer state a
+    /// checkpoint restore cannot carry (velocity is process-local).
+    pub fn connect(
+        addr: &str,
+        w: usize,
+        momentum: f32,
+        weight_decay: f32,
+        retries: u32,
+        backoff: Duration,
+    ) -> Result<ProcBackend, CodecError> {
+        let stream = connect_with_retry(addr, retries, backoff)?;
+        stream.set_nodelay(true).ok();
+        // Safety net: a worker whose coordinator goes silent for this long
+        // is orphaned and must die rather than linger.
+        stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        Msg::Hello { worker: w as u32 }.write_to(&mut writer)?;
+        let mut backend = ProcBackend {
+            reader,
+            writer,
+            w,
+            momentum,
+            weight_decay,
+            start_round: 0,
+            init_params: ParamSet(Vec::new()),
+            live_cache: None,
+            pending_exchange: false,
+        };
+        match Msg::read_from(&mut backend.reader)? {
+            Msg::HelloAck {
+                start_round,
+                params,
+            } => {
+                backend.start_round = start_round;
+                backend.init_params = params;
+                Ok(backend)
+            }
+            _ => Err(CodecError::Malformed("expected HelloAck")),
+        }
+    }
+
+    /// The round this rank enters training at (0, or the rejoin round the
+    /// coordinator pinned for a replacement process).
+    pub fn start_round(&self) -> u64 {
+        self.start_round
+    }
+
+    /// Global parameters at handshake time.
+    pub fn initial_params(&self) -> &ParamSet {
+        &self.init_params
+    }
+
+    /// Send the final outcome and wait for the coordinator's ack.
+    pub fn complete(
+        &mut self,
+        iterations: u64,
+        logical_bytes: u64,
+        params: ParamSet,
+    ) -> Result<(), CodecError> {
+        match self.rpc(Msg::RunComplete {
+            iterations,
+            logical_bytes,
+            params,
+        })? {
+            Msg::Ok => Ok(()),
+            _ => Err(CodecError::Malformed("expected Ok for RunComplete")),
+        }
+    }
+
+    fn rpc(&mut self, msg: Msg) -> Result<Msg, CodecError> {
+        msg.write_to(&mut self.writer)?;
+        Msg::read_from(&mut self.reader)
+    }
+
+    /// RPC that must succeed: a worker with a dead coordinator link exits.
+    fn must(&mut self, msg: Msg) -> Msg {
+        match self.rpc(msg) {
+            Ok(m) => m,
+            Err(e) => panic!("worker {}: coordinator RPC failed: {e}", self.w),
+        }
+    }
+
+    fn expect_ok(&mut self, msg: Msg) {
+        match self.must(msg) {
+            Msg::Ok => {}
+            other => panic!("worker {}: expected Ok, got {other:?}", self.w),
+        }
+    }
+
+    fn expect_params(&mut self, msg: Msg) -> ParamSet {
+        match self.must(msg) {
+            Msg::Params { params } => params,
+            other => panic!("worker {}: expected Params, got {other:?}", self.w),
+        }
+    }
+}
+
+impl ExecBackend for ProcBackend {
+    fn rank(&self) -> usize {
+        self.w
+    }
+
+    // Membership on this path is always elastic: it reflects real process
+    // deaths, not a schedule.
+    fn elastic(&self) -> bool {
+        true
+    }
+
+    fn death_round(&mut self, _w: usize) -> Option<u64> {
+        // A live process never observes its own scheduled death — deaths
+        // here are real signals, detected by the coordinator.
+        None
+    }
+
+    fn rejoin_round(&mut self, w: usize) -> Option<u64> {
+        (w == self.w && self.start_round > 0).then_some(self.start_round)
+    }
+
+    fn is_live(&mut self, w: usize, round: u64) -> bool {
+        if w == self.w {
+            // Rounds before a replacement's pinned entry are skipped
+            // locally, without asking the coordinator.
+            return round >= self.start_round;
+        }
+        self.live_at(round).contains(&w)
+    }
+
+    fn live_at(&mut self, round: u64) -> Vec<usize> {
+        if let Some((r, live)) = &self.live_cache {
+            if *r == round {
+                return live.clone();
+            }
+        }
+        let live: Vec<usize> = match self.must(Msg::Membership { round }) {
+            Msg::LiveSet { live } => live.into_iter().map(|v| v as usize).collect(),
+            other => panic!("worker {}: expected LiveSet, got {other:?}", self.w),
+        };
+        self.live_cache = Some((round, live.clone()));
+        live
+    }
+
+    fn note_eviction(&mut self) {}
+
+    fn note_rejoin(&mut self) {}
+
+    fn park_clock(&mut self) {}
+
+    fn ps_snapshot(&mut self) -> ParamSet {
+        self.expect_params(Msg::Snapshot)
+    }
+
+    fn ps_push_pull(&mut self, grad: &ParamSet, lr: f32) -> ParamSet {
+        self.expect_params(Msg::AspPushPull {
+            grad: grad.clone(),
+            lr,
+        })
+    }
+
+    fn ps_push(&mut self, grad: &ParamSet, lr: f32) {
+        self.expect_ok(Msg::SspPush {
+            grad: grad.clone(),
+            lr,
+        });
+    }
+
+    fn ps_elastic_exchange(&mut self, params: &ParamSet, alpha: f32) -> ParamSet {
+        self.expect_params(Msg::EasgdExchange {
+            params: params.clone(),
+            alpha,
+        })
+    }
+
+    fn bump_clock(&mut self, clock: u64) {
+        self.expect_ok(Msg::BumpClock { clock });
+    }
+
+    fn wait_min_clock(&mut self, needed: u64) -> u64 {
+        match self.must(Msg::WaitMinClock { needed }) {
+            Msg::MinClock { min } => min,
+            other => panic!("worker {}: expected MinClock, got {other:?}", self.w),
+        }
+    }
+
+    fn ps_gate(&mut self) {}
+
+    fn ps_applied(&mut self) {}
+
+    fn bsp_exchange(&mut self, round: u64, grad: ParamSet, lr: f32) -> BspOutcome {
+        match self.must(Msg::BspExchange { round, lr, grad }) {
+            Msg::BspResult {
+                leader,
+                arrived,
+                expected,
+                params,
+            } => BspOutcome {
+                params,
+                arrived: leader.then_some(arrived as usize),
+                expected: expected as usize,
+            },
+            other => panic!("worker {}: expected BspResult, got {other:?}", self.w),
+        }
+    }
+
+    fn gossip_send(&mut self, target: usize, params: ParamSet, alpha: f32) {
+        self.expect_ok(Msg::GossipSend {
+            target: target as u32,
+            alpha,
+            params,
+        });
+    }
+
+    fn gossip_drain(&mut self) -> Vec<(ParamSet, f32)> {
+        match self.must(Msg::GossipDrain) {
+            Msg::GossipItems { items } => items.into_iter().map(|(a, p)| (p, a)).collect(),
+            other => panic!("worker {}: expected GossipItems, got {other:?}", self.w),
+        }
+    }
+
+    fn exchange_request(&mut self, target: usize, params: ParamSet) {
+        self.expect_ok(Msg::ExchangeRequest {
+            target: target as u32,
+            params,
+        });
+        self.pending_exchange = true;
+    }
+
+    fn exchange_await(&mut self) -> Option<ParamSet> {
+        if !self.pending_exchange {
+            return None;
+        }
+        self.pending_exchange = false;
+        match self.must(Msg::ExchangeAwait) {
+            Msg::Params { params } => Some(params),
+            Msg::Gone => None,
+            other => panic!(
+                "worker {}: expected Params/Gone for ExchangeAwait, got {other:?}",
+                self.w
+            ),
+        }
+    }
+
+    fn exchange_next(&mut self, block: bool) -> Option<PeerRequest> {
+        match self.must(Msg::ExchangePoll { block }) {
+            Msg::ExchangeItem { token, params } => Some(PeerRequest::Exchange {
+                params,
+                token: ReplyToken::Remote(token),
+            }),
+            Msg::PeerDone => Some(PeerRequest::Done),
+            Msg::Gone => None,
+            other => panic!(
+                "worker {}: expected item/done/gone for ExchangePoll, got {other:?}",
+                self.w
+            ),
+        }
+    }
+
+    fn exchange_reply(&mut self, token: ReplyToken, midpoint: ParamSet) {
+        match token {
+            ReplyToken::Remote(token) => self.expect_ok(Msg::ExchangeRespond {
+                token,
+                params: midpoint,
+            }),
+            ReplyToken::Local(_) => {
+                unreachable!("process backend never issues local reply tokens")
+            }
+        }
+    }
+
+    fn announce_done(&mut self) {
+        self.expect_ok(Msg::AnnounceDone);
+    }
+
+    fn startup(&mut self, _params: &ParamSet, _opt: &SgdMomentum) {
+        // First heartbeat: announces the round this rank is about to run
+        // (also arms the test pause gate at a start round).
+        match self.must(Msg::Heartbeat {
+            round: self.start_round,
+        }) {
+            Msg::HeartbeatAck { .. } => {}
+            other => panic!("worker {}: expected HeartbeatAck, got {other:?}", self.w),
+        }
+    }
+
+    fn poll_crash(&mut self, _local_iter: u64) -> Option<Option<(ParamSet, SgdMomentum, u64)>> {
+        // Crashes on this path are real signals, never injected.
+        None
+    }
+
+    fn checkpoint_restore(&mut self) -> Option<(ParamSet, SgdMomentum, u64)> {
+        match self.must(Msg::CkptFetch) {
+            Msg::CkptState { iteration, params } => {
+                // Optimizer velocity died with the original process; the
+                // restore resumes with momentum state rebuilt from zero.
+                Some((
+                    params,
+                    SgdMomentum::new(self.momentum, self.weight_decay),
+                    iteration,
+                ))
+            }
+            Msg::Gone => None,
+            other => panic!("worker {}: expected CkptState/Gone, got {other:?}", self.w),
+        }
+    }
+
+    fn iter_end(
+        &mut self,
+        round: u64,
+        _local_iter: u64,
+        _elapsed: Duration,
+        state: &mut dyn FnMut() -> (ParamSet, SgdMomentum),
+    ) {
+        let next = round + 1;
+        let ack = self.must(Msg::Heartbeat { round: next });
+        let checkpoint = match ack {
+            Msg::HeartbeatAck { checkpoint } => checkpoint,
+            other => panic!("worker {}: expected HeartbeatAck, got {other:?}", self.w),
+        };
+        if checkpoint {
+            let (params, _opt) = state();
+            self.expect_ok(Msg::CkptSave {
+                iteration: next,
+                params,
+            });
+        }
+        self.live_cache = None;
+    }
+
+    fn finish(&mut self) {}
+}

@@ -1,0 +1,67 @@
+//! The worker process: connect to the coordinator, run the shared
+//! algorithm body over the process backend, report the outcome, exit.
+//!
+//! Spawned by the coordinator as
+//! `dtrain-proc-worker --addr <host:port> --worker <rank> --cfg <packed>`.
+
+use std::time::{Duration, Instant};
+
+use dtrain_data::teacher_task;
+use dtrain_models::mlp_classifier;
+use dtrain_obs::{ObsSink, Track};
+use dtrain_proc::config::decode_worker_cfg;
+use dtrain_proc::ProcBackend;
+use dtrain_runtime::worker_body;
+
+fn arg(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let addr = arg("--addr").unwrap_or_else(|| die("missing --addr"));
+    let worker: usize = arg("--worker")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| die("missing/bad --worker"));
+    let cfg_str = arg("--cfg").unwrap_or_else(|| die("missing --cfg"));
+    let wc = decode_worker_cfg(&cfg_str).unwrap_or_else(|e| die(&format!("bad --cfg: {e}")));
+
+    let (train, _test) = teacher_task(&wc.task);
+    let mut net = mlp_classifier(
+        wc.task.input_dim,
+        &wc.hidden,
+        wc.task.num_classes,
+        wc.model_seed,
+    );
+    let mut backend = ProcBackend::connect(
+        &addr,
+        worker,
+        wc.plan.momentum,
+        wc.plan.weight_decay,
+        20,
+        Duration::from_millis(15),
+    )
+    .unwrap_or_else(|e| die(&format!("worker {worker}: connect to {addr} failed: {e}")));
+    // Adopt the coordinator's current globals (bit-identical to the local
+    // init for a fresh run; the live state for a rejoin replacement).
+    net.set_params(&backend.initial_params().clone());
+
+    // Worker-side events die with the process; the coordinator emits the
+    // canonical trace. A noop sink keeps worker_body's obs calls free.
+    let sink = ObsSink::disabled();
+    let track = sink.track(Track::Worker(worker as u16));
+    let outcome = worker_body(&mut backend, net, &train, &wc.plan, &track, Instant::now());
+    backend
+        .complete(outcome.iterations, outcome.logical_bytes, outcome.params)
+        .unwrap_or_else(|e| die(&format!("worker {worker}: completion report failed: {e}")));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("dtrain-proc-worker: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,264 @@
+//! The wire codec: versioned length-delimited binary frames plus the
+//! payload primitives the RPC layer is built from.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! [ version: u8 ][ type: u8 ][ len: u32 ][ payload: len bytes ]
+//! ```
+//!
+//! * `version` — [`PROTO_VERSION`]; a mismatch is a hard decode error, not
+//!   a negotiation (both ends ship from the same tree).
+//! * `type` — the message discriminant (see `proto::Msg`).
+//! * `len` — payload length, capped at [`MAX_PAYLOAD`] so a corrupt or
+//!   hostile length prefix cannot drive an unbounded allocation.
+//!
+//! Floats cross the wire via `to_le_bytes`/`from_le_bytes`, so parameter
+//! payloads are bit-exact round trips — the cross-path conformance pins
+//! (`logical.bytes` equality with the sim and threaded paths) depend on
+//! that.
+//!
+//! Every decode failure is an [`Err`], never a panic: the coordinator must
+//! treat a garbled peer as a dead peer, not die with it.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use dtrain_nn::ParamSet;
+use dtrain_tensor::Tensor;
+
+/// Wire protocol version; bumped on any frame or payload layout change.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Hard cap on a single frame's payload (64 MiB). Large enough for any
+/// model this repo trains; small enough that a corrupt length prefix
+/// cannot OOM the coordinator.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// Why a frame or payload failed to decode.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Transport-level failure (includes clean EOF mid-frame).
+    Io(io::Error),
+    /// First byte was not [`PROTO_VERSION`].
+    BadVersion(u8),
+    /// Length prefix exceeded [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// Payload structure didn't match the declared message type.
+    Malformed(&'static str),
+    /// Unknown message discriminant.
+    BadType(u8),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "io: {e}"),
+            CodecError::BadVersion(v) => {
+                write!(f, "bad protocol version {v} (expected {PROTO_VERSION})")
+            }
+            CodecError::Oversized(n) => {
+                write!(f, "payload length {n} exceeds cap {MAX_PAYLOAD}")
+            }
+            CodecError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            CodecError::BadType(t) => write!(f, "unknown message type {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+/// Write one frame: header + payload, then flush.
+pub fn write_frame<W: Write>(w: &mut W, msg_type: u8, payload: &[u8]) -> Result<(), CodecError> {
+    debug_assert!(payload.len() as u64 <= MAX_PAYLOAD as u64);
+    let mut header = [0u8; 6];
+    header[0] = PROTO_VERSION;
+    header[1] = msg_type;
+    header[2..6].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame; returns `(type, payload)`.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>), CodecError> {
+    let mut header = [0u8; 6];
+    r.read_exact(&mut header)?;
+    if header[0] != PROTO_VERSION {
+        return Err(CodecError::BadVersion(header[0]));
+    }
+    let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]);
+    if len > MAX_PAYLOAD {
+        return Err(CodecError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok((header[1], payload))
+}
+
+/// Payload writer: appends primitives to a byte buffer.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn f32(&mut self, v: f32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Parameter/gradient set: `u32 ntensors`, then per tensor
+    /// `u8 rank, rank x u32 dims, product x f32 data`.
+    pub fn params(&mut self, p: &ParamSet) -> &mut Self {
+        self.u32(p.0.len() as u32);
+        for t in &p.0 {
+            let shape = t.shape();
+            self.u8(shape.len() as u8);
+            for &d in shape {
+                self.u32(d as u32);
+            }
+            for &v in t.data() {
+                self.f32(v);
+            }
+        }
+        self
+    }
+
+    /// Optional parameter set: `u8` presence flag then the set.
+    pub fn opt_params(&mut self, p: Option<&ParamSet>) -> &mut Self {
+        match p {
+            Some(p) => {
+                self.u8(1);
+                self.params(p)
+            }
+            None => self.u8(0),
+        }
+    }
+}
+
+/// Payload reader: consumes primitives from a byte slice; any overrun or
+/// inconsistency is a [`CodecError::Malformed`].
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Payload fully consumed? Call after the last field to reject
+    /// trailing garbage.
+    pub fn done(&self) -> Result<(), CodecError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError::Malformed("trailing bytes"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(CodecError::Malformed("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(CodecError::Malformed("payload truncated"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub fn f32(&mut self) -> Result<f32, CodecError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn params(&mut self) -> Result<ParamSet, CodecError> {
+        let ntensors = self.u32()? as usize;
+        // A tensor costs at least 1 byte of rank on the wire; reject counts
+        // the remaining payload cannot possibly hold.
+        if ntensors > self.buf.len().saturating_sub(self.pos) {
+            return Err(CodecError::Malformed("tensor count exceeds payload"));
+        }
+        let mut tensors = Vec::with_capacity(ntensors);
+        for _ in 0..ntensors {
+            let rank = self.u8()? as usize;
+            let mut shape = Vec::with_capacity(rank);
+            let mut len = 1usize;
+            for _ in 0..rank {
+                let d = self.u32()? as usize;
+                len = len
+                    .checked_mul(d)
+                    .ok_or(CodecError::Malformed("dim overflow"))?;
+                shape.push(d);
+            }
+            if len > self.buf.len().saturating_sub(self.pos) / 4 + 1 {
+                return Err(CodecError::Malformed("tensor data exceeds payload"));
+            }
+            let mut data = Vec::with_capacity(len);
+            for _ in 0..len {
+                data.push(self.f32()?);
+            }
+            tensors.push(Tensor::from_vec(&shape, data));
+        }
+        Ok(ParamSet(tensors))
+    }
+
+    pub fn opt_params(&mut self) -> Result<Option<ParamSet>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.params()?)),
+            _ => Err(CodecError::Malformed("bad presence flag")),
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Process-path run configuration, its argv encoding for worker
+//! processes, and worker-binary discovery.
+//!
+//! The coordinator and its workers are separate OS processes, so the run
+//! configuration crosses an `argv` boundary: [`encode_worker_cfg`] packs
+//! the path-agnostic subset (plan + task + model) into one `key=value`
+//! string and [`decode_worker_cfg`] restores it in the worker `main`.
+//! Floats travel as bit patterns (`to_bits` hex) so both sides construct
+//! bit-identical models and schedules — the cross-path pins depend on it.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use dtrain_data::TeacherTaskConfig;
+use dtrain_runtime::{RunPlan, Strategy};
+
+/// A scheduled late rejoin: when rank `worker`'s process death is
+/// recorded, the coordinator spawns a replacement process for the same
+/// rank that re-enters the cohort at `at_round` (pinned, so iteration
+/// counts stay deterministic).
+#[derive(Clone, Copy, Debug)]
+pub struct RejoinSpec {
+    pub worker: usize,
+    pub at_round: u64,
+}
+
+/// Configuration for a process-path training run.
+#[derive(Clone, Debug)]
+pub struct ProcConfig {
+    /// The path-agnostic slice shared with the threaded runtime.
+    pub plan: RunPlan,
+    /// The synthetic task both sides rebuild deterministically.
+    pub task: TeacherTaskConfig,
+    /// MLP hidden layer widths (the model every worker builds).
+    pub hidden: Vec<usize>,
+    /// Seed for the model's parameter init.
+    pub model_seed: u64,
+    /// Local iterations between coordinator checkpoint directives
+    /// (0 = no periodic checkpoints).
+    pub checkpoint_interval: u64,
+    /// A BSP round that cannot fill within this window force-closes
+    /// partially (the degrade-to-partial-barrier path).
+    pub barrier_deadline: Duration,
+    /// Worker connect: attempts and base backoff (doubled per retry).
+    pub connect_retries: u32,
+    pub connect_backoff: Duration,
+    /// Socket read timeout on worker connections — a transfer that stalls
+    /// longer than this counts as a dead peer.
+    pub transfer_deadline: Duration,
+    /// Test hook: freeze rank `.0`'s connection handler when its heartbeat
+    /// announces round `.1` (before the round executes), so a test can
+    /// `SIGKILL` the process at a pinned point.
+    pub pause_at: Option<(usize, u64)>,
+    /// Scheduled late rejoin after a real process death.
+    pub rejoin: Option<RejoinSpec>,
+    /// Worker binary override; default is discovery next to the current
+    /// executable (see [`worker_exe`]).
+    pub worker_exe: Option<PathBuf>,
+}
+
+impl Default for ProcConfig {
+    fn default() -> Self {
+        ProcConfig {
+            plan: RunPlan::default(),
+            task: TeacherTaskConfig::default(),
+            hidden: vec![64, 32],
+            model_seed: 7,
+            checkpoint_interval: 10,
+            barrier_deadline: Duration::from_millis(1500),
+            connect_retries: 8,
+            connect_backoff: Duration::from_millis(10),
+            transfer_deadline: Duration::from_secs(60),
+            pause_at: None,
+            rejoin: None,
+            worker_exe: None,
+        }
+    }
+}
+
+fn strategy_str(s: Strategy) -> String {
+    match s {
+        Strategy::Bsp => "bsp".into(),
+        Strategy::Asp => "asp".into(),
+        Strategy::Ssp { staleness } => format!("ssp:{staleness}"),
+        Strategy::Easgd { tau, alpha } => format!("easgd:{tau}:{:08x}", alpha.to_bits()),
+        Strategy::Gossip { p } => format!("gossip:{:016x}", p.to_bits()),
+        Strategy::AdPsgd => "adpsgd".into(),
+    }
+}
+
+fn parse_strategy(s: &str) -> Result<Strategy, String> {
+    let mut parts = s.split(':');
+    let head = parts.next().unwrap_or("");
+    fn hex(part: Option<&str>, s: &str, what: &str) -> Result<u64, String> {
+        part.and_then(|v| u64::from_str_radix(v, 16).ok())
+            .ok_or_else(|| format!("strategy {s}: bad {what}"))
+    }
+    match head {
+        "bsp" => Ok(Strategy::Bsp),
+        "asp" => Ok(Strategy::Asp),
+        "adpsgd" => Ok(Strategy::AdPsgd),
+        "ssp" => {
+            let st = parts
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| format!("strategy {s}: bad staleness"))?;
+            Ok(Strategy::Ssp { staleness: st })
+        }
+        "easgd" => {
+            let tau = parts
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| format!("strategy {s}: bad tau"))?;
+            let alpha = f32::from_bits(hex(parts.next(), s, "alpha")? as u32);
+            Ok(Strategy::Easgd { tau, alpha })
+        }
+        "gossip" => Ok(Strategy::Gossip {
+            p: f64::from_bits(hex(parts.next(), s, "p")?),
+        }),
+        other => Err(format!("unknown strategy '{other}'")),
+    }
+}
+
+/// Pack the worker-visible subset of `cfg` into one argv-safe string.
+pub fn encode_worker_cfg(cfg: &ProcConfig) -> String {
+    let p = &cfg.plan;
+    let t = &cfg.task;
+    let hidden = cfg
+        .hidden
+        .iter()
+        .map(|h| h.to_string())
+        .collect::<Vec<_>>()
+        .join("-");
+    format!(
+        "workers={},epochs={},batch={},strategy={},lr={:08x},mom={:08x},wd={:08x},seed={},\
+         in={},th={},nc={},ts={},tes={},noise={:08x},tseed={},hidden={},mseed={}",
+        p.workers,
+        p.epochs,
+        p.batch,
+        strategy_str(p.strategy),
+        p.base_lr.to_bits(),
+        p.momentum.to_bits(),
+        p.weight_decay.to_bits(),
+        p.seed,
+        t.input_dim,
+        t.teacher_hidden,
+        t.num_classes,
+        t.train_size,
+        t.test_size,
+        t.label_noise.to_bits(),
+        t.seed,
+        hidden,
+        cfg.model_seed,
+    )
+}
+
+/// The worker-visible run description, restored from the argv string.
+pub struct WorkerCfg {
+    pub plan: RunPlan,
+    pub task: TeacherTaskConfig,
+    pub hidden: Vec<usize>,
+    pub model_seed: u64,
+}
+
+/// Inverse of [`encode_worker_cfg`].
+pub fn decode_worker_cfg(s: &str) -> Result<WorkerCfg, String> {
+    let mut plan = RunPlan::default();
+    let mut task = TeacherTaskConfig::default();
+    let mut hidden = Vec::new();
+    let mut model_seed = 0u64;
+    for kv in s.split(',') {
+        let (k, v) = kv
+            .trim()
+            .split_once('=')
+            .ok_or_else(|| format!("bad pair '{kv}'"))?;
+        let int = || v.parse::<u64>().map_err(|_| format!("bad int for {k}"));
+        let bits = || u32::from_str_radix(v, 16).map_err(|_| format!("bad float bits for {k}"));
+        match k {
+            "workers" => plan.workers = int()? as usize,
+            "epochs" => plan.epochs = int()?,
+            "batch" => plan.batch = int()? as usize,
+            "strategy" => plan.strategy = parse_strategy(v)?,
+            "lr" => plan.base_lr = f32::from_bits(bits()?),
+            "mom" => plan.momentum = f32::from_bits(bits()?),
+            "wd" => plan.weight_decay = f32::from_bits(bits()?),
+            "seed" => plan.seed = int()?,
+            "in" => task.input_dim = int()? as usize,
+            "th" => task.teacher_hidden = int()? as usize,
+            "nc" => task.num_classes = int()? as usize,
+            "ts" => task.train_size = int()? as usize,
+            "tes" => task.test_size = int()? as usize,
+            "noise" => task.label_noise = f32::from_bits(bits()?),
+            "tseed" => task.seed = int()?,
+            "hidden" => {
+                hidden = v
+                    .split('-')
+                    .filter(|p| !p.is_empty())
+                    .map(|p| p.parse::<usize>().map_err(|_| format!("bad hidden '{v}'")))
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+            "mseed" => model_seed = int()?,
+            other => return Err(format!("unknown key '{other}'")),
+        }
+    }
+    Ok(WorkerCfg {
+        plan,
+        task,
+        hidden,
+        model_seed,
+    })
+}
+
+/// Locate the `dtrain-proc-worker` binary: the explicit override, the
+/// `DTRAIN_PROC_WORKER` env var, or discovery next to the current
+/// executable (test binaries live in `target/<profile>/deps/`, the worker
+/// bin one level up in `target/<profile>/`).
+pub fn worker_exe(over: Option<&PathBuf>) -> Result<PathBuf, String> {
+    if let Some(p) = over {
+        return Ok(p.clone());
+    }
+    if let Ok(p) = std::env::var("DTRAIN_PROC_WORKER") {
+        return Ok(PathBuf::from(p));
+    }
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut dir = me
+        .parent()
+        .ok_or_else(|| "current_exe has no parent".to_string())?
+        .to_path_buf();
+    for _ in 0..2 {
+        let candidate = dir.join("dtrain-proc-worker");
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+        match dir.parent() {
+            Some(p) => dir = p.to_path_buf(),
+            None => break,
+        }
+    }
+    Err(
+        "cannot locate dtrain-proc-worker binary; build it (cargo build -p dtrain-proc) \
+         or set DTRAIN_PROC_WORKER / ProcConfig::worker_exe"
+            .to_string(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_cfg_round_trips() {
+        let mut cfg = ProcConfig::default();
+        cfg.plan.strategy = Strategy::Easgd {
+            tau: 4,
+            alpha: 0.23,
+        };
+        cfg.plan.base_lr = 0.0173;
+        cfg.hidden = vec![48, 24, 12];
+        cfg.model_seed = 99;
+        cfg.task.label_noise = 0.031;
+        let s = encode_worker_cfg(&cfg);
+        let back = decode_worker_cfg(&s).expect("decode");
+        assert_eq!(back.plan.workers, cfg.plan.workers);
+        assert_eq!(back.plan.base_lr.to_bits(), cfg.plan.base_lr.to_bits());
+        assert!(matches!(back.plan.strategy, Strategy::Easgd { tau: 4, alpha } if alpha == 0.23));
+        assert_eq!(back.hidden, cfg.hidden);
+        assert_eq!(back.model_seed, 99);
+        assert_eq!(
+            back.task.label_noise.to_bits(),
+            cfg.task.label_noise.to_bits()
+        );
+    }
+
+    #[test]
+    fn all_strategies_round_trip() {
+        for s in [
+            Strategy::Bsp,
+            Strategy::Asp,
+            Strategy::Ssp { staleness: 3 },
+            Strategy::Easgd {
+                tau: 8,
+                alpha: 0.125,
+            },
+            Strategy::Gossip { p: 0.37 },
+            Strategy::AdPsgd,
+        ] {
+            let back = parse_strategy(&strategy_str(s)).expect("parse");
+            assert_eq!(format!("{back:?}"), format!("{s:?}"));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_worker_cfg("workers").is_err());
+        assert!(decode_worker_cfg("bogus=1").is_err());
+        assert!(decode_worker_cfg("strategy=warp:9").is_err());
+        assert!(decode_worker_cfg("lr=nothex").is_err());
+    }
+}

@@ -1,0 +1,1019 @@
+//! The coordinator: spawns worker processes, owns the authoritative
+//! membership/parameter-server/barrier state, and services each worker's
+//! RPCs from a per-connection handler thread.
+//!
+//! ## Topology and threading
+//!
+//! Star topology: every worker process holds one TCP connection to the
+//! coordinator and is always the caller, so a handler thread services one
+//! worker's requests strictly in order. Blocking requests (BSP barrier
+//! arrival, SSP clock waits, AD-PSGD mailbox polls) simply park the
+//! handler thread; the other connections keep moving.
+//!
+//! ## Failure model
+//!
+//! Worker death is detected two ways, both funneling into
+//! [`Coord::record_death`] (idempotent): the connection handler hits an
+//! I/O error (EOF/RST after a `SIGKILL`, or a read past the transfer
+//! deadline), and a reaper thread polls `Child::try_wait`. A recorded
+//! death evicts the rank from the dynamic membership table at the round
+//! its last heartbeat announced, parks its SSP clock at `u64::MAX`,
+//! resolves its in-flight exchanges as gone, and frees its data shard
+//! (marked as a shard failover on the runtime obs track). Synchronous
+//! rounds the victim had a seat in force-close partially at the barrier
+//! deadline; later rounds size their cohort from the updated table. A
+//! scheduled [`RejoinSpec`] makes the coordinator spawn a replacement
+//! process for the same rank, which re-enters at the pinned round through
+//! the PR 4 adoption path.
+//!
+//! Membership queries are answered by a [`MembershipView`] rebuilt from
+//! the observed evict/rejoin events — the same round-indexed view the
+//! simulator and threaded paths consult, here fed by real process deaths.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dtrain_data::teacher_task;
+use dtrain_faults::{markers, CheckpointStore, MembershipView};
+use dtrain_models::mlp_classifier;
+use dtrain_nn::{ParamSet, SgdMomentum};
+use dtrain_obs::{names, ObsSink, Track, TrackHandle};
+use dtrain_runtime::{ElasticBarrier, PsState};
+use parking_lot::{Condvar, Mutex};
+
+use crate::codec::CodecError;
+use crate::config::{encode_worker_cfg, worker_exe, ProcConfig};
+use crate::proto::Msg;
+
+/// Why a process-path run failed to launch or finish.
+#[derive(Debug)]
+pub enum ProcError {
+    Io(std::io::Error),
+    Config(String),
+    /// The run did not reach completion within the supervision timeout.
+    Stalled(String),
+}
+
+impl std::fmt::Display for ProcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcError::Io(e) => write!(f, "io: {e}"),
+            ProcError::Config(s) => write!(f, "config: {s}"),
+            ProcError::Stalled(s) => write!(f, "stalled: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ProcError {}
+
+impl From<std::io::Error> for ProcError {
+    fn from(e: std::io::Error) -> Self {
+        ProcError::Io(e)
+    }
+}
+
+/// Per-worker facts carried in the final report.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerStats {
+    /// Iterations the rank executed (replacement process included).
+    pub iterations: u64,
+    /// Cumulative payload bytes pushed (`logical.bytes`); for a killed
+    /// rank, only what its replacement reported (the victim's counter
+    /// died with it).
+    pub logical_bytes: u64,
+    /// Did this rank's original process die mid-run?
+    pub evicted: bool,
+}
+
+/// Outcome of a process-path run.
+#[derive(Clone, Debug)]
+pub struct ProcReport {
+    pub strategy: &'static str,
+    pub final_accuracy: f32,
+    pub final_loss: f32,
+    pub wall_time: Duration,
+    /// Iterations executed across all ranks, victims' partial progress
+    /// included (counted from their heartbeat rounds).
+    pub total_iterations: u64,
+    pub evictions: u64,
+    pub rejoins: u64,
+    /// BSP rounds that force-closed partially at the barrier deadline.
+    pub partial_rounds: u64,
+    pub per_worker: Vec<WorkerStats>,
+}
+
+/// One queued AD-PSGD mailbox item.
+enum QItem {
+    Exchange { token: u64, params: ParamSet },
+    Done,
+}
+
+/// State of one relayed AD-PSGD exchange, keyed by token.
+enum Pending {
+    Waiting,
+    Ready(ParamSet),
+    Gone,
+}
+
+#[derive(Default)]
+struct Mailbox {
+    gossip: VecDeque<(f32, ParamSet)>,
+    exchange: VecDeque<QItem>,
+}
+
+/// The dynamic membership table: evict/rejoin events observed from real
+/// process deaths, plus per-rank progress facts.
+struct Members {
+    evicts: Vec<(usize, u64)>,
+    rejoins: Vec<(usize, u64)>,
+    /// Round each rank's next heartbeat will announce (= rounds executed
+    /// + start round).
+    last_hb: Vec<u64>,
+    start_round: Vec<u64>,
+    /// Iterations a killed original process got through before dying.
+    victim_iters: Vec<u64>,
+    /// Completed outcome per rank (replacement's, for rejoined ranks).
+    outcomes: Vec<Option<(u64, u64, ParamSet)>>,
+}
+
+impl Members {
+    fn view(&self, workers: usize) -> MembershipView {
+        MembershipView::from_events(workers, &self.evicts, &self.rejoins)
+    }
+
+    fn dead(&self, w: usize) -> bool {
+        self.evicts.iter().any(|&(v, _)| v == w)
+    }
+}
+
+struct PauseState {
+    armed: Option<(usize, u64)>,
+    paused: Option<usize>,
+    released: bool,
+}
+
+/// Shared coordinator state (one per run), behind an `Arc` so handler
+/// threads, the reaper, and the [`ProcRun`] handle all see it.
+struct Coord {
+    cfg: ProcConfig,
+    ps: Arc<PsState>,
+    bsp_slots: Mutex<BTreeMap<u64, BTreeMap<usize, ParamSet>>>,
+    bsp_enter: ElasticBarrier,
+    bsp_leave: ElasticBarrier,
+    members: Mutex<Members>,
+    member_cv: Condvar,
+    mail: Mutex<Vec<Mailbox>>,
+    mail_cv: Condvar,
+    pending: Mutex<HashMap<u64, Pending>>,
+    pending_cv: Condvar,
+    next_token: AtomicU64,
+    store: CheckpointStore,
+    pause: Mutex<PauseState>,
+    pause_cv: Condvar,
+    children: Mutex<Vec<(usize, Child)>>,
+    evictions: AtomicU64,
+    rejoins: AtomicU64,
+    partial_rounds: AtomicU64,
+    stop: AtomicBool,
+    wall: Instant,
+    obs_rt: TrackHandle,
+    obs_workers: Vec<TrackHandle>,
+    /// Spawn recipe for rejoin replacements.
+    exe: std::path::PathBuf,
+    addr: String,
+    cfg_str: String,
+}
+
+impl Coord {
+    fn ns(&self) -> u64 {
+        self.wall.elapsed().as_nanos() as u64
+    }
+
+    fn live_at(&self, round: u64) -> Vec<usize> {
+        self.members
+            .lock()
+            .view(self.cfg.plan.workers)
+            .live_at(round)
+    }
+
+    fn spawn_worker(&self, w: usize) -> Result<(), ProcError> {
+        let child = Command::new(&self.exe)
+            .arg("--addr")
+            .arg(&self.addr)
+            .arg("--worker")
+            .arg(w.to_string())
+            .arg("--cfg")
+            .arg(&self.cfg_str)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()?;
+        self.children.lock().push((w, child));
+        Ok(())
+    }
+
+    /// Record rank `w`'s process death (idempotent): evict it at the round
+    /// its last heartbeat announced, park its clock, resolve its relayed
+    /// exchanges, and spawn the scheduled replacement if one is due.
+    fn record_death(&self, w: usize) {
+        let (_evict_round, spawn_rejoin) = {
+            let mut m = self.members.lock();
+            if m.dead(w) || m.outcomes[w].is_some() {
+                return;
+            }
+            let at = m.last_hb[w];
+            m.evicts.push((w, at));
+            m.victim_iters[w] = at.saturating_sub(m.start_round[w]);
+            let spawn = match self.cfg.rejoin {
+                Some(spec) if spec.worker == w => {
+                    m.rejoins.push((w, spec.at_round));
+                    Some(spec.at_round)
+                }
+                None | Some(_) => None,
+            };
+            (at, spawn)
+        };
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        // Park the dead clock so SSP survivors' staleness gate excludes it.
+        self.ps.bump_clock(w, u64::MAX);
+        markers::crash(&self.obs_rt, self.ns(), w);
+        markers::evict(&self.obs_rt, self.ns(), w);
+        // The victim's data shard leaves the cohort with it — survivors
+        // keep their own shards (shard ownership re-maps, work does not
+        // silently vanish from the metrics: the report counts the victim's
+        // partial progress separately).
+        markers::shard_failover(&self.obs_rt, self.ns(), w);
+        // Resolve exchanges queued *at* the victim: the requesters get
+        // "gone" instead of blocking forever.
+        {
+            let mut mail = self.mail.lock();
+            let dropped: Vec<QItem> = mail[w].exchange.drain(..).collect();
+            drop(mail);
+            let mut pend = self.pending.lock();
+            for item in dropped {
+                if let QItem::Exchange { token, .. } = item {
+                    pend.insert(token, Pending::Gone);
+                }
+            }
+        }
+        // A dead active can no longer announce completion: synthesize its
+        // Done so passives don't drain forever.
+        if w.is_multiple_of(2) {
+            let mut mail = self.mail.lock();
+            for (v, mb) in mail.iter_mut().enumerate() {
+                if v % 2 == 1 {
+                    mb.exchange.push_back(QItem::Done);
+                }
+            }
+        }
+        self.pending_cv.notify_all();
+        self.mail_cv.notify_all();
+        self.member_cv.notify_all();
+        if spawn_rejoin.is_some() {
+            if let Err(e) = self.spawn_worker(w) {
+                eprintln!("dtrain-proc: failed to spawn rejoin replacement for {w}: {e}");
+            }
+        }
+    }
+
+    /// Service one request from rank `w`. `Ok(None)` means the connection
+    /// is done (clean completion).
+    fn dispatch(&self, w: usize, msg: Msg) -> Result<Option<Msg>, CodecError> {
+        let reply = match msg {
+            Msg::Heartbeat { round } => {
+                {
+                    let mut m = self.members.lock();
+                    m.last_hb[w] = m.last_hb[w].max(round);
+                }
+                // Test pause gate: freeze this handler (and therefore the
+                // worker, which blocks on the ack) at a pinned round.
+                {
+                    let mut p = self.pause.lock();
+                    if p.armed == Some((w, round)) {
+                        p.armed = None;
+                        p.paused = Some(w);
+                        self.pause_cv.notify_all();
+                        while !p.released {
+                            self.pause_cv.wait(&mut p);
+                        }
+                    }
+                }
+                let executed = {
+                    let m = self.members.lock();
+                    round.saturating_sub(m.start_round[w])
+                };
+                Msg::HeartbeatAck {
+                    checkpoint: self.store.due(executed),
+                }
+            }
+            Msg::Membership { round } => Msg::LiveSet {
+                live: self.live_at(round).into_iter().map(|v| v as u32).collect(),
+            },
+            Msg::Snapshot => Msg::Params {
+                params: self.ps.snapshot(),
+            },
+            Msg::AspPushPull { grad, lr } => Msg::Params {
+                params: self.ps.push_and_pull(&grad, lr),
+            },
+            Msg::SspPush { grad, lr } => {
+                let mut g = self.ps.global.lock();
+                let (params, opt) = &mut *g;
+                opt.step(params, &grad, lr);
+                Msg::Ok
+            }
+            Msg::EasgdExchange { params, alpha } => Msg::Params {
+                params: self.ps.elastic_exchange(&params, alpha),
+            },
+            Msg::BumpClock { clock } => {
+                self.ps.bump_clock(w, clock);
+                Msg::Ok
+            }
+            Msg::WaitMinClock { needed } => Msg::MinClock {
+                min: self.ps.wait_for_min_clock(needed),
+            },
+            Msg::BspExchange { round, lr, grad } => self.bsp_exchange(w, round, lr, grad),
+            Msg::GossipSend {
+                target,
+                alpha,
+                params,
+            } => {
+                let target = target as usize;
+                if target < self.cfg.plan.workers {
+                    self.mail.lock()[target].gossip.push_back((alpha, params));
+                }
+                Msg::Ok
+            }
+            Msg::GossipDrain => Msg::GossipItems {
+                items: self.mail.lock()[w].gossip.drain(..).collect(),
+            },
+            Msg::ExchangeRequest { target, params } => {
+                let target = target as usize;
+                let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+                let target_dead =
+                    target >= self.cfg.plan.workers || self.members.lock().dead(target);
+                if target_dead {
+                    self.pending.lock().insert(token, Pending::Gone);
+                } else {
+                    self.pending.lock().insert(token, Pending::Waiting);
+                    self.mail.lock()[target]
+                        .exchange
+                        .push_back(QItem::Exchange { token, params });
+                    self.mail_cv.notify_all();
+                }
+                // The token rides back in the ack so the same connection's
+                // later ExchangeAwait can claim it.
+                Msg::MinClock { min: token }
+            }
+            Msg::ExchangeAwait => {
+                // The worker encodes the awaited token as a WaitMinClock
+                // would be ambiguous; ProcBackend tracks its own single
+                // outstanding token, so Await carries no payload and we
+                // resolve the newest token registered by this rank.
+                unreachable!("ExchangeAwait is handled in the connection loop")
+            }
+            Msg::ExchangePoll { block } => self.exchange_poll(w, block),
+            Msg::ExchangeRespond { token, params } => {
+                let mut pend = self.pending.lock();
+                if let Some(p @ Pending::Waiting) = pend.get_mut(&token) {
+                    *p = Pending::Ready(params);
+                }
+                drop(pend);
+                self.pending_cv.notify_all();
+                Msg::Ok
+            }
+            Msg::AnnounceDone => {
+                let mut mail = self.mail.lock();
+                for (v, mb) in mail.iter_mut().enumerate() {
+                    if v % 2 == 1 && v != w {
+                        mb.exchange.push_back(QItem::Done);
+                    }
+                }
+                drop(mail);
+                self.mail_cv.notify_all();
+                Msg::Ok
+            }
+            Msg::CkptSave { iteration, params } => {
+                self.store.save(
+                    w,
+                    iteration,
+                    &params,
+                    &SgdMomentum::new(self.cfg.plan.momentum, self.cfg.plan.weight_decay),
+                );
+                markers::ckpt_save(&self.obs_rt, self.ns(), iteration);
+                Msg::Ok
+            }
+            Msg::CkptFetch => match self.store.restore(w) {
+                Some(cp) => Msg::CkptState {
+                    iteration: cp.iteration,
+                    params: cp.params,
+                },
+                None => Msg::Gone,
+            },
+            Msg::RunComplete {
+                iterations,
+                logical_bytes,
+                params,
+            } => {
+                self.obs_workers[w].counter(self.ns(), names::LOGICAL_BYTES, logical_bytes as i64);
+                {
+                    let mut m = self.members.lock();
+                    m.outcomes[w] = Some((iterations, logical_bytes, params));
+                }
+                // Anything still queued at this rank will never be served.
+                {
+                    let mut mail = self.mail.lock();
+                    let dropped: Vec<QItem> = mail[w].exchange.drain(..).collect();
+                    drop(mail);
+                    let mut pend = self.pending.lock();
+                    for item in dropped {
+                        if let QItem::Exchange { token, .. } = item {
+                            pend.insert(token, Pending::Gone);
+                        }
+                    }
+                    self.pending_cv.notify_all();
+                }
+                self.member_cv.notify_all();
+                return Ok(Some(Msg::Ok)); // connection loop ends after this
+            }
+            other => {
+                return Err(CodecError::Malformed(match other {
+                    Msg::Hello { .. } => "unexpected Hello after handshake",
+                    _ => "unexpected message type from worker",
+                }))
+            }
+        };
+        Ok(Some(reply))
+    }
+
+    fn bsp_exchange(&self, w: usize, round: u64, lr: f32, grad: ParamSet) -> Msg {
+        self.bsp_slots
+            .lock()
+            .entry(round)
+            .or_default()
+            .insert(w, grad);
+        let (expected, deadline) = {
+            let m = self.members.lock();
+            let view = m.view(self.cfg.plan.workers);
+            let expected = view.live_at(round).len().max(1);
+            // A rejoiner waiting at its re-entry round arrives arbitrarily
+            // early; it must not force-close the round it waits to join.
+            let deadline = if view.rejoin_round(w) == Some(round) {
+                None
+            } else {
+                Some(self.cfg.barrier_deadline)
+            };
+            (expected, deadline)
+        };
+        let mut leader = false;
+        let mut arrived_n = 0usize;
+        if let Some(arrived) = self.bsp_enter.wait(round, expected, deadline) {
+            leader = true;
+            arrived_n = arrived;
+            let deposited = self.bsp_slots.lock().remove(&round).unwrap_or_default();
+            let grads: Vec<&ParamSet> = deposited.values().collect();
+            if !grads.is_empty() {
+                let mean = ParamSet::mean_of(&grads);
+                self.ps.apply_round(&mean, lr);
+            }
+            if arrived < expected {
+                self.partial_rounds.fetch_add(1, Ordering::Relaxed);
+                markers::partial_barrier(&self.obs_rt, self.ns(), arrived);
+            }
+        }
+        self.bsp_leave.wait(round, expected, deadline);
+        Msg::BspResult {
+            leader,
+            arrived: arrived_n as u32,
+            expected: expected as u32,
+            params: self.ps.snapshot(),
+        }
+    }
+
+    fn exchange_poll(&self, w: usize, block: bool) -> Msg {
+        loop {
+            {
+                let mut mail = self.mail.lock();
+                if let Some(item) = mail[w].exchange.pop_front() {
+                    return match item {
+                        QItem::Exchange { token, params } => Msg::ExchangeItem { token, params },
+                        QItem::Done => Msg::PeerDone,
+                    };
+                }
+                if !block {
+                    return Msg::Gone;
+                }
+                // Bounded wait so stop/death conditions are re-checked even
+                // if a notify races past.
+                self.mail_cv.wait_for(&mut mail, Duration::from_millis(50));
+            }
+            if self.stop.load(Ordering::Relaxed) {
+                return Msg::Gone;
+            }
+        }
+    }
+
+    /// Resolve rank `w`'s outstanding exchange `token` (blocks).
+    fn exchange_await(&self, token: u64) -> Msg {
+        let mut pend = self.pending.lock();
+        loop {
+            match pend.get(&token) {
+                Some(Pending::Ready(_)) => {
+                    if let Some(Pending::Ready(p)) = pend.remove(&token) {
+                        return Msg::Params { params: p };
+                    }
+                    return Msg::Gone;
+                }
+                Some(Pending::Gone) | None => {
+                    pend.remove(&token);
+                    return Msg::Gone;
+                }
+                Some(Pending::Waiting) => {
+                    self.pending_cv
+                        .wait_for(&mut pend, Duration::from_millis(50));
+                    if self.stop.load(Ordering::Relaxed) {
+                        pend.remove(&token);
+                        return Msg::Gone;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One worker connection's service loop: handshake already done; read a
+/// request, dispatch, write the reply, until completion or death.
+fn serve_connection(coord: &Arc<Coord>, w: usize, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(coord.cfg.transfer_deadline));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            coord.record_death(w);
+            return;
+        }
+    });
+    let mut writer = BufWriter::new(stream);
+    // One outstanding AD-PSGD exchange token per rank (the protocol allows
+    // at most one in flight).
+    let mut cur_token: Option<u64> = None;
+    loop {
+        let msg = match Msg::read_from(&mut reader) {
+            Ok(m) => m,
+            Err(_) => {
+                coord.record_death(w);
+                return;
+            }
+        };
+        let (reply, finished) = match msg {
+            Msg::ExchangeAwait => {
+                let r = match cur_token.take() {
+                    Some(tok) => coord.exchange_await(tok),
+                    None => Msg::Gone,
+                };
+                (Some(r), false)
+            }
+            Msg::ExchangeRequest { .. } => {
+                let r = match coord.dispatch(w, msg) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        coord.record_death(w);
+                        return;
+                    }
+                };
+                // The dispatch smuggles the token back as MinClock{min};
+                // keep it connection-local and ack the worker with Ok.
+                if let Some(Msg::MinClock { min }) = r {
+                    cur_token = Some(min);
+                }
+                (Some(Msg::Ok), false)
+            }
+            Msg::RunComplete { .. } => {
+                let r = match coord.dispatch(w, msg) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        coord.record_death(w);
+                        return;
+                    }
+                };
+                (r, true)
+            }
+            other => match coord.dispatch(w, other) {
+                Ok(r) => (r, false),
+                Err(_) => {
+                    coord.record_death(w);
+                    return;
+                }
+            },
+        };
+        if let Some(reply) = reply {
+            if reply.write_to(&mut writer).is_err() {
+                coord.record_death(w);
+                return;
+            }
+        }
+        if finished {
+            return;
+        }
+    }
+}
+
+/// A live process-path run: spawned workers, their connections, and the
+/// control hooks tests use (pause / kill / release). Dropping the handle
+/// kills and reaps every child it spawned — no orphans survive a panic.
+pub struct ProcRun {
+    coord: Arc<Coord>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    started: Instant,
+    sink_enabled: bool,
+    cleaned: bool,
+}
+
+impl ProcRun {
+    /// Spawn `cfg.plan.workers` worker processes against a fresh loopback
+    /// listener and start serving them.
+    pub fn launch(cfg: ProcConfig, sink: &ObsSink) -> Result<ProcRun, ProcError> {
+        let workers = cfg.plan.workers;
+        assert!(workers >= 1, "need at least one worker");
+        let shard_len = cfg.task.train_size / workers;
+        assert!(
+            cfg.task.train_size.is_multiple_of(workers) && shard_len.is_multiple_of(cfg.plan.batch),
+            "dataset ({}) must divide evenly into workers x batch ({} x {})",
+            cfg.task.train_size,
+            workers,
+            cfg.plan.batch
+        );
+        let exe = worker_exe(cfg.worker_exe.as_ref()).map_err(ProcError::Config)?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?.to_string();
+        let init_net = mlp_classifier(
+            cfg.task.input_dim,
+            &cfg.hidden,
+            cfg.task.num_classes,
+            cfg.model_seed,
+        );
+        let ps = PsState::new(
+            init_net.get_params(),
+            cfg.plan.momentum,
+            cfg.plan.weight_decay,
+            workers,
+        );
+        let cfg_str = encode_worker_cfg(&cfg);
+        let coord = Arc::new(Coord {
+            ps,
+            bsp_slots: Mutex::new(BTreeMap::new()),
+            bsp_enter: ElasticBarrier::new(),
+            bsp_leave: ElasticBarrier::new(),
+            members: Mutex::new(Members {
+                evicts: Vec::new(),
+                rejoins: Vec::new(),
+                last_hb: vec![0; workers],
+                start_round: vec![0; workers],
+                victim_iters: vec![0; workers],
+                outcomes: (0..workers).map(|_| None).collect(),
+            }),
+            member_cv: Condvar::new(),
+            mail: Mutex::new((0..workers).map(|_| Mailbox::default()).collect()),
+            mail_cv: Condvar::new(),
+            pending: Mutex::new(HashMap::new()),
+            pending_cv: Condvar::new(),
+            next_token: AtomicU64::new(1),
+            store: CheckpointStore::new(cfg.checkpoint_interval),
+            pause: Mutex::new(PauseState {
+                armed: cfg.pause_at,
+                paused: None,
+                released: false,
+            }),
+            pause_cv: Condvar::new(),
+            children: Mutex::new(Vec::new()),
+            evictions: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
+            partial_rounds: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            wall: Instant::now(),
+            obs_rt: sink.track(Track::Runtime(0)),
+            obs_workers: (0..workers)
+                .map(|w| sink.track(Track::Worker(w as u16)))
+                .collect(),
+            exe,
+            addr,
+            cfg_str,
+            cfg,
+        });
+
+        // Accept loop: handshake each incoming connection, then hand it to
+        // a handler thread. Keeps accepting so rejoin replacements can
+        // connect late.
+        let accept_coord = Arc::clone(&coord);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_coord.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                let Ok(stream) = stream else { continue };
+                let coord = Arc::clone(&accept_coord);
+                std::thread::spawn(move || {
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                    let mut reader = BufReader::new(match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => return,
+                    });
+                    let Ok(Msg::Hello { worker }) = Msg::read_from(&mut reader) else {
+                        return;
+                    };
+                    let w = worker as usize;
+                    if w >= coord.cfg.plan.workers {
+                        return;
+                    }
+                    let start_round = {
+                        let mut m = coord.members.lock();
+                        let start = if m.dead(w) {
+                            // The replacement for a killed rank: re-enter
+                            // at the pinned rejoin round.
+                            let at = m
+                                .rejoins
+                                .iter()
+                                .find(|&&(v, _)| v == w)
+                                .map(|&(_, r)| r)
+                                .unwrap_or(0);
+                            coord.rejoins.fetch_add(1, Ordering::Relaxed);
+                            markers::rejoin(&coord.obs_rt, coord.ns(), w);
+                            at
+                        } else {
+                            0
+                        };
+                        m.start_round[w] = start;
+                        m.last_hb[w] = m.last_hb[w].max(start);
+                        start
+                    };
+                    let ack = Msg::HelloAck {
+                        start_round,
+                        params: coord.ps.snapshot(),
+                    };
+                    let mut writer = BufWriter::new(match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => return,
+                    });
+                    if ack.write_to(&mut writer).is_err() {
+                        coord.record_death(w);
+                        return;
+                    }
+                    drop(writer);
+                    serve_connection(&coord, w, stream);
+                });
+            }
+        });
+
+        // Reaper: notice child exits even when the rank's handler thread
+        // is parked (barrier, clock wait, mailbox poll).
+        let reap_coord = Arc::clone(&coord);
+        std::thread::spawn(move || loop {
+            if reap_coord.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let exited: Vec<usize> = {
+                let mut children = reap_coord.children.lock();
+                children
+                    .iter_mut()
+                    .filter_map(|(w, c)| match c.try_wait() {
+                        Ok(Some(_)) => Some(*w),
+                        _ => None,
+                    })
+                    .collect()
+            };
+            for w in exited {
+                let done = {
+                    let m = reap_coord.members.lock();
+                    m.outcomes[w].is_some()
+                };
+                if !done {
+                    reap_coord.record_death(w);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        });
+
+        for w in 0..workers {
+            coord.spawn_worker(w)?;
+        }
+        Ok(ProcRun {
+            coord,
+            accept_thread: Some(accept_thread),
+            started: Instant::now(),
+            sink_enabled: sink.is_enabled(),
+            cleaned: false,
+        })
+    }
+
+    /// PIDs of every child spawned so far, with their ranks.
+    pub fn pids(&self) -> Vec<(usize, u32)> {
+        self.coord
+            .children
+            .lock()
+            .iter()
+            .map(|(w, c)| (*w, c.id()))
+            .collect()
+    }
+
+    /// Block until the armed pause gate freezes its worker; returns the
+    /// frozen rank and its PID.
+    pub fn wait_paused(&self, timeout: Duration) -> Option<(usize, u32)> {
+        let deadline = Instant::now() + timeout;
+        let mut p = self.coord.pause.lock();
+        while p.paused.is_none() {
+            if Instant::now() >= deadline {
+                return None;
+            }
+            self.coord
+                .pause_cv
+                .wait_for(&mut p, Duration::from_millis(20));
+        }
+        let rank = p.paused.unwrap();
+        drop(p);
+        let pid = self
+            .pids()
+            .into_iter()
+            .rev()
+            .find(|&(w, _)| w == rank)
+            .map(|(_, pid)| pid)?;
+        Some((rank, pid))
+    }
+
+    /// `SIGKILL` the paused worker, release the gate, and block until the
+    /// coordinator records the eviction. Returns the killed PID.
+    pub fn kill_paused(&self, timeout: Duration) -> Option<u32> {
+        let (rank, pid) = self.wait_paused(timeout)?;
+        let _ = Command::new("kill").arg("-9").arg(pid.to_string()).status();
+        // Wait until the process is actually gone before releasing the
+        // gate, so the handler's next write/read deterministically fails.
+        let gone_by = Instant::now() + timeout;
+        while std::path::Path::new(&format!("/proc/{pid}/exe")).exists() && Instant::now() < gone_by
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        {
+            let mut p = self.coord.pause.lock();
+            p.paused = None;
+            p.released = true;
+            self.coord.pause_cv.notify_all();
+        }
+        let deadline = Instant::now() + timeout;
+        let mut m = self.coord.members.lock();
+        while !m.dead(rank) {
+            if Instant::now() >= deadline {
+                return None;
+            }
+            self.coord
+                .member_cv
+                .wait_for(&mut m, Duration::from_millis(20));
+        }
+        Some(pid)
+    }
+
+    /// Wait for every rank to account for itself, then evaluate the final
+    /// cohort's mean model and reap every child.
+    pub fn finish(mut self, timeout: Duration) -> Result<ProcReport, ProcError> {
+        let deadline = Instant::now() + timeout;
+        {
+            let mut m = self.coord.members.lock();
+            loop {
+                let done = (0..self.coord.cfg.plan.workers).all(|w| {
+                    m.outcomes[w].is_some()
+                        || (m.dead(w) && !m.rejoins.iter().any(|&(v, _)| v == w))
+                });
+                if done {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    drop(m);
+                    self.cleanup();
+                    return Err(ProcError::Stalled(format!(
+                        "run did not complete within {timeout:?}"
+                    )));
+                }
+                self.coord
+                    .member_cv
+                    .wait_for(&mut m, Duration::from_millis(50));
+            }
+        }
+        let wall_time = self.started.elapsed();
+        self.cleanup();
+        let coord = &self.coord;
+        let cfg = &coord.cfg;
+        let m = coord.members.lock();
+
+        let shard_len = cfg.task.train_size / cfg.plan.workers;
+        let last_round = (cfg.plan.epochs * (shard_len / cfg.plan.batch) as u64).saturating_sub(1);
+        let live = m.view(cfg.plan.workers).live_at(last_round);
+        let finals: Vec<&ParamSet> = m
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter(|(w, o)| o.is_some() && live.contains(w))
+            .map(|(_, o)| &o.as_ref().unwrap().2)
+            .collect();
+        let finals = if finals.is_empty() {
+            m.outcomes
+                .iter()
+                .filter_map(|o| o.as_ref().map(|(_, _, p)| p))
+                .collect()
+        } else {
+            finals
+        };
+        let mean = ParamSet::mean_of(&finals);
+        let mut eval_net = mlp_classifier(
+            cfg.task.input_dim,
+            &cfg.hidden,
+            cfg.task.num_classes,
+            cfg.model_seed,
+        );
+        eval_net.set_params(&mean);
+        let (_, test) = teacher_task(&cfg.task);
+        let (x, y) = test.as_batch();
+        let (loss, acc) = eval_net.eval_batch(x, &y);
+
+        let per_worker: Vec<WorkerStats> = (0..cfg.plan.workers)
+            .map(|w| {
+                let (iters, bytes) = m.outcomes[w]
+                    .as_ref()
+                    .map(|(i, b, _)| (*i, *b))
+                    .unwrap_or((0, 0));
+                WorkerStats {
+                    iterations: iters + m.victim_iters[w],
+                    logical_bytes: bytes,
+                    evicted: m.dead(w),
+                }
+            })
+            .collect();
+        let total_iterations = per_worker.iter().map(|s| s.iterations).sum();
+
+        Ok(ProcReport {
+            strategy: cfg.plan.strategy.name(),
+            final_accuracy: acc,
+            final_loss: loss,
+            wall_time,
+            total_iterations,
+            evictions: coord.evictions.load(Ordering::Relaxed),
+            rejoins: coord.rejoins.load(Ordering::Relaxed),
+            partial_rounds: coord.partial_rounds.load(Ordering::Relaxed),
+            per_worker,
+        })
+    }
+
+    /// Kill and reap every spawned child, stop the service threads.
+    fn cleanup(&mut self) {
+        if self.cleaned {
+            return;
+        }
+        self.cleaned = true;
+        self.coord.stop.store(true, Ordering::Relaxed);
+        // Release any paused handler so its thread can observe the dead
+        // socket and exit.
+        {
+            let mut p = self.coord.pause.lock();
+            p.released = true;
+            self.coord.pause_cv.notify_all();
+        }
+        self.coord.mail_cv.notify_all();
+        self.coord.pending_cv.notify_all();
+        // Kill (idempotent for already-exited children) and reap.
+        let mut children = std::mem::take(&mut *self.coord.children.lock());
+        for (_, child) in children.iter_mut() {
+            let _ = child.kill();
+        }
+        for (_, mut child) in children {
+            let _ = child.wait();
+        }
+        // Unblock the accept loop with a dummy connection, then join it.
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = TcpStream::connect(&self.coord.addr);
+            let _ = handle.join();
+        }
+        let _ = self.sink_enabled;
+    }
+}
+
+impl Drop for ProcRun {
+    fn drop(&mut self) {
+        self.cleanup();
+    }
+}
+
+/// Train on the process path: spawn, run to completion, evaluate.
+pub fn train_proc(cfg: ProcConfig, timeout: Duration) -> Result<ProcReport, ProcError> {
+    train_proc_observed(cfg, timeout, &ObsSink::disabled())
+}
+
+/// [`train_proc`] with structured-event observation: eviction/rejoin/
+/// partial-barrier markers and final per-worker `logical.bytes` counters
+/// land in `sink` on the same tracks the threaded path uses.
+pub fn train_proc_observed(
+    cfg: ProcConfig,
+    timeout: Duration,
+    sink: &ObsSink,
+) -> Result<ProcReport, ProcError> {
+    ProcRun::launch(cfg, sink)?.finish(timeout)
+}

@@ -1,0 +1,419 @@
+//! The RPC message set spoken between a worker process and the
+//! coordinator, and its (de)serialization onto the frame codec.
+//!
+//! One TCP connection per worker (star topology). The worker is always the
+//! caller: it sends a request frame and blocks on the reply, so there is
+//! never more than one frame in flight per connection and the coordinator's
+//! per-connection handler thread can service requests in order — including
+//! blocking ones (barrier arrival, SSP clock waits), which simply park the
+//! handler thread while other connections proceed.
+//!
+//! Decentralized algorithms are *relayed*: gossip shares and AD-PSGD
+//! exchange requests are posted to per-worker mailboxes inside the
+//! coordinator, and the passive side polls its mailbox with
+//! `ExchangePoll`/`GossipDrain` piggybacked on its own connection. A
+//! [`Msg::ExchangeItem`] carries a coordinator-assigned `token`; the
+//! passive returns the midpoint with `ExchangeRespond { token, .. }` and
+//! the coordinator routes it back to the blocked requester.
+
+use dtrain_nn::ParamSet;
+
+use crate::codec::{read_frame, write_frame, CodecError, Dec, Enc};
+
+/// Every frame that crosses a worker/coordinator connection.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    // --- handshake ---
+    /// Worker -> coordinator: first frame after connect.
+    Hello { worker: u32 },
+    /// Reply: the round to start at (0, or the rejoin round) and the
+    /// current global parameters.
+    HelloAck { start_round: u64, params: ParamSet },
+
+    // --- heartbeat / membership ---
+    /// Worker -> coordinator, once per executed iteration: "I am alive and
+    /// about to run `round`". Also the pause-gate hook for tests.
+    Heartbeat { round: u64 },
+    /// Reply: `checkpoint` directs the worker to snapshot its state back
+    /// to the coordinator's checkpoint store this iteration.
+    HeartbeatAck { checkpoint: bool },
+    /// Worker -> coordinator: who is live at `round`?
+    Membership { round: u64 },
+    /// Reply: ascending ranks live at the asked round.
+    LiveSet { live: Vec<u32> },
+
+    // --- parameter server ---
+    /// Pull the current global parameters.
+    Snapshot,
+    /// Reply carrying a parameter set (snapshot, push-pull, EASGD, BSP).
+    Params { params: ParamSet },
+    /// ASP: apply `grad` at `lr`, reply `Params` with the fresh globals.
+    AspPushPull { grad: ParamSet, lr: f32 },
+    /// SSP: apply `grad` at `lr`; reply `Ok`.
+    SspPush { grad: ParamSet, lr: f32 },
+    /// Bare acknowledgement.
+    Ok,
+    /// EASGD: symmetric elastic exchange; reply `Params`.
+    EasgdExchange { params: ParamSet, alpha: f32 },
+    /// Advance this worker's SSP clock; reply `Ok`.
+    BumpClock { clock: u64 },
+    /// Block until `min(live clocks) >= needed`; reply `MinClock`.
+    WaitMinClock { needed: u64 },
+    /// Reply: the min clock observed.
+    MinClock { min: u64 },
+
+    // --- BSP ---
+    /// Deposit `grad` for `round`; blocks until the round closes.
+    BspExchange { round: u64, lr: f32, grad: ParamSet },
+    /// Reply: post-aggregation parameters plus the leader/arrival facts
+    /// (`arrived` is meaningful only when `leader`).
+    BspResult {
+        leader: bool,
+        arrived: u32,
+        expected: u32,
+        params: ParamSet,
+    },
+
+    // --- gossip (relayed) ---
+    /// Fire-and-forget a share into `target`'s mailbox; reply `Ok`.
+    GossipSend {
+        target: u32,
+        alpha: f32,
+        params: ParamSet,
+    },
+    /// Drain this worker's gossip mailbox; reply `GossipItems`.
+    GossipDrain,
+    /// Reply: queued `(alpha, params)` shares, oldest first.
+    GossipItems { items: Vec<(f32, ParamSet)> },
+
+    // --- AD-PSGD (relayed) ---
+    /// Active side: post an exchange request into `target`'s mailbox;
+    /// reply `Ok` (the midpoint is claimed later with `ExchangeAwait`).
+    ExchangeRequest { target: u32, params: ParamSet },
+    /// Active side: block for the midpoint of the outstanding request;
+    /// reply `Params`, or `Gone` if the exchange was abandoned.
+    ExchangeAwait,
+    /// The awaited thing no longer exists (peer died, deadline passed).
+    Gone,
+    /// Passive side: poll this worker's exchange mailbox; `block` parks
+    /// the handler until an item (or `Gone` at teardown/disconnect).
+    ExchangePoll { block: bool },
+    /// Reply: one queued exchange, with the routing token for the reply.
+    ExchangeItem { token: u64, params: ParamSet },
+    /// Reply: every active worker announced completion (`Done` marker).
+    PeerDone,
+    /// Passive side: return the midpoint for `token`; reply `Ok`.
+    ExchangeRespond { token: u64, params: ParamSet },
+    /// Active side: announce completion to every passive; reply `Ok`.
+    AnnounceDone,
+
+    // --- checkpoints ---
+    /// Push a worker state snapshot to the coordinator's store; reply `Ok`.
+    CkptSave { iteration: u64, params: ParamSet },
+    /// Fetch this worker's latest checkpoint; reply `CkptState` or `Gone`.
+    CkptFetch,
+    /// Reply: a stored checkpoint.
+    CkptState { iteration: u64, params: ParamSet },
+
+    // --- completion ---
+    /// Worker -> coordinator: final frame. Carries the worker's outcome;
+    /// reply `Ok`, then both sides close.
+    RunComplete {
+        iterations: u64,
+        logical_bytes: u64,
+        params: ParamSet,
+    },
+}
+
+// Message type discriminants (frame header byte 1).
+mod t {
+    pub const HELLO: u8 = 1;
+    pub const HELLO_ACK: u8 = 2;
+    pub const HEARTBEAT: u8 = 3;
+    pub const HEARTBEAT_ACK: u8 = 4;
+    pub const MEMBERSHIP: u8 = 5;
+    pub const LIVE_SET: u8 = 6;
+    pub const SNAPSHOT: u8 = 7;
+    pub const PARAMS: u8 = 8;
+    pub const ASP_PUSH_PULL: u8 = 9;
+    pub const SSP_PUSH: u8 = 10;
+    pub const OK: u8 = 11;
+    pub const EASGD_EXCHANGE: u8 = 12;
+    pub const BUMP_CLOCK: u8 = 13;
+    pub const WAIT_MIN_CLOCK: u8 = 14;
+    pub const MIN_CLOCK: u8 = 15;
+    pub const BSP_EXCHANGE: u8 = 16;
+    pub const BSP_RESULT: u8 = 17;
+    pub const GOSSIP_SEND: u8 = 18;
+    pub const GOSSIP_DRAIN: u8 = 19;
+    pub const GOSSIP_ITEMS: u8 = 20;
+    pub const EXCHANGE_REQUEST: u8 = 21;
+    pub const EXCHANGE_AWAIT: u8 = 22;
+    pub const GONE: u8 = 23;
+    pub const EXCHANGE_POLL: u8 = 24;
+    pub const EXCHANGE_ITEM: u8 = 25;
+    pub const PEER_DONE: u8 = 26;
+    pub const EXCHANGE_RESPOND: u8 = 27;
+    pub const ANNOUNCE_DONE: u8 = 28;
+    pub const CKPT_SAVE: u8 = 29;
+    pub const CKPT_FETCH: u8 = 30;
+    pub const CKPT_STATE: u8 = 31;
+    pub const RUN_COMPLETE: u8 = 32;
+}
+
+impl Msg {
+    /// Serialize into `(type, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut e = Enc::new();
+        let ty = match self {
+            Msg::Hello { worker } => {
+                e.u32(*worker);
+                t::HELLO
+            }
+            Msg::HelloAck {
+                start_round,
+                params,
+            } => {
+                e.u64(*start_round).params(params);
+                t::HELLO_ACK
+            }
+            Msg::Heartbeat { round } => {
+                e.u64(*round);
+                t::HEARTBEAT
+            }
+            Msg::HeartbeatAck { checkpoint } => {
+                e.u8(*checkpoint as u8);
+                t::HEARTBEAT_ACK
+            }
+            Msg::Membership { round } => {
+                e.u64(*round);
+                t::MEMBERSHIP
+            }
+            Msg::LiveSet { live } => {
+                e.u32(live.len() as u32);
+                for &w in live {
+                    e.u32(w);
+                }
+                t::LIVE_SET
+            }
+            Msg::Snapshot => t::SNAPSHOT,
+            Msg::Params { params } => {
+                e.params(params);
+                t::PARAMS
+            }
+            Msg::AspPushPull { grad, lr } => {
+                e.f32(*lr).params(grad);
+                t::ASP_PUSH_PULL
+            }
+            Msg::SspPush { grad, lr } => {
+                e.f32(*lr).params(grad);
+                t::SSP_PUSH
+            }
+            Msg::Ok => t::OK,
+            Msg::EasgdExchange { params, alpha } => {
+                e.f32(*alpha).params(params);
+                t::EASGD_EXCHANGE
+            }
+            Msg::BumpClock { clock } => {
+                e.u64(*clock);
+                t::BUMP_CLOCK
+            }
+            Msg::WaitMinClock { needed } => {
+                e.u64(*needed);
+                t::WAIT_MIN_CLOCK
+            }
+            Msg::MinClock { min } => {
+                e.u64(*min);
+                t::MIN_CLOCK
+            }
+            Msg::BspExchange { round, lr, grad } => {
+                e.u64(*round).f32(*lr).params(grad);
+                t::BSP_EXCHANGE
+            }
+            Msg::BspResult {
+                leader,
+                arrived,
+                expected,
+                params,
+            } => {
+                e.u8(*leader as u8)
+                    .u32(*arrived)
+                    .u32(*expected)
+                    .params(params);
+                t::BSP_RESULT
+            }
+            Msg::GossipSend {
+                target,
+                alpha,
+                params,
+            } => {
+                e.u32(*target).f32(*alpha).params(params);
+                t::GOSSIP_SEND
+            }
+            Msg::GossipDrain => t::GOSSIP_DRAIN,
+            Msg::GossipItems { items } => {
+                e.u32(items.len() as u32);
+                for (alpha, params) in items {
+                    e.f32(*alpha).params(params);
+                }
+                t::GOSSIP_ITEMS
+            }
+            Msg::ExchangeRequest { target, params } => {
+                e.u32(*target).params(params);
+                t::EXCHANGE_REQUEST
+            }
+            Msg::ExchangeAwait => t::EXCHANGE_AWAIT,
+            Msg::Gone => t::GONE,
+            Msg::ExchangePoll { block } => {
+                e.u8(*block as u8);
+                t::EXCHANGE_POLL
+            }
+            Msg::ExchangeItem { token, params } => {
+                e.u64(*token).params(params);
+                t::EXCHANGE_ITEM
+            }
+            Msg::PeerDone => t::PEER_DONE,
+            Msg::ExchangeRespond { token, params } => {
+                e.u64(*token).params(params);
+                t::EXCHANGE_RESPOND
+            }
+            Msg::AnnounceDone => t::ANNOUNCE_DONE,
+            Msg::CkptSave { iteration, params } => {
+                e.u64(*iteration).params(params);
+                t::CKPT_SAVE
+            }
+            Msg::CkptFetch => t::CKPT_FETCH,
+            Msg::CkptState { iteration, params } => {
+                e.u64(*iteration).params(params);
+                t::CKPT_STATE
+            }
+            Msg::RunComplete {
+                iterations,
+                logical_bytes,
+                params,
+            } => {
+                e.u64(*iterations).u64(*logical_bytes).params(params);
+                t::RUN_COMPLETE
+            }
+        };
+        (ty, e.into_bytes())
+    }
+
+    /// Deserialize from `(type, payload)`.
+    pub fn decode(ty: u8, payload: &[u8]) -> Result<Msg, CodecError> {
+        let mut d = Dec::new(payload);
+        let msg = match ty {
+            t::HELLO => Msg::Hello { worker: d.u32()? },
+            t::HELLO_ACK => Msg::HelloAck {
+                start_round: d.u64()?,
+                params: d.params()?,
+            },
+            t::HEARTBEAT => Msg::Heartbeat { round: d.u64()? },
+            t::HEARTBEAT_ACK => Msg::HeartbeatAck {
+                checkpoint: d.u8()? != 0,
+            },
+            t::MEMBERSHIP => Msg::Membership { round: d.u64()? },
+            t::LIVE_SET => {
+                let n = d.u32()? as usize;
+                let mut live = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    live.push(d.u32()?);
+                }
+                Msg::LiveSet { live }
+            }
+            t::SNAPSHOT => Msg::Snapshot,
+            t::PARAMS => Msg::Params {
+                params: d.params()?,
+            },
+            t::ASP_PUSH_PULL => Msg::AspPushPull {
+                lr: d.f32()?,
+                grad: d.params()?,
+            },
+            t::SSP_PUSH => Msg::SspPush {
+                lr: d.f32()?,
+                grad: d.params()?,
+            },
+            t::OK => Msg::Ok,
+            t::EASGD_EXCHANGE => Msg::EasgdExchange {
+                alpha: d.f32()?,
+                params: d.params()?,
+            },
+            t::BUMP_CLOCK => Msg::BumpClock { clock: d.u64()? },
+            t::WAIT_MIN_CLOCK => Msg::WaitMinClock { needed: d.u64()? },
+            t::MIN_CLOCK => Msg::MinClock { min: d.u64()? },
+            t::BSP_EXCHANGE => Msg::BspExchange {
+                round: d.u64()?,
+                lr: d.f32()?,
+                grad: d.params()?,
+            },
+            t::BSP_RESULT => Msg::BspResult {
+                leader: d.u8()? != 0,
+                arrived: d.u32()?,
+                expected: d.u32()?,
+                params: d.params()?,
+            },
+            t::GOSSIP_SEND => Msg::GossipSend {
+                target: d.u32()?,
+                alpha: d.f32()?,
+                params: d.params()?,
+            },
+            t::GOSSIP_DRAIN => Msg::GossipDrain,
+            t::GOSSIP_ITEMS => {
+                let n = d.u32()? as usize;
+                let mut items = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    items.push((d.f32()?, d.params()?));
+                }
+                Msg::GossipItems { items }
+            }
+            t::EXCHANGE_REQUEST => Msg::ExchangeRequest {
+                target: d.u32()?,
+                params: d.params()?,
+            },
+            t::EXCHANGE_AWAIT => Msg::ExchangeAwait,
+            t::GONE => Msg::Gone,
+            t::EXCHANGE_POLL => Msg::ExchangePoll {
+                block: d.u8()? != 0,
+            },
+            t::EXCHANGE_ITEM => Msg::ExchangeItem {
+                token: d.u64()?,
+                params: d.params()?,
+            },
+            t::PEER_DONE => Msg::PeerDone,
+            t::EXCHANGE_RESPOND => Msg::ExchangeRespond {
+                token: d.u64()?,
+                params: d.params()?,
+            },
+            t::ANNOUNCE_DONE => Msg::AnnounceDone,
+            t::CKPT_SAVE => Msg::CkptSave {
+                iteration: d.u64()?,
+                params: d.params()?,
+            },
+            t::CKPT_FETCH => Msg::CkptFetch,
+            t::CKPT_STATE => Msg::CkptState {
+                iteration: d.u64()?,
+                params: d.params()?,
+            },
+            t::RUN_COMPLETE => Msg::RunComplete {
+                iterations: d.u64()?,
+                logical_bytes: d.u64()?,
+                params: d.params()?,
+            },
+            other => return Err(CodecError::BadType(other)),
+        };
+        d.done()?;
+        Ok(msg)
+    }
+
+    /// Write this message as one frame.
+    pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        let (ty, payload) = self.encode();
+        write_frame(w, ty, &payload)
+    }
+
+    /// Read one message from the stream.
+    pub fn read_from<R: std::io::Read>(r: &mut R) -> Result<Msg, CodecError> {
+        let (ty, payload) = read_frame(r)?;
+        Msg::decode(ty, &payload)
+    }
+}

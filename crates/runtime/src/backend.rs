@@ -1,0 +1,207 @@
+//! The execution-backend abstraction: one set of algorithm bodies, three
+//! ways to run them.
+//!
+//! [`crate::worker_body`] contains the seven aggregation algorithms written
+//! once against this trait. What varies between execution paths is *how*
+//! state moves, not *what* moves:
+//!
+//! | path | backend | transport |
+//! |---|---|---|
+//! | threads | `ThreadedBackend` (in this crate) | shared memory + channels |
+//! | processes | `ProcBackend` (`dtrain-proc`) | length-delimited frames over TCP |
+//! | simulator | `dtrain-algos` | modeled network, conformance via golden traces |
+//!
+//! The simulator keeps its own deterministic implementations (it must charge
+//! modeled time, not real time), and the PR 3 golden-trace suite plus the
+//! cross-path metric pins are what hold all three paths to the same logical
+//! behavior: identical payload bytes and iteration counts for a synchronous
+//! algorithm on the same model and schedule.
+//!
+//! Method families:
+//!
+//! * **membership** — the elastic view (PR 4): who is live at a round, when
+//!   this worker dies/rejoins. The threaded backend answers from a
+//!   pre-computed [`dtrain_faults::MembershipView`]; the process backend
+//!   answers from the coordinator's *dynamic* table, built as real
+//!   processes die.
+//! * **parameter server** — push/pull primitives for BSP/ASP/SSP/EASGD.
+//! * **peer exchange** — mailbox primitives for GoSGD and AD-PSGD.
+//! * **fault hooks** — checkpoint cadence, crash restore, heartbeats.
+
+use std::time::Duration;
+
+use crossbeam_channel::Sender;
+use dtrain_nn::{ParamSet, SgdMomentum};
+
+use crate::strategy::Strategy;
+
+/// The path-agnostic slice of a run configuration: everything
+/// [`crate::worker_body`] needs to execute its share of the training run.
+/// Both `ThreadedConfig` and the process-path config lower into this.
+#[derive(Clone, Debug)]
+pub struct RunPlan {
+    pub workers: usize,
+    pub epochs: u64,
+    pub batch: usize,
+    pub strategy: Strategy,
+    /// Single-worker base LR; scaled/warmed/decayed like the paper.
+    pub base_lr: f32,
+    pub momentum: f32,
+    pub weight_decay: f32,
+    pub seed: u64,
+}
+
+impl Default for RunPlan {
+    fn default() -> Self {
+        RunPlan {
+            workers: 4,
+            epochs: 10,
+            batch: 32,
+            strategy: Strategy::Bsp,
+            base_lr: 0.02,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of one BSP barrier round.
+pub struct BspOutcome {
+    /// Fresh global parameters after the round's aggregation.
+    pub params: ParamSet,
+    /// `Some(n)` iff this worker closed the round (the leader), with the
+    /// number of members that actually deposited — `< expected` means the
+    /// round force-closed partially at the barrier deadline.
+    pub arrived: Option<usize>,
+    /// Members the barrier was waiting for this round.
+    pub expected: usize,
+}
+
+/// Opaque return address for one AD-PSGD exchange request: the passive side
+/// hands it back with the midpoint.
+pub enum ReplyToken {
+    /// Shared-memory path: a channel straight back to the requester.
+    Local(Sender<ParamSet>),
+    /// Process path: a coordinator-assigned request id.
+    Remote(u64),
+}
+
+/// One item from a worker's peer-exchange mailbox.
+pub enum PeerRequest {
+    /// An active peer proposes an exchange; reply with the midpoint.
+    Exchange { params: ParamSet, token: ReplyToken },
+    /// One active worker announced completion (passives exit after hearing
+    /// from every active).
+    Done,
+}
+
+/// Transport + coordination primitives behind one training worker.
+///
+/// Implementations are *per worker*: a backend instance is owned by exactly
+/// one worker (thread or process) and carries its identity. Blocking
+/// methods (`bsp_exchange`, `wait_min_clock`, `exchange_next(block=true)`)
+/// may park the caller; deadline policy is the backend's.
+pub trait ExecBackend {
+    /// This worker's rank in `[0, workers)`.
+    fn rank(&self) -> usize;
+
+    // --- elastic membership ---
+
+    /// Is an elastic membership view in force? When false the gate in
+    /// `worker_body` is skipped entirely (classic restart-based recovery).
+    fn elastic(&self) -> bool;
+    /// Round at which `w` stops participating, if scheduled/observed.
+    /// (`&mut`: the process backend answers membership over RPC.)
+    fn death_round(&mut self, w: usize) -> Option<u64>;
+    /// Round at which `w` re-enters, if ever.
+    fn rejoin_round(&mut self, w: usize) -> Option<u64>;
+    /// Is `w` participating at `round`?
+    fn is_live(&mut self, w: usize, round: u64) -> bool;
+    /// Workers participating at `round`, ascending.
+    fn live_at(&mut self, round: u64) -> Vec<usize>;
+    /// Count one eviction (this worker's own death round was reached).
+    fn note_eviction(&mut self);
+    /// Count one rejoin (this worker re-entered the cohort).
+    fn note_rejoin(&mut self);
+    /// Park this worker's SSP clock at `u64::MAX` so survivors' staleness
+    /// gates exclude it.
+    fn park_clock(&mut self);
+
+    // --- centralized parameter server ---
+
+    /// Read-only snapshot of the global parameters.
+    fn ps_snapshot(&mut self) -> ParamSet;
+    /// ASP: apply `grad` at `lr`, return fresh global parameters.
+    fn ps_push_pull(&mut self, grad: &ParamSet, lr: f32) -> ParamSet;
+    /// SSP: apply `grad` at `lr` without pulling.
+    fn ps_push(&mut self, grad: &ParamSet, lr: f32);
+    /// EASGD: symmetric elastic-averaging exchange with the center.
+    fn ps_elastic_exchange(&mut self, params: &ParamSet, alpha: f32) -> ParamSet;
+    /// Advance this worker's SSP clock.
+    fn bump_clock(&mut self, clock: u64);
+    /// Block until `min(live clocks) ≥ needed`; returns the min observed.
+    fn wait_min_clock(&mut self, needed: u64) -> u64;
+    /// Fault hook: consume a pending PS outage, if any (threaded path).
+    fn ps_gate(&mut self);
+    /// Fault hook: count one PS apply toward the server checkpoint cadence.
+    fn ps_applied(&mut self);
+
+    // --- BSP ---
+
+    /// Deposit `grad` for `round`, wait for the round to close (the backend
+    /// decides the expected cohort and the barrier deadline), and return
+    /// the post-aggregation parameters.
+    fn bsp_exchange(&mut self, round: u64, grad: ParamSet, lr: f32) -> BspOutcome;
+
+    // --- decentralized: gossip ---
+
+    /// Fire-and-forget a gossip share at `target`.
+    fn gossip_send(&mut self, target: usize, params: ParamSet, alpha: f32);
+    /// Take everything queued in this worker's gossip mailbox.
+    fn gossip_drain(&mut self) -> Vec<(ParamSet, f32)>;
+
+    // --- decentralized: AD-PSGD ---
+
+    /// Active side: post an exchange request at `target` (non-blocking;
+    /// the reply is claimed later with [`Self::exchange_await`]).
+    fn exchange_request(&mut self, target: usize, params: ParamSet);
+    /// Active side: await the midpoint of the outstanding request. `None`
+    /// when the exchange was abandoned (peer death / deadline exhausted).
+    fn exchange_await(&mut self) -> Option<ParamSet>;
+    /// Passive side: next queued exchange item; blocking when `block`.
+    /// `None` means empty (non-blocking) or disconnected (blocking).
+    fn exchange_next(&mut self, block: bool) -> Option<PeerRequest>;
+    /// Passive side: return the computed midpoint to the requester.
+    fn exchange_reply(&mut self, token: ReplyToken, midpoint: ParamSet);
+    /// Active side: announce completion to every passive.
+    fn announce_done(&mut self);
+
+    // --- lifecycle / fault hooks ---
+
+    /// Called once before the first iteration (baseline checkpoint,
+    /// first heartbeat).
+    fn startup(&mut self, params: &ParamSet, opt: &SgdMomentum);
+    /// Classic (non-elastic) crash injection: if a scheduled crash point at
+    /// or before `local_iter` is pending, consume it (markers included) and
+    /// return `Some(restored_state)` — `Some(None)` when the restart budget
+    /// is exhausted and the crash is abandoned.
+    #[allow(clippy::type_complexity)]
+    fn poll_crash(&mut self, local_iter: u64) -> Option<Option<(ParamSet, SgdMomentum, u64)>>;
+    /// Latest checkpoint for this worker (rejoin adoption for the
+    /// decentralized family).
+    #[allow(clippy::type_complexity)]
+    fn checkpoint_restore(&mut self) -> Option<(ParamSet, SgdMomentum, u64)>;
+    /// Called at the end of every executed iteration: heartbeat, straggler
+    /// stretch, global iteration accounting, checkpoint cadence. `state`
+    /// materializes a snapshot only if the backend decides to checkpoint.
+    fn iter_end(
+        &mut self,
+        round: u64,
+        local_iter: u64,
+        elapsed: Duration,
+        state: &mut dyn FnMut() -> (ParamSet, SgdMomentum),
+    );
+    /// Called once after the last iteration (final heartbeat).
+    fn finish(&mut self);
+}

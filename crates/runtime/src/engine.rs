@@ -5,23 +5,28 @@
 //! same algorithms, real parallelism, real wall-clock. Execution is
 //! nondeterministic (true races decide interleavings), so tests assert
 //! learning outcomes rather than exact values.
+//!
+//! The algorithm bodies themselves live in [`crate::worker_body`], written
+//! once against the [`ExecBackend`] trait; this module provides
+//! [`ThreadedBackend`] — the shared-memory implementation — plus the
+//! thread supervisor (fault injection, watchdog, final aggregation).
 
-use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::unbounded;
+use crossbeam_channel::{unbounded, Receiver};
 use dtrain_data::Dataset;
 use dtrain_faults::{markers, CheckpointStore, MembershipView, RuntimeFaultSchedule};
-use dtrain_nn::{LrSchedule, Network, ParamSet, SgdMomentum};
-use dtrain_obs::{names, ObsSink, Phase, Track, TrackHandle, NO_ITER};
-use dtrain_tensor::Tensor;
-use parking_lot::{Condvar, Mutex};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use dtrain_nn::{Network, ParamSet, SgdMomentum};
+use dtrain_obs::{ObsSink, Track, TrackHandle};
+use parking_lot::Mutex;
 
+use crate::backend::{BspOutcome, ExecBackend, PeerRequest, ReplyToken, RunPlan};
 use crate::strategy::{ExchangeMsg, GossipMsg, PeerCtrl, PeerNet, PsState, Strategy};
+use crate::sync::ElasticBarrier;
+use crate::worker::worker_body;
 
 /// Checkpoint-store owner key for the shared parameter server (workers use
 /// their own index; mirrors the simulator's `PS_OWNER_BASE` convention).
@@ -101,6 +106,22 @@ pub struct ThreadedConfig {
     pub weight_decay: f32,
     pub seed: u64,
     pub faults: Option<RuntimeFaultConfig>,
+}
+
+impl ThreadedConfig {
+    /// The path-agnostic slice handed to [`worker_body`].
+    pub fn plan(&self) -> RunPlan {
+        RunPlan {
+            workers: self.workers,
+            epochs: self.epochs,
+            batch: self.batch,
+            strategy: self.strategy,
+            base_lr: self.base_lr,
+            momentum: self.momentum,
+            weight_decay: self.weight_decay,
+            seed: self.seed,
+        }
+    }
 }
 
 impl Default for ThreadedConfig {
@@ -203,14 +224,27 @@ impl FaultRuntime {
     /// state, or `None` when the retry budget is exhausted (the crash is
     /// abandoned and the worker continues with its live state).
     fn crash_restart(&self, w: usize) -> Option<(ParamSet, SgdMomentum, u64)> {
-        if self.restarts.load(Ordering::Relaxed) >= self.cfg.max_restarts {
+        // Reserve a slot in the budget atomically: concurrent crashes must
+        // not all pass a stale read of the counter and overrun the cap.
+        let reserved = self
+            .restarts
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| {
+                (r < self.cfg.max_restarts).then_some(r + 1)
+            })
+            .is_ok();
+        if !reserved {
             self.abandoned.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         std::thread::sleep(self.cfg.restart_backoff);
-        let cp = self.store.restore(w)?;
-        self.restarts.fetch_add(1, Ordering::Relaxed);
-        Some((cp.params, cp.opt, cp.iteration))
+        match self.store.restore(w) {
+            Some(cp) => Some((cp.params, cp.opt, cp.iteration)),
+            None => {
+                // No checkpoint to restore from: hand the slot back.
+                self.restarts.fetch_sub(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Consume any PS outage whose window start the global iteration
@@ -287,82 +321,304 @@ fn watchdog(fr: &FaultRuntime) {
     }
 }
 
-/// A round-keyed barrier whose cohort size may change between rounds —
-/// the elastic replacement for `std::sync::Barrier`'s fixed count.
-///
-/// Every live member of round `r` calls `wait(r, expected, ..)` once; the
-/// arrival that completes the round closes it and is told so (it plays the
-/// BSP leader). Arrivals to an already-closed round pass straight through
-/// (their deposit is folded into the next round, ASP-style). With a
-/// deadline, the longest-blocked member force-closes a round that cannot
-/// fill — the degrade-to-partial-barrier path.
-struct ElasticBarrier {
-    state: Mutex<BarrierState>,
-    cv: Condvar,
-}
-
-#[derive(Default)]
-struct BarrierState {
-    /// Arrival counts of rounds still open.
-    counts: HashMap<u64, usize>,
-    /// Rounds below this are closed.
-    closed: u64,
-}
-
-impl ElasticBarrier {
-    fn new() -> Self {
-        ElasticBarrier {
-            state: Mutex::new(BarrierState::default()),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Arrive at `round` expecting `expected` members. Blocks until the
-    /// round closes. Returns `Some(arrived)` for the single closer (the
-    /// leader — partial if `arrived < expected`), `None` for everyone
-    /// else, including stragglers arriving after the round closed.
-    fn wait(&self, round: u64, expected: usize, deadline: Option<Duration>) -> Option<usize> {
-        let mut s = self.state.lock();
-        if round < s.closed {
-            return None;
-        }
-        let arrived = {
-            let c = s.counts.entry(round).or_insert(0);
-            *c += 1;
-            *c
-        };
-        if arrived >= expected {
-            s.counts.remove(&round);
-            s.closed = round + 1;
-            self.cv.notify_all();
-            return Some(arrived);
-        }
-        loop {
-            let timed_out = match deadline {
-                Some(d) => self.cv.wait_for(&mut s, d).timed_out(),
-                None => {
-                    self.cv.wait(&mut s);
-                    false
-                }
-            };
-            if round < s.closed {
-                return None;
-            }
-            if timed_out {
-                let arrived = s.counts.remove(&round).unwrap_or(1);
-                s.closed = round + 1;
-                self.cv.notify_all();
-                return Some(arrived);
-            }
-        }
-    }
-}
-
 /// Shared state for BSP's barrier rounds.
 struct BspRound {
     slots: Mutex<Vec<Option<ParamSet>>>,
     enter: ElasticBarrier,
     leave: ElasticBarrier,
+}
+
+/// The shared-memory [`ExecBackend`]: one instance per worker thread,
+/// coordinating through a `Mutex`-guarded parameter server, crossbeam
+/// mailboxes, and the elastic barrier — exactly the PR 4 semantics.
+struct ThreadedBackend {
+    w: usize,
+    workers: usize,
+    ps: Arc<PsState>,
+    peers: Arc<PeerNet>,
+    bsp: Arc<BspRound>,
+    faults: Option<Arc<FaultRuntime>>,
+    elastic: Option<Arc<MembershipView>>,
+    obs: TrackHandle,
+    wall: Instant,
+    slowdown: f64,
+    crash_iters: VecDeque<u64>,
+    pending_reply: Option<Receiver<ParamSet>>,
+}
+
+impl ThreadedBackend {
+    fn ns(&self) -> u64 {
+        self.wall.elapsed().as_nanos() as u64
+    }
+}
+
+impl ExecBackend for ThreadedBackend {
+    fn rank(&self) -> usize {
+        self.w
+    }
+
+    fn elastic(&self) -> bool {
+        self.elastic.is_some()
+    }
+
+    fn death_round(&mut self, w: usize) -> Option<u64> {
+        self.elastic.as_ref().and_then(|v| v.death_round(w))
+    }
+
+    fn rejoin_round(&mut self, w: usize) -> Option<u64> {
+        self.elastic.as_ref().and_then(|v| v.rejoin_round(w))
+    }
+
+    fn is_live(&mut self, w: usize, round: u64) -> bool {
+        self.elastic.as_ref().is_none_or(|v| v.is_live(w, round))
+    }
+
+    fn live_at(&mut self, round: u64) -> Vec<usize> {
+        match self.elastic.as_ref() {
+            Some(v) => v.live_at(round),
+            None => (0..self.workers).collect(),
+        }
+    }
+
+    fn note_eviction(&mut self) {
+        if let Some(fr) = self.faults.as_ref() {
+            fr.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn note_rejoin(&mut self) {
+        if let Some(fr) = self.faults.as_ref() {
+            fr.rejoins.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn park_clock(&mut self) {
+        self.ps.bump_clock(self.w, u64::MAX);
+    }
+
+    fn ps_snapshot(&mut self) -> ParamSet {
+        self.ps.snapshot()
+    }
+
+    fn ps_push_pull(&mut self, grad: &ParamSet, lr: f32) -> ParamSet {
+        self.ps.push_and_pull(grad, lr)
+    }
+
+    fn ps_push(&mut self, grad: &ParamSet, lr: f32) {
+        let mut g = self.ps.global.lock();
+        let (params, opt_ps) = &mut *g;
+        opt_ps.step(params, grad, lr);
+    }
+
+    fn ps_elastic_exchange(&mut self, params: &ParamSet, alpha: f32) -> ParamSet {
+        self.ps.elastic_exchange(params, alpha)
+    }
+
+    fn bump_clock(&mut self, clock: u64) {
+        self.ps.bump_clock(self.w, clock);
+    }
+
+    fn wait_min_clock(&mut self, needed: u64) -> u64 {
+        self.ps.wait_for_min_clock(needed)
+    }
+
+    fn ps_gate(&mut self) {
+        if let Some(fr) = self.faults.as_ref() {
+            fr.ps_gate(&self.ps);
+        }
+    }
+
+    fn ps_applied(&mut self) {
+        if let Some(fr) = self.faults.as_ref() {
+            fr.ps_applied(&self.ps);
+        }
+    }
+
+    fn bsp_exchange(&mut self, round: u64, grad: ParamSet, lr: f32) -> BspOutcome {
+        self.bsp.slots.lock()[self.w] = Some(grad);
+        // This round's cohort: the live members under the view (everyone,
+        // classically). A rejoiner waits without a deadline — it arrives
+        // early and must not force-close the round it is waiting to
+        // re-enter.
+        let (expected, deadline) = match self.elastic.as_ref() {
+            Some(view) => (
+                view.live_at(round).len(),
+                if view.rejoin_round(self.w) == Some(round) {
+                    None
+                } else {
+                    self.faults.as_ref().map(|fr| fr.cfg.barrier_deadline)
+                },
+            ),
+            None => (self.workers, None),
+        };
+        let mut closed_with = None;
+        if let Some(arrived) = self.bsp.enter.wait(round, expected, deadline) {
+            closed_with = Some(arrived);
+            self.ps_gate();
+            let mut slots = self.bsp.slots.lock();
+            let grads: Vec<&ParamSet> = if self.elastic.is_some() {
+                slots.iter().filter_map(|s| s.as_ref()).collect()
+            } else {
+                slots
+                    .iter()
+                    .map(|s| s.as_ref().expect("all deposited"))
+                    .collect()
+            };
+            let mean = ParamSet::mean_of(&grads);
+            self.ps.apply_round(&mean, lr);
+            slots.iter_mut().for_each(|s| *s = None);
+            drop(slots);
+            self.ps_applied();
+        }
+        self.bsp.leave.wait(round, expected, deadline);
+        BspOutcome {
+            params: self.ps.snapshot(),
+            arrived: closed_with,
+            expected,
+        }
+    }
+
+    fn gossip_send(&mut self, target: usize, params: ParamSet, alpha: f32) {
+        let _ = self.peers.gossip_tx[target].send(GossipMsg { params, alpha });
+    }
+
+    fn gossip_drain(&mut self) -> Vec<(ParamSet, f32)> {
+        let mut out = Vec::new();
+        while let Ok(msg) = self.peers.gossip_rx[self.w].lock().try_recv() {
+            out.push((msg.params, msg.alpha));
+        }
+        out
+    }
+
+    fn exchange_request(&mut self, target: usize, params: ParamSet) {
+        let (reply_tx, reply_rx) = unbounded();
+        let _ = self.peers.exchange_tx[target].send(PeerCtrl::Exchange(ExchangeMsg {
+            params,
+            reply: reply_tx,
+        }));
+        self.pending_reply = Some(reply_rx);
+    }
+
+    fn exchange_await(&mut self) -> Option<ParamSet> {
+        let reply_rx = self.pending_reply.take()?;
+        // Transport deadline: bounded retry waits, then the exchange is
+        // abandoned (elastic only).
+        let deadline = self
+            .faults
+            .as_ref()
+            .filter(|fr| fr.cfg.elastic.is_some())
+            .map(|fr| (fr.cfg.transfer_deadline, fr.cfg.max_transfer_retries));
+        match deadline {
+            Some((dl, retries)) => {
+                let mut got = None;
+                for attempt in 1..=retries.max(1) {
+                    match reply_rx.recv_timeout(dl) {
+                        Ok(m) => {
+                            got = Some(m);
+                            break;
+                        }
+                        Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                            markers::retry(&self.obs, self.ns(), attempt);
+                        }
+                        Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                got
+            }
+            None => Some(
+                reply_rx
+                    .recv()
+                    .expect("AD-PSGD passive peer died before replying"),
+            ),
+        }
+    }
+
+    fn exchange_next(&mut self, block: bool) -> Option<PeerRequest> {
+        let ctrl = if block {
+            self.peers.exchange_rx[self.w].lock().recv().ok()?
+        } else {
+            self.peers.exchange_rx[self.w].lock().try_recv().ok()?
+        };
+        Some(match ctrl {
+            PeerCtrl::Exchange(msg) => PeerRequest::Exchange {
+                params: msg.params,
+                token: ReplyToken::Local(msg.reply),
+            },
+            PeerCtrl::Done => PeerRequest::Done,
+        })
+    }
+
+    fn exchange_reply(&mut self, token: ReplyToken, midpoint: ParamSet) {
+        if let ReplyToken::Local(tx) = token {
+            let _ = tx.send(midpoint);
+        }
+    }
+
+    fn announce_done(&mut self) {
+        for v in (0..self.workers).filter(|v| v % 2 == 1) {
+            let _ = self.peers.exchange_tx[v].send(PeerCtrl::Done);
+        }
+    }
+
+    fn startup(&mut self, params: &ParamSet, opt: &SgdMomentum) {
+        if let Some(fr) = self.faults.as_ref() {
+            fr.store.save(self.w, 0, params, opt);
+            fr.beat(self.w);
+        }
+    }
+
+    fn poll_crash(&mut self, local_iter: u64) -> Option<Option<(ParamSet, SgdMomentum, u64)>> {
+        let fr = self.faults.as_ref()?;
+        if self.elastic.is_some() {
+            return None;
+        }
+        if self.crash_iters.front().is_none_or(|&it| it > local_iter) {
+            return None;
+        }
+        self.crash_iters.pop_front();
+        markers::crash(&self.obs, self.ns(), self.w);
+        let restored = fr.crash_restart(self.w);
+        if let Some((_, _, cp_iter)) = restored.as_ref() {
+            markers::ckpt_restore(&self.obs, self.ns(), *cp_iter);
+            markers::restart(&self.obs, self.ns(), self.w);
+        }
+        Some(restored)
+    }
+
+    fn checkpoint_restore(&mut self) -> Option<(ParamSet, SgdMomentum, u64)> {
+        let fr = self.faults.as_ref()?;
+        let cp = fr.store.restore(self.w)?;
+        Some((cp.params, cp.opt, cp.iteration))
+    }
+
+    fn iter_end(
+        &mut self,
+        _round: u64,
+        local_iter: u64,
+        elapsed: Duration,
+        state: &mut dyn FnMut() -> (ParamSet, SgdMomentum),
+    ) {
+        if let Some(fr) = self.faults.as_ref() {
+            // Persistent straggler: stretch this iteration by the slowdown
+            // factor (sleep the extra fraction of what it actually took).
+            if self.slowdown > 1.0 {
+                std::thread::sleep(elapsed.mul_f64(self.slowdown - 1.0));
+            }
+            fr.beat(self.w);
+            fr.global_iters.fetch_add(1, Ordering::Relaxed);
+            if fr.store.due(local_iter) {
+                let (params, opt) = state();
+                fr.store.save(self.w, local_iter, &params, &opt);
+                markers::ckpt_save(&self.obs, self.ns(), local_iter);
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        if let Some(fr) = self.faults.as_ref() {
+            fr.finish(self.w);
+        }
+    }
 }
 
 /// Train `factory()`-built replicas over `train` with `cfg.workers`
@@ -419,8 +675,6 @@ where
         enter: ElasticBarrier::new(),
         leave: ElasticBarrier::new(),
     });
-    let actives: Vec<usize> = (0..cfg.workers).filter(|w| w % 2 == 0).collect();
-    let num_actives = actives.len();
     let clock = Instant::now();
     let faults: Option<Arc<FaultRuntime>> = cfg.faults.clone().map(|fc| {
         Arc::new(FaultRuntime::new(
@@ -438,6 +692,7 @@ where
     }
 
     let started = Instant::now();
+    let plan = cfg.plan();
     let finals: Vec<ParamSet> = std::thread::scope(|scope| {
         if let Some(fr) = faults.as_ref() {
             let fr = Arc::clone(fr);
@@ -450,25 +705,35 @@ where
             let bsp = Arc::clone(&bsp);
             let factory = &factory;
             let train = Arc::clone(train);
-            let cfg = cfg.clone();
-            let actives = actives.clone();
+            let plan = plan.clone();
             let faults = faults.clone();
             let obs = sink.track(Track::Worker(w as u16));
+            let backend_obs = sink.track(Track::Worker(w as u16));
             handles.push(scope.spawn(move || {
-                worker_body(
+                let mut backend = ThreadedBackend {
                     w,
-                    factory(),
-                    train,
-                    &cfg,
+                    workers: plan.workers,
                     ps,
                     peers,
                     bsp,
-                    &actives,
-                    num_actives,
+                    elastic: faults.as_ref().and_then(|fr| fr.cfg.elastic.clone()),
+                    slowdown: faults
+                        .as_ref()
+                        .map_or(1.0, |fr| fr.cfg.schedule.straggler_slowdown(w)),
+                    crash_iters: faults
+                        .as_ref()
+                        .map(|fr| {
+                            let mut c = fr.cfg.schedule.crash_iterations_for(w);
+                            c.sort_unstable();
+                            c.into()
+                        })
+                        .unwrap_or_default(),
                     faults,
-                    obs,
-                    clock,
-                )
+                    obs: backend_obs,
+                    wall: clock,
+                    pending_reply: None,
+                };
+                worker_body(&mut backend, factory(), &train, &plan, &obs, clock).params
             }));
         }
         handles
@@ -531,485 +796,5 @@ where
         missed_heartbeats: counter(|fr| &fr.missed_heartbeats),
         evictions: counter(|fr| &fr.evictions),
         rejoins: counter(|fr| &fr.rejoins),
-    }
-}
-
-/// One timed gradient computation: runs `train_batch` and records it as a
-/// `compute` span on the worker's obs track.
-fn timed_train(net: &mut Network, x: Tensor, y: &[usize], obs: &TrackHandle, clock: &Instant) {
-    let t0 = clock.elapsed().as_nanos() as u64;
-    net.train_batch(x, y);
-    let t1 = clock.elapsed().as_nanos() as u64;
-    obs.span(t0, t1 - t0, Phase::Compute.name(), NO_ITER);
-}
-
-#[allow(clippy::too_many_arguments)]
-fn worker_body(
-    w: usize,
-    mut net: Network,
-    train: Arc<Dataset>,
-    cfg: &ThreadedConfig,
-    ps: Arc<PsState>,
-    peers: Arc<PeerNet>,
-    bsp: Arc<BspRound>,
-    actives: &[usize],
-    num_actives: usize,
-    faults: Option<Arc<FaultRuntime>>,
-    obs: TrackHandle,
-    wall: Instant,
-) -> ParamSet {
-    let shard = train.shard(w, cfg.workers);
-    let sched = LrSchedule::paper_scaled(cfg.workers, cfg.base_lr, cfg.epochs as f32);
-    let mut opt = SgdMomentum::new(cfg.momentum, cfg.weight_decay);
-    let mut rng =
-        SmallRng::seed_from_u64(cfg.seed ^ (w as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
-    let per_epoch = shard.len() / cfg.batch;
-    let n = cfg.workers as f32;
-    let mut alpha = 1.0 / n; // gossip mixing weight
-    let mut cache_ts = 0u64; // SSP cache timestamp
-    let mut clock = 0u64;
-    let passives: Vec<usize> = (0..cfg.workers).filter(|v| v % 2 == 1).collect();
-    let is_active = w.is_multiple_of(2);
-    // AD-PSGD passive bookkeeping: actives may finish (and send Done)
-    // while this passive is still training, so the count must persist
-    // across the training loop and the final drain.
-    let mut dones = 0usize;
-    // Fault bookkeeping: pending crash points (local iteration indexed),
-    // persistent compute slowdown, and the local iteration counter that
-    // drives the checkpoint cadence.
-    let slowdown = faults
-        .as_ref()
-        .map_or(1.0, |fr| fr.cfg.schedule.straggler_slowdown(w));
-    let mut crash_iters: std::collections::VecDeque<u64> = faults
-        .as_ref()
-        .map(|fr| {
-            let mut c = fr.cfg.schedule.crash_iterations_for(w);
-            c.sort_unstable();
-            c.into()
-        })
-        .unwrap_or_default();
-    let mut local_iter = 0u64;
-    // Cumulative payload bytes this worker pushed (mirrors the simulator's
-    // `logical.bytes` counter exactly: same model, same push schedule).
-    let mut logical = 0u64;
-    let ns = |clock: &Instant| clock.elapsed().as_nanos() as u64;
-    let elastic: Option<Arc<MembershipView>> =
-        faults.as_ref().and_then(|fr| fr.cfg.elastic.clone());
-    if let Some(fr) = faults.as_ref() {
-        fr.store.save(w, 0, &net.get_params(), &opt);
-        fr.beat(w);
-    }
-
-    for epoch in 0..cfg.epochs {
-        for (bi, batch) in shard
-            .epoch_batches(cfg.batch, cfg.seed ^ w as u64, epoch)
-            .into_iter()
-            .enumerate()
-        {
-            let epoch_f = epoch as f32 + bi as f32 / per_epoch as f32;
-            let full_lr = sched.lr_at(epoch_f);
-            let grad_lr = full_lr / n;
-            let it_idx = epoch * per_epoch as u64 + bi as u64;
-
-            // Elastic membership gate: a dead round is skipped outright —
-            // no compute, no barrier seat, no heartbeat. A rejoin round
-            // re-enters with fresh state pulled at the current epoch.
-            if let Some(view) = elastic.as_ref() {
-                if view.death_round(w) == Some(it_idx) {
-                    markers::crash(&obs, ns(&wall), w);
-                    markers::evict(&obs, ns(&wall), w);
-                    if let Some(fr) = faults.as_ref() {
-                        fr.evictions.fetch_add(1, Ordering::Relaxed);
-                    }
-                    if matches!(cfg.strategy, Strategy::Ssp { .. }) {
-                        // Park the dead clock so survivors' staleness gate
-                        // excludes it (a stalled clock would block them).
-                        ps.bump_clock(w, u64::MAX);
-                    }
-                }
-                if !view.is_live(w, it_idx) {
-                    continue;
-                }
-                if view.rejoin_round(w) == Some(it_idx) {
-                    match cfg.strategy {
-                        Strategy::Bsp
-                        | Strategy::Asp
-                        | Strategy::Ssp { .. }
-                        | Strategy::Easgd { .. } => {
-                            // Pull the current parameters from the server.
-                            net.set_params(&ps.snapshot());
-                            opt.reset();
-                        }
-                        Strategy::Gossip { .. } | Strategy::AdPsgd => {
-                            // No server: resume from the latest checkpoint
-                            // (peer averaging re-converges the replica).
-                            if let Some(fr) = faults.as_ref() {
-                                if let Some(cp) = fr.store.restore(w) {
-                                    net.set_params(&cp.params);
-                                    opt = cp.opt;
-                                    markers::ckpt_restore(&obs, ns(&wall), cp.iteration);
-                                }
-                            }
-                            alpha = 1.0 / n; // gossip mixing mass as at init
-                        }
-                    }
-                    if matches!(cfg.strategy, Strategy::Ssp { .. }) {
-                        clock = it_idx;
-                        cache_ts = it_idx;
-                        ps.bump_clock(w, it_idx);
-                    }
-                    if let Some(fr) = faults.as_ref() {
-                        fr.rejoins.fetch_add(1, Ordering::Relaxed);
-                    }
-                    markers::rejoin(&obs, ns(&wall), w);
-                }
-            }
-
-            // Consume any crash points reached: lose the replica, wait out
-            // the supervisor backoff, restore from the checkpoint. (With
-            // elastic membership the view already encodes the crashes.)
-            if let Some(fr) = faults.as_ref() {
-                if elastic.is_none() {
-                    while crash_iters.front().is_some_and(|&it| it <= local_iter) {
-                        crash_iters.pop_front();
-                        markers::crash(&obs, ns(&wall), w);
-                        if let Some((p, o, cp_iter)) = fr.crash_restart(w) {
-                            net.set_params(&p);
-                            opt = o;
-                            markers::ckpt_restore(&obs, ns(&wall), cp_iter);
-                            markers::restart(&obs, ns(&wall), w);
-                        }
-                    }
-                }
-            }
-            let it_start = Instant::now();
-            obs.enter(ns(&wall), names::ITER, it_idx);
-
-            match cfg.strategy {
-                Strategy::Bsp => {
-                    let (x, y) = train.gather(&batch);
-                    timed_train(&mut net, x, &y, &obs, &wall);
-                    let grad = net.grads();
-                    logical += grad.num_bytes();
-                    obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
-                    bsp.slots.lock()[w] = Some(grad);
-                    // This round's cohort: the live members under the view
-                    // (everyone, classically). A rejoiner waits without a
-                    // deadline — it arrives early and must not force-close
-                    // the round it is waiting to re-enter.
-                    let (expected, deadline) = match elastic.as_ref() {
-                        Some(view) => (
-                            view.live_at(it_idx).len(),
-                            if view.rejoin_round(w) == Some(it_idx) {
-                                None
-                            } else {
-                                faults.as_ref().map(|fr| fr.cfg.barrier_deadline)
-                            },
-                        ),
-                        None => (cfg.workers, None),
-                    };
-                    if let Some(arrived) = bsp.enter.wait(it_idx, expected, deadline) {
-                        if arrived < expected {
-                            markers::partial_barrier(&obs, ns(&wall), arrived);
-                        }
-                        if let Some(fr) = faults.as_ref() {
-                            fr.ps_gate(&ps);
-                        }
-                        let mut slots = bsp.slots.lock();
-                        let grads: Vec<&ParamSet> = if elastic.is_some() {
-                            slots.iter().filter_map(|s| s.as_ref()).collect()
-                        } else {
-                            slots
-                                .iter()
-                                .map(|s| s.as_ref().expect("all deposited"))
-                                .collect()
-                        };
-                        let mean = ParamSet::mean_of(&grads);
-                        ps.apply_round(&mean, full_lr);
-                        slots.iter_mut().for_each(|s| *s = None);
-                        if let Some(fr) = faults.as_ref() {
-                            fr.ps_applied(&ps);
-                        }
-                    }
-                    bsp.leave.wait(it_idx, expected, deadline);
-                    net.set_params(&ps.snapshot());
-                }
-                Strategy::Asp => {
-                    let (x, y) = train.gather(&batch);
-                    timed_train(&mut net, x, &y, &obs, &wall);
-                    if let Some(fr) = faults.as_ref() {
-                        fr.ps_gate(&ps);
-                    }
-                    let grad = net.grads();
-                    logical += grad.num_bytes();
-                    obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
-                    let fresh = ps.push_and_pull(&grad, grad_lr);
-                    net.set_params(&fresh);
-                    if let Some(fr) = faults.as_ref() {
-                        fr.ps_applied(&ps);
-                    }
-                }
-                Strategy::Ssp { staleness } => {
-                    let (x, y) = train.gather(&batch);
-                    timed_train(&mut net, x, &y, &obs, &wall);
-                    let grad = net.grads();
-                    logical += grad.num_bytes();
-                    obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
-                    // push to the global table
-                    if let Some(fr) = faults.as_ref() {
-                        fr.ps_gate(&ps);
-                    }
-                    {
-                        let mut g = ps.global.lock();
-                        let (params, opt_ps) = &mut *g;
-                        opt_ps.step(params, &grad, grad_lr);
-                    }
-                    if let Some(fr) = faults.as_ref() {
-                        fr.ps_applied(&ps);
-                    }
-                    // local update on the cache
-                    let mut p = net.get_params();
-                    opt.step(&mut p, &grad, grad_lr);
-                    net.set_params(&p);
-                    clock += 1;
-                    ps.bump_clock(w, clock);
-                    if clock > cache_ts + staleness {
-                        let min = ps.wait_for_min_clock(clock - staleness);
-                        net.set_params(&ps.snapshot());
-                        opt.reset();
-                        cache_ts = min;
-                    }
-                    obs.counter(
-                        ns(&wall),
-                        names::STALENESS,
-                        clock.saturating_sub(cache_ts) as i64,
-                    );
-                }
-                Strategy::Easgd { tau, alpha: a } => {
-                    let (x, y) = train.gather(&batch);
-                    timed_train(&mut net, x, &y, &obs, &wall);
-                    let grad = net.grads();
-                    let mut p = net.get_params();
-                    opt.step(&mut p, &grad, grad_lr);
-                    net.set_params(&p);
-                    clock += 1;
-                    if clock.is_multiple_of(tau) {
-                        if let Some(fr) = faults.as_ref() {
-                            fr.ps_gate(&ps);
-                        }
-                        let push = net.get_params();
-                        logical += push.num_bytes();
-                        obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
-                        let updated = ps.elastic_exchange(&push, a);
-                        net.set_params(&updated);
-                        if let Some(fr) = faults.as_ref() {
-                            fr.ps_applied(&ps);
-                        }
-                    }
-                }
-                Strategy::Gossip { p } => {
-                    let (x, y) = train.gather(&batch);
-                    timed_train(&mut net, x, &y, &obs, &wall);
-                    let grad = net.grads();
-                    let mut px = net.get_params();
-                    opt.step(&mut px, &grad, grad_lr);
-                    net.set_params(&px);
-                    // merge everything queued
-                    while let Ok(msg) = peers.gossip_rx[w].lock().try_recv() {
-                        let anew = alpha + msg.alpha;
-                        let mut x = net.get_params();
-                        x.lerp(&msg.params, msg.alpha / anew);
-                        net.set_params(&x);
-                        alpha = anew;
-                    }
-                    if rng.gen::<f64>() < p && cfg.workers > 1 {
-                        // Elastic targeting draws from the live cohort so
-                        // shares never chase an evicted replica.
-                        let target = match elastic.as_ref() {
-                            Some(view) => {
-                                let mut live = view.live_at(it_idx);
-                                live.retain(|&x| x != w);
-                                if live.is_empty() {
-                                    None
-                                } else {
-                                    Some(live[rng.gen_range(0..live.len())])
-                                }
-                            }
-                            None => Some(loop {
-                                let t = rng.gen_range(0..cfg.workers);
-                                if t != w {
-                                    break t;
-                                }
-                            }),
-                        };
-                        if let Some(target) = target {
-                            alpha *= 0.5;
-                            let share = net.get_params();
-                            logical += share.num_bytes();
-                            obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
-                            let _ = peers.gossip_tx[target].send(GossipMsg {
-                                params: share,
-                                alpha,
-                            });
-                        }
-                    }
-                }
-                Strategy::AdPsgd => {
-                    if is_active {
-                        // initiate the exchange, overlap with compute;
-                        // elastic draws only from passives scheduled live
-                        // this round — none live means a pure local round.
-                        let target = match elastic.as_ref() {
-                            Some(view) => {
-                                let live: Vec<usize> = passives
-                                    .iter()
-                                    .copied()
-                                    .filter(|&v| view.is_live(v, it_idx))
-                                    .collect();
-                                if live.is_empty() {
-                                    None
-                                } else {
-                                    Some(live[rng.gen_range(0..live.len())])
-                                }
-                            }
-                            None => Some(passives[rng.gen_range(0..passives.len())]),
-                        };
-                        let mut reply = None;
-                        if let Some(target) = target {
-                            let (reply_tx, reply_rx) = unbounded();
-                            let mine = net.get_params();
-                            logical += mine.num_bytes();
-                            obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
-                            let _ =
-                                peers.exchange_tx[target].send(PeerCtrl::Exchange(ExchangeMsg {
-                                    params: mine,
-                                    reply: reply_tx,
-                                }));
-                            reply = Some(reply_rx);
-                        }
-                        let (x, y) = train.gather(&batch);
-                        timed_train(&mut net, x, &y, &obs, &wall);
-                        let grad = net.grads();
-                        if let Some(reply_rx) = reply {
-                            // Transport deadline: bounded retry waits, then
-                            // the exchange is abandoned (elastic only).
-                            let deadline = faults
-                                .as_ref()
-                                .filter(|fr| fr.cfg.elastic.is_some())
-                                .map(|fr| (fr.cfg.transfer_deadline, fr.cfg.max_transfer_retries));
-                            let mid = match deadline {
-                                Some((dl, retries)) => {
-                                    let mut got = None;
-                                    for attempt in 1..=retries.max(1) {
-                                        match reply_rx.recv_timeout(dl) {
-                                            Ok(m) => {
-                                                got = Some(m);
-                                                break;
-                                            }
-                                            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
-                                                markers::retry(&obs, ns(&wall), attempt);
-                                            }
-                                            Err(
-                                                crossbeam_channel::RecvTimeoutError::Disconnected,
-                                            ) => break,
-                                        }
-                                    }
-                                    got
-                                }
-                                None => Some(
-                                    reply_rx
-                                        .recv()
-                                        .expect("AD-PSGD passive peer died before replying"),
-                                ),
-                            };
-                            if let Some(mid) = mid {
-                                net.set_params(&mid);
-                            }
-                        }
-                        let mut p = net.get_params();
-                        opt.step(&mut p, &grad, grad_lr);
-                        net.set_params(&p);
-                    } else {
-                        let (x, y) = train.gather(&batch);
-                        timed_train(&mut net, x, &y, &obs, &wall);
-                        let grad = net.grads();
-                        let mut p = net.get_params();
-                        opt.step(&mut p, &grad, grad_lr);
-                        net.set_params(&p);
-                        // serve queued exchange requests
-                        while let Ok(ctrl) = peers.exchange_rx[w].lock().try_recv() {
-                            serve_exchange(&mut net, ctrl, &mut dones, &obs, &wall, &mut logical);
-                        }
-                    }
-                }
-            }
-
-            if let Some(fr) = faults.as_ref() {
-                // Persistent straggler: stretch this iteration by the
-                // slowdown factor (sleep the extra fraction of what the
-                // iteration actually took).
-                if slowdown > 1.0 {
-                    std::thread::sleep(it_start.elapsed().mul_f64(slowdown - 1.0));
-                }
-                fr.beat(w);
-                fr.global_iters.fetch_add(1, Ordering::Relaxed);
-                local_iter += 1;
-                if fr.store.due(local_iter) {
-                    fr.store.save(w, local_iter, &net.get_params(), &opt);
-                    markers::ckpt_save(&obs, ns(&wall), local_iter);
-                }
-            }
-            obs.exit(ns(&wall), names::ITER);
-        }
-    }
-    if let Some(fr) = faults.as_ref() {
-        fr.finish(w);
-    }
-
-    // AD-PSGD teardown: actives announce completion; passives serve until
-    // every active is done (otherwise actives could block forever).
-    if matches!(cfg.strategy, Strategy::AdPsgd) {
-        if is_active {
-            for &v in &passives {
-                let _ = peers.exchange_tx[v].send(PeerCtrl::Done);
-            }
-        } else {
-            while dones < num_actives {
-                match peers.exchange_rx[w].lock().recv() {
-                    Ok(ctrl) => {
-                        serve_exchange(&mut net, ctrl, &mut dones, &obs, &wall, &mut logical)
-                    }
-                    Err(_) => break,
-                }
-            }
-        }
-    }
-    let _ = actives;
-    net.get_params()
-}
-
-/// Passive side of one AD-PSGD exchange: adopt and return the midpoint.
-fn serve_exchange(
-    net: &mut Network,
-    ctrl: PeerCtrl,
-    dones: &mut usize,
-    obs: &TrackHandle,
-    clock: &Instant,
-    logical: &mut u64,
-) {
-    match ctrl {
-        PeerCtrl::Exchange(msg) => {
-            let mut mine = net.get_params();
-            mine.lerp(&msg.params, 0.5);
-            net.set_params(&mine);
-            *logical += mine.num_bytes();
-            obs.counter(
-                clock.elapsed().as_nanos() as u64,
-                names::LOGICAL_BYTES,
-                *logical as i64,
-            );
-            let _ = msg.reply.send(mine);
-        }
-        PeerCtrl::Done => *dones += 1,
     }
 }

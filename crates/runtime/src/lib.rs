@@ -25,11 +25,17 @@
 //! assert!(report.final_accuracy > 0.1);
 //! ```
 
+pub mod backend;
 mod engine;
 mod strategy;
+pub mod sync;
+mod worker;
 
+pub use backend::{BspOutcome, ExecBackend, PeerRequest, ReplyToken, RunPlan};
 pub use engine::{
     default_workers, train_threaded, train_threaded_observed, RuntimeFaultConfig, ThreadedConfig,
     ThreadedReport,
 };
 pub use strategy::{ExchangeMsg, GossipMsg, PeerCtrl, PeerNet, PsState, Strategy};
+pub use sync::ElasticBarrier;
+pub use worker::{worker_body, WorkerOutcome};

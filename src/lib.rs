@@ -12,6 +12,7 @@
 //! | [`core`] | `dtrain-core` | experiment presets, reports, the prelude |
 //! | [`algos`] | `dtrain-algos` | the seven algorithms over the simulator |
 //! | [`runtime`] | `dtrain-runtime` | the same algorithms on OS threads |
+//! | [`proc`] | `dtrain-proc` | the same algorithms as OS processes over TCP |
 //! | [`cluster`] | `dtrain-cluster` | testbed model: NICs, GPUs, shards |
 //! | [`desim`] | `dtrain-desim` | the deterministic DES kernel |
 //! | [`nn`] / [`tensor`] | `dtrain-nn` / `dtrain-tensor` | training math |
@@ -43,6 +44,7 @@ pub use dtrain_desim as desim;
 pub use dtrain_faults as faults;
 pub use dtrain_models as models;
 pub use dtrain_nn as nn;
+pub use dtrain_proc as proc;
 pub use dtrain_runtime as runtime;
 pub use dtrain_tensor as tensor;
 
