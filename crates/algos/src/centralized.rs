@@ -10,7 +10,10 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use dtrain_cluster::{MetricsHub, NetModel, NodeId, Phase, ShardHomes, TrafficClass};
+use dtrain_cluster::{
+    tree_broadcast_delays, CollectiveSchedule, MetricsHub, NetModel, NodeId, Phase, ShardHomes,
+    TrafficClass,
+};
 use dtrain_desim::{Ctx, Pid, SimTime};
 use dtrain_faults::{markers, CheckpointStore, ElasticConfig};
 use dtrain_nn::{ParamSet, SgdMomentum};
@@ -152,6 +155,9 @@ pub struct PsCore {
     pub state_bytes: u64,
     /// Obs track for this shard (`ps<shard>`); noop when tracing is off.
     pub obs: TrackHandle,
+    /// Non-flat: BSP round replies fan out over the double-binary-tree
+    /// broadcast instead of a serial per-member send (DESIGN.md §6).
+    pub collective: CollectiveSchedule,
 }
 
 impl PsCore {
@@ -260,6 +266,35 @@ impl PsCore {
                 &real.opt,
             );
             markers::ckpt_save(&self.obs, now.as_nanos(), f.applies);
+        }
+    }
+
+    /// Close a BSP round toward `members` through the double-binary-tree
+    /// broadcast: both trees each carry half the reply bytes, so every
+    /// machine forwards at most one full copy instead of the root
+    /// serializing one per member. Per-member delays come from the analytic
+    /// tree schedule (causal NIC reservations under
+    /// [`TrafficClass::Collective`]).
+    fn send_params_tree(&self, ctx: &Ctx<Msg>, members: &[usize]) {
+        let dests: Vec<NodeId> = members.iter().map(|&m| self.workers[m].node).collect();
+        let delays =
+            tree_broadcast_delays(&self.net, ctx.now(), self.node, &dests, self.reply_bytes);
+        self.obs.instant(
+            ctx.now().as_nanos(),
+            dtrain_obs::names::COLL_TREE_FANOUT,
+            members.len() as i64,
+        );
+        for (&m, delay) in members.iter().zip(delays) {
+            ctx.send(
+                self.workers[m].pid,
+                delay,
+                Msg::ShardParams {
+                    shard: self.shard,
+                    clock: 0,
+                    data: self.reply_params(),
+                    bytes: self.reply_bytes,
+                },
+            );
         }
     }
 
@@ -567,8 +602,12 @@ pub fn ps_process(mut ps: PsCore, mode: PsMode, ctx: Ctx<Msg>) {
                 real.apply(&GradData::Dense(sum), round_lr, round_weight);
             }
             let members = std::mem::take(&mut round_members);
-            for m in members {
-                ps.send_params(&ctx, m, 0, ps.reply_params());
+            if !ps.collective.is_flat() && members.len() > 1 {
+                ps.send_params_tree(&ctx, &members);
+            } else {
+                for m in members {
+                    ps.send_params(&ctx, m, 0, ps.reply_params());
+                }
             }
             round_acc = None;
             round_bytes = 0;

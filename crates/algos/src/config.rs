@@ -1,6 +1,6 @@
 //! Run configuration: which algorithm, which optimizations, which workload.
 
-use dtrain_cluster::ClusterConfig;
+use dtrain_cluster::{ClusterConfig, CollectiveSchedule};
 use dtrain_compress::DgcConfig;
 use dtrain_data::{Dataset, ImageTaskConfig, TeacherTaskConfig};
 use dtrain_faults::{ElasticConfig, FaultKind, FaultSchedule};
@@ -79,6 +79,12 @@ pub struct OptimizationConfig {
     /// computing instead of overlapping communication with computation
     /// (the paper credits AD-PSGD's scalability to this overlap).
     pub disable_overlap: bool,
+    /// Collective schedule: `Flat` is the paper's baseline (ring
+    /// allreduce, serial PS scatter). `Hier` switches AR-SGD to the
+    /// two-level machine-leader schedule and PS fan-out to double binary
+    /// trees; `Pipelined` additionally chunks gradients so reduction
+    /// overlaps backprop.
+    pub collective: CollectiveSchedule,
 }
 
 impl Default for OptimizationConfig {
@@ -90,6 +96,7 @@ impl Default for OptimizationConfig {
             dgc: None,
             local_aggregation: false,
             disable_overlap: false,
+            collective: CollectiveSchedule::Flat,
         }
     }
 }
@@ -106,6 +113,7 @@ impl OptimizationConfig {
             dgc: None,
             local_aggregation: matches!(algo, Algo::Bsp),
             disable_overlap: false,
+            collective: CollectiveSchedule::Flat,
         }
     }
 }
@@ -301,6 +309,13 @@ impl RunConfig {
         if self.opts.wait_free_bp && !self.algo.communicates_gradients() {
             return Err(format!(
                 "wait-free BP applies only to gradient-communicating algorithms, not {}",
+                self.algo.name()
+            ));
+        }
+        if !self.opts.collective.is_flat() && matches!(self.algo, Algo::GoSgd { .. } | Algo::AdPsgd)
+        {
+            return Err(format!(
+                "hierarchical collectives apply to AR-SGD and the PS algorithms, not {}",
                 self.algo.name()
             ));
         }

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use dtrain_cluster::{Phase, TrafficClass};
+use dtrain_cluster::{CollectiveSchedule, Phase, TrafficClass};
 use dtrain_desim::{Ctx, SimTime};
 use dtrain_faults::{markers, MembershipView};
 use dtrain_nn::ParamSet;
@@ -18,6 +18,7 @@ use parking_lot::Mutex;
 use rand::Rng;
 
 use crate::centralized::{finish_iteration, handle_crash, Addr, CTRL_BYTES};
+use crate::collective::{run_hier_allreduce, ChunkLayout};
 use crate::exec::{Msg, WorkerCore};
 
 // ---------------------------------------------------------------------------
@@ -164,17 +165,24 @@ impl AllReduceBoard {
 
 /// AR-SGD worker (paper §IV-A). `buckets` > 1 pipelines the ring against
 /// backward computation (wait-free BP); the ring itself is
-/// reduce-scatter + all-gather over `ring` neighbors.
+/// reduce-scatter + all-gather over `ring` neighbors. A non-flat
+/// `collective` replaces the flat worker ring with the two-level schedule
+/// of DESIGN.md §6: `engines[machine]` is this worker's collective engine
+/// and carries the intra-reduce / inter-ring / intra-broadcast flow.
 #[allow(clippy::too_many_arguments)]
 pub fn arsgd_worker(
     mut core: WorkerCore,
     ring: Vec<Addr>,
     board: Option<AllReduceBoard>,
     buckets: usize,
+    collective: CollectiveSchedule,
+    engines: Vec<Addr>,
     ctx: Ctx<Msg>,
 ) {
     let n_static = ring.len();
     let me = core.w;
+    let hier_layout = (!collective.is_flat())
+        .then(|| ChunkLayout::new(core.shard_bytes.iter().sum(), collective, core.dgc_sparsity));
     // Bucket the model bytes: contiguous layer ranges via a round-robin
     // plan over buckets (reuses the shard planner's arithmetic through
     // WorkerCore's profile plan when buckets == plan arity; otherwise the
@@ -232,7 +240,10 @@ pub fn arsgd_worker(
         // is done. We reuse run_compute_phase's emission points by mapping
         // its shard count (1 for AR-SGD) onto bucket starts: without
         // wait-free BP, the whole backward runs first, then all rings.
-        if core.wait_free && buckets > 1 {
+        if let Some(layout) = &hier_layout {
+            let engine = engines[core.node.0];
+            run_hier_allreduce(&mut core, &ctx, engine, layout, iter);
+        } else if core.wait_free && buckets > 1 {
             // forward + per-bucket backward slices, ring after each slice
             let fwd = core
                 .gpu

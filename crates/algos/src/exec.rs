@@ -129,6 +129,24 @@ pub enum Msg {
     /// Fault layer → PS shards: `worker` restored its checkpoint and
     /// rejoined.
     MemberUp { worker: usize },
+    /// Worker → its machine's collective engine: one gradient chunk became
+    /// ready during backward (hierarchical/pipelined allreduce).
+    CollChunk {
+        sender: usize,
+        iter: u64,
+        chunk: u32,
+        bytes: u64,
+    },
+    /// Collective engine → next machine's engine: one reduce-scatter /
+    /// all-gather hop of the inter-machine ring for `chunk`.
+    CollRing {
+        iter: u64,
+        chunk: u32,
+        step: u32,
+        bytes: u64,
+    },
+    /// Collective engine → co-located worker: `chunk` fully reduced.
+    CollBcast { iter: u64, chunk: u32, bytes: u64 },
 }
 
 /// Bytes of *real* model payload carried by `msg` (0 for cost-only or

@@ -21,6 +21,7 @@
 //! Entry point: build a [`RunConfig`] and call [`run`].
 
 mod centralized;
+mod collective;
 mod config;
 mod decentralized;
 mod exec;
@@ -30,6 +31,7 @@ pub use centralized::{
     elastic_update, handle_crash, merge_grad, ps_apply_time, Addr, BspRole, PsCore, PsFaultState,
     PsMode, PsRealState, PS_OWNER_BASE,
 };
+pub use collective::{collective_engine, run_hier_allreduce, ChunkLayout, EngineCore};
 pub use config::{
     Algo, FaultConfig, OptimizationConfig, RealTraining, RunConfig, StopCondition, SyntheticTask,
 };

@@ -15,6 +15,7 @@ use crate::centralized::{
     asp_worker, bsp_worker, easgd_worker, ps_process, ssp_worker, Addr, BspRole, PsCore,
     PsFaultState, PsMode, PsRealState,
 };
+use crate::collective::{collective_engine, ChunkLayout, EngineCore};
 use crate::config::{Algo, RunConfig};
 use crate::decentralized::{
     adpsgd_active_worker, adpsgd_is_active, adpsgd_passive_worker, arsgd_worker, gosgd_worker,
@@ -229,6 +230,7 @@ fn run_impl(cfg: &RunConfig, trace: bool, sink: &ObsSink) -> (RunOutput, Option<
                 machines: cfg.cluster.machines,
                 state_bytes: profile_plan.bytes_of_shard(s),
                 obs: sink.track(Track::Ps(s as u16)),
+                collective: cfg.opts.collective,
             };
             let mode = match cfg.algo {
                 Algo::Bsp => PsMode::Bsp {
@@ -267,6 +269,25 @@ fn run_impl(cfg: &RunConfig, trace: bool, sink: &ObsSink) -> (RunOutput, Option<
     let actives: Vec<usize> = (0..cfg.workers).filter(|&w| adpsgd_is_active(w)).collect();
     let passives: Vec<usize> = (0..cfg.workers).filter(|&w| !adpsgd_is_active(w)).collect();
 
+    // Hierarchical/pipelined AR-SGD: one collective engine per machine,
+    // spawned after the workers (pids `num_shards + workers + m`).
+    let use_engines = matches!(cfg.algo, Algo::ArSgd) && !cfg.opts.collective.is_flat();
+    let engine_addrs: Vec<Addr> = if use_engines {
+        (0..cfg.cluster.machines)
+            .map(|m| Addr {
+                pid: Pid(num_shards + cfg.workers + m),
+                node: dtrain_cluster::NodeId(m),
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    // Engines share the workers' membership view Arc, so eviction/rejoin
+    // reshapes worker cohorts and engine groups from identical history.
+    let engine_view = cores
+        .first()
+        .and_then(|c| c.elastic.as_ref().map(|e| Arc::clone(&e.view)));
+
     for (w, core) in cores.drain(..).enumerate() {
         let ps = ps_addrs.clone();
         let peers = worker_addrs.clone();
@@ -275,6 +296,8 @@ fn run_impl(cfg: &RunConfig, trace: bool, sink: &ObsSink) -> (RunOutput, Option<
         let leaders = leaders.clone();
         let board = board.clone();
         let passives = passives.clone();
+        let collective = cfg.opts.collective;
+        let engines = engine_addrs.clone();
         let no_overlap = cfg.opts.disable_overlap;
         let num_actives = actives.len();
         let name = format!("worker{w}");
@@ -302,7 +325,7 @@ fn run_impl(cfg: &RunConfig, trace: bool, sink: &ObsSink) -> (RunOutput, Option<
             Algo::Asp => asp_worker(core, ps, ctx),
             Algo::Ssp { staleness } => ssp_worker(core, ps, staleness, ctx),
             Algo::Easgd { tau, .. } => easgd_worker(core, ps, tau, ctx),
-            Algo::ArSgd => arsgd_worker(core, peers, board, buckets, ctx),
+            Algo::ArSgd => arsgd_worker(core, peers, board, buckets, collective, engines, ctx),
             Algo::GoSgd { p } => gosgd_worker(core, peers, p, ctx),
             Algo::AdPsgd => {
                 if adpsgd_is_active(w) {
@@ -313,6 +336,32 @@ fn run_impl(cfg: &RunConfig, trace: bool, sink: &ObsSink) -> (RunOutput, Option<
             }
         });
         assert_eq!(pid, worker_addrs[w].pid, "pid assignment contract");
+    }
+
+    // ---- spawn collective engines (hierarchical AR-SGD only) ----
+    if use_engines {
+        let total_iters = crate::exec::resolve_total_iters(cfg);
+        for m in 0..cfg.cluster.machines {
+            let eng = EngineCore {
+                machine: m,
+                node: engine_addrs[m].node,
+                net: net.clone(),
+                obs: sink.track(Track::Machine(m as u16)),
+                workers: worker_addrs.clone(),
+                engines: engine_addrs.clone(),
+                gpus_per_machine: cfg.cluster.gpus_per_machine,
+                num_workers: cfg.workers,
+                total_iters,
+                view: engine_view.clone(),
+                layout: ChunkLayout::new(
+                    profile_bytes.iter().sum(),
+                    cfg.opts.collective,
+                    cfg.opts.dgc.as_ref().map(|d| d.final_sparsity),
+                ),
+            };
+            let pid = sim.spawn(format!("coll{m}"), move |ctx| collective_engine(eng, ctx));
+            assert_eq!(pid, engine_addrs[m].pid, "pid assignment contract");
+        }
     }
 
     let stats = sim.run();

@@ -36,6 +36,7 @@
 
 use std::time::Instant;
 
+use dtrain_bench::trajectory::{check_baseline, write_trajectory, TrajRecord as Record};
 use dtrain_models::small_cnn;
 use dtrain_tensor::parallel::{host_parallelism, pool_width, with_max_threads};
 use dtrain_tensor::simd::{active_isa, supported_isas, with_isa, Isa};
@@ -89,16 +90,6 @@ fn min_ms(samples: usize, reps: usize, mut f: impl FnMut()) -> f64 {
         best = best.min(time_ms(reps, &mut f));
     }
     best
-}
-
-/// One benchmarked+verified kernel configuration.
-struct Record {
-    kernel: String,
-    threads: usize,
-    ms: f64,
-    /// `threads > host_parallelism`: measures oversubscription overhead,
-    /// not scaling.
-    oversubscribed: bool,
 }
 
 struct Harness {
@@ -251,69 +242,6 @@ impl Harness {
                 }
             }
         }
-    }
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-/// Compare this run's minima against a committed trajectory file: any
-/// matching `(kernel, threads)` whose min regressed more than 15% (plus a
-/// 0.02 ms absolute floor for µs-scale kernels) fails the gate. The
-/// `*_pct` records are obs-overhead percentages, gated separately at
-/// measurement time.
-fn check_baseline(path: &str, records: &[Record], divergences: &mut Vec<String>) {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            divergences.push(format!("baseline {path}: unreadable ({e})"));
-            return;
-        }
-    };
-    let doc = match serde_json::from_str(&text) {
-        Ok(v) => v,
-        Err(e) => {
-            divergences.push(format!("baseline {path}: parse error ({e:?})"));
-            return;
-        }
-    };
-    let Some(base_records) = doc.get_key("records").and_then(|r| r.as_array()) else {
-        divergences.push(format!("baseline {path}: no records array"));
-        return;
-    };
-    let mut compared = 0usize;
-    for br in base_records {
-        let (Some(kernel), Some(threads), Some(old_ms)) = (
-            br.get_key("kernel").and_then(|v| v.as_str()),
-            br.get_key("threads").and_then(|v| v.as_u64()),
-            br.get_key("ms").and_then(|v| v.as_f64()),
-        ) else {
-            continue;
-        };
-        if kernel.ends_with("_pct") {
-            continue;
-        }
-        let Some(new) = records
-            .iter()
-            .find(|r| r.kernel == kernel && r.threads == threads as usize)
-        else {
-            continue;
-        };
-        compared += 1;
-        if new.ms > old_ms * 1.15 + 0.02 {
-            divergences.push(format!(
-                "perf regression: {kernel} @ {threads}t: {:.4} ms vs baseline {old_ms:.4} ms \
-                 (>15% + 0.02 ms)",
-                new.ms
-            ));
-        }
-    }
-    println!("perf gate: compared {compared} records against {path}");
-    if compared == 0 {
-        divergences.push(format!(
-            "baseline {path}: no comparable records — gate would be vacuous"
-        ));
     }
 }
 
@@ -549,39 +477,13 @@ fn main() {
         );
     }
 
-    let mut json = String::from("{\n");
-    json.push_str(&format!(
-        "  \"host_parallelism\": {},\n  \"pool_width\": {pool_width},\n  \"smoke\": {smoke},\n  \"isa\": \"{}\",\n",
-        host_parallelism(),
-        isa.name(),
-    ));
-    json.push_str("  \"records\": [\n");
-    for (i, r) in h.records.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"threads\": {}, \"ms\": {:.6}, \"oversubscribed\": {}}}{}\n",
-            json_escape(&r.kernel),
-            r.threads,
-            r.ms,
-            r.oversubscribed,
-            if i + 1 < h.records.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ],\n  \"divergences\": [\n");
-    for (i, d) in h.divergences.iter().enumerate() {
-        json.push_str(&format!(
-            "    \"{}\"{}\n",
-            json_escape(d),
-            if i + 1 < h.divergences.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-
-    if let Some(dir) = std::path::Path::new(&out_path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output dir");
-        }
-    }
-    std::fs::write(&out_path, &json).expect("write bench output");
+    let meta = [
+        ("host_parallelism", host_parallelism().to_string()),
+        ("pool_width", pool_width.to_string()),
+        ("smoke", smoke.to_string()),
+        ("isa", format!("\"{}\"", isa.name())),
+    ];
+    write_trajectory(&out_path, &meta, &h.records, &h.divergences).expect("write bench output");
     println!("wrote {out_path} ({} records)", h.records.len());
 
     if !h.divergences.is_empty() {

@@ -7,13 +7,176 @@
 //! VGG-16 (fc6 defeats layer-wise placement); wait-free BP is modest; DGC
 //! is dramatic for ASP/SSP on bandwidth-starved configurations and makes
 //! them scale almost linearly.
+//!
+//! With `--collective`, runs the schedule crossover study instead: AR-SGD
+//! under the flat ring vs. the two-level hierarchical allreduce vs. the
+//! chunked pipelined schedule, swept over machine counts and both models
+//! on the 10 Gbps cluster. Reports the crossover point (the smallest
+//! machine count where pipelined beats the flat ring) per model, emits a
+//! `BENCH_008`-format trajectory (`--out PATH`, default
+//! `results/fig4_collective.json`), and gates against a committed one with
+//! `--baseline PATH` — the simulator is deterministic, so any drift there
+//! is a real model change. Exits nonzero if pipelined fails to beat flat
+//! for ResNet-50 at 8+ machines.
 
+use dtrain_bench::trajectory::{check_baseline, write_trajectory, TrajRecord};
 use dtrain_bench::HarnessOpts;
 use dtrain_core::prelude::*;
-use dtrain_core::presets::{optimization_run, PaperModel};
+use dtrain_core::presets::{collective_run, optimization_run, PaperModel};
 
 fn main() {
-    let opts = HarnessOpts::from_env();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut collective = false;
+    let mut baseline: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--collective" => collective = true,
+            "--baseline" | "--out" => {
+                let Some(v) = raw.get(i + 1) else {
+                    eprintln!("{} requires a path argument", raw[i]);
+                    std::process::exit(2);
+                };
+                if raw[i] == "--baseline" {
+                    baseline = Some(v.clone());
+                } else {
+                    out_path = Some(v.clone());
+                }
+                i += 1;
+            }
+            other => rest.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let opts = HarnessOpts::from_args(&rest);
+    if collective {
+        crossover_study(&opts, baseline.as_deref(), out_path.as_deref());
+    } else {
+        cumulative_optimizations(&opts);
+    }
+}
+
+/// The `--collective` crossover study (see module docs).
+fn crossover_study(opts: &HarnessOpts, baseline: Option<&str>, out_path: Option<&str>) {
+    let iterations = if opts.quick { 4 } else { 8 };
+    let machine_counts: Vec<usize> = if opts.quick {
+        vec![2, 4, 8]
+    } else {
+        vec![1, 2, 4, 8, 12, 16]
+    };
+    let net = NetworkConfig::TEN_GBPS;
+    let mut records: Vec<TrajRecord> = Vec::new();
+    let mut divergences: Vec<String> = Vec::new();
+
+    let mut table = Table::new(
+        format!(
+            "Fig 4 (collective): AR-SGD throughput (img/s) by schedule @ {:.0} Gbps",
+            net.bandwidth_gbps
+        ),
+        &["model", "machines", "flat", "hier", "pipelined", "best"],
+    );
+    for model in [PaperModel::ResNet50, PaperModel::Vgg16] {
+        let mut crossover: Option<usize> = None;
+        for &m in &machine_counts {
+            let mut row = vec![model.name().to_string(), m.to_string()];
+            let mut times = Vec::new();
+            for schedule in CollectiveSchedule::ALL {
+                let out = run(&collective_run(model, m, net, schedule, iterations));
+                row.push(format!("{:.0}", out.throughput));
+                records.push(TrajRecord {
+                    kernel: format!(
+                        "arsgd_{}_{}",
+                        schedule.name(),
+                        model.name().to_lowercase().replace('-', "")
+                    ),
+                    threads: m,
+                    ms: out.end_time.as_secs_f64() * 1e3 / iterations as f64,
+                    oversubscribed: false,
+                });
+                times.push((schedule, out.end_time));
+            }
+            let (best, _) = times
+                .iter()
+                .min_by_key(|&&(_, t)| t)
+                .copied()
+                .expect("three schedules ran");
+            row.push(best.name().to_string());
+            table.push_row(row);
+            let flat = times[0].1;
+            let piped = times[2].1;
+            if piped < flat && crossover.is_none() {
+                crossover = Some(m);
+            }
+            // The acceptance bar: at ResNet-50 scale, the chunked
+            // pipelined schedule must beat the flat ring once the
+            // inter-machine ring dominates (8+ machines).
+            if model == PaperModel::ResNet50 && m >= 8 && piped >= flat {
+                divergences.push(format!(
+                    "pipelined ({piped:?}) not faster than flat ({flat:?}) for {} at {m} machines",
+                    model.name()
+                ));
+            }
+        }
+        match crossover {
+            Some(m) => println!(
+                "crossover: pipelined beats flat for {} from {m} machine(s) (of {:?})",
+                model.name(),
+                machine_counts
+            ),
+            None => println!(
+                "crossover: pipelined never beats flat for {} over {:?}",
+                model.name(),
+                machine_counts
+            ),
+        }
+    }
+    opts.emit(&table, "fig4_collective");
+
+    // One observed run of the most interesting cell for the timeline:
+    // every coll.* span/counter lands on real Perfetto tracks, so the
+    // DESIGN.md §6 overlap diagram is readable straight off the trace.
+    if std::env::var("DTRAIN_TRACE").is_ok_and(|v| v == "perfetto") {
+        let m = *machine_counts.last().expect("non-empty sweep");
+        let sink = ObsSink::enabled();
+        let cfg = collective_run(
+            PaperModel::ResNet50,
+            m,
+            net,
+            CollectiveSchedule::Pipelined,
+            iterations,
+        );
+        run_observed(&cfg, &sink);
+        std::fs::create_dir_all("results").expect("create results/");
+        let path = "results/trace_fig4_collective.json";
+        std::fs::write(path, perfetto_trace(&sink.snapshot())).expect("write trace");
+        println!("wrote {path} — open it at https://ui.perfetto.dev");
+    }
+
+    if let Some(path) = baseline {
+        check_baseline(path, &records, &mut divergences);
+    }
+    let out = out_path.unwrap_or("results/fig4_collective.json");
+    let meta = [
+        ("study", "\"fig4_collective\"".to_string()),
+        ("quick", opts.quick.to_string()),
+        ("iterations", iterations.to_string()),
+    ];
+    write_trajectory(out, &meta, &records, &divergences).expect("write trajectory");
+    println!("wrote {out} ({} records)", records.len());
+
+    if !divergences.is_empty() {
+        eprintln!("COLLECTIVE STUDY DIVERGENCE:");
+        for d in &divergences {
+            eprintln!("  {d}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The paper's original figure: cumulative optimization levels.
+fn cumulative_optimizations(opts: &HarnessOpts) {
     let iterations = if opts.quick { 8 } else { 25 };
     let worker_counts: Vec<usize> = if opts.quick { vec![8] } else { vec![8, 16, 24] };
     let algos: Vec<(&str, Algo)> = vec![

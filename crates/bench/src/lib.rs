@@ -11,6 +11,8 @@ use std::path::PathBuf;
 
 use dtrain_core::report::Table;
 
+pub mod trajectory;
+
 /// Parsed common CLI options.
 #[derive(Clone, Debug, Default)]
 pub struct HarnessOpts {

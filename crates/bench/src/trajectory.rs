@@ -1,0 +1,191 @@
+//! The committed perf-trajectory format shared by the harness binaries.
+//!
+//! A trajectory file (`BENCH_00N.json` at the repo root, or an ad-hoc
+//! `results/*.json`) is a flat list of `(kernel, threads, ms)` minima plus
+//! free-form metadata. `bench_kernels` records real wall-clock kernel
+//! minima; `fig4_optimizations --collective` records *simulated* collective
+//! round times (deterministic, so the gate is exact there). Both gate
+//! against a committed file with [`check_baseline`]: any matching record
+//! that regressed more than 15% (plus a 0.02 ms absolute floor for
+//! µs-scale kernels) is a divergence, and records oversubscribed on either
+//! side are excluded outright rather than compared — a 1-core CI host
+//! timesharing an 8-thread pool measures scheduler luck, and comparing it
+//! against a wider host's baseline (or vice versa) flakes the gate without
+//! any code change.
+
+/// One benchmarked configuration's minimum.
+pub struct TrajRecord {
+    pub kernel: String,
+    pub threads: usize,
+    pub ms: f64,
+    /// `threads > host_parallelism`: measures oversubscription overhead,
+    /// not scaling. Excluded from the baseline gate.
+    pub oversubscribed: bool,
+}
+
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the trajectory document. `meta` entries are emitted verbatim as
+/// top-level `"key": value` pairs, so values must already be valid JSON
+/// (`"3"`, `"false"`, `"\"avx512\""`).
+pub fn render_trajectory(
+    meta: &[(&str, String)],
+    records: &[TrajRecord],
+    divergences: &[String],
+) -> String {
+    let mut json = String::from("{\n");
+    for (k, v) in meta {
+        json.push_str(&format!("  \"{k}\": {v},\n"));
+    }
+    json.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"threads\": {}, \"ms\": {:.6}, \"oversubscribed\": {}}}{}\n",
+            json_escape(&r.kernel),
+            r.threads,
+            r.ms,
+            r.oversubscribed,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"divergences\": [\n");
+    for (i, d) in divergences.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\"{}\n",
+            json_escape(d),
+            if i + 1 < divergences.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Render and write, creating parent directories.
+pub fn write_trajectory(
+    path: &str,
+    meta: &[(&str, String)],
+    records: &[TrajRecord],
+    divergences: &[String],
+) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, render_trajectory(meta, records, divergences))
+}
+
+/// Compare this run's minima against a committed trajectory file; push a
+/// divergence line per regression (see module docs for the rule). Records
+/// whose kernel ends in `_pct` are obs-overhead percentages, gated
+/// separately at measurement time, and skipped here.
+pub fn check_baseline(path: &str, records: &[TrajRecord], divergences: &mut Vec<String>) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            divergences.push(format!("baseline {path}: unreadable ({e})"));
+            return;
+        }
+    };
+    let doc = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            divergences.push(format!("baseline {path}: parse error ({e:?})"));
+            return;
+        }
+    };
+    let Some(base_records) = doc.get_key("records").and_then(|r| r.as_array()) else {
+        divergences.push(format!("baseline {path}: no records array"));
+        return;
+    };
+    let mut compared = 0usize;
+    let mut excluded = 0usize;
+    for br in base_records {
+        let (Some(kernel), Some(threads), Some(old_ms)) = (
+            br.get_key("kernel").and_then(|v| v.as_str()),
+            br.get_key("threads").and_then(|v| v.as_u64()),
+            br.get_key("ms").and_then(|v| v.as_f64()),
+        ) else {
+            continue;
+        };
+        if kernel.ends_with("_pct") {
+            continue;
+        }
+        let Some(new) = records
+            .iter()
+            .find(|r| r.kernel == kernel && r.threads == threads as usize)
+        else {
+            continue;
+        };
+        let base_oversub = br
+            .get_key("oversubscribed")
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false);
+        if new.oversubscribed || base_oversub {
+            excluded += 1;
+            continue;
+        }
+        compared += 1;
+        if new.ms > old_ms * 1.15 + 0.02 {
+            divergences.push(format!(
+                "perf regression: {kernel} @ {threads}t: {:.4} ms vs baseline {old_ms:.4} ms \
+                 (>15% + 0.02 ms)",
+                new.ms
+            ));
+        }
+    }
+    println!(
+        "perf gate: compared {compared} records against {path} \
+         ({excluded} oversubscribed excluded)"
+    );
+    if compared == 0 {
+        divergences.push(format!(
+            "baseline {path}: no comparable records — gate would be vacuous"
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kernel: &str, ms: f64, oversub: bool) -> TrajRecord {
+        TrajRecord {
+            kernel: kernel.into(),
+            threads: 1,
+            ms,
+            oversubscribed: oversub,
+        }
+    }
+
+    #[test]
+    fn render_then_gate_round_trips() {
+        let records = vec![rec("a", 1.0, false), rec("b", 2.0, true)];
+        let doc = render_trajectory(&[("smoke", "true".into())], &records, &[]);
+        let dir = std::env::temp_dir().join("dtrain_traj_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("base.json");
+        std::fs::write(&path, &doc).unwrap();
+        // Identical run: no divergences, one compared (b excluded).
+        let mut div = Vec::new();
+        check_baseline(path.to_str().unwrap(), &records, &mut div);
+        assert!(div.is_empty(), "{div:?}");
+        // Regressed run: a at 2x must trip the gate; oversubscribed b at
+        // 10x must not.
+        let worse = vec![rec("a", 2.0, false), rec("b", 20.0, true)];
+        let mut div = Vec::new();
+        check_baseline(path.to_str().unwrap(), &worse, &mut div);
+        assert_eq!(div.len(), 1, "{div:?}");
+        assert!(div[0].contains("perf regression: a"));
+    }
+
+    #[test]
+    fn missing_baseline_is_a_divergence_not_a_panic() {
+        let mut div = Vec::new();
+        check_baseline("/nonexistent/path.json", &[rec("a", 1.0, false)], &mut div);
+        assert_eq!(div.len(), 1);
+        assert!(div[0].contains("unreadable"));
+    }
+}

@@ -1,0 +1,553 @@
+//! Topology-aware collective schedules: two-level hierarchical allreduce,
+//! double-binary-tree broadcast, and chunked pipelining.
+//!
+//! The paper's scalability model (§V, Fig. 2/4) assumes a *flat* ring
+//! allreduce and a serial PS scatter — both treat the cluster as a uniform
+//! clique. Real clusters are two-level: workers on one machine talk over a
+//! PCIe-class fabric an order of magnitude faster than the NIC (Awan et
+//! al.'s hierarchical designs in PAPERS.md exploit exactly this). This
+//! module provides the topology pieces shared by all three execution paths:
+//!
+//! * [`CollectiveSchedule`] — which schedule a run uses (`Flat` keeps the
+//!   paper's behaviour and every golden pin byte-stable);
+//! * [`hier_groups`] — partition a live cohort into per-machine groups with
+//!   the lowest rank as machine leader (the intra-reduce / inter-ring /
+//!   intra-broadcast structure);
+//! * [`double_binary_trees`] — two edge-disjoint binary spanning trees for
+//!   full-bandwidth PS fan-out, each carrying half the payload;
+//! * [`chunk_plan`] — fixed-size chunking of a gradient byte stream, the
+//!   granularity at which pipelined allreduce overlaps backprop;
+//! * [`tree_broadcast_delays`] — the NIC-honest delay of a double-tree
+//!   broadcast over [`NetModel`].
+
+use dtrain_desim::SimTime;
+
+use crate::config::NodeId;
+use crate::net::{NetModel, TrafficClass};
+
+/// Which collective schedule a run uses. `Flat` is the paper's baseline
+/// (ring allreduce / serial PS scatter) and the default everywhere, so
+/// existing traces and pins are unchanged unless a run opts in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CollectiveSchedule {
+    /// The paper's flat ring / serial PS fan-out.
+    #[default]
+    Flat,
+    /// Two-level hierarchical: intra-machine reduce over PCIe, ring over
+    /// one leader per machine, intra-machine broadcast. PS fan-out uses
+    /// the double binary trees.
+    Hier,
+    /// `Hier` plus fixed-size chunking: layer *i*'s chunks start reducing
+    /// while layer *i−1* is still in backprop (wait-free BP generalized
+    /// past per-layer granularity).
+    Pipelined,
+}
+
+impl CollectiveSchedule {
+    pub const ALL: [CollectiveSchedule; 3] = [
+        CollectiveSchedule::Flat,
+        CollectiveSchedule::Hier,
+        CollectiveSchedule::Pipelined,
+    ];
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "flat" => Some(CollectiveSchedule::Flat),
+            "hier" => Some(CollectiveSchedule::Hier),
+            "pipelined" => Some(CollectiveSchedule::Pipelined),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveSchedule::Flat => "flat",
+            CollectiveSchedule::Hier => "hier",
+            CollectiveSchedule::Pipelined => "pipelined",
+        }
+    }
+
+    pub fn is_flat(self) -> bool {
+        self == CollectiveSchedule::Flat
+    }
+
+    /// Whether gradients are chunked and reduced during backprop.
+    pub fn overlaps_backprop(self) -> bool {
+        self == CollectiveSchedule::Pipelined
+    }
+}
+
+/// Default chunk size for [`CollectiveSchedule::Pipelined`]: 4 MiB, the
+/// same order as NCCL's buffer granularity — small enough that ResNet-50's
+/// 102 MB gradient yields ~26 pipeline stages, large enough that per-chunk
+/// latency does not dominate 10 Gbps serialization.
+pub const DEFAULT_CHUNK_BYTES: u64 = 4 << 20;
+
+/// One machine's group in the two-level reduction: the `leader` (lowest
+/// live rank on the machine) speaks on the inter-machine ring for all
+/// `members` (ascending, leader included).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HierGroup {
+    pub machine: usize,
+    pub leader: usize,
+    pub members: Vec<usize>,
+}
+
+impl HierGroup {
+    /// Members other than the leader.
+    pub fn followers(&self) -> impl Iterator<Item = usize> + '_ {
+        self.members
+            .iter()
+            .copied()
+            .filter(move |&m| m != self.leader)
+    }
+}
+
+/// Partition an ascending live cohort into per-machine groups (dense
+/// packing: rank `r` lives on machine `r / gpus_per_machine`). Machines
+/// with no live member simply do not appear, so the inter-machine ring is
+/// always exactly the live machines — eviction shrinks it, rejoin regrows
+/// it.
+pub fn hier_groups(cohort: &[usize], gpus_per_machine: usize) -> Vec<HierGroup> {
+    let g = gpus_per_machine.max(1);
+    debug_assert!(cohort.windows(2).all(|w| w[0] < w[1]), "cohort must ascend");
+    let mut groups: Vec<HierGroup> = Vec::new();
+    for &rank in cohort {
+        let machine = rank / g;
+        match groups.last_mut() {
+            Some(grp) if grp.machine == machine => grp.members.push(rank),
+            _ => groups.push(HierGroup {
+                machine,
+                leader: rank,
+                members: vec![rank],
+            }),
+        }
+    }
+    groups
+}
+
+/// A rooted broadcast tree over ranks `0..n`: `parent[v]` is `None` only
+/// for the root. Ranks are *positions* in whatever cohort the caller built
+/// the tree over.
+#[derive(Clone, Debug)]
+pub struct BcastTree {
+    pub root: usize,
+    pub parent: Vec<Option<usize>>,
+}
+
+impl BcastTree {
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Children of every node, in ascending order.
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.parent.len()];
+        for (v, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                out[*p].push(v);
+            }
+        }
+        out
+    }
+
+    /// Undirected edges, each normalized `(min, max)`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter_map(|(v, p)| p.map(|p| (v.min(p), v.max(p))))
+            .collect()
+    }
+
+    /// Longest root-to-leaf path, in edges.
+    pub fn depth(&self) -> usize {
+        (0..self.parent.len())
+            .map(|mut v| {
+                let mut d = 0;
+                while let Some(p) = self.parent[v] {
+                    v = p;
+                    d += 1;
+                }
+                d
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Balanced inorder BST over `0..n`: root at the midpoint of each range.
+fn inorder_tree(n: usize) -> BcastTree {
+    let mut parent = vec![None; n];
+    let mut root = 0;
+    fn build(
+        lo: usize,
+        hi: usize,
+        par: Option<usize>,
+        parent: &mut [Option<usize>],
+        root: &mut usize,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let r = lo + (hi - lo) / 2;
+        match par {
+            Some(p) => parent[r] = Some(p),
+            None => *root = r,
+        }
+        build(lo, r, Some(r), parent, root);
+        build(r + 1, hi, Some(r), parent, root);
+    }
+    build(0, n, None, &mut parent, &mut root);
+    BcastTree { root, parent }
+}
+
+/// Greedy heap-shaped fill that avoids `avoid` edges: attach ranks in
+/// ascending order to the earliest open slot (breadth-first, so depth stays
+/// ≤ ⌈log2 n⌉ + O(1)) whose edge is not forbidden. Fails (None) only when
+/// every open slot is forbidden — which the root search in
+/// [`double_binary_trees`] routes around.
+fn greedy_complement(n: usize, root: usize, avoid: &[(usize, usize)]) -> Option<BcastTree> {
+    let forbidden = |a: usize, b: usize| avoid.contains(&(a.min(b), a.max(b)));
+    let mut parent = vec![None; n];
+    let mut open: Vec<(usize, usize)> = vec![(root, 0)]; // (node, child count)
+    for v in (0..n).filter(|&v| v != root) {
+        let idx = open.iter().position(|&(u, c)| c < 2 && !forbidden(u, v))?;
+        parent[v] = Some(open[idx].0);
+        open[idx].1 += 1;
+        if open[idx].1 >= 2 {
+            open.remove(idx);
+        }
+        open.push((v, 0));
+    }
+    Some(BcastTree { root, parent })
+}
+
+/// Two binary spanning trees over ranks `0..n` for full-bandwidth
+/// broadcast: each carries half the payload, so no link serializes the
+/// whole message. The first is a balanced inorder BST; the second is a
+/// breadth-first fill of the complement graph — **edge-disjoint from the
+/// first by construction** for every `n ≥ 4` (verified exhaustively in
+/// tests; below `n = 4` two edge-disjoint spanning trees of `K_n` do not
+/// exist, so the second tree mirrors the first and the broadcast
+/// gracefully degrades to sharing links).
+pub fn double_binary_trees(n: usize) -> (BcastTree, BcastTree) {
+    let t1 = inorder_tree(n);
+    if n == 0 {
+        return (t1.clone(), t1);
+    }
+    if n < 4 {
+        // K_2 has one edge and K_3 three: two spanning trees (1 resp. 2
+        // edges each) cannot avoid sharing. Mirror the first tree.
+        let mut parent = vec![None; n];
+        let mirror = |v: usize| n - 1 - v;
+        for (v, p) in t1.parent.iter().enumerate() {
+            if let Some(p) = p {
+                parent[mirror(v)] = Some(mirror(*p));
+            }
+        }
+        return (
+            t1.clone(),
+            BcastTree {
+                root: mirror(t1.root),
+                parent,
+            },
+        );
+    }
+    let avoid = t1.edges();
+    let t2 = (0..n)
+        .find_map(|root| greedy_complement(n, root, &avoid))
+        .expect("complement fill succeeds for n >= 4");
+    (t1, t2)
+}
+
+/// Cut a `total_bytes` gradient stream into pipeline chunks of
+/// `chunk_bytes` (the last chunk takes the remainder). `chunk_bytes = 0`
+/// or a stream smaller than one chunk degenerate to a single chunk.
+pub fn chunk_plan(total_bytes: u64, chunk_bytes: u64) -> Vec<u64> {
+    if total_bytes == 0 {
+        return vec![0];
+    }
+    if chunk_bytes == 0 || total_bytes <= chunk_bytes {
+        return vec![total_bytes];
+    }
+    let full = (total_bytes / chunk_bytes) as usize;
+    let mut sizes = vec![chunk_bytes; full];
+    let rem = total_bytes - chunk_bytes * full as u64;
+    if rem > 0 {
+        sizes.push(rem);
+    }
+    sizes
+}
+
+/// How many whole chunks of a [`chunk_plan`] are covered once `cum_bytes`
+/// of the stream have been produced (backprop emits gradients layer by
+/// layer; a chunk becomes reducible when the stream crosses its boundary).
+pub fn chunks_ready(cum_bytes: u64, chunk_bytes: u64, nchunks: usize) -> usize {
+    if chunk_bytes == 0 {
+        return nchunks;
+    }
+    ((cum_bytes / chunk_bytes) as usize).min(nchunks)
+}
+
+/// NIC-honest per-destination delays of a double-binary-tree broadcast of
+/// `bytes` from machine `root` to the machines in `dests` (duplicates
+/// allowed — co-located destinations share the one inter-machine delivery
+/// and add only a PCIe hop). Each tree carries half the payload; relay
+/// sends are charged at the relaying machine's NIC in causal order, so
+/// the root's TX serializes `bytes` once instead of `dests.len()` times.
+/// Returns the delay from `now` until delivery, aligned with `dests`.
+pub fn tree_broadcast_delays(
+    net: &NetModel,
+    now: SimTime,
+    root: NodeId,
+    dests: &[NodeId],
+    bytes: u64,
+) -> Vec<SimTime> {
+    // Distinct non-root machines, ascending: the tree's rank space.
+    let mut machines: Vec<usize> = dests.iter().map(|d| d.0).filter(|&m| m != root.0).collect();
+    machines.sort_unstable();
+    machines.dedup();
+
+    let n = machines.len();
+    let half_a = bytes - bytes / 2;
+    let half_b = bytes / 2;
+    // arrival[m] = absolute time machine m holds the full payload.
+    let mut arrival: Vec<SimTime> = vec![SimTime::ZERO; n];
+    if n == 1 {
+        let d = net.transfer_delay_class(
+            now,
+            root,
+            NodeId(machines[0]),
+            bytes,
+            TrafficClass::Collective,
+        );
+        arrival[0] = now + d;
+    } else if n >= 2 {
+        let (t1, t2) = double_binary_trees(n);
+        let mut got: Vec<[Option<SimTime>; 2]> = vec![[None, None]; n];
+        // Worklist of (data-ready time, tree, rank); processed in causal
+        // order so NIC reservations happen in the order sends could
+        // actually start. Ties break by (tree, rank) for determinism.
+        let trees = [(&t1, half_a), (&t2, half_b)];
+        let kids = [t1.children(), t2.children()];
+        let mut work: Vec<(SimTime, usize, usize)> = Vec::new();
+        for (ti, (tree, half)) in trees.iter().enumerate() {
+            if *half == 0 {
+                continue;
+            }
+            let d = net.transfer_delay_class(
+                now,
+                root,
+                NodeId(machines[tree.root]),
+                *half,
+                TrafficClass::Collective,
+            );
+            got[tree.root][ti] = Some(now + d);
+            work.push((now + d, ti, tree.root));
+        }
+        while let Some(pos) = work
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| (w.0, w.1, w.2))
+            .map(|(i, _)| i)
+        {
+            let (at, ti, rank) = work.remove(pos);
+            let half = trees[ti].1;
+            for &c in &kids[ti][rank] {
+                let d = net.transfer_delay_class(
+                    at,
+                    NodeId(machines[rank]),
+                    NodeId(machines[c]),
+                    half,
+                    TrafficClass::Collective,
+                );
+                got[c][ti] = Some(at + d);
+                work.push((at + d, ti, c));
+            }
+        }
+        for (m, halves) in got.iter().enumerate() {
+            // A machine holds the payload once both halves arrived (a zero
+            // half — odd split of a tiny message — never ships).
+            arrival[m] = halves.iter().flatten().copied().max().unwrap_or(now);
+        }
+    }
+    // Per-destination: inter-machine arrival (if any) plus the PCIe hop
+    // that lands the payload in the worker's memory.
+    dests
+        .iter()
+        .map(|d| {
+            let base = match machines.binary_search(&d.0) {
+                Ok(i) => arrival[i],
+                Err(_) => now, // co-located with the root
+            };
+            let intra = net.transfer_delay_class(base, *d, *d, bytes, TrafficClass::Collective);
+            (base + intra).saturating_sub(now)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, NetworkConfig};
+    use std::collections::HashSet;
+
+    #[test]
+    fn schedule_parse_round_trips() {
+        for s in CollectiveSchedule::ALL {
+            assert_eq!(CollectiveSchedule::parse(s.name()), Some(s));
+        }
+        assert_eq!(CollectiveSchedule::parse("ring"), None);
+        assert!(CollectiveSchedule::default().is_flat());
+        assert!(CollectiveSchedule::Pipelined.overlaps_backprop());
+        assert!(!CollectiveSchedule::Hier.overlaps_backprop());
+    }
+
+    #[test]
+    fn hier_groups_partition_dense_cohort() {
+        let cohort: Vec<usize> = (0..8).collect();
+        let g = hier_groups(&cohort, 4);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0].machine, 0);
+        assert_eq!(g[0].leader, 0);
+        assert_eq!(g[0].members, vec![0, 1, 2, 3]);
+        assert_eq!(g[1].leader, 4);
+        assert_eq!(g[1].followers().collect::<Vec<_>>(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn hier_groups_drop_empty_machines() {
+        // Machine 1 (ranks 4..8) fully evicted: the ring is machines 0, 2.
+        let cohort = vec![0, 2, 3, 8, 11];
+        let g = hier_groups(&cohort, 4);
+        assert_eq!(g.len(), 2);
+        assert_eq!((g[0].machine, g[0].leader), (0, 0));
+        assert_eq!((g[1].machine, g[1].leader), (2, 8));
+        assert_eq!(g[1].members, vec![8, 11]);
+    }
+
+    fn tree_invariants(t: &BcastTree, n: usize) {
+        assert_eq!(t.parent.len(), n);
+        // spanning: every node walks to the root without cycling
+        for mut v in 0..n {
+            let mut hops = 0;
+            while let Some(p) = t.parent[v] {
+                v = p;
+                hops += 1;
+                assert!(hops <= n, "cycle");
+            }
+            assert_eq!(v, t.root);
+        }
+        // binary arity
+        assert!(t.children().iter().all(|c| c.len() <= 2));
+    }
+
+    #[test]
+    fn double_binary_trees_are_edge_disjoint_spanning_and_shallow() {
+        for n in 1..=64usize {
+            let (t1, t2) = double_binary_trees(n);
+            tree_invariants(&t1, n);
+            tree_invariants(&t2, n);
+            let e1: HashSet<_> = t1.edges().into_iter().collect();
+            let e2: HashSet<_> = t2.edges().into_iter().collect();
+            if n >= 4 {
+                assert!(
+                    e1.is_disjoint(&e2),
+                    "n={n} shared {:?}",
+                    e1.intersection(&e2).collect::<Vec<_>>()
+                );
+            }
+            let bound = (n.max(2) as f64).log2().ceil() as usize + 2;
+            assert!(t1.depth() <= bound, "n={n} t1 depth {}", t1.depth());
+            assert!(t2.depth() <= bound, "n={n} t2 depth {}", t2.depth());
+        }
+    }
+
+    #[test]
+    fn chunk_plan_covers_stream() {
+        assert_eq!(chunk_plan(0, 4), vec![0]);
+        assert_eq!(chunk_plan(10, 0), vec![10]);
+        assert_eq!(chunk_plan(10, 16), vec![10]);
+        assert_eq!(chunk_plan(10, 4), vec![4, 4, 2]);
+        assert_eq!(chunk_plan(8, 4), vec![4, 4]);
+        let plan = chunk_plan(102_400_000, DEFAULT_CHUNK_BYTES);
+        assert_eq!(plan.iter().sum::<u64>(), 102_400_000);
+        assert!(plan.len() > 20);
+    }
+
+    #[test]
+    fn chunks_ready_tracks_boundaries() {
+        let plan = chunk_plan(10, 4); // [4, 4, 2]
+        assert_eq!(chunks_ready(0, 4, plan.len()), 0);
+        assert_eq!(chunks_ready(3, 4, plan.len()), 0);
+        assert_eq!(chunks_ready(4, 4, plan.len()), 1);
+        assert_eq!(chunks_ready(9, 4, plan.len()), 2);
+        // The final layer's completion releases everything, remainder chunk
+        // included: callers clamp with the full stream length.
+        assert_eq!(chunks_ready(10, 4, plan.len()), 2);
+        assert_eq!(chunks_ready(u64::MAX, 4, plan.len()), 3);
+    }
+
+    fn fanout_net(machines: usize) -> NetModel {
+        let mut cfg = ClusterConfig::paper(NetworkConfig::TEN_GBPS);
+        cfg.machines = machines;
+        NetModel::new(&cfg)
+    }
+
+    const MB100: u64 = 100_000_000;
+
+    #[test]
+    fn tree_broadcast_beats_serial_fanout() {
+        // Serial PS scatter: the root's TX NIC serializes every copy.
+        let net = fanout_net(9);
+        let dests: Vec<NodeId> = (1..9).map(NodeId).collect();
+        let serial = dests
+            .iter()
+            .map(|d| {
+                net.transfer_delay_class(
+                    SimTime::ZERO,
+                    NodeId(0),
+                    *d,
+                    MB100,
+                    TrafficClass::WorkerPs,
+                )
+            })
+            .max()
+            .unwrap();
+        let net = fanout_net(9);
+        let tree = tree_broadcast_delays(&net, SimTime::ZERO, NodeId(0), &dests, MB100);
+        let worst = *tree.iter().max().unwrap();
+        assert!(
+            worst.as_secs_f64() < 0.7 * serial.as_secs_f64(),
+            "tree {worst:?} vs serial {serial:?}"
+        );
+        // Everything travelled as Collective traffic.
+        assert!(net.stats().bytes_of(TrafficClass::Collective) >= MB100);
+    }
+
+    #[test]
+    fn tree_broadcast_handles_colocated_and_root_dests() {
+        let net = fanout_net(4);
+        // Two workers on machine 1, one on the root machine itself.
+        let dests = [NodeId(1), NodeId(1), NodeId(0)];
+        let d = tree_broadcast_delays(&net, SimTime::ZERO, NodeId(0), &dests, MB100);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0], d[1], "co-located dests share the delivery");
+        assert!(d[2] < d[0], "root-machine dest needs only the PCIe hop");
+    }
+
+    #[test]
+    fn tree_broadcast_is_deterministic() {
+        let run = || {
+            let net = fanout_net(12);
+            let dests: Vec<NodeId> = (1..12).map(NodeId).collect();
+            tree_broadcast_delays(&net, SimTime::from_millis(3), NodeId(0), &dests, MB100)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -6,6 +6,17 @@
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(pub usize);
 
+/// The two bandwidth domains of a two-level cluster: the PCIe-class
+/// intra-machine fabric and the NIC. Collective schedules pick link costs
+/// by class instead of hard-coding which config field applies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BandwidthClass {
+    /// Co-located workers: PCIe-class fabric, bypasses the NICs.
+    Intra,
+    /// Inter-machine: the shared NIC.
+    Nic,
+}
+
 /// Inter-machine network parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct NetworkConfig {
@@ -98,6 +109,28 @@ impl ClusterConfig {
     pub fn machine_peers(&self, w: usize) -> std::ops::Range<usize> {
         let m = w / self.gpus_per_machine;
         m * self.gpus_per_machine..(m + 1) * self.gpus_per_machine
+    }
+
+    /// Bandwidth of a link class, in Gbps.
+    pub fn bandwidth_gbps(&self, class: BandwidthClass) -> f64 {
+        match class {
+            BandwidthClass::Intra => self.intra_bandwidth_gbps,
+            BandwidthClass::Nic => self.network.bandwidth_gbps,
+        }
+    }
+
+    /// One-way latency of a link class, in microseconds.
+    pub fn latency_us(&self, class: BandwidthClass) -> f64 {
+        match class {
+            BandwidthClass::Intra => self.intra_latency_us,
+            BandwidthClass::Nic => self.network.latency_us,
+        }
+    }
+
+    /// Seconds to move `bytes` over one link of `class` (latency included)
+    /// — the closed-form cost collective schedule estimates are built from.
+    pub fn link_secs(&self, class: BandwidthClass, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 / (self.bandwidth_gbps(class) * 1e9) + self.latency_us(class) * 1e-6
     }
 }
 

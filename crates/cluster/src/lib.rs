@@ -11,15 +11,23 @@
 //!   the paper's ~5 % jitter and per-worker slowdowns (driven by the
 //!   fault-schedule DSL in `dtrain-faults`);
 //! * [`ShardPlan`] — layer-wise / balanced parameter-shard planning;
-//! * [`MetricsHub`] — Fig.-3-style phase breakdowns and throughput.
+//! * [`MetricsHub`] — Fig.-3-style phase breakdowns and throughput;
+//! * [`CollectiveSchedule`] and friends — topology-aware collectives
+//!   (two-level hierarchical allreduce, double-binary-tree fan-out,
+//!   chunked pipelining).
 
+mod collective;
 mod config;
 mod gpu;
 mod metrics;
 mod net;
 mod shard;
 
-pub use config::{ClusterConfig, NetworkConfig, NodeId};
+pub use collective::{
+    chunk_plan, chunks_ready, double_binary_trees, hier_groups, tree_broadcast_delays, BcastTree,
+    CollectiveSchedule, HierGroup, DEFAULT_CHUNK_BYTES,
+};
+pub use config::{BandwidthClass, ClusterConfig, NetworkConfig, NodeId};
 pub use gpu::GpuModel;
 pub use metrics::{Breakdown, MetricsHub, Phase};
 pub use net::{DeadlinePolicy, LinkWindow, NetModel, TrafficClass, TrafficStats};

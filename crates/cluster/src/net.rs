@@ -36,6 +36,10 @@ pub enum TrafficClass {
     Peer,
     /// Anything else (control messages, unclassified).
     Other,
+    /// Hierarchical/tree collective phases (intra reduce, leader ring,
+    /// tree fan-out) — kept apart from `Peer`/`WorkerPs` so Table I's
+    /// closed forms for the flat schedules stay checkable.
+    Collective,
 }
 
 /// Per-transfer deadline/retry policy (elastic mode): cut off a transfer
@@ -56,8 +60,8 @@ pub struct TrafficStats {
     pub inter_bytes: u64,
     pub intra_messages: u64,
     pub intra_bytes: u64,
-    /// Bytes by logical class: [WorkerPs, LocalAgg, Peer, Other].
-    pub class_bytes: [u64; 4],
+    /// Bytes by logical class: [WorkerPs, LocalAgg, Peer, Other, Collective].
+    pub class_bytes: [u64; 5],
 }
 
 impl TrafficStats {
@@ -502,6 +506,64 @@ mod tests {
         assert!((d.as_secs_f64() - 1.32005).abs() < 1e-4, "{d:?}");
         // Duplicate attempts are charged: 4 messages' worth of bytes.
         assert_eq!(net.stats().inter_bytes, 4 * MB100);
+    }
+
+    #[test]
+    fn deadline_retry_landing_exactly_at_window_end_is_unthrottled() {
+        // Fault windows are half-open: `covers` holds for `start <= t <
+        // end`, so an attempt starting at exactly `end` must see full
+        // bandwidth. Regression probe for an off-by-one that would make
+        // the boundary instant still throttled (`t <= end`).
+        const MB10: u64 = 10_000_000;
+        let net = model(NetworkConfig::TEN_GBPS, 2);
+        net.set_link_faults(vec![LinkWindow {
+            start: SimTime::ZERO,
+            machine: 1,
+            factor: 0.1,
+            duration: SimTime::from_millis(100),
+        }]);
+        // Attempt 0 starts inside the window: 80 ms of throttled wire blows
+        // the 50 ms deadline and is abandoned (NICs held until t = 80 ms).
+        // The retry fires at deadline + backoff = exactly the window end.
+        let pol = DeadlinePolicy {
+            deadline: SimTime::from_millis(50),
+            max_retries: 3,
+            backoff: SimTime::from_millis(50),
+        };
+        let (d, retries) = net.transfer_delay_deadline(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            MB10,
+            TrafficClass::Peer,
+            pol,
+        );
+        // At t == end the factor no longer applies: the retry is a clean
+        // 8 ms + 50 µs and fits the deadline, so exactly one retry total.
+        // An inclusive boundary would throttle it to 80 ms and burn a
+        // second retry.
+        assert_eq!(retries, 1);
+        assert!((d.as_secs_f64() - 0.10805).abs() < 1e-6, "{d:?}");
+    }
+
+    #[test]
+    fn transfer_starting_exactly_at_window_end_is_unaffected() {
+        // Both partition (factor 0) and degradation windows release at the
+        // exact `end` instant.
+        for factor in [0.0, 0.1] {
+            let net = model(NetworkConfig::TEN_GBPS, 2);
+            net.set_link_faults(vec![LinkWindow {
+                start: SimTime::ZERO,
+                machine: 0,
+                factor,
+                duration: SimTime::from_secs(1),
+            }]);
+            let d = net.transfer_delay(SimTime::from_secs(1), NodeId(0), NodeId(1), MB100);
+            assert!(
+                (d.as_secs_f64() - 0.08005).abs() < 1e-6,
+                "factor {factor}: {d:?}"
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //! backwards, delays are bounded below by physics, and shard plans conserve
 //! bytes under arbitrary inputs.
 
-use dtrain_cluster::{ClusterConfig, NetModel, NetworkConfig, NodeId, ShardPlan};
+use dtrain_cluster::{
+    chunk_plan, chunks_ready, double_binary_trees, hier_groups, ClusterConfig, NetModel,
+    NetworkConfig, NodeId, ShardPlan,
+};
 use dtrain_desim::SimTime;
 use proptest::prelude::*;
 
@@ -78,5 +81,74 @@ proptest! {
             max_shard <= lower * 4.0 / 3.0 + 1.0,
             "LPT bound violated: {max_shard} vs lower {lower}"
         );
+    }
+
+    /// Two-level groups partition any cohort: every rank lands in exactly
+    /// one group, on its own machine, with the lowest live rank as leader,
+    /// and machines with no live rank are absent from the ring.
+    #[test]
+    fn hier_groups_partition_any_cohort(
+        present in prop::collection::vec(0u8..2, 1..48),
+        gpus in 1usize..6,
+    ) {
+        let cohort: Vec<usize> = present
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| (p == 1).then_some(i))
+            .collect();
+        let groups = hier_groups(&cohort, gpus);
+        let flattened: Vec<usize> = groups.iter().flat_map(|g| g.members.clone()).collect();
+        prop_assert_eq!(&flattened, &cohort, "groups must span exactly the cohort");
+        for g in &groups {
+            prop_assert_eq!(g.leader, *g.members.iter().min().expect("non-empty"));
+            prop_assert!(g.members.iter().all(|&m| m / gpus == g.machine));
+        }
+        let machines: Vec<usize> = groups.iter().map(|g| g.machine).collect();
+        let mut sorted = machines.clone();
+        sorted.dedup();
+        prop_assert_eq!(machines, sorted, "one group per live machine, ascending");
+    }
+
+    /// Double binary trees: both span 0..n with arity ≤ 2, and are
+    /// edge-disjoint whenever that is possible (n ≥ 4).
+    #[test]
+    fn double_binary_trees_invariants(n in 1usize..200) {
+        let (t1, t2) = double_binary_trees(n);
+        for t in [&t1, &t2] {
+            prop_assert_eq!(t.len(), n);
+            for mut v in 0..n {
+                let mut hops = 0;
+                while let Some(p) = t.parent[v] {
+                    v = p;
+                    hops += 1;
+                    prop_assert!(hops <= n, "cycle");
+                }
+                prop_assert_eq!(v, t.root);
+            }
+            prop_assert!(t.children().iter().all(|c| c.len() <= 2));
+        }
+        if n >= 4 {
+            let e1 = t1.edges();
+            let shared: Vec<_> = t2.edges().into_iter().filter(|e| e1.contains(e)).collect();
+            prop_assert!(shared.is_empty(), "shared edges {:?}", shared);
+        }
+    }
+
+    /// Chunk plans conserve the stream and readiness never overshoots.
+    #[test]
+    fn chunk_plan_conserves_bytes(
+        total in 0u64..1_000_000_000,
+        chunk in 0u64..20_000_000,
+        cum in 0u64..1_000_000_000,
+    ) {
+        let plan = chunk_plan(total, chunk);
+        prop_assert_eq!(plan.iter().sum::<u64>(), total);
+        prop_assert!(plan.iter().rev().skip(1).all(|&c| c == chunk));
+        let ready = chunks_ready(cum, chunk, plan.len());
+        prop_assert!(ready <= plan.len());
+        if cum >= total {
+            // a fully produced stream plus clamp covers every chunk
+            prop_assert_eq!(chunks_ready(u64::MAX, chunk, plan.len()), plan.len());
+        }
     }
 }

@@ -42,7 +42,9 @@ pub mod prelude {
         run, run_observed, run_traced, Algo, EpochPoint, FaultConfig, OptimizationConfig,
         RealTraining, RunConfig, RunOutput, StopCondition,
     };
-    pub use dtrain_cluster::{Breakdown, ClusterConfig, NetworkConfig, Phase, ShardPlan};
+    pub use dtrain_cluster::{
+        Breakdown, ClusterConfig, CollectiveSchedule, NetworkConfig, Phase, ShardPlan,
+    };
     pub use dtrain_compress::DgcConfig;
     pub use dtrain_faults::{
         CheckpointStore, ElasticConfig, FaultEvent, FaultKind, FaultPlan, FaultSchedule,

@@ -7,7 +7,7 @@
 use dtrain_algos::{
     Algo, OptimizationConfig, RealTraining, RunConfig, StopCondition, SyntheticTask,
 };
-use dtrain_cluster::{ClusterConfig, NetworkConfig};
+use dtrain_cluster::{ClusterConfig, CollectiveSchedule, NetworkConfig};
 use dtrain_compress::DgcConfig;
 use dtrain_data::TeacherTaskConfig;
 use dtrain_models::{resnet50, vgg16, ModelProfile};
@@ -261,6 +261,7 @@ pub fn optimization_run(
         },
         local_aggregation: matches!(algo, Algo::Bsp),
         disable_overlap: false,
+        collective: CollectiveSchedule::Flat,
     };
     RunConfig {
         algo,
@@ -269,6 +270,36 @@ pub fn optimization_run(
         profile: model.profile(),
         batch: model.batch(),
         opts,
+        stop: StopCondition::Iterations(iterations),
+        faults: None,
+        real: None,
+        seed: 4,
+    }
+}
+
+/// Fig 4 `--collective` crossover study: AR-SGD, cost-only, `machines`
+/// 4-GPU machines (the paper cluster shape), comparing the reduction
+/// schedules. Wait-free BP stays on so `Pipelined` measures chunked
+/// overlap *beyond* per-layer granularity, not against a strawman.
+pub fn collective_run(
+    model: PaperModel,
+    machines: usize,
+    network: NetworkConfig,
+    schedule: CollectiveSchedule,
+    iterations: u64,
+) -> RunConfig {
+    let workers = machines * 4;
+    RunConfig {
+        algo: Algo::ArSgd,
+        cluster: ClusterConfig::paper_with_workers(network, workers),
+        workers,
+        profile: model.profile(),
+        batch: model.batch(),
+        opts: OptimizationConfig {
+            wait_free_bp: true,
+            collective: schedule,
+            ..Default::default()
+        },
         stop: StopCondition::Iterations(iterations),
         faults: None,
         real: None,

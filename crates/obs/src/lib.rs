@@ -93,6 +93,12 @@ pub mod names {
     pub const SHARD_FAILOVER: &str = "ps.shard_failover";
     pub const RETRY: &str = "net.retry";
     pub const PARTIAL_BARRIER: &str = "barrier.partial";
+    /// Collective-schedule phases (spans) and per-chunk byte instants.
+    pub const COLL_INTRA_REDUCE: &str = "coll.intra_reduce";
+    pub const COLL_INTER_RING: &str = "coll.inter_ring";
+    pub const COLL_INTRA_BCAST: &str = "coll.intra_bcast";
+    pub const COLL_TREE_FANOUT: &str = "coll.tree_fanout";
+    pub const COLL_CHUNK_BYTES: &str = "coll.chunk_bytes";
     /// Simulator-kernel scheduling events (from the desim hook).
     pub const K_RESUME: &str = "k.resume";
     pub const K_DELIVER: &str = "k.deliver";

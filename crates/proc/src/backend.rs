@@ -263,6 +263,50 @@ impl ExecBackend for ProcBackend {
         }
     }
 
+    fn coll_send(&mut self, target: usize, params: ParamSet) {
+        self.expect_ok(Msg::CollSend {
+            target: target as u32,
+            params,
+        });
+    }
+
+    fn coll_recv(&mut self) -> Option<(usize, ParamSet)> {
+        match self.must(Msg::CollRecv) {
+            Msg::CollItem { sender, params } => Some((sender as usize, params)),
+            Msg::Gone => None,
+            other => panic!("worker {}: expected CollItem, got {other:?}", self.w),
+        }
+    }
+
+    fn bsp_exchange_partial(
+        &mut self,
+        round: u64,
+        partial: ParamSet,
+        weight: usize,
+        lr: f32,
+        leaders: usize,
+    ) -> BspOutcome {
+        match self.must(Msg::BspPartial {
+            round,
+            lr,
+            weight: weight as u32,
+            leaders: leaders as u32,
+            partial,
+        }) {
+            Msg::BspResult {
+                leader,
+                arrived,
+                expected,
+                params,
+            } => BspOutcome {
+                params,
+                arrived: leader.then_some(arrived as usize),
+                expected: expected as usize,
+            },
+            other => panic!("worker {}: expected BspResult, got {other:?}", self.w),
+        }
+    }
+
     fn gossip_send(&mut self, target: usize, params: ParamSet, alpha: f32) {
         self.expect_ok(Msg::GossipSend {
             target: target as u32,

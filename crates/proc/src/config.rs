@@ -11,6 +11,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
+use dtrain_cluster::CollectiveSchedule;
 use dtrain_data::TeacherTaskConfig;
 use dtrain_runtime::{RunPlan, Strategy};
 
@@ -133,7 +134,8 @@ pub fn encode_worker_cfg(cfg: &ProcConfig) -> String {
         .join("-");
     format!(
         "workers={},epochs={},batch={},strategy={},lr={:08x},mom={:08x},wd={:08x},seed={},\
-         in={},th={},nc={},ts={},tes={},noise={:08x},tseed={},hidden={},mseed={}",
+         collective={},gpus={},in={},th={},nc={},ts={},tes={},noise={:08x},tseed={},hidden={},\
+         mseed={}",
         p.workers,
         p.epochs,
         p.batch,
@@ -142,6 +144,8 @@ pub fn encode_worker_cfg(cfg: &ProcConfig) -> String {
         p.momentum.to_bits(),
         p.weight_decay.to_bits(),
         p.seed,
+        p.collective.name(),
+        p.gpus_per_machine,
         t.input_dim,
         t.teacher_hidden,
         t.num_classes,
@@ -184,6 +188,11 @@ pub fn decode_worker_cfg(s: &str) -> Result<WorkerCfg, String> {
             "mom" => plan.momentum = f32::from_bits(bits()?),
             "wd" => plan.weight_decay = f32::from_bits(bits()?),
             "seed" => plan.seed = int()?,
+            "collective" => {
+                plan.collective = CollectiveSchedule::parse(v)
+                    .ok_or_else(|| format!("unknown collective '{v}'"))?
+            }
+            "gpus" => plan.gpus_per_machine = (int()? as usize).max(1),
             "in" => task.input_dim = int()? as usize,
             "th" => task.teacher_hidden = int()? as usize,
             "nc" => task.num_classes = int()? as usize,
@@ -255,6 +264,8 @@ mod tests {
             alpha: 0.23,
         };
         cfg.plan.base_lr = 0.0173;
+        cfg.plan.collective = CollectiveSchedule::Pipelined;
+        cfg.plan.gpus_per_machine = 3;
         cfg.hidden = vec![48, 24, 12];
         cfg.model_seed = 99;
         cfg.task.label_noise = 0.031;
@@ -263,6 +274,8 @@ mod tests {
         assert_eq!(back.plan.workers, cfg.plan.workers);
         assert_eq!(back.plan.base_lr.to_bits(), cfg.plan.base_lr.to_bits());
         assert!(matches!(back.plan.strategy, Strategy::Easgd { tau: 4, alpha } if alpha == 0.23));
+        assert_eq!(back.plan.collective, CollectiveSchedule::Pipelined);
+        assert_eq!(back.plan.gpus_per_machine, 3);
         assert_eq!(back.hidden, cfg.hidden);
         assert_eq!(back.model_seed, 99);
         assert_eq!(
@@ -295,5 +308,6 @@ mod tests {
         assert!(decode_worker_cfg("bogus=1").is_err());
         assert!(decode_worker_cfg("strategy=warp:9").is_err());
         assert!(decode_worker_cfg("lr=nothex").is_err());
+        assert!(decode_worker_cfg("collective=diagonal").is_err());
     }
 }

@@ -43,7 +43,7 @@ use dtrain_faults::{markers, CheckpointStore, MembershipView};
 use dtrain_models::mlp_classifier;
 use dtrain_nn::{ParamSet, SgdMomentum};
 use dtrain_obs::{names, ObsSink, Track, TrackHandle};
-use dtrain_runtime::{ElasticBarrier, PsState};
+use dtrain_runtime::{reduce_partials, ElasticBarrier, PsState};
 use parking_lot::{Condvar, Mutex};
 
 use crate::codec::CodecError;
@@ -124,6 +124,9 @@ enum Pending {
 struct Mailbox {
     gossip: VecDeque<(f32, ParamSet)>,
     exchange: VecDeque<QItem>,
+    /// Hierarchical-collective relay: `(sender_rank, payload)` for the
+    /// intra-machine reduce/broadcast legs.
+    coll: VecDeque<(u32, ParamSet)>,
 }
 
 /// The dynamic membership table: evict/rejoin events observed from real
@@ -163,6 +166,10 @@ struct Coord {
     cfg: ProcConfig,
     ps: Arc<PsState>,
     bsp_slots: Mutex<BTreeMap<u64, BTreeMap<usize, ParamSet>>>,
+    /// Hierarchical rounds: per-leader `(partial_sum, ranks_covered)`
+    /// deposits, keyed round -> leader rank.
+    #[allow(clippy::type_complexity)]
+    bsp_partials: Mutex<BTreeMap<u64, BTreeMap<usize, (ParamSet, usize)>>>,
     bsp_enter: ElasticBarrier,
     bsp_leave: ElasticBarrier,
     members: Mutex<Members>,
@@ -252,6 +259,8 @@ impl Coord {
         {
             let mut mail = self.mail.lock();
             let dropped: Vec<QItem> = mail[w].exchange.drain(..).collect();
+            // Collective items queued at the victim will never be consumed.
+            mail[w].coll.clear();
             drop(mail);
             let mut pend = self.pending.lock();
             for item in dropped {
@@ -336,6 +345,22 @@ impl Coord {
                 min: self.ps.wait_for_min_clock(needed),
             },
             Msg::BspExchange { round, lr, grad } => self.bsp_exchange(w, round, lr, grad),
+            Msg::CollSend { target, params } => {
+                let target = target as usize;
+                if target < self.cfg.plan.workers {
+                    self.mail.lock()[target].coll.push_back((w as u32, params));
+                    self.mail_cv.notify_all();
+                }
+                Msg::Ok
+            }
+            Msg::CollRecv => self.coll_recv(w),
+            Msg::BspPartial {
+                round,
+                lr,
+                weight,
+                leaders,
+                partial,
+            } => self.bsp_partial(w, round, lr, weight as usize, leaders as usize, partial),
             Msg::GossipSend {
                 target,
                 alpha,
@@ -490,6 +515,79 @@ impl Coord {
             arrived: arrived_n as u32,
             expected: expected as u32,
             params: self.ps.snapshot(),
+        }
+    }
+
+    /// Hierarchical leaders' barrier: like [`Self::bsp_exchange`] but the
+    /// cohort is the leader set and the closer runs the shared
+    /// rank-ascending partial reduction, so the float tree is identical to
+    /// the threaded path's.
+    fn bsp_partial(
+        &self,
+        w: usize,
+        round: u64,
+        lr: f32,
+        weight: usize,
+        leaders: usize,
+        partial: ParamSet,
+    ) -> Msg {
+        self.bsp_partials
+            .lock()
+            .entry(round)
+            .or_default()
+            .insert(w, (partial, weight));
+        let deadline = {
+            let m = self.members.lock();
+            let view = m.view(self.cfg.plan.workers);
+            if view.rejoin_round(w) == Some(round) {
+                None
+            } else {
+                Some(self.cfg.barrier_deadline)
+            }
+        };
+        let expected = leaders.max(1);
+        let mut leader = false;
+        let mut arrived_n = 0usize;
+        if let Some(arrived) = self.bsp_enter.wait(round, expected, deadline) {
+            leader = true;
+            arrived_n = arrived;
+            let deposited = self.bsp_partials.lock().remove(&round).unwrap_or_default();
+            if !deposited.is_empty() {
+                // BTreeMap iteration is ascending by leader rank — the
+                // order `reduce_partials` requires.
+                let mean = reduce_partials(deposited.into_iter().collect());
+                self.ps.apply_round(&mean, lr);
+            }
+            if arrived < expected {
+                self.partial_rounds.fetch_add(1, Ordering::Relaxed);
+                markers::partial_barrier(&self.obs_rt, self.ns(), arrived);
+            }
+        }
+        self.bsp_leave.wait(round, expected, deadline);
+        Msg::BspResult {
+            leader,
+            arrived: arrived_n as u32,
+            expected: expected as u32,
+            params: self.ps.snapshot(),
+        }
+    }
+
+    /// Blocking pop of rank `w`'s collective mailbox. Bounded by the
+    /// transfer deadline so a leader gathering from a worker that died
+    /// mid-round eventually degrades instead of parking forever.
+    fn coll_recv(&self, w: usize) -> Msg {
+        let start = Instant::now();
+        loop {
+            {
+                let mut mail = self.mail.lock();
+                if let Some((sender, params)) = mail[w].coll.pop_front() {
+                    return Msg::CollItem { sender, params };
+                }
+                self.mail_cv.wait_for(&mut mail, Duration::from_millis(50));
+            }
+            if self.stop.load(Ordering::Relaxed) || start.elapsed() > self.cfg.transfer_deadline {
+                return Msg::Gone;
+            }
         }
     }
 
@@ -665,6 +763,7 @@ impl ProcRun {
         let coord = Arc::new(Coord {
             ps,
             bsp_slots: Mutex::new(BTreeMap::new()),
+            bsp_partials: Mutex::new(BTreeMap::new()),
             bsp_enter: ElasticBarrier::new(),
             bsp_leave: ElasticBarrier::new(),
             members: Mutex::new(Members {

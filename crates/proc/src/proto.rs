@@ -107,6 +107,26 @@ pub enum Msg {
     /// Active side: announce completion to every passive; reply `Ok`.
     AnnounceDone,
 
+    // --- hierarchical BSP (relayed intra-machine legs) ---
+    /// Fire-and-forget `params` (gradient up / fresh params down) into
+    /// `target`'s collective mailbox; reply `Ok`.
+    CollSend { target: u32, params: ParamSet },
+    /// Block for the next item in this worker's collective mailbox; reply
+    /// `CollItem`, or `Gone` on teardown/deadline.
+    CollRecv,
+    /// Reply: one queued collective item with its sender rank.
+    CollItem { sender: u32, params: ParamSet },
+    /// Leader deposit for the machine-group barrier: `partial` sums
+    /// `weight` ranks; the round closes when all `leaders` deposit (or at
+    /// the barrier deadline). Reply `BspResult`.
+    BspPartial {
+        round: u64,
+        lr: f32,
+        weight: u32,
+        leaders: u32,
+        partial: ParamSet,
+    },
+
     // --- checkpoints ---
     /// Push a worker state snapshot to the coordinator's store; reply `Ok`.
     CkptSave { iteration: u64, params: ParamSet },
@@ -159,6 +179,10 @@ mod t {
     pub const CKPT_FETCH: u8 = 30;
     pub const CKPT_STATE: u8 = 31;
     pub const RUN_COMPLETE: u8 = 32;
+    pub const COLL_SEND: u8 = 33;
+    pub const COLL_RECV: u8 = 34;
+    pub const COLL_ITEM: u8 = 35;
+    pub const BSP_PARTIAL: u8 = 36;
 }
 
 impl Msg {
@@ -278,6 +302,29 @@ impl Msg {
                 t::EXCHANGE_RESPOND
             }
             Msg::AnnounceDone => t::ANNOUNCE_DONE,
+            Msg::CollSend { target, params } => {
+                e.u32(*target).params(params);
+                t::COLL_SEND
+            }
+            Msg::CollRecv => t::COLL_RECV,
+            Msg::CollItem { sender, params } => {
+                e.u32(*sender).params(params);
+                t::COLL_ITEM
+            }
+            Msg::BspPartial {
+                round,
+                lr,
+                weight,
+                leaders,
+                partial,
+            } => {
+                e.u64(*round)
+                    .f32(*lr)
+                    .u32(*weight)
+                    .u32(*leaders)
+                    .params(partial);
+                t::BSP_PARTIAL
+            }
             Msg::CkptSave { iteration, params } => {
                 e.u64(*iteration).params(params);
                 t::CKPT_SAVE
@@ -385,6 +432,22 @@ impl Msg {
                 params: d.params()?,
             },
             t::ANNOUNCE_DONE => Msg::AnnounceDone,
+            t::COLL_SEND => Msg::CollSend {
+                target: d.u32()?,
+                params: d.params()?,
+            },
+            t::COLL_RECV => Msg::CollRecv,
+            t::COLL_ITEM => Msg::CollItem {
+                sender: d.u32()?,
+                params: d.params()?,
+            },
+            t::BSP_PARTIAL => Msg::BspPartial {
+                round: d.u64()?,
+                lr: d.f32()?,
+                weight: d.u32()?,
+                leaders: d.u32()?,
+                partial: d.params()?,
+            },
             t::CKPT_SAVE => Msg::CkptSave {
                 iteration: d.u64()?,
                 params: d.params()?,

@@ -213,6 +213,22 @@ fn every_message_variant_round_trips() {
             params: p(),
         },
         Msg::AnnounceDone,
+        Msg::CollSend {
+            target: 2,
+            params: p(),
+        },
+        Msg::CollRecv,
+        Msg::CollItem {
+            sender: 1,
+            params: p(),
+        },
+        Msg::BspPartial {
+            round: 6,
+            lr: 0.03,
+            weight: 2,
+            leaders: 3,
+            partial: p(),
+        },
         Msg::CkptSave {
             iteration: 30,
             params: p(),

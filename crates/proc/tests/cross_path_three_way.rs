@@ -158,3 +158,80 @@ fn sim_threaded_and_proc_agree_on_bsp_logical_metrics() {
         proc.final_loss
     );
 }
+
+/// The same bit-identity pin under the hierarchical schedules: threads and
+/// processes execute the identical two-level summation tree (members sum
+/// into leaders rank-ascending, the leader barrier means the partials
+/// rank-ascending), so the final models must still match bit-for-bit —
+/// and, since `Pipelined` is a timing refinement of `Hier` with the same
+/// math, those two must agree with each other too.
+#[test]
+fn threaded_and_proc_agree_bitwise_under_hier_collectives() {
+    let task = tiny_task();
+    let workers = 4usize;
+    let batch = 16usize;
+    let epochs = 2u64;
+    let (train, test) = teacher_task(&task);
+    let train = Arc::new(train);
+
+    let mut accs = Vec::new();
+    for collective in [CollectiveSchedule::Hier, CollectiveSchedule::Pipelined] {
+        let thr = train_threaded_observed(
+            || mlp_classifier(task.input_dim, &[64, 32], task.num_classes, MODEL_SEED),
+            &train,
+            &test,
+            &ThreadedConfig {
+                workers,
+                epochs,
+                batch,
+                strategy: Strategy::Bsp,
+                seed: 5,
+                collective,
+                gpus_per_machine: 2,
+                ..Default::default()
+            },
+            &ObsSink::disabled(),
+        );
+        let proc = train_proc_observed(
+            ProcConfig {
+                plan: RunPlan {
+                    workers,
+                    epochs,
+                    batch,
+                    strategy: Strategy::Bsp,
+                    seed: 5,
+                    collective,
+                    gpus_per_machine: 2,
+                    ..Default::default()
+                },
+                task: task.clone(),
+                model_seed: MODEL_SEED,
+                worker_exe: Some(PathBuf::from(env!("CARGO_BIN_EXE_dtrain-proc-worker"))),
+                ..Default::default()
+            },
+            Duration::from_secs(120),
+            &ObsSink::disabled(),
+        )
+        .expect("process-path run");
+
+        let name = collective.name();
+        assert_eq!(thr.total_iterations, proc.total_iterations, "{name}");
+        assert_eq!(
+            thr.final_accuracy.to_bits(),
+            proc.final_accuracy.to_bits(),
+            "{name}: threaded acc {} vs proc acc {}",
+            thr.final_accuracy,
+            proc.final_accuracy
+        );
+        assert_eq!(
+            thr.final_loss.to_bits(),
+            proc.final_loss.to_bits(),
+            "{name}: threaded loss {} vs proc loss {}",
+            thr.final_loss,
+            proc.final_loss
+        );
+        assert!(thr.final_drift < 1e-5, "{name} drift {}", thr.final_drift);
+        accs.push(thr.final_accuracy.to_bits());
+    }
+    assert_eq!(accs[0], accs[1], "hier and pipelined share the same math");
+}

@@ -31,6 +31,7 @@
 use std::time::Duration;
 
 use crossbeam_channel::Sender;
+use dtrain_cluster::CollectiveSchedule;
 use dtrain_nn::{ParamSet, SgdMomentum};
 
 use crate::strategy::Strategy;
@@ -49,6 +50,14 @@ pub struct RunPlan {
     pub momentum: f32,
     pub weight_decay: f32,
     pub seed: u64,
+    /// Reduction schedule for the synchronous (BSP) rounds. `Flat` is the
+    /// classic all-ranks barrier; `Hier`/`Pipelined` run the two-level
+    /// machine-grouped exchange from [`crate::hier_bsp_exchange`].
+    pub collective: CollectiveSchedule,
+    /// Ranks per machine group for the hierarchical schedules (ranks
+    /// `[m*g, (m+1)*g)` share machine `m`, mirroring the simulator's
+    /// placement). Ignored when `collective` is `Flat`.
+    pub gpus_per_machine: usize,
 }
 
 impl Default for RunPlan {
@@ -62,6 +71,8 @@ impl Default for RunPlan {
             momentum: 0.9,
             weight_decay: 1e-4,
             seed: 0,
+            collective: CollectiveSchedule::Flat,
+            gpus_per_machine: 2,
         }
     }
 }
@@ -153,6 +164,35 @@ pub trait ExecBackend {
     /// decides the expected cohort and the barrier deadline), and return
     /// the post-aggregation parameters.
     fn bsp_exchange(&mut self, round: u64, grad: ParamSet, lr: f32) -> BspOutcome;
+
+    // --- BSP, hierarchical (intra-machine legs of `hier_bsp_exchange`) ---
+
+    /// Hand `params` (a raw gradient or fresh parameters) to `target`'s
+    /// collective mailbox. Fire-and-forget.
+    fn coll_send(&mut self, _target: usize, _params: ParamSet) {
+        unimplemented!("this backend does not support hierarchical collectives")
+    }
+    /// Next item from this worker's collective mailbox, blocking. `None`
+    /// when the sender is gone (peer death / run teardown) — the caller
+    /// degrades rather than hangs.
+    fn coll_recv(&mut self) -> Option<(usize, ParamSet)> {
+        unimplemented!("this backend does not support hierarchical collectives")
+    }
+    /// Leader side of the hierarchical round: deposit a machine-local
+    /// partial sum covering `weight` ranks, wait for the `leaders`-wide
+    /// barrier to close, and return the post-aggregation parameters. The
+    /// closer sums partials ascending by leader rank and scales by the
+    /// total weight, so every backend executes the identical float tree.
+    fn bsp_exchange_partial(
+        &mut self,
+        _round: u64,
+        _partial: ParamSet,
+        _weight: usize,
+        _lr: f32,
+        _leaders: usize,
+    ) -> BspOutcome {
+        unimplemented!("this backend does not support hierarchical collectives")
+    }
 
     // --- decentralized: gossip ---
 

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver};
+use dtrain_cluster::CollectiveSchedule;
 use dtrain_data::Dataset;
 use dtrain_faults::{markers, CheckpointStore, MembershipView, RuntimeFaultSchedule};
 use dtrain_nn::{Network, ParamSet, SgdMomentum};
@@ -106,6 +107,10 @@ pub struct ThreadedConfig {
     pub weight_decay: f32,
     pub seed: u64,
     pub faults: Option<RuntimeFaultConfig>,
+    /// BSP reduction schedule; see [`RunPlan::collective`].
+    pub collective: CollectiveSchedule,
+    /// Ranks per synthetic machine group for the hierarchical schedules.
+    pub gpus_per_machine: usize,
 }
 
 impl ThreadedConfig {
@@ -120,6 +125,8 @@ impl ThreadedConfig {
             momentum: self.momentum,
             weight_decay: self.weight_decay,
             seed: self.seed,
+            collective: self.collective,
+            gpus_per_machine: self.gpus_per_machine,
         }
     }
 }
@@ -136,6 +143,8 @@ impl Default for ThreadedConfig {
             weight_decay: 1e-4,
             seed: 0,
             faults: None,
+            collective: CollectiveSchedule::Flat,
+            gpus_per_machine: 2,
         }
     }
 }
@@ -324,6 +333,9 @@ fn watchdog(fr: &FaultRuntime) {
 /// Shared state for BSP's barrier rounds.
 struct BspRound {
     slots: Mutex<Vec<Option<ParamSet>>>,
+    /// Hierarchical rounds: per-leader `(partial_sum, ranks_covered)`
+    /// deposits, indexed by leader rank.
+    partials: Mutex<Vec<Option<(ParamSet, usize)>>>,
     enter: ElasticBarrier,
     leave: ElasticBarrier,
 }
@@ -475,6 +487,56 @@ impl ExecBackend for ThreadedBackend {
             params: self.ps.snapshot(),
             arrived: closed_with,
             expected,
+        }
+    }
+
+    fn coll_send(&mut self, target: usize, params: ParamSet) {
+        let _ = self.peers.coll_tx[target].send((self.w, params));
+    }
+
+    fn coll_recv(&mut self) -> Option<(usize, ParamSet)> {
+        // Threaded membership is a pre-computed view shared by every rank,
+        // so the expected senders always exist; a None only means teardown.
+        self.peers.coll_rx[self.w].lock().recv().ok()
+    }
+
+    fn bsp_exchange_partial(
+        &mut self,
+        round: u64,
+        partial: ParamSet,
+        weight: usize,
+        lr: f32,
+        leaders: usize,
+    ) -> BspOutcome {
+        self.bsp.partials.lock()[self.w] = Some((partial, weight));
+        // Same deadline policy as the flat barrier, but the cohort is the
+        // leader set (one seat per live machine group).
+        let deadline = match self.elastic.as_ref() {
+            Some(view) if view.rejoin_round(self.w) != Some(round) => {
+                self.faults.as_ref().map(|fr| fr.cfg.barrier_deadline)
+            }
+            _ => None,
+        };
+        let mut closed_with = None;
+        if let Some(arrived) = self.bsp.enter.wait(round, leaders, deadline) {
+            closed_with = Some(arrived);
+            self.ps_gate();
+            let mut slots = self.bsp.partials.lock();
+            let parts: Vec<(usize, (ParamSet, usize))> = slots
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(rank, s)| s.take().map(|p| (rank, p)))
+                .collect();
+            let mean = crate::collective::reduce_partials(parts);
+            self.ps.apply_round(&mean, lr);
+            drop(slots);
+            self.ps_applied();
+        }
+        self.bsp.leave.wait(round, leaders, deadline);
+        BspOutcome {
+            params: self.ps.snapshot(),
+            arrived: closed_with,
+            expected: leaders,
         }
     }
 
@@ -672,6 +734,7 @@ where
     let peers = PeerNet::new(cfg.workers);
     let bsp = Arc::new(BspRound {
         slots: Mutex::new(vec![None; cfg.workers]),
+        partials: Mutex::new(vec![None; cfg.workers]),
         enter: ElasticBarrier::new(),
         leave: ElasticBarrier::new(),
     });

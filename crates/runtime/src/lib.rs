@@ -26,12 +26,14 @@
 //! ```
 
 pub mod backend;
+pub mod collective;
 mod engine;
 mod strategy;
 pub mod sync;
 mod worker;
 
 pub use backend::{BspOutcome, ExecBackend, PeerRequest, ReplyToken, RunPlan};
+pub use collective::{hier_bsp_exchange, reduce_partials, sum_rank_ascending};
 pub use engine::{
     default_workers, train_threaded, train_threaded_observed, RuntimeFaultConfig, ThreadedConfig,
     ThreadedReport,

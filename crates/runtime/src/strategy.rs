@@ -128,6 +128,10 @@ pub struct PeerNet {
     pub gossip_rx: Vec<Mutex<Receiver<GossipMsg>>>,
     pub exchange_tx: Vec<Sender<PeerCtrl>>,
     pub exchange_rx: Vec<Mutex<Receiver<PeerCtrl>>>,
+    /// Hierarchical-collective mailboxes: `(sender_rank, payload)` for the
+    /// intra-machine reduce/broadcast legs.
+    pub coll_tx: Vec<Sender<(usize, ParamSet)>>,
+    pub coll_rx: Vec<Mutex<Receiver<(usize, ParamSet)>>>,
 }
 
 /// Control messages on the exchange channels.
@@ -143,6 +147,8 @@ impl PeerNet {
         let mut gossip_rx = Vec::with_capacity(workers);
         let mut exchange_tx = Vec::with_capacity(workers);
         let mut exchange_rx = Vec::with_capacity(workers);
+        let mut coll_tx = Vec::with_capacity(workers);
+        let mut coll_rx = Vec::with_capacity(workers);
         for _ in 0..workers {
             let (gt, gr) = unbounded();
             gossip_tx.push(gt);
@@ -150,12 +156,17 @@ impl PeerNet {
             let (et, er) = unbounded();
             exchange_tx.push(et);
             exchange_rx.push(Mutex::new(er));
+            let (ct, cr) = unbounded();
+            coll_tx.push(ct);
+            coll_rx.push(Mutex::new(cr));
         }
         Arc::new(PeerNet {
             gossip_tx,
             gossip_rx,
             exchange_tx,
             exchange_rx,
+            coll_tx,
+            coll_rx,
         })
     }
 }

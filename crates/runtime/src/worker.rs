@@ -167,7 +167,21 @@ pub fn worker_body<B: ExecBackend>(
                     let grad = net.grads();
                     logical += grad.num_bytes();
                     obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
-                    let out = backend.bsp_exchange(it_idx, grad, full_lr);
+                    let out = if plan.collective.is_flat() {
+                        backend.bsp_exchange(it_idx, grad, full_lr)
+                    } else {
+                        let live = backend.live_at(it_idx);
+                        crate::collective::hier_bsp_exchange(
+                            backend,
+                            it_idx,
+                            grad,
+                            full_lr,
+                            &live,
+                            plan.gpus_per_machine,
+                            obs,
+                            &wall,
+                        )
+                    };
                     if let Some(arrived) = out.arrived {
                         if arrived < out.expected {
                             markers::partial_barrier(obs, ns(&wall), arrived);

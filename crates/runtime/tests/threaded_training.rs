@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use dtrain_cluster::CollectiveSchedule;
 use dtrain_data::{teacher_task, TeacherTaskConfig};
 use dtrain_models::default_mlp;
 use dtrain_runtime::{train_threaded, Strategy, ThreadedConfig};
@@ -38,6 +39,38 @@ fn bsp_trains_and_replicas_agree() {
     assert!(r.final_accuracy > 0.45, "BSP accuracy {}", r.final_accuracy);
     assert!(r.final_drift < 1e-5, "BSP drift {}", r.final_drift);
     assert_eq!(r.total_iterations, 4 * 10 * 16);
+}
+
+#[test]
+fn bsp_hier_trains_and_replicas_agree() {
+    // The hierarchical schedule reshapes the reduction tree (leaders sum
+    // their machine, then the leader barrier means the partials) but is
+    // still one synchronous mean per round: same learning outcome, zero
+    // replica drift, same iteration count.
+    let (train, test) = data();
+    for collective in [CollectiveSchedule::Hier, CollectiveSchedule::Pipelined] {
+        let r = train_threaded(
+            || default_mlp(10, 7),
+            &train,
+            &test,
+            &ThreadedConfig {
+                workers: 4,
+                epochs: 10,
+                strategy: Strategy::Bsp,
+                collective,
+                gpus_per_machine: 2,
+                ..Default::default()
+            },
+        );
+        let name = collective.name();
+        assert!(
+            r.final_accuracy > 0.45,
+            "{name} accuracy {}",
+            r.final_accuracy
+        );
+        assert!(r.final_drift < 1e-5, "{name} drift {}", r.final_drift);
+        assert_eq!(r.total_iterations, 4 * 10 * 16, "{name}");
+    }
 }
 
 #[test]

@@ -174,6 +174,55 @@ fn golden_trace_elastic_bsp() {
     }
 }
 
+/// A pinned *collective* run rides next to the fault-free traces: AR-SGD
+/// under the chunked pipelined hierarchical schedule. Pinning it freezes
+/// the whole two-level choreography — chunk streaming during backward, the
+/// leader ring, the broadcast — plus the COLL_* marker vocabulary.
+fn pipelined_arsgd_cfg() -> RunConfig {
+    let mut cfg = golden_cfg(Algo::ArSgd);
+    cfg.opts.wait_free_bp = true;
+    cfg.opts.collective = CollectiveSchedule::Pipelined;
+    cfg
+}
+
+#[test]
+fn golden_trace_pipelined_arsgd() {
+    let bless = std::env::var("DTRAIN_BLESS").is_ok_and(|v| v == "1");
+    let sink = ObsSink::enabled();
+    let _ = run_observed(&pipelined_arsgd_cfg(), &sink);
+    let events = sink.snapshot();
+    assert_eq!(sink.dropped(), 0);
+    verify_stack_discipline(&events).expect("collective trace has malformed span nesting");
+    let got = canonical_trace(&events);
+    for name in [
+        dtrain_obs::names::COLL_INTRA_REDUCE,
+        dtrain_obs::names::COLL_INTER_RING,
+        dtrain_obs::names::COLL_INTRA_BCAST,
+        dtrain_obs::names::COLL_CHUNK_BYTES,
+    ] {
+        assert!(got.contains(name), "pipelined trace lacks {name}");
+    }
+    let path = golden_path("arsgd_pipelined");
+    if bless {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &got).unwrap();
+        eprintln!("blessed {} ({} lines)", path.display(), got.lines().count());
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden trace {}; record it with DTRAIN_BLESS=1 cargo test --test golden_traces",
+            path.display()
+        )
+    });
+    if let Some(report) = diff_canonical(&expected, &got) {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results/golden_diffs");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("arsgd_pipelined.diff"), &report).unwrap();
+        panic!("arsgd_pipelined golden trace diverged:\n{report}");
+    }
+}
+
 /// Every elastic marker in the shared vocabulary shows up in a canonical
 /// trace of the scenario that produces it, so the Perfetto timeline (and
 /// any trace-driven tooling) can rely on the names.
