@@ -23,6 +23,7 @@
 mod centralized;
 mod collective;
 mod config;
+pub mod cost;
 mod decentralized;
 mod exec;
 mod runner;

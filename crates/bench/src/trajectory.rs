@@ -188,4 +188,112 @@ mod tests {
         assert_eq!(div.len(), 1);
         assert!(div[0].contains("unreadable"));
     }
+
+    fn write_temp(name: &str, doc: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dtrain_traj_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, doc).unwrap();
+        path
+    }
+
+    /// The gate is `new > old * 1.15 + 0.02`: exactly at the threshold
+    /// passes, a hair above trips.
+    #[test]
+    fn gate_threshold_is_fifteen_percent_plus_absolute_floor() {
+        let base = render_trajectory(&[], &[rec("k", 1.0, false)], &[]);
+        let path = write_temp("boundary.json", &base);
+        let at = 1.0 * 1.15 + 0.02;
+
+        let mut div = Vec::new();
+        check_baseline(path.to_str().unwrap(), &[rec("k", at, false)], &mut div);
+        assert!(div.is_empty(), "exactly at the bound must pass: {div:?}");
+
+        let mut div = Vec::new();
+        check_baseline(
+            path.to_str().unwrap(),
+            &[rec("k", at + 1e-9, false)],
+            &mut div,
+        );
+        assert_eq!(div.len(), 1, "just past the bound must trip");
+
+        // The 0.02 ms floor dominates for µs-scale kernels: a 100%
+        // regression on a 0.01 ms kernel stays inside 0.01*1.15 + 0.02.
+        let base = render_trajectory(&[], &[rec("tiny", 0.01, false)], &[]);
+        let path = write_temp("tiny.json", &base);
+        let mut div = Vec::new();
+        check_baseline(
+            path.to_str().unwrap(),
+            &[rec("tiny", 0.02, false)],
+            &mut div,
+        );
+        assert!(
+            div.is_empty(),
+            "absolute floor must absorb µs jitter: {div:?}"
+        );
+    }
+
+    /// Oversubscription on *either* side excludes the pair — and if that
+    /// leaves nothing to compare, the gate reports itself vacuous instead
+    /// of silently passing.
+    #[test]
+    fn oversubscribed_on_either_side_excludes_and_empty_gate_is_vacuous() {
+        // Baseline oversubscribed, current not.
+        let base = render_trajectory(&[], &[rec("k", 1.0, true)], &[]);
+        let path = write_temp("oversub.json", &base);
+        let mut div = Vec::new();
+        check_baseline(path.to_str().unwrap(), &[rec("k", 100.0, false)], &mut div);
+        assert_eq!(div.len(), 1, "{div:?}");
+        assert!(div[0].contains("vacuous"), "{div:?}");
+
+        // Current oversubscribed, baseline not: same outcome.
+        let base = render_trajectory(&[], &[rec("k", 1.0, false)], &[]);
+        let path = write_temp("oversub2.json", &base);
+        let mut div = Vec::new();
+        check_baseline(path.to_str().unwrap(), &[rec("k", 100.0, true)], &mut div);
+        assert_eq!(div.len(), 1, "{div:?}");
+        assert!(div[0].contains("vacuous"), "{div:?}");
+    }
+
+    /// `_pct` records are obs-overhead percentages, not milliseconds; the
+    /// ms gate must skip them no matter how much they moved.
+    #[test]
+    fn pct_records_are_skipped_by_the_ms_gate() {
+        let base = render_trajectory(
+            &[],
+            &[rec("obs_overhead_pct", 1.0, false), rec("k", 1.0, false)],
+            &[],
+        );
+        let path = write_temp("pct.json", &base);
+        let mut div = Vec::new();
+        check_baseline(
+            path.to_str().unwrap(),
+            &[rec("obs_overhead_pct", 50.0, false), rec("k", 1.0, false)],
+            &mut div,
+        );
+        assert!(div.is_empty(), "{div:?}");
+    }
+
+    #[test]
+    fn unparseable_baseline_is_a_divergence() {
+        let path = write_temp("garbage.json", "{not json");
+        let mut div = Vec::new();
+        check_baseline(path.to_str().unwrap(), &[rec("k", 1.0, false)], &mut div);
+        assert_eq!(div.len(), 1);
+        assert!(
+            div[0].contains("parse error") || div[0].contains("no records"),
+            "{div:?}"
+        );
+    }
+
+    #[test]
+    fn records_missing_from_the_current_run_are_ignored() {
+        // A kernel present only in the baseline (e.g. retired config) must
+        // not trip the gate as long as something else still compares.
+        let base = render_trajectory(&[], &[rec("old", 1.0, false), rec("k", 1.0, false)], &[]);
+        let path = write_temp("missing.json", &base);
+        let mut div = Vec::new();
+        check_baseline(path.to_str().unwrap(), &[rec("k", 1.0, false)], &mut div);
+        assert!(div.is_empty(), "{div:?}");
+    }
 }

@@ -132,6 +132,15 @@ impl ClusterConfig {
     pub fn link_secs(&self, class: BandwidthClass, bytes: u64) -> f64 {
         bytes as f64 * 8.0 / (self.bandwidth_gbps(class) * 1e9) + self.latency_us(class) * 1e-6
     }
+
+    /// A slice of this cluster with the same hardware but only `machines`
+    /// machines — the shape a gang scheduler hands to each job when it
+    /// grants a sub-gang of the shared cluster.
+    pub fn subcluster(&self, machines: usize) -> Self {
+        let mut c = self.clone();
+        c.machines = machines.max(1);
+        c
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +165,20 @@ mod tests {
         assert_eq!(c.machines, 4);
         let c = ClusterConfig::paper_with_workers(NetworkConfig::TEN_GBPS, 24);
         assert_eq!(c.machines, 6);
+    }
+
+    #[test]
+    fn subcluster_resizes_machines_only() {
+        let c = ClusterConfig::paper(NetworkConfig::TEN_GBPS);
+        let s = c.subcluster(3);
+        assert_eq!(s.machines, 3);
+        assert_eq!(s.num_workers(), 12);
+        assert_eq!(s.gpus_per_machine, c.gpus_per_machine);
+        assert_eq!(s.gpu_tflops, c.gpu_tflops);
+        assert_eq!(s.network.bandwidth_gbps, c.network.bandwidth_gbps);
+        assert_eq!(s.seed, c.seed);
+        // Degenerate grant clamps to one machine.
+        assert_eq!(c.subcluster(0).machines, 1);
     }
 
     #[test]

@@ -261,6 +261,15 @@ impl<M: Send + 'static> Ctx<M> {
         self.shared.lock().mailboxes[self.pid.index()].pop_front()
     }
 
+    /// Drain every message currently queued, in delivery order, without
+    /// blocking. The round-boundary idiom for cooperative processes (e.g.
+    /// scheduler job agents): act on all directives that have arrived, then
+    /// get back to work.
+    pub fn drain(&self) -> Vec<M> {
+        let mut sh = self.shared.lock();
+        sh.mailboxes[self.pid.index()].drain(..).collect()
+    }
+
     /// Receive the first mailbox message satisfying `pred`, blocking until
     /// one arrives. Non-matching messages stay queued in order.
     pub fn recv_match(&self, mut pred: impl FnMut(&M) -> bool) -> M {
@@ -792,6 +801,29 @@ mod tests {
         let stats = sim.run();
         assert_eq!(stats.reason, StopReason::Deadlock);
         assert_eq!(stats.blocked, vec![Pid(0)]);
+    }
+
+    #[test]
+    fn drain_empties_the_mailbox_in_delivery_order_without_blocking() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = Arc::clone(&out);
+        let rx = sim.spawn("rx", move |ctx| {
+            // Nothing delivered yet: drain is empty, not blocking.
+            assert!(ctx.drain().is_empty());
+            ctx.advance(SimTime::from_millis(10));
+            out2.lock().push(ctx.drain());
+            // Everything was taken; a second drain finds nothing.
+            assert!(ctx.drain().is_empty());
+        });
+        sim.spawn("tx", move |ctx| {
+            for i in 0..4 {
+                ctx.send(rx, SimTime::from_millis(1 + i as u64), i);
+            }
+        });
+        let stats = sim.run();
+        assert_eq!(stats.reason, StopReason::Completed);
+        assert_eq!(*out.lock(), vec![vec![0, 1, 2, 3]]);
     }
 
     #[test]

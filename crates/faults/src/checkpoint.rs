@@ -220,6 +220,110 @@ mod tests {
         assert_eq!(store.restore(7).unwrap().iteration, 15);
     }
 
+    /// Preemption edge case: a job that was never admitted (or whose agent
+    /// crashed before its first save) has nothing to restore — the resume
+    /// path must see `None`, not a panic or a stale owner's state.
+    #[test]
+    fn restore_at_or_before_on_empty_store_and_unknown_owner() {
+        let store = CheckpointStore::new(0);
+        assert!(store.is_empty());
+        assert!(store.restore_at_or_before(0, u64::MAX).is_none());
+        store.save(1, 5, &params(1.0), &SgdMomentum::plain());
+        // Owner 2 never saved; owner 1's snapshot must not leak to it.
+        assert!(store.restore_at_or_before(2, 100).is_none());
+        assert!(store.restore(2).is_none());
+        assert_eq!(store.latest_iteration(2), None);
+    }
+
+    /// Exact-version hit at iteration 0 and at the newest version — the
+    /// boundaries the scan (`rev().find(<=)`) could get wrong by one.
+    #[test]
+    fn restore_at_or_before_exact_hits_at_both_ends() {
+        let store = CheckpointStore::new(0);
+        let opt = SgdMomentum::plain();
+        store.save(4, 0, &params(0.0), &opt);
+        store.save(4, 7, &params(7.0), &opt);
+        let hit = store.restore_at_or_before(4, 0).expect("iteration-0 hit");
+        assert_eq!(hit.iteration, 0);
+        assert_eq!(hit.params, params(0.0));
+        let hit = store.restore_at_or_before(4, 7).expect("newest exact hit");
+        assert_eq!(hit.iteration, 7);
+        assert_eq!(hit.params, params(7.0));
+    }
+
+    /// All versions newer than the requested iteration: a victim preempted
+    /// at iteration k cannot resume from a snapshot taken after k (that
+    /// would replay the future); the store must return `None` and let the
+    /// caller fall back to a cold start.
+    #[test]
+    fn restore_at_or_before_when_all_versions_are_newer() {
+        let store = CheckpointStore::new(0);
+        let opt = SgdMomentum::plain();
+        for it in [50u64, 60, 70] {
+            store.save(9, it, &params(it as f32), &opt);
+        }
+        assert!(store.restore_at_or_before(9, 49).is_none());
+        assert!(store.restore_at_or_before(9, 0).is_none());
+        // One iteration later the oldest version becomes eligible.
+        assert_eq!(store.restore_at_or_before(9, 50).unwrap().iteration, 50);
+    }
+
+    /// Bounded-version eviction racing a restore: one thread keeps saving
+    /// (pushing the window forward, evicting old versions) while another
+    /// restores at-or-before a moving target. Every restore must return a
+    /// self-consistent snapshot (params match the iteration they were saved
+    /// with) — never a torn read or a version newer than requested.
+    #[test]
+    fn bounded_eviction_racing_restore_yields_consistent_snapshots() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let store = Arc::new(CheckpointStore::new(0));
+        let opt = SgdMomentum::plain();
+        store.save(0, 1, &params(1.0), &opt);
+        let done = Arc::new(AtomicBool::new(false));
+
+        let writer = {
+            let store = Arc::clone(&store);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let opt = SgdMomentum::plain();
+                for it in 2..=400u64 {
+                    store.save(0, it, &params(it as f32), &opt);
+                }
+                done.store(true, Ordering::Release);
+            })
+        };
+
+        // Restore concurrently with the writer; once it finishes, do a few
+        // final reads against the settled store. Each read either misses
+        // (the window moved past the bound — legal) or returns a snapshot
+        // whose params match its iteration.
+        let mut remaining_after_done = 16u32;
+        loop {
+            if let Some(cp) = store.restore_at_or_before(0, 200) {
+                assert!(cp.iteration <= 200, "restored ahead of the bound");
+                assert_eq!(
+                    cp.params,
+                    params(cp.iteration as f32),
+                    "torn snapshot: params do not match their iteration"
+                );
+            }
+            if done.load(Ordering::Acquire) {
+                remaining_after_done -= 1;
+                if remaining_after_done == 0 {
+                    break;
+                }
+            }
+        }
+        writer.join().unwrap();
+        // After the writer finishes, the window has moved past 200 entirely:
+        // MAX_VERSIONS newest snapshots all exceed the bound.
+        assert_eq!(store.total_versions(), MAX_VERSIONS);
+        assert!(store.restore_at_or_before(0, 200).is_none());
+        assert_eq!(store.restore_at_or_before(0, 400).unwrap().iteration, 400);
+    }
+
     #[test]
     fn history_is_bounded_and_evicts_oldest() {
         let store = CheckpointStore::new(0);

@@ -8,7 +8,7 @@ mod membership;
 mod schedule;
 
 pub use checkpoint::{CheckpointStore, WorkerCheckpoint, MAX_VERSIONS};
-pub use membership::{is_connected, ElasticConfig, MemberState, MembershipView};
+pub use membership::{is_connected, ElasticConfig, GangView, MemberState, MembershipView};
 pub use schedule::{
     FaultEvent, FaultKind, FaultPlan, FaultSchedule, RecoveryPolicy, RuntimeFaultSchedule,
 };

@@ -299,6 +299,110 @@ impl MembershipView {
     }
 }
 
+/// Round-indexed membership ledger for a *gang* whose slots may shrink and
+/// regrow many times over one run — the scheduler-facing generalization of
+/// [`MembershipView`].
+///
+/// `MembershipView` deliberately models at most one
+/// death → evict → rejoin cycle per member (its `from_events` keeps the
+/// *first* evict and clamps a single rejoin after it), which matches a
+/// fault schedule where a machine crashes once. A scheduled job is
+/// different: the same gang slot can be taken away and handed back
+/// repeatedly as higher-priority work arrives and drains. `GangView`
+/// records every transition as an explicit `(round, live?)` edit,
+/// last-write-wins within a round, so an arbitrary
+/// shrink → grow → preempt → resume history replays deterministically.
+///
+/// Round 0 is reserved for setup: every slot is live there and all edits
+/// clamp to round ≥ 1, mirroring `MembershipView::from_events`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GangView {
+    /// Per slot: `(round, is_live)` transitions, sorted ascending by round,
+    /// at most one entry per round.
+    transitions: Vec<Vec<(u64, bool)>>,
+}
+
+impl GangView {
+    /// A gang of `slots` members, all live from round 0.
+    pub fn all_live(slots: usize) -> Self {
+        GangView {
+            transitions: vec![Vec::new(); slots],
+        }
+    }
+
+    pub fn slots(&self) -> usize {
+        self.transitions.len()
+    }
+
+    fn record(&mut self, slot: usize, round: u64, live: bool) {
+        let round = round.max(1);
+        let edits = &mut self.transitions[slot];
+        match edits.binary_search_by_key(&round, |&(r, _)| r) {
+            // Same-round re-edit: the last decision for that round wins.
+            Ok(i) => edits[i].1 = live,
+            Err(i) => edits.insert(i, (round, live)),
+        }
+    }
+
+    /// Mark `slot` evicted from `round` on (clamped ≥ 1). Idempotent;
+    /// re-editing the same round overwrites.
+    pub fn evict(&mut self, slot: usize, round: u64) {
+        self.record(slot, round, false);
+    }
+
+    /// Mark `slot` live again from `round` on (clamped ≥ 1).
+    pub fn rejoin(&mut self, slot: usize, round: u64) {
+        self.record(slot, round, true);
+    }
+
+    /// Is `slot` live at `round`? Live until its first edit; thereafter the
+    /// most recent edit at or before `round` decides.
+    pub fn is_live(&self, slot: usize, round: u64) -> bool {
+        let edits = &self.transitions[slot];
+        match edits.binary_search_by_key(&round, |&(r, _)| r) {
+            Ok(i) => edits[i].1,
+            Err(0) => true,
+            Err(i) => edits[i - 1].1,
+        }
+    }
+
+    /// Slots live at `round`, ascending.
+    pub fn live_at(&self, round: u64) -> Vec<usize> {
+        (0..self.slots())
+            .filter(|&s| self.is_live(s, round))
+            .collect()
+    }
+
+    /// Number of slots live at `round`.
+    pub fn live_count_at(&self, round: u64) -> usize {
+        (0..self.slots())
+            .filter(|&s| self.is_live(s, round))
+            .count()
+    }
+
+    /// Epoch at `round`: the count of recorded transitions at or before it.
+    /// Same contract as [`MembershipView::epoch_at`] — any topology edit
+    /// bumps the epoch, so equal epochs ⇒ identical live set.
+    pub fn epoch_at(&self, round: u64) -> u64 {
+        self.transitions
+            .iter()
+            .map(|edits| edits.iter().filter(|&&(r, _)| r <= round).count() as u64)
+            .sum()
+    }
+
+    /// Rounds at which any slot changes state (sorted, deduplicated).
+    pub fn transition_rounds(&self) -> Vec<u64> {
+        let mut rounds: Vec<u64> = self
+            .transitions
+            .iter()
+            .flat_map(|edits| edits.iter().map(|&(r, _)| r))
+            .collect();
+        rounds.sort_unstable();
+        rounds.dedup();
+        rounds
+    }
+}
+
 /// Is the undirected graph over `nodes` with edge set `edges` connected?
 /// (Edges mentioning unknown nodes are ignored; the empty graph counts as
 /// connected.)
@@ -434,6 +538,76 @@ mod tests {
         // Round 0 eviction clamps to 1 so round 0 is always full.
         let v2 = MembershipView::from_events(2, &[(0, 0)], &[]);
         assert_eq!(v2.evict_round(0), Some(1));
+    }
+
+    #[test]
+    fn gang_view_supports_repeated_shrink_grow_cycles() {
+        let mut gang = GangView::all_live(4);
+        // Cycle 1: shrink by two at round 3, grow back at round 6.
+        gang.evict(3, 3);
+        gang.evict(2, 3);
+        gang.rejoin(2, 6);
+        gang.rejoin(3, 6);
+        // Cycle 2 on the SAME slots — the case MembershipView cannot model.
+        gang.evict(3, 9);
+        gang.rejoin(3, 12);
+        assert_eq!(gang.live_at(0), vec![0, 1, 2, 3]);
+        assert_eq!(gang.live_at(3), vec![0, 1]);
+        assert_eq!(gang.live_at(6), vec![0, 1, 2, 3]);
+        assert_eq!(gang.live_at(9), vec![0, 1, 2]);
+        assert_eq!(gang.live_at(12), vec![0, 1, 2, 3]);
+        assert_eq!(gang.live_count_at(4), 2);
+        assert_eq!(gang.transition_rounds(), vec![3, 6, 9, 12]);
+        // Epochs count every edit, including the second cycle.
+        assert_eq!(gang.epoch_at(2), 0);
+        assert_eq!(gang.epoch_at(3), 2);
+        assert_eq!(gang.epoch_at(6), 4);
+        assert_eq!(gang.epoch_at(12), 6);
+    }
+
+    #[test]
+    fn gang_view_same_round_last_write_wins_and_round_zero_clamps() {
+        let mut gang = GangView::all_live(2);
+        // Preempt-then-resume granted within the same round: live wins.
+        gang.evict(1, 5);
+        gang.rejoin(1, 5);
+        assert!(gang.is_live(1, 5));
+        gang.evict(1, 5);
+        assert!(!gang.is_live(1, 5));
+        assert_eq!(gang.epoch_at(5), 1, "re-edits do not inflate the epoch");
+        // Round 0 is setup: edits clamp to 1, round 0 stays full.
+        gang.evict(0, 0);
+        assert!(gang.is_live(0, 0));
+        assert!(!gang.is_live(0, 1));
+    }
+
+    /// On single-cycle histories (one evict, one later rejoin per member)
+    /// GangView and MembershipView::from_events agree on the live set at
+    /// every round — the gang ledger is a strict generalization. (Epoch
+    /// *numbers* differ by convention: from_events records death+evict as
+    /// two transitions per crash, GangView as one edit; both still satisfy
+    /// "equal epochs ⇒ identical live set".)
+    #[test]
+    fn gang_view_agrees_with_membership_view_on_single_cycle_histories() {
+        let evicts = [(1usize, 2u64), (3, 4), (4, 4)];
+        let rejoins = [(1usize, 5u64), (4, 9)];
+        let view = MembershipView::from_events(6, &evicts, &rejoins);
+        let mut gang = GangView::all_live(6);
+        for &(w, r) in &evicts {
+            gang.evict(w, r);
+        }
+        for &(w, r) in &rejoins {
+            gang.rejoin(w, r);
+        }
+        for round in 0..12 {
+            assert_eq!(
+                gang.live_at(round),
+                view.live_at(round),
+                "live set diverged at round {round}"
+            );
+        }
+        // Epoch-change rounds coincide even though the counts differ.
+        assert_eq!(gang.transition_rounds(), view.transition_rounds());
     }
 
     #[test]

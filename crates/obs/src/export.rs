@@ -155,6 +155,8 @@ fn track_pid(track: Track) -> (u32, u32, &'static str) {
         Track::Machine(i) => (3, i as u32, "machines"),
         Track::Runtime(i) => (4, i as u32, "runtime"),
         Track::Kernel => (5, 0, "sim kernel"),
+        Track::Sched => (6, 0, "gang scheduler"),
+        Track::Job(i) => (7, i as u32, "jobs"),
     }
 }
 

@@ -104,6 +104,25 @@ pub mod names {
     pub const K_DELIVER: &str = "k.deliver";
     pub const K_KILL: &str = "k.kill";
     pub const K_SPAWN: &str = "k.spawn";
+    /// Gang-scheduler control-plane markers (`dtrain-sched`). Instants on
+    /// [`Track::Sched`] carry the job id as their value; the per-job
+    /// segment span lives on [`Track::Job`].
+    pub const SCHED_ADMIT: &str = "sched.admit";
+    pub const SCHED_PREEMPT: &str = "sched.preempt";
+    pub const SCHED_RESUME: &str = "sched.resume";
+    pub const SCHED_SHRINK: &str = "sched.shrink";
+    pub const SCHED_GROW: &str = "sched.grow";
+    pub const SCHED_COMPLETE: &str = "sched.complete";
+    /// Machines currently unassigned (counter on the sched track).
+    pub const SCHED_FREE_MACHINES: &str = "sched.free_machines";
+    /// Jobs waiting for admission or resumption (counter on the sched track).
+    pub const SCHED_QUEUE_DEPTH: &str = "sched.queue_depth";
+    /// Span covering one contiguous occupancy of a gang by a job
+    /// (admit/resume → preempt/complete), on the job's own track. The
+    /// span's `iter` is the job-local iteration the segment started at.
+    pub const SCHED_SEGMENT: &str = "sched.segment";
+    /// Current gang size of a job in machines (counter on the job track).
+    pub const SCHED_GANG: &str = "sched.gang";
 }
 
 /// Sentinel for "no iteration associated with this event".
@@ -124,6 +143,14 @@ pub enum Track {
     Runtime(u16),
     /// The simulator kernel's own scheduling events.
     Kernel,
+    /// The multi-tenant gang scheduler's control plane (`dtrain-sched`).
+    /// Appended after [`Track::Kernel`] so the tie-break order of every
+    /// pre-existing track — and with it every blessed golden trace — is
+    /// unchanged.
+    Sched,
+    /// One training *job* under the gang scheduler (not a single worker:
+    /// a job owns a whole gang of machines).
+    Job(u16),
 }
 
 impl Track {
@@ -135,6 +162,8 @@ impl Track {
             Track::Machine(i) => format!("m{i}"),
             Track::Runtime(i) => format!("r{i}"),
             Track::Kernel => "k".to_string(),
+            Track::Sched => "sched".to_string(),
+            Track::Job(i) => format!("j{i}"),
         }
     }
 }
@@ -421,6 +450,26 @@ mod tests {
         assert_eq!(Track::Machine(2).label(), "m2");
         assert_eq!(Track::Runtime(0).label(), "r0");
         assert_eq!(Track::Kernel.label(), "k");
+        assert_eq!(Track::Sched.label(), "sched");
+        assert_eq!(Track::Job(5).label(), "j5");
+    }
+
+    /// The sched tracks were appended after `Kernel`, so they must sort
+    /// after every pre-existing track — the property that keeps all blessed
+    /// golden traces byte-stable.
+    #[test]
+    fn sched_tracks_sort_after_preexisting_tracks() {
+        for old in [
+            Track::Worker(u16::MAX),
+            Track::Ps(u16::MAX),
+            Track::Machine(u16::MAX),
+            Track::Runtime(u16::MAX),
+            Track::Kernel,
+        ] {
+            assert!(old < Track::Sched);
+            assert!(old < Track::Job(0));
+        }
+        assert!(Track::Sched < Track::Job(0));
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Job specifications and the seeded arrival-trace generator.
+//!
+//! A job is what a tenant submits: a model, a training algorithm, a
+//! priority, and a machine-count range `[min, max]` — the gang. The
+//! scheduler admits it all-or-nothing at `min` or more machines and may
+//! elastically resize it within the range while it runs.
+
+use dtrain_algos::Algo;
+use dtrain_desim::SimTime;
+use dtrain_models::{resnet50, uniform_profile, vgg16, ModelProfile};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub type JobId = usize;
+
+/// What a job trains. `SmallCnn` jobs run *real* SGD arithmetic (so
+/// preemption/resume can be pinned bit-identical); the full-size models run
+/// cost-only, like the paper's performance experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModelKind {
+    SmallCnn,
+    Vgg16,
+    ResNet50,
+}
+
+impl ModelKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::SmallCnn => "small_cnn",
+            ModelKind::Vgg16 => "vgg16",
+            ModelKind::ResNet50 => "resnet50",
+        }
+    }
+
+    /// Profile used for *virtual-time* costing. The SmallCnn's real
+    /// arithmetic is tiny, but its virtual footprint is a mid-size uniform
+    /// model so scheduler decisions about it are non-trivial (it lives long
+    /// enough on the cluster to be preemptable).
+    pub fn profile(self) -> ModelProfile {
+        match self {
+            ModelKind::SmallCnn => uniform_profile(6, 2_000_000, 100_000_000_000),
+            ModelKind::Vgg16 => vgg16(),
+            ModelKind::ResNet50 => resnet50(),
+        }
+    }
+
+    /// Per-worker batch size used for costing (matches the paper's setups
+    /// for the full-size models).
+    pub fn batch(self) -> usize {
+        match self {
+            ModelKind::SmallCnn => 8,
+            ModelKind::Vgg16 => 96,
+            ModelKind::ResNet50 => 128,
+        }
+    }
+
+    /// Does this job execute real SGD arithmetic (vs cost-only timing)?
+    pub fn is_real_math(self) -> bool {
+        matches!(self, ModelKind::SmallCnn)
+    }
+}
+
+/// One submitted training job.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    pub id: JobId,
+    pub arrival: SimTime,
+    pub model: ModelKind,
+    pub algo: Algo,
+    /// Higher is more urgent; preemption only ever evicts strictly lower.
+    pub priority: u8,
+    /// Gang admission floor: the job never runs on fewer machines.
+    pub min_machines: usize,
+    /// Elastic ceiling: the job is never grown past this.
+    pub max_machines: usize,
+    /// Per-worker batch size.
+    pub batch: usize,
+    /// Total micro-steps (single-replica SGD steps) the job must execute.
+    /// One round on a gang of `g` machines executes `g × gpus_per_machine`
+    /// micro-steps, so the *math* is gang-size-independent and the final
+    /// model is bit-identical under any preemption/resize history.
+    pub iters: u64,
+    pub seed: u64,
+}
+
+/// Knobs for the seeded arrival-trace generator.
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    pub jobs: usize,
+    pub seed: u64,
+    /// Cluster machine count; clamps every job's `[min, max]` range.
+    pub machines: usize,
+    /// Mean gap between consecutive arrivals.
+    pub mean_gap: SimTime,
+    /// Scale factor on job lengths (smoke runs shrink this).
+    pub iters_scale: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            jobs: 10,
+            seed: 42,
+            machines: 12,
+            mean_gap: SimTime::from_secs(20),
+            iters_scale: 1.0,
+        }
+    }
+}
+
+const ALGO_MENU: [Algo; 7] = [
+    Algo::Bsp,
+    Algo::Asp,
+    Algo::Ssp { staleness: 3 },
+    Algo::Easgd {
+        tau: 4,
+        alpha: None,
+    },
+    Algo::ArSgd,
+    Algo::GoSgd { p: 0.5 },
+    Algo::AdPsgd,
+];
+
+/// Generate a deterministic arrival trace: same config ⇒ same jobs, byte
+/// for byte. Arrivals are sorted ascending by construction.
+pub fn generate_trace(cfg: &TraceConfig) -> Vec<JobSpec> {
+    assert!(cfg.machines >= 1, "cluster must have at least one machine");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut at = SimTime::ZERO;
+    let mut jobs = Vec::with_capacity(cfg.jobs);
+    for id in 0..cfg.jobs {
+        let model = match rng.gen_range(0..10u32) {
+            0..=3 => ModelKind::SmallCnn,
+            4..=6 => ModelKind::ResNet50,
+            _ => ModelKind::Vgg16,
+        };
+        let algo = ALGO_MENU[rng.gen_range(0..ALGO_MENU.len())];
+        let priority = rng.gen_range(0..=3u32) as u8;
+        let min_machines = rng.gen_range(1..=2usize).min(cfg.machines);
+        let max_machines = (min_machines + rng.gen_range(0..=4usize)).min(cfg.machines);
+        let base_iters = match model {
+            ModelKind::SmallCnn => rng.gen_range(200..=400u64),
+            _ => rng.gen_range(300..=900u64),
+        };
+        let iters = ((base_iters as f64 * cfg.iters_scale) as u64).max(8);
+        jobs.push(JobSpec {
+            id,
+            arrival: at,
+            model,
+            algo,
+            priority,
+            min_machines,
+            max_machines,
+            batch: model.batch(),
+            iters,
+            seed: cfg.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        });
+        let gap_ns = rng.gen_range(0..=2 * cfg.mean_gap.as_nanos().max(1));
+        at = SimTime::from_nanos(at.as_nanos().saturating_add(gap_ns));
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_and_well_formed() {
+        let cfg = TraceConfig::default();
+        let a = generate_trace(&cfg);
+        let b = generate_trace(&cfg);
+        assert_eq!(a.len(), cfg.jobs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+        for (i, j) in a.iter().enumerate() {
+            assert_eq!(j.id, i);
+            assert!(j.min_machines >= 1);
+            assert!(j.min_machines <= j.max_machines);
+            assert!(j.max_machines <= cfg.machines);
+            assert!(j.iters > 0);
+            if i > 0 {
+                assert!(j.arrival >= a[i - 1].arrival, "arrivals must be sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_and_mix_models() {
+        let a = generate_trace(&TraceConfig {
+            jobs: 30,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = generate_trace(&TraceConfig {
+            jobs: 30,
+            seed: 2,
+            ..Default::default()
+        });
+        assert_ne!(format!("{a:?}"), format!("{b:?}"));
+        let real = a.iter().filter(|j| j.model.is_real_math()).count();
+        assert!(
+            real > 0 && real < a.len(),
+            "model mix degenerate: {real}/30"
+        );
+    }
+
+    #[test]
+    fn smoke_scale_shrinks_but_floors_iters() {
+        let cfg = TraceConfig {
+            iters_scale: 0.01,
+            ..Default::default()
+        };
+        for j in generate_trace(&cfg) {
+            assert!(j.iters >= 8);
+            assert!(j.iters <= 12);
+        }
+    }
+}

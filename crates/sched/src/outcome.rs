@@ -1,0 +1,138 @@
+//! Per-job outcomes and study-level metrics (makespan, utilization,
+//! Jain fairness).
+
+use crate::job::JobId;
+
+/// What happened to one job over the whole study run.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    pub id: JobId,
+    pub model: &'static str,
+    pub algo: String,
+    pub priority: u8,
+    pub arrival_secs: f64,
+    pub completion_secs: f64,
+    /// Runtime the job would have had alone on its max gang, used as the
+    /// slowdown denominator.
+    pub ideal_secs: f64,
+    /// Σ over rounds of (gang machines × round duration): the machine-time
+    /// this job actually consumed.
+    pub machine_secs: f64,
+    pub iters: u64,
+    pub preemptions: u64,
+    pub resumes: u64,
+    pub shrinks: u64,
+    pub grows: u64,
+    /// FNV-1a hash over the final parameter bits (real-math jobs) or the
+    /// final iteration counter (cost-only jobs). Bit-identity across runs
+    /// and across preemption histories is pinned on this.
+    pub final_hash: u64,
+}
+
+impl JobOutcome {
+    /// Turnaround divided by the job's ideal solo runtime (≥ 1 up to
+    /// scheduling noise; 1 means the job never waited or shrank).
+    pub fn slowdown(&self) -> f64 {
+        let turnaround = self.completion_secs - self.arrival_secs;
+        turnaround / self.ideal_secs.max(1e-12)
+    }
+}
+
+/// Aggregate metrics for one (policy, trace) study run.
+#[derive(Clone, Debug)]
+pub struct StudyMetrics {
+    pub makespan_secs: f64,
+    /// Σ machine_secs over jobs / (machines × makespan).
+    pub utilization: f64,
+    /// Jain fairness index over per-job slowdowns (1 = perfectly fair).
+    pub jain_fairness: f64,
+    pub mean_slowdown: f64,
+    pub total_preemptions: u64,
+    pub completed: usize,
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`. 1.0 when all values are
+/// equal; approaches `1/n` when one value dominates.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sum_sq)
+}
+
+/// Fold job outcomes into study metrics for a cluster of `machines`.
+pub fn study_metrics(outcomes: &[JobOutcome], machines: usize) -> StudyMetrics {
+    assert!(!outcomes.is_empty(), "no outcomes to aggregate");
+    let makespan_secs = outcomes
+        .iter()
+        .map(|o| o.completion_secs)
+        .fold(0.0f64, f64::max);
+    let busy: f64 = outcomes.iter().map(|o| o.machine_secs).sum();
+    let slowdowns: Vec<f64> = outcomes.iter().map(|o| o.slowdown()).collect();
+    StudyMetrics {
+        makespan_secs,
+        utilization: busy / ((machines as f64) * makespan_secs.max(1e-12)),
+        jain_fairness: jain_index(&slowdowns),
+        mean_slowdown: slowdowns.iter().sum::<f64>() / slowdowns.len() as f64,
+        total_preemptions: outcomes.iter().map(|o| o.preemptions).sum(),
+        completed: outcomes.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: JobId, arrival: f64, completion: f64, ideal: f64, machine: f64) -> JobOutcome {
+        JobOutcome {
+            id,
+            model: "resnet50",
+            algo: "bsp".into(),
+            priority: 0,
+            arrival_secs: arrival,
+            completion_secs: completion,
+            ideal_secs: ideal,
+            machine_secs: machine,
+            iters: 100,
+            preemptions: 0,
+            resumes: 0,
+            shrinks: 0,
+            grows: 0,
+            final_hash: 0,
+        }
+    }
+
+    #[test]
+    fn jain_index_brackets() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert!((jain_index(&[3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        // One dominant value on n=4 → 1/n in the limit.
+        let skew = jain_index(&[1000.0, 1e-9, 1e-9, 1e-9]);
+        assert!((skew - 0.25).abs() < 1e-3, "got {skew}");
+        // Moderate imbalance sits strictly between.
+        let mid = jain_index(&[1.0, 2.0]);
+        assert!(mid > 0.25 && mid < 1.0);
+    }
+
+    #[test]
+    fn metrics_aggregate_correctly() {
+        // Two jobs on a 4-machine cluster. Job 0: solo-ideal 10 s, ran
+        // 0→10 (slowdown 1). Job 1: ideal 10 s, ran 0→20 (slowdown 2).
+        let outs = vec![
+            outcome(0, 0.0, 10.0, 10.0, 20.0),
+            outcome(1, 0.0, 20.0, 10.0, 20.0),
+        ];
+        let m = study_metrics(&outs, 4);
+        assert!((m.makespan_secs - 20.0).abs() < 1e-12);
+        assert!((m.utilization - 40.0 / 80.0).abs() < 1e-12);
+        assert!((m.mean_slowdown - 1.5).abs() < 1e-12);
+        let expect_jain = (3.0f64 * 3.0) / (2.0 * (1.0 + 4.0));
+        assert!((m.jain_fairness - expect_jain).abs() < 1e-12);
+        assert_eq!(m.completed, 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Scheduler safety invariants, checked by replaying the core's audit log
+//! over randomized seeded traces under every placement policy:
+//!
+//! 1. no machine is ever assigned to two gangs at once,
+//! 2. gang admission is all-or-nothing and never below `min_machines`
+//!    (nor above `max_machines`, including after grows),
+//! 3. preemption and shrink only ever victimize *strictly* lower-priority
+//!    jobs, and
+//! 4. every job that arrives eventually completes (no starvation, no
+//!    lost machines).
+
+use std::collections::BTreeSet;
+
+use dtrain_cluster::{ClusterConfig, NetworkConfig};
+use dtrain_obs::ObsSink;
+use dtrain_sched::{generate_trace, run_scheduler, AuditEvent, JobSpec, Policy, TraceConfig};
+use proptest::prelude::*;
+
+fn cluster(machines: usize) -> ClusterConfig {
+    let mut c = ClusterConfig::paper(NetworkConfig::TEN_GBPS);
+    c.machines = machines;
+    c.gpus_per_machine = 2;
+    c
+}
+
+/// Replay the audit log against a model of machine ownership, panicking on
+/// any violation. Returns the set of completed job ids.
+fn replay(audit: &[AuditEvent], jobs: &[JobSpec], machines: usize) -> BTreeSet<usize> {
+    let mut free: BTreeSet<usize> = (0..machines).collect();
+    let mut owned: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); jobs.len()];
+    let mut arrived = BTreeSet::new();
+    let mut completed = BTreeSet::new();
+    let mut running: Vec<bool> = vec![false; jobs.len()];
+
+    let claim =
+        |free: &mut BTreeSet<usize>, owned: &mut Vec<BTreeSet<usize>>, job: usize, ms: &[usize]| {
+            for &m in ms {
+                assert!(m < machines, "machine {m} out of range");
+                assert!(
+                    free.remove(&m),
+                    "machine {m} granted to job {job} while not free (double assignment)"
+                );
+                assert!(
+                    owned[job].insert(m),
+                    "machine {m} granted twice to job {job}"
+                );
+            }
+        };
+    let surrender =
+        |free: &mut BTreeSet<usize>, owned: &mut Vec<BTreeSet<usize>>, job: usize, ms: &[usize]| {
+            for &m in ms {
+                assert!(
+                    owned[job].remove(&m),
+                    "job {job} freed machine {m} it did not own"
+                );
+                assert!(free.insert(m), "machine {m} freed twice");
+            }
+        };
+
+    for ev in audit {
+        match ev {
+            AuditEvent::Arrived { job } => {
+                assert!(arrived.insert(*job), "job {job} arrived twice");
+            }
+            AuditEvent::Admitted {
+                job, machines: ms, ..
+            } => {
+                assert!(arrived.contains(job), "admitted before arrival");
+                assert!(!completed.contains(job), "admitted after completion");
+                assert!(!running[*job], "job {job} admitted while running");
+                assert!(
+                    ms.len() >= jobs[*job].min_machines,
+                    "job {job} admitted below min gang: {} < {}",
+                    ms.len(),
+                    jobs[*job].min_machines
+                );
+                assert!(
+                    ms.len() <= jobs[*job].max_machines,
+                    "job {job} admitted above max gang"
+                );
+                claim(&mut free, &mut owned, *job, ms);
+                running[*job] = true;
+            }
+            AuditEvent::PreemptIssued {
+                victim,
+                beneficiary,
+            } => {
+                assert!(running[*victim], "preempting a non-running job");
+                assert!(
+                    jobs[*victim].priority < jobs[*beneficiary].priority,
+                    "preemption of job {victim} (prio {}) for job {beneficiary} (prio {}) is not strictly-lower-priority",
+                    jobs[*victim].priority,
+                    jobs[*beneficiary].priority
+                );
+            }
+            AuditEvent::ShrinkIssued {
+                victim,
+                beneficiary,
+                machines: ms,
+            } => {
+                assert!(running[*victim], "shrinking a non-running job");
+                assert!(
+                    jobs[*victim].priority < jobs[*beneficiary].priority,
+                    "shrink victim must have strictly lower priority"
+                );
+                assert!(
+                    owned[*victim].len() - ms.len() >= jobs[*victim].min_machines,
+                    "shrink would take job {victim} below its min gang"
+                );
+                for m in ms {
+                    assert!(
+                        owned[*victim].contains(m),
+                        "shrink earmarks unowned machine"
+                    );
+                }
+            }
+            AuditEvent::Yielded { job, freed } => {
+                surrender(&mut free, &mut owned, *job, freed);
+                assert!(owned[*job].is_empty(), "yield must free the whole gang");
+                running[*job] = false;
+            }
+            AuditEvent::Shrunk { job, freed } => {
+                surrender(&mut free, &mut owned, *job, freed);
+                assert!(
+                    owned[*job].len() >= jobs[*job].min_machines,
+                    "shrink left job {job} below min gang"
+                );
+            }
+            AuditEvent::Grew { job, machines: ms } => {
+                assert!(running[*job], "growing a non-running job");
+                claim(&mut free, &mut owned, *job, ms);
+                assert!(
+                    owned[*job].len() <= jobs[*job].max_machines,
+                    "grow pushed job {job} past max gang"
+                );
+            }
+            AuditEvent::Completed { job, freed } => {
+                surrender(&mut free, &mut owned, *job, freed);
+                assert!(owned[*job].is_empty(), "completion must free everything");
+                assert!(completed.insert(*job), "job {job} completed twice");
+                running[*job] = false;
+            }
+        }
+        // Global conservation: every machine is free or owned by exactly
+        // one job (claim/surrender asserts catch the "two owners" case;
+        // this catches leaks).
+        let held: usize = owned.iter().map(|o| o.len()).sum();
+        assert_eq!(free.len() + held, machines, "machines leaked or duplicated");
+    }
+    assert_eq!(arrived.len(), jobs.len(), "not every job arrived");
+    completed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The four safety invariants hold for every policy on random traces.
+    #[test]
+    fn audit_replay_upholds_invariants(
+        seed in 0u64..10_000,
+        njobs in 3usize..9,
+        machines in 4usize..13,
+    ) {
+        let jobs = generate_trace(&TraceConfig {
+            jobs: njobs,
+            seed,
+            machines,
+            iters_scale: 0.05,
+            ..Default::default()
+        });
+        let c = cluster(machines);
+        for policy in Policy::ALL {
+            let run = run_scheduler(&c, policy, &jobs, &ObsSink::disabled());
+            let completed = replay(&run.audit, &jobs, machines);
+            prop_assert_eq!(
+                completed.len(),
+                jobs.len(),
+                "policy {}: not every admitted job completed",
+                policy.name()
+            );
+            prop_assert_eq!(run.metrics.completed, jobs.len());
+            for o in &run.outcomes {
+                // A job preempted k times must have resumed k times to
+                // finish (it ends its life running).
+                prop_assert_eq!(o.preemptions, o.resumes, "job {} preempt/resume imbalance", o.id);
+            }
+        }
+    }
+
+    /// Same seed and policy ⇒ identical audit log and identical final
+    /// model hashes, run-to-run.
+    #[test]
+    fn scheduling_is_deterministic(seed in 0u64..10_000) {
+        let jobs = generate_trace(&TraceConfig {
+            jobs: 6,
+            seed,
+            machines: 8,
+            iters_scale: 0.05,
+            ..Default::default()
+        });
+        let c = cluster(8);
+        for policy in Policy::ALL {
+            let a = run_scheduler(&c, policy, &jobs, &ObsSink::disabled());
+            let b = run_scheduler(&c, policy, &jobs, &ObsSink::disabled());
+            prop_assert_eq!(format!("{:?}", a.audit), format!("{:?}", b.audit));
+            for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+                prop_assert_eq!(x.final_hash, y.final_hash);
+                prop_assert_eq!(x.completion_secs.to_bits(), y.completion_secs.to_bits());
+                prop_assert_eq!(x.machine_secs.to_bits(), y.machine_secs.to_bits());
+            }
+        }
+    }
+}

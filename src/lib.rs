@@ -20,6 +20,7 @@
 //! | [`models`] | `dtrain-models` | ResNet-50/VGG-16 profiles, stand-ins |
 //! | [`compress`] | `dtrain-compress` | Deep Gradient Compression |
 //! | [`faults`] | `dtrain-faults` | fault schedules, elastic membership |
+//! | [`sched`] | `dtrain-sched` | multi-tenant gang scheduler over the simulator |
 //!
 //! ```
 //! use dtrain_repro::prelude::*;
@@ -46,6 +47,7 @@ pub use dtrain_models as models;
 pub use dtrain_nn as nn;
 pub use dtrain_proc as proc;
 pub use dtrain_runtime as runtime;
+pub use dtrain_sched as sched;
 pub use dtrain_tensor as tensor;
 
 /// The everyday imports, re-exported from `dtrain-core`.
