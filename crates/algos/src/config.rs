@@ -190,6 +190,10 @@ pub struct RealTraining {
     pub weight_decay: f32,
     /// Model seed (all replicas start identical).
     pub model_seed: u64,
+    /// Override the seed-derived starting weights (worker replicas and PS
+    /// shards alike). The adaptive controller uses this to carry parameters
+    /// across a mid-run strategy switch.
+    pub initial_params: Option<dtrain_nn::ParamSet>,
 }
 
 impl Default for RealTraining {
@@ -205,6 +209,7 @@ impl Default for RealTraining {
             momentum: 0.9,
             weight_decay: 1e-4,
             model_seed: 7,
+            initial_params: None,
         }
     }
 }

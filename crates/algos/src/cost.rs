@@ -21,11 +21,24 @@ use dtrain_cluster::{BandwidthClass, ClusterConfig};
 use dtrain_models::ModelProfile;
 
 /// Jitter-free compute seconds for one training iteration (forward +
-/// backward) of `model` at per-worker batch `batch` — the deterministic
-/// center of [`dtrain_cluster::GpuModel::iteration_time`].
+/// backward) of `model` at per-worker batch `batch`, paced by the fleet's
+/// *slowest* GPU class — a data-parallel round cannot finish before its
+/// slowest member. On a homogeneous cluster this is exactly the
+/// deterministic center of [`dtrain_cluster::GpuModel::iteration_time`].
 pub fn compute_secs(cluster: &ClusterConfig, model: &ModelProfile, batch: usize) -> f64 {
     let flops = model.train_flops() as f64 * batch as f64;
-    flops / (cluster.gpu_tflops * 1e12 * cluster.gpu_efficiency)
+    flops / (cluster.min_tflops() * 1e12 * cluster.gpu_efficiency)
+}
+
+/// Per-worker variant of [`compute_secs`]: worker `w`'s own GPU class.
+pub fn compute_secs_worker(
+    cluster: &ClusterConfig,
+    w: usize,
+    model: &ModelProfile,
+    batch: usize,
+) -> f64 {
+    let flops = model.train_flops() as f64 * batch as f64;
+    flops / (cluster.worker_tflops(w) * 1e12 * cluster.gpu_efficiency)
 }
 
 /// Estimated communication seconds per training round for `algo` on
@@ -147,6 +160,34 @@ mod tests {
         let v = gain(&vgg16());
         assert!(r > v, "resnet gain {r} should beat vgg gain {v}");
         assert!(r > 1.05, "resnet should still scale: {r}");
+    }
+
+    #[test]
+    fn heterogeneous_fleet_is_paced_by_its_slowest_class() {
+        let mut c = cluster(4);
+        let homo = compute_secs(&c, &resnet50(), 128);
+        // Machine 3's four workers (ranks 12..16) run half-speed cards.
+        c.gpu_classes = vec![c.gpu_tflops; c.num_workers()];
+        for w in 12..16 {
+            c.gpu_classes[w] = c.gpu_tflops / 2.0;
+        }
+        let hetero = compute_secs(&c, &resnet50(), 128);
+        assert!((hetero / homo - 2.0).abs() < 1e-9, "slowest class paces");
+        // Per-worker estimates still see each class.
+        let fast = compute_secs_worker(&c, 0, &resnet50(), 128);
+        let slow = compute_secs_worker(&c, 12, &resnet50(), 128);
+        assert!((fast - homo).abs() < 1e-12);
+        assert!((slow / fast - 2.0).abs() < 1e-9);
+        // Dropping the slow machine via subcluster restores full speed —
+        // this is what lets the scheduler's Predictive policy decline a
+        // gang extension onto slow hardware.
+        let sub = c.subcluster(3);
+        assert!((compute_secs(&sub, &resnet50(), 128) - homo).abs() < 1e-12);
+        assert!(
+            throughput(&sub, &Algo::Bsp, &resnet50(), 128)
+                > throughput(&c, &Algo::Bsp, &resnet50(), 128),
+            "a half-speed 4th machine must be a net throughput loss"
+        );
     }
 
     #[test]

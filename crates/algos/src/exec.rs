@@ -802,7 +802,10 @@ fn build_real_state(
     w: usize,
     _profile_plan: &ShardPlan,
 ) -> RealWorkerState {
-    let net = rcfg.task.build_net(rcfg.model_seed);
+    let mut net = rcfg.task.build_net(rcfg.model_seed);
+    if let Some(p) = &rcfg.initial_params {
+        net.set_params(p);
+    }
     let layout = net.layout();
     let group_bytes: Vec<u64> = layout.groups.iter().map(|g| g.num_bytes()).collect();
     let num_shards = if cfg.algo.is_centralized() {

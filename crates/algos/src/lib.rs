@@ -20,6 +20,7 @@
 //!
 //! Entry point: build a [`RunConfig`] and call [`run`].
 
+pub mod adaptive;
 mod centralized;
 mod collective;
 mod config;
@@ -28,6 +29,7 @@ mod decentralized;
 mod exec;
 mod runner;
 
+pub use adaptive::{run_adaptive, AdaptiveRunOutput};
 pub use centralized::{
     elastic_update, handle_crash, merge_grad, ps_apply_time, Addr, BspRole, PsCore, PsFaultState,
     PsMode, PsRealState, PS_OWNER_BASE,

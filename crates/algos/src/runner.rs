@@ -52,6 +52,11 @@ pub struct RunOutput {
     /// Accuracy curve (real-math runs only).
     pub curve: Vec<EpochPoint>,
     pub final_accuracy: Option<f32>,
+    /// The trained model (real-math runs only): worker 0's replica for
+    /// synchronous algorithms, the replica mean otherwise — the same
+    /// artifact the accuracy curve evaluates. The adaptive controller
+    /// feeds this into the next segment's `initial_params`.
+    pub final_params: Option<ParamSet>,
 }
 
 impl RunOutput {
@@ -380,6 +385,11 @@ fn run_impl(cfg: &RunConfig, trace: bool, sink: &ObsSink) -> (RunOutput, Option<
         Vec::new()
     };
     let final_accuracy = curve.last().map(|p| p.test_accuracy);
+    let final_params = if cfg.real.is_some() {
+        final_params_of(cfg, &snapshots)
+    } else {
+        None
+    };
     let out = RunOutput {
         algo: cfg.algo.name().to_string(),
         workers: cfg.workers,
@@ -391,6 +401,7 @@ fn run_impl(cfg: &RunConfig, trace: bool, sink: &ObsSink) -> (RunOutput, Option<
         traffic: net.stats(),
         curve,
         final_accuracy,
+        final_params,
     };
     (out, stats.trace)
 }
@@ -416,7 +427,10 @@ fn bsp_leaders(cfg: &RunConfig) -> std::collections::BTreeMap<usize, Vec<usize>>
 /// Initial global parameters, sliced per PS shard (real mode only).
 fn build_global_shard_params(cfg: &RunConfig, num_shards: usize) -> Option<Vec<ParamSet>> {
     let rcfg = cfg.real.as_ref()?;
-    let net = rcfg.task.build_net(rcfg.model_seed);
+    let mut net = rcfg.task.build_net(rcfg.model_seed);
+    if let Some(p) = &rcfg.initial_params {
+        net.set_params(p);
+    }
     let layout = net.layout();
     let group_bytes: Vec<u64> = layout.groups.iter().map(|g| g.num_bytes()).collect();
     let plan = if cfg.opts.balanced_sharding {
@@ -430,6 +444,27 @@ fn build_global_shard_params(cfg: &RunConfig, num_shards: usize) -> Option<Vec<P
             .map(|s| slice_set(&params, &shard_tensor_indices(&layout, &plan, s)))
             .collect(),
     )
+}
+
+/// The trained model at the last completed epoch, selected the same way
+/// [`evaluate_curve`] picks the model it evaluates.
+fn final_params_of(cfg: &RunConfig, snapshots: &[Snapshot]) -> Option<ParamSet> {
+    let max_epoch = snapshots.iter().map(|s| s.epoch).max()?;
+    let of_epoch: Vec<&Snapshot> = snapshots.iter().filter(|s| s.epoch == max_epoch).collect();
+    if of_epoch.is_empty() {
+        return None;
+    }
+    let params: Vec<&ParamSet> = of_epoch.iter().map(|s| &s.params).collect();
+    let mean = ParamSet::mean_of(&params);
+    Some(if eval_uses_worker_average(cfg.algo) {
+        mean
+    } else {
+        of_epoch
+            .iter()
+            .find(|s| s.worker == 0)
+            .map(|s| s.params.clone())
+            .unwrap_or(mean)
+    })
 }
 
 /// Evaluate the recorded snapshots into an accuracy curve.

@@ -1,4 +1,4 @@
-//! Ablation benches for the design choices DESIGN.md §7 calls out:
+//! Ablation benches for the design choices DESIGN.md §9 calls out:
 //!
 //! 1. BSP local aggregation on/off;
 //! 2. layer-wise vs greedy-balanced parameter sharding (VGG-16's fc6 skew);

@@ -65,6 +65,14 @@ pub struct ClusterConfig {
     pub intra_latency_us: f64,
     /// RNG seed for compute jitter.
     pub seed: u64,
+    /// Per-worker GPU-class overrides: worker `w` runs at `gpu_classes[w]`
+    /// TFLOPS instead of the uniform `gpu_tflops`. Shorter than the worker
+    /// count (or empty, the default) means the remaining workers use the
+    /// uniform value; non-positive entries also fall back. This is how a
+    /// mixed fleet (e.g. a rack of V100s beside older cards) is described —
+    /// the cost model, the scheduler's Predictive placement, and the
+    /// simulator's `GpuModel` all read it.
+    pub gpu_classes: Vec<f64>,
 }
 
 impl ClusterConfig {
@@ -84,6 +92,7 @@ impl ClusterConfig {
             intra_bandwidth_gbps: 100.0, // PCIe 3.0 x16-class
             intra_latency_us: 2.0,
             seed: 42,
+            gpu_classes: Vec::new(),
         }
     }
 
@@ -133,12 +142,36 @@ impl ClusterConfig {
         bytes as f64 * 8.0 / (self.bandwidth_gbps(class) * 1e9) + self.latency_us(class) * 1e-6
     }
 
+    /// Peak TFLOPS of worker `w`'s GPU: its class override when one is
+    /// given (and positive), the uniform `gpu_tflops` otherwise.
+    pub fn worker_tflops(&self, w: usize) -> f64 {
+        match self.gpu_classes.get(w) {
+            Some(&t) if t > 0.0 => t,
+            _ => self.gpu_tflops,
+        }
+    }
+
+    /// Does any worker run a non-default GPU class?
+    pub fn is_heterogeneous(&self) -> bool {
+        (0..self.num_workers()).any(|w| self.worker_tflops(w) != self.gpu_tflops)
+    }
+
+    /// Slowest GPU across the fleet, in TFLOPS — the bound synchronous
+    /// rounds are paced by.
+    pub fn min_tflops(&self) -> f64 {
+        (0..self.num_workers())
+            .map(|w| self.worker_tflops(w))
+            .fold(self.gpu_tflops, f64::min)
+    }
+
     /// A slice of this cluster with the same hardware but only `machines`
     /// machines — the shape a gang scheduler hands to each job when it
-    /// grants a sub-gang of the shared cluster.
+    /// grants a sub-gang of the shared cluster. Per-worker GPU classes
+    /// follow the retained (densely packed) workers.
     pub fn subcluster(&self, machines: usize) -> Self {
         let mut c = self.clone();
         c.machines = machines.max(1);
+        c.gpu_classes.truncate(c.num_workers());
         c
     }
 }

@@ -24,10 +24,11 @@ pub struct GpuModel {
 }
 
 impl GpuModel {
-    /// Model for worker `w` under `cfg`.
+    /// Model for worker `w` under `cfg`. Heterogeneous fleets give each
+    /// worker its own peak ([`ClusterConfig::worker_tflops`]).
     pub fn for_worker(cfg: &ClusterConfig, w: usize) -> Self {
         GpuModel {
-            flops_per_sec: cfg.gpu_tflops * 1e12 * cfg.gpu_efficiency,
+            flops_per_sec: cfg.worker_tflops(w) * 1e12 * cfg.gpu_efficiency,
             jitter: cfg.compute_jitter,
             slowdown: 1.0,
             rng: SmallRng::seed_from_u64(cfg.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
@@ -143,6 +144,35 @@ mod tests {
         let fwd = gpu.forward_time(&model, 96).as_secs_f64();
         // backward = 2× forward in our FLOP accounting
         assert!((per_layer - 2.0 * fwd).abs() / per_layer < 1e-6);
+    }
+
+    #[test]
+    fn heterogeneous_classes_scale_iteration_time() {
+        let mut c = cfg();
+        c.compute_jitter = 0.0;
+        // Worker 1 runs a half-speed card; worker 2 has no override.
+        c.gpu_classes = vec![c.gpu_tflops, c.gpu_tflops / 2.0];
+        let t0 = GpuModel::for_worker(&c, 0)
+            .iteration_time(&resnet50(), 128)
+            .as_secs_f64();
+        let t1 = GpuModel::for_worker(&c, 1)
+            .iteration_time(&resnet50(), 128)
+            .as_secs_f64();
+        let t2 = GpuModel::for_worker(&c, 2)
+            .iteration_time(&resnet50(), 128)
+            .as_secs_f64();
+        assert!(
+            (t1 / t0 - 2.0).abs() < 1e-9,
+            "half the TFLOPS, twice the time"
+        );
+        assert_eq!(
+            t0.to_bits(),
+            t2.to_bits(),
+            "unlisted workers use the default"
+        );
+        assert!(c.is_heterogeneous());
+        assert!((c.min_tflops() - c.gpu_tflops / 2.0).abs() < 1e-12);
+        assert!(!cfg().is_heterogeneous());
     }
 
     #[test]

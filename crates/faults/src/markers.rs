@@ -64,6 +64,12 @@ pub fn partial_barrier(track: &TrackHandle, ts: u64, members: usize) {
     track.instant(ts, names::PARTIAL_BARRIER, members as i64);
 }
 
+/// The adaptive degradation controller switched strategy at `ts`; `code`
+/// is [`crate::chaos::CtrlAction::code`] (1 = BSP→SSP, 2 = DGC on).
+pub fn ctrl_switch(track: &TrackHandle, ts: u64, code: i64) {
+    track.instant(ts, names::CTRL_SWITCH, code);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +90,7 @@ mod tests {
         shard_failover(&w, 90, 1);
         retry(&w, 100, 2);
         partial_barrier(&w, 110, 5);
+        ctrl_switch(&w, 120, 1);
         let events = sink.snapshot();
         let kinds: Vec<(&str, i64)> = events
             .iter()
@@ -106,6 +113,7 @@ mod tests {
                 ("ps.shard_failover", 1),
                 ("net.retry", 2),
                 ("barrier.partial", 5),
+                ("ctrl.switch", 1),
             ]
         );
     }

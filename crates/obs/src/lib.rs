@@ -123,6 +123,9 @@ pub mod names {
     pub const SCHED_SEGMENT: &str = "sched.segment";
     /// Current gang size of a job in machines (counter on the job track).
     pub const SCHED_GANG: &str = "sched.gang";
+    /// The adaptive degradation controller switched strategy mid-run. The
+    /// payload encodes the action (see `dtrain_faults::chaos::CtrlAction`).
+    pub const CTRL_SWITCH: &str = "ctrl.switch";
 }
 
 /// Sentinel for "no iteration associated with this event".

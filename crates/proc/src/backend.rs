@@ -2,22 +2,68 @@
 //! [`dtrain_runtime::worker_body`] against — every primitive is an RPC to
 //! the coordinator over the worker's single TCP connection.
 //!
+//! ## Self-healing transport
+//!
+//! Every request carries a monotone sequence number that survives
+//! reconnects. When a send or the reply read fails (link trouble, a frame
+//! the chaos interposer dropped or corrupted), the backend tears the
+//! socket down and enters a bounded-backoff reconnect loop inside the
+//! configured reconnect window: each attempt opens a fresh connection and
+//! offers [`Msg::Resume`] with the awaited seq. The coordinator either
+//! replays its cached reply (the request was served; resending it would
+//! double-apply a gradient) or answers [`Msg::ResumeAck`] asking for an
+//! idempotent resend. Stale duplicated replies (seq below the awaited one)
+//! are discarded on read.
+//!
+//! ## Chaos interposer
+//!
+//! With an active [`ChaosSpec`], every post-handshake request frame rolls
+//! seeded dice on the send path: pass, delay, duplicate, drop (the frame
+//! vanishes; recovery resumes), corrupt (a damaged frame really crosses
+//! the wire so the coordinator's CRC check is what catches it), or sever
+//! (the link is gone for good; reconnects stop and the window expires).
+//!
 //! Error policy: the coordinator is the authority on this path. A worker
-//! that loses its connection (coordinator died, or the coordinator already
-//! evicted it and closed the socket) has nothing useful left to do, so RPC
-//! failures panic and take the process down — which is exactly what the
-//! coordinator's failure model expects of a dead peer, and what keeps test
-//! machines free of orphaned trainers.
+//! whose reconnect window expires (coordinator died, eviction, severed
+//! link) has nothing useful left to do, so RPC failures panic and take the
+//! process down — which is exactly what the coordinator's failure model
+//! expects of a dead peer, and what keeps test machines free of orphaned
+//! trainers.
 
-use std::io::{BufReader, BufWriter};
-use std::net::TcpStream;
-use std::time::Duration;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::{Duration, Instant};
 
+use dtrain_faults::{ChaosAction, ChaosSpec};
 use dtrain_nn::{ParamSet, SgdMomentum};
 use dtrain_runtime::{BspOutcome, ExecBackend, PeerRequest, ReplyToken};
+use rand::rngs::SmallRng;
 
-use crate::codec::CodecError;
+use crate::codec::{write_frame, CodecError};
 use crate::proto::Msg;
+
+/// Transport knobs for one worker's coordinator link.
+#[derive(Clone, Debug)]
+pub struct LinkOpts {
+    /// How long to keep attempting reconnect-with-resume after link
+    /// trouble before giving up (mirrors the coordinator's eviction
+    /// window).
+    pub reconnect_window: Duration,
+    /// Seeded send-path fault injection (inactive by default).
+    pub chaos: ChaosSpec,
+    /// Injected straggler: extra sleep per iteration, in milliseconds.
+    pub straggle_ms: u64,
+}
+
+impl Default for LinkOpts {
+    fn default() -> Self {
+        LinkOpts {
+            reconnect_window: Duration::from_millis(1000),
+            chaos: ChaosSpec::default(),
+            straggle_ms: 0,
+        }
+    }
+}
 
 /// Bounded-backoff connect: `retries` attempts, delay doubling from
 /// `backoff` — workers race the coordinator's listener at spawn.
@@ -43,6 +89,11 @@ fn connect_with_retry(
 
 /// The process-path execution backend: one per worker process.
 pub struct ProcBackend {
+    addr: String,
+    /// Kept alongside the buffered halves so recovery can `shutdown` the
+    /// old socket — the coordinator's handler then observes the disconnect
+    /// immediately instead of at its read deadline.
+    stream: TcpStream,
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     w: usize,
@@ -55,6 +106,16 @@ pub struct ProcBackend {
     live_cache: Option<(u64, Vec<usize>)>,
     /// Is an AD-PSGD exchange outstanding on this connection?
     pending_exchange: bool,
+    /// Request sequence counter (survives reconnects).
+    seq: u32,
+    reconnect_window: Duration,
+    chaos: Option<(ChaosSpec, SmallRng)>,
+    /// Post-handshake frames sent (the chaos sever threshold counts these).
+    frame_idx: u64,
+    /// The chaos layer severed the link permanently: stop reconnecting and
+    /// let the window expire.
+    severed: bool,
+    straggle_ms: u64,
 }
 
 impl ProcBackend {
@@ -68,6 +129,7 @@ impl ProcBackend {
         weight_decay: f32,
         retries: u32,
         backoff: Duration,
+        link: LinkOpts,
     ) -> Result<ProcBackend, CodecError> {
         let stream = connect_with_retry(addr, retries, backoff)?;
         stream.set_nodelay(true).ok();
@@ -75,9 +137,14 @@ impl ProcBackend {
         // is orphaned and must die rather than linger.
         stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
         let reader = BufReader::new(stream.try_clone()?);
-        let mut writer = BufWriter::new(stream);
-        Msg::Hello { worker: w as u32 }.write_to(&mut writer)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        let chaos = link.chaos.is_active().then(|| {
+            let rng = link.chaos.rng_for(w);
+            (link.chaos, rng)
+        });
         let mut backend = ProcBackend {
+            addr: addr.to_string(),
+            stream,
             reader,
             writer,
             w,
@@ -87,12 +154,25 @@ impl ProcBackend {
             init_params: ParamSet(Vec::new()),
             live_cache: None,
             pending_exchange: false,
+            seq: 1,
+            reconnect_window: link.reconnect_window,
+            chaos,
+            frame_idx: 0,
+            severed: false,
+            straggle_ms: link.straggle_ms,
         };
+        // The handshake is chaos-exempt: the interposer models link
+        // adversity on an established session, and connect_with_retry
+        // already covers spawn races.
+        Msg::Hello { worker: w as u32 }.write_to(&mut backend.writer, backend.seq)?;
         match Msg::read_from(&mut backend.reader)? {
-            Msg::HelloAck {
-                start_round,
-                params,
-            } => {
+            (
+                _,
+                Msg::HelloAck {
+                    start_round,
+                    params,
+                },
+            ) => {
                 backend.start_round = start_round;
                 backend.init_params = params;
                 Ok(backend)
@@ -117,11 +197,13 @@ impl ProcBackend {
         &mut self,
         iterations: u64,
         logical_bytes: u64,
+        busy_ms: u64,
         params: ParamSet,
     ) -> Result<(), CodecError> {
         match self.rpc(Msg::RunComplete {
             iterations,
             logical_bytes,
+            busy_ms,
             params,
         })? {
             Msg::Ok => Ok(()),
@@ -130,8 +212,148 @@ impl ProcBackend {
     }
 
     fn rpc(&mut self, msg: Msg) -> Result<Msg, CodecError> {
-        msg.write_to(&mut self.writer)?;
-        Msg::read_from(&mut self.reader)
+        let (ty, payload) = msg.encode();
+        self.seq += 1;
+        let seq = self.seq;
+        let sent = matches!(self.send_with_chaos(ty, seq, &payload), Ok(true));
+        if sent {
+            // A read error falls through to recovery.
+            if let Ok(m) = self.read_reply(seq) {
+                return Ok(m);
+            }
+        }
+        self.recover(ty, seq, &payload)
+    }
+
+    /// Read frames until the reply for `seq` arrives, discarding stale
+    /// duplicated replies (chaos `Duplicate` makes the coordinator replay
+    /// cached replies the worker already consumed).
+    fn read_reply(&mut self, seq: u32) -> Result<Msg, CodecError> {
+        loop {
+            let (rseq, msg) = Msg::read_from(&mut self.reader)?;
+            if rseq == seq {
+                return Ok(msg);
+            }
+        }
+    }
+
+    /// Send one request frame through the chaos interposer. `Ok(true)`
+    /// means a frame (possibly damaged) went out and a reply may come;
+    /// `Ok(false)` means the frame is gone (dropped or link severed) and
+    /// the caller must recover.
+    fn send_with_chaos(&mut self, ty: u8, seq: u32, payload: &[u8]) -> Result<bool, CodecError> {
+        self.frame_idx += 1;
+        let frame_idx = self.frame_idx;
+        let Some((spec, rng)) = self.chaos.as_mut() else {
+            write_frame(&mut self.writer, ty, seq, payload)?;
+            return Ok(true);
+        };
+        match spec.draw(rng, frame_idx) {
+            ChaosAction::Pass => {
+                write_frame(&mut self.writer, ty, seq, payload)?;
+                Ok(true)
+            }
+            ChaosAction::DelayMs(ms) => {
+                std::thread::sleep(Duration::from_millis(ms as u64));
+                write_frame(&mut self.writer, ty, seq, payload)?;
+                Ok(true)
+            }
+            ChaosAction::Duplicate => {
+                write_frame(&mut self.writer, ty, seq, payload)?;
+                write_frame(&mut self.writer, ty, seq, payload)?;
+                Ok(true)
+            }
+            ChaosAction::Drop => Ok(false),
+            ChaosAction::CorruptBit(bit) => {
+                // A genuinely damaged frame crosses the wire so the
+                // coordinator's CRC check is what detects it. The flip is
+                // confined to the seq/payload/crc region — corrupting the
+                // length prefix could stall both ends on a short read
+                // instead of failing fast.
+                let mut buf = Vec::with_capacity(payload.len() + 14);
+                write_frame(&mut buf, ty, seq, payload)?;
+                let region_bits = (buf.len() - 6) * 8;
+                let b = 6 * 8 + (bit as usize % region_bits);
+                buf[b / 8] ^= 1 << (b % 8);
+                self.writer.write_all(&buf)?;
+                self.writer.flush()?;
+                Ok(true)
+            }
+            ChaosAction::Sever => {
+                self.severed = true;
+                Ok(false)
+            }
+        }
+    }
+
+    /// Reconnect-with-resume: bounded exponential backoff inside the
+    /// reconnect window. Returns the awaited reply, or the error that ends
+    /// this process once the window expires.
+    fn recover(&mut self, ty: u8, seq: u32, payload: &[u8]) -> Result<Msg, CodecError> {
+        // Tear the old socket down so the coordinator's handler observes
+        // the disconnect now and starts its eviction window.
+        let _ = self.stream.shutdown(Shutdown::Both);
+        let deadline = Instant::now() + self.reconnect_window;
+        let mut delay = Duration::from_millis(5);
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            if !self.severed {
+                if let Ok(Some(msg)) = self.try_resume(ty, seq, payload, attempt) {
+                    return Ok(msg);
+                }
+            }
+            if Instant::now() + delay >= deadline {
+                return Err(CodecError::Io(std::io::Error::other(format!(
+                    "worker {}: reconnect window expired after {attempt} attempts{}",
+                    self.w,
+                    if self.severed { " (link severed)" } else { "" }
+                ))));
+            }
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(Duration::from_millis(100));
+        }
+    }
+
+    /// One resume attempt: fresh connection, offer `Resume`, then either
+    /// consume the coordinator's cached reply or resend the request when
+    /// asked. `Ok(None)` / `Err` both mean "this attempt failed, try
+    /// again".
+    fn try_resume(
+        &mut self,
+        ty: u8,
+        seq: u32,
+        payload: &[u8],
+        attempt: u32,
+    ) -> Result<Option<Msg>, CodecError> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = BufWriter::new(stream.try_clone()?);
+        self.stream = stream;
+        Msg::Resume {
+            worker: self.w as u32,
+            last_seq: seq,
+            attempt,
+        }
+        .write_to(&mut self.writer, seq)?;
+        loop {
+            let (rseq, msg) = Msg::read_from(&mut self.reader)?;
+            match msg {
+                Msg::ResumeAck => {
+                    // The request never arrived: resend it — back through
+                    // the chaos interposer, a retransmit can be damaged
+                    // too.
+                    match self.send_with_chaos(ty, seq, payload) {
+                        Ok(true) => {}
+                        Ok(false) | Err(_) => return Ok(None),
+                    }
+                }
+                m if rseq == seq => return Ok(Some(m)),
+                _ => {} // stale duplicate
+            }
+        }
     }
 
     /// RPC that must succeed: a worker with a dead coordinator link exits.
@@ -415,6 +637,11 @@ impl ExecBackend for ProcBackend {
         _elapsed: Duration,
         state: &mut dyn FnMut() -> (ParamSet, SgdMomentum),
     ) {
+        if self.straggle_ms > 0 {
+            // Injected straggler: stretch every iteration so the adaptive
+            // controller's straggle signal trips deterministically.
+            std::thread::sleep(Duration::from_millis(self.straggle_ms));
+        }
         let next = round + 1;
         let ack = self.must(Msg::Heartbeat { round: next });
         let checkpoint = match ack {

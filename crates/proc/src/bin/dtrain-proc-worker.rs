@@ -10,7 +10,7 @@ use dtrain_data::teacher_task;
 use dtrain_models::mlp_classifier;
 use dtrain_obs::{ObsSink, Track};
 use dtrain_proc::config::decode_worker_cfg;
-use dtrain_proc::ProcBackend;
+use dtrain_proc::{LinkOpts, ProcBackend};
 use dtrain_runtime::worker_body;
 
 fn arg(name: &str) -> Option<String> {
@@ -38,6 +38,17 @@ fn main() {
         wc.task.num_classes,
         wc.model_seed,
     );
+    let link = LinkOpts {
+        reconnect_window: wc.reconnect_window,
+        chaos: match wc.chaos_rank {
+            Some(rank) if rank != worker => Default::default(),
+            _ => wc.chaos,
+        },
+        straggle_ms: match wc.straggler {
+            Some((rank, ms)) if rank == worker => ms,
+            _ => 0,
+        },
+    };
     let mut backend = ProcBackend::connect(
         &addr,
         worker,
@@ -45,6 +56,7 @@ fn main() {
         wc.plan.weight_decay,
         20,
         Duration::from_millis(15),
+        link,
     )
     .unwrap_or_else(|e| die(&format!("worker {worker}: connect to {addr} failed: {e}")));
     // Adopt the coordinator's current globals (bit-identical to the local
@@ -57,7 +69,12 @@ fn main() {
     let track = sink.track(Track::Worker(worker as u16));
     let outcome = worker_body(&mut backend, net, &train, &wc.plan, &track, Instant::now());
     backend
-        .complete(outcome.iterations, outcome.logical_bytes, outcome.params)
+        .complete(
+            outcome.iterations,
+            outcome.logical_bytes,
+            outcome.busy.as_millis() as u64,
+            outcome.params,
+        )
         .unwrap_or_else(|e| die(&format!("worker {worker}: completion report failed: {e}")));
 }
 

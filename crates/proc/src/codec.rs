@@ -4,7 +4,7 @@
 //! Frame layout (all integers little-endian):
 //!
 //! ```text
-//! [ version: u8 ][ type: u8 ][ len: u32 ][ payload: len bytes ]
+//! [ version: u8 ][ type: u8 ][ len: u32 ][ seq: u32 ][ payload ][ crc: u32 ]
 //! ```
 //!
 //! * `version` — [`PROTO_VERSION`]; a mismatch is a hard decode error, not
@@ -12,6 +12,13 @@
 //! * `type` — the message discriminant (see `proto::Msg`).
 //! * `len` — payload length, capped at [`MAX_PAYLOAD`] so a corrupt or
 //!   hostile length prefix cannot drive an unbounded allocation.
+//! * `seq` — per-connection sequence number. Worker requests carry a
+//!   monotonically increasing counter that survives reconnects; replies
+//!   echo the request's seq, which is what lets the session layer discard
+//!   duplicated replies and resend cached ones idempotently.
+//! * `crc` — CRC-32 (IEEE) over `type, len, seq, payload`. A mismatch is
+//!   [`CodecError::BadCrc`]: the frame was damaged in flight and the
+//!   connection must be torn down and resumed, never trusted.
 //!
 //! Floats cross the wire via `to_le_bytes`/`from_le_bytes`, so parameter
 //! payloads are bit-exact round trips — the cross-path conformance pins
@@ -28,7 +35,8 @@ use dtrain_nn::ParamSet;
 use dtrain_tensor::Tensor;
 
 /// Wire protocol version; bumped on any frame or payload layout change.
-pub const PROTO_VERSION: u8 = 1;
+/// v2 added the `seq` field and the CRC-32 trailer.
+pub const PROTO_VERSION: u8 = 2;
 
 /// Hard cap on a single frame's payload (64 MiB). Large enough for any
 /// model this repo trains; small enough that a corrupt length prefix
@@ -48,6 +56,8 @@ pub enum CodecError {
     Malformed(&'static str),
     /// Unknown message discriminant.
     BadType(u8),
+    /// Frame checksum mismatch: the bytes were damaged in flight.
+    BadCrc { expected: u32, found: u32 },
 }
 
 impl fmt::Display for CodecError {
@@ -62,6 +72,12 @@ impl fmt::Display for CodecError {
             }
             CodecError::Malformed(what) => write!(f, "malformed payload: {what}"),
             CodecError::BadType(t) => write!(f, "unknown message type {t}"),
+            CodecError::BadCrc { expected, found } => {
+                write!(
+                    f,
+                    "frame crc mismatch: expected {expected:#010x}, found {found:#010x}"
+                )
+            }
         }
     }
 }
@@ -74,21 +90,65 @@ impl From<io::Error> for CodecError {
     }
 }
 
-/// Write one frame: header + payload, then flush.
-pub fn write_frame<W: Write>(w: &mut W, msg_type: u8, payload: &[u8]) -> Result<(), CodecError> {
+/// IEEE CRC-32 lookup table (polynomial `0xEDB88320`, reflected).
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 over the concatenation of `chunks` (table-driven, no
+/// external crates). Chunked so frame headers and payloads can be summed
+/// without copying them into one buffer.
+pub fn crc32(chunks: &[&[u8]]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for chunk in chunks {
+        for &b in *chunk {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    !c
+}
+
+/// Write one frame: header + payload + CRC trailer, then flush.
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    msg_type: u8,
+    seq: u32,
+    payload: &[u8],
+) -> Result<(), CodecError> {
     debug_assert!(payload.len() as u64 <= MAX_PAYLOAD as u64);
-    let mut header = [0u8; 6];
+    let mut header = [0u8; 10];
     header[0] = PROTO_VERSION;
     header[1] = msg_type;
     header[2..6].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[6..10].copy_from_slice(&seq.to_le_bytes());
+    let crc = crc32(&[&header[1..10], payload]);
     w.write_all(&header)?;
     w.write_all(payload)?;
+    w.write_all(&crc.to_le_bytes())?;
     w.flush()?;
     Ok(())
 }
 
-/// Read one frame; returns `(type, payload)`.
-pub fn read_frame<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>), CodecError> {
+/// Read one frame; returns `(type, seq, payload)`. The length cap is
+/// checked before the payload (or even the seq) is read, so a hostile
+/// length prefix can neither allocate nor stall.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(u8, u32, Vec<u8>), CodecError> {
     let mut header = [0u8; 6];
     r.read_exact(&mut header)?;
     if header[0] != PROTO_VERSION {
@@ -98,9 +158,19 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>), CodecError> {
     if len > MAX_PAYLOAD {
         return Err(CodecError::Oversized(len));
     }
+    let mut seq_bytes = [0u8; 4];
+    r.read_exact(&mut seq_bytes)?;
+    let seq = u32::from_le_bytes(seq_bytes);
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
-    Ok((header[1], payload))
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)?;
+    let found = u32::from_le_bytes(crc_bytes);
+    let expected = crc32(&[&header[1..6], &seq_bytes, &payload]);
+    if found != expected {
+        return Err(CodecError::BadCrc { expected, found });
+    }
+    Ok((header[1], seq, payload))
 }
 
 /// Payload writer: appends primitives to a byte buffer.

@@ -13,7 +13,16 @@ use std::time::Duration;
 
 use dtrain_cluster::CollectiveSchedule;
 use dtrain_data::TeacherTaskConfig;
+use dtrain_faults::ChaosSpec;
 use dtrain_runtime::{RunPlan, Strategy};
+
+/// Millisecond duration from an env var, if set and parseable.
+fn env_ms(var: &str) -> Option<Duration> {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+}
 
 /// A scheduled late rejoin: when rank `worker`'s process death is
 /// recorded, the coordinator spawns a replacement process for the same
@@ -54,9 +63,48 @@ pub struct ProcConfig {
     pub pause_at: Option<(usize, u64)>,
     /// Scheduled late rejoin after a real process death.
     pub rejoin: Option<RejoinSpec>,
+    /// Liveness-poll period: how often the reaper checks children for real
+    /// exits and disconnected sessions for expired reconnect windows.
+    /// Default 25 ms; `DTRAIN_PROC_HEARTBEAT_MS` overrides.
+    pub heartbeat_interval: Duration,
+    /// How long a disconnected rank may take to reconnect-with-resume
+    /// before it is declared dead and evicted. Must exceed
+    /// `heartbeat_interval` (validated at launch). Default 1 s;
+    /// `DTRAIN_PROC_RECONNECT_MS` overrides.
+    pub reconnect_window: Duration,
+    /// Seeded chaos interposer applied on every worker's send path
+    /// (inactive by default).
+    pub chaos: ChaosSpec,
+    /// Confine `chaos` to a single rank (`None` = every rank). Lets a test
+    /// sever one link while the rest of the cohort trains on.
+    pub chaos_rank: Option<usize>,
+    /// Injected straggler: rank `.0` sleeps `.1` extra milliseconds per
+    /// iteration (the adaptive-degradation controller's test signal).
+    pub straggler: Option<(usize, u64)>,
+    /// Override the seed-derived starting weights. Coordinator-side only —
+    /// it never crosses the argv boundary; workers adopt it through the
+    /// `HelloAck` snapshot they already apply. The adaptive controller
+    /// uses this to carry parameters across a mid-run strategy switch.
+    pub initial_params: Option<dtrain_nn::ParamSet>,
     /// Worker binary override; default is discovery next to the current
     /// executable (see [`worker_exe`]).
     pub worker_exe: Option<PathBuf>,
+}
+
+impl ProcConfig {
+    /// Reject configurations whose failure detector cannot work: the
+    /// reconnect window must exceed the liveness-poll period, or a
+    /// disconnected rank could be swept before it ever had a poll's worth
+    /// of time to come back.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.reconnect_window <= self.heartbeat_interval {
+            return Err(format!(
+                "reconnect_window ({:?}) must exceed heartbeat_interval ({:?})",
+                self.reconnect_window, self.heartbeat_interval
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for ProcConfig {
@@ -73,6 +121,14 @@ impl Default for ProcConfig {
             transfer_deadline: Duration::from_secs(60),
             pause_at: None,
             rejoin: None,
+            heartbeat_interval: env_ms("DTRAIN_PROC_HEARTBEAT_MS")
+                .unwrap_or(Duration::from_millis(25)),
+            reconnect_window: env_ms("DTRAIN_PROC_RECONNECT_MS")
+                .unwrap_or(Duration::from_millis(1000)),
+            chaos: ChaosSpec::default(),
+            chaos_rank: None,
+            straggler: None,
+            initial_params: None,
             worker_exe: None,
         }
     }
@@ -132,10 +188,10 @@ pub fn encode_worker_cfg(cfg: &ProcConfig) -> String {
         .map(|h| h.to_string())
         .collect::<Vec<_>>()
         .join("-");
-    format!(
+    let mut s = format!(
         "workers={},epochs={},batch={},strategy={},lr={:08x},mom={:08x},wd={:08x},seed={},\
          collective={},gpus={},in={},th={},nc={},ts={},tes={},noise={:08x},tseed={},hidden={},\
-         mseed={}",
+         mseed={},rw={}",
         p.workers,
         p.epochs,
         p.batch,
@@ -155,7 +211,18 @@ pub fn encode_worker_cfg(cfg: &ProcConfig) -> String {
         t.seed,
         hidden,
         cfg.model_seed,
-    )
+        cfg.reconnect_window.as_millis(),
+    );
+    if cfg.chaos.is_active() {
+        s.push_str(&format!(",chaos={}", cfg.chaos.encode()));
+        if let Some(rank) = cfg.chaos_rank {
+            s.push_str(&format!(",chaosr={rank}"));
+        }
+    }
+    if let Some((rank, ms)) = cfg.straggler {
+        s.push_str(&format!(",strag={rank}:{ms}"));
+    }
+    s
 }
 
 /// The worker-visible run description, restored from the argv string.
@@ -164,6 +231,12 @@ pub struct WorkerCfg {
     pub task: TeacherTaskConfig,
     pub hidden: Vec<usize>,
     pub model_seed: u64,
+    /// Worker-side reconnect budget, mirroring the coordinator's window.
+    pub reconnect_window: Duration,
+    pub chaos: ChaosSpec,
+    /// Rank `chaos` is confined to (`None` = every rank).
+    pub chaos_rank: Option<usize>,
+    pub straggler: Option<(usize, u64)>,
 }
 
 /// Inverse of [`encode_worker_cfg`].
@@ -172,6 +245,10 @@ pub fn decode_worker_cfg(s: &str) -> Result<WorkerCfg, String> {
     let mut task = TeacherTaskConfig::default();
     let mut hidden = Vec::new();
     let mut model_seed = 0u64;
+    let mut reconnect_window = Duration::from_millis(1000);
+    let mut chaos = ChaosSpec::default();
+    let mut chaos_rank = None;
+    let mut straggler = None;
     for kv in s.split(',') {
         let (k, v) = kv
             .trim()
@@ -208,6 +285,19 @@ pub fn decode_worker_cfg(s: &str) -> Result<WorkerCfg, String> {
                     .collect::<Result<Vec<_>, _>>()?
             }
             "mseed" => model_seed = int()?,
+            "rw" => reconnect_window = Duration::from_millis(int()?),
+            "chaos" => chaos = ChaosSpec::decode(v)?,
+            "chaosr" => chaos_rank = Some(v.parse().map_err(|_| format!("bad chaos rank '{v}'"))?),
+            "strag" => {
+                let (rank, ms) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("bad straggler '{v}'"))?;
+                straggler = Some((
+                    rank.parse()
+                        .map_err(|_| format!("bad straggler rank '{v}'"))?,
+                    ms.parse().map_err(|_| format!("bad straggler ms '{v}'"))?,
+                ));
+            }
             other => return Err(format!("unknown key '{other}'")),
         }
     }
@@ -216,6 +306,10 @@ pub fn decode_worker_cfg(s: &str) -> Result<WorkerCfg, String> {
         task,
         hidden,
         model_seed,
+        reconnect_window,
+        chaos,
+        chaos_rank,
+        straggler,
     })
 }
 
@@ -269,6 +363,15 @@ mod tests {
         cfg.hidden = vec![48, 24, 12];
         cfg.model_seed = 99;
         cfg.task.label_noise = 0.031;
+        cfg.reconnect_window = Duration::from_millis(750);
+        cfg.chaos = ChaosSpec {
+            seed: 9,
+            drop_pm: 20,
+            corrupt_pm: 5,
+            ..ChaosSpec::default()
+        };
+        cfg.chaos_rank = Some(1);
+        cfg.straggler = Some((2, 40));
         let s = encode_worker_cfg(&cfg);
         let back = decode_worker_cfg(&s).expect("decode");
         assert_eq!(back.plan.workers, cfg.plan.workers);
@@ -282,6 +385,31 @@ mod tests {
             back.task.label_noise.to_bits(),
             cfg.task.label_noise.to_bits()
         );
+        assert_eq!(back.reconnect_window, Duration::from_millis(750));
+        assert_eq!(back.chaos.encode(), cfg.chaos.encode());
+        assert_eq!(back.chaos_rank, Some(1));
+        assert_eq!(back.straggler, Some((2, 40)));
+    }
+
+    #[test]
+    fn inactive_chaos_stays_off_the_argv() {
+        let cfg = ProcConfig::default();
+        let s = encode_worker_cfg(&cfg);
+        assert!(!s.contains("chaos="), "{s}");
+        assert!(!s.contains("strag="), "{s}");
+        let back = decode_worker_cfg(&s).expect("decode");
+        assert!(!back.chaos.is_active());
+        assert_eq!(back.straggler, None);
+    }
+
+    #[test]
+    fn validate_requires_window_beyond_heartbeat() {
+        let mut cfg = ProcConfig::default();
+        assert!(cfg.validate().is_ok());
+        cfg.reconnect_window = cfg.heartbeat_interval;
+        assert!(cfg.validate().is_err());
+        cfg.reconnect_window = cfg.heartbeat_interval + Duration::from_millis(1);
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]
@@ -309,5 +437,7 @@ mod tests {
         assert!(decode_worker_cfg("strategy=warp:9").is_err());
         assert!(decode_worker_cfg("lr=nothex").is_err());
         assert!(decode_worker_cfg("collective=diagonal").is_err());
+        assert!(decode_worker_cfg("chaos=1:2").is_err());
+        assert!(decode_worker_cfg("strag=5").is_err());
     }
 }

@@ -12,10 +12,17 @@
 //!
 //! ## Failure model
 //!
-//! Worker death is detected two ways, both funneling into
-//! [`Coord::record_death`] (idempotent): the connection handler hits an
-//! I/O error (EOF/RST after a `SIGKILL`, or a read past the transfer
-//! deadline), and a reaper thread polls `Child::try_wait`. A recorded
+//! The coordinator distinguishes *transient link trouble* from *real
+//! death*. A connection-level error (EOF/RST, a CRC mismatch from a
+//! damaged frame, a read past the transfer deadline) is a **disconnect**:
+//! the rank's session notes the time and the rank gets the configured
+//! reconnect window to come back with [`Msg::Resume`], which replays the
+//! cached reply or asks for an idempotent resend (see [`crate::session`]).
+//! Only two things produce an **eviction**, both funneling into
+//! [`Coord::record_death`] (idempotent): the reaper observing a real
+//! process exit via `Child::try_wait` (a `SIGKILL` is recorded within one
+//! heartbeat interval — no reconnect grace for a corpse), and a
+//! disconnect whose reconnect window expires without a resume. A recorded
 //! death evicts the rank from the dynamic membership table at the round
 //! its last heartbeat announced, parks its SSP clock at `u64::MAX`,
 //! resolves its in-flight exchanges as gone, and frees its data shard
@@ -46,9 +53,10 @@ use dtrain_obs::{names, ObsSink, Track, TrackHandle};
 use dtrain_runtime::{reduce_partials, ElasticBarrier, PsState};
 use parking_lot::{Condvar, Mutex};
 
-use crate::codec::CodecError;
+use crate::codec::{write_frame, CodecError};
 use crate::config::{encode_worker_cfg, worker_exe, ProcConfig};
 use crate::proto::Msg;
+use crate::session::{Inbound, ResumeDecision, Session};
 
 /// Why a process-path run failed to launch or finish.
 #[derive(Debug)]
@@ -86,6 +94,9 @@ pub struct WorkerStats {
     /// rank, only what its replacement reported (the victim's counter
     /// died with it).
     pub logical_bytes: u64,
+    /// Milliseconds the rank spent on local work (compute + per-iteration
+    /// hooks, straggler injection included; exchange waits excluded).
+    pub busy_ms: u64,
     /// Did this rank's original process die mid-run?
     pub evicted: bool,
 }
@@ -104,7 +115,13 @@ pub struct ProcReport {
     pub rejoins: u64,
     /// BSP rounds that force-closed partially at the barrier deadline.
     pub partial_rounds: u64,
+    /// Reconnect-with-resume takeovers served (`net.retry` markers).
+    pub retries: u64,
     pub per_worker: Vec<WorkerStats>,
+    /// The evaluated model: mean of the final cohort's replicas. The
+    /// adaptive controller feeds this into the next segment's
+    /// `initial_params`.
+    pub final_params: ParamSet,
 }
 
 /// One queued AD-PSGD mailbox item.
@@ -141,7 +158,15 @@ struct Members {
     /// Iterations a killed original process got through before dying.
     victim_iters: Vec<u64>,
     /// Completed outcome per rank (replacement's, for rejoined ranks).
-    outcomes: Vec<Option<(u64, u64, ParamSet)>>,
+    outcomes: Vec<Option<Outcome>>,
+}
+
+/// One rank's completion report, as shipped in `RunComplete`.
+struct Outcome {
+    iterations: u64,
+    logical_bytes: u64,
+    busy_ms: u64,
+    params: ParamSet,
 }
 
 impl Members {
@@ -158,6 +183,16 @@ struct PauseState {
     armed: Option<(usize, u64)>,
     paused: Option<usize>,
     released: bool,
+}
+
+/// One rank's transport session plus the disconnect clock that decides
+/// when link trouble hardens into an eviction.
+#[derive(Default)]
+struct SessionSlot {
+    s: Session,
+    /// Set when the rank's connection dropped without a completed outcome;
+    /// cleared by a successful Hello/Resume or by the eviction itself.
+    disconnected_at: Option<Instant>,
 }
 
 /// Shared coordinator state (one per run), behind an `Arc` so handler
@@ -182,10 +217,17 @@ struct Coord {
     store: CheckpointStore,
     pause: Mutex<PauseState>,
     pause_cv: Condvar,
+    /// Per-rank transport sessions (dedup/replay + disconnect clocks).
+    /// Lock discipline: never held together with `members` — every path
+    /// takes them in separate scoped blocks.
+    sessions: Mutex<Vec<SessionSlot>>,
+    session_cv: Condvar,
     children: Mutex<Vec<(usize, Child)>>,
     evictions: AtomicU64,
     rejoins: AtomicU64,
     partial_rounds: AtomicU64,
+    /// Resume takeovers served (one per `net.retry` marker).
+    retries: AtomicU64,
     stop: AtomicBool,
     wall: Instant,
     obs_rt: TrackHandle,
@@ -221,6 +263,27 @@ impl Coord {
             .spawn()?;
         self.children.lock().push((w, child));
         Ok(())
+    }
+
+    /// A connection handler for rank `w` (at session `generation`) hit an
+    /// I/O error. Not an eviction: start the reconnect clock and let the
+    /// reaper evict only if the window expires without a resume. A stale
+    /// generation means a newer connection already took over — ignore.
+    fn note_disconnect(&self, w: usize, generation: u64) {
+        {
+            let m = self.members.lock();
+            if m.dead(w) || m.outcomes[w].is_some() {
+                return; // already evicted or cleanly finished
+            }
+        }
+        let mut sess = self.sessions.lock();
+        let slot = &mut sess[w];
+        if slot.s.generation != generation {
+            return;
+        }
+        if slot.disconnected_at.is_none() {
+            slot.disconnected_at = Some(Instant::now());
+        }
     }
 
     /// Record rank `w`'s process death (idempotent): evict it at the round
@@ -279,9 +342,15 @@ impl Coord {
                 }
             }
         }
+        // The eviction consumed the disconnect window (if one was open).
+        {
+            let mut sess = self.sessions.lock();
+            sess[w].disconnected_at = None;
+        }
         self.pending_cv.notify_all();
         self.mail_cv.notify_all();
         self.member_cv.notify_all();
+        self.session_cv.notify_all();
         if spawn_rejoin.is_some() {
             if let Err(e) = self.spawn_worker(w) {
                 eprintln!("dtrain-proc: failed to spawn rejoin replacement for {w}: {e}");
@@ -441,12 +510,18 @@ impl Coord {
             Msg::RunComplete {
                 iterations,
                 logical_bytes,
+                busy_ms,
                 params,
             } => {
                 self.obs_workers[w].counter(self.ns(), names::LOGICAL_BYTES, logical_bytes as i64);
                 {
                     let mut m = self.members.lock();
-                    m.outcomes[w] = Some((iterations, logical_bytes, params));
+                    m.outcomes[w] = Some(Outcome {
+                        iterations,
+                        logical_bytes,
+                        busy_ms,
+                        params,
+                    });
                 }
                 // Anything still queued at this rank will never be served.
                 {
@@ -642,33 +717,183 @@ impl Coord {
     }
 }
 
+/// First frame was a fresh `Hello`: (re)initialise the rank's session,
+/// answer `HelloAck` with the current globals, and serve the connection.
+fn handshake_hello(coord: &Arc<Coord>, w: usize, seq: u32, stream: TcpStream) {
+    if w >= coord.cfg.plan.workers {
+        return;
+    }
+    let start_round = {
+        let mut m = coord.members.lock();
+        let start = if m.dead(w) {
+            // The replacement for a killed rank: re-enter
+            // at the pinned rejoin round.
+            let at = m
+                .rejoins
+                .iter()
+                .find(|&&(v, _)| v == w)
+                .map(|&(_, r)| r)
+                .unwrap_or(0);
+            coord.rejoins.fetch_add(1, Ordering::Relaxed);
+            markers::rejoin(&coord.obs_rt, coord.ns(), w);
+            at
+        } else {
+            0
+        };
+        m.start_round[w] = start;
+        m.last_hb[w] = m.last_hb[w].max(start);
+        start
+    };
+    let generation = {
+        let mut sess = coord.sessions.lock();
+        let slot = &mut sess[w];
+        slot.s.reset();
+        slot.s.classify(seq); // the Hello consumed this seq
+        slot.disconnected_at = None;
+        slot.s.next_generation()
+    };
+    let ack = Msg::HelloAck {
+        start_round,
+        params: coord.ps.snapshot(),
+    };
+    let mut writer = BufWriter::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    if ack.write_to(&mut writer, seq).is_err() {
+        coord.note_disconnect(w, generation);
+        return;
+    }
+    drop(writer);
+    serve_connection(coord, w, stream, generation);
+}
+
+/// First frame was a `Resume`: the rank's previous socket died but the
+/// process is alive and retrying. Refuse evicted ranks, take over the
+/// session under a fresh generation, emit a `net.retry` marker, satisfy
+/// the resume decision, then fall into the normal service loop.
+fn handshake_resume(
+    coord: &Arc<Coord>,
+    w: usize,
+    seq: u32,
+    last_seq: u32,
+    attempt: u32,
+    stream: TcpStream,
+) {
+    if w >= coord.cfg.plan.workers {
+        return;
+    }
+    {
+        let m = coord.members.lock();
+        if m.dead(w) || m.outcomes[w].is_some() {
+            return; // evicted or already finished: nothing to resume
+        }
+    }
+    let (generation, decision) = {
+        let mut sess = coord.sessions.lock();
+        let slot = &mut sess[w];
+        let d = slot.s.on_resume(last_seq);
+        if matches!(d, ResumeDecision::Refuse) {
+            return;
+        }
+        slot.disconnected_at = None;
+        (slot.s.next_generation(), d)
+    };
+    coord.retries.fetch_add(1, Ordering::Relaxed);
+    markers::retry(&coord.obs_rt, coord.ns(), attempt);
+    let mut writer = BufWriter::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let served = match decision {
+        // Never saw `last_seq`: ask the worker to resend it.
+        ResumeDecision::RequestResend => Msg::ResumeAck.write_to(&mut writer, seq).is_ok(),
+        // Saw it and finished it: replay the cached reply verbatim.
+        ResumeDecision::ResendCached(ty, payload) => {
+            write_frame(&mut writer, ty, last_seq, &payload).is_ok()
+        }
+        // Saw it, but its dispatch still runs on the stale handler
+        // (parked in a barrier or mailbox wait). Wait for that handler
+        // to cache its reply, then replay it here.
+        ResumeDecision::AwaitInFlight => {
+            let deadline = Instant::now() + coord.cfg.transfer_deadline;
+            let replay = loop {
+                let mut sess = coord.sessions.lock();
+                if sess[w].s.generation != generation {
+                    break None; // superseded by yet another resume
+                }
+                if let Some((ty, payload)) = sess[w].s.cached.clone() {
+                    break Some((ty, payload));
+                }
+                if coord.stop.load(Ordering::Relaxed) || Instant::now() >= deadline {
+                    break None;
+                }
+                coord
+                    .session_cv
+                    .wait_for(&mut sess, Duration::from_millis(20));
+            };
+            match replay {
+                Some((ty, payload)) => write_frame(&mut writer, ty, last_seq, &payload).is_ok(),
+                None => false,
+            }
+        }
+        ResumeDecision::Refuse => unreachable!("refused above"),
+    };
+    if !served {
+        coord.note_disconnect(w, generation);
+        return;
+    }
+    drop(writer);
+    serve_connection(coord, w, stream, generation);
+}
+
 /// One worker connection's service loop: handshake already done; read a
-/// request, dispatch, write the reply, until completion or death.
-fn serve_connection(coord: &Arc<Coord>, w: usize, stream: TcpStream) {
+/// request, run it through the rank's session (dedup / replay), dispatch
+/// fresh requests, cache then write replies, until completion or a link
+/// error. Link errors start the reconnect clock via
+/// [`Coord::note_disconnect`]; only protocol violations (a message type a
+/// worker must never send) still evict directly.
+fn serve_connection(coord: &Arc<Coord>, w: usize, stream: TcpStream, generation: u64) {
     let _ = stream.set_read_timeout(Some(coord.cfg.transfer_deadline));
     let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => {
-            coord.record_death(w);
+            coord.note_disconnect(w, generation);
             return;
         }
     });
     let mut writer = BufWriter::new(stream);
-    // One outstanding AD-PSGD exchange token per rank (the protocol allows
-    // at most one in flight).
-    let mut cur_token: Option<u64> = None;
     loop {
-        let msg = match Msg::read_from(&mut reader) {
+        let (seq, msg) = match Msg::read_from(&mut reader) {
             Ok(m) => m,
             Err(_) => {
-                coord.record_death(w);
+                // EOF, RST, read timeout, or a CRC-damaged frame: all link
+                // trouble, none of it proof of death.
+                coord.note_disconnect(w, generation);
                 return;
             }
         };
+        // Session gate: duplicates replay the cached reply without
+        // re-dispatching; stale frames are dropped on the floor.
+        match coord.sessions.lock()[w].s.classify(seq) {
+            Inbound::Fresh => {}
+            Inbound::Duplicate(Some((ty, payload))) => {
+                if write_frame(&mut writer, ty, seq, &payload).is_err() {
+                    coord.note_disconnect(w, generation);
+                    return;
+                }
+                continue;
+            }
+            // Duplicate of a request whose dispatch is still running (the
+            // original copy arrived first on this same ordered stream, so
+            // its reply is coming): nothing to do for this copy.
+            Inbound::Duplicate(None) | Inbound::Stale => continue,
+        }
         let (reply, finished) = match msg {
             Msg::ExchangeAwait => {
-                let r = match cur_token.take() {
+                let tok = coord.sessions.lock()[w].s.cur_token.take();
+                let r = match tok {
                     Some(tok) => coord.exchange_await(tok),
                     None => Msg::Gone,
                 };
@@ -683,9 +908,10 @@ fn serve_connection(coord: &Arc<Coord>, w: usize, stream: TcpStream) {
                     }
                 };
                 // The dispatch smuggles the token back as MinClock{min};
-                // keep it connection-local and ack the worker with Ok.
+                // park it in the session (so it survives a reconnect) and
+                // ack the worker with Ok.
                 if let Some(Msg::MinClock { min }) = r {
-                    cur_token = Some(min);
+                    coord.sessions.lock()[w].s.cur_token = Some(min);
                 }
                 (Some(Msg::Ok), false)
             }
@@ -708,8 +934,27 @@ fn serve_connection(coord: &Arc<Coord>, w: usize, stream: TcpStream) {
             },
         };
         if let Some(reply) = reply {
-            if reply.write_to(&mut writer).is_err() {
-                coord.record_death(w);
+            let (rty, rpayload) = reply.encode();
+            // Cache BEFORE writing: if the write (or the frame in flight)
+            // is lost, the resumed connection replays from this cache. If
+            // a resume superseded this socket while dispatch was parked,
+            // the cache is the handoff — the new connection's
+            // AwaitInFlight wait picks it up; this stale handler must not
+            // touch the wire again.
+            let stale = {
+                let mut sess = coord.sessions.lock();
+                let slot = &mut sess[w];
+                if slot.s.last_seq == seq {
+                    slot.s.cache_reply(rty, rpayload.clone());
+                }
+                slot.s.generation != generation
+            };
+            coord.session_cv.notify_all();
+            if stale {
+                return;
+            }
+            if write_frame(&mut writer, rty, seq, &rpayload).is_err() {
+                coord.note_disconnect(w, generation);
                 return;
             }
         }
@@ -744,15 +989,19 @@ impl ProcRun {
             workers,
             cfg.plan.batch
         );
+        cfg.validate().map_err(ProcError::Config)?;
         let exe = worker_exe(cfg.worker_exe.as_ref()).map_err(ProcError::Config)?;
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?.to_string();
-        let init_net = mlp_classifier(
+        let mut init_net = mlp_classifier(
             cfg.task.input_dim,
             &cfg.hidden,
             cfg.task.num_classes,
             cfg.model_seed,
         );
+        if let Some(p) = &cfg.initial_params {
+            init_net.set_params(p);
+        }
         let ps = PsState::new(
             init_net.get_params(),
             cfg.plan.momentum,
@@ -787,10 +1036,13 @@ impl ProcRun {
                 released: false,
             }),
             pause_cv: Condvar::new(),
+            sessions: Mutex::new((0..workers).map(|_| SessionSlot::default()).collect()),
+            session_cv: Condvar::new(),
             children: Mutex::new(Vec::new()),
             evictions: AtomicU64::new(0),
             rejoins: AtomicU64::new(0),
             partial_rounds: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             wall: Instant::now(),
             obs_rt: sink.track(Track::Runtime(0)),
@@ -820,54 +1072,38 @@ impl ProcRun {
                         Ok(s) => s,
                         Err(_) => return,
                     });
-                    let Ok(Msg::Hello { worker }) = Msg::read_from(&mut reader) else {
-                        return;
-                    };
-                    let w = worker as usize;
-                    if w >= coord.cfg.plan.workers {
-                        return;
+                    match Msg::read_from(&mut reader) {
+                        Ok((seq, Msg::Hello { worker })) => {
+                            handshake_hello(&coord, worker as usize, seq, stream);
+                        }
+                        Ok((
+                            seq,
+                            Msg::Resume {
+                                worker,
+                                last_seq,
+                                attempt,
+                            },
+                        )) => {
+                            handshake_resume(
+                                &coord,
+                                worker as usize,
+                                seq,
+                                last_seq,
+                                attempt,
+                                stream,
+                            );
+                        }
+                        _ => {}
                     }
-                    let start_round = {
-                        let mut m = coord.members.lock();
-                        let start = if m.dead(w) {
-                            // The replacement for a killed rank: re-enter
-                            // at the pinned rejoin round.
-                            let at = m
-                                .rejoins
-                                .iter()
-                                .find(|&&(v, _)| v == w)
-                                .map(|&(_, r)| r)
-                                .unwrap_or(0);
-                            coord.rejoins.fetch_add(1, Ordering::Relaxed);
-                            markers::rejoin(&coord.obs_rt, coord.ns(), w);
-                            at
-                        } else {
-                            0
-                        };
-                        m.start_round[w] = start;
-                        m.last_hb[w] = m.last_hb[w].max(start);
-                        start
-                    };
-                    let ack = Msg::HelloAck {
-                        start_round,
-                        params: coord.ps.snapshot(),
-                    };
-                    let mut writer = BufWriter::new(match stream.try_clone() {
-                        Ok(s) => s,
-                        Err(_) => return,
-                    });
-                    if ack.write_to(&mut writer).is_err() {
-                        coord.record_death(w);
-                        return;
-                    }
-                    drop(writer);
-                    serve_connection(&coord, w, stream);
                 });
             }
         });
 
         // Reaper: notice child exits even when the rank's handler thread
-        // is parked (barrier, clock wait, mailbox poll).
+        // is parked (barrier, clock wait, mailbox poll), and harden
+        // disconnects whose reconnect window expired into evictions. A
+        // real process exit needs no reconnect grace — a corpse cannot
+        // resume — so `SIGKILL` is still recorded within one heartbeat.
         let reap_coord = Arc::clone(&coord);
         std::thread::spawn(move || loop {
             if reap_coord.stop.load(Ordering::Relaxed) {
@@ -892,7 +1128,21 @@ impl ProcRun {
                     reap_coord.record_death(w);
                 }
             }
-            std::thread::sleep(Duration::from_millis(25));
+            let expired: Vec<usize> = {
+                let sess = reap_coord.sessions.lock();
+                sess.iter()
+                    .enumerate()
+                    .filter(|(_, slot)| {
+                        slot.disconnected_at
+                            .is_some_and(|t| t.elapsed() >= reap_coord.cfg.reconnect_window)
+                    })
+                    .map(|(w, _)| w)
+                    .collect()
+            };
+            for w in expired {
+                reap_coord.record_death(w);
+            }
+            std::thread::sleep(reap_coord.cfg.heartbeat_interval);
         });
 
         for w in 0..workers {
@@ -1012,12 +1262,12 @@ impl ProcRun {
             .iter()
             .enumerate()
             .filter(|(w, o)| o.is_some() && live.contains(w))
-            .map(|(_, o)| &o.as_ref().unwrap().2)
+            .map(|(_, o)| &o.as_ref().unwrap().params)
             .collect();
         let finals = if finals.is_empty() {
             m.outcomes
                 .iter()
-                .filter_map(|o| o.as_ref().map(|(_, _, p)| p))
+                .filter_map(|o| o.as_ref().map(|out| &out.params))
                 .collect()
         } else {
             finals
@@ -1036,13 +1286,14 @@ impl ProcRun {
 
         let per_worker: Vec<WorkerStats> = (0..cfg.plan.workers)
             .map(|w| {
-                let (iters, bytes) = m.outcomes[w]
+                let (iters, bytes, busy) = m.outcomes[w]
                     .as_ref()
-                    .map(|(i, b, _)| (*i, *b))
-                    .unwrap_or((0, 0));
+                    .map(|o| (o.iterations, o.logical_bytes, o.busy_ms))
+                    .unwrap_or((0, 0, 0));
                 WorkerStats {
                     iterations: iters + m.victim_iters[w],
                     logical_bytes: bytes,
+                    busy_ms: busy,
                     evicted: m.dead(w),
                 }
             })
@@ -1058,7 +1309,9 @@ impl ProcRun {
             evictions: coord.evictions.load(Ordering::Relaxed),
             rejoins: coord.rejoins.load(Ordering::Relaxed),
             partial_rounds: coord.partial_rounds.load(Ordering::Relaxed),
+            retries: coord.retries.load(Ordering::Relaxed),
             per_worker,
+            final_params: mean,
         })
     }
 

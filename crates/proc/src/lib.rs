@@ -9,10 +9,11 @@
 //!
 //! | layer | module |
 //! |---|---|
-//! | frames + payload primitives | [`codec`] |
+//! | frames + payload primitives (CRC-32, seq) | [`codec`] |
 //! | RPC message set | [`proto`] |
+//! | per-rank dedup / reply-replay machine | [`session`] |
 //! | run config + argv encoding | [`config`] |
-//! | worker-side `ExecBackend` | [`backend`] |
+//! | worker-side `ExecBackend` (reconnect + chaos) | [`backend`] |
 //! | coordinator, spawning, failure model | [`coordinator`] |
 //!
 //! ```no_run
@@ -31,16 +32,20 @@
 //! It is discovered next to the current executable, or via the
 //! `DTRAIN_PROC_WORKER` env var / `ProcConfig::worker_exe`.
 
+pub mod adaptive;
 pub mod backend;
 pub mod codec;
 pub mod config;
 pub mod coordinator;
 pub mod proto;
+pub mod session;
 
-pub use backend::ProcBackend;
-pub use codec::{CodecError, MAX_PAYLOAD, PROTO_VERSION};
+pub use adaptive::{train_proc_adaptive, AdaptiveProcReport};
+pub use backend::{LinkOpts, ProcBackend};
+pub use codec::{crc32, CodecError, MAX_PAYLOAD, PROTO_VERSION};
 pub use config::{ProcConfig, RejoinSpec, WorkerCfg};
 pub use coordinator::{
     train_proc, train_proc_observed, ProcError, ProcReport, ProcRun, WorkerStats,
 };
 pub use proto::Msg;
+pub use session::{Inbound, ResumeDecision, Session};

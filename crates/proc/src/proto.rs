@@ -141,8 +141,27 @@ pub enum Msg {
     RunComplete {
         iterations: u64,
         logical_bytes: u64,
+        /// Milliseconds the rank spent on local work (compute + backend
+        /// iteration hooks) — the adaptive controller's straggler signal.
+        busy_ms: u64,
         params: ParamSet,
     },
+
+    // --- session resume ---
+    /// Worker -> coordinator: first frame on a *re*connect after link
+    /// trouble. `last_seq` is the request the worker still awaits a reply
+    /// for; `attempt` is the 1-based reconnect attempt (surfaced as a
+    /// `net.retry` marker). The coordinator answers with the cached reply
+    /// for `last_seq` if it already served that request, or [`Msg::ResumeAck`]
+    /// if the request never arrived and must be resent.
+    Resume {
+        worker: u32,
+        last_seq: u32,
+        attempt: u32,
+    },
+    /// Reply to [`Msg::Resume`]: the request `last_seq` was never received —
+    /// resend it on this connection.
+    ResumeAck,
 }
 
 // Message type discriminants (frame header byte 1).
@@ -183,6 +202,8 @@ mod t {
     pub const COLL_RECV: u8 = 34;
     pub const COLL_ITEM: u8 = 35;
     pub const BSP_PARTIAL: u8 = 36;
+    pub const RESUME: u8 = 37;
+    pub const RESUME_ACK: u8 = 38;
 }
 
 impl Msg {
@@ -337,11 +358,24 @@ impl Msg {
             Msg::RunComplete {
                 iterations,
                 logical_bytes,
+                busy_ms,
                 params,
             } => {
-                e.u64(*iterations).u64(*logical_bytes).params(params);
+                e.u64(*iterations)
+                    .u64(*logical_bytes)
+                    .u64(*busy_ms)
+                    .params(params);
                 t::RUN_COMPLETE
             }
+            Msg::Resume {
+                worker,
+                last_seq,
+                attempt,
+            } => {
+                e.u32(*worker).u32(*last_seq).u32(*attempt);
+                t::RESUME
+            }
+            Msg::ResumeAck => t::RESUME_ACK,
         };
         (ty, e.into_bytes())
     }
@@ -460,23 +494,32 @@ impl Msg {
             t::RUN_COMPLETE => Msg::RunComplete {
                 iterations: d.u64()?,
                 logical_bytes: d.u64()?,
+                busy_ms: d.u64()?,
                 params: d.params()?,
             },
+            t::RESUME => Msg::Resume {
+                worker: d.u32()?,
+                last_seq: d.u32()?,
+                attempt: d.u32()?,
+            },
+            t::RESUME_ACK => Msg::ResumeAck,
             other => return Err(CodecError::BadType(other)),
         };
         d.done()?;
         Ok(msg)
     }
 
-    /// Write this message as one frame.
-    pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> Result<(), CodecError> {
+    /// Write this message as one frame carrying sequence number `seq`
+    /// (requests: the worker's monotone counter; replies: the request's
+    /// seq, echoed).
+    pub fn write_to<W: std::io::Write>(&self, w: &mut W, seq: u32) -> Result<(), CodecError> {
         let (ty, payload) = self.encode();
-        write_frame(w, ty, &payload)
+        write_frame(w, ty, seq, &payload)
     }
 
-    /// Read one message from the stream.
-    pub fn read_from<R: std::io::Read>(r: &mut R) -> Result<Msg, CodecError> {
-        let (ty, payload) = read_frame(r)?;
-        Msg::decode(ty, &payload)
+    /// Read one message from the stream; returns `(seq, msg)`.
+    pub fn read_from<R: std::io::Read>(r: &mut R) -> Result<(u32, Msg), CodecError> {
+        let (ty, seq, payload) = read_frame(r)?;
+        Ok((seq, Msg::decode(ty, &payload)?))
     }
 }

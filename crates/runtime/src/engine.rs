@@ -171,6 +171,13 @@ pub struct ThreadedReport {
     pub evictions: u64,
     /// Elastic membership: workers that re-entered at a later round.
     pub rejoins: u64,
+    /// The aggregate model (replica mean over the final cohort) — the
+    /// state a follow-on segment adopts across a controller switch.
+    pub final_params: ParamSet,
+    /// Per-worker busy time (compute + local work; excludes barrier and
+    /// exchange waits) — the straggle-ratio feedstock for the adaptive
+    /// degradation controller.
+    pub per_worker_busy: Vec<Duration>,
 }
 
 /// Shared fault-injection state for one threaded run.
@@ -756,7 +763,7 @@ where
 
     let started = Instant::now();
     let plan = cfg.plan();
-    let finals: Vec<ParamSet> = std::thread::scope(|scope| {
+    let finals: Vec<(ParamSet, Duration)> = std::thread::scope(|scope| {
         if let Some(fr) = faults.as_ref() {
             let fr = Arc::clone(fr);
             scope.spawn(move || watchdog(&fr));
@@ -796,7 +803,8 @@ where
                     wall: clock,
                     pending_reply: None,
                 };
-                worker_body(&mut backend, factory(), &train, &plan, &obs, clock).params
+                let out = worker_body(&mut backend, factory(), &train, &plan, &obs, clock);
+                (out.params, out.busy)
             }));
         }
         handles
@@ -805,6 +813,8 @@ where
             .collect()
     });
     let wall_time = started.elapsed();
+    let per_worker_busy: Vec<Duration> = finals.iter().map(|(_, b)| *b).collect();
+    let finals: Vec<ParamSet> = finals.into_iter().map(|(p, _)| p).collect();
 
     // Aggregate model: replica mean (equals any replica for BSP). Under
     // elastic membership only the final cohort's replicas count — an
@@ -859,5 +869,7 @@ where
         missed_heartbeats: counter(|fr| &fr.missed_heartbeats),
         evictions: counter(|fr| &fr.evictions),
         rejoins: counter(|fr| &fr.rejoins),
+        final_params: mean,
+        per_worker_busy,
     }
 }

@@ -25,6 +25,7 @@
 //! assert!(report.final_accuracy > 0.1);
 //! ```
 
+pub mod adaptive;
 pub mod backend;
 pub mod collective;
 mod engine;
@@ -32,6 +33,7 @@ mod strategy;
 pub mod sync;
 mod worker;
 
+pub use adaptive::{train_adaptive, AdaptiveThreadedReport};
 pub use backend::{BspOutcome, ExecBackend, PeerRequest, ReplyToken, RunPlan};
 pub use collective::{hier_bsp_exchange, reduce_partials, sum_rank_ascending};
 pub use engine::{

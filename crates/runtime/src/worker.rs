@@ -28,23 +28,33 @@ pub struct WorkerOutcome {
     pub iterations: u64,
     /// Cumulative payload bytes pushed (the `logical.bytes` counter).
     pub logical_bytes: u64,
+    /// Wall time this worker spent *busy* — gradient computation plus the
+    /// backend's per-iteration local work (which is where straggler
+    /// slowdowns are injected on the threaded and proc paths). Excludes
+    /// blocking exchanges, so a straggler's busy time stands out even
+    /// under a barrier that equalizes iteration wall time. This is the
+    /// [`dtrain_faults::CtrlSignals::straggle_ratio`] feedstock.
+    pub busy: std::time::Duration,
 }
 
 pub type ParamSetOut = dtrain_nn::ParamSet;
 
-/// One timed gradient computation: runs `train_batch` and records it as a
-/// `compute` span on the worker's obs track.
+/// One timed gradient computation: runs `train_batch`, records it as a
+/// `compute` span on the worker's obs track, and returns the elapsed time
+/// (accumulated into [`WorkerOutcome::busy`]).
 pub(crate) fn timed_train(
     net: &mut Network,
     x: Tensor,
     y: &[usize],
     obs: &TrackHandle,
     clock: &Instant,
-) {
+) -> std::time::Duration {
+    let start = Instant::now();
     let t0 = clock.elapsed().as_nanos() as u64;
     net.train_batch(x, y);
     let t1 = clock.elapsed().as_nanos() as u64;
     obs.span(t0, t1 - t0, Phase::Compute.name(), NO_ITER);
+    start.elapsed()
 }
 
 /// Execute this worker's share of the run described by `plan` against
@@ -84,6 +94,7 @@ pub fn worker_body<B: ExecBackend>(
     // Cumulative payload bytes this worker pushed (mirrors the simulator's
     // `logical.bytes` counter exactly: same model, same push schedule).
     let mut logical = 0u64;
+    let mut busy = std::time::Duration::ZERO;
     let ns = |clock: &Instant| clock.elapsed().as_nanos() as u64;
     backend.startup(&net.get_params(), &opt);
 
@@ -163,7 +174,7 @@ pub fn worker_body<B: ExecBackend>(
             match plan.strategy {
                 Strategy::Bsp => {
                     let (x, y) = train.gather(&batch);
-                    timed_train(&mut net, x, &y, obs, &wall);
+                    busy += timed_train(&mut net, x, &y, obs, &wall);
                     let grad = net.grads();
                     logical += grad.num_bytes();
                     obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
@@ -191,7 +202,7 @@ pub fn worker_body<B: ExecBackend>(
                 }
                 Strategy::Asp => {
                     let (x, y) = train.gather(&batch);
-                    timed_train(&mut net, x, &y, obs, &wall);
+                    busy += timed_train(&mut net, x, &y, obs, &wall);
                     backend.ps_gate();
                     let grad = net.grads();
                     logical += grad.num_bytes();
@@ -202,7 +213,7 @@ pub fn worker_body<B: ExecBackend>(
                 }
                 Strategy::Ssp { staleness } => {
                     let (x, y) = train.gather(&batch);
-                    timed_train(&mut net, x, &y, obs, &wall);
+                    busy += timed_train(&mut net, x, &y, obs, &wall);
                     let grad = net.grads();
                     logical += grad.num_bytes();
                     obs.counter(ns(&wall), names::LOGICAL_BYTES, logical as i64);
@@ -231,7 +242,7 @@ pub fn worker_body<B: ExecBackend>(
                 }
                 Strategy::Easgd { tau, alpha: a } => {
                     let (x, y) = train.gather(&batch);
-                    timed_train(&mut net, x, &y, obs, &wall);
+                    busy += timed_train(&mut net, x, &y, obs, &wall);
                     let grad = net.grads();
                     let mut p = net.get_params();
                     opt.step(&mut p, &grad, grad_lr);
@@ -249,7 +260,7 @@ pub fn worker_body<B: ExecBackend>(
                 }
                 Strategy::Gossip { p } => {
                     let (x, y) = train.gather(&batch);
-                    timed_train(&mut net, x, &y, obs, &wall);
+                    busy += timed_train(&mut net, x, &y, obs, &wall);
                     let grad = net.grads();
                     let mut px = net.get_params();
                     opt.step(&mut px, &grad, grad_lr);
@@ -318,7 +329,7 @@ pub fn worker_body<B: ExecBackend>(
                             pending = true;
                         }
                         let (x, y) = train.gather(&batch);
-                        timed_train(&mut net, x, &y, obs, &wall);
+                        busy += timed_train(&mut net, x, &y, obs, &wall);
                         let grad = net.grads();
                         if pending {
                             // The backend owns the transport deadline:
@@ -333,7 +344,7 @@ pub fn worker_body<B: ExecBackend>(
                         net.set_params(&p);
                     } else {
                         let (x, y) = train.gather(&batch);
-                        timed_train(&mut net, x, &y, obs, &wall);
+                        busy += timed_train(&mut net, x, &y, obs, &wall);
                         let grad = net.grads();
                         let mut p = net.get_params();
                         opt.step(&mut p, &grad, grad_lr);
@@ -357,7 +368,11 @@ pub fn worker_body<B: ExecBackend>(
             local_iter += 1;
             executed += 1;
             let mut state = || (net.get_params(), opt.clone());
+            let local_start = Instant::now();
             backend.iter_end(it_idx, local_iter, it_start.elapsed(), &mut state);
+            // iter_end is local work (checkpointing, injected slowdown), so
+            // it counts as busy; the straggler signal lives here.
+            busy += local_start.elapsed();
             obs.exit(ns(&wall), names::ITER);
         }
     }
@@ -383,6 +398,7 @@ pub fn worker_body<B: ExecBackend>(
         params: net.get_params(),
         iterations: executed,
         logical_bytes: logical,
+        busy,
     }
 }
 

@@ -126,6 +126,24 @@ mod tests {
     }
 
     #[test]
+    fn predictive_declines_a_gang_extension_onto_slow_gpu_classes() {
+        // Heterogeneous fleet: machines 0–3 run the default class, machines
+        // 4+ run half-speed cards. A synchronous job is paced by its
+        // slowest member, so the cost model says machine 5 *loses*
+        // throughput — Predictive must stop at the class boundary where the
+        // homogeneous fleet would keep growing.
+        let mut c = cluster();
+        let homo = Policy::Predictive.gang_size(&job(ModelKind::ResNet50, 1, 8), 8, &c);
+        assert!(homo > 4, "baseline must want to grow past the boundary");
+        c.gpu_classes = vec![c.gpu_tflops; c.num_workers()];
+        for w in 4 * c.gpus_per_machine..c.num_workers() {
+            c.gpu_classes[w] = c.gpu_tflops / 2.0;
+        }
+        let hetero = Policy::Predictive.gang_size(&job(ModelKind::ResNet50, 1, 8), 8, &c);
+        assert_eq!(hetero, 4, "gang must stop at the fast/slow class boundary");
+    }
+
+    #[test]
     fn predictive_spreads_resnet_but_holds_vgg_near_min() {
         // The paper's central contrast, surfaced as a placement decision:
         // on 10 Gbps, ResNet-50 (compute-bound) earns its extra machines;
